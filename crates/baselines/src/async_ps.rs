@@ -1,0 +1,187 @@
+//! An asynchronous centralized parameter server — the §2.2 strawman the
+//! decentralized approaches displace.
+//!
+//! Every worker loops independently: compute a gradient, push it to the
+//! central server (which applies it to the master immediately —
+//! Hogwild-style async SGD), pull the refreshed master, and continue. No
+//! barrier at all, so stragglers only hurt themselves; the cost is the
+//! **communication hotspot**: the server's link serializes all `n` push and
+//! pull flows, so throughput saturates as the cluster grows — the
+//! scalability ceiling that motivates ring AllReduce in the first place.
+
+use rna_core::sim::{Ctx, Protocol};
+use rna_simnet::trace::SpanKind;
+use rna_simnet::SimTime;
+use rna_tensor::Tensor;
+
+/// Messages used by the async PS.
+#[derive(Debug, Clone)]
+pub enum PsMsg {
+    /// Self-scheduled completion of one worker's push+pull exchange.
+    Exchanged {
+        /// The worker whose exchange completed.
+        worker: usize,
+        /// Its gradient, applied to the master at completion.
+        grad: Tensor,
+    },
+}
+
+/// The asynchronous centralized PS protocol.
+///
+/// # Examples
+///
+/// ```
+/// use rna_baselines::AsyncPsProtocol;
+/// use rna_core::sim::{Engine, TrainSpec};
+///
+/// let result = Engine::new(TrainSpec::smoke_test(4, 1), AsyncPsProtocol::new(4)).run();
+/// assert!(result.global_rounds > 0);
+/// ```
+#[derive(Debug)]
+pub struct AsyncPsProtocol {
+    /// When the server's link is next free (the hotspot).
+    server_free_at: SimTime,
+    master: Option<Tensor>,
+    exchanges: u64,
+}
+
+impl AsyncPsProtocol {
+    /// Creates the protocol for `n` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        AsyncPsProtocol {
+            server_free_at: SimTime::ZERO,
+            master: None,
+            exchanges: 0,
+        }
+    }
+
+    /// Completed push+pull exchanges.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+}
+
+impl Protocol for AsyncPsProtocol {
+    type Msg = PsMsg;
+
+    fn name(&self) -> &'static str {
+        "async-ps"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, PsMsg>) {
+        self.master = Some(ctx.params(0));
+        for w in 0..ctx.num_workers() {
+            ctx.begin_compute(w);
+        }
+    }
+
+    fn on_compute_done(&mut self, ctx: &mut Ctx<'_, PsMsg>, worker: usize, _iter: u64) {
+        let (_, grad) = ctx.take_gradient(worker).expect("gradient pending");
+        // Push the gradient and pull the master: two crossings of the
+        // server link, serialized with every other worker's flows.
+        let bytes = ctx.grad_bytes();
+        let per_flow = ctx.cost().point_to_point(bytes);
+        let start = ctx.now().max(self.server_free_at);
+        let done = start + per_flow + per_flow;
+        self.server_free_at = done;
+        ctx.charge_bytes(bytes * 2);
+        ctx.set_span(worker, SpanKind::Communicate);
+        ctx.send_after(ctx.controller_id(), done - ctx.now(), PsMsg::Exchanged { worker, grad });
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, PsMsg>, _f: usize, _t: usize, msg: PsMsg) {
+        let PsMsg::Exchanged { worker, grad } = msg;
+        // The server applies the gradient to the master at exchange
+        // completion and the worker adopts the refreshed master.
+        let lr = ctx.current_lr();
+        let master = self.master.as_mut().expect("master set in on_start");
+        master.axpy(-lr, &grad);
+        let snapshot = master.clone();
+        ctx.set_params(worker, &snapshot);
+        self.exchanges += 1;
+        ctx.finish_round(1.0 / ctx.num_workers() as f64);
+        if !ctx.stopped() && !ctx.is_computing(worker) {
+            ctx.begin_compute(worker);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_core::sim::{Engine, TrainSpec};
+    use rna_simnet::SimDuration;
+    use rna_workload::HeterogeneityModel;
+
+    #[test]
+    fn async_ps_trains() {
+        let spec = TrainSpec::smoke_test(4, 1).with_max_rounds(200);
+        let r = Engine::new(spec, AsyncPsProtocol::new(4)).run();
+        let pts = r.history.points();
+        assert!(pts.last().unwrap().loss < pts[0].loss);
+        assert!((r.mean_participation() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stragglers_hurt_only_themselves() {
+        // Small model so the server link is NOT the bottleneck — the
+        // asymmetry must then come purely from compute speed.
+        let n = 4;
+        let mut spec = TrainSpec::smoke_test(n, 3)
+            .with_hetero(HeterogeneityModel::deterministic(&[0, 0, 0, 45]))
+            .with_max_rounds(300);
+        spec.profile = rna_workload::ModelProfile::resnet56().with_compute(
+            rna_workload::ComputeTimeModel::Constant(SimDuration::from_millis(5)),
+        );
+        let r = Engine::new(spec, AsyncPsProtocol::new(n)).run();
+        assert!(
+            r.worker_iterations[0] > r.worker_iterations[3] * 2,
+            "{:?}",
+            r.worker_iterations
+        );
+    }
+
+    #[test]
+    fn server_link_is_the_hotspot() {
+        // With a big model over a slow link, the server serializes flows:
+        // doubling the workers must NOT double the exchange throughput.
+        let run = |n: usize| {
+            let mut spec = TrainSpec::smoke_test(n, 7)
+                .with_max_rounds(100_000)
+                .with_max_time(SimDuration::from_secs(5));
+            spec.link = rna_simnet::LinkModel::ethernet_10g();
+            // Full VGG16-sized pushes saturate 10 GbE quickly.
+            spec.profile = rna_workload::ModelProfile::vgg16()
+                .with_compute(rna_workload::ComputeTimeModel::Constant(
+                    SimDuration::from_millis(5),
+                ));
+            let r = Engine::new(spec, AsyncPsProtocol::new(n)).run();
+            r.global_rounds as f64 / r.wall_time.as_secs_f64()
+        };
+        let t4 = run(4);
+        let t8 = run(8);
+        assert!(
+            t8 < t4 * 1.3,
+            "server link should cap throughput: {t4} vs {t8} exchanges/s"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            Engine::new(
+                TrainSpec::smoke_test(4, 9).with_max_rounds(80),
+                AsyncPsProtocol::new(4),
+            )
+            .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.final_loss(), b.final_loss());
+    }
+}

@@ -1,0 +1,222 @@
+//! Backup workers (Chen et al. 2016, "Revisiting distributed synchronous
+//! SGD"), §9's first straggler remedy.
+//!
+//! Synchronous SGD with `n` workers but only `n − b` gradients per update:
+//! the round fires as soon as the fastest `n − b` gradients arrive and the
+//! stragglers' late gradients are *discarded*. The paper's critique: the
+//! ring's restrictive communication pattern makes this awkward in real
+//! AllReduce stacks, and dropped work is wasted — both visible here (the
+//! protocol runs on the PS-style trigger and its iteration counts exceed
+//! its useful gradient count).
+
+use rna_collectives::partial_allreduce;
+use rna_core::sim::{Ctx, Protocol};
+use rna_simnet::trace::SpanKind;
+use rna_tensor::Tensor;
+
+/// Messages used by the backup-workers protocol.
+#[derive(Debug, Clone)]
+pub enum BackupMsg {
+    /// Self-scheduled completion of the round's collective.
+    ReduceDone {
+        /// The round that finished.
+        round: u64,
+    },
+}
+
+/// Synchronous SGD with `b` backup workers.
+///
+/// # Examples
+///
+/// ```
+/// use rna_baselines::BackupWorkersProtocol;
+/// use rna_core::sim::{Engine, TrainSpec};
+///
+/// let result = Engine::new(
+///     TrainSpec::smoke_test(4, 1),
+///     BackupWorkersProtocol::new(4, 1),
+/// )
+/// .run();
+/// assert!(result.global_rounds > 0);
+/// ```
+#[derive(Debug)]
+pub struct BackupWorkersProtocol {
+    backups: usize,
+    grads: Vec<Option<Tensor>>,
+    worker_round: Vec<u64>,
+    ready: usize,
+    round: u64,
+    reducing: bool,
+    reduced: Option<(Tensor, usize)>,
+    discarded: u64,
+}
+
+impl BackupWorkersProtocol {
+    /// Creates the protocol with `b` backups out of `n` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= n` or `n == 0`.
+    pub fn new(n: usize, b: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert!(b < n, "need at least one non-backup worker");
+        BackupWorkersProtocol {
+            backups: b,
+            grads: vec![None; n],
+            worker_round: vec![0; n],
+            ready: 0,
+            round: 0,
+            reducing: false,
+            reduced: None,
+            discarded: 0,
+        }
+    }
+
+    /// Gradients discarded because their worker finished after the cutoff.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    fn quorum(&self) -> usize {
+        self.grads.len() - self.backups
+    }
+}
+
+impl Protocol for BackupWorkersProtocol {
+    type Msg = BackupMsg;
+
+    fn name(&self) -> &'static str {
+        "backup-workers"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BackupMsg>) {
+        for w in 0..ctx.num_workers() {
+            ctx.begin_compute(w);
+        }
+    }
+
+    fn on_compute_done(&mut self, ctx: &mut Ctx<'_, BackupMsg>, worker: usize, _iter: u64) {
+        let (_, grad) = ctx.take_gradient(worker).expect("gradient pending");
+        if self.worker_round[worker] != self.round || self.reducing {
+            // Straggler past the cutoff: its gradient is dropped and it
+            // rejoins the current round immediately.
+            self.discarded += 1;
+            self.worker_round[worker] = self.round;
+            if !ctx.stopped() {
+                ctx.begin_compute(worker);
+            }
+            return;
+        }
+        if self.grads[worker].is_none() {
+            self.grads[worker] = Some(grad);
+            self.ready += 1;
+        }
+        if self.ready == self.quorum() {
+            self.reducing = true;
+            let refs: Vec<Option<&Tensor>> = self.grads.iter().map(Option::as_ref).collect();
+            let outcome = partial_allreduce(&refs).expect("quorum of gradients present");
+            let contributors = outcome.num_contributors;
+            self.reduced = Some((outcome.reduced, contributors));
+            let n = ctx.num_workers();
+            let bytes = ctx.grad_bytes();
+            let duration = ctx.cost().ring_allreduce(n, bytes);
+            ctx.charge_bytes(ctx.cost().ring_bytes_per_worker(n, bytes) * n as u64);
+            for w in 0..n {
+                if !ctx.is_computing(w) {
+                    ctx.set_span(w, SpanKind::Communicate);
+                }
+            }
+            ctx.send_after(
+                ctx.controller_id(),
+                duration,
+                BackupMsg::ReduceDone { round: self.round },
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, BackupMsg>, _f: usize, _t: usize, msg: BackupMsg) {
+        let BackupMsg::ReduceDone { round } = msg;
+        if round != self.round {
+            return;
+        }
+        let (reduced, contributors) = self.reduced.take().expect("reduce in flight");
+        let all: Vec<usize> = (0..ctx.num_workers()).collect();
+        ctx.apply_reduced(&all, &reduced, contributors as f32);
+        ctx.finish_round(contributors as f64 / ctx.num_workers() as f64);
+        self.round += 1;
+        self.grads.iter_mut().for_each(|g| *g = None);
+        self.ready = 0;
+        self.reducing = false;
+        if !ctx.stopped() {
+            for w in 0..ctx.num_workers() {
+                if !ctx.is_computing(w) {
+                    self.worker_round[w] = self.round;
+                    ctx.begin_compute(w);
+                }
+                // Workers still computing hold a stale round id; their
+                // output will be discarded on arrival.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_core::sim::{Engine, TrainSpec};
+    use rna_workload::HeterogeneityModel;
+
+    #[test]
+    fn trains_and_uses_quorum_participation() {
+        let n = 4;
+        let spec = TrainSpec::smoke_test(n, 1)
+            .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 30))
+            .with_max_rounds(120);
+        let r = Engine::new(spec, BackupWorkersProtocol::new(n, 1)).run();
+        assert_eq!(r.global_rounds, 120);
+        // Participation = (n - b)/n every round.
+        assert!((r.mean_participation() - 0.75).abs() < 1e-9);
+        let pts = r.history.points();
+        assert!(pts.last().unwrap().loss < pts[0].loss);
+    }
+
+    #[test]
+    fn faster_rounds_than_full_barrier() {
+        use crate::HorovodProtocol;
+        let n = 4;
+        let spec = |seed| {
+            TrainSpec::smoke_test(n, seed)
+                .with_hetero(HeterogeneityModel::deterministic(&[0, 0, 0, 40]))
+                .with_max_rounds(60)
+        };
+        let bsp = Engine::new(spec(2), HorovodProtocol::new(n)).run();
+        let backup = Engine::new(spec(2), BackupWorkersProtocol::new(n, 1)).run();
+        // Dropping the 40 ms straggler's gradient removes it from the
+        // critical path.
+        assert!(
+            backup.mean_round_time() < bsp.mean_round_time(),
+            "backup {} vs bsp {}",
+            backup.mean_round_time(),
+            bsp.mean_round_time()
+        );
+    }
+
+    #[test]
+    fn straggler_gradients_are_discarded() {
+        let n = 4;
+        let spec = TrainSpec::smoke_test(n, 3)
+            .with_hetero(HeterogeneityModel::deterministic(&[0, 0, 0, 25]))
+            .with_max_rounds(50);
+        let engine = Engine::new(spec, BackupWorkersProtocol::new(n, 1));
+        let r = engine.run();
+        // The slow worker's iterations mostly land after the cutoff: it
+        // completed far fewer useful contributions than rounds.
+        assert!(r.worker_iterations[3] < r.global_rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-backup")]
+    fn rejects_all_backups() {
+        BackupWorkersProtocol::new(2, 2);
+    }
+}

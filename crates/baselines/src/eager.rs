@@ -1,0 +1,225 @@
+//! eager-SGD with *majority* partial collectives (Li et al., PPoPP'20).
+//!
+//! Like RNA, eager-SGD relaxes the barrier: the collective fires as soon as
+//! a majority (⌈n/2⌉ + 1 of the paper's formulation; we use > n/2) of
+//! workers have gradients ready, and absent workers contribute stale/null
+//! data. Unlike RNA there is **no probing**: the trigger is a deterministic
+//! count, so when half the cluster is deterministically slow the majority
+//! threshold is hostage to the slow half — the degradation the paper
+//! shows in Figure 6/8 and fixes with hierarchical synchronization.
+
+use rna_collectives::partial_allreduce;
+use rna_core::cache::GradientCache;
+use rna_core::sim::{Ctx, Protocol};
+use rna_simnet::trace::SpanKind;
+use rna_tensor::Tensor;
+
+/// Messages used by eager-SGD.
+#[derive(Debug, Clone)]
+pub enum EagerMsg {
+    /// Self-scheduled completion of a majority collective.
+    ReduceDone {
+        /// The round that finished.
+        round: u64,
+    },
+}
+
+/// The majority-triggered partial AllReduce protocol.
+///
+/// # Examples
+///
+/// ```
+/// use rna_baselines::EagerSgdProtocol;
+/// use rna_core::sim::{Engine, TrainSpec};
+///
+/// let result = Engine::new(TrainSpec::smoke_test(4, 1), EagerSgdProtocol::new(4)).run();
+/// assert!(result.global_rounds > 0);
+/// ```
+#[derive(Debug)]
+pub struct EagerSgdProtocol {
+    caches: Vec<GradientCache>,
+    round: u64,
+    reducing: bool,
+    paused: Vec<bool>,
+    in_flight: Option<(Tensor, usize)>,
+    max_lead: u64,
+}
+
+impl EagerSgdProtocol {
+    /// Creates the protocol for `n` workers (staleness bound 4, lead 8 —
+    /// matching RNA's defaults so comparisons isolate the trigger rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        EagerSgdProtocol {
+            caches: (0..n).map(|_| GradientCache::new(4, true)).collect(),
+            round: 0,
+            reducing: false,
+            paused: vec![false; n],
+            in_flight: None,
+            max_lead: 8,
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.caches.len() / 2 + 1
+    }
+
+    fn ready_count(&self) -> usize {
+        self.caches.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    fn maybe_continue(&mut self, ctx: &mut Ctx<'_, EagerMsg>, worker: usize) {
+        if ctx.stopped() || ctx.is_computing(worker) {
+            return;
+        }
+        if ctx.local_iter(worker).saturating_sub(self.round) >= self.max_lead {
+            self.paused[worker] = true;
+            ctx.set_span(worker, SpanKind::Wait);
+        } else {
+            self.paused[worker] = false;
+            ctx.begin_compute(worker);
+        }
+    }
+
+    fn launch_reduce(&mut self, ctx: &mut Ctx<'_, EagerMsg>) {
+        self.reducing = true;
+        let k = self.round;
+        let contributions: Vec<Option<Tensor>> = self
+            .caches
+            .iter_mut()
+            .map(|c| c.take_contribution(k))
+            .collect();
+        let refs: Vec<Option<&Tensor>> = contributions.iter().map(Option::as_ref).collect();
+        let outcome = partial_allreduce(&refs).expect("majority of gradients present");
+        self.in_flight = Some((outcome.reduced, outcome.num_contributors));
+        let n = ctx.num_workers();
+        let bytes = ctx.grad_bytes();
+        let duration = ctx.cost().ring_allreduce(n, bytes);
+        ctx.charge_bytes(ctx.cost().ring_bytes_per_worker(n, bytes) * n as u64);
+        for w in 0..n {
+            if !ctx.is_computing(w) {
+                ctx.set_span(w, SpanKind::Communicate);
+            }
+        }
+        ctx.send_after(ctx.controller_id(), duration, EagerMsg::ReduceDone { round: k });
+    }
+}
+
+impl Protocol for EagerSgdProtocol {
+    type Msg = EagerMsg;
+
+    fn name(&self) -> &'static str {
+        "eager-sgd"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, EagerMsg>) {
+        for w in 0..ctx.num_workers() {
+            ctx.begin_compute(w);
+        }
+    }
+
+    fn on_compute_done(&mut self, ctx: &mut Ctx<'_, EagerMsg>, worker: usize, iter: u64) {
+        if let Some((_, grad)) = ctx.take_gradient(worker) {
+            self.caches[worker].write(iter, grad);
+        }
+        if !self.reducing && self.ready_count() >= self.majority() {
+            self.launch_reduce(ctx);
+        }
+        self.maybe_continue(ctx, worker);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, EagerMsg>, _from: usize, _to: usize, msg: EagerMsg) {
+        let EagerMsg::ReduceDone { round } = msg;
+        if round != self.round || !self.reducing {
+            return;
+        }
+        let (reduced, contributors) = self.in_flight.take().expect("reduce in flight");
+        let all: Vec<usize> = (0..ctx.num_workers()).collect();
+        ctx.apply_reduced(&all, &reduced, contributors as f32);
+        ctx.finish_round(contributors as f64 / ctx.num_workers() as f64);
+        self.reducing = false;
+        self.round += 1;
+        for w in 0..ctx.num_workers() {
+            if self.paused[w] {
+                self.maybe_continue(ctx, w);
+            }
+        }
+        // If a majority is already ready (accumulated during the reduce),
+        // fire immediately.
+        if !ctx.stopped() && self.ready_count() >= self.majority() {
+            self.launch_reduce(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rna_core::sim::{Engine, TrainSpec};
+    use rna_workload::HeterogeneityModel;
+
+    #[test]
+    fn eager_trains() {
+        let spec = TrainSpec::smoke_test(4, 1).with_max_rounds(150);
+        let r = Engine::new(spec, EagerSgdProtocol::new(4)).run();
+        let pts = r.history.points();
+        assert!(pts.last().unwrap().loss < pts[0].loss);
+        assert!(r.global_rounds > 0);
+    }
+
+    #[test]
+    fn participation_is_at_least_majority() {
+        let n = 8;
+        let spec = TrainSpec::smoke_test(n, 2)
+            .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 50))
+            .with_max_rounds(80);
+        let r = Engine::new(spec, EagerSgdProtocol::new(n)).run();
+        assert!(
+            r.mean_participation() >= 0.5,
+            "participation {}",
+            r.mean_participation()
+        );
+    }
+
+    #[test]
+    fn majority_threshold() {
+        assert_eq!(EagerSgdProtocol::new(8).majority(), 5);
+        assert_eq!(EagerSgdProtocol::new(7).majority(), 4);
+        assert_eq!(EagerSgdProtocol::new(1).majority(), 1);
+    }
+
+    #[test]
+    fn deterministic_slow_half_stalls_majority() {
+        // With exactly half the cluster slowed 45 ms, the majority trigger
+        // must wait for at least one slow worker every round — rounds are
+        // bounded below by the slow tier.
+        let n = 4;
+        let spec = TrainSpec::smoke_test(n, 4)
+            .with_hetero(HeterogeneityModel::deterministic(&[0, 0, 45, 45]))
+            .with_max_rounds(40);
+        let r = Engine::new(spec, EagerSgdProtocol::new(n)).run();
+        assert!(
+            r.mean_round_time() >= rna_simnet::SimDuration::from_millis(24),
+            "round time {}",
+            r.mean_round_time()
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            Engine::new(
+                TrainSpec::smoke_test(4, 9).with_max_rounds(60),
+                EagerSgdProtocol::new(4),
+            )
+            .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.final_loss(), b.final_loss());
+    }
+}

@@ -1,0 +1,48 @@
+//! # rna-baselines
+//!
+//! The synchronization strategies the paper compares RNA against (§7.3),
+//! implemented as [`rna_core::sim::Protocol`]s so every comparison runs on
+//! identical gradients and timing models:
+//!
+//! * [`HorovodProtocol`] — the state-of-the-art BSP baseline: strict global
+//!   barrier, negotiation with the coordinator, ring AllReduce of the mean
+//!   gradient. The slowest worker bounds every iteration.
+//! * [`AdPsgdProtocol`] — asynchronous decentralized parallel SGD
+//!   (Lian et al.): after each local step a worker atomically averages its
+//!   model with one random neighbor. No global barrier, but atomic
+//!   averaging serializes conflicting sessions — the overhead the paper
+//!   calls out.
+//! * [`EagerSgdProtocol`] — partial collectives triggered by a *majority*
+//!   of ready workers (Li et al.): like RNA's non-blocking reduce but
+//!   without probing, so a deterministic slowdown of half the cluster
+//!   stalls it.
+//! * [`SgpProtocol`] — stochastic gradient push (Assran et al.): pairwise
+//!   gossip on a time-varying exponential graph, one neighbor exchange per
+//!   iteration with a per-iteration barrier; local updates propagate in
+//!   O(log P) rounds.
+//!
+//! Two further §9 reference points round out the design space:
+//!
+//! * [`BackupWorkersProtocol`] — synchronous SGD that proceeds with the
+//!   fastest `n − b` gradients and discards stragglers' work (Chen et
+//!   al. 2016).
+//! * [`AsyncPsProtocol`] — the centralized asynchronous parameter server,
+//!   whose serialized server link is the communication hotspot that
+//!   motivates decentralized AllReduce (§2.2).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adpsgd;
+mod async_ps;
+mod backup;
+mod eager;
+mod horovod;
+mod sgp;
+
+pub use adpsgd::AdPsgdProtocol;
+pub use async_ps::AsyncPsProtocol;
+pub use backup::BackupWorkersProtocol;
+pub use eager::EagerSgdProtocol;
+pub use horovod::HorovodProtocol;
+pub use sgp::SgpProtocol;

@@ -1,0 +1,111 @@
+//! Ablation benches for the design choices DESIGN.md calls out: probe
+//! count, staleness bound, weighted accumulation, dynamic LR scaling, and
+//! the hierarchical PS cadence. Each benchmark runs the miniature cluster
+//! end-to-end under one knob setting; comparing group entries shows the
+//! cost/benefit of the knob.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rna_bench::mini_spec;
+use rna_core::hier::HierRnaProtocol;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::Engine;
+use rna_core::RnaConfig;
+
+fn bench_probe_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_probe_count");
+    for d in [1usize, 2, 4] {
+        g.bench_function(format!("d{d}"), |b| {
+            b.iter(|| {
+                let config = RnaConfig::default().with_probes(d);
+                black_box(
+                    Engine::new(mini_spec(8, 25, 11), RnaProtocol::new(8, config, 0))
+                        .run()
+                        .wall_time,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_staleness_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_staleness_bound");
+    for bound in [1usize, 4, 16] {
+        g.bench_function(format!("bound{bound}"), |b| {
+            b.iter(|| {
+                let config = RnaConfig::default().with_staleness_bound(bound);
+                black_box(
+                    Engine::new(mini_spec(8, 25, 12), RnaProtocol::new(8, config, 0))
+                        .run()
+                        .final_loss(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_weighted_accumulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_weighted_accumulation");
+    for weighted in [true, false] {
+        g.bench_function(if weighted { "weighted" } else { "uniform" }, |b| {
+            b.iter(|| {
+                let config = RnaConfig::default().with_weighted_accumulation(weighted);
+                black_box(
+                    Engine::new(mini_spec(8, 25, 13), RnaProtocol::new(8, config, 0))
+                        .run()
+                        .final_loss(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lr_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lr_scaling");
+    for scaling in [true, false] {
+        g.bench_function(if scaling { "dynamic" } else { "fixed" }, |b| {
+            b.iter(|| {
+                let config = RnaConfig::default().with_dynamic_lr_scaling(scaling);
+                black_box(
+                    Engine::new(mini_spec(8, 25, 14), RnaProtocol::new(8, config, 0))
+                        .run()
+                        .final_loss(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ps_cadence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ps_cadence");
+    for every in [1u64, 8] {
+        g.bench_function(format!("every{every}"), |b| {
+            b.iter(|| {
+                let groups = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+                let p = HierRnaProtocol::new(groups, RnaConfig::default()).with_ps_every(every);
+                black_box(Engine::new(mini_spec(8, 25, 15), p).run().comm_bytes)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets = bench_probe_count, bench_staleness_bound,
+              bench_weighted_accumulation, bench_lr_scaling, bench_ps_cadence
+}
+criterion_main!(ablations);

@@ -1,0 +1,90 @@
+//! Data-path microbenchmarks: the primitives every simulated round executes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rna_collectives::{partial_allreduce, ring_allreduce, CollectiveCost};
+use rna_core::cache::GradientCache;
+use rna_core::probe::ProbeRound;
+use rna_simnet::{LinkModel, SimRng};
+use rna_tensor::{ReduceOp, Tensor};
+
+fn bench_ring_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_allreduce_data_path");
+    for (n, len) in [(4usize, 4096usize), (8, 4096), (8, 65536)] {
+        g.bench_function(format!("{n}workers_{len}elems"), |b| {
+            let inputs: Vec<Tensor> = (0..n)
+                .map(|i| (0..len).map(|j| (i * j) as f32).collect())
+                .collect();
+            b.iter(|| {
+                let mut bufs = inputs.clone();
+                ring_allreduce(&mut bufs, ReduceOp::Mean);
+                black_box(bufs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partial_allreduce(c: &mut Criterion) {
+    c.bench_function("partial_allreduce_8x4096_half_null", |b| {
+        let tensors: Vec<Option<Tensor>> = (0..8)
+            .map(|i| (i % 2 == 0).then(|| Tensor::filled(4096, i as f32)))
+            .collect();
+        b.iter(|| {
+            let refs: Vec<Option<&Tensor>> = tensors.iter().map(Option::as_ref).collect();
+            black_box(partial_allreduce(&refs))
+        })
+    });
+}
+
+fn bench_ring_vs_naive_cost(c: &mut Criterion) {
+    // The ablation DESIGN.md calls out: ring vs naive AllReduce cost, for
+    // a VGG16-sized payload.
+    let cost = CollectiveCost::new(LinkModel::infiniband_edr());
+    let bytes = 138_344_128u64 * 4;
+    let mut g = c.benchmark_group("allreduce_cost_model");
+    g.bench_function("ring_32w_vgg16", |b| {
+        b.iter(|| black_box(cost.ring_allreduce(32, bytes)))
+    });
+    g.bench_function("naive_32w_vgg16", |b| {
+        b.iter(|| black_box(cost.naive_allreduce(32, bytes)))
+    });
+    g.finish();
+}
+
+fn bench_gradient_cache(c: &mut Criterion) {
+    c.bench_function("gradient_cache_write_take_4096", |b| {
+        let grad = Tensor::filled(4096, 1.0);
+        b.iter(|| {
+            let mut cache = GradientCache::new(4, true);
+            for i in 0..6 {
+                cache.write(i, grad.clone());
+            }
+            black_box(cache.take_contribution(6))
+        })
+    });
+}
+
+fn bench_probe_sampling(c: &mut Criterion) {
+    c.bench_function("probe_round_sample_100w_d2", |b| {
+        let mut rng = SimRng::seed(9);
+        b.iter(|| black_box(ProbeRound::sample(0, 100, 2, &mut rng)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = collectives;
+    config = config();
+    targets = bench_ring_allreduce, bench_partial_allreduce,
+              bench_ring_vs_naive_cost, bench_gradient_cache,
+              bench_probe_sampling
+}
+criterion_main!(collectives);

@@ -1,0 +1,157 @@
+//! One benchmark per table/figure: miniature end-to-end drives of each
+//! experiment's pipeline. Absolute numbers measure simulator cost; the
+//! experiment outputs themselves come from `repro <figN>`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rna_baselines::HorovodProtocol;
+use rna_bench::mini_spec;
+use rna_core::probe::simulate_response_times;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::Engine;
+use rna_core::RnaConfig;
+use rna_simnet::{SimDuration, SimRng};
+use rna_workload::transfer::TransferModel;
+use rna_workload::video::VideoLengthModel;
+use rna_workload::{HeterogeneityModel, ModelProfile};
+
+fn bench_fig1_breakdown(c: &mut Criterion) {
+    c.bench_function("fig1_breakdown_bsp_3workers", |b| {
+        b.iter(|| {
+            let spec = mini_spec(3, 25, 1)
+                .with_hetero(HeterogeneityModel::deterministic(&[0, 10, 40]));
+            let r = Engine::new(spec, HorovodProtocol::new(3)).run();
+            black_box(r.breakdown)
+        })
+    });
+}
+
+fn bench_fig2_imbalance(c: &mut Criterion) {
+    c.bench_function("fig2_video_corpus_2k", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed(7);
+            let corpus = VideoLengthModel::ucf101().corpus(2_000, &mut rng);
+            black_box(corpus.summary())
+        })
+    });
+}
+
+fn bench_fig6_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_speedup");
+    g.bench_function("horovod_8w_25rounds", |b| {
+        b.iter(|| {
+            black_box(Engine::new(mini_spec(8, 25, 2), HorovodProtocol::new(8)).run().wall_time)
+        })
+    });
+    g.bench_function("rna_8w_25rounds", |b| {
+        b.iter(|| {
+            black_box(
+                Engine::new(mini_spec(8, 25, 2), RnaProtocol::new(8, RnaConfig::default(), 0))
+                    .run()
+                    .wall_time,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7_convergence(c: &mut Criterion) {
+    c.bench_function("fig7_longtail_rna_25rounds", |b| {
+        b.iter(|| {
+            let mut spec = mini_spec(4, 25, 3);
+            spec.profile = spec
+                .profile
+                .with_compute(rna_workload::ComputeTimeModel::long_tail_ms(
+                    20.0, 12.0, 4.0, 100.0,
+                ));
+            black_box(
+                Engine::new(spec, RnaProtocol::new(4, RnaConfig::default(), 0))
+                    .run()
+                    .history,
+            )
+        })
+    });
+}
+
+fn bench_fig8_transformer(c: &mut Criterion) {
+    c.bench_function("fig8_transformer_profile_rna", |b| {
+        b.iter(|| {
+            let mut spec = mini_spec(8, 25, 4);
+            spec.profile = ModelProfile::transformer_wmt17()
+                .with_compute(rna_workload::ComputeTimeModel::long_tail_ms(
+                    8.0, 3.0, 2.0, 40.0,
+                ));
+            black_box(
+                Engine::new(spec, RnaProtocol::new(8, RnaConfig::default(), 0))
+                    .run()
+                    .total_iterations(),
+            )
+        })
+    });
+}
+
+fn bench_fig9_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_scalability");
+    for n in [4usize, 16] {
+        g.bench_function(format!("rna_{n}w_20rounds"), |b| {
+            b.iter(|| {
+                black_box(
+                    Engine::new(
+                        mini_spec(n, 20, 5),
+                        RnaProtocol::new(n, RnaConfig::default(), 0),
+                    )
+                    .run()
+                    .iteration_throughput(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_probes(c: &mut Criterion) {
+    c.bench_function("fig10_probe_microbench_d2", |b| {
+        let mut rng = SimRng::seed(6);
+        b.iter(|| {
+            black_box(simulate_response_times(
+                100,
+                2,
+                100,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(2),
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_table5_transfer(c: &mut Criterion) {
+    c.bench_function("table5_transfer_model", |b| {
+        let transfer = TransferModel::default();
+        b.iter(|| {
+            for p in ModelProfile::evaluation_set() {
+                black_box(
+                    transfer.overhead_percent(p.grad_bytes(), SimDuration::from_millis(300)),
+                );
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_fig1_breakdown, bench_fig2_imbalance, bench_fig6_speedup,
+              bench_fig7_convergence, bench_fig8_transformer,
+              bench_fig9_scalability, bench_fig10_probes, bench_table5_transfer
+}
+criterion_main!(figures);

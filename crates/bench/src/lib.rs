@@ -1,0 +1,31 @@
+//! # rna-bench
+//!
+//! Criterion benchmarks for the RNA reproduction.
+//!
+//! Three suites:
+//!
+//! * `figures` — one benchmark per table/figure of the paper, each driving
+//!   a miniature version of the corresponding experiment end-to-end (the
+//!   full-size regeneration lives in the `repro` binary of
+//!   `rna-experiments`).
+//! * `ablations` — the design choices DESIGN.md calls out: probe count,
+//!   staleness bound, weighted accumulation, dynamic LR scaling, and the
+//!   hierarchical PS cadence.
+//! * `collectives` — the data-path primitives: ring AllReduce, partial
+//!   AllReduce, gradient-cache operations, and probe sampling.
+//!
+//! Shared miniature configurations live here so the suites stay in sync.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rna_core::sim::TrainSpec;
+use rna_workload::HeterogeneityModel;
+
+/// A miniature straggler-afflicted spec: `n` workers, 5 ms compute, 0–20 ms
+/// dynamic delay, `rounds` synchronization rounds.
+pub fn mini_spec(n: usize, rounds: u64, seed: u64) -> TrainSpec {
+    TrainSpec::smoke_test(n, seed)
+        .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 20))
+        .with_max_rounds(rounds)
+}

@@ -1,0 +1,220 @@
+//! Virtual-time cost of collectives under the α–β link model.
+//!
+//! For a ring of `n` workers synchronizing `bytes` of gradients over a link
+//! with latency α and bandwidth B:
+//!
+//! ```text
+//! T_ring = 2 (n − 1) · (α + bytes / (n · B))
+//! ```
+//!
+//! Per-worker traffic is `2 (n − 1) / n × bytes → 2 × bytes` as `n → ∞`,
+//! which is the bandwidth-optimality property (§2.2) that makes AllReduce
+//! beat a parameter server at scale; the PS cost model below shows the
+//! contrast (the server link serializes all `n` flows).
+
+use rna_simnet::{LinkModel, SimDuration};
+
+/// Cost calculator for the collectives used in the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCost {
+    link: LinkModel,
+}
+
+impl CollectiveCost {
+    /// Creates a calculator over the given link model (all ring links are
+    /// assumed symmetric, as in the paper's single-switch testbeds).
+    pub fn new(link: LinkModel) -> Self {
+        CollectiveCost { link }
+    }
+
+    /// The link model in use.
+    pub fn link(&self) -> LinkModel {
+        self.link
+    }
+
+    /// Ring AllReduce: `2(n−1)` steps, each moving a `bytes/n` chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ring_allreduce(&self, n: usize, bytes: u64) -> SimDuration {
+        assert!(n > 0, "collective over zero workers");
+        if n == 1 {
+            return SimDuration::ZERO;
+        }
+        let chunk = bytes.div_ceil(n as u64);
+        self.link.transfer_time(chunk) * (2 * (n as u64 - 1))
+    }
+
+    /// Naive (non-ring) AllReduce for the ablation bench: gather all `n`
+    /// buffers at a root then broadcast the result; the root link
+    /// serializes `2(n−1)` full-size transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn naive_allreduce(&self, n: usize, bytes: u64) -> SimDuration {
+        assert!(n > 0, "collective over zero workers");
+        if n == 1 {
+            return SimDuration::ZERO;
+        }
+        self.link.transfer_time(bytes) * (2 * (n as u64 - 1))
+    }
+
+    /// Ring (pipelined) broadcast of `bytes` from one source to `n−1`
+    /// receivers: the pipeline fills in `n−1` chunk-hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ring_broadcast(&self, n: usize, bytes: u64) -> SimDuration {
+        assert!(n > 0, "collective over zero workers");
+        if n == 1 {
+            return SimDuration::ZERO;
+        }
+        let chunk = bytes.div_ceil(n as u64);
+        // Pipeline: first chunk crosses n−1 hops, remaining n−1 chunks
+        // stream behind it.
+        self.link.transfer_time(chunk) * (n as u64 - 1)
+            + self.link.serialization_time(chunk) * (n as u64 - 1)
+    }
+
+    /// Parameter-server round: `n` workers push `bytes` each to one server
+    /// and pull the update back; the server's link serializes the flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ps_round(&self, n: usize, bytes: u64) -> SimDuration {
+        assert!(n > 0, "collective over zero workers");
+        self.link.transfer_time(bytes) * (2 * n as u64)
+    }
+
+    /// Point-to-point transfer of `bytes` (AD-PSGD pairwise averaging moves
+    /// one model copy each way; the two directions overlap on a full-duplex
+    /// link, so one transfer time is charged).
+    pub fn point_to_point(&self, bytes: u64) -> SimDuration {
+        self.link.transfer_time(bytes)
+    }
+
+    /// Per-worker bytes on the wire for a ring AllReduce
+    /// (`2 (n−1)/n × bytes`) — the bandwidth-optimality figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ring_bytes_per_worker(&self, n: usize, bytes: u64) -> u64 {
+        assert!(n > 0, "collective over zero workers");
+        if n == 1 {
+            0
+        } else {
+            2 * (n as u64 - 1) * bytes.div_ceil(n as u64)
+        }
+    }
+}
+
+impl Default for CollectiveCost {
+    fn default() -> Self {
+        CollectiveCost::new(LinkModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cost() -> CollectiveCost {
+        CollectiveCost::new(LinkModel::new(SimDuration::from_micros(10), 1e9))
+    }
+
+    #[test]
+    fn single_worker_collectives_are_free() {
+        let c = cost();
+        assert_eq!(c.ring_allreduce(1, 1 << 20), SimDuration::ZERO);
+        assert_eq!(c.naive_allreduce(1, 1 << 20), SimDuration::ZERO);
+        assert_eq!(c.ring_broadcast(1, 1 << 20), SimDuration::ZERO);
+        assert_eq!(c.ring_bytes_per_worker(1, 1 << 20), 0);
+    }
+
+    #[test]
+    fn ring_allreduce_formula() {
+        let c = cost();
+        // n=4, 4000 bytes → chunk 1000 bytes = 1us + 10us latency, 6 steps.
+        assert_eq!(c.ring_allreduce(4, 4000).as_micros(), 6 * 11);
+    }
+
+    #[test]
+    fn ring_beats_naive_for_large_payloads() {
+        let c = cost();
+        let bytes = 100_000_000; // 100 MB
+        for n in [2usize, 4, 8, 32] {
+            assert!(
+                c.ring_allreduce(n, bytes) < c.naive_allreduce(n, bytes),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_beats_ring_for_tiny_latency_bound_payloads() {
+        // With a big α and tiny payload, the ring pays 2(n−1) latencies on
+        // 1/n-chunks while naive pays the same count on full payload —
+        // equal latency terms, so ring still wins or ties; check tie-ish.
+        let c = CollectiveCost::new(LinkModel::new(SimDuration::from_millis(1), 1e9));
+        let ring = c.ring_allreduce(8, 8);
+        let naive = c.naive_allreduce(8, 8);
+        assert!(ring <= naive);
+    }
+
+    #[test]
+    fn ring_time_roughly_scale_invariant() {
+        // Bandwidth term: 2(n−1)/n·bytes/B approaches 2·bytes/B — growing n
+        // must not blow up the bandwidth component (paper: "independent of
+        // the number of workers").
+        let c = CollectiveCost::new(LinkModel::new(SimDuration::ZERO, 1e9));
+        let t8 = c.ring_allreduce(8, 1 << 27).as_secs_f64();
+        let t64 = c.ring_allreduce(64, 1 << 27).as_secs_f64();
+        assert!((t64 / t8 - 1.0).abs() < 0.15, "t8={t8} t64={t64}");
+    }
+
+    #[test]
+    fn ps_round_scales_linearly_with_n() {
+        let c = CollectiveCost::new(LinkModel::new(SimDuration::ZERO, 1e9));
+        let t4 = c.ps_round(4, 1 << 20).as_secs_f64();
+        let t8 = c.ps_round(8, 1 << 20).as_secs_f64();
+        assert!((t8 / t4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_per_worker_bandwidth_optimal() {
+        let c = cost();
+        let bytes = 1_000_000u64;
+        let per8 = c.ring_bytes_per_worker(8, bytes) as f64;
+        // 2*(8-1)/8 = 1.75× payload.
+        assert!((per8 / bytes as f64 - 1.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn broadcast_cheaper_than_allreduce() {
+        let c = cost();
+        assert!(c.ring_broadcast(8, 1 << 20) < c.ring_allreduce(8, 1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero workers")]
+    fn zero_workers_panics() {
+        cost().ring_allreduce(0, 100);
+    }
+
+    proptest! {
+        #[test]
+        fn costs_monotone_in_bytes(n in 1usize..64, b1 in 0u64..1 << 28, b2 in 0u64..1 << 28) {
+            let c = cost();
+            let (lo, hi) = (b1.min(b2), b1.max(b2));
+            prop_assert!(c.ring_allreduce(n, lo) <= c.ring_allreduce(n, hi));
+            prop_assert!(c.ps_round(n, lo) <= c.ps_round(n, hi));
+            prop_assert!(c.ring_broadcast(n, lo) <= c.ring_broadcast(n, hi));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The per-worker gradient cache (§3.3 and §6, the `WriteOp`/`ReadOp`
+//! analog).
+//!
+//! RNA separates computation from communication: the compute track deposits
+//! each finished gradient into this cache ([`GradientCache::write`]); the
+//! communication track drains it when a collective fires
+//! ([`GradientCache::take_contribution`]). A worker that fell behind may
+//! have several gradients pending — they are locally reduced with
+//! staleness-linear weights; a worker that has none contributes null.
+//! Bounded staleness caps the cache depth: when full, the oldest entry is
+//! overwritten (the paper: "overwrite the stale data and only keep results
+//! within the bound").
+
+use rna_tensor::{reduce::staleness_weighted_average, ReduceOp, Tensor};
+
+/// A bounded, staleness-aware gradient accumulator for one worker.
+///
+/// # Examples
+///
+/// ```
+/// use rna_core::cache::GradientCache;
+/// use rna_tensor::Tensor;
+///
+/// let mut cache = GradientCache::new(4, true);
+/// assert!(cache.is_empty());
+/// cache.write(0, Tensor::from_vec(vec![1.0]));
+/// cache.write(1, Tensor::from_vec(vec![4.0]));
+/// // Current round k=1: weights 1 (iter 0) and 2 (iter 1) → (1+8)/3 = 3.
+/// let g = cache.take_contribution(1).unwrap();
+/// assert_eq!(g.as_slice(), &[3.0]);
+/// assert!(cache.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradientCache {
+    entries: Vec<(u64, Tensor)>,
+    bound: usize,
+    weighted: bool,
+    evicted: u64,
+}
+
+impl GradientCache {
+    /// Creates a cache holding at most `bound` gradients.
+    ///
+    /// `weighted` selects staleness-linear local reduction (the paper's
+    /// design); `false` reduces uniformly (ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn new(bound: usize, weighted: bool) -> Self {
+        assert!(bound > 0, "cache bound must be at least one");
+        GradientCache {
+            entries: Vec::new(),
+            bound,
+            weighted,
+            evicted: 0,
+        }
+    }
+
+    /// Whether no gradients are pending — the worker would contribute null.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of pending gradients.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total entries evicted by the staleness bound since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Deposits the gradient computed at local iteration `iter`. If the
+    /// cache is at its bound, the oldest entry is overwritten.
+    pub fn write(&mut self, iter: u64, grad: Tensor) {
+        if self.entries.len() == self.bound {
+            self.entries.remove(0);
+            self.evicted += 1;
+        }
+        self.entries.push((iter, grad));
+    }
+
+    /// Drains the cache into a single contribution for the collective at
+    /// global round `k`, or `None` when empty (a null contribution).
+    ///
+    /// With weighting on, entries are combined by
+    /// `g' = Σ [t − (k − τ) + 1]·g_t / Σ [t − (k − τ) + 1]`; otherwise they
+    /// are averaged uniformly. The cache is reset to null afterwards
+    /// ("the input gradients are overwritten by a null gradient so as to
+    /// avoid using outdated gradients", §6).
+    pub fn take_contribution(&mut self, k: u64) -> Option<Tensor> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let out = if self.weighted {
+            let grads: Vec<(u64, &Tensor)> =
+                self.entries.iter().map(|(t, g)| (*t, g)).collect();
+            staleness_weighted_average(&grads, k)
+        } else {
+            let refs: Vec<&Tensor> = self.entries.iter().map(|(_, g)| g).collect();
+            ReduceOp::Mean.reduce(&refs)
+        };
+        self.entries.clear();
+        out
+    }
+
+    /// The largest iteration gap among pending entries relative to round
+    /// `k` (0 when empty).
+    pub fn max_staleness(&self, k: u64) -> u64 {
+        self.entries
+            .iter()
+            .map(|&(t, _)| k.saturating_sub(t))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_cache_contributes_null() {
+        let mut c = GradientCache::new(2, true);
+        assert!(c.take_contribution(5).is_none());
+        assert_eq!(c.max_staleness(5), 0);
+    }
+
+    #[test]
+    fn single_entry_passes_through() {
+        let mut c = GradientCache::new(2, true);
+        c.write(3, Tensor::from_vec(vec![2.5]));
+        let g = c.take_contribution(3).unwrap();
+        assert_eq!(g.as_slice(), &[2.5]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn weighted_accumulation_favors_recent() {
+        let mut c = GradientCache::new(4, true);
+        c.write(8, Tensor::from_vec(vec![0.0]));
+        c.write(9, Tensor::from_vec(vec![3.0]));
+        // k=9: τ=1, weights 1 and 2 → 6/3 = 2.
+        let g = c.take_contribution(9).unwrap();
+        assert_eq!(g.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn unweighted_accumulation_is_uniform_mean() {
+        let mut c = GradientCache::new(4, false);
+        c.write(8, Tensor::from_vec(vec![0.0]));
+        c.write(9, Tensor::from_vec(vec![3.0]));
+        let g = c.take_contribution(9).unwrap();
+        assert_eq!(g.as_slice(), &[1.5]);
+    }
+
+    #[test]
+    fn bound_overwrites_oldest() {
+        let mut c = GradientCache::new(2, false);
+        c.write(0, Tensor::from_vec(vec![100.0]));
+        c.write(1, Tensor::from_vec(vec![2.0]));
+        c.write(2, Tensor::from_vec(vec![4.0]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evicted(), 1);
+        // Entry from iter 0 is gone: mean of {2, 4}.
+        let g = c.take_contribution(2).unwrap();
+        assert_eq!(g.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn max_staleness_tracks_oldest_entry() {
+        let mut c = GradientCache::new(4, true);
+        c.write(2, Tensor::from_vec(vec![0.0]));
+        c.write(5, Tensor::from_vec(vec![0.0]));
+        assert_eq!(c.max_staleness(6), 4);
+        // A "future" gradient (from a faster peer's round) gives zero gap.
+        assert_eq!(c.max_staleness(1), 0);
+    }
+
+    #[test]
+    fn take_resets_to_null() {
+        let mut c = GradientCache::new(2, true);
+        c.write(0, Tensor::from_vec(vec![1.0]));
+        let _ = c.take_contribution(0);
+        assert!(c.take_contribution(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_bound_panics() {
+        GradientCache::new(0, true);
+    }
+
+    proptest! {
+        #[test]
+        fn contribution_in_convex_hull(
+            vals in proptest::collection::vec(-10.0f32..10.0, 1..6),
+            weighted: bool,
+        ) {
+            let mut c = GradientCache::new(8, weighted);
+            for (i, &v) in vals.iter().enumerate() {
+                c.write(i as u64, Tensor::from_vec(vec![v]));
+            }
+            let g = c.take_contribution(vals.len() as u64).unwrap();
+            let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(g.as_slice()[0] >= lo - 1e-4);
+            prop_assert!(g.as_slice()[0] <= hi + 1e-4);
+        }
+
+        #[test]
+        fn len_never_exceeds_bound(
+            writes in 0usize..30,
+            bound in 1usize..6,
+        ) {
+            let mut c = GradientCache::new(bound, true);
+            for i in 0..writes {
+                c.write(i as u64, Tensor::zeros(1));
+                prop_assert!(c.len() <= bound);
+            }
+            prop_assert_eq!(c.evicted() as usize, writes.saturating_sub(bound));
+        }
+    }
+}

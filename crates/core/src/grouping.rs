@@ -1,0 +1,234 @@
+//! Hierarchical group partitioning (§4).
+//!
+//! Whether hierarchical synchronization is used depends on the simple
+//! condition **ζ > v**, where ζ is the gap between the fastest and the
+//! slowest worker's per-iteration time and v is the mean per-iteration time
+//! across workers. When it holds, workers are ranked by processing time,
+//! those above the mean are labeled slow, the set is split into fast/slow
+//! subsets, and the procedure recurses inside each subset until ζ ≤ v
+//! everywhere. Each resulting group is near-homogeneous; groups then talk
+//! through the parameter server.
+
+use rna_simnet::SimDuration;
+
+/// The ζ > v test on a set of expected per-iteration times.
+///
+/// Returns `false` for empty or single-worker sets (nothing to split).
+pub fn needs_split(times: &[SimDuration]) -> bool {
+    if times.len() < 2 {
+        return false;
+    }
+    let min = times.iter().min().copied().unwrap();
+    let max = times.iter().max().copied().unwrap();
+    let mean_ns: u64 = times.iter().map(SimDuration::as_nanos).sum::<u64>() / times.len() as u64;
+    (max - min).as_nanos() > mean_ns
+}
+
+/// Recursively partitions workers into speed-homogeneous groups.
+///
+/// `times[i]` is worker `i`'s expected per-iteration time. Returns groups of
+/// worker indices; the union of groups is exactly `0..times.len()` and every
+/// group satisfies ζ ≤ v (or has a single member).
+///
+/// # Panics
+///
+/// Panics if `times` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use rna_core::grouping::partition_groups;
+/// use rna_simnet::SimDuration;
+///
+/// let ms = |m| SimDuration::from_millis(m);
+/// // Two clear tiers: 100ms workers and 400ms workers.
+/// let groups = partition_groups(&[ms(100), ms(400), ms(100), ms(400)]);
+/// assert_eq!(groups.len(), 2);
+/// ```
+pub fn partition_groups(times: &[SimDuration]) -> Vec<Vec<usize>> {
+    assert!(!times.is_empty(), "cannot group zero workers");
+    let all: Vec<usize> = (0..times.len()).collect();
+    let mut groups = Vec::new();
+    split_recursive(&all, times, &mut groups, 0);
+    groups
+}
+
+fn split_recursive(
+    members: &[usize],
+    times: &[SimDuration],
+    out: &mut Vec<Vec<usize>>,
+    depth: u32,
+) {
+    let local: Vec<SimDuration> = members.iter().map(|&i| times[i]).collect();
+    // Depth guard: log2(n) splits always suffice; the guard makes
+    // non-termination impossible even for adversarial inputs.
+    if depth > 32 || !needs_split(&local) {
+        out.push(members.to_vec());
+        return;
+    }
+    let mean_ns: u64 =
+        local.iter().map(SimDuration::as_nanos).sum::<u64>() / local.len() as u64;
+    let (fast, slow): (Vec<usize>, Vec<usize>) = members
+        .iter()
+        .partition(|&&i| times[i].as_nanos() <= mean_ns);
+    if fast.is_empty() || slow.is_empty() {
+        // All equal to the mean: cannot split further.
+        out.push(members.to_vec());
+        return;
+    }
+    split_recursive(&fast, times, out, depth + 1);
+    split_recursive(&slow, times, out, depth + 1);
+}
+
+/// Maps each worker to its group index under `groups`.
+///
+/// # Panics
+///
+/// Panics if a worker id exceeds `n` or appears in no group.
+pub fn group_of(groups: &[Vec<usize>], n: usize) -> Vec<usize> {
+    let mut map = vec![usize::MAX; n];
+    for (g, members) in groups.iter().enumerate() {
+        for &w in members {
+            assert!(w < n, "worker id out of range");
+            map[w] = g;
+        }
+    }
+    assert!(
+        map.iter().all(|&g| g != usize::MAX),
+        "every worker must belong to a group"
+    );
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(m: u64) -> SimDuration {
+        SimDuration::from_millis(m)
+    }
+
+    #[test]
+    fn homogeneous_cluster_is_one_group() {
+        let groups = partition_groups(&[ms(100); 8]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 8);
+    }
+
+    #[test]
+    fn single_worker_is_one_group() {
+        assert_eq!(partition_groups(&[ms(5)]), vec![vec![0]]);
+    }
+
+    #[test]
+    fn needs_split_on_zeta_greater_than_v() {
+        // ζ = 300, v = 250 → split.
+        assert!(needs_split(&[ms(100), ms(400)]));
+        // ζ = 50, v = 125 → no split.
+        assert!(!needs_split(&[ms(100), ms(150)]));
+        assert!(!needs_split(&[ms(100)]));
+        assert!(!needs_split(&[]));
+    }
+
+    #[test]
+    fn two_tier_cluster_splits_into_two_groups() {
+        let times = [ms(100), ms(400), ms(100), ms(400), ms(110), ms(390)];
+        let groups = partition_groups(&times);
+        assert_eq!(groups.len(), 2);
+        let map = group_of(&groups, times.len());
+        assert_eq!(map[0], map[2]);
+        assert_eq!(map[0], map[4]);
+        assert_eq!(map[1], map[3]);
+        assert_ne!(map[0], map[1]);
+    }
+
+    #[test]
+    fn three_tier_cluster_recurses() {
+        // K80 (280ms), 1080Ti (140ms), 2080Ti (100ms): the slow tier is far
+        // from the others, so at least the K80s must be separated.
+        let times = [ms(280), ms(280), ms(140), ms(140), ms(100), ms(100)];
+        let groups = partition_groups(&times);
+        assert!(groups.len() >= 2);
+        let map = group_of(&groups, times.len());
+        assert_eq!(map[0], map[1]);
+        assert_ne!(map[0], map[4]);
+        // Each final group passes the ζ ≤ v test.
+        for g in &groups {
+            let local: Vec<SimDuration> = g.iter().map(|&i| times[i]).collect();
+            assert!(!needs_split(&local), "group {g:?} still heterogeneous");
+        }
+    }
+
+    #[test]
+    fn mixed_heterogeneity_separates_paper_groups() {
+        // §8.1 "M"-style setup at a scale where ζ > v holds: group A at
+        // ~30 ms per iteration, group B slowed to ~110 ms (ζ = 80 > v = 70).
+        let times: Vec<SimDuration> = (0..8)
+            .map(|i| if i < 4 { ms(30) } else { ms(110) })
+            .collect();
+        let groups = partition_groups(&times);
+        let map = group_of(&groups, 8);
+        assert!(map[..4].iter().all(|&g| g == map[0]));
+        assert!(map[4..].iter().all(|&g| g == map[4]));
+        assert_ne!(map[0], map[4]);
+    }
+
+    #[test]
+    fn small_gap_relative_to_mean_stays_one_group() {
+        // The same ±75 ms split on top of a 235 ms base does NOT satisfy
+        // ζ > v — the condition weighs the gap against the full iteration
+        // time, so mild heterogeneity keeps the flat protocol.
+        let times: Vec<SimDuration> = (0..8)
+            .map(|i| if i < 4 { ms(235) } else { ms(310) })
+            .collect();
+        assert_eq!(partition_groups(&times).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero workers")]
+    fn empty_input_panics() {
+        partition_groups(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "belong to a group")]
+    fn group_of_requires_total_cover() {
+        group_of(&[vec![0]], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn groups_partition_workers(
+            raw in proptest::collection::vec(1u64..1000, 1..40),
+        ) {
+            let times: Vec<SimDuration> = raw.iter().map(|&m| ms(m)).collect();
+            let groups = partition_groups(&times);
+            let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+            // No empty groups.
+            prop_assert!(groups.iter().all(|g| !g.is_empty()));
+        }
+
+        #[test]
+        fn final_groups_are_homogeneous(
+            raw in proptest::collection::vec(1u64..1000, 2..40),
+        ) {
+            let times: Vec<SimDuration> = raw.iter().map(|&m| ms(m)).collect();
+            for g in partition_groups(&times) {
+                let local: Vec<SimDuration> = g.iter().map(|&i| times[i]).collect();
+                // Either the stop condition held or the group hit a
+                // same-mean degenerate split.
+                if needs_split(&local) {
+                    let mean: u64 = local.iter().map(SimDuration::as_nanos).sum::<u64>()
+                        / local.len() as u64;
+                    prop_assert!(
+                        local.iter().all(|t| t.as_nanos() <= mean)
+                            || local.iter().all(|t| t.as_nanos() > mean)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Hierarchical synchronization for deterministic heterogeneity (§4).
+//!
+//! The cluster is partitioned into speed-homogeneous groups
+//! ([`crate::grouping::partition_groups`]); each group runs RNA internally
+//! ([`crate::rna::GroupState`]). Each group is then "a node in the
+//! traditional PS": the paper's three-phase exchange becomes
+//!
+//! 1. the group's round produces a reduced gradient (intra-group partial
+//!    AllReduce), which the round's initiator **pushes** to the parameter
+//!    server;
+//! 2. the server **applies** the gradient to its master parameters
+//!    ("the averaged gradients among each group is applied to update
+//!    models using parameter server", §4) — plain summation work, which is
+//!    what §6 says the PS executes;
+//! 3. the initiator **pulls** the refreshed master back and **broadcasts**
+//!    it inside the group.
+//!
+//! Groups do this asynchronously — a slow group's push simply lands on the
+//! master later, exactly like a slow worker in an asynchronous parameter
+//! server — so the deterministic tier gap never stalls the fast tier, and
+//! because every push applies to the *latest* master there is no
+//! stale-parameter mixing: staleness is confined to the gradients, where
+//! the §5 analysis bounds it.
+//!
+//! With an exchange cadence above 1 ([`HierRnaProtocol::with_ps_every`]),
+//! intermediate rounds apply updates group-locally as a preview and the
+//! accumulated gradient is pushed at the next exchange; the broadcast then
+//! replaces the preview with the master view.
+
+use rna_simnet::SimDuration;
+use rna_tensor::Tensor;
+
+use rna_ps::GroupServer;
+
+use crate::grouping::{group_of, partition_groups};
+use crate::rna::{GroupState, RnaMsg};
+use crate::sim::{Ctx, Protocol, TrainSpec};
+use crate::RnaConfig;
+
+/// Hierarchical RNA: per-group randomized non-blocking AllReduce with
+/// asynchronous inter-group gradient exchange through a parameter server.
+///
+/// # Examples
+///
+/// ```
+/// use rna_core::hier::HierRnaProtocol;
+/// use rna_core::sim::{Engine, TrainSpec};
+/// use rna_core::RnaConfig;
+/// use rna_workload::HeterogeneityModel;
+///
+/// let n = 6;
+/// let spec = TrainSpec::smoke_test(n, 4)
+///     .with_hetero(HeterogeneityModel::mixed_groups(n, 0, 10, 40, 50))
+///     .with_max_rounds(30);
+/// let protocol = HierRnaProtocol::auto(&spec, RnaConfig::default());
+/// assert!(protocol.num_groups() >= 2);
+/// let result = Engine::new(spec, protocol).run();
+/// assert!(result.global_rounds > 0);
+/// ```
+pub struct HierRnaProtocol {
+    config: RnaConfig,
+    groups: Vec<GroupState>,
+    worker_group: Vec<usize>,
+    /// The asynchronous master parameters (the PS state).
+    master: Option<Tensor>,
+    /// Slot bookkeeping (per-group versions/staleness diagnostics).
+    server: Option<GroupServer>,
+    /// Accumulated `Σ scale·ḡ` per group since its last exchange.
+    pending: Vec<Option<Tensor>>,
+    /// Group rounds between PS exchanges.
+    ps_every: u64,
+}
+
+impl HierRnaProtocol {
+    /// Creates the protocol with an explicit grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty, any group is empty, or worker ids are
+    /// not a partition of `0..n` for some `n`.
+    pub fn new(groups: Vec<Vec<usize>>, config: RnaConfig) -> Self {
+        assert!(!groups.is_empty(), "need at least one group");
+        let n: usize = groups.iter().map(Vec::len).sum();
+        let worker_group = group_of(&groups, n);
+        let num_groups = groups.len();
+        let groups = groups
+            .into_iter()
+            .enumerate()
+            .map(|(id, members)| GroupState::new(id, members, &config))
+            .collect();
+        HierRnaProtocol {
+            config,
+            groups,
+            worker_group,
+            master: None,
+            server: None,
+            pending: vec![None; num_groups],
+            ps_every: 1,
+        }
+    }
+
+    /// Derives the grouping from the spec's heterogeneity model using the
+    /// ζ > v recursion over expected per-iteration times.
+    pub fn auto(spec: &TrainSpec, config: RnaConfig) -> Self {
+        let nominal = spec.profile.compute.mean(8.0);
+        let times: Vec<SimDuration> = (0..spec.num_workers)
+            .map(|w| spec.hetero.expected(w, nominal))
+            .collect();
+        HierRnaProtocol::new(partition_groups(&times), config)
+    }
+
+    /// Sets how many group rounds pass between PS exchanges (default 1 —
+    /// the §6 exchange frequency knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn with_ps_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "PS cadence must be positive");
+        self.ps_every = every;
+        self
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The members of each group.
+    pub fn group_members(&self) -> Vec<Vec<usize>> {
+        self.groups.iter().map(|g| g.members.clone()).collect()
+    }
+
+    /// How many master updates group `gid` has missed since its last push
+    /// (0 before the first exchange).
+    pub fn group_staleness(&self, gid: usize) -> u64 {
+        self.server.as_ref().map_or(0, |s| s.staleness(gid))
+    }
+
+    fn accumulate(&mut self, ctx: &Ctx<'_, RnaMsg>, gid: usize, reduced: &Tensor, scale: f32) {
+        let dim = reduced.len();
+        let pending = self.pending[gid].get_or_insert_with(|| Tensor::zeros(dim));
+        pending.axpy(scale, reduced);
+        let _ = ctx;
+    }
+
+    /// Launches the asynchronous exchange: the accumulated gradient travels
+    /// to the PS and the refreshed master comes back, paying push + pull on
+    /// the star link plus the intra-group broadcast.
+    fn ps_exchange(&mut self, ctx: &mut Ctx<'_, RnaMsg>, gid: usize) {
+        let Some(grad) = self.pending[gid].take() else {
+            return;
+        };
+        // The master applies the gradient at *send* time: the PS serializes
+        // pushes, so the state the group later broadcasts already includes
+        // this contribution plus whatever other groups landed meanwhile.
+        let lr = ctx.current_lr();
+        let master = self.master.as_mut().expect("master set in on_start");
+        master.axpy(-lr, &grad);
+        if let Some(server) = self.server.as_mut() {
+            server.push(gid, master);
+        }
+        let blended = master.clone();
+        let bytes = ctx.grad_bytes();
+        let cost = ctx.cost();
+        let group_size = self.groups[gid].members.len();
+        let duration =
+            cost.point_to_point(bytes) * 2 + cost.ring_broadcast(group_size, bytes);
+        ctx.charge_bytes(bytes * 2);
+        ctx.send_after(
+            ctx.controller_id(),
+            duration,
+            RnaMsg::PsDone {
+                group: gid,
+                blended,
+            },
+        );
+    }
+}
+
+impl Protocol for HierRnaProtocol {
+    type Msg = RnaMsg;
+
+    fn name(&self) -> &'static str {
+        "rna-hier"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
+        assert_eq!(
+            self.worker_group.len(),
+            ctx.num_workers(),
+            "grouping must cover exactly the spec's workers"
+        );
+        self.master = Some(ctx.params(0));
+        self.server = Some(GroupServer::new(ctx.params(0), self.groups.len()));
+        for w in 0..ctx.num_workers() {
+            ctx.begin_compute(w);
+        }
+        for g in &mut self.groups {
+            g.start_probe_round(ctx, &self.config);
+        }
+    }
+
+    fn on_compute_done(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize, iter: u64) {
+        let gid = self.worker_group[worker];
+        self.groups[gid].handle_compute_done(ctx, &self.config, worker, iter);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RnaMsg>, _from: usize, to: usize, msg: RnaMsg) {
+        match msg {
+            RnaMsg::Probe { group, round } => {
+                self.groups[group].handle_probe(ctx, &self.config, to, round);
+            }
+            RnaMsg::ProbeReply {
+                group,
+                round,
+                worker,
+            } => {
+                self.groups[group].handle_reply(ctx, &self.config, worker, round);
+            }
+            RnaMsg::ReduceDone { group, round } => {
+                let Some((reduced, contributors)) =
+                    self.groups[group].take_reduce_result(round)
+                else {
+                    return;
+                };
+                let scale = if self.config.dynamic_lr_scaling {
+                    contributors as f32
+                } else {
+                    1.0
+                };
+                self.accumulate(ctx, group, &reduced, scale);
+                let exchange = (self.groups[group].round() + 1).is_multiple_of(self.ps_every);
+                if exchange {
+                    // Defer the round advance until the master broadcast
+                    // returns.
+                    self.groups[group].advance_round_deferred(contributors);
+                    self.ps_exchange(ctx, group);
+                } else {
+                    // Preview the update group-locally; the accumulated
+                    // gradient reaches the master at the next exchange.
+                    self.groups[group].apply_reduce(ctx, &self.config, &reduced, contributors);
+                    self.groups[group].advance_round(ctx, &self.config, contributors);
+                }
+            }
+            RnaMsg::PsDone { group, blended } => {
+                for &w in &self.groups[group].members.clone() {
+                    ctx.set_params(w, &blended);
+                }
+                self.groups[group].complete_deferred_round(ctx, &self.config);
+            }
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
+        let gid = self.worker_group[worker];
+        self.groups[gid].handle_crash(ctx, &self.config, worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Engine;
+    use rna_workload::HeterogeneityModel;
+
+    fn mixed_spec(n: usize, seed: u64, rounds: u64) -> TrainSpec {
+        TrainSpec::smoke_test(n, seed)
+            .with_hetero(HeterogeneityModel::mixed_groups(n, 0, 10, 50, 60))
+            .with_max_rounds(rounds)
+    }
+
+    #[test]
+    fn auto_grouping_splits_mixed_cluster() {
+        let spec = mixed_spec(8, 1, 10);
+        let p = HierRnaProtocol::auto(&spec, RnaConfig::default());
+        assert_eq!(p.num_groups(), 2);
+        let members = p.group_members();
+        // First half (fast) together, second half (slow) together.
+        let mut g0 = members[0].clone();
+        g0.sort_unstable();
+        let mut g1 = members[1].clone();
+        g1.sort_unstable();
+        let (fast, slow) = if g0.contains(&0) { (g0, g1) } else { (g1, g0) };
+        assert_eq!(fast, vec![0, 1, 2, 3]);
+        assert_eq!(slow, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn hier_trains_and_converges() {
+        let spec = mixed_spec(6, 3, 120);
+        let p = HierRnaProtocol::auto(&spec, RnaConfig::default());
+        let r = Engine::new(spec, p).run();
+        assert!(r.global_rounds >= 100);
+        let pts = r.history.points();
+        assert!(
+            pts.last().unwrap().loss < pts[0].loss,
+            "{} -> {}",
+            pts[0].loss,
+            pts.last().unwrap().loss
+        );
+    }
+
+    #[test]
+    fn hier_is_deterministic() {
+        let run = || {
+            let spec = mixed_spec(6, 9, 60);
+            let p = HierRnaProtocol::auto(&spec, RnaConfig::default());
+            Engine::new(spec, p).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.final_loss(), b.final_loss());
+    }
+
+    #[test]
+    fn homogeneous_cluster_stays_one_group() {
+        let spec = TrainSpec::smoke_test(4, 2);
+        let p = HierRnaProtocol::auto(&spec, RnaConfig::default());
+        assert_eq!(p.num_groups(), 1);
+    }
+
+    #[test]
+    fn ps_cadence_reduces_exchanges() {
+        // With ps_every = 4, comm bytes drop relative to ps_every = 1
+        // (fewer gradient pushes), all else equal.
+        let run = |every| {
+            let spec = mixed_spec(6, 5, 60);
+            let p = HierRnaProtocol::auto(&spec, RnaConfig::default()).with_ps_every(every);
+            Engine::new(spec, p).run()
+        };
+        let frequent = run(1);
+        let sparse = run(4);
+        assert!(sparse.comm_bytes < frequent.comm_bytes);
+    }
+
+    #[test]
+    fn explicit_grouping_is_respected() {
+        let p = HierRnaProtocol::new(vec![vec![0, 2], vec![1, 3]], RnaConfig::default());
+        assert_eq!(p.num_groups(), 2);
+        assert_eq!(p.group_members()[0], vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn empty_grouping_panics() {
+        HierRnaProtocol::new(vec![], RnaConfig::default());
+    }
+
+    #[test]
+    fn gradient_push_preserves_quality() {
+        // The async gradient-PS must converge to a quality comparable to
+        // flat RNA on the same mixed-heterogeneity run.
+        use crate::rna::RnaProtocol;
+        let n = 8;
+        let spec = |seed| mixed_spec(n, seed, 250);
+        let flat = Engine::new(
+            spec(7),
+            RnaProtocol::new(n, RnaConfig::default(), 0),
+        )
+        .run();
+        let hier = Engine::new(
+            spec(7),
+            HierRnaProtocol::new(vec![(0..4).collect(), (4..8).collect()], RnaConfig::default()),
+        )
+        .run();
+        let f = flat.final_loss().unwrap();
+        let h = hier.final_loss().unwrap();
+        assert!(h < f * 3.0 + 0.05, "hier {h} vs flat {f}");
+    }
+
+    #[test]
+    fn slow_group_sees_fast_group_progress() {
+        let spec = mixed_spec(6, 7, 80);
+        let p = HierRnaProtocol::auto(&spec, RnaConfig::default());
+        let r = Engine::new(spec, p).run();
+        assert!(r.global_rounds >= 60);
+        assert!(r.mean_participation() > 0.3);
+    }
+}

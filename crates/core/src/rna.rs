@@ -1,0 +1,627 @@
+//! The RNA protocol engine (§3).
+//!
+//! One [`GroupState`] drives randomized non-blocking AllReduce over a set of
+//! member workers:
+//!
+//! 1. The controller samples `d` members and probes them
+//!    ([`crate::probe::ProbeRound`]). A probed member replies as soon as its
+//!    [`crate::cache::GradientCache`] is non-empty.
+//! 2. The first accepted reply elects the **initiator**; the controller
+//!    immediately forces the collective. Every member contributes its
+//!    locally reduced cache content — or null if it has nothing.
+//! 3. The partial AllReduce costs one trigger latency plus the ring time
+//!    (plus the GPU↔CPU staging cost when the spec charges it); when it
+//!    completes, all members apply the contributor-average with the
+//!    learning rate scaled by the contributor count (Algorithm 2).
+//!
+//! Workers never block on the collective: compute continues across
+//! iterations (Figure 4), bounded by `max_lead` so stragglers cannot be
+//! left arbitrarily far behind.
+//!
+//! [`RnaProtocol`] wraps a single group spanning the whole cluster;
+//! `rna-core::hier` reuses [`GroupState`] for per-group RNA.
+
+use rna_collectives::partial_allreduce;
+use rna_simnet::trace::SpanKind;
+use rna_tensor::Tensor;
+
+use crate::cache::GradientCache;
+use crate::probe::ProbeRound;
+use crate::sim::{Ctx, Protocol};
+use crate::RnaConfig;
+
+/// Messages exchanged by RNA (both flat and hierarchical variants).
+#[derive(Debug, Clone)]
+pub enum RnaMsg {
+    /// Controller → probed worker: "reply when you have gradients ready".
+    Probe {
+        /// Group the probe belongs to.
+        group: usize,
+        /// Round identifier (stale replies are expired).
+        round: u64,
+    },
+    /// Probed worker → controller: "my gradients are ready".
+    ProbeReply {
+        /// Group the reply belongs to.
+        group: usize,
+        /// Round identifier from the probe.
+        round: u64,
+        /// The replying worker.
+        worker: usize,
+    },
+    /// Self-scheduled completion of a group's partial AllReduce.
+    ReduceDone {
+        /// Group whose collective finished.
+        group: usize,
+        /// Round that finished.
+        round: u64,
+    },
+    /// Self-scheduled completion of a hierarchical PS push-pull +
+    /// intra-group broadcast, carrying the blended parameters.
+    PsDone {
+        /// Group whose exchange finished.
+        group: usize,
+        /// Blended parameters pulled from the server.
+        blended: Tensor,
+    },
+}
+
+/// Per-group RNA state machine. `pub` so the hierarchical protocol can
+/// drive several groups; typical users go through [`RnaProtocol`].
+#[derive(Debug)]
+pub struct GroupState {
+    /// Group id (index into the hierarchical group list; 0 for flat RNA).
+    pub id: usize,
+    /// Global worker ids belonging to this group.
+    pub members: Vec<usize>,
+    caches: Vec<GradientCache>,
+    pending_reply: Vec<Option<u64>>,
+    probe: Option<ProbeRound>,
+    round: u64,
+    reducing: bool,
+    paused: Vec<bool>,
+    live: Vec<bool>,
+    in_flight: Option<(Tensor, usize)>,
+    deferred: Option<usize>,
+    initiator_counts: Vec<u64>,
+    last_initiator: Option<usize>,
+}
+
+impl GroupState {
+    /// Creates the state machine for `members` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `config.probes` exceeds the group
+    /// size is handled by clamping (small groups probe everyone).
+    pub fn new(id: usize, members: Vec<usize>, config: &RnaConfig) -> Self {
+        assert!(!members.is_empty(), "group needs at least one member");
+        let n = members.len();
+        GroupState {
+            id,
+            members,
+            caches: (0..n)
+                .map(|_| GradientCache::new(config.staleness_bound, config.weighted_accumulation))
+                .collect(),
+            pending_reply: vec![None; n],
+            probe: None,
+            round: 0,
+            reducing: false,
+            paused: vec![false; n],
+            live: vec![true; n],
+            in_flight: None,
+            deferred: None,
+            initiator_counts: vec![0; n],
+            last_initiator: None,
+        }
+    }
+
+    /// The group's current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// How many times each member has been elected initiator.
+    pub fn initiator_counts(&self) -> &[u64] {
+        &self.initiator_counts
+    }
+
+    /// The member elected initiator in the most recent round, if any.
+    pub fn last_initiator(&self) -> Option<usize> {
+        self.last_initiator
+    }
+
+    fn member_index(&self, worker: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == worker)
+    }
+
+    /// Issues this round's probes (power-of-`d`-choices over the group's
+    /// *live* members — crashed workers are never probed).
+    pub fn start_probe_round(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig) {
+        let live: Vec<usize> = (0..self.members.len()).filter(|&l| self.live[l]).collect();
+        if live.is_empty() {
+            // The whole group died; nothing left to coordinate.
+            self.probe = None;
+            return;
+        }
+        let d = config.probes.min(live.len());
+        let picks = ctx.rng().choose_distinct(live.len(), d);
+        let probed: Vec<usize> = picks.into_iter().map(|i| live[i]).collect();
+        let round = ProbeRound::from_probed(self.round, probed);
+        let ctrl = ctx.controller_id();
+        for &local in round.probed() {
+            ctx.send(
+                ctrl,
+                self.members[local],
+                config.probe_bytes,
+                RnaMsg::Probe {
+                    group: self.id,
+                    round: self.round,
+                },
+            );
+        }
+        self.probe = Some(round);
+    }
+
+    /// A member crashed: remove it from election and — if every probed
+    /// member of the in-flight probe round is now dead — resample
+    /// immediately so the round cannot stall.
+    pub fn handle_crash(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig, worker: usize) {
+        let Some(local) = self.member_index(worker) else {
+            return;
+        };
+        self.live[local] = false;
+        self.pending_reply[local] = None;
+        self.caches[local] = GradientCache::new(config.staleness_bound, config.weighted_accumulation);
+        if self.reducing {
+            return;
+        }
+        let stalled = self
+            .probe
+            .as_ref()
+            .is_some_and(|p| p.winner().is_none() && p.probed().iter().all(|&l| !self.live[l]));
+        if stalled {
+            self.start_probe_round(ctx, config);
+        }
+    }
+
+    /// A probe arrived at `worker`: reply immediately if gradients are
+    /// ready, otherwise remember the probe.
+    pub fn handle_probe(
+        &mut self,
+        ctx: &mut Ctx<'_, RnaMsg>,
+        config: &RnaConfig,
+        worker: usize,
+        round: u64,
+    ) {
+        let Some(local) = self.member_index(worker) else {
+            return;
+        };
+        if !self.caches[local].is_empty() {
+            self.send_reply(ctx, config, worker, round);
+        } else {
+            self.pending_reply[local] = Some(round);
+        }
+    }
+
+    fn send_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, RnaMsg>,
+        config: &RnaConfig,
+        worker: usize,
+        round: u64,
+    ) {
+        let ctrl = ctx.controller_id();
+        ctx.send(
+            worker,
+            ctrl,
+            config.probe_bytes,
+            RnaMsg::ProbeReply {
+                group: self.id,
+                round,
+                worker,
+            },
+        );
+    }
+
+    /// A member finished a local iteration: cache its gradient, answer any
+    /// pending probe, and keep computing unless the lead bound is hit.
+    pub fn handle_compute_done(
+        &mut self,
+        ctx: &mut Ctx<'_, RnaMsg>,
+        config: &RnaConfig,
+        worker: usize,
+        iter: u64,
+    ) {
+        let Some(local) = self.member_index(worker) else {
+            return;
+        };
+        if let Some((_, grad)) = ctx.take_gradient(worker) {
+            self.caches[local].write(iter, grad);
+        }
+        if let Some(round) = self.pending_reply[local].take() {
+            self.send_reply(ctx, config, worker, round);
+        }
+        self.maybe_continue(ctx, config, local);
+    }
+
+    /// Starts the member's next iteration unless it is too far ahead of the
+    /// group round (bounded lead) or the run has stopped.
+    fn maybe_continue(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig, local: usize) {
+        let worker = self.members[local];
+        if ctx.stopped() || ctx.is_computing(worker) || !self.live[local] {
+            return;
+        }
+        if ctx.local_iter(worker).saturating_sub(self.round) >= config.max_lead {
+            self.paused[local] = true;
+            ctx.set_span(worker, SpanKind::Wait);
+        } else {
+            self.paused[local] = false;
+            ctx.begin_compute(worker);
+        }
+    }
+
+    /// A probe reply reached the controller. Returns `true` when the reply
+    /// elected an initiator and the collective was launched.
+    pub fn handle_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, RnaMsg>,
+        config: &RnaConfig,
+        worker: usize,
+        round: u64,
+    ) -> bool {
+        let Some(local) = self.member_index(worker) else {
+            return false;
+        };
+        if self.reducing {
+            return false;
+        }
+        let Some(probe) = &mut self.probe else {
+            return false;
+        };
+        if !probe.offer_reply(local, round) {
+            return false;
+        }
+        self.initiator_counts[local] += 1;
+        self.last_initiator = Some(worker);
+        self.launch_reduce(ctx, config);
+        true
+    }
+
+    /// Forces the partial AllReduce: snapshot contributions, compute the
+    /// contributor average, and schedule completion after the collective's
+    /// virtual cost.
+    fn launch_reduce(&mut self, ctx: &mut Ctx<'_, RnaMsg>, _config: &RnaConfig) {
+        self.reducing = true;
+        let k = self.round;
+        let contributions: Vec<Option<Tensor>> = self
+            .caches
+            .iter_mut()
+            .map(|c| c.take_contribution(k))
+            .collect();
+        let refs: Vec<Option<&Tensor>> = contributions.iter().map(Option::as_ref).collect();
+        let outcome = partial_allreduce(&refs)
+            .expect("initiator has a ready gradient, so the round cannot be empty");
+        self.in_flight = Some((outcome.reduced, outcome.num_contributors));
+        let n = self.members.len();
+        let cost = ctx.cost();
+        let bytes = ctx.grad_bytes();
+        let duration = cost.link().transfer_time(64) // trigger broadcast
+            + cost.ring_allreduce(n, bytes)
+            + ctx.transfer_overhead();
+        ctx.charge_bytes(cost.ring_bytes_per_worker(n, bytes) * n as u64);
+        for &w in &self.members {
+            if !ctx.is_computing(w) {
+                ctx.set_span(w, SpanKind::Communicate);
+            }
+        }
+        ctx.send_after(
+            ctx.controller_id(),
+            duration,
+            RnaMsg::ReduceDone {
+                group: self.id,
+                round: k,
+            },
+        );
+    }
+
+    /// Claims the finished collective's result without applying it —
+    /// the hierarchical protocol routes it through the parameter server
+    /// instead. Returns `None` if the completion was stale.
+    pub fn take_reduce_result(&mut self, round: u64) -> Option<(Tensor, usize)> {
+        if round != self.round || !self.reducing {
+            return None;
+        }
+        self.in_flight.take()
+    }
+
+    /// Applies a reduced gradient to every member with the configured
+    /// learning-rate scaling.
+    pub fn apply_reduce(
+        &mut self,
+        ctx: &mut Ctx<'_, RnaMsg>,
+        config: &RnaConfig,
+        reduced: &Tensor,
+        contributors: usize,
+    ) {
+        let lr_scale = if config.dynamic_lr_scaling {
+            contributors as f32
+        } else {
+            1.0
+        };
+        ctx.apply_reduced(&self.members, reduced, lr_scale);
+    }
+
+    /// The collective finished: apply the update to every member. Returns
+    /// the contributor count, or `None` if the completion was stale.
+    ///
+    /// The caller is responsible for round bookkeeping
+    /// ([`GroupState::advance_round`]) — the hierarchical protocol inserts
+    /// a PS exchange in between.
+    pub fn handle_reduce_done(
+        &mut self,
+        ctx: &mut Ctx<'_, RnaMsg>,
+        config: &RnaConfig,
+        round: u64,
+    ) -> Option<usize> {
+        let (reduced, contributors) = self.take_reduce_result(round)?;
+        self.apply_reduce(ctx, config, &reduced, contributors);
+        Some(contributors)
+    }
+
+    /// Defers round completion: the hierarchical protocol calls this when a
+    /// PS exchange must land before the round can advance. While deferred,
+    /// `reducing` stays set, so no new collective can trigger.
+    pub fn advance_round_deferred(&mut self, contributors: usize) {
+        self.deferred = Some(contributors);
+    }
+
+    /// Completes a previously deferred round (after the PS broadcast).
+    pub fn complete_deferred_round(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig) {
+        if let Some(contributors) = self.deferred.take() {
+            self.advance_round(ctx, config, contributors);
+        }
+    }
+
+    /// Completes the round: bump counters, resume paused members, and (if
+    /// the run continues) start the next probe round.
+    pub fn advance_round(
+        &mut self,
+        ctx: &mut Ctx<'_, RnaMsg>,
+        config: &RnaConfig,
+        contributors: usize,
+    ) {
+        self.reducing = false;
+        self.round += 1;
+        ctx.finish_round(contributors as f64 / self.members.len() as f64);
+        for local in 0..self.members.len() {
+            if self.paused[local] {
+                self.maybe_continue(ctx, config, local);
+            }
+        }
+        if !ctx.stopped() {
+            self.start_probe_round(ctx, config);
+        }
+    }
+}
+
+/// Flat RNA: one group spanning the entire cluster.
+///
+/// # Examples
+///
+/// ```
+/// use rna_core::rna::RnaProtocol;
+/// use rna_core::sim::{Engine, TrainSpec};
+/// use rna_core::RnaConfig;
+///
+/// let result = Engine::new(
+///     TrainSpec::smoke_test(4, 1),
+///     RnaProtocol::new(4, RnaConfig::default(), 99),
+/// )
+/// .run();
+/// assert!(result.global_rounds > 0);
+/// ```
+#[derive(Debug)]
+pub struct RnaProtocol {
+    config: RnaConfig,
+    group: GroupState,
+}
+
+impl RnaProtocol {
+    /// Creates flat RNA over `n` workers. `_seed` is kept for API
+    /// compatibility with experiment configs; randomness flows from the
+    /// engine's protocol RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, config: RnaConfig, _seed: u64) -> Self {
+        let group = GroupState::new(0, (0..n).collect(), &config);
+        RnaProtocol { config, group }
+    }
+
+    /// The underlying group state (for tests and diagnostics).
+    pub fn group(&self) -> &GroupState {
+        &self.group
+    }
+}
+
+impl Protocol for RnaProtocol {
+    type Msg = RnaMsg;
+
+    fn name(&self) -> &'static str {
+        "rna"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
+        for w in 0..ctx.num_workers() {
+            ctx.begin_compute(w);
+        }
+        self.group.start_probe_round(ctx, &self.config);
+    }
+
+    fn on_compute_done(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize, iter: u64) {
+        self.group
+            .handle_compute_done(ctx, &self.config, worker, iter);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RnaMsg>, _from: usize, to: usize, msg: RnaMsg) {
+        match msg {
+            RnaMsg::Probe { round, .. } => {
+                self.group.handle_probe(ctx, &self.config, to, round);
+            }
+            RnaMsg::ProbeReply { round, worker, .. } => {
+                self.group.handle_reply(ctx, &self.config, worker, round);
+            }
+            RnaMsg::ReduceDone { round, .. } => {
+                if let Some(contributors) = self.group.handle_reduce_done(ctx, &self.config, round)
+                {
+                    self.group.advance_round(ctx, &self.config, contributors);
+                }
+            }
+            RnaMsg::PsDone { .. } => {
+                // Flat RNA never schedules PS exchanges.
+            }
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
+        self.group.handle_crash(ctx, &self.config, worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Engine, TrainSpec};
+    use crate::StopReason;
+    use rna_simnet::SimDuration;
+    use rna_workload::HeterogeneityModel;
+
+    fn run(n: usize, seed: u64, config: RnaConfig, rounds: u64) -> crate::RunResult {
+        let spec = TrainSpec::smoke_test(n, seed).with_max_rounds(rounds);
+        Engine::new(spec, RnaProtocol::new(n, config, seed)).run()
+    }
+
+    #[test]
+    fn rna_trains_to_lower_loss() {
+        let r = run(4, 3, RnaConfig::default(), 200);
+        let pts = r.history.points();
+        assert!(pts.len() > 3);
+        assert!(
+            pts.last().unwrap().loss < pts[0].loss * 0.7,
+            "loss {} -> {}",
+            pts[0].loss,
+            pts.last().unwrap().loss
+        );
+        assert_eq!(r.stop_reason, StopReason::MaxRounds);
+    }
+
+    #[test]
+    fn rna_is_deterministic() {
+        let a = run(4, 9, RnaConfig::default(), 60);
+        let b = run(4, 9, RnaConfig::default(), 60);
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.final_loss(), b.final_loss());
+        assert_eq!(a.worker_iterations, b.worker_iterations);
+        assert_eq!(a.comm_bytes, b.comm_bytes);
+    }
+
+    #[test]
+    fn participation_is_partial_under_heterogeneity() {
+        let n = 8;
+        let spec = TrainSpec::smoke_test(n, 5)
+            .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 50))
+            .with_max_rounds(80);
+        let r = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+        let p = r.mean_participation();
+        assert!(p > 0.2 && p < 1.0, "participation {p}");
+    }
+
+    #[test]
+    fn homogeneous_cluster_approaches_full_participation() {
+        let r = run(4, 7, RnaConfig::default(), 80);
+        assert!(r.mean_participation() > 0.5, "{}", r.mean_participation());
+    }
+
+    #[test]
+    fn initiators_are_randomized() {
+        let n = 4;
+        let spec = TrainSpec::smoke_test(n, 13).with_max_rounds(120);
+        let engine = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0));
+        // Run through the engine; initiator counts accumulate inside the
+        // protocol, which the engine consumes — so re-run with a probe into
+        // the protocol by keeping it outside.
+        let result = engine.run();
+        assert_eq!(result.global_rounds, 120);
+        // Statistical check via a fresh protocol instance driven manually is
+        // heavyweight; instead assert the rounds completed and relied on
+        // `probe::tests` for election fairness.
+    }
+
+    #[test]
+    fn rna_outpaces_bsp_under_stragglers() {
+        // The headline claim, in miniature: with random 0–50 ms delays,
+        // RNA completes rounds faster than a strict barrier would.
+        let n = 8;
+        let hetero = HeterogeneityModel::dynamic_uniform(n, 0, 50);
+        let spec = TrainSpec::smoke_test(n, 21)
+            .with_hetero(hetero)
+            .with_max_rounds(60);
+        let r = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+        // Mean compute is 5ms + 25ms delay = 30ms. A strict barrier pays
+        // E[max of 8 × U(0,50)] ≈ 44ms + 5ms per round. RNA's rounds are
+        // driven by the *fastest of two probes*, so mean round time must be
+        // well under the barrier bound.
+        let barrier_bound = SimDuration::from_millis_f64(49.0);
+        assert!(
+            r.mean_round_time() < barrier_bound,
+            "round time {} vs barrier {}",
+            r.mean_round_time(),
+            barrier_bound
+        );
+    }
+
+    #[test]
+    fn max_lead_bounds_iteration_spread() {
+        let n = 4;
+        let config = RnaConfig::default().with_max_lead(3);
+        let spec = TrainSpec::smoke_test(n, 17)
+            .with_hetero(HeterogeneityModel::deterministic(&[0, 0, 0, 40]))
+            .with_max_rounds(60);
+        let r = Engine::new(spec, RnaProtocol::new(n, config, 0)).run();
+        let max = *r.worker_iterations.iter().max().unwrap();
+        // No worker can have produced more than rounds + lead iterations.
+        assert!(
+            max <= r.global_rounds + 3 + 1,
+            "iterations {max} vs rounds {}",
+            r.global_rounds
+        );
+    }
+
+    #[test]
+    fn single_worker_rna_degenerates_to_sgd() {
+        let r = run(1, 2, RnaConfig::default().with_probes(1), 50);
+        assert_eq!(r.global_rounds, 50);
+        assert!(r.mean_participation() > 0.99);
+        let pts = r.history.points();
+        assert!(pts.last().unwrap().loss < pts[0].loss);
+    }
+
+    #[test]
+    fn one_probe_config_still_makes_progress() {
+        let r = run(4, 11, RnaConfig::default().with_probes(1), 60);
+        assert_eq!(r.global_rounds, 60);
+    }
+
+    #[test]
+    fn transfer_overhead_slows_rounds() {
+        let n = 4;
+        let base = TrainSpec::smoke_test(n, 19).with_max_rounds(40);
+        let mut charged = base.clone();
+        charged.charge_transfer_overhead = true;
+        let fast = Engine::new(base, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+        let slow = Engine::new(charged, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+        assert!(slow.wall_time > fast.wall_time);
+    }
+}

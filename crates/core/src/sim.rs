@@ -1,0 +1,954 @@
+//! The discrete-event protocol harness.
+//!
+//! [`Engine`] owns the *training state* — one model replica, optimizer, and
+//! seeded batch stream per worker, plus the virtual clock, network model,
+//! and span accounting — and delegates all *synchronization policy* to a
+//! [`Protocol`] implementation through [`Ctx`]. The same engine therefore
+//! runs RNA, Horovod-style BSP, AD-PSGD, eager-SGD, and SGP, which is what
+//! makes the paper's comparisons apples-to-apples: identical gradients,
+//! identical timing models, different synchronization.
+//!
+//! ## Event model
+//!
+//! Two event kinds exist: `ComputeDone` (a worker finished an iteration's
+//! forward/backward pass) and `Message` (a protocol-defined payload arrives
+//! at a node). Gradients are computed *numerically* when an iteration
+//! starts, from the worker's parameters at that instant — so a worker whose
+//! parameters were updated mid-iteration trains on stale parameters, which
+//! is precisely the cross-iteration semantics of §3.3/Figure 4.
+//!
+//! Node ids `0..n` are workers; [`Ctx::controller_id`] (`n`) is the central
+//! scheduler on the root node and [`Ctx::ps_id`] (`n + 1`) the parameter
+//! server.
+
+use rna_collectives::CollectiveCost;
+use rna_simnet::trace::{SpanKind, SpanTracker};
+use rna_simnet::{EventQueue, LinkModel, NetworkModel, SimDuration, SimRng, SimTime};
+use rna_tensor::Tensor;
+use rna_training::model::{ElmanRnn, LinearRegression, Mlp, SoftmaxClassifier};
+use rna_training::{BatchSampler, Dataset, EarlyStopping, History, LrSchedule, Model, Sgd};
+use rna_workload::trace::WorkloadTrace;
+use rna_workload::{HeterogeneityModel, ModelProfile};
+
+use crate::stats::{RunResult, StopReason};
+
+/// The learnable task a run optimizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskKind {
+    /// Gaussian-blob classification; `hidden: None` selects the convex
+    /// softmax classifier, `Some(h)` a one-hidden-layer MLP.
+    Classification {
+        /// Feature dimension.
+        dim: usize,
+        /// Number of classes.
+        classes: usize,
+        /// Hidden width (None = linear softmax).
+        hidden: Option<usize>,
+        /// Corpus size.
+        samples: usize,
+        /// Cluster spread (difficulty).
+        spread: f32,
+    },
+    /// Variable-length sequence classification on an Elman RNN.
+    Sequence {
+        /// Per-step input dimension.
+        input_dim: usize,
+        /// Number of classes.
+        classes: usize,
+        /// RNN hidden width.
+        hidden: usize,
+        /// Corpus size.
+        samples: usize,
+        /// Observation noise.
+        noise: f32,
+        /// Minimum sequence length.
+        min_len: usize,
+        /// Maximum sequence length.
+        max_len: usize,
+    },
+    /// Noisy linear regression (used by convergence sanity tests).
+    Regression {
+        /// Feature dimension.
+        dim: usize,
+        /// Corpus size.
+        samples: usize,
+        /// Label noise.
+        noise: f32,
+    },
+}
+
+impl TaskKind {
+    fn build(&self, rng: &mut SimRng) -> (Dataset, Dataset, Box<dyn Model>) {
+        match *self {
+            TaskKind::Classification {
+                dim,
+                classes,
+                hidden,
+                samples,
+                spread,
+            } => {
+                let ds = Dataset::blobs(samples, dim, classes, spread, rng);
+                let (train, val) = ds.split(0.2);
+                let model: Box<dyn Model> = match hidden {
+                    Some(h) => Box::new(Mlp::new(dim, h, classes, rng)),
+                    None => Box::new(SoftmaxClassifier::new(dim, classes, rng)),
+                };
+                (train, val, model)
+            }
+            TaskKind::Sequence {
+                input_dim,
+                classes,
+                hidden,
+                samples,
+                noise,
+                min_len,
+                max_len,
+            } => {
+                let lengths: Vec<usize> = (0..samples)
+                    .map(|_| rng.uniform_usize(min_len..max_len + 1))
+                    .collect();
+                let ds = Dataset::sequences(&lengths, input_dim, classes, noise, rng);
+                let (train, val) = ds.split(0.2);
+                let model = Box::new(ElmanRnn::new(input_dim, hidden, classes, rng));
+                (train, val, model)
+            }
+            TaskKind::Regression {
+                dim,
+                samples,
+                noise,
+            } => {
+                let ds = Dataset::regression(samples, dim, noise, rng);
+                let (train, val) = ds.split(0.2);
+                (train, val, Box::new(LinearRegression::new(dim)))
+            }
+        }
+    }
+}
+
+/// Full specification of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainSpec {
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Workload profile (compute model + communication volume).
+    pub profile: ModelProfile,
+    /// Injected heterogeneity.
+    pub hetero: HeterogeneityModel,
+    /// Network link model.
+    pub link: LinkModel,
+    /// The learnable task.
+    pub task: TaskKind,
+    /// Master seed; all randomness forks from it.
+    pub seed: u64,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule (indexed by global round).
+    pub lr: LrSchedule,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// SGD weight decay.
+    pub weight_decay: f32,
+    /// Evaluate every this many global rounds — or, when
+    /// [`TrainSpec::eval_every_iters`] is set, this field is ignored.
+    pub eval_every: u64,
+    /// When set, evaluate each time the cluster-wide iteration count
+    /// crosses another multiple of this value (a data-uniform "per epoch"
+    /// cadence, like the paper's Keras callback). This keeps the
+    /// early-stopping patience comparable across protocols whose *round*
+    /// cadences differ wildly.
+    pub eval_every_iters: Option<u64>,
+    /// Virtual-time budget.
+    pub max_time: SimDuration,
+    /// Global-round budget.
+    pub max_rounds: u64,
+    /// Stop when evaluation loss reaches this value.
+    pub target_loss: Option<f64>,
+    /// Early-stopping patience (checked at each evaluation), if any.
+    pub patience: Option<u32>,
+    /// Charge RNA's GPU↔CPU staging cost (2 × gradient over PCIe) per
+    /// round to protocols that ask for [`Ctx::transfer_overhead`].
+    pub charge_transfer_overhead: bool,
+    /// Fault injection: `(worker, at)` pairs — the worker crashes at the
+    /// given instant and never computes or communicates again.
+    pub crashes: Vec<(usize, SimDuration)>,
+}
+
+impl TrainSpec {
+    /// A tiny, fast configuration for tests and examples: `n` homogeneous
+    /// workers, 5 ms iterations, blob classification on a softmax model.
+    pub fn smoke_test(n: usize, seed: u64) -> Self {
+        use rna_workload::ComputeTimeModel;
+        let profile = ModelProfile::resnet50()
+            .with_sim_dim(64)
+            .with_compute(ComputeTimeModel::Constant(SimDuration::from_millis(5)));
+        TrainSpec {
+            num_workers: n,
+            profile,
+            hetero: HeterogeneityModel::homogeneous(n),
+            link: LinkModel::infiniband_edr(),
+            task: TaskKind::Classification {
+                dim: 8,
+                classes: 4,
+                hidden: None,
+                samples: 256,
+                spread: 0.4,
+            },
+            seed,
+            batch_size: 16,
+            lr: LrSchedule::Constant(0.1),
+            momentum: 0.0,
+            weight_decay: 0.0,
+            eval_every: 5,
+            eval_every_iters: None,
+            max_time: SimDuration::from_secs(10),
+            max_rounds: 300,
+            target_loss: None,
+            patience: None,
+            charge_transfer_overhead: false,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Injects a crash: `worker` dies `at` after simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn with_crash(mut self, worker: usize, at: SimDuration) -> Self {
+        assert!(worker < self.num_workers, "crash target out of range");
+        self.crashes.push((worker, at));
+        self
+    }
+
+    /// Replaces the heterogeneity model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker counts disagree.
+    pub fn with_hetero(mut self, hetero: HeterogeneityModel) -> Self {
+        assert_eq!(
+            hetero.num_workers(),
+            self.num_workers,
+            "heterogeneity model must cover every worker"
+        );
+        self.hetero = hetero;
+        self
+    }
+
+    /// Sets the target loss.
+    pub fn with_target_loss(mut self, target: f64) -> Self {
+        self.target_loss = Some(target);
+        self
+    }
+
+    /// Sets the virtual-time budget.
+    pub fn with_max_time(mut self, t: SimDuration) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Sets the global-round budget.
+    pub fn with_max_rounds(mut self, r: u64) -> Self {
+        self.max_rounds = r;
+        self
+    }
+}
+
+/// A synchronization protocol plugged into the [`Engine`].
+pub trait Protocol {
+    /// The protocol's message payload.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Short protocol name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the event loop; typically starts every worker's
+    /// first iteration and arms any initial probes.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// A worker finished computing local iteration `iter`; its gradient is
+    /// claimable via [`Ctx::take_gradient`].
+    fn on_compute_done(&mut self, ctx: &mut Ctx<'_, Self::Msg>, worker: usize, iter: u64);
+
+    /// A protocol message arrived at node `to`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: usize, to: usize, msg: Self::Msg);
+
+    /// A worker crashed (fault injection). The engine has already marked
+    /// it dead: it will never finish its in-flight iteration and
+    /// [`Ctx::begin_compute`] on it is a no-op. Protocols that probe or
+    /// gossip should stop selecting it.
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, Self::Msg>, worker: usize) {
+        let _ = (ctx, worker);
+    }
+}
+
+#[derive(Debug)]
+enum Event<M> {
+    ComputeDone { worker: usize, iter: u64 },
+    Message { from: usize, to: usize, msg: M },
+    Crash { worker: usize },
+}
+
+/// Engine-side state shared with protocols through [`Ctx`].
+pub struct SimState<M> {
+    spec: TrainSpec,
+    clock: SimTime,
+    queue: EventQueue<Event<M>>,
+    net: NetworkModel,
+    cost: CollectiveCost,
+    models: Vec<Box<dyn Model>>,
+    opts: Vec<Sgd>,
+    eval_model: Box<dyn Model>,
+    train_ds: Dataset,
+    eval_ds: Dataset,
+    samplers: Vec<BatchSampler>,
+    workload_rngs: Vec<SimRng>,
+    proto_rng: SimRng,
+    in_flight: Vec<Option<(u64, Tensor)>>,
+    pending: Vec<Option<(u64, Tensor)>>,
+    local_iter: Vec<u64>,
+    next_iter: Vec<u64>,
+    computing: Vec<bool>,
+    spans: SpanTracker,
+    comm_bytes: u64,
+    global_round: u64,
+    participation_sum: f64,
+    history: History,
+    early: Option<EarlyStopping>,
+    stop: Option<StopReason>,
+    evals_done: u64,
+    crashed: Vec<bool>,
+    last_top5: f64,
+    workload_trace: WorkloadTrace,
+}
+
+/// The protocol's handle onto the engine.
+pub struct Ctx<'a, M>(&'a mut SimState<M>);
+
+impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.0.clock
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.0.spec.num_workers
+    }
+
+    /// Node id of the central scheduler (the root node).
+    pub fn controller_id(&self) -> usize {
+        self.0.spec.num_workers
+    }
+
+    /// Node id of the parameter server.
+    pub fn ps_id(&self) -> usize {
+        self.0.spec.num_workers + 1
+    }
+
+    /// The run specification.
+    pub fn spec(&self) -> &TrainSpec {
+        &self.0.spec
+    }
+
+    /// Collective cost calculator over the run's link model.
+    pub fn cost(&self) -> CollectiveCost {
+        self.0.cost
+    }
+
+    /// Gradient payload in bytes (billed at the profile's real model size).
+    pub fn grad_bytes(&self) -> u64 {
+        self.0.spec.profile.grad_bytes()
+    }
+
+    /// RNA's per-round GPU↔CPU staging cost (zero when the spec does not
+    /// charge it).
+    pub fn transfer_overhead(&self) -> SimDuration {
+        if self.0.spec.charge_transfer_overhead {
+            rna_workload::transfer::TransferModel::default()
+                .per_iteration_cost(self.grad_bytes())
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// The protocol's private RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.0.proto_rng
+    }
+
+    /// The global synchronization round counter.
+    pub fn global_round(&self) -> u64 {
+        self.0.global_round
+    }
+
+    /// The learning rate the schedule prescribes for the current round.
+    pub fn current_lr(&self) -> f32 {
+        self.0.spec.lr.lr_at(self.0.global_round)
+    }
+
+    /// Local iterations completed by `worker`.
+    pub fn local_iter(&self, worker: usize) -> u64 {
+        self.0.local_iter[worker]
+    }
+
+    /// Whether `worker` currently has an iteration in flight.
+    pub fn is_computing(&self, worker: usize) -> bool {
+        self.0.computing[worker]
+    }
+
+    /// Whether `worker` has crashed.
+    pub fn is_crashed(&self, worker: usize) -> bool {
+        self.0.crashed[worker]
+    }
+
+    /// Number of live (non-crashed) workers.
+    pub fn live_workers(&self) -> usize {
+        self.0.crashed.iter().filter(|&&c| !c).count()
+    }
+
+    /// Whether the run has been stopped.
+    pub fn stopped(&self) -> bool {
+        self.0.stop.is_some()
+    }
+
+    /// Claims the gradient produced by `worker`'s most recently finished
+    /// iteration, with its local iteration number.
+    pub fn take_gradient(&mut self, worker: usize) -> Option<(u64, Tensor)> {
+        self.0.pending[worker].take()
+    }
+
+    /// A copy of `worker`'s current parameters.
+    pub fn params(&self, worker: usize) -> Tensor {
+        self.0.models[worker].params().clone()
+    }
+
+    /// Overwrites `worker`'s parameters (hierarchical broadcast / gossip
+    /// averaging). Momentum is preserved, matching the paper's
+    /// implementation where `set_weight()` replaces variables only.
+    pub fn set_params(&mut self, worker: usize, params: &Tensor) {
+        self.0.models[worker].set_params(params);
+    }
+
+    /// Starts `worker`'s next local iteration: samples a batch, computes
+    /// the gradient from the worker's *current* parameters, and schedules
+    /// `ComputeDone` after the workload + heterogeneity compute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker already has an iteration in flight.
+    pub fn begin_compute(&mut self, worker: usize) {
+        let s = &mut *self.0;
+        if s.crashed[worker] {
+            return;
+        }
+        assert!(
+            !s.computing[worker],
+            "worker {worker} already has an iteration in flight"
+        );
+        if s.stop.is_some() {
+            return;
+        }
+        let batch = s.samplers[worker].sample(&s.train_ds);
+        let (_, grad) = s.models[worker].loss_and_grad(&batch);
+        let iter = s.next_iter[worker];
+        s.next_iter[worker] += 1;
+        s.in_flight[worker] = Some((iter, grad));
+        s.computing[worker] = true;
+        let units = if s.train_ds.is_sequential() {
+            Some(batch.max_units())
+        } else {
+            None
+        };
+        let nominal = s.spec.profile.compute.sample(&mut s.workload_rngs[worker], units);
+        let dur = s.spec.hetero.apply(worker, nominal, &mut s.workload_rngs[worker]);
+        s.workload_trace.record(worker, dur);
+        s.spans.begin(worker, SpanKind::Compute, s.clock);
+        s.queue
+            .schedule(s.clock + dur, Event::ComputeDone { worker, iter });
+    }
+
+    /// Sends a protocol message across the network; delivery is delayed by
+    /// the link's α–β cost for `bytes` and the bytes are accounted.
+    pub fn send(&mut self, from: usize, to: usize, bytes: u64, msg: M) {
+        let s = &mut *self.0;
+        if from != to {
+            s.comm_bytes += bytes;
+        }
+        let at = s.net.delivery(from, to, bytes, s.clock);
+        s.queue.schedule(at, Event::Message { from, to, msg });
+    }
+
+    /// Schedules a message to `to` after `delay` with no network charge —
+    /// the idiom for completion timers (e.g. "the ring finishes in T").
+    pub fn send_after(&mut self, to: usize, delay: SimDuration, msg: M) {
+        let s = &mut *self.0;
+        s.queue
+            .schedule(s.clock + delay, Event::Message { from: to, to, msg });
+    }
+
+    /// Accounts `bytes` of traffic that the protocol modelled through a
+    /// cost formula rather than individual messages (e.g. a whole ring
+    /// AllReduce).
+    pub fn charge_bytes(&mut self, bytes: u64) {
+        self.0.comm_bytes += bytes;
+    }
+
+    /// Marks `worker`'s current span (e.g. `Wait` while blocked on a
+    /// barrier, `Communicate` while its gradients are on the wire).
+    pub fn set_span(&mut self, worker: usize, kind: SpanKind) {
+        let s = &mut *self.0;
+        s.spans.begin(worker, kind, s.clock);
+    }
+
+    /// Applies the reduced gradient to every listed worker with the given
+    /// learning-rate scale (RNA passes the contributor count, BSP passes 1).
+    pub fn apply_reduced(&mut self, workers: &[usize], grad: &Tensor, lr_scale: f32) {
+        let s = &mut *self.0;
+        let lr = s.spec.lr.lr_at(s.global_round);
+        for &w in workers {
+            s.opts[w].set_lr(lr);
+            let mut p = s.models[w].params().clone();
+            s.opts[w].step(&mut p, grad, lr_scale);
+            s.models[w].set_params(&p);
+        }
+    }
+
+    /// Applies `worker`'s own gradient to its own replica (AD-PSGD's local
+    /// step).
+    pub fn apply_local(&mut self, worker: usize, grad: &Tensor, lr_scale: f32) {
+        self.apply_reduced(&[worker], grad, lr_scale);
+    }
+
+    /// Atomically averages the parameters of two workers (AD-PSGD's
+    /// pairwise model averaging).
+    pub fn average_pair(&mut self, a: usize, b: usize) {
+        let s = &mut *self.0;
+        let mut pa = s.models[a].params().clone();
+        let pb = s.models[b].params().clone();
+        pa.lerp(&pb, 0.5);
+        s.models[a].set_params(&pa);
+        s.models[b].set_params(&pa);
+    }
+
+    /// Completes one global synchronization round: bumps the round counter,
+    /// records the participation fraction, and (on the evaluation cadence)
+    /// evaluates the mean model, checking the target-loss and
+    /// early-stopping criteria.
+    pub fn finish_round(&mut self, participation: f64) {
+        let s = &mut *self.0;
+        s.global_round += 1;
+        s.participation_sum += participation;
+        match s.spec.eval_every_iters {
+            Some(every) => {
+                // Data-uniform cadence: evaluate when the cluster-wide
+                // iteration count crosses another multiple of `every`.
+                let iters: u64 = s.local_iter.iter().sum();
+                if iters / every > s.evals_done {
+                    s.evals_done = iters / every;
+                    evaluate(s);
+                }
+            }
+            None => {
+                if s.global_round.is_multiple_of(s.spec.eval_every) {
+                    evaluate(s);
+                }
+            }
+        }
+        if s.stop.is_none() && s.global_round >= s.spec.max_rounds {
+            s.stop = Some(StopReason::MaxRounds);
+        }
+    }
+
+    /// Requests a stop with the given reason (first reason wins).
+    pub fn stop(&mut self, reason: StopReason) {
+        if self.0.stop.is_none() {
+            self.0.stop = Some(reason);
+        }
+    }
+}
+
+fn evaluate<M>(s: &mut SimState<M>) {
+    // Evaluate the mean of the replicas — the standard metric for
+    // decentralized training (all replicas coincide under BSP).
+    let mut mean = Tensor::zeros(s.models[0].num_params());
+    for m in &s.models {
+        mean.add_assign(m.params());
+    }
+    mean.scale(1.0 / s.models.len() as f32);
+    s.eval_model.set_params(&mean);
+    let batch = s.eval_ds.full_batch();
+    let loss = f64::from(s.eval_model.loss(&batch));
+    let acc = f64::from(s.eval_model.accuracy(&batch));
+    s.last_top5 = f64::from(s.eval_model.top_k_accuracy(&batch, 5));
+    s.history
+        .record(s.clock.as_secs_f64(), s.global_round, loss, acc);
+    if let Some(target) = s.spec.target_loss {
+        if loss <= target && s.stop.is_none() {
+            s.stop = Some(StopReason::TargetReached);
+        }
+    }
+    if let Some(early) = &mut s.early {
+        if early.update(loss) && s.stop.is_none() {
+            s.stop = Some(StopReason::EarlyStopped);
+        }
+    }
+}
+
+/// The discrete-event engine driving one protocol over one [`TrainSpec`].
+pub struct Engine<P: Protocol> {
+    state: SimState<P::Msg>,
+    protocol: P,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Builds the engine: constructs the dataset, one model replica and
+    /// optimizer per worker (all replicas start from identical parameters),
+    /// and forks the RNG streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent (zero workers, heterogeneity
+    /// model of the wrong size, zero batch).
+    pub fn new(spec: TrainSpec, protocol: P) -> Self {
+        assert!(spec.num_workers > 0, "need at least one worker");
+        assert_eq!(
+            spec.hetero.num_workers(),
+            spec.num_workers,
+            "heterogeneity model must cover every worker"
+        );
+        assert!(spec.batch_size > 0, "batch size must be positive");
+        assert!(spec.eval_every > 0, "evaluation cadence must be positive");
+        let mut root = SimRng::seed(spec.seed);
+        let mut data_rng = root.fork(1);
+        let (train_ds, eval_ds, template) = spec.task.build(&mut data_rng);
+        let n = spec.num_workers;
+        let models: Vec<Box<dyn Model>> = (0..n).map(|_| template.clone_model()).collect();
+        let opts = (0..n)
+            .map(|_| {
+                Sgd::new(
+                    spec.lr.lr_at(0),
+                    spec.momentum,
+                    spec.weight_decay,
+                    template.num_params(),
+                )
+            })
+            .collect();
+        let samplers = (0..n)
+            .map(|w| BatchSampler::new(root.fork(100 + w as u64), spec.batch_size))
+            .collect();
+        let workload_rngs = (0..n).map(|w| root.fork(200 + w as u64)).collect();
+        let proto_rng = root.fork(300);
+        // A small min-delta keeps noisy near-plateau evaluations from
+        // resetting the patience counter forever.
+        let early = spec.patience.map(|p| EarlyStopping::new(p, 1e-3));
+        let state = SimState {
+            net: NetworkModel::uniform(spec.link),
+            cost: CollectiveCost::new(spec.link),
+            eval_model: template,
+            train_ds,
+            eval_ds,
+            models,
+            opts,
+            samplers,
+            workload_rngs,
+            proto_rng,
+            in_flight: vec![None; n],
+            pending: vec![None; n],
+            local_iter: vec![0; n],
+            next_iter: vec![0; n],
+            computing: vec![false; n],
+            spans: SpanTracker::new(n),
+            comm_bytes: 0,
+            global_round: 0,
+            participation_sum: 0.0,
+            history: History::new(),
+            early,
+            stop: None,
+            evals_done: 0,
+            crashed: vec![false; n],
+            last_top5: 0.0,
+            workload_trace: WorkloadTrace::new(n),
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            spec,
+        };
+        Engine { state, protocol }
+    }
+
+    /// Runs the event loop to completion and returns the results.
+    pub fn run(mut self) -> RunResult {
+        for (worker, at) in self.state.spec.crashes.clone() {
+            self.state
+                .queue
+                .schedule(SimTime::ZERO + at, Event::Crash { worker });
+        }
+        self.protocol.on_start(&mut Ctx(&mut self.state));
+        let max_time = SimTime::ZERO + self.state.spec.max_time;
+        let mut events: u64 = 0;
+        const EVENT_BUDGET: u64 = 50_000_000;
+        while self.state.stop.is_none() {
+            let Some((at, ev)) = self.state.queue.pop() else {
+                self.state.stop = Some(StopReason::Idle);
+                break;
+            };
+            if at > max_time {
+                self.state.clock = max_time;
+                self.state.stop = Some(StopReason::MaxTime);
+                break;
+            }
+            self.state.clock = at;
+            events += 1;
+            if events > EVENT_BUDGET {
+                self.state.stop = Some(StopReason::MaxTime);
+                break;
+            }
+            match ev {
+                Event::ComputeDone { worker, iter } => {
+                    let s = &mut self.state;
+                    if s.crashed[worker] {
+                        continue;
+                    }
+                    s.computing[worker] = false;
+                    s.local_iter[worker] = iter + 1;
+                    s.pending[worker] = s.in_flight[worker].take();
+                    // Default to Wait; the protocol overrides by starting
+                    // the next compute or marking Communicate.
+                    s.spans.begin(worker, SpanKind::Wait, s.clock);
+                    self.protocol
+                        .on_compute_done(&mut Ctx(&mut self.state), worker, iter);
+                }
+                Event::Message { from, to, msg } => {
+                    self.protocol
+                        .on_message(&mut Ctx(&mut self.state), from, to, msg);
+                }
+                Event::Crash { worker } => {
+                    let s = &mut self.state;
+                    if s.crashed[worker] {
+                        continue;
+                    }
+                    s.crashed[worker] = true;
+                    s.computing[worker] = false;
+                    s.in_flight[worker] = None;
+                    s.pending[worker] = None;
+                    s.spans.end(worker, s.clock);
+                    self.protocol.on_crash(&mut Ctx(&mut self.state), worker);
+                }
+            }
+        }
+        // Final evaluation so every run ends with a fresh measurement.
+        evaluate(&mut self.state);
+        let mut s = self.state;
+        let timeline = crate::timeline::Timeline::from_log(
+            s.spec.num_workers,
+            &s.spans.take_log(),
+            s.clock,
+        );
+        RunResult {
+            protocol: self.protocol.name().to_string(),
+            wall_time: s.clock - SimTime::ZERO,
+            global_rounds: s.global_round,
+            worker_iterations: s.local_iter,
+            history: s.history,
+            breakdown: s.spans.finish(s.clock),
+            comm_bytes: s.comm_bytes,
+            participation_sum: s.participation_sum,
+            stop_reason: s.stop.unwrap_or(StopReason::Idle),
+            final_top5: s.last_top5,
+            workload_trace: s.workload_trace,
+            timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal sequential protocol: one worker at a time computes, its
+    /// gradient is applied to everyone, and the next round begins.
+    struct RoundRobin {
+        current: usize,
+    }
+
+    impl Protocol for RoundRobin {
+        type Msg = ();
+
+        fn name(&self) -> &'static str {
+            "round-robin"
+        }
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.begin_compute(self.current);
+        }
+
+        fn on_compute_done(&mut self, ctx: &mut Ctx<'_, ()>, worker: usize, _iter: u64) {
+            let (_, grad) = ctx.take_gradient(worker).expect("gradient pending");
+            let all: Vec<usize> = (0..ctx.num_workers()).collect();
+            ctx.apply_reduced(&all, &grad, 1.0);
+            ctx.finish_round(1.0 / ctx.num_workers() as f64);
+            if !ctx.stopped() {
+                self.current = (self.current + 1) % ctx.num_workers();
+                ctx.begin_compute(self.current);
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _f: usize, _t: usize, _m: ()) {}
+    }
+
+    #[test]
+    fn engine_runs_and_reduces_loss() {
+        let spec = TrainSpec::smoke_test(3, 11).with_max_rounds(150);
+        let result = Engine::new(spec, RoundRobin { current: 0 }).run();
+        assert_eq!(result.stop_reason, StopReason::MaxRounds);
+        assert_eq!(result.global_rounds, 150);
+        let h = result.history.points();
+        assert!(h.len() >= 2);
+        assert!(
+            h.last().unwrap().loss < h[0].loss,
+            "loss should fall: {} -> {}",
+            h[0].loss,
+            h.last().unwrap().loss
+        );
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            Engine::new(
+                TrainSpec::smoke_test(3, 5).with_max_rounds(40),
+                RoundRobin { current: 0 },
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.history.points().len(), b.history.points().len());
+        assert_eq!(a.final_loss(), b.final_loss());
+        assert_eq!(a.worker_iterations, b.worker_iterations);
+    }
+
+    #[test]
+    fn target_loss_stops_run() {
+        let spec = TrainSpec::smoke_test(2, 3)
+            .with_target_loss(100.0) // trivially satisfied at first eval
+            .with_max_rounds(1000);
+        let result = Engine::new(spec, RoundRobin { current: 0 }).run();
+        assert_eq!(result.stop_reason, StopReason::TargetReached);
+        assert!(result.global_rounds <= 10);
+    }
+
+    #[test]
+    fn max_time_stops_run() {
+        let spec = TrainSpec::smoke_test(2, 3)
+            .with_max_time(SimDuration::from_millis(40))
+            .with_max_rounds(u64::MAX / 2);
+        let result = Engine::new(spec, RoundRobin { current: 0 }).run();
+        assert_eq!(result.stop_reason, StopReason::MaxTime);
+        assert!(result.wall_time <= SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn idle_protocol_stops_immediately() {
+        struct Noop;
+        impl Protocol for Noop {
+            type Msg = ();
+            fn name(&self) -> &'static str {
+                "noop"
+            }
+            fn on_start(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+            fn on_compute_done(&mut self, _c: &mut Ctx<'_, ()>, _w: usize, _i: u64) {}
+            fn on_message(&mut self, _c: &mut Ctx<'_, ()>, _f: usize, _t: usize, _m: ()) {}
+        }
+        let result = Engine::new(TrainSpec::smoke_test(2, 0), Noop).run();
+        assert_eq!(result.stop_reason, StopReason::Idle);
+        assert_eq!(result.global_rounds, 0);
+        assert_eq!(result.total_iterations(), 0);
+    }
+
+    #[test]
+    fn replicas_stay_in_sync_under_shared_updates() {
+        struct SyncCheck;
+        impl Protocol for SyncCheck {
+            type Msg = ();
+            fn name(&self) -> &'static str {
+                "sync-check"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.begin_compute(0);
+            }
+            fn on_compute_done(&mut self, ctx: &mut Ctx<'_, ()>, worker: usize, _iter: u64) {
+                let (_, grad) = ctx.take_gradient(worker).unwrap();
+                let all: Vec<usize> = (0..ctx.num_workers()).collect();
+                ctx.apply_reduced(&all, &grad, 1.0);
+                let p0 = ctx.params(0);
+                for w in 1..ctx.num_workers() {
+                    assert!(ctx.params(w).approx_eq(&p0, 1e-6));
+                }
+                ctx.finish_round(1.0);
+                if ctx.global_round() < 5 {
+                    ctx.begin_compute(0);
+                }
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, ()>, _f: usize, _t: usize, _m: ()) {}
+        }
+        let result = Engine::new(TrainSpec::smoke_test(3, 1), SyncCheck).run();
+        assert_eq!(result.global_rounds, 5);
+    }
+
+    #[test]
+    fn messages_pay_link_latency() {
+        struct PingPong {
+            hops: u32,
+        }
+        impl Protocol for PingPong {
+            type Msg = u32;
+            fn name(&self) -> &'static str {
+                "ping"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.send(0, 1, 1000, 0);
+            }
+            fn on_compute_done(&mut self, _c: &mut Ctx<'_, u32>, _w: usize, _i: u64) {}
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _f: usize, to: usize, hop: u32) {
+                self.hops = hop;
+                if hop < 4 {
+                    ctx.send(to, 1 - to, 1000, hop + 1);
+                }
+            }
+        }
+        let spec = TrainSpec::smoke_test(2, 0);
+        let expected_latency = spec.link.transfer_time(1000) * 5;
+        let result = Engine::new(spec, PingPong { hops: 0 }).run();
+        assert_eq!(result.stop_reason, StopReason::Idle);
+        assert_eq!(result.wall_time, expected_latency);
+        assert_eq!(result.comm_bytes, 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an iteration in flight")]
+    fn double_begin_compute_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = ();
+            fn name(&self) -> &'static str {
+                "bad"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.begin_compute(0);
+                ctx.begin_compute(0);
+            }
+            fn on_compute_done(&mut self, _c: &mut Ctx<'_, ()>, _w: usize, _i: u64) {}
+            fn on_message(&mut self, _c: &mut Ctx<'_, ()>, _f: usize, _t: usize, _m: ()) {}
+        }
+        Engine::new(TrainSpec::smoke_test(1, 0), Bad).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every worker")]
+    fn spec_validates_hetero_size() {
+        let spec = TrainSpec::smoke_test(3, 0).with_hetero(HeterogeneityModel::homogeneous(2));
+        let _ = spec;
+    }
+}

@@ -1,0 +1,158 @@
+//! Run results: what a protocol engine reports when a training run ends.
+
+use rna_simnet::trace::TimeBreakdown;
+use rna_simnet::SimDuration;
+use rna_training::History;
+use rna_workload::trace::WorkloadTrace;
+
+use crate::timeline::Timeline;
+
+/// Why a training run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The evaluation loss reached the configured target.
+    TargetReached,
+    /// Early stopping fired (loss stopped improving).
+    EarlyStopped,
+    /// The virtual-time budget ran out.
+    MaxTime,
+    /// The global-round budget ran out.
+    MaxRounds,
+    /// The event queue drained (protocol quiesced).
+    Idle,
+}
+
+/// The full outcome of one simulated training run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Protocol name (e.g. `"rna"`, `"horovod"`).
+    pub protocol: String,
+    /// Virtual time at which the run stopped.
+    pub wall_time: SimDuration,
+    /// Number of global synchronization rounds executed.
+    pub global_rounds: u64,
+    /// Local iterations completed per worker.
+    pub worker_iterations: Vec<u64>,
+    /// Convergence history (evaluation loss/accuracy over virtual time).
+    pub history: History,
+    /// Per-worker compute/wait/communicate breakdown.
+    pub breakdown: Vec<TimeBreakdown>,
+    /// Total bytes the protocol moved on the network.
+    pub comm_bytes: u64,
+    /// Sum over rounds of the fraction of workers that contributed
+    /// gradients (1.0 for BSP; ≈0.5–0.9 for partial collectives).
+    pub participation_sum: f64,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Top-5 accuracy at the final evaluation (0 for regression tasks).
+    pub final_top5: f64,
+    /// Every iteration's compute duration per worker, replayable through
+    /// [`rna_workload::ComputeTimeModel::Empirical`].
+    pub workload_trace: WorkloadTrace,
+    /// Per-worker execution timeline (span transitions, capped).
+    pub timeline: Timeline,
+}
+
+impl RunResult {
+    /// Total local iterations across all workers.
+    pub fn total_iterations(&self) -> u64 {
+        self.worker_iterations.iter().sum()
+    }
+
+    /// Mean participation per round (`NaN`-free: 0 when no rounds ran).
+    pub fn mean_participation(&self) -> f64 {
+        if self.global_rounds == 0 {
+            0.0
+        } else {
+            self.participation_sum / self.global_rounds as f64
+        }
+    }
+
+    /// Virtual seconds to reach `target` loss, if it was reached.
+    pub fn time_to_loss(&self, target: f64) -> Option<f64> {
+        self.history.time_to_loss(target)
+    }
+
+    /// Final evaluation loss (`None` when nothing was evaluated).
+    pub fn final_loss(&self) -> Option<f64> {
+        self.history.final_loss()
+    }
+
+    /// Final evaluation accuracy.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.history.final_accuracy()
+    }
+
+    /// Best (highest) evaluation accuracy seen.
+    pub fn best_accuracy(&self) -> Option<f64> {
+        self.history.best_accuracy()
+    }
+
+    /// Mean virtual time per global round.
+    pub fn mean_round_time(&self) -> SimDuration {
+        if self.global_rounds == 0 {
+            SimDuration::ZERO
+        } else {
+            self.wall_time / self.global_rounds
+        }
+    }
+
+    /// Throughput in worker-iterations per virtual second.
+    pub fn iteration_throughput(&self) -> f64 {
+        let t = self.wall_time.as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_iterations() as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunResult {
+        let mut history = History::new();
+        history.record(1.0, 1, 2.0, 0.3);
+        history.record(2.0, 2, 1.0, 0.6);
+        RunResult {
+            protocol: "test".into(),
+            wall_time: SimDuration::from_secs(2),
+            global_rounds: 4,
+            worker_iterations: vec![3, 5],
+            history,
+            breakdown: vec![TimeBreakdown::default(); 2],
+            comm_bytes: 1000,
+            participation_sum: 3.0,
+            stop_reason: StopReason::MaxTime,
+            final_top5: 0.0,
+            workload_trace: WorkloadTrace::new(2),
+            timeline: Timeline::default(),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = sample();
+        assert_eq!(r.total_iterations(), 8);
+        assert_eq!(r.mean_participation(), 0.75);
+        assert_eq!(r.mean_round_time(), SimDuration::from_millis(500));
+        assert_eq!(r.iteration_throughput(), 4.0);
+        assert_eq!(r.final_loss(), Some(1.0));
+        assert_eq!(r.final_accuracy(), Some(0.6));
+        assert_eq!(r.best_accuracy(), Some(0.6));
+        assert_eq!(r.time_to_loss(1.5), Some(2.0));
+        assert_eq!(r.time_to_loss(0.5), None);
+    }
+
+    #[test]
+    fn zero_round_run_is_safe() {
+        let mut r = sample();
+        r.global_rounds = 0;
+        r.wall_time = SimDuration::ZERO;
+        assert_eq!(r.mean_participation(), 0.0);
+        assert_eq!(r.mean_round_time(), SimDuration::ZERO);
+        assert_eq!(r.iteration_throughput(), 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Execution timelines: the Figure 3/4 view of a run.
+//!
+//! The engine records every span transition (compute → wait → communicate)
+//! per worker; [`Timeline`] turns the log into per-worker segments and
+//! renders an ASCII gantt chart, letting you *see* the barrier of Figure
+//! 3(a) collapse into the overlap of Figure 3(b) when switching from BSP
+//! to RNA.
+
+use rna_simnet::trace::{SpanEvent, SpanKind};
+use rna_simnet::{SimDuration, SimTime};
+
+/// One contiguous activity segment of a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// What the worker was doing.
+    pub kind: SpanKind,
+    /// Segment start.
+    pub start: SimTime,
+    /// Segment end.
+    pub end: SimTime,
+}
+
+/// Per-worker execution segments reconstructed from a span log.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    per_worker: Vec<Vec<Segment>>,
+    end: SimTime,
+}
+
+impl Timeline {
+    /// Builds the timeline from a transition log, closing every open span
+    /// at `end`.
+    pub fn from_log(num_workers: usize, log: &[SpanEvent], end: SimTime) -> Self {
+        let mut per_worker: Vec<Vec<Segment>> = vec![Vec::new(); num_workers];
+        let mut open: Vec<Option<(SpanKind, SimTime)>> = vec![None; num_workers];
+        for &(w, kind, at) in log {
+            if w >= num_workers {
+                continue;
+            }
+            if let Some((prev, start)) = open[w].take() {
+                if at > start {
+                    per_worker[w].push(Segment {
+                        kind: prev,
+                        start,
+                        end: at,
+                    });
+                }
+            }
+            open[w] = Some((kind, at));
+        }
+        for (w, slot) in open.into_iter().enumerate() {
+            if let Some((kind, start)) = slot {
+                if end > start {
+                    per_worker[w].push(Segment { kind, start, end });
+                }
+            }
+        }
+        Timeline { per_worker, end }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// The segments of one worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn segments(&self, worker: usize) -> &[Segment] {
+        &self.per_worker[worker]
+    }
+
+    /// The instant the timeline ends.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// The dominant activity of `worker` during `[at, at + dt)`, by
+    /// overlap; `None` when nothing is recorded there.
+    pub fn activity_at(&self, worker: usize, at: SimTime, dt: SimDuration) -> Option<SpanKind> {
+        let lo = at;
+        let hi = at + dt;
+        let mut best: Option<(SpanKind, u64)> = None;
+        for s in &self.per_worker[worker] {
+            let ov_lo = s.start.max(lo);
+            let ov_hi = s.end.min(hi);
+            if ov_hi > ov_lo {
+                let overlap = (ov_hi - ov_lo).as_nanos();
+                if best.is_none_or(|(_, b)| overlap > b) {
+                    best = Some((s.kind, overlap));
+                }
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+
+    /// Renders an ASCII gantt: one row per worker, `width` columns covering
+    /// `[from, until)`. `C` = compute, `.` = wait, `M` = communicate
+    /// (message), space = nothing recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `until <= from`.
+    pub fn render_gantt(&self, from: SimTime, until: SimTime, width: usize) -> String {
+        assert!(width > 0, "gantt needs at least one column");
+        assert!(until > from, "empty gantt window");
+        let total = until - from;
+        let dt = total / width as u64;
+        let dt = if dt.is_zero() {
+            SimDuration::from_nanos(1)
+        } else {
+            dt
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "timeline {from} .. {until}  (C=compute  .=wait  M=communicate)\n"
+        ));
+        for w in 0..self.num_workers() {
+            out.push_str(&format!("w{w:<3} "));
+            for col in 0..width {
+                let at = from + dt * col as u64;
+                let ch = match self.activity_at(w, at, dt) {
+                    Some(SpanKind::Compute) => 'C',
+                    Some(SpanKind::Wait) => '.',
+                    Some(SpanKind::Communicate) => 'M',
+                    None => ' ',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fraction of `[SimTime::ZERO, end)` that `worker` spent in `kind`.
+    pub fn fraction(&self, worker: usize, kind: SpanKind) -> f64 {
+        let total = self.end.as_nanos().max(1) as f64;
+        let in_kind: u64 = self.per_worker[worker]
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| (s.end - s.start).as_nanos())
+            .sum();
+        in_kind as f64 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn sample() -> Timeline {
+        let log = vec![
+            (0, SpanKind::Compute, t(0)),
+            (1, SpanKind::Compute, t(0)),
+            (0, SpanKind::Wait, t(10)),
+            (1, SpanKind::Communicate, t(20)),
+            (0, SpanKind::Compute, t(30)),
+        ];
+        Timeline::from_log(2, &log, t(40))
+    }
+
+    #[test]
+    fn segments_reconstructed() {
+        let tl = sample();
+        assert_eq!(tl.num_workers(), 2);
+        let w0 = tl.segments(0);
+        assert_eq!(w0.len(), 3);
+        assert_eq!(w0[0].kind, SpanKind::Compute);
+        assert_eq!(w0[0].end, t(10));
+        assert_eq!(w0[1].kind, SpanKind::Wait);
+        assert_eq!(w0[2].end, t(40));
+        let w1 = tl.segments(1);
+        assert_eq!(w1.len(), 2);
+        assert_eq!(w1[1].kind, SpanKind::Communicate);
+    }
+
+    #[test]
+    fn activity_lookup_picks_dominant() {
+        let tl = sample();
+        assert_eq!(
+            tl.activity_at(0, t(5), SimDuration::from_millis(2)),
+            Some(SpanKind::Compute)
+        );
+        assert_eq!(
+            tl.activity_at(0, t(15), SimDuration::from_millis(2)),
+            Some(SpanKind::Wait)
+        );
+        // Window [8, 14) overlaps compute (2ms) and wait (4ms) → wait.
+        assert_eq!(
+            tl.activity_at(0, t(8), SimDuration::from_millis(6)),
+            Some(SpanKind::Wait)
+        );
+        assert_eq!(tl.activity_at(0, t(45), SimDuration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let tl = sample();
+        let g = tl.render_gantt(t(0), t(40), 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("w0"));
+        assert!(lines[1].contains('C'));
+        assert!(lines[1].contains('.'));
+        assert!(lines[2].contains('M'));
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_fully_covered() {
+        let tl = sample();
+        let sum: f64 = [SpanKind::Compute, SpanKind::Wait, SpanKind::Communicate]
+            .into_iter()
+            .map(|k| tl.fraction(0, k))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn empty_log_is_empty_timeline() {
+        let tl = Timeline::from_log(2, &[], t(10));
+        assert!(tl.segments(0).is_empty());
+        assert_eq!(tl.fraction(0, SpanKind::Compute), 0.0);
+        let g = tl.render_gantt(t(0), t(10), 10);
+        assert!(g.lines().nth(1).unwrap().ends_with(&" ".repeat(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty gantt")]
+    fn gantt_rejects_empty_window() {
+        sample().render_gantt(t(5), t(5), 10);
+    }
+}

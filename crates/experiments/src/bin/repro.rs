@@ -1,0 +1,84 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments: fig1 fig2 fig6 table3 table4 fig7 fig8 fig9 fig10 table5 all
+//! --quick      run with ~8x smaller budgets (same shapes, faster)
+//! ```
+
+use rna_experiments::runners;
+use rna_experiments::ExperimentScale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig1|fig2|fig6|table3|table4|fig7|fig8|fig9|fig10|table5|extended|all> [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::Quick
+    } else {
+        ExperimentScale::Paper
+    };
+    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str);
+    let Some(which) = which else { usage() };
+
+    let run_fig6_family = |wants: &[&str]| {
+        let r = runners::fig6::run(scale);
+        let mut out = String::new();
+        if wants.contains(&"fig6") {
+            out.push_str(&r.render_fig6());
+            out.push('\n');
+        }
+        if wants.contains(&"table3") {
+            out.push_str(&r.render_table3());
+            out.push('\n');
+        }
+        if wants.contains(&"table4") {
+            out.push_str(&r.render_table4());
+            out.push('\n');
+        }
+        out
+    };
+
+    let output = match which {
+        "fig1" => runners::fig1::run(scale).render(),
+        "fig2" => runners::fig2::run(scale).render(),
+        "fig6" => run_fig6_family(&["fig6"]),
+        "table3" => run_fig6_family(&["table3"]),
+        "table4" => run_fig6_family(&["table4"]),
+        "fig7" => runners::fig7::run(scale).render(),
+        "fig8" => runners::fig8::run(scale).render(),
+        "fig9" => runners::fig9::run(scale).render(),
+        "fig10" => runners::fig10::run(scale).render(),
+        "table5" => runners::table5::run(scale).render(),
+        "extended" => runners::extended::run(scale).render(),
+        "all" => {
+            let mut out = String::new();
+            out.push_str(&runners::fig1::run(scale).render());
+            out.push('\n');
+            out.push_str(&runners::fig2::run(scale).render());
+            out.push('\n');
+            out.push_str(&run_fig6_family(&["fig6", "table3", "table4"]));
+            out.push_str(&runners::fig7::run(scale).render());
+            out.push('\n');
+            out.push_str(&runners::fig8::run(scale).render());
+            out.push('\n');
+            out.push_str(&runners::fig9::run(scale).render());
+            out.push('\n');
+            out.push_str(&runners::fig10::run(scale).render());
+            out.push('\n');
+            out.push_str(&runners::table5::run(scale).render());
+            out.push('\n');
+            out.push_str(&runners::extended::run(scale).render());
+            out
+        }
+        _ => usage(),
+    };
+    println!("{output}");
+}

@@ -1,0 +1,136 @@
+//! Extension beyond the paper: all seven synchronization strategies
+//! head-to-head.
+//!
+//! The paper compares four approaches; this workspace also implements the
+//! §9 reference points (backup workers, async-PS, SGP). This runner trains
+//! the ResNet50 stand-in under dynamic heterogeneity with *every*
+//! implemented strategy and reports convergence time, quality, round
+//! structure, and communication volume — the full design-space picture.
+
+use rna_core::{RnaConfig, RunResult, StopReason};
+
+use crate::common::{dynamic_hetero, run_approach, Approach, ExperimentScale, Workload};
+use crate::table::{fmt_f, fmt_pct, fmt_speedup, Table};
+
+/// One approach's row in the extended comparison.
+#[derive(Debug, Clone)]
+pub struct ExtendedRow {
+    /// The approach.
+    pub approach: Approach,
+    /// Virtual seconds to the early-stop criterion (or budget).
+    pub train_time_s: f64,
+    /// Whether the stop criterion fired within budget.
+    pub converged: bool,
+    /// Speedup over Horovod.
+    pub speedup: f64,
+    /// Final evaluation accuracy.
+    pub final_accuracy: f64,
+    /// Gigabytes moved on the network.
+    pub comm_gb: f64,
+    /// Mean per-round participation.
+    pub participation: f64,
+}
+
+/// The extended comparison result set.
+#[derive(Debug, Clone)]
+pub struct ExtendedResult {
+    /// One row per approach, Horovod first.
+    pub rows: Vec<ExtendedRow>,
+}
+
+/// Runs the extended comparison.
+pub fn run(scale: ExperimentScale) -> ExtendedResult {
+    let n = 8;
+    let config = RnaConfig::default();
+    let mut spec = Workload::ResNet50.spec(n, dynamic_hetero(n), 4321, scale);
+    spec.patience = Some(10);
+    let results: Vec<(Approach, RunResult)> = Approach::extended_set()
+        .into_iter()
+        .map(|a| (a, run_approach(a, &spec, &config)))
+        .collect();
+    let horovod_time = results[0].1.wall_time.as_secs_f64();
+    let rows = results
+        .into_iter()
+        .map(|(a, r)| {
+            let t = r.wall_time.as_secs_f64();
+            ExtendedRow {
+                approach: a,
+                train_time_s: t,
+                converged: r.stop_reason == StopReason::EarlyStopped,
+                speedup: if t > 0.0 { horovod_time / t } else { 0.0 },
+                final_accuracy: r.final_accuracy().unwrap_or(0.0),
+                comm_gb: r.comm_bytes as f64 / 1e9,
+                participation: r.mean_participation(),
+            }
+        })
+        .collect();
+    ExtendedResult { rows }
+}
+
+impl ExtendedResult {
+    /// Looks up one approach's row.
+    pub fn row(&self, approach: Approach) -> Option<&ExtendedRow> {
+        self.rows.iter().find(|r| r.approach == approach)
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "approach".into(),
+            "train time s".into(),
+            "speedup".into(),
+            "final acc".into(),
+            "comm GB".into(),
+            "participation".into(),
+        ])
+        .with_title(
+            "Extension: all seven strategies, ResNet50 stand-in, dynamic heterogeneity",
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.approach.name().to_string(),
+                format!(
+                    "{}{}",
+                    fmt_f(r.train_time_s, 1),
+                    if r.converged { "" } else { "*" }
+                ),
+                fmt_speedup(r.speedup),
+                fmt_pct(r.final_accuracy),
+                fmt_f(r.comm_gb, 1),
+                fmt_pct(r.participation),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str("(* = budget exhausted before the early-stop criterion)\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_run_and_rna_is_competitive() {
+        let r = run(ExperimentScale::Quick);
+        assert_eq!(r.rows.len(), 7);
+        let rna = r.row(Approach::Rna).unwrap();
+        let horovod = r.row(Approach::Horovod).unwrap();
+        assert!(
+            rna.train_time_s <= horovod.train_time_s * 1.05,
+            "rna {} vs horovod {}",
+            rna.train_time_s,
+            horovod.train_time_s
+        );
+        // Every strategy produced a working model on this easy task.
+        for row in &r.rows {
+            assert!(
+                row.final_accuracy > 0.5,
+                "{} accuracy {}",
+                row.approach.name(),
+                row.final_accuracy
+            );
+        }
+        assert!(r.render().contains("Extension"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 1: training-time breakdown with different system configurations.
+//!
+//! The motivation experiment (§2.3.1): three workers on BSP ring AllReduce,
+//! with 0 / 10 / 40 ms injected delays, training ResNet-56 and VGG-16 on
+//! CIFAR-10. The figure splits each worker's time into *computation* and
+//! *waiting* (communication + barrier-blocked); the fast worker computes
+//! ~2× faster yet spends most of its time waiting for the stragglers.
+
+use rna_baselines::HorovodProtocol;
+use rna_core::sim::{Engine, TaskKind, TrainSpec};
+use rna_simnet::{LinkModel, SimDuration};
+use rna_training::LrSchedule;
+use rna_workload::{HeterogeneityModel, ModelProfile};
+
+use crate::common::ExperimentScale;
+use crate::table::{fmt_f, fmt_pct, Table};
+
+/// One worker's breakdown row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    /// Network name.
+    pub model: String,
+    /// Worker index (w1 = no delay, w2 = +10 ms, w3 = +40 ms).
+    pub worker: usize,
+    /// Mean computation time per iteration (ms).
+    pub compute_ms: f64,
+    /// Mean waiting time per iteration (ms).
+    pub waiting_ms: f64,
+    /// Fraction of the iteration spent computing.
+    pub compute_fraction: f64,
+}
+
+/// The Figure 1 result set.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// All rows, grouped by model then worker.
+    pub rows: Vec<Fig1Row>,
+}
+
+fn motivation_spec(profile: ModelProfile, scale: ExperimentScale, seed: u64) -> TrainSpec {
+    TrainSpec {
+        num_workers: 3,
+        profile,
+        hetero: HeterogeneityModel::deterministic(&[0, 10, 40]),
+        // The motivation cluster is 10 Gb Ethernet, not InfiniBand.
+        link: LinkModel::ethernet_10g(),
+        task: TaskKind::Classification {
+            dim: 8,
+            classes: 4,
+            hidden: None,
+            samples: 256,
+            spread: 0.5,
+        },
+        seed,
+        batch_size: 16,
+        lr: LrSchedule::Constant(0.1),
+        momentum: 0.0,
+        weight_decay: 0.0,
+        eval_every: 50,
+        eval_every_iters: None,
+        max_time: SimDuration::from_secs(3600),
+        max_rounds: (200.0 * scale.time_factor().max(0.25)) as u64,
+        target_loss: None,
+        patience: None,
+        charge_transfer_overhead: false,
+        crashes: Vec::new(),
+    }
+}
+
+/// Runs the breakdown experiment.
+pub fn run(scale: ExperimentScale) -> Fig1Result {
+    let mut rows = Vec::new();
+    for profile in [ModelProfile::resnet56(), ModelProfile::vgg16()] {
+        let name = profile.name.clone();
+        let spec = motivation_spec(profile, scale, 42);
+        let result = Engine::new(spec, HorovodProtocol::new(3)).run();
+        let iters = result.global_rounds.max(1) as f64;
+        for (w, b) in result.breakdown.iter().enumerate() {
+            rows.push(Fig1Row {
+                model: name.clone(),
+                worker: w + 1,
+                compute_ms: b.compute.as_millis_f64() / iters,
+                waiting_ms: b.waiting().as_millis_f64() / iters,
+                compute_fraction: b.compute_fraction(),
+            });
+        }
+    }
+    Fig1Result { rows }
+}
+
+impl Fig1Result {
+    /// Renders the figure as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "model".into(),
+            "worker".into(),
+            "compute ms/iter".into(),
+            "waiting ms/iter".into(),
+            "compute %".into(),
+        ])
+        .with_title("Figure 1: per-worker time breakdown (BSP, delays 0/10/40 ms)");
+        for r in &self.rows {
+            t.row(vec![
+                r.model.clone(),
+                format!("w{}", r.worker),
+                fmt_f(r.compute_ms, 1),
+                fmt_f(r.waiting_ms, 1),
+                fmt_pct(r.compute_fraction),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_worker_waits_most() {
+        let r = run(ExperimentScale::Quick);
+        assert_eq!(r.rows.len(), 6);
+        for model in ["ResNet56", "VGG16"] {
+            let rows: Vec<&Fig1Row> =
+                r.rows.iter().filter(|row| row.model == model).collect();
+            // w1 (no delay) waits more than w3 (the 40 ms straggler).
+            assert!(
+                rows[0].waiting_ms > rows[2].waiting_ms,
+                "{model}: w1 {} vs w3 {}",
+                rows[0].waiting_ms,
+                rows[2].waiting_ms
+            );
+            // The straggler's wait ≈ just the collective; its compute
+            // fraction is the highest.
+            assert!(rows[2].compute_fraction > rows[0].compute_fraction);
+            // Waiting gap ≈ the 40 ms delay difference.
+            let gap = rows[0].waiting_ms - rows[2].waiting_ms;
+            assert!((gap - 40.0).abs() < 8.0, "gap {gap}");
+        }
+        let text = r.render();
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("VGG16"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 10: effect of the number of probe choices on response time.
+//!
+//! The §8.4 microbenchmark: a simulated 100-node cluster with per-iteration
+//! skew uniform in 10–50 ms; at each iteration the controller probes `d`
+//! random processes and proceeds when the fastest probed process finishes.
+//! One extra probe (d=2) cuts the median response sharply; further probes
+//! stop helping because of messaging overhead — hence the paper's probe
+//! ratio of 2.
+
+use rna_core::probe::simulate_response_times;
+use rna_simnet::{SimDuration, SimRng};
+use rna_tensor::stats::Summary;
+
+use crate::common::ExperimentScale;
+use crate::table::{fmt_f, Table};
+
+/// One probe-count row (a box in the paper's box plot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// Number of probes `d`.
+    pub choices: usize,
+    /// Response-time distribution over the iterations (ms).
+    pub summary: Summary,
+}
+
+/// The Figure 10 result set.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// One row per probe count (1..=5).
+    pub rows: Vec<Fig10Row>,
+}
+
+/// Runs the probe-count sensitivity microbenchmark.
+pub fn run(scale: ExperimentScale) -> Fig10Result {
+    let mut rng = SimRng::seed(1004);
+    let iterations = (1_000.0 * scale.time_factor().max(0.1)) as usize;
+    let rows = (1..=5)
+        .map(|d| {
+            let times = simulate_response_times(
+                100,
+                d,
+                iterations,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(2),
+                &mut rng,
+            );
+            Fig10Row {
+                choices: d,
+                summary: Summary::of(&times),
+            }
+        })
+        .collect();
+    Fig10Result { rows }
+}
+
+impl Fig10Result {
+    /// The probe count with the lowest median response.
+    pub fn best_choice(&self) -> usize {
+        self.rows
+            .iter()
+            .min_by(|a, b| a.summary.p50.partial_cmp(&b.summary.p50).unwrap())
+            .map(|r| r.choices)
+            .unwrap_or(1)
+    }
+
+    /// Renders the box-plot data as a table (whiskers p5/p95, box
+    /// p25/p50/p75 — the paper's convention).
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "choices".into(),
+            "p5".into(),
+            "p25".into(),
+            "median".into(),
+            "p75".into(),
+            "p95".into(),
+            "mean".into(),
+        ])
+        .with_title("Figure 10: response time (ms) vs number of probe choices, 100 nodes");
+        for r in &self.rows {
+            let s = &r.summary;
+            t.row(vec![
+                r.choices.to_string(),
+                fmt_f(s.p5, 1),
+                fmt_f(s.p25, 1),
+                fmt_f(s.p50, 1),
+                fmt_f(s.p75, 1),
+                fmt_f(s.p95, 1),
+                fmt_f(s.mean, 1),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!("best probe count: {}\n", self.best_choice()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_choices_is_the_operating_point() {
+        let r = run(ExperimentScale::Paper);
+        assert_eq!(r.rows.len(), 5);
+        let medians: Vec<f64> = r.rows.iter().map(|row| row.summary.p50).collect();
+        // d=2 strictly better than d=1 (the paper's 2.4× median claim in
+        // direction; magnitude depends on the unreported skew shape —
+        // see EXPERIMENTS.md).
+        assert!(medians[1] < medians[0] * 0.95, "{medians:?}");
+        // Oversampling stops paying: d=5 is worse than d=2.
+        assert!(medians[4] > medians[1], "{medians:?}");
+        // The elected operating point is 2 (or 3 at worst, given noise).
+        assert!(r.best_choice() <= 3);
+        // Spread shrinks from d=1 to d=2.
+        let spread = |s: &Summary| s.p75 - s.p25;
+        assert!(spread(&r.rows[1].summary) < spread(&r.rows[0].summary));
+        assert!(r.render().contains("Figure 10"));
+    }
+}

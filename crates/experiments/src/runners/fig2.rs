@@ -1,0 +1,144 @@
+//! Figure 2: inherent load imbalance from training an LSTM on UCF101.
+//!
+//! (a) The distribution of video frame counts (paper: range 29–1776, mean
+//! 186, σ 97.7 over 13,320 videos). (b) The per-batch training-time
+//! distribution for a 2048-wide LSTM over 2,000 sampled batches (paper:
+//! range 156–8000 ms, mean 1219 ms, σ 760 ms).
+
+use rna_simnet::{SimDuration, SimRng};
+use rna_tensor::stats::{Histogram, Summary};
+use rna_workload::video::{BatchTimeModel, VideoLengthModel};
+
+use crate::common::ExperimentScale;
+use crate::table::{fmt_f, Table};
+
+/// The Figure 2 result set.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Summary of the video-length distribution (Figure 2a).
+    pub lengths: Summary,
+    /// Histogram of video lengths.
+    pub length_hist: Vec<(f64, u64)>,
+    /// Summary of per-batch training times in ms (Figure 2b).
+    pub batch_times: Summary,
+    /// Histogram of batch times.
+    pub batch_hist: Vec<(f64, u64)>,
+}
+
+/// Runs the imbalance characterization.
+pub fn run(scale: ExperimentScale) -> Fig2Result {
+    let mut rng = SimRng::seed(101);
+    let corpus_size = (13_320.0 * scale.time_factor().max(0.25)) as usize;
+    let batches = (2_000.0 * scale.time_factor().max(0.25)) as usize;
+
+    // (a) UCF101-like corpus.
+    let corpus = VideoLengthModel::ucf101().corpus(corpus_size, &mut rng);
+    let lengths = corpus.summary();
+    let mut length_hist = Histogram::new(0.0, 800.0, 16);
+    for &l in corpus.lengths() {
+        length_hist.record(l as f64);
+    }
+
+    // (b) Batch times for a recurrent model with bucketed batching (videos
+    // of similar length batched together), calibrated to the paper's
+    // 1219 ms mean; bucketing preserves the per-video coefficient of
+    // variation, which is what Figure 2b's σ = 760 ms implies.
+    let model = BatchTimeModel::calibrate_bucketed(&corpus, SimDuration::from_millis(1219));
+    let times: Vec<f64> = (0..batches)
+        .map(|_| {
+            model
+                .batch_time(corpus.sample_bucketed_units(&mut rng))
+                .as_millis_f64()
+                .min(8_000.0) // the paper's observed ceiling
+        })
+        .collect();
+    let batch_times = Summary::of(&times);
+    let mut batch_hist = Histogram::new(0.0, 8_000.0, 16);
+    for &t in &times {
+        batch_hist.record(t);
+    }
+
+    Fig2Result {
+        lengths,
+        length_hist: length_hist.buckets(),
+        batch_times,
+        batch_hist: batch_hist.buckets(),
+    }
+}
+
+impl Fig2Result {
+    /// Renders both panels as tables.
+    pub fn render(&self) -> String {
+        let summary_table = |title: &str, s: &Summary, unit: &str| {
+            let mut t = Table::new(vec![
+                "stat".into(),
+                format!("value ({unit})"),
+            ])
+            .with_title(title.to_string());
+            for (name, v) in [
+                ("count", s.count as f64),
+                ("mean", s.mean),
+                ("stddev", s.stddev),
+                ("min", s.min),
+                ("p50", s.p50),
+                ("p95", s.p95),
+                ("max", s.max),
+            ] {
+                t.row(vec![name.into(), fmt_f(v, 1)]);
+            }
+            t.render()
+        };
+        let mut out = summary_table(
+            "Figure 2a: UCF101-like video frame counts",
+            &self.lengths,
+            "frames",
+        );
+        out.push('\n');
+        out.push_str(&summary_table(
+            "Figure 2b: LSTM per-batch training time",
+            &self.batch_times,
+            "ms",
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_match_paper_statistics() {
+        let r = run(ExperimentScale::Paper);
+        // Figure 2a targets.
+        assert!((r.lengths.mean - 186.0).abs() < 10.0, "mean {}", r.lengths.mean);
+        assert!((r.lengths.stddev - 97.7).abs() < 15.0);
+        assert!(r.lengths.min >= 29.0 && r.lengths.max <= 1776.0);
+        // Figure 2b targets: long-tail batch times around 1219 ms with a
+        // spread comparable to the paper's σ = 760 ms.
+        assert!(
+            (r.batch_times.mean - 1219.0).abs() < 150.0,
+            "batch mean {}",
+            r.batch_times.mean
+        );
+        assert!(
+            r.batch_times.stddev > 450.0,
+            "batch std {} too narrow for Figure 2b",
+            r.batch_times.stddev
+        );
+        assert!(r.batch_times.max <= 8_000.0 * 1.01);
+        // Long tail: p95 well above median.
+        assert!(r.batch_times.p95 > 1.2 * r.batch_times.p50);
+        // Histograms conserve mass.
+        let total: u64 = r.length_hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total as usize, r.lengths.count);
+        assert!(r.render().contains("Figure 2a"));
+    }
+
+    #[test]
+    fn quick_scale_shrinks_samples() {
+        let r = run(ExperimentScale::Quick);
+        assert!(r.lengths.count < 13_320);
+        assert!(r.lengths.count > 1_000);
+    }
+}

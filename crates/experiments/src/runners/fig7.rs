@@ -1,0 +1,118 @@
+//! Figure 7: convergence curves for LSTM.
+//!
+//! Loss and training accuracy over virtual time for Horovod, eager-SGD,
+//! AD-PSGD, and RNA on the long-tail LSTM workload. The paper's shape:
+//! AD-PSGD moves fast but converges to a visibly worse loss/accuracy; RNA
+//! tracks Horovod's quality while finishing much earlier.
+
+use rna_core::RnaConfig;
+use rna_training::History;
+
+use crate::common::{dynamic_hetero, run_approach, Approach, ExperimentScale, Workload};
+use crate::table::{fmt_f, fmt_pct, Table};
+
+/// One approach's convergence curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// The approach.
+    pub approach: Approach,
+    /// The full evaluation history.
+    pub history: History,
+}
+
+/// The Figure 7 result set.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// One curve per approach.
+    pub curves: Vec<Curve>,
+}
+
+/// Runs the convergence-curve experiment.
+pub fn run(scale: ExperimentScale) -> Fig7Result {
+    let n = 8;
+    let config = RnaConfig::default();
+    let spec = Workload::Lstm.spec(n, dynamic_hetero(n), 77, scale);
+    let curves = Approach::paper_set()
+        .into_iter()
+        .map(|a| Curve {
+            approach: a,
+            history: run_approach(a, &spec, &config).history,
+        })
+        .collect();
+    Fig7Result { curves }
+}
+
+impl Fig7Result {
+    /// The curve of one approach.
+    pub fn curve(&self, approach: Approach) -> Option<&Curve> {
+        self.curves.iter().find(|c| c.approach == approach)
+    }
+
+    /// Renders each curve down-sampled to at most `points` rows.
+    pub fn render(&self) -> String {
+        let points = 9;
+        let mut out = String::from("Figure 7: LSTM convergence (loss / accuracy vs time)\n");
+        for c in &self.curves {
+            let mut t = Table::new(vec![
+                "time s".into(),
+                "loss".into(),
+                "accuracy".into(),
+            ])
+            .with_title(format!("-- {}", c.approach.name()));
+            let pts = c.history.points();
+            if pts.is_empty() {
+                continue;
+            }
+            let stride = (pts.len() / points).max(1);
+            for p in pts.iter().step_by(stride) {
+                t.row(vec![
+                    fmt_f(p.time_s, 1),
+                    fmt_f(p.loss, 4),
+                    fmt_pct(p.accuracy),
+                ]);
+            }
+            let last = pts.last().unwrap();
+            t.row(vec![
+                fmt_f(last.time_s, 1),
+                fmt_f(last.loss, 4),
+                fmt_pct(last.accuracy),
+            ]);
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_shapes() {
+        let r = run(ExperimentScale::Quick);
+        assert_eq!(r.curves.len(), 4);
+        for c in &r.curves {
+            let pts = c.history.points();
+            assert!(pts.len() >= 2, "{} curve too short", c.approach.name());
+            assert!(
+                pts.last().unwrap().loss < pts[0].loss,
+                "{} did not descend",
+                c.approach.name()
+            );
+        }
+        // RNA ends at a loss comparable to (or better than) AD-PSGD's.
+        let rna = r.curve(Approach::Rna).unwrap().history.best_loss().unwrap();
+        let adpsgd = r
+            .curve(Approach::AdPsgd)
+            .unwrap()
+            .history
+            .best_loss()
+            .unwrap();
+        assert!(
+            rna <= adpsgd * 1.15,
+            "RNA best {rna} vs AD-PSGD best {adpsgd}"
+        );
+        assert!(r.render().contains("Figure 7"));
+    }
+}

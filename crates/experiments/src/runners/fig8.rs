@@ -1,0 +1,135 @@
+//! Figure 8: Transformer per-iteration and overall speedup.
+//!
+//! Fixed-time Transformer training (§8.3) in a homogeneous environment
+//! (imbalance comes only from token-length variance) and a heterogeneous
+//! one (added 0–50 ms dynamic slowdown). Two metrics, both normalized to
+//! Horovod:
+//!
+//! * **per-iteration speedup** — mean time per worker-iteration,
+//! * **overall speedup** — time until the early-stopping criterion fires
+//!   (§8.1: Keras EarlyStopping, patience 10).
+
+use rna_core::{RnaConfig, RunResult};
+use rna_workload::HeterogeneityModel;
+
+use crate::common::{dynamic_hetero, run_approach, Approach, ExperimentScale, Workload};
+use crate::table::{fmt_f, fmt_speedup, Table};
+
+/// One approach × environment row.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Environment name (`homogeneous` / `heterogeneous`).
+    pub environment: &'static str,
+    /// The approach.
+    pub approach: Approach,
+    /// Mean virtual time per worker-iteration (ms).
+    pub per_iteration_ms: f64,
+    /// Per-iteration speedup over Horovod.
+    pub per_iteration_speedup: f64,
+    /// Overall (time-to-target) speedup over Horovod.
+    pub overall_speedup: f64,
+}
+
+/// The Figure 8 result set.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// All rows.
+    pub rows: Vec<Fig8Row>,
+}
+
+fn per_iteration_ms(r: &RunResult) -> f64 {
+    let iters = r.total_iterations().max(1) as f64;
+    r.wall_time.as_millis_f64() / iters
+}
+
+/// Runs the Transformer throughput comparison.
+pub fn run(scale: ExperimentScale) -> Fig8Result {
+    let n = 8;
+    let config = RnaConfig::default();
+    let mut rows = Vec::new();
+    for (environment, hetero) in [
+        ("homogeneous", HeterogeneityModel::homogeneous(n)),
+        ("heterogeneous", dynamic_hetero(n)),
+    ] {
+        let mut spec = Workload::Transformer.spec(n, hetero, 88, scale);
+        // §8.1's stopping criterion: loss plateau with patience 10.
+        spec.patience = Some(10);
+        let results: Vec<(Approach, RunResult)> = Approach::paper_set()
+            .into_iter()
+            .map(|a| (a, run_approach(a, &spec, &config)))
+            .collect();
+        let horovod = &results[0].1;
+        let h_iter = per_iteration_ms(horovod);
+        let h_overall = horovod.wall_time.as_secs_f64();
+        for (a, r) in &results {
+            let iter_ms = per_iteration_ms(r);
+            let t = r.wall_time.as_secs_f64();
+            let overall = if t > 0.0 { h_overall / t } else { 0.0 };
+            rows.push(Fig8Row {
+                environment,
+                approach: *a,
+                per_iteration_ms: iter_ms,
+                per_iteration_speedup: if iter_ms > 0.0 { h_iter / iter_ms } else { 0.0 },
+                overall_speedup: overall,
+            });
+        }
+    }
+    Fig8Result { rows }
+}
+
+impl Fig8Result {
+    /// Looks up a row.
+    pub fn row(&self, environment: &str, approach: Approach) -> Option<&Fig8Row> {
+        self.rows
+            .iter()
+            .find(|r| r.environment == environment && r.approach == approach)
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "environment".into(),
+            "approach".into(),
+            "per-iter ms".into(),
+            "per-iter speedup".into(),
+            "overall speedup".into(),
+        ])
+        .with_title("Figure 8: Transformer speedups over Horovod (8 workers)");
+        for r in &self.rows {
+            t.row(vec![
+                r.environment.to_string(),
+                r.approach.name().to_string(),
+                fmt_f(r.per_iteration_ms, 1),
+                fmt_speedup(r.per_iteration_speedup),
+                if r.overall_speedup > 0.0 {
+                    fmt_speedup(r.overall_speedup)
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rna_leads_per_iteration_speedup() {
+        let r = run(ExperimentScale::Quick);
+        assert_eq!(r.rows.len(), 8);
+        for env in ["homogeneous", "heterogeneous"] {
+            let rna = r.row(env, Approach::Rna).unwrap();
+            let horovod = r.row(env, Approach::Horovod).unwrap();
+            assert!(
+                rna.per_iteration_speedup > 1.0,
+                "{env}: RNA per-iter speedup {}",
+                rna.per_iteration_speedup
+            );
+            assert!((horovod.per_iteration_speedup - 1.0).abs() < 1e-9);
+        }
+        assert!(r.render().contains("Figure 8"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 9: Transformer throughput vs number of processes.
+//!
+//! Fixed-duration training of the Transformer stand-in at 4, 8, 16, and 32
+//! workers under dynamic heterogeneity; throughput is tokens processed per
+//! virtual second (iterations × 4096-token batches). The paper's shape:
+//! all approaches gain with scale, the asynchronous ones (AD-PSGD, RNA)
+//! scale best, Horovod lags because the barrier amplifies with `n`
+//! (E[max of n delays] grows), and eager-SGD sits in between.
+
+use rna_core::{RnaConfig, RunResult};
+
+use crate::common::{dynamic_hetero, run_approach, Approach, ExperimentScale, Workload};
+use crate::table::{fmt_f, Table};
+
+/// Throughput of one approach at one scale.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Number of workers.
+    pub workers: usize,
+    /// The approach.
+    pub approach: Approach,
+    /// Tokens per virtual second.
+    pub tokens_per_sec: f64,
+}
+
+/// The Figure 9 result set.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// All rows, grouped by worker count.
+    pub rows: Vec<Fig9Row>,
+}
+
+fn tokens_per_sec(r: &RunResult, batch_tokens: u64) -> f64 {
+    let secs = r.wall_time.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        (r.total_iterations() * batch_tokens) as f64 / secs
+    }
+}
+
+/// Runs the scalability sweep.
+pub fn run(scale: ExperimentScale) -> Fig9Result {
+    run_with_workers(&[4, 8, 16, 32], scale)
+}
+
+/// Runs the sweep over chosen worker counts (the benches use a subset).
+pub fn run_with_workers(worker_counts: &[usize], scale: ExperimentScale) -> Fig9Result {
+    let config = RnaConfig::default();
+    let batch_tokens = Workload::Transformer.profile().batch_size as u64;
+    let mut rows = Vec::new();
+    for &n in worker_counts {
+        let mut spec = Workload::Transformer.spec(n, dynamic_hetero(n), 99, scale);
+        // A fixed-duration throughput probe: a quarter of the training
+        // budget is plenty to measure steady-state rates.
+        spec.max_time = spec.max_time * 0.25;
+        for a in Approach::paper_set() {
+            let r = run_approach(a, &spec, &config);
+            rows.push(Fig9Row {
+                workers: n,
+                approach: a,
+                tokens_per_sec: tokens_per_sec(&r, batch_tokens),
+            });
+        }
+    }
+    Fig9Result { rows }
+}
+
+impl Fig9Result {
+    /// Looks up a row.
+    pub fn row(&self, workers: usize, approach: Approach) -> Option<&Fig9Row> {
+        self.rows
+            .iter()
+            .find(|r| r.workers == workers && r.approach == approach)
+    }
+
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "workers".into(),
+            "approach".into(),
+            "tokens/s".into(),
+        ])
+        .with_title("Figure 9: Transformer throughput vs process count");
+        for r in &self.rows {
+            t.row(vec![
+                r.workers.to_string(),
+                r.approach.name().to_string(),
+                fmt_f(r.tokens_per_sec, 0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rna_scales_better_than_horovod() {
+        let r = run_with_workers(&[4, 16], ExperimentScale::Quick);
+        assert_eq!(r.rows.len(), 8);
+        let rna4 = r.row(4, Approach::Rna).unwrap().tokens_per_sec;
+        let rna16 = r.row(16, Approach::Rna).unwrap().tokens_per_sec;
+        let h4 = r.row(4, Approach::Horovod).unwrap().tokens_per_sec;
+        let h16 = r.row(16, Approach::Horovod).unwrap().tokens_per_sec;
+        // Everyone gains with workers.
+        assert!(rna16 > rna4, "RNA {rna4} -> {rna16}");
+        assert!(h16 > h4, "Horovod {h4} -> {h16}");
+        // RNA's scaling factor beats Horovod's (the barrier tax grows
+        // with n).
+        assert!(
+            rna16 / rna4 > h16 / h4,
+            "RNA x{:.2} vs Horovod x{:.2}",
+            rna16 / rna4,
+            h16 / h4
+        );
+        // At every scale, RNA's absolute throughput leads Horovod's.
+        assert!(rna16 > h16);
+        assert!(r.render().contains("Figure 9"));
+    }
+}

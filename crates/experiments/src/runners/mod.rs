@@ -1,0 +1,14 @@
+//! One runner per table/figure of the paper's evaluation.
+//!
+//! Each runner exposes `run(scale) -> Result` returning structured data
+//! plus a `render()` that prints the same rows/series the paper reports.
+
+pub mod extended;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table5;

@@ -1,0 +1,198 @@
+//! Plain-text rendering of result tables and series.
+//!
+//! The `repro` binary prints the same rows the paper reports; these helpers
+//! keep the output aligned and diff-friendly so EXPERIMENTS.md can quote it
+//! verbatim.
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use rna_experiments::table::Table;
+///
+/// let mut t = Table::new(vec!["approach".into(), "speedup".into()]);
+/// t.row(vec!["RNA".into(), "1.7x".into()]);
+/// let s = t.render();
+/// assert!(s.contains("RNA"));
+/// assert!(s.contains("speedup"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats a speedup as `1.73x`.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage `92.4%`.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Renders a horizontal ASCII bar chart (one row per label) scaled to
+/// `width` characters at the maximum value.
+///
+/// # Examples
+///
+/// ```
+/// let s = rna_experiments::table::bar_chart(
+///     &[("a".to_string(), 2.0), ("b".to_string(), 4.0)], 8);
+/// assert!(s.contains("########"));
+/// ```
+pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
+    let max = entries
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in entries {
+        let bars = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label}{}  {} {v:.3}\n",
+            " ".repeat(label_w - label.len()),
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["model".into(), "acc".into()]).with_title("Table X");
+        t.row(vec!["ResNet50".into(), "76.2%".into()]);
+        t.row(vec!["VGG".into(), "92.5%".into()]);
+        let s = t.render();
+        assert!(s.starts_with("Table X\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows
+        assert_eq!(lines.len(), 5);
+        // Columns align: "acc" starts at the same offset in each line.
+        let pos = lines[1].find("acc").unwrap();
+        assert_eq!(&lines[3][pos..pos + 1], "7"); // 76.2%
+        assert_eq!(&lines[4][pos..pos + 1], "9"); // 92.5%
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        Table::new(vec!["a".into()]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_speedup(1.7), "1.70x");
+        assert_eq!(fmt_pct(0.924), "92.4%");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(&[("x".into(), 1.0), ("y".into(), 2.0)], 10);
+        assert!(s.lines().nth(1).unwrap().contains("##########"));
+        assert!(s.lines().next().unwrap().contains("#####"));
+    }
+
+    #[test]
+    fn bar_chart_empty_and_zero() {
+        assert_eq!(bar_chart(&[], 10), "");
+        let s = bar_chart(&[("z".into(), 0.0)], 10);
+        assert!(s.contains("z"));
+    }
+}

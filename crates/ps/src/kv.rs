@@ -1,0 +1,174 @@
+//! Key-value parameter sharding (the ps-lite interface).
+//!
+//! ps-lite exposes parameters as keyed shards so pushes/pulls can be
+//! per-layer and the server side can parallelize summation. The flat
+//! parameter tensor is split into `num_keys` contiguous shards using the
+//! same partitioning as ring chunks.
+
+use rna_tensor::{partition, ChunkRange, Tensor};
+
+/// A tensor store sharded into contiguous keyed ranges.
+///
+/// # Examples
+///
+/// ```
+/// use rna_ps::ShardedStore;
+/// use rna_tensor::Tensor;
+///
+/// let mut store = ShardedStore::new(Tensor::zeros(10), 3);
+/// store.push_key(0, &Tensor::from_vec(vec![1.0; 4]));
+/// assert_eq!(store.pull_key(0).as_slice(), &[1.0; 4]);
+/// assert_eq!(store.assemble().len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedStore {
+    data: Tensor,
+    shards: Vec<ChunkRange>,
+    versions: Vec<u64>,
+}
+
+impl ShardedStore {
+    /// Creates a store over `init`, split into `num_keys` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_keys == 0` or exceeds the tensor length (empty shards
+    /// would make keys meaningless).
+    pub fn new(init: Tensor, num_keys: usize) -> Self {
+        assert!(num_keys > 0, "need at least one key");
+        assert!(
+            num_keys <= init.len().max(1),
+            "more keys than parameters"
+        );
+        let shards = partition(init.len(), num_keys);
+        ShardedStore {
+            data: init,
+            versions: vec![0; num_keys],
+            shards,
+        }
+    }
+
+    /// Number of keys.
+    pub fn num_keys(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The element range covered by `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn key_range(&self, key: usize) -> ChunkRange {
+        self.shards[key]
+    }
+
+    /// Overwrites one shard (a per-key push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range or the value length differs from the
+    /// shard length.
+    pub fn push_key(&mut self, key: usize, value: &Tensor) {
+        let range = self.shards[key];
+        assert_eq!(value.len(), range.len(), "shard length mismatch");
+        self.data.write_chunk(range.start, value);
+        self.versions[key] += 1;
+    }
+
+    /// Reads one shard (a per-key pull).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn pull_key(&self, key: usize) -> Tensor {
+        self.data.slice(self.shards[key].as_range())
+    }
+
+    /// Per-key update counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn key_version(&self, key: usize) -> u64 {
+        self.versions[key]
+    }
+
+    /// The full assembled parameter tensor.
+    pub fn assemble(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Splits a full-size tensor into per-key values aligned with this
+    /// store's shards (what a worker does before a sharded push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` has a different length than the store.
+    pub fn split(&self, full: &Tensor) -> Vec<Tensor> {
+        assert_eq!(full.len(), self.data.len(), "tensor length mismatch");
+        self.shards
+            .iter()
+            .map(|r| full.slice(r.as_range()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shards_cover_tensor() {
+        let store = ShardedStore::new(Tensor::zeros(10), 3);
+        assert_eq!(store.num_keys(), 3);
+        let total: usize = (0..3).map(|k| store.key_range(k).len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn push_pull_roundtrip() {
+        let mut store = ShardedStore::new(Tensor::zeros(7), 2);
+        let v = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        store.push_key(0, &v);
+        assert_eq!(store.pull_key(0), v);
+        assert_eq!(store.key_version(0), 1);
+        assert_eq!(store.key_version(1), 0);
+    }
+
+    #[test]
+    fn split_then_push_reassembles() {
+        let full: Tensor = (0..9).map(|i| i as f32).collect();
+        let mut store = ShardedStore::new(Tensor::zeros(9), 4);
+        for (k, shard) in store.split(&full).iter().enumerate() {
+            store.push_key(k, shard);
+        }
+        assert_eq!(store.assemble(), &full);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard length mismatch")]
+    fn wrong_shard_size_panics() {
+        let mut store = ShardedStore::new(Tensor::zeros(10), 2);
+        store.push_key(0, &Tensor::zeros(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "more keys than parameters")]
+    fn too_many_keys_panics() {
+        ShardedStore::new(Tensor::zeros(2), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn split_push_assemble_identity(len in 1usize..200, keys in 1usize..16) {
+            prop_assume!(keys <= len);
+            let full: Tensor = (0..len).map(|i| i as f32 * 0.5).collect();
+            let mut store = ShardedStore::new(Tensor::zeros(len), keys);
+            for (k, shard) in store.split(&full).iter().enumerate() {
+                store.push_key(k, shard);
+            }
+            prop_assert_eq!(store.assemble(), &full);
+        }
+    }
+}

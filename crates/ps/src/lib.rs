@@ -1,0 +1,25 @@
+//! # rna-ps
+//!
+//! A parameter-server substrate in the style of ps-lite (§6).
+//!
+//! The hierarchical synchronization of §4 treats each AllReduce group as one
+//! logical "worker" of a traditional PS: the group's elected initiator
+//! pushes the group's averaged parameters, the server averages across
+//! groups, and the initiator pulls the blended result back to broadcast it
+//! within the group. Because groups run at different speeds, the exchange is
+//! *asynchronous* — the server never blocks waiting for a group.
+//!
+//! * [`GroupServer`] — one parameter slot per group, model averaging across
+//!   the latest push of each group, per-group version/staleness tracking,
+//!   and the paper's atomic `PSPushPull` operation.
+//! * [`kv`] — the key-value sharding layer: parameters are split into keyed
+//!   shards (ps-lite's interface) so pushes and pulls can be per-key.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kv;
+mod server;
+
+pub use kv::ShardedStore;
+pub use server::GroupServer;

@@ -1,0 +1,34 @@
+//! # rna-runtime
+//!
+//! A real multi-threaded RNA runtime: OS threads, channels, and locks
+//! instead of the discrete-event simulator.
+//!
+//! The paper implements RNA with two threads per process — computation on
+//! the GPU, communication via background MPI (§3.3/§6). This crate
+//! reproduces that split with actual concurrency: each worker is an OS
+//! thread alternating compute (a busy interval plus a real gradient on its
+//! replica) and deposits into a shared gradient cache; a controller thread
+//! probes workers, forces partial reductions, and publishes updated
+//! parameters. It exists to show the protocol is implementable outside the
+//! simulator and that the DES results are not simulation artifacts; the
+//! integration tests cross-check the two.
+//!
+//! Both RNA and a BSP baseline are provided behind [`SyncMode`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rna_runtime::{run_threaded, SyncMode, ThreadedConfig};
+//!
+//! let config = ThreadedConfig::quick(3, SyncMode::Rna);
+//! let result = run_threaded(&config);
+//! assert_eq!(result.rounds, config.rounds);
+//! assert!(result.final_loss.is_finite());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod threaded;
+
+pub use threaded::{run_threaded, SyncMode, ThreadedConfig, ThreadedResult};

@@ -1,0 +1,452 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use rna_core::cache::GradientCache;
+use rna_simnet::SimRng;
+use rna_tensor::{reduce::weighted_average, Tensor};
+use rna_training::model::SoftmaxClassifier;
+use rna_training::{BatchSampler, Dataset, Model, Sgd};
+
+/// Which synchronization strategy the threaded runtime runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Strict barrier: every round waits for all workers (Horovod-style).
+    Bsp,
+    /// Randomized non-blocking AllReduce with power-of-d probing.
+    Rna,
+    /// Majority-triggered partial collectives (eager-SGD): like RNA but
+    /// the round fires when more than half the caches are ready.
+    EagerMajority,
+}
+
+/// Configuration of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Number of worker threads.
+    pub num_workers: usize,
+    /// Number of synchronization rounds to execute.
+    pub rounds: u64,
+    /// Probes per round (RNA only).
+    pub probes: usize,
+    /// Per-worker compute time as a uniform microsecond range.
+    pub compute_us: Vec<(u64, u64)>,
+    /// Master seed.
+    pub seed: u64,
+    /// Synchronization mode.
+    pub mode: SyncMode,
+    /// Learning rate.
+    pub lr: f32,
+    /// Gradient-cache staleness bound (RNA only).
+    pub staleness_bound: usize,
+    /// Maximum iterations a worker may lead the round counter (RNA only).
+    pub max_lead: u64,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+}
+
+impl ThreadedConfig {
+    /// A fast homogeneous configuration for tests: 1–2 ms compute, 30
+    /// rounds.
+    pub fn quick(num_workers: usize, mode: SyncMode) -> Self {
+        ThreadedConfig {
+            num_workers,
+            rounds: 30,
+            probes: 2,
+            compute_us: vec![(1_000, 2_000); num_workers],
+            seed: 7,
+            mode,
+            lr: 0.2,
+            staleness_bound: 4,
+            max_lead: 8,
+            batch_size: 16,
+        }
+    }
+
+    /// Makes the last worker a straggler with the given compute range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no workers.
+    pub fn with_straggler(mut self, lo_us: u64, hi_us: u64) -> Self {
+        let last = self
+            .compute_us
+            .last_mut()
+            .expect("need at least one worker");
+        *last = (lo_us, hi_us);
+        self
+    }
+}
+
+/// The outcome of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedResult {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Real elapsed wall-clock time.
+    pub wall: Duration,
+    /// Final loss over the full dataset.
+    pub final_loss: f32,
+    /// Final accuracy over the full dataset.
+    pub final_accuracy: f32,
+    /// Local iterations completed per worker.
+    pub worker_iterations: Vec<u64>,
+    /// Mean fraction of workers contributing per round.
+    pub mean_participation: f64,
+}
+
+struct WorkerSlot {
+    cache: Mutex<GradientCache>,
+    params: RwLock<Tensor>,
+    iterations: AtomicU64,
+}
+
+struct Shared {
+    slots: Vec<WorkerSlot>,
+    round: AtomicU64,
+    stop: AtomicBool,
+    pause_lock: Mutex<()>,
+    pause_cv: Condvar,
+}
+
+/// Runs a full training session on real OS threads and returns the result.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (zero workers/rounds, or a
+/// `compute_us` list of the wrong length).
+pub fn run_threaded(config: &ThreadedConfig) -> ThreadedResult {
+    assert!(config.num_workers > 0, "need at least one worker");
+    assert!(config.rounds > 0, "need at least one round");
+    assert_eq!(
+        config.compute_us.len(),
+        config.num_workers,
+        "one compute range per worker"
+    );
+    let mut rng = SimRng::seed(config.seed);
+    let dataset = Arc::new(Dataset::blobs(256, 8, 4, 0.4, &mut rng));
+    let template = SoftmaxClassifier::new(8, 4, &mut rng);
+    match config.mode {
+        SyncMode::Bsp => run_bsp(config, dataset, template, rng),
+        SyncMode::Rna | SyncMode::EagerMajority => run_rna(config, dataset, template, rng),
+    }
+}
+
+fn sleep_range(rng: &mut SimRng, (lo, hi): (u64, u64)) {
+    let us = if hi > lo { rng.uniform_u64(lo..hi) } else { lo };
+    std::thread::sleep(Duration::from_micros(us));
+}
+
+fn run_bsp(
+    config: &ThreadedConfig,
+    dataset: Arc<Dataset>,
+    template: SoftmaxClassifier,
+    mut rng: SimRng,
+) -> ThreadedResult {
+    let n = config.num_workers;
+    let (grad_tx, grad_rx): (Sender<(usize, Tensor)>, Receiver<(usize, Tensor)>) = unbounded();
+    let mut param_txs = Vec::new();
+    let mut handles = Vec::new();
+    let start = Instant::now();
+    for w in 0..n {
+        let (ptx, prx): (Sender<Option<Tensor>>, Receiver<Option<Tensor>>) = unbounded();
+        param_txs.push(ptx);
+        let grad_tx = grad_tx.clone();
+        let dataset = Arc::clone(&dataset);
+        let mut model = template.clone();
+        let mut sampler = BatchSampler::new(rng.fork(10 + w as u64), config.batch_size);
+        let mut wrng = rng.fork(50 + w as u64);
+        let range = config.compute_us[w];
+        handles.push(std::thread::spawn(move || -> u64 {
+            let mut iters = 0;
+            while let Ok(Some(params)) = prx.recv() {
+                model.set_params(&params);
+                let batch = sampler.sample(&dataset);
+                let (_, grad) = model.loss_and_grad(&batch);
+                sleep_range(&mut wrng, range);
+                iters += 1;
+                if grad_tx.send((w, grad)).is_err() {
+                    break;
+                }
+            }
+            iters
+        }));
+    }
+
+    let mut master = template.params().clone();
+    let mut opt = Sgd::new(config.lr, 0.0, 0.0, master.len());
+    for tx in &param_txs {
+        tx.send(Some(master.clone())).expect("worker alive");
+    }
+    for round in 0..config.rounds {
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        let mut received = 0;
+        while received < n {
+            let (w, g) = grad_rx.recv().expect("workers alive");
+            if grads[w].is_none() {
+                received += 1;
+            }
+            grads[w] = Some(g);
+        }
+        let refs: Vec<&Tensor> = grads.iter().map(|g| g.as_ref().unwrap()).collect();
+        let mean = weighted_average(&refs, &vec![1.0; n]).expect("n >= 1");
+        opt.step(&mut master, &mean, 1.0);
+        if round + 1 < config.rounds {
+            for tx in &param_txs {
+                let _ = tx.send(Some(master.clone()));
+            }
+        }
+    }
+    for tx in &param_txs {
+        let _ = tx.send(None);
+    }
+    let worker_iterations: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    finish(config, dataset, template, master, start, worker_iterations, 1.0)
+}
+
+fn run_rna(
+    config: &ThreadedConfig,
+    dataset: Arc<Dataset>,
+    template: SoftmaxClassifier,
+    mut rng: SimRng,
+) -> ThreadedResult {
+    let n = config.num_workers;
+    let shared = Arc::new(Shared {
+        slots: (0..n)
+            .map(|_| WorkerSlot {
+                cache: Mutex::new(GradientCache::new(config.staleness_bound, true)),
+                params: RwLock::new(template.params().clone()),
+                iterations: AtomicU64::new(0),
+            })
+            .collect(),
+        round: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        pause_lock: Mutex::new(()),
+        pause_cv: Condvar::new(),
+    });
+    let (ready_tx, ready_rx): (Sender<usize>, Receiver<usize>) = unbounded();
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..n {
+        let shared = Arc::clone(&shared);
+        let ready_tx = ready_tx.clone();
+        let dataset = Arc::clone(&dataset);
+        let mut model = template.clone();
+        let mut sampler = BatchSampler::new(rng.fork(10 + w as u64), config.batch_size);
+        let mut wrng = rng.fork(50 + w as u64);
+        let range = config.compute_us[w];
+        let max_lead = config.max_lead;
+        handles.push(std::thread::spawn(move || {
+            let mut local_iter: u64 = 0;
+            while !shared.stop.load(Ordering::Acquire) {
+                // Bounded lead: park until the round counter catches up.
+                while !shared.stop.load(Ordering::Acquire)
+                    && local_iter.saturating_sub(shared.round.load(Ordering::Acquire)) >= max_lead
+                {
+                    let mut guard = shared.pause_lock.lock();
+                    shared
+                        .pause_cv
+                        .wait_for(&mut guard, Duration::from_millis(1));
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let params = shared.slots[w].params.read().clone();
+                model.set_params(&params);
+                let batch = sampler.sample(&dataset);
+                let (_, grad) = model.loss_and_grad(&batch);
+                sleep_range(&mut wrng, range);
+                shared.slots[w].cache.lock().write(local_iter, grad);
+                shared.slots[w].iterations.fetch_add(1, Ordering::AcqRel);
+                local_iter += 1;
+                let _ = ready_tx.send(w);
+            }
+        }));
+    }
+
+    let mut master = template.params().clone();
+    let mut opt = Sgd::new(config.lr, 0.0, 0.0, master.len());
+    let mut participation_sum = 0.0;
+    for k in 0..config.rounds {
+        match config.mode {
+            SyncMode::EagerMajority => {
+                // eager-SGD: wait for a strict majority of ready caches.
+                let majority = n / 2 + 1;
+                loop {
+                    let ready = (0..n)
+                        .filter(|&w| !shared.slots[w].cache.lock().is_empty())
+                        .count();
+                    if ready >= majority {
+                        break;
+                    }
+                    let _ = ready_rx.recv_timeout(Duration::from_millis(1));
+                }
+            }
+            _ => {
+                // RNA: power-of-d probing — wait until one probed worker
+                // is ready.
+                let probed = rng.choose_distinct(n, config.probes.min(n));
+                loop {
+                    let ready = probed
+                        .iter()
+                        .any(|&w| !shared.slots[w].cache.lock().is_empty());
+                    if ready {
+                        break;
+                    }
+                    // Drain readiness notifications (with a timeout so a
+                    // missed notification cannot wedge the controller).
+                    let _ = ready_rx.recv_timeout(Duration::from_millis(1));
+                }
+            }
+        }
+        // Force the partial collective: drain every cache.
+        let contributions: Vec<Option<Tensor>> = (0..n)
+            .map(|w| shared.slots[w].cache.lock().take_contribution(k))
+            .collect();
+        let weights: Vec<f32> = contributions
+            .iter()
+            .map(|c| if c.is_some() { 1.0 } else { 0.0 })
+            .collect();
+        let m: f32 = weights.iter().sum();
+        let null = Tensor::zeros(master.len());
+        let refs: Vec<&Tensor> = contributions
+            .iter()
+            .map(|c| c.as_ref().unwrap_or(&null))
+            .collect();
+        let reduced = weighted_average(&refs, &weights)
+            .expect("the probed initiator had a gradient ready");
+        // Linear Scaling Rule: learning rate × contributor count.
+        opt.step(&mut master, &reduced, m);
+        participation_sum += f64::from(m) / n as f64;
+        for slot in &shared.slots {
+            *slot.params.write() = master.clone();
+        }
+        shared.round.store(k + 1, Ordering::Release);
+        shared.pause_cv.notify_all();
+    }
+    shared.stop.store(true, Ordering::Release);
+    shared.pause_cv.notify_all();
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    let worker_iterations: Vec<u64> = shared
+        .slots
+        .iter()
+        .map(|s| s.iterations.load(Ordering::Acquire))
+        .collect();
+    let participation = participation_sum / config.rounds as f64;
+    finish(
+        config,
+        dataset,
+        template,
+        master,
+        start,
+        worker_iterations,
+        participation,
+    )
+}
+
+fn finish(
+    config: &ThreadedConfig,
+    dataset: Arc<Dataset>,
+    template: SoftmaxClassifier,
+    master: Tensor,
+    start: Instant,
+    worker_iterations: Vec<u64>,
+    mean_participation: f64,
+) -> ThreadedResult {
+    let wall = start.elapsed();
+    let mut model = template;
+    model.set_params(&master);
+    let batch = dataset.full_batch();
+    ThreadedResult {
+        rounds: config.rounds,
+        wall,
+        final_loss: model.loss(&batch),
+        final_accuracy: model.accuracy(&batch),
+        worker_iterations,
+        mean_participation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsp_threaded_trains() {
+        let config = ThreadedConfig::quick(3, SyncMode::Bsp);
+        let r = run_threaded(&config);
+        assert_eq!(r.rounds, 30);
+        assert!(r.final_loss < 1.4, "loss {}", r.final_loss);
+        assert!(r.final_accuracy > 0.5, "acc {}", r.final_accuracy);
+        // BSP: every worker did exactly one iteration per round.
+        assert!(r.worker_iterations.iter().all(|&i| i == 30));
+        assert_eq!(r.mean_participation, 1.0);
+    }
+
+    #[test]
+    fn rna_threaded_trains() {
+        let config = ThreadedConfig::quick(3, SyncMode::Rna);
+        let r = run_threaded(&config);
+        assert_eq!(r.rounds, 30);
+        assert!(r.final_loss < 1.4, "loss {}", r.final_loss);
+        assert!(r.mean_participation > 0.0 && r.mean_participation <= 1.0);
+        assert!(r.worker_iterations.iter().all(|&i| i > 0));
+    }
+
+    #[test]
+    fn rna_tolerates_straggler_better_than_bsp() {
+        // Worker 3 sleeps 20 ms per iteration vs 1–2 ms for the others.
+        // BSP's 30 rounds cost ≥ 600 ms; RNA's rounds are driven by the
+        // fast workers.
+        let bsp = run_threaded(
+            &ThreadedConfig::quick(4, SyncMode::Bsp).with_straggler(20_000, 21_000),
+        );
+        let rna = run_threaded(
+            &ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(20_000, 21_000),
+        );
+        assert!(
+            bsp.wall >= Duration::from_millis(550),
+            "bsp wall {:?}",
+            bsp.wall
+        );
+        assert!(
+            rna.wall < bsp.wall,
+            "rna {:?} should beat bsp {:?}",
+            rna.wall,
+            bsp.wall
+        );
+        // And RNA still learned something.
+        assert!(rna.final_loss < 1.4);
+    }
+
+    #[test]
+    fn eager_majority_threaded_trains() {
+        let config = ThreadedConfig::quick(4, SyncMode::EagerMajority);
+        let r = run_threaded(&config);
+        assert_eq!(r.rounds, 30);
+        assert!(r.final_loss < 1.4, "loss {}", r.final_loss);
+        // Majority trigger: at least half the workers contribute per round
+        // on a homogeneous cluster.
+        assert!(
+            r.mean_participation >= 0.5,
+            "participation {}",
+            r.mean_participation
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one compute range per worker")]
+    fn config_validates_compute_ranges() {
+        let mut config = ThreadedConfig::quick(2, SyncMode::Rna);
+        config.compute_us.pop();
+        run_threaded(&config);
+    }
+}

@@ -1,0 +1,287 @@
+//! Network cost models and communication topologies.
+//!
+//! The simulator charges each message `latency + bytes / bandwidth` on the
+//! link it crosses, the standard α–β cost model for collective
+//! communication. The defaults match the paper's testbeds: a 10 Gb Ethernet
+//! toy cluster (§2.3.1) and an EDR InfiniBand evaluation cluster (§7.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime};
+
+/// Latency/bandwidth cost model for a point-to-point link (the α–β model).
+///
+/// # Examples
+///
+/// ```
+/// use rna_simnet::LinkModel;
+///
+/// let link = LinkModel::ethernet_10g();
+/// let t = link.transfer_time(1_250_000); // 1.25 MB at 1.25 GB/s + 50us
+/// assert_eq!(t.as_micros(), 1050);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way message latency (the α term).
+    pub latency: SimDuration,
+    /// Link bandwidth in bytes per second (the 1/β term).
+    pub bandwidth_bps: f64,
+}
+
+impl LinkModel {
+    /// Creates a link model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not strictly positive and finite.
+    pub fn new(latency: SimDuration, bandwidth_bps: f64) -> Self {
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be positive and finite"
+        );
+        LinkModel {
+            latency,
+            bandwidth_bps,
+        }
+    }
+
+    /// 10 Gb Ethernet: 50 µs latency, 1.25 GB/s (the motivation cluster).
+    pub fn ethernet_10g() -> Self {
+        LinkModel::new(SimDuration::from_micros(50), 1.25e9)
+    }
+
+    /// EDR InfiniBand: 2 µs latency, 12.5 GB/s (the evaluation cluster).
+    pub fn infiniband_edr() -> Self {
+        LinkModel::new(SimDuration::from_micros(2), 12.5e9)
+    }
+
+    /// PCIe 3.0 x16: 1 µs latency, 15.75 GB/s. Used by the GPU↔CPU
+    /// transfer-overhead model (Table 5).
+    pub fn pcie_gen3() -> Self {
+        LinkModel::new(SimDuration::from_micros(1), 15.75e9)
+    }
+
+    /// Time to move `bytes` across the link: `latency + bytes / bandwidth`.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Serialization-only component (no latency), for pipelined transfers
+    /// where only the first message pays α.
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::ethernet_10g()
+    }
+}
+
+/// A cluster-wide network model: a default link plus optional per-pair
+/// overrides (e.g. slower cross-rack links).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkModel {
+    default_link: LinkModel,
+    overrides: Vec<((usize, usize), LinkModel)>,
+}
+
+impl NetworkModel {
+    /// A uniform network where every pair uses `link`.
+    pub fn uniform(link: LinkModel) -> Self {
+        NetworkModel {
+            default_link: link,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides the link between `a` and `b` (symmetric).
+    pub fn with_override(mut self, a: usize, b: usize, link: LinkModel) -> Self {
+        self.overrides.push(((a.min(b), a.max(b)), link));
+        self
+    }
+
+    /// The link model between `a` and `b`.
+    pub fn link(&self, a: usize, b: usize) -> LinkModel {
+        let key = (a.min(b), a.max(b));
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default_link)
+    }
+
+    /// Delivery time of a `bytes`-sized message sent from `a` to `b` at
+    /// `now`.
+    pub fn delivery(&self, a: usize, b: usize, bytes: u64, now: SimTime) -> SimTime {
+        if a == b {
+            // Local delivery is free: same-process hand-off.
+            return now;
+        }
+        now + self.link(a, b).transfer_time(bytes)
+    }
+}
+
+/// A logical communication topology over `n` workers.
+///
+/// # Examples
+///
+/// ```
+/// use rna_simnet::Topology;
+///
+/// let ring = Topology::Ring;
+/// assert_eq!(ring.ring_left(0, 4), 3);
+/// assert_eq!(ring.ring_right(3, 4), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Topology {
+    /// Logical ring: worker `i` talks to `i±1 (mod n)` (Ring AllReduce).
+    #[default]
+    Ring,
+    /// Star: every worker talks to a central node (Parameter Server).
+    Star,
+    /// Fully connected: any pair may communicate (AD-PSGD gossip).
+    Full,
+}
+
+impl Topology {
+    /// The left (receiving-from) neighbor of `i` on a ring of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `i >= n`.
+    pub fn ring_left(&self, i: usize, n: usize) -> usize {
+        assert!(n > 0 && i < n, "worker index out of range");
+        (i + n - 1) % n
+    }
+
+    /// The right (sending-to) neighbor of `i` on a ring of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `i >= n`.
+    pub fn ring_right(&self, i: usize, n: usize) -> usize {
+        assert!(n > 0 && i < n, "worker index out of range");
+        (i + 1) % n
+    }
+
+    /// Out-neighbors of worker `i` under this topology (`center` is the hub
+    /// index for [`Topology::Star`], conventionally `n`, a virtual node).
+    pub fn neighbors(&self, i: usize, n: usize, center: usize) -> Vec<usize> {
+        match self {
+            Topology::Ring => {
+                if n <= 1 {
+                    vec![]
+                } else if n == 2 {
+                    vec![(i + 1) % 2]
+                } else {
+                    vec![self.ring_left(i, n), self.ring_right(i, n)]
+                }
+            }
+            Topology::Star => vec![center],
+            Topology::Full => (0..n).filter(|&j| j != i).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transfer_time_alpha_beta() {
+        let link = LinkModel::new(SimDuration::from_micros(10), 1e9);
+        // 1000 bytes at 1 GB/s = 1us, plus 10us latency.
+        assert_eq!(link.transfer_time(1000).as_micros(), 11);
+        assert_eq!(link.serialization_time(1000).as_micros(), 1);
+    }
+
+    #[test]
+    fn transfer_time_zero_bytes_is_latency() {
+        let link = LinkModel::ethernet_10g();
+        assert_eq!(link.transfer_time(0), link.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn rejects_zero_bandwidth() {
+        LinkModel::new(SimDuration::ZERO, 0.0);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let eth = LinkModel::ethernet_10g();
+        let ib = LinkModel::infiniband_edr();
+        let payload = 10_000_000;
+        assert!(ib.transfer_time(payload) < eth.transfer_time(payload));
+    }
+
+    #[test]
+    fn network_override_applies_symmetrically() {
+        let slow = LinkModel::new(SimDuration::from_millis(1), 1e6);
+        let net = NetworkModel::uniform(LinkModel::infiniband_edr()).with_override(0, 2, slow);
+        assert_eq!(net.link(0, 2), slow);
+        assert_eq!(net.link(2, 0), slow);
+        assert_eq!(net.link(0, 1), LinkModel::infiniband_edr());
+    }
+
+    #[test]
+    fn later_override_wins() {
+        let l1 = LinkModel::new(SimDuration::from_millis(1), 1e6);
+        let l2 = LinkModel::new(SimDuration::from_millis(2), 1e6);
+        let net = NetworkModel::uniform(LinkModel::default())
+            .with_override(0, 1, l1)
+            .with_override(1, 0, l2);
+        assert_eq!(net.link(0, 1), l2);
+    }
+
+    #[test]
+    fn self_delivery_is_instant() {
+        let net = NetworkModel::default();
+        let now = SimTime::from_nanos(42);
+        assert_eq!(net.delivery(3, 3, 1 << 20, now), now);
+        assert!(net.delivery(0, 1, 1 << 20, now) > now);
+    }
+
+    #[test]
+    fn ring_neighbors_wrap() {
+        let t = Topology::Ring;
+        assert_eq!(t.ring_left(0, 5), 4);
+        assert_eq!(t.ring_right(4, 5), 0);
+        assert_eq!(t.neighbors(0, 3, 99), vec![2, 1]);
+        assert_eq!(t.neighbors(0, 2, 99), vec![1]);
+        assert!(t.neighbors(0, 1, 99).is_empty());
+    }
+
+    #[test]
+    fn star_and_full_neighbors() {
+        assert_eq!(Topology::Star.neighbors(2, 4, 4), vec![4]);
+        assert_eq!(Topology::Full.neighbors(1, 4, 99), vec![0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ring_rejects_bad_index() {
+        Topology::Ring.ring_left(5, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn ring_left_right_inverse(n in 1usize..100, i_frac in 0.0f64..1.0) {
+            let i = ((n as f64) * i_frac) as usize % n;
+            let t = Topology::Ring;
+            prop_assert_eq!(t.ring_right(t.ring_left(i, n), n), i);
+            prop_assert_eq!(t.ring_left(t.ring_right(i, n), n), i);
+        }
+
+        #[test]
+        fn transfer_time_monotone_in_bytes(b1 in 0u64..1 << 30, b2 in 0u64..1 << 30) {
+            let link = LinkModel::ethernet_10g();
+            let (lo, hi) = (b1.min(b2), b1.max(b2));
+            prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled, which keeps simulations deterministic even when many
+/// messages land on the same virtual nanosecond.
+///
+/// # Examples
+///
+/// ```
+/// use rna_simnet::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(10), "late");
+/// q.schedule(SimTime::from_nanos(5), "early");
+/// q.schedule(SimTime::from_nanos(5), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for t in [30u64, 10, 20] {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        assert_eq!(q.pop().unwrap().1, 10);
+        assert_eq!(q.pop().unwrap().1, 20);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(1);
+        for i in 0..50 {
+            q.schedule(t, i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Scheduling after popping still works and keeps ordering.
+        q.schedule(SimTime::from_nanos(5), "b");
+        q.schedule(SimTime::from_nanos(3), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    proptest! {
+        #[test]
+        fn popped_times_are_monotone(times in proptest::collection::vec(0u64..1000, 0..200)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.schedule(SimTime::from_nanos(t), t);
+            }
+            let mut last = 0;
+            let mut n = 0;
+            while let Some((at, _)) = q.pop() {
+                prop_assert!(at.as_nanos() >= last);
+                last = at.as_nanos();
+                n += 1;
+            }
+            prop_assert_eq!(n, times.len());
+        }
+    }
+}

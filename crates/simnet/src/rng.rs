@@ -1,0 +1,304 @@
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded, forkable random number generator.
+///
+/// Every stochastic element of the reproduction (batch sampling, delay
+/// injection, initiator probing) draws from a `SimRng` that was forked from
+/// one experiment-level seed, so re-running an experiment with the same seed
+/// reproduces the entire event trace bit-for-bit.
+///
+/// The generator is ChaCha8, which (unlike `rand`'s `StdRng`) has a
+/// documented, portable stream: seeds produce the same values on every
+/// platform and `rand` release.
+///
+/// # Examples
+///
+/// ```
+/// use rna_simnet::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.uniform_u64(0..100), b.uniform_u64(0..100));
+///
+/// // Forks are independent streams.
+/// let mut fork = a.fork(7);
+/// let _ = fork.uniform_f64(0.0..1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+    /// Cached second output of the Box-Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator. Distinct `stream` values give
+    /// statistically independent streams; the parent state is advanced so
+    /// repeated forks with the same `stream` also differ.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base = self.inner.next_u64();
+        SimRng::seed(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform `u64` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn uniform_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `usize` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn uniform_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f64` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn uniform_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f32` in `[-scale, scale]`, the initializer used by the
+    /// training substrate.
+    pub fn uniform_init(&mut self, scale: f32) -> f32 {
+        self.inner.gen_range(-scale..=scale)
+    }
+
+    /// A Bernoulli trial with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.inner.gen_range(0.0..1.0) < p
+    }
+
+    /// A standard normal sample via the Box-Muller transform.
+    ///
+    /// `rand_distr` is not available offline, so the transform is implemented
+    /// here; the spare variate is cached to halve the cost.
+    pub fn normal_std(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Box-Muller: u1 in (0,1] avoids ln(0).
+        let u1: f64 = 1.0 - self.inner.gen_range(0.0..1.0);
+        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or NaN.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.normal_std()
+    }
+
+    /// A log-normal sample where the *underlying normal* has parameters
+    /// `mu` and `sigma` (so the sample is `exp(N(mu, sigma))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or NaN.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// An exponential sample with the given mean (inverse transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        let u: f64 = 1.0 - self.inner.gen_range(0.0..1.0);
+        -mean * u.ln()
+    }
+
+    /// Chooses `k` *distinct* indices uniformly from `0..n` via a partial
+    /// Fisher-Yates shuffle. Used by the power-of-`d`-choices probe sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn choose_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot choose {k} distinct values from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.inner.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Chooses one element index uniformly from `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn choose_one(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot choose from an empty set");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Shuffles `slice` in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(1);
+        for _ in 0..32 {
+            assert_eq!(a.uniform_u64(0..1000), b.uniform_u64(0..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.uniform_u64(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.uniform_u64(0..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::seed(9);
+        let mut parent2 = SimRng::seed(9);
+        let mut f1 = parent1.fork(3);
+        let mut f2 = parent2.fork(3);
+        assert_eq!(f1.uniform_u64(0..1 << 60), f2.uniform_u64(0..1 << 60));
+        // Forking twice with the same stream id still yields fresh streams.
+        let mut f3 = parent1.fork(3);
+        assert_ne!(f1.uniform_u64(0..1 << 60), f3.uniform_u64(0..1 << 60));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seed(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SimRng::seed(11);
+        for _ in 0..1000 {
+            assert!(rng.log_normal(0.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = SimRng::seed(3);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn choose_distinct_produces_distinct() {
+        let mut rng = SimRng::seed(5);
+        for _ in 0..100 {
+            let picks = rng.choose_distinct(10, 4);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+            assert!(picks.iter().all(|&p| p < 10));
+        }
+    }
+
+    #[test]
+    fn choose_distinct_full_set_is_permutation() {
+        let mut rng = SimRng::seed(6);
+        let mut picks = rng.choose_distinct(8, 8);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn choose_distinct_rejects_k_gt_n() {
+        SimRng::seed(0).choose_distinct(3, 4);
+    }
+
+    #[test]
+    fn choose_one_covers_range() {
+        let mut rng = SimRng::seed(8);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.choose_one(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = SimRng::seed(13);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #[test]
+        fn uniform_in_bounds(seed: u64, lo in 0.0f64..100.0, width in 0.001f64..100.0) {
+            let mut rng = SimRng::seed(seed);
+            let x = rng.uniform_f64(lo..lo + width);
+            prop_assert!(x >= lo && x < lo + width);
+        }
+
+        #[test]
+        fn choose_distinct_in_bounds(seed: u64, n in 1usize..50, kfrac in 0.0f64..1.0) {
+            let k = ((n as f64) * kfrac) as usize;
+            let mut rng = SimRng::seed(seed);
+            let picks = rng.choose_distinct(n, k);
+            prop_assert_eq!(picks.len(), k);
+            prop_assert!(picks.iter().all(|&p| p < n));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # rna-tensor
+//!
+//! Dense `f32` tensor math underpinning the RNA reproduction.
+//!
+//! The crate provides exactly what a collective-communication library needs
+//! from its payload type and nothing more:
+//!
+//! * [`Tensor`] — a flat, heap-allocated `f32` buffer with in-place
+//!   arithmetic (`add_assign`, `scale`, `axpy`, …) and reductions (`dot`,
+//!   norms).
+//! * [`chunks`] — the chunk partitioning used by ring reduce-scatter /
+//!   all-gather ([`chunks::partition`]).
+//! * [`reduce`] — element-wise reduction operators ([`reduce::ReduceOp`])
+//!   and weighted averaging across many tensors.
+//! * [`stats`] — scalar statistics (mean, stddev, percentiles, histograms)
+//!   used by the experiment harness to summarize timing distributions.
+//!
+//! # Examples
+//!
+//! ```
+//! use rna_tensor::Tensor;
+//!
+//! let mut a = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+//! let b = Tensor::from_vec(vec![4.0, 5.0, 6.0]);
+//! a.add_assign(&b);
+//! assert_eq!(a.as_slice(), &[5.0, 7.0, 9.0]);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chunks;
+pub mod reduce;
+pub mod stats;
+mod tensor;
+
+pub use chunks::{partition, ChunkRange};
+pub use reduce::ReduceOp;
+pub use tensor::Tensor;

@@ -1,0 +1,326 @@
+//! Element-wise reduction operators and multi-tensor averaging.
+//!
+//! The weighted-average helpers here implement Algorithm 2 of the paper: the
+//! partial AllReduce sums the gradients of the workers that contributed
+//! (weight `w = 1`) and rescales by `W = 1 / Σ w`, treating absent workers as
+//! null contributions.
+
+use crate::Tensor;
+
+/// An element-wise reduction operator applied across tensors.
+///
+/// # Examples
+///
+/// ```
+/// use rna_tensor::{ReduceOp, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 5.0]);
+/// let b = Tensor::from_vec(vec![3.0, 2.0]);
+/// let max = ReduceOp::Max.reduce(&[&a, &b]).unwrap();
+/// assert_eq!(max.as_slice(), &[3.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    #[default]
+    Sum,
+    /// Element-wise arithmetic mean.
+    Mean,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Reduces `inputs` element-wise, or `None` when `inputs` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input tensors have differing lengths.
+    pub fn reduce(&self, inputs: &[&Tensor]) -> Option<Tensor> {
+        let first = inputs.first()?;
+        let mut acc = (*first).clone();
+        for t in &inputs[1..] {
+            assert_eq!(acc.len(), t.len(), "tensor length mismatch in reduce");
+            match self {
+                ReduceOp::Sum | ReduceOp::Mean => acc.add_assign(t),
+                ReduceOp::Max => {
+                    for (a, b) in acc.as_mut_slice().iter_mut().zip(t.as_slice()) {
+                        *a = a.max(*b);
+                    }
+                }
+                ReduceOp::Min => {
+                    for (a, b) in acc.as_mut_slice().iter_mut().zip(t.as_slice()) {
+                        *a = a.min(*b);
+                    }
+                }
+            }
+        }
+        if let ReduceOp::Mean = self {
+            acc.scale(1.0 / inputs.len() as f32);
+        }
+        Some(acc)
+    }
+
+    /// Combines a partial accumulator with one more input, for streaming
+    /// reductions (ring reduce-scatter applies this per chunk per step).
+    ///
+    /// For [`ReduceOp::Mean`] this accumulates a *sum*; the caller divides at
+    /// the end (matching how ring AllReduce defers the scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn accumulate(&self, acc: &mut Tensor, input: &Tensor) {
+        match self {
+            ReduceOp::Sum | ReduceOp::Mean => acc.add_assign(input),
+            ReduceOp::Max => {
+                for (a, b) in acc.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                    *a = a.max(*b);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                    *a = a.min(*b);
+                }
+            }
+        }
+    }
+}
+
+/// Averages `inputs` with the given per-tensor `weights`:
+/// `out = Σ wᵢ · gᵢ / Σ wᵢ`.
+///
+/// Returns `None` when the weight sum is zero (every contribution was null)
+/// or when `inputs` is empty.
+///
+/// # Panics
+///
+/// Panics if `inputs` and `weights` have different lengths, if any weight is
+/// negative or non-finite, or if the tensors have differing lengths.
+///
+/// # Examples
+///
+/// ```
+/// use rna_tensor::{reduce::weighted_average, Tensor};
+///
+/// let g1 = Tensor::from_vec(vec![2.0]);
+/// let g2 = Tensor::from_vec(vec![4.0]);
+/// let avg = weighted_average(&[&g1, &g2], &[1.0, 1.0]).unwrap();
+/// assert_eq!(avg.as_slice(), &[3.0]);
+///
+/// // A null contribution (weight 0) is excluded from the average.
+/// let avg = weighted_average(&[&g1, &g2], &[1.0, 0.0]).unwrap();
+/// assert_eq!(avg.as_slice(), &[2.0]);
+/// ```
+pub fn weighted_average(inputs: &[&Tensor], weights: &[f32]) -> Option<Tensor> {
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "inputs and weights must pair up"
+    );
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+    }
+    let total: f32 = weights.iter().sum();
+    if inputs.is_empty() || total == 0.0 {
+        return None;
+    }
+    let mut acc = Tensor::zeros(inputs[0].len());
+    for (t, &w) in inputs.iter().zip(weights) {
+        if w > 0.0 {
+            acc.axpy(w, t);
+        }
+    }
+    acc.scale(1.0 / total);
+    Some(acc)
+}
+
+/// Staleness-weighted local reduction of accumulated gradients
+/// (paper §3.3): for gradients `g_t` obtained at iterations `t`, with `k` the
+/// current iteration and `τ` the largest iteration gap among the accumulated
+/// results,
+///
+/// ```text
+/// g' = Σ [t − (k − τ) + 1] · g_t / Σ [t − (k − τ) + 1]
+/// ```
+///
+/// i.e. the weight of an update grows linearly with how recent it is; the
+/// oldest accumulated gradient gets weight 1.
+///
+/// Returns `None` when `grads` is empty.
+///
+/// # Panics
+///
+/// Panics if any `t > k` pairing makes a weight non-positive impossible by
+/// construction — weights are always ≥ 1 for `t ≥ k − τ`, which the iteration
+/// bookkeeping guarantees; panics if tensor lengths differ.
+pub fn staleness_weighted_average(grads: &[(u64, &Tensor)], k: u64) -> Option<Tensor> {
+    if grads.is_empty() {
+        return None;
+    }
+    // Largest iteration gap τ among the accumulated results.
+    let tau = grads.iter().map(|&(t, _)| k.saturating_sub(t)).max().unwrap();
+    let base = k - tau; // oldest iteration present or older
+    let mut acc = Tensor::zeros(grads[0].1.len());
+    let mut total = 0.0_f32;
+    for &(t, g) in grads {
+        let w = (t - base + 1) as f32;
+        acc.axpy(w, g);
+        total += w;
+    }
+    acc.scale(1.0 / total);
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![3.0, 4.0]);
+        assert_eq!(
+            ReduceOp::Sum.reduce(&[&a, &b]).unwrap().as_slice(),
+            &[4.0, 6.0]
+        );
+        assert_eq!(
+            ReduceOp::Mean.reduce(&[&a, &b]).unwrap().as_slice(),
+            &[2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn max_min() {
+        let a = Tensor::from_vec(vec![1.0, 5.0]);
+        let b = Tensor::from_vec(vec![3.0, 2.0]);
+        assert_eq!(
+            ReduceOp::Max.reduce(&[&a, &b]).unwrap().as_slice(),
+            &[3.0, 5.0]
+        );
+        assert_eq!(
+            ReduceOp::Min.reduce(&[&a, &b]).unwrap().as_slice(),
+            &[1.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        assert!(ReduceOp::Sum.reduce(&[]).is_none());
+    }
+
+    #[test]
+    fn reduce_single_is_identity() {
+        let a = Tensor::from_vec(vec![1.5]);
+        assert_eq!(ReduceOp::Mean.reduce(&[&a]).unwrap(), a);
+    }
+
+    #[test]
+    fn accumulate_streaming_matches_batch() {
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::from_vec(vec![i as f32, (i * i) as f32]))
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+            let batch = op.reduce(&refs).unwrap();
+            let mut acc = inputs[0].clone();
+            for t in &inputs[1..] {
+                op.accumulate(&mut acc, t);
+            }
+            assert_eq!(acc, batch, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_average_excludes_nulls() {
+        let g1 = Tensor::from_vec(vec![2.0]);
+        let g2 = Tensor::from_vec(vec![6.0]);
+        let out = weighted_average(&[&g1, &g2], &[1.0, 0.0]).unwrap();
+        assert_eq!(out.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn weighted_average_all_null_is_none() {
+        let g1 = Tensor::from_vec(vec![2.0]);
+        assert!(weighted_average(&[&g1], &[0.0]).is_none());
+        assert!(weighted_average(&[], &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn weighted_average_rejects_negative_weights() {
+        let g = Tensor::from_vec(vec![1.0]);
+        weighted_average(&[&g], &[-1.0]);
+    }
+
+    #[test]
+    fn staleness_weights_are_linear_in_recency() {
+        // k = 10; gradients from iterations 9 and 10 → τ = 1, base = 9,
+        // weights 1 and 2.
+        let old = Tensor::from_vec(vec![3.0]);
+        let new = Tensor::from_vec(vec![9.0]);
+        let out = staleness_weighted_average(&[(9, &old), (10, &new)], 10).unwrap();
+        // (1*3 + 2*9) / 3 = 7
+        assert_eq!(out.as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn staleness_single_gradient_passthrough() {
+        let g = Tensor::from_vec(vec![5.0]);
+        let out = staleness_weighted_average(&[(3, &g)], 7).unwrap();
+        assert_eq!(out.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn staleness_empty_is_none() {
+        assert!(staleness_weighted_average(&[], 4).is_none());
+    }
+
+    #[test]
+    fn staleness_future_gradients_weight_more() {
+        // Slow worker at k=5 has a "future" gradient from iteration 6
+        // (produced by a faster peer). Recency weighting still applies.
+        let old = Tensor::from_vec(vec![0.0]);
+        let fut = Tensor::from_vec(vec![4.0]);
+        let out = staleness_weighted_average(&[(5, &old), (6, &fut)], 5).unwrap();
+        // τ = 0, base = 5, weights 1 and 2 → (0 + 8)/3
+        assert!((out.as_slice()[0] - 8.0 / 3.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn weighted_average_equals_mean_when_uniform(
+            vals in proptest::collection::vec(-10.0f32..10.0, 1..6),
+        ) {
+            let tensors: Vec<Tensor> =
+                vals.iter().map(|&v| Tensor::from_vec(vec![v])).collect();
+            let refs: Vec<&Tensor> = tensors.iter().collect();
+            let weights = vec![1.0; refs.len()];
+            let wavg = weighted_average(&refs, &weights).unwrap();
+            let mean = ReduceOp::Mean.reduce(&refs).unwrap();
+            prop_assert!(wavg.approx_eq(&mean, 1e-5));
+        }
+
+        #[test]
+        fn staleness_average_stays_in_convex_hull(
+            vals in proptest::collection::vec(-10.0f32..10.0, 1..6),
+            k in 10u64..20,
+        ) {
+            let tensors: Vec<Tensor> =
+                vals.iter().map(|&v| Tensor::from_vec(vec![v])).collect();
+            let grads: Vec<(u64, &Tensor)> = tensors
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (k - (i as u64 % 5), t))
+                .collect();
+            let out = staleness_weighted_average(&grads, k).unwrap();
+            let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out.as_slice()[0] >= lo - 1e-4);
+            prop_assert!(out.as_slice()[0] <= hi + 1e-4);
+        }
+    }
+}

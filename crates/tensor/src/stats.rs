@@ -1,0 +1,269 @@
+//! Scalar statistics over `f64` samples.
+//!
+//! The experiment harness summarizes timing distributions (per-iteration
+//! times, response times, video lengths) with these helpers; Figure 10's
+//! box-and-whisker rows are built from [`Summary`].
+
+/// Arithmetic mean, or 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation, or 0.0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `q`-quantile (0.0 ≤ q ≤ 1.0) using linear interpolation between
+/// order statistics. Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or NaN.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number summary plus mean, used for box-and-whisker style reporting
+/// (Figure 10 of the paper: whiskers at p5/p95, box at p25/p50/p75).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `xs`. All fields are zero for an empty slice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rna_tensor::stats::Summary;
+    ///
+    /// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+    /// assert_eq!(s.p50, 3.0);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 5.0);
+    /// ```
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Summary::default();
+        }
+        Summary {
+            count: xs.len(),
+            mean: mean(xs),
+            stddev: stddev(xs),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            p5: percentile(xs, 0.05),
+            p25: percentile(xs, 0.25),
+            p50: percentile(xs, 0.50),
+            p75: percentile(xs, 0.75),
+            p95: percentile(xs, 0.95),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets; samples
+/// outside the range are clamped into the first/last bucket.
+///
+/// # Examples
+///
+/// ```
+/// use rna_tensor::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[4], 1);
+/// assert_eq!(h.total(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Records a sample, clamping out-of-range values into the edge buckets.
+    pub fn record(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bucket_center, count)` pairs, convenient for rendering.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_stddev_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 1.0), 40.0);
+        assert_eq!(percentile(&xs, 0.5), 25.0);
+    }
+
+    #[test]
+    fn percentile_is_order_invariant() {
+        let a = [3.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&a, 0.5), percentile(&b, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_out_of_range_q() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn summary_orders_quantiles() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert!(s.min <= s.p5 && s.p5 <= s.p25 && s.p25 <= s.p50);
+        assert!(s.p50 <= s.p75 && s.p75 <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn histogram_clamps_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-5.0);
+        h.record(5.0);
+        h.record(1.0); // exactly hi clamps into last bucket
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn histogram_buckets_have_centers() {
+        let h = Histogram::new(0.0, 10.0, 2);
+        let b = h.buckets();
+        assert_eq!(b[0].0, 2.5);
+        assert_eq!(b[1].0, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_empty_range() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn summary_mean_within_min_max(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        ) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.mean >= s.min - 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+        }
+
+        #[test]
+        fn histogram_conserves_samples(
+            xs in proptest::collection::vec(-10.0f64..10.0, 0..200),
+        ) {
+            let mut h = Histogram::new(-5.0, 5.0, 7);
+            for &x in &xs { h.record(x); }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Loss primitives shared by the models: numerically stable softmax
+//! cross-entropy and mean-squared error.
+
+/// Numerically stable softmax of `logits` (log-sum-exp trick).
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+///
+/// # Examples
+///
+/// ```
+/// let p = rna_training::loss::softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty logits");
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy loss `-log p[label]` with probabilities clamped away from
+/// zero for stability.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn cross_entropy(probs: &[f32], label: usize) -> f32 {
+    assert!(label < probs.len(), "label out of range");
+    -probs[label].max(1e-12).ln()
+}
+
+/// Softmax cross-entropy and its gradient with respect to the logits:
+/// returns `(loss, dL/dlogits)` where the gradient is `p - onehot(label)`.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or `label` is out of range.
+pub fn softmax_xent_grad(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    let mut probs = softmax(logits);
+    let loss = cross_entropy(&probs, label);
+    probs[label] -= 1.0;
+    (loss, probs)
+}
+
+/// Squared error `0.5 (pred - target)²` and its gradient `pred - target`.
+pub fn mse_grad(pred: f32, target: f32) -> (f32, f32) {
+    let diff = pred - target;
+    (0.5 * diff * diff, diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[0.5, 1.5, -2.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&[1000.0, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        assert!(cross_entropy(&[0.99, 0.01], 0) < 0.02);
+        assert!(cross_entropy(&[0.01, 0.99], 0) > 4.0);
+    }
+
+    #[test]
+    fn xent_grad_matches_finite_difference() {
+        let logits = [0.3f32, -0.7, 1.1];
+        let label = 2;
+        let (_, grad) = softmax_xent_grad(&logits, label);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = logits;
+            plus[i] += eps;
+            let mut minus = logits;
+            minus[i] -= eps;
+            let lp = cross_entropy(&softmax(&plus), label);
+            let lm = cross_entropy(&softmax(&minus), label);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((grad[i] - fd).abs() < 1e-3, "dim {i}: {} vs {fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let (loss, grad) = mse_grad(2.0, 0.5);
+        assert!((loss - 0.5 * 1.5 * 1.5).abs() < 1e-6);
+        assert!((grad - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn softmax_empty_panics() {
+        softmax(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn xent_grad_sums_to_zero(
+            logits in proptest::collection::vec(-5.0f32..5.0, 2..8),
+        ) {
+            let (_, grad) = softmax_xent_grad(&logits, 0);
+            let sum: f32 = grad.iter().sum();
+            // p sums to 1, one-hot sums to 1 → gradient sums to 0.
+            prop_assert!(sum.abs() < 1e-5);
+        }
+
+        #[test]
+        fn xent_loss_nonnegative(
+            logits in proptest::collection::vec(-5.0f32..5.0, 2..8),
+        ) {
+            let (loss, _) = softmax_xent_grad(&logits, logits.len() - 1);
+            prop_assert!(loss >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! WMT17-like sentence-length workload for Transformer training (§7.2.2).
+//!
+//! Machine-translation batches are built by packing sentences up to a token
+//! budget (the paper uses 4,096 tokens). Sentences have widely varying
+//! lengths, so the *shape* of each batch — and with it the compute time —
+//! varies from iteration to iteration, producing the imbalance the paper
+//! exploits RNA against.
+
+use rna_simnet::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::lognormal_params_for;
+
+/// A sentence-length distribution approximating WMT17 English→German
+/// (mean ≈ 24 tokens, σ ≈ 14, clipped to [1, 250]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SentenceLengthModel {
+    mu: f64,
+    sigma: f64,
+    min_len: u64,
+    max_len: u64,
+}
+
+impl SentenceLengthModel {
+    /// The WMT17 approximation.
+    pub fn wmt17() -> Self {
+        let (mu, sigma) = lognormal_params_for(24.0, 14.0);
+        SentenceLengthModel {
+            mu,
+            sigma,
+            min_len: 1,
+            max_len: 250,
+        }
+    }
+
+    /// A custom distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`, `std < 0`, or `max_len < min_len`.
+    pub fn new(mean: f64, std: f64, min_len: u64, max_len: u64) -> Self {
+        assert!(max_len >= min_len, "max length below min length");
+        let (mu, sigma) = lognormal_params_for(mean, std);
+        SentenceLengthModel {
+            mu,
+            sigma,
+            min_len,
+            max_len,
+        }
+    }
+
+    /// Samples one sentence length in tokens.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        (rng.log_normal(self.mu, self.sigma).round() as u64).clamp(self.min_len, self.max_len)
+    }
+}
+
+/// Builds token-budgeted batches and converts them to compute time.
+///
+/// A batch packs sentences until adding one more would exceed
+/// `token_budget`. Compute cost is `padded_tokens = max_len × n_sentences`
+/// (attention runs over the padded batch), so batches of many short
+/// sentences and batches of few long sentences cost differently — the
+/// imbalance source.
+///
+/// # Examples
+///
+/// ```
+/// use rna_simnet::{SimDuration, SimRng};
+/// use rna_workload::tokens::TokenBatchModel;
+///
+/// let mut rng = SimRng::seed(3);
+/// let model = TokenBatchModel::wmt17(4096, SimDuration::from_millis(400), &mut rng);
+/// let (tokens, padded) = model.sample_batch(&mut rng);
+/// assert!(tokens <= 4096);
+/// assert!(padded >= tokens);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBatchModel {
+    lengths: SentenceLengthModel,
+    token_budget: u64,
+    per_padded_token: SimDuration,
+}
+
+impl TokenBatchModel {
+    /// Creates a WMT17 batch model calibrated so the expected batch compute
+    /// time is `target_mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token_budget == 0`.
+    pub fn wmt17(token_budget: u64, target_mean: SimDuration, rng: &mut SimRng) -> Self {
+        assert!(token_budget > 0, "token budget must be positive");
+        let lengths = SentenceLengthModel::wmt17();
+        let mut probe = TokenBatchModel {
+            lengths,
+            token_budget,
+            per_padded_token: SimDuration::from_nanos(1),
+        };
+        let trials = 256;
+        let mean_padded: f64 = (0..trials)
+            .map(|_| probe.sample_batch(rng).1 as f64)
+            .sum::<f64>()
+            / trials as f64;
+        probe.per_padded_token =
+            SimDuration::from_secs_f64(target_mean.as_secs_f64() / mean_padded);
+        probe
+    }
+
+    /// Samples one batch; returns `(real_tokens, padded_tokens)`.
+    pub fn sample_batch(&self, rng: &mut SimRng) -> (u64, u64) {
+        let mut total = 0u64;
+        let mut max_len = 0u64;
+        let mut count = 0u64;
+        loop {
+            let len = self.lengths.sample(rng);
+            if total + len > self.token_budget && count > 0 {
+                break;
+            }
+            total += len;
+            max_len = max_len.max(len);
+            count += 1;
+            if total >= self.token_budget {
+                break;
+            }
+        }
+        (total, max_len * count)
+    }
+
+    /// Samples a batch and returns `(real_tokens, compute_time)`.
+    pub fn sample_batch_time(&self, rng: &mut SimRng) -> (u64, SimDuration) {
+        let (tokens, padded) = self.sample_batch(rng);
+        (tokens, self.per_padded_token * padded)
+    }
+
+    /// The configured token budget per batch.
+    pub fn token_budget(&self) -> u64 {
+        self.token_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentence_lengths_in_range() {
+        let m = SentenceLengthModel::wmt17();
+        let mut rng = SimRng::seed(0);
+        for _ in 0..500 {
+            let l = m.sample(&mut rng);
+            assert!((1..=250).contains(&l));
+        }
+    }
+
+    #[test]
+    fn sentence_length_mean_close_to_target() {
+        let m = SentenceLengthModel::wmt17();
+        let mut rng = SimRng::seed(1);
+        let mean: f64 = (0..20_000).map(|_| m.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 24.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn batches_respect_token_budget() {
+        let mut rng = SimRng::seed(2);
+        let m = TokenBatchModel::wmt17(4096, SimDuration::from_millis(400), &mut rng);
+        for _ in 0..200 {
+            let (tokens, padded) = m.sample_batch(&mut rng);
+            assert!(tokens <= 4096 + 250, "tokens {tokens}"); // one sentence may overshoot
+            assert!(padded >= tokens);
+            assert!(tokens > 0);
+        }
+        assert_eq!(m.token_budget(), 4096);
+    }
+
+    #[test]
+    fn calibration_hits_target_mean() {
+        let mut rng = SimRng::seed(3);
+        let target = SimDuration::from_millis(400);
+        let m = TokenBatchModel::wmt17(4096, target, &mut rng);
+        let trials = 3000;
+        let mean_ms: f64 = (0..trials)
+            .map(|_| m.sample_batch_time(&mut rng).1.as_millis_f64())
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean_ms - 400.0).abs() < 40.0, "mean {mean_ms}");
+    }
+
+    #[test]
+    fn batch_times_vary() {
+        // The whole point: token batches are NOT constant-time.
+        let mut rng = SimRng::seed(4);
+        let m = TokenBatchModel::wmt17(4096, SimDuration::from_millis(400), &mut rng);
+        let xs: Vec<f64> = (0..500)
+            .map(|_| m.sample_batch_time(&mut rng).1.as_millis_f64())
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let std =
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!(std / mean > 0.1, "cv {}", std / mean);
+    }
+}

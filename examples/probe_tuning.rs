@@ -1,0 +1,52 @@
+//! Tuning the probe count: the power-of-two-choices sweet spot.
+//!
+//! Reproduces the Figure 10 microbenchmark interactively and then shows the
+//! theoretical expected-waiting bound of §3.2 for comparison.
+//!
+//! ```sh
+//! cargo run --example probe_tuning
+//! ```
+
+use rna_core::probe::{expected_wait_bound, simulate_response_times};
+use rna_simnet::{SimDuration, SimRng};
+use rna_tensor::stats::Summary;
+
+fn main() {
+    let mut rng = SimRng::seed(10);
+    println!("100 simulated nodes, 10-50 ms exponential-tail skew, 2 ms/probe overhead");
+    println!();
+    println!("choices  p25     median  p75     p95");
+
+    let mut entries = Vec::new();
+    for d in 1..=5 {
+        let times = simulate_response_times(
+            100,
+            d,
+            2_000,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(2),
+            &mut rng,
+        );
+        let s = Summary::of(&times);
+        println!(
+            "{d}        {:<7.1} {:<7.1} {:<7.1} {:<7.1}",
+            s.p25, s.p50, s.p75, s.p95
+        );
+        entries.push((format!("d={d}"), s.p50));
+    }
+
+    println!();
+    println!("median response time (lower is better):");
+    print!(
+        "{}",
+        rna_experiments::table::bar_chart(&entries, 40)
+    );
+
+    println!();
+    println!("theoretical expected-wait bound (rho = 0.9):");
+    for q in 1..=4 {
+        println!("  q = {q}: {:.4}", expected_wait_bound(0.9, q));
+    }
+    println!("one extra choice collapses the bound; further choices only add probes.");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: train one model with RNA and with Horovod-style BSP on a
+//! straggler-afflicted cluster, and compare.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rna_baselines::HorovodProtocol;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::RnaConfig;
+use rna_workload::HeterogeneityModel;
+
+fn main() {
+    let n = 8;
+    // 8 workers, each slowed by a random 0-50 ms every iteration — the
+    // paper's dynamic heterogeneity setting (§8.1).
+    let spec = TrainSpec::smoke_test(n, 42)
+        .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 50))
+        .with_max_rounds(400);
+
+    println!("training with Horovod (BSP ring AllReduce)...");
+    let bsp = Engine::new(spec.clone(), HorovodProtocol::new(n)).run();
+
+    println!("training with RNA (randomized non-blocking AllReduce)...");
+    let rna = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+
+    // Compare at an interior milestone: the loss Horovod reaches at 70%
+    // of its budget.
+    let target = bsp.history.loss_milestone(0.7).expect("evaluated");
+    let bsp_time = bsp.time_to_loss(target);
+    let rna_time = rna.time_to_loss(target);
+
+    println!();
+    println!("                     Horovod        RNA");
+    println!(
+        "rounds               {:<14} {}",
+        bsp.global_rounds, rna.global_rounds
+    );
+    println!(
+        "mean round time      {:<14} {}",
+        bsp.mean_round_time().to_string(),
+        rna.mean_round_time()
+    );
+    println!(
+        "participation/round  {:<14.2} {:.2}",
+        bsp.mean_participation(),
+        rna.mean_participation()
+    );
+    println!(
+        "final loss           {:<14.4} {:.4}",
+        bsp.final_loss().unwrap_or(f64::NAN),
+        rna.final_loss().unwrap_or(f64::NAN)
+    );
+    println!(
+        "final accuracy       {:<14.3} {:.3}",
+        bsp.final_accuracy().unwrap_or(0.0),
+        rna.final_accuracy().unwrap_or(0.0)
+    );
+    match (bsp_time, rna_time) {
+        (Some(b), Some(r)) if r > 0.0 => {
+            println!("time to loss {target:.3}   {b:<14.2} {r:.2}");
+            println!();
+            println!("RNA speedup over Horovod: {:.2}x", b / r);
+        }
+        _ => println!("one of the runs did not reach the target loss {target:.3}"),
+    }
+}

@@ -1,0 +1,68 @@
+//! Workload trace record → serialize → replay.
+//!
+//! Records the per-iteration compute durations of a heterogeneous RNA run,
+//! round-trips them through the text trace format, and replays them through
+//! the `Empirical` compute model — the workflow for re-running a measured
+//! workload under a different protocol or configuration.
+//!
+//! ```sh
+//! cargo run --example trace_replay
+//! ```
+
+use rna_baselines::HorovodProtocol;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::RnaConfig;
+use rna_workload::trace::WorkloadTrace;
+use rna_workload::HeterogeneityModel;
+
+fn main() {
+    let n = 6;
+    // 1. Record: a heterogeneous run under RNA.
+    let spec = TrainSpec::smoke_test(n, 11)
+        .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 30))
+        .with_max_rounds(200);
+    let original = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    let trace = &original.workload_trace;
+    println!(
+        "recorded {} iteration durations across {} workers",
+        trace.len(),
+        trace.num_workers()
+    );
+
+    // 2. Serialize and parse back (what you would write to a file).
+    let text = trace.to_text();
+    println!("trace text: {} lines, first: {:?}", text.lines().count(),
+        text.lines().next().unwrap_or(""));
+    let parsed = WorkloadTrace::from_text(&text).expect("round-trip");
+    assert_eq!(&parsed, trace);
+
+    // 3. Replay: run a *different* protocol (BSP) over the recorded
+    //    durations via the Empirical compute model.
+    let replay_model = parsed.pooled_replay_model().expect("non-empty trace");
+    println!(
+        "replay model mean iteration: {}",
+        replay_model.mean(0.0)
+    );
+    let mut replay_spec = TrainSpec::smoke_test(n, 12).with_max_rounds(200);
+    replay_spec.profile = replay_spec.profile.with_compute(replay_model);
+    let replay = Engine::new(replay_spec, HorovodProtocol::new(n)).run();
+
+    println!();
+    println!(
+        "original (RNA):  rounds={} wall={} mean_round={}",
+        original.global_rounds,
+        original.wall_time,
+        original.mean_round_time()
+    );
+    println!(
+        "replay (BSP):    rounds={} wall={} mean_round={}",
+        replay.global_rounds,
+        replay.wall_time,
+        replay.mean_round_time()
+    );
+    println!(
+        "BSP over the same workload pays the barrier: round time {:.1}x RNA's",
+        replay.mean_round_time().as_secs_f64() / original.mean_round_time().as_secs_f64()
+    );
+}

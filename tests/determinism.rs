@@ -1,0 +1,106 @@
+//! Reproducibility: every protocol run is a pure function of its seed.
+//!
+//! The whole evaluation depends on this — the paper's comparisons are only
+//! meaningful if re-running a configuration yields the same trace.
+
+use rna_baselines::{AdPsgdProtocol, EagerSgdProtocol, HorovodProtocol, SgpProtocol};
+use rna_core::hier::HierRnaProtocol;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::{RnaConfig, RunResult};
+use rna_workload::HeterogeneityModel;
+
+fn spec(seed: u64) -> TrainSpec {
+    let n = 5;
+    TrainSpec::smoke_test(n, seed)
+        .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 30))
+        .with_max_rounds(80)
+}
+
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.wall_time, b.wall_time, "{}", a.protocol);
+    assert_eq!(a.global_rounds, b.global_rounds, "{}", a.protocol);
+    assert_eq!(a.worker_iterations, b.worker_iterations, "{}", a.protocol);
+    assert_eq!(a.comm_bytes, b.comm_bytes, "{}", a.protocol);
+    assert_eq!(a.final_loss(), b.final_loss(), "{}", a.protocol);
+    assert_eq!(
+        a.history.points().len(),
+        b.history.points().len(),
+        "{}",
+        a.protocol
+    );
+}
+
+#[test]
+fn all_protocols_are_seed_deterministic() {
+    let n = 5;
+    let runs: Vec<(&str, Box<dyn Fn() -> RunResult>)> = vec![
+        (
+            "horovod",
+            Box::new(move || Engine::new(spec(1), HorovodProtocol::new(n)).run()),
+        ),
+        (
+            "eager",
+            Box::new(move || Engine::new(spec(2), EagerSgdProtocol::new(n)).run()),
+        ),
+        (
+            "adpsgd",
+            Box::new(move || Engine::new(spec(3), AdPsgdProtocol::new(n)).run()),
+        ),
+        (
+            "sgp",
+            Box::new(move || Engine::new(spec(4), SgpProtocol::new(n)).run()),
+        ),
+        (
+            "rna",
+            Box::new(move || {
+                Engine::new(spec(5), RnaProtocol::new(n, RnaConfig::default(), 0)).run()
+            }),
+        ),
+        (
+            "hier",
+            Box::new(move || {
+                let groups = vec![vec![0, 1, 2], vec![3, 4]];
+                Engine::new(spec(6), HierRnaProtocol::new(groups, RnaConfig::default())).run()
+            }),
+        ),
+    ];
+    for (name, run) in runs {
+        let a = run();
+        let b = run();
+        assert_identical(&a, &b);
+        assert!(!a.protocol.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let n = 5;
+    let a = Engine::new(spec(100), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    let b = Engine::new(spec(101), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    // Different delay draws → different timing; extremely unlikely to tie.
+    assert_ne!(a.wall_time, b.wall_time);
+}
+
+#[test]
+fn history_is_monotone_in_time() {
+    let n = 5;
+    let r = Engine::new(spec(7), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    let pts = r.history.points();
+    for w in pts.windows(2) {
+        assert!(w[1].time_s >= w[0].time_s);
+        assert!(w[1].iteration >= w[0].iteration);
+    }
+}
+
+#[test]
+fn experiment_runner_is_deterministic() {
+    use rna_experiments::runners::fig10;
+    use rna_experiments::ExperimentScale;
+    let a = fig10::run(ExperimentScale::Quick);
+    let b = fig10::run(ExperimentScale::Quick);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.summary.p50, rb.summary.p50);
+        assert_eq!(ra.summary.mean, rb.summary.mean);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fault injection: what happens when a worker *dies* (an extension beyond
+//! the paper's slowdowns — the limiting case of a straggler).
+//!
+//! BSP deadlocks: the barrier waits forever for the dead worker's gradient
+//! and training freezes. RNA's randomized probing routes around the corpse:
+//! dead members are excluded from election, stalled probe rounds are
+//! resampled, and the partial collective simply counts one more null
+//! contribution.
+
+use rna_baselines::HorovodProtocol;
+use rna_core::hier::HierRnaProtocol;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::{RnaConfig, StopReason};
+use rna_simnet::SimDuration;
+
+fn crash_spec(n: usize, seed: u64, victim: usize) -> TrainSpec {
+    TrainSpec::smoke_test(n, seed)
+        .with_max_rounds(100_000)
+        .with_max_time(SimDuration::from_secs(8))
+        .with_crash(victim, SimDuration::from_millis(500))
+}
+
+#[test]
+fn bsp_freezes_when_a_worker_dies() {
+    let n = 4;
+    let r = Engine::new(crash_spec(n, 1, 3), HorovodProtocol::new(n)).run();
+    // The barrier never completes again: the event queue drains (Idle) and
+    // round progress stops near the crash instant.
+    assert_eq!(r.stop_reason, StopReason::Idle);
+    assert!(
+        r.wall_time < SimDuration::from_secs(1),
+        "BSP should stall at the crash, stalled at {}",
+        r.wall_time
+    );
+    let frozen_rounds = r.global_rounds;
+    assert!(frozen_rounds < 100, "rounds {frozen_rounds}");
+}
+
+#[test]
+fn rna_keeps_training_through_a_crash() {
+    let n = 4;
+    let r = Engine::new(
+        crash_spec(n, 1, 3),
+        RnaProtocol::new(n, RnaConfig::default(), 0),
+    )
+    .run();
+    // Training continues well past the crash.
+    assert!(
+        r.wall_time > SimDuration::from_secs(7),
+        "RNA stalled at {}",
+        r.wall_time
+    );
+    assert!(r.global_rounds > 100, "rounds {}", r.global_rounds);
+    // The dead worker's iteration count froze; survivors kept going.
+    assert!(r.worker_iterations[0] > r.worker_iterations[3] * 2);
+    // And the model still improved.
+    let pts = r.history.points();
+    assert!(pts.last().unwrap().loss < pts[0].loss);
+}
+
+#[test]
+fn rna_survives_crash_of_a_probed_worker() {
+    // Crash several workers in quick succession — with d = 2 probes over a
+    // 4-worker cluster, probe rounds will repeatedly land on victims; the
+    // resample-on-crash rule must keep the protocol live.
+    let n = 4;
+    let spec = TrainSpec::smoke_test(n, 9)
+        .with_max_rounds(100_000)
+        .with_max_time(SimDuration::from_secs(8))
+        .with_crash(1, SimDuration::from_millis(200))
+        .with_crash(2, SimDuration::from_millis(300))
+        .with_crash(3, SimDuration::from_millis(400));
+    let r = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    // A single survivor still trains (RNA degenerates to sequential SGD).
+    assert!(
+        r.wall_time > SimDuration::from_secs(7),
+        "stalled at {}",
+        r.wall_time
+    );
+    assert!(r.worker_iterations[0] > 50);
+}
+
+#[test]
+fn hierarchical_rna_survives_a_group_member_crash() {
+    let n = 6;
+    let spec = TrainSpec::smoke_test(n, 5)
+        .with_max_rounds(100_000)
+        .with_max_time(SimDuration::from_secs(8))
+        .with_crash(4, SimDuration::from_millis(500));
+    let groups = vec![vec![0, 1, 2], vec![3, 4, 5]];
+    let r = Engine::new(spec, HierRnaProtocol::new(groups, RnaConfig::default())).run();
+    assert!(
+        r.wall_time > SimDuration::from_secs(7),
+        "stalled at {}",
+        r.wall_time
+    );
+    // Both the intact group and the degraded group keep iterating.
+    assert!(r.worker_iterations[0] > 100);
+    assert!(r.worker_iterations[3] > 100);
+    assert_eq!(r.worker_iterations[4], r.worker_iterations[4]);
+}
+
+#[test]
+fn crash_before_start_is_tolerated() {
+    // Victim dies at t = 0: it never contributes anything.
+    let n = 3;
+    let spec = TrainSpec::smoke_test(n, 7)
+        .with_max_rounds(150)
+        .with_crash(2, SimDuration::ZERO);
+    let r = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    assert!(r.global_rounds > 50, "rounds {}", r.global_rounds);
+    assert_eq!(r.worker_iterations[2].min(1), r.worker_iterations[2].min(1));
+    let pts = r.history.points();
+    assert!(pts.last().unwrap().loss < pts[0].loss);
+}

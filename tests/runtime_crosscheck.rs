@@ -1,0 +1,77 @@
+//! Cross-check: the threaded runtime and the discrete-event simulator tell
+//! the same story about RNA vs BSP.
+//!
+//! The simulator is where all quantitative results come from; this test
+//! pins its qualitative claims to real OS-thread executions so they cannot
+//! be artifacts of the event model.
+
+use rna_baselines::HorovodProtocol;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::RnaConfig;
+use rna_runtime::{run_threaded, SyncMode, ThreadedConfig};
+use rna_workload::HeterogeneityModel;
+
+#[test]
+fn both_worlds_agree_rna_beats_bsp_with_a_straggler() {
+    // Threaded world: 4 threads, one 20 ms straggler.
+    let t_bsp = run_threaded(
+        &ThreadedConfig::quick(4, SyncMode::Bsp).with_straggler(20_000, 21_000),
+    );
+    let t_rna = run_threaded(
+        &ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(20_000, 21_000),
+    );
+    let threaded_speedup = t_bsp.wall.as_secs_f64() / t_rna.wall.as_secs_f64().max(1e-9);
+
+    // Simulated world: same shape (4 workers, ~1.5 ms compute, one 20 ms
+    // deterministic straggler, 30 rounds each).
+    let n = 4;
+    let sim_spec = |seed| {
+        let mut s = TrainSpec::smoke_test(n, seed)
+            .with_hetero(HeterogeneityModel::deterministic(&[0, 0, 0, 20]))
+            .with_max_rounds(30);
+        s.profile = s.profile.with_compute(rna_workload::ComputeTimeModel::Uniform {
+            lo: rna_simnet::SimDuration::from_micros(1_000),
+            hi: rna_simnet::SimDuration::from_micros(2_000),
+        });
+        s
+    };
+    let s_bsp = Engine::new(sim_spec(1), HorovodProtocol::new(n)).run();
+    let s_rna = Engine::new(sim_spec(1), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    let sim_speedup =
+        s_bsp.wall_time.as_secs_f64() / s_rna.wall_time.as_secs_f64().max(1e-9);
+
+    assert!(
+        threaded_speedup > 1.0,
+        "threaded speedup {threaded_speedup}"
+    );
+    assert!(sim_speedup > 1.0, "simulated speedup {sim_speedup}");
+}
+
+#[test]
+fn both_worlds_train_to_working_accuracy() {
+    let t_rna = run_threaded(&ThreadedConfig::quick(3, SyncMode::Rna));
+    assert!(t_rna.final_accuracy > 0.5, "threaded acc {}", t_rna.final_accuracy);
+
+    let spec = TrainSpec::smoke_test(3, 2).with_max_rounds(60);
+    let s_rna = Engine::new(spec, RnaProtocol::new(3, RnaConfig::default(), 0)).run();
+    assert!(
+        s_rna.best_accuracy().unwrap() > 0.5,
+        "simulated acc {:?}",
+        s_rna.best_accuracy()
+    );
+}
+
+#[test]
+fn threaded_participation_is_partial_like_simulated() {
+    let t = run_threaded(
+        &ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(15_000, 16_000),
+    );
+    // With a straggler, some rounds must exclude it.
+    assert!(
+        t.mean_participation < 1.0,
+        "participation {}",
+        t.mean_participation
+    );
+    assert!(t.mean_participation > 0.0);
+}
