@@ -134,7 +134,13 @@ impl Protocol for AdPsgdProtocol {
         );
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, GossipMsg>, _from: usize, _to: usize, msg: GossipMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, GossipMsg>,
+        _from: usize,
+        _to: usize,
+        msg: GossipMsg,
+    ) {
         let GossipMsg::AvgDone { requester, peer } = msg;
         ctx.average_pair(requester, peer);
         self.sessions += 1;

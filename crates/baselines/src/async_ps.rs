@@ -91,7 +91,11 @@ impl Protocol for AsyncPsProtocol {
         self.server_free_at = done;
         ctx.charge_bytes(bytes * 2);
         ctx.set_span(worker, SpanKind::Communicate);
-        ctx.send_after(ctx.controller_id(), done - ctx.now(), PsMsg::Exchanged { worker, grad });
+        ctx.send_after(
+            ctx.controller_id(),
+            done - ctx.now(),
+            PsMsg::Exchanged { worker, grad },
+        );
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, PsMsg>, _f: usize, _t: usize, msg: PsMsg) {
@@ -156,10 +160,9 @@ mod tests {
                 .with_max_time(SimDuration::from_secs(5));
             spec.link = rna_simnet::LinkModel::ethernet_10g();
             // Full VGG16-sized pushes saturate 10 GbE quickly.
-            spec.profile = rna_workload::ModelProfile::vgg16()
-                .with_compute(rna_workload::ComputeTimeModel::Constant(
-                    SimDuration::from_millis(5),
-                ));
+            spec.profile = rna_workload::ModelProfile::vgg16().with_compute(
+                rna_workload::ComputeTimeModel::Constant(SimDuration::from_millis(5)),
+            );
             let r = Engine::new(spec, AsyncPsProtocol::new(n)).run();
             r.global_rounds as f64 / r.wall_time.as_secs_f64()
         };

@@ -41,6 +41,7 @@ pub struct EagerSgdProtocol {
     round: u64,
     reducing: bool,
     paused: Vec<bool>,
+    live: Vec<bool>,
     in_flight: Option<(Tensor, usize)>,
     max_lead: u64,
 }
@@ -59,13 +60,14 @@ impl EagerSgdProtocol {
             round: 0,
             reducing: false,
             paused: vec![false; n],
+            live: vec![true; n],
             in_flight: None,
             max_lead: 8,
         }
     }
 
     fn majority(&self) -> usize {
-        self.caches.len() / 2 + 1
+        rna_core::fault::live_majority(self.live.iter().filter(|&&l| l).count())
     }
 
     fn ready_count(&self) -> usize {
@@ -105,7 +107,11 @@ impl EagerSgdProtocol {
                 ctx.set_span(w, SpanKind::Communicate);
             }
         }
-        ctx.send_after(ctx.controller_id(), duration, EagerMsg::ReduceDone { round: k });
+        ctx.send_after(
+            ctx.controller_id(),
+            duration,
+            EagerMsg::ReduceDone { round: k },
+        );
     }
 }
 
@@ -151,6 +157,17 @@ impl Protocol for EagerSgdProtocol {
         // If a majority is already ready (accumulated during the reduce),
         // fire immediately.
         if !ctx.stopped() && self.ready_count() >= self.majority() {
+            self.launch_reduce(ctx);
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, EagerMsg>, worker: usize) {
+        self.live[worker] = false;
+        self.caches[worker] = GradientCache::new(4, true);
+        // The electorate shrank to the survivors; a majority of them may
+        // already be ready, so re-check the trigger immediately — without
+        // this the protocol deadlocks once ⌈n/2⌉ workers die.
+        if !self.reducing && !ctx.stopped() && self.ready_count() >= self.majority() {
             self.launch_reduce(ctx);
         }
     }

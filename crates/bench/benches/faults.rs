@@ -1,0 +1,66 @@
+//! How much does crash tolerance cost?
+//!
+//! Times RNA runs — simulated and threaded — healthy versus under a fault
+//! plan, so regressions in the liveness/re-probe machinery show up as
+//! wall-clock, not just as test failures.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rna_core::fault::FaultPlan;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::RnaConfig;
+use rna_runtime::{run_threaded, SyncMode, ThreadedConfig};
+
+fn sim_spec(n: usize) -> TrainSpec {
+    TrainSpec::smoke_test(n, 21).with_max_rounds(80)
+}
+
+fn bench_simulated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_rna_faults");
+    g.bench_function("healthy_8w", |b| {
+        b.iter(|| Engine::new(sim_spec(8), RnaProtocol::new(8, RnaConfig::default(), 0)).run())
+    });
+    g.bench_function("one_crash_8w", |b| {
+        b.iter(|| {
+            let spec = sim_spec(8).with_fault_plan(FaultPlan::none().crash(7, 5));
+            Engine::new(spec, RnaProtocol::new(8, RnaConfig::default(), 0)).run()
+        })
+    });
+    g.bench_function("half_dead_8w", |b| {
+        b.iter(|| {
+            let plan = (4..8).fold(FaultPlan::none(), |p, w| p.crash(w, 3));
+            let spec = sim_spec(8).with_fault_plan(plan);
+            Engine::new(spec, RnaProtocol::new(8, RnaConfig::default(), 0)).run()
+        })
+    });
+    g.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_rna_faults");
+    let quick = |plan: FaultPlan| {
+        let mut cfg = ThreadedConfig::quick(4, SyncMode::Rna).with_fault_plan(plan);
+        cfg.rounds = 15;
+        cfg.compute_us = vec![(300, 600); 4];
+        cfg
+    };
+    g.bench_function("healthy_4w", |b| {
+        b.iter(|| run_threaded(&quick(FaultPlan::none())))
+    });
+    g.bench_function("one_crash_4w", |b| {
+        b.iter(|| run_threaded(&quick(FaultPlan::none().crash(3, 4))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = faults;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_simulated, bench_threaded
+);
+criterion_main!(faults);

@@ -19,8 +19,8 @@ use rna_workload::{HeterogeneityModel, ModelProfile};
 fn bench_fig1_breakdown(c: &mut Criterion) {
     c.bench_function("fig1_breakdown_bsp_3workers", |b| {
         b.iter(|| {
-            let spec = mini_spec(3, 25, 1)
-                .with_hetero(HeterogeneityModel::deterministic(&[0, 10, 40]));
+            let spec =
+                mini_spec(3, 25, 1).with_hetero(HeterogeneityModel::deterministic(&[0, 10, 40]));
             let r = Engine::new(spec, HorovodProtocol::new(3)).run();
             black_box(r.breakdown)
         })
@@ -41,15 +41,22 @@ fn bench_fig6_speedup(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_speedup");
     g.bench_function("horovod_8w_25rounds", |b| {
         b.iter(|| {
-            black_box(Engine::new(mini_spec(8, 25, 2), HorovodProtocol::new(8)).run().wall_time)
+            black_box(
+                Engine::new(mini_spec(8, 25, 2), HorovodProtocol::new(8))
+                    .run()
+                    .wall_time,
+            )
         })
     });
     g.bench_function("rna_8w_25rounds", |b| {
         b.iter(|| {
             black_box(
-                Engine::new(mini_spec(8, 25, 2), RnaProtocol::new(8, RnaConfig::default(), 0))
-                    .run()
-                    .wall_time,
+                Engine::new(
+                    mini_spec(8, 25, 2),
+                    RnaProtocol::new(8, RnaConfig::default(), 0),
+                )
+                .run()
+                .wall_time,
             )
         })
     });
@@ -78,10 +85,9 @@ fn bench_fig8_transformer(c: &mut Criterion) {
     c.bench_function("fig8_transformer_profile_rna", |b| {
         b.iter(|| {
             let mut spec = mini_spec(8, 25, 4);
-            spec.profile = ModelProfile::transformer_wmt17()
-                .with_compute(rna_workload::ComputeTimeModel::long_tail_ms(
-                    8.0, 3.0, 2.0, 40.0,
-                ));
+            spec.profile = ModelProfile::transformer_wmt17().with_compute(
+                rna_workload::ComputeTimeModel::long_tail_ms(8.0, 3.0, 2.0, 40.0),
+            );
             black_box(
                 Engine::new(spec, RnaProtocol::new(8, RnaConfig::default(), 0))
                     .run()
@@ -132,9 +138,7 @@ fn bench_table5_transfer(c: &mut Criterion) {
         let transfer = TransferModel::default();
         b.iter(|| {
             for p in ModelProfile::evaluation_set() {
-                black_box(
-                    transfer.overhead_percent(p.grad_bytes(), SimDuration::from_millis(300)),
-                );
+                black_box(transfer.overhead_percent(p.grad_bytes(), SimDuration::from_millis(300)));
             }
         })
     });

@@ -62,10 +62,7 @@ pub fn partial_allreduce(contributions: &[Option<&Tensor>]) -> Option<PartialOut
     }
     let dim = contributions.iter().flatten().next().unwrap().len();
     let null = Tensor::zeros(dim);
-    let tensors: Vec<&Tensor> = contributions
-        .iter()
-        .map(|c| c.unwrap_or(&null))
-        .collect();
+    let tensors: Vec<&Tensor> = contributions.iter().map(|c| c.unwrap_or(&null)).collect();
     let weights: Vec<f32> = contributed
         .iter()
         .map(|&c| if c { 1.0 } else { 0.0 })

@@ -39,7 +39,10 @@ use rna_tensor::{partition, ReduceOp, Tensor};
 /// assert_eq!(bufs[1].as_slice(), &[5.0, 7.0, 9.0]);
 /// ```
 pub fn ring_allreduce(buffers: &mut [Tensor], op: ReduceOp) -> u64 {
-    assert!(!buffers.is_empty(), "ring allreduce needs at least one buffer");
+    assert!(
+        !buffers.is_empty(),
+        "ring allreduce needs at least one buffer"
+    );
     let n = buffers.len();
     let len = buffers[0].len();
     assert!(
@@ -62,7 +65,7 @@ pub fn ring_allreduce(buffers: &mut [Tensor], op: ReduceOp) -> u64 {
                 (c, buffers[i].slice(chunks[c].as_range()))
             })
             .collect();
-        for i in 0..n {
+        for (i, buffer) in buffers.iter_mut().enumerate() {
             // Worker i receives from its left neighbor i−1 the chunk that
             // neighbor sent this step, and reduces it into its own buffer.
             let left = (i + n - 1) % n;
@@ -71,9 +74,9 @@ pub fn ring_allreduce(buffers: &mut [Tensor], op: ReduceOp) -> u64 {
                 continue;
             }
             let range = chunks[*c].as_range();
-            let mut acc = buffers[i].slice(range.clone());
+            let mut acc = buffer.slice(range.clone());
             op.accumulate(&mut acc, chunk);
-            buffers[i].write_chunk(range.start, &acc);
+            buffer.write_chunk(range.start, &acc);
             transfers += 1;
         }
     }
@@ -86,13 +89,13 @@ pub fn ring_allreduce(buffers: &mut [Tensor], op: ReduceOp) -> u64 {
                 (c, buffers[i].slice(chunks[c].as_range()))
             })
             .collect();
-        for i in 0..n {
+        for (i, buffer) in buffers.iter_mut().enumerate() {
             let left = (i + n - 1) % n;
             let (c, chunk) = &outgoing[left];
             if chunk.is_empty() {
                 continue;
             }
-            buffers[i].write_chunk(chunks[*c].start, chunk);
+            buffer.write_chunk(chunks[*c].start, chunk);
             transfers += 1;
         }
     }

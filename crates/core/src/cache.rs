@@ -95,8 +95,7 @@ impl GradientCache {
             return None;
         }
         let out = if self.weighted {
-            let grads: Vec<(u64, &Tensor)> =
-                self.entries.iter().map(|(t, g)| (*t, g)).collect();
+            let grads: Vec<(u64, &Tensor)> = self.entries.iter().map(|(t, g)| (*t, g)).collect();
             staleness_weighted_average(&grads, k)
         } else {
             let refs: Vec<&Tensor> = self.entries.iter().map(|(_, g)| g).collect();

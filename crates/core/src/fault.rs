@@ -1,0 +1,294 @@
+//! The fault model shared by the two execution worlds.
+//!
+//! The paper's claim is that partial collectives earn their keep in the
+//! failure regime, not just under benign jitter — so the discrete-event
+//! simulator ([`crate::sim`]) and the threaded runtime (`rna-runtime`)
+//! must agree on *what* a fault is and *how* the protocol reacts. This
+//! module is the single source of those semantics:
+//!
+//! * [`FaultPlan`] / [`WorkerFault`] — a seedable, deterministic injection
+//!   script (crash at iteration `k`, hang for a duration, run slow
+//!   forever) consumed by both worlds. The simulator takes crashes
+//!   natively (`TrainSpec::with_fault_plan`); the threaded runtime
+//!   executes all three kinds on real OS threads.
+//! * [`WorkerFate`] — the post-mortem verdict both worlds report.
+//! * [`live_majority`] / [`probe_round_stalled`] — the two predicates that
+//!   decide when an eager-majority round may fire and when an RNA probe
+//!   round must be resampled. Both the simulator's `GroupState` and the
+//!   threaded controller call these, so the worlds cannot drift.
+//! * The liveness timeouts the threaded controller uses to presume a
+//!   silent worker dead. The simulator does not need them (its crashes are
+//!   delivered as exact events), but they live here because they *define*
+//!   the crash semantics the threaded world approximates.
+
+/// One injected fault against one worker.
+///
+/// Iteration indices count completed local iterations: a fault `at_iter: 5`
+/// triggers when the worker would otherwise begin its 6th iteration, so the
+/// worker completes exactly 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The worker dies permanently after completing `at_iter` iterations.
+    /// Its final cached gradient is discarded, never reduced.
+    CrashAt {
+        /// Completed-iteration count at which the worker dies.
+        at_iter: u64,
+    },
+    /// The worker freezes for `for_us` microseconds after completing
+    /// `at_iter` iterations, then resumes. While frozen it sends no
+    /// heartbeats; a hang longer than [`LIVENESS_TIMEOUT_US`] is
+    /// indistinguishable from a crash until the worker returns.
+    HangAt {
+        /// Completed-iteration count at which the hang starts.
+        at_iter: u64,
+        /// Hang duration in microseconds of real (threaded) time.
+        for_us: u64,
+    },
+    /// From `from_iter` on, every iteration takes `extra_us` additional
+    /// microseconds — a persistent straggler, not a failure. The worker
+    /// keeps heartbeating and stays live.
+    SlowFrom {
+        /// Completed-iteration count at which the slowdown begins.
+        from_iter: u64,
+        /// Extra per-iteration compute time in microseconds.
+        extra_us: u64,
+    },
+}
+
+impl WorkerFault {
+    /// The iteration at which this fault first bites.
+    pub fn trigger_iter(&self) -> u64 {
+        match *self {
+            WorkerFault::CrashAt { at_iter } => at_iter,
+            WorkerFault::HangAt { at_iter, .. } => at_iter,
+            WorkerFault::SlowFrom { from_iter, .. } => from_iter,
+        }
+    }
+}
+
+/// A deterministic injection script: which worker suffers which fault.
+///
+/// Plans are plain data — no randomness of their own — so the same plan
+/// fed to the simulator and the threaded runtime injects the same
+/// failures, which is what makes the cross-world fault tests meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use rna_core::fault::{FaultPlan, WorkerFault};
+///
+/// let plan = FaultPlan::none().crash(3, 5).slow(1, 0, 30_000);
+/// assert_eq!(plan.faults().len(), 2);
+/// assert_eq!(
+///     plan.crash_iter(3),
+///     Some(5),
+/// );
+/// assert!(matches!(
+///     plan.for_worker(1).next(),
+///     Some(WorkerFault::SlowFrom { .. })
+/// ));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<(usize, WorkerFault)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every worker runs healthy.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash: `worker` dies after completing `at_iter` iterations.
+    pub fn crash(mut self, worker: usize, at_iter: u64) -> Self {
+        self.faults.push((worker, WorkerFault::CrashAt { at_iter }));
+        self
+    }
+
+    /// Adds a hang: `worker` freezes for `for_us` microseconds after
+    /// completing `at_iter` iterations.
+    pub fn hang(mut self, worker: usize, at_iter: u64, for_us: u64) -> Self {
+        self.faults
+            .push((worker, WorkerFault::HangAt { at_iter, for_us }));
+        self
+    }
+
+    /// Adds a permanent slowdown: from `from_iter` on, `worker` takes
+    /// `extra_us` extra microseconds per iteration.
+    pub fn slow(mut self, worker: usize, from_iter: u64, extra_us: u64) -> Self {
+        self.faults.push((
+            worker,
+            WorkerFault::SlowFrom {
+                from_iter,
+                extra_us,
+            },
+        ));
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// All `(worker, fault)` entries in insertion order.
+    pub fn faults(&self) -> &[(usize, WorkerFault)] {
+        &self.faults
+    }
+
+    /// The faults aimed at one worker.
+    pub fn for_worker(&self, worker: usize) -> impl Iterator<Item = WorkerFault> + '_ {
+        self.faults
+            .iter()
+            .filter(move |(w, _)| *w == worker)
+            .map(|(_, f)| *f)
+    }
+
+    /// The iteration at which `worker` crashes, if the plan kills it.
+    pub fn crash_iter(&self, worker: usize) -> Option<u64> {
+        self.for_worker(worker).find_map(|f| match f {
+            WorkerFault::CrashAt { at_iter } => Some(at_iter),
+            _ => None,
+        })
+    }
+
+    /// The largest worker index the plan touches, if any (used to validate
+    /// a plan against a cluster size).
+    pub fn max_worker(&self) -> Option<usize> {
+        self.faults.iter().map(|(w, _)| *w).max()
+    }
+}
+
+/// The post-mortem verdict on one worker, reported by both worlds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerFate {
+    /// Ran to the end of training without incident.
+    #[default]
+    Healthy,
+    /// Died permanently after completing `at_iter` iterations.
+    Crashed {
+        /// Completed-iteration count at death.
+        at_iter: u64,
+    },
+    /// Froze at `at_iter` (and, in the threaded world, later recovered —
+    /// a hang that outlives the run is reported as [`WorkerFate::Crashed`]
+    /// by the controller's liveness verdict, not here).
+    Hung {
+        /// Completed-iteration count at which the hang started.
+        at_iter: u64,
+    },
+    /// Ran as a persistent straggler from `from_iter` on.
+    Slowed {
+        /// Completed-iteration count at which the slowdown began.
+        from_iter: u64,
+    },
+}
+
+impl WorkerFate {
+    /// Whether the worker was dead (permanently) at the end of the run.
+    pub fn is_dead(&self) -> bool {
+        matches!(self, WorkerFate::Crashed { .. })
+    }
+}
+
+/// How many ready workers an eager-majority round needs before it may
+/// fire, given the number of *live* members. Crashed workers shrink the
+/// electorate: a majority of survivors, never less than one.
+///
+/// Both the simulated eager-SGD baseline and the threaded
+/// `SyncMode::EagerMajority` controller call this — the threaded majority
+/// loop previously hard-coded `n / 2 + 1` over all workers and therefore
+/// spun forever once half the cluster died.
+pub fn live_majority(live_members: usize) -> usize {
+    (live_members / 2 + 1).max(1)
+}
+
+/// Whether an in-flight probe round can no longer elect an initiator
+/// because every probed member is dead, and must be resampled from the
+/// live set. `probed` holds member-local indices into `live`.
+///
+/// Shared by the simulator's `GroupState::handle_crash` and the threaded
+/// controller's re-probe loop.
+pub fn probe_round_stalled(probed: &[usize], live: &[bool]) -> bool {
+    !probed.is_empty() && probed.iter().all(|&l| !live[l])
+}
+
+/// Real-time heartbeat age (microseconds) past which the threaded
+/// controller presumes a silent worker dead. Chosen ≫ any benign compute
+/// interval the test/bench configurations use (tens of milliseconds), and
+/// ≪ the round deadline, so crashes are detected within a few rounds.
+pub const LIVENESS_TIMEOUT_US: u64 = 150_000;
+
+/// How long (microseconds) the threaded RNA controller waits on an
+/// unresponsive probed set before resampling initiator candidates from the
+/// live workers (re-probe backoff).
+pub const PROBE_BACKOFF_US: u64 = 2_000;
+
+/// Hard per-round deadline (microseconds) in the threaded runtime: a
+/// round that cannot assemble any contribution by the deadline is
+/// completed *degraded* (no update applied) rather than blocking forever.
+pub const ROUND_DEADLINE_US: u64 = 5_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_accumulate() {
+        let plan = FaultPlan::none().crash(0, 3).hang(1, 4, 500).slow(2, 0, 9);
+        assert_eq!(plan.faults().len(), 3);
+        assert_eq!(plan.crash_iter(0), Some(3));
+        assert_eq!(plan.crash_iter(1), None);
+        assert_eq!(plan.max_worker(), Some(2));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn trigger_iters() {
+        assert_eq!(WorkerFault::CrashAt { at_iter: 7 }.trigger_iter(), 7);
+        assert_eq!(
+            WorkerFault::HangAt {
+                at_iter: 2,
+                for_us: 1
+            }
+            .trigger_iter(),
+            2
+        );
+        assert_eq!(
+            WorkerFault::SlowFrom {
+                from_iter: 4,
+                extra_us: 1
+            }
+            .trigger_iter(),
+            4
+        );
+    }
+
+    #[test]
+    fn majority_shrinks_with_deaths() {
+        assert_eq!(live_majority(4), 3);
+        assert_eq!(live_majority(3), 2);
+        assert_eq!(live_majority(2), 2);
+        assert_eq!(live_majority(1), 1);
+        // Even an empty electorate demands one contributor, so a fully
+        // dead cluster can never fire a round by accident.
+        assert_eq!(live_majority(0), 1);
+    }
+
+    #[test]
+    fn stalled_probe_rounds() {
+        let live = [true, false, false, true];
+        assert!(probe_round_stalled(&[1, 2], &live));
+        assert!(!probe_round_stalled(&[1, 3], &live));
+        assert!(!probe_round_stalled(&[], &live));
+    }
+
+    #[test]
+    fn fates_report_death() {
+        assert!(WorkerFate::Crashed { at_iter: 0 }.is_dead());
+        assert!(!WorkerFate::Healthy.is_dead());
+        assert!(!WorkerFate::Hung { at_iter: 1 }.is_dead());
+        assert!(!WorkerFate::Slowed { from_iter: 1 }.is_dead());
+    }
+}

@@ -66,8 +66,7 @@ fn split_recursive(
         out.push(members.to_vec());
         return;
     }
-    let mean_ns: u64 =
-        local.iter().map(SimDuration::as_nanos).sum::<u64>() / local.len() as u64;
+    let mean_ns: u64 = local.iter().map(SimDuration::as_nanos).sum::<u64>() / local.len() as u64;
     let (fast, slow): (Vec<usize>, Vec<usize>) = members
         .iter()
         .partition(|&&i| times[i].as_nanos() <= mean_ns);

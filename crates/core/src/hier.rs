@@ -164,8 +164,7 @@ impl HierRnaProtocol {
         let bytes = ctx.grad_bytes();
         let cost = ctx.cost();
         let group_size = self.groups[gid].members.len();
-        let duration =
-            cost.point_to_point(bytes) * 2 + cost.ring_broadcast(group_size, bytes);
+        let duration = cost.point_to_point(bytes) * 2 + cost.ring_broadcast(group_size, bytes);
         ctx.charge_bytes(bytes * 2);
         ctx.send_after(
             ctx.controller_id(),
@@ -219,8 +218,7 @@ impl Protocol for HierRnaProtocol {
                 self.groups[group].handle_reply(ctx, &self.config, worker, round);
             }
             RnaMsg::ReduceDone { group, round } => {
-                let Some((reduced, contributors)) =
-                    self.groups[group].take_reduce_result(round)
+                let Some((reduced, contributors)) = self.groups[group].take_reduce_result(round)
                 else {
                     return;
                 };
@@ -355,14 +353,13 @@ mod tests {
         use crate::rna::RnaProtocol;
         let n = 8;
         let spec = |seed| mixed_spec(n, seed, 250);
-        let flat = Engine::new(
-            spec(7),
-            RnaProtocol::new(n, RnaConfig::default(), 0),
-        )
-        .run();
+        let flat = Engine::new(spec(7), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
         let hier = Engine::new(
             spec(7),
-            HierRnaProtocol::new(vec![(0..4).collect(), (4..8).collect()], RnaConfig::default()),
+            HierRnaProtocol::new(
+                vec![(0..4).collect(), (4..8).collect()],
+                RnaConfig::default(),
+            ),
         )
         .run();
         let f = flat.final_loss().unwrap();

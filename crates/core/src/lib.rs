@@ -56,6 +56,7 @@
 pub mod analysis;
 pub mod cache;
 mod config;
+pub mod fault;
 pub mod grouping;
 pub mod hier;
 pub mod probe;
@@ -65,4 +66,5 @@ pub mod stats;
 pub mod timeline;
 
 pub use config::RnaConfig;
+pub use fault::{FaultPlan, WorkerFate, WorkerFault};
 pub use stats::{RunResult, StopReason};

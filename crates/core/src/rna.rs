@@ -90,10 +90,13 @@ pub struct GroupState {
 impl GroupState {
     /// Creates the state machine for `members` under `config`.
     ///
+    /// A `config.probes` larger than the group is not an error: probe
+    /// counts are clamped to the group size, so small groups simply probe
+    /// everyone.
+    ///
     /// # Panics
     ///
-    /// Panics if `members` is empty or `config.probes` exceeds the group
-    /// size is handled by clamping (small groups probe everyone).
+    /// Panics if `members` is empty.
     pub fn new(id: usize, members: Vec<usize>, config: &RnaConfig) -> Self {
         assert!(!members.is_empty(), "group needs at least one member");
         let n = members.len();
@@ -172,14 +175,14 @@ impl GroupState {
         };
         self.live[local] = false;
         self.pending_reply[local] = None;
-        self.caches[local] = GradientCache::new(config.staleness_bound, config.weighted_accumulation);
+        self.caches[local] =
+            GradientCache::new(config.staleness_bound, config.weighted_accumulation);
         if self.reducing {
             return;
         }
-        let stalled = self
-            .probe
-            .as_ref()
-            .is_some_and(|p| p.winner().is_none() && p.probed().iter().all(|&l| !self.live[l]));
+        let stalled = self.probe.as_ref().is_some_and(|p| {
+            p.winner().is_none() && crate::fault::probe_round_stalled(p.probed(), &self.live)
+        });
         if stalled {
             self.start_probe_round(ctx, config);
         }

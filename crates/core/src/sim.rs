@@ -30,6 +30,7 @@ use rna_training::{BatchSampler, Dataset, EarlyStopping, History, LrSchedule, Mo
 use rna_workload::trace::WorkloadTrace;
 use rna_workload::{HeterogeneityModel, ModelProfile};
 
+use crate::fault::{FaultPlan, WorkerFault};
 use crate::stats::{RunResult, StopReason};
 
 /// The learnable task a run optimizes.
@@ -171,6 +172,11 @@ pub struct TrainSpec {
     /// Fault injection: `(worker, at)` pairs — the worker crashes at the
     /// given instant and never computes or communicates again.
     pub crashes: Vec<(usize, SimDuration)>,
+    /// Iteration-indexed fault injection shared with the threaded runtime
+    /// (see [`crate::fault`]): crashes fire after a worker completes
+    /// exactly `at_iter` iterations; hangs and slowdowns stretch the
+    /// affected iterations' compute time in virtual time.
+    pub fault_plan: FaultPlan,
 }
 
 impl TrainSpec {
@@ -206,6 +212,7 @@ impl TrainSpec {
             patience: None,
             charge_transfer_overhead: false,
             crashes: Vec::new(),
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -217,6 +224,36 @@ impl TrainSpec {
     pub fn with_crash(mut self, worker: usize, at: SimDuration) -> Self {
         assert!(worker < self.num_workers, "crash target out of range");
         self.crashes.push((worker, at));
+        self
+    }
+
+    /// Injects an iteration-indexed crash: `worker` dies after completing
+    /// exactly `at_iter` local iterations, its final gradient discarded.
+    /// This is the crash semantics the threaded runtime mirrors, which
+    /// makes cross-world fault tests meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn with_crash_at_iter(mut self, worker: usize, at_iter: u64) -> Self {
+        assert!(worker < self.num_workers, "crash target out of range");
+        self.fault_plan = self.fault_plan.crash(worker, at_iter);
+        self
+    }
+
+    /// Installs a whole [`FaultPlan`] (crashes, hangs, slowdowns). Crashes
+    /// fire after the victim completes exactly `at_iter` iterations; a
+    /// hang stretches the iteration it interrupts by its duration; a
+    /// slowdown stretches every iteration from `from_iter` on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a worker outside `0..num_workers`.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if let Some(max) = plan.max_worker() {
+            assert!(max < self.num_workers, "fault plan names worker {max}");
+        }
+        self.fault_plan = plan;
         self
     }
 
@@ -365,8 +402,7 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
     /// charge it).
     pub fn transfer_overhead(&self) -> SimDuration {
         if self.0.spec.charge_transfer_overhead {
-            rna_workload::transfer::TransferModel::default()
-                .per_iteration_cost(self.grad_bytes())
+            rna_workload::transfer::TransferModel::default().per_iteration_cost(self.grad_bytes())
         } else {
             SimDuration::ZERO
         }
@@ -449,9 +485,15 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
         if s.stop.is_some() {
             return;
         }
+        let iter = s.next_iter[worker];
+        if s.spec.fault_plan.crash_iter(worker) == Some(iter) {
+            // The plan kills this worker after exactly `iter` completed
+            // iterations: it dies instead of starting the next one.
+            s.queue.schedule(s.clock, Event::Crash { worker });
+            return;
+        }
         let batch = s.samplers[worker].sample(&s.train_ds);
         let (_, grad) = s.models[worker].loss_and_grad(&batch);
-        let iter = s.next_iter[worker];
         s.next_iter[worker] += 1;
         s.in_flight[worker] = Some((iter, grad));
         s.computing[worker] = true;
@@ -460,8 +502,29 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
         } else {
             None
         };
-        let nominal = s.spec.profile.compute.sample(&mut s.workload_rngs[worker], units);
-        let dur = s.spec.hetero.apply(worker, nominal, &mut s.workload_rngs[worker]);
+        let nominal = s
+            .spec
+            .profile
+            .compute
+            .sample(&mut s.workload_rngs[worker], units);
+        let mut dur = s
+            .spec
+            .hetero
+            .apply(worker, nominal, &mut s.workload_rngs[worker]);
+        for fault in s.spec.fault_plan.for_worker(worker) {
+            match fault {
+                WorkerFault::HangAt { at_iter, for_us } if at_iter == iter => {
+                    dur += SimDuration::from_micros(for_us);
+                }
+                WorkerFault::SlowFrom {
+                    from_iter,
+                    extra_us,
+                } if from_iter <= iter => {
+                    dur += SimDuration::from_micros(extra_us);
+                }
+                _ => {}
+            }
+        }
         s.workload_trace.record(worker, dur);
         s.spans.begin(worker, SpanKind::Compute, s.clock);
         s.queue
@@ -739,11 +802,8 @@ impl<P: Protocol> Engine<P> {
         // Final evaluation so every run ends with a fresh measurement.
         evaluate(&mut self.state);
         let mut s = self.state;
-        let timeline = crate::timeline::Timeline::from_log(
-            s.spec.num_workers,
-            &s.spans.take_log(),
-            s.clock,
-        );
+        let timeline =
+            crate::timeline::Timeline::from_log(s.spec.num_workers, &s.spans.take_log(), s.clock);
         RunResult {
             protocol: self.protocol.name().to_string(),
             wall_time: s.clock - SimTime::ZERO,
@@ -950,5 +1010,75 @@ mod tests {
     fn spec_validates_hetero_size() {
         let spec = TrainSpec::smoke_test(3, 0).with_hetero(HeterogeneityModel::homogeneous(2));
         let _ = spec;
+    }
+
+    /// Every worker computes continuously; each completion counts a round.
+    struct FreeRun;
+    impl Protocol for FreeRun {
+        type Msg = ();
+        fn name(&self) -> &'static str {
+            "free-run"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            for w in 0..ctx.num_workers() {
+                ctx.begin_compute(w);
+            }
+        }
+        fn on_compute_done(&mut self, ctx: &mut Ctx<'_, ()>, worker: usize, _iter: u64) {
+            let _ = ctx.take_gradient(worker);
+            ctx.finish_round(ctx.live_workers() as f64 / ctx.num_workers() as f64);
+            if !ctx.stopped() {
+                ctx.begin_compute(worker);
+            }
+        }
+        fn on_message(&mut self, _c: &mut Ctx<'_, ()>, _f: usize, _t: usize, _m: ()) {}
+    }
+
+    #[test]
+    fn crash_at_iter_completes_exact_count() {
+        let spec = TrainSpec::smoke_test(3, 7)
+            .with_max_rounds(45)
+            .with_crash_at_iter(1, 4);
+        let result = Engine::new(spec, FreeRun).run();
+        assert_eq!(
+            result.worker_iterations[1], 4,
+            "crashed worker must complete exactly its crash iteration count"
+        );
+        assert!(result.worker_iterations[0] > 4, "survivors keep training");
+        assert!(result.worker_iterations[2] > 4, "survivors keep training");
+    }
+
+    #[test]
+    fn crash_at_iter_zero_never_computes() {
+        let spec = TrainSpec::smoke_test(2, 3)
+            .with_max_rounds(20)
+            .with_crash_at_iter(0, 0);
+        let result = Engine::new(spec, FreeRun).run();
+        assert_eq!(result.worker_iterations[0], 0);
+        assert!(result.worker_iterations[1] > 0);
+    }
+
+    #[test]
+    fn hang_and_slow_stretch_virtual_time() {
+        use crate::fault::FaultPlan;
+        // Healthy iterations take 5 ms; worker 0 is slowed +20 ms from
+        // iteration 2 and worker 1 hangs 100 ms at iteration 1, so both
+        // fall well behind worker 2 in a fixed virtual-time budget.
+        let plan = FaultPlan::none().slow(0, 2, 20_000).hang(1, 1, 100_000);
+        let spec = TrainSpec::smoke_test(3, 5)
+            .with_max_time(SimDuration::from_millis(200))
+            .with_max_rounds(u64::MAX / 2)
+            .with_fault_plan(plan);
+        let result = Engine::new(spec, FreeRun).run();
+        let iters = &result.worker_iterations;
+        assert!(iters[0] < iters[2], "slowed worker lags: {iters:?}");
+        assert!(iters[1] < iters[2], "hung worker lags: {iters:?}");
+        assert!(iters[1] > 0, "a hung worker resumes, unlike a crash");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan names worker")]
+    fn fault_plan_validates_worker_range() {
+        let _ = TrainSpec::smoke_test(2, 0).with_fault_plan(FaultPlan::none().crash(5, 1));
     }
 }

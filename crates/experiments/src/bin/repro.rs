@@ -25,7 +25,10 @@ fn main() {
     } else {
         ExperimentScale::Paper
     };
-    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str);
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str);
     let Some(which) = which else { usage() };
 
     let run_fig6_family = |wants: &[&str]| {

@@ -247,6 +247,7 @@ impl Workload {
             patience: None,
             charge_transfer_overhead: false,
             crashes: Vec::new(),
+            fault_plan: rna_core::fault::FaultPlan::none(),
         }
     }
 }

@@ -83,9 +83,7 @@ impl ExtendedResult {
             "comm GB".into(),
             "participation".into(),
         ])
-        .with_title(
-            "Extension: all seven strategies, ResNet50 stand-in, dynamic heterogeneity",
-        );
+        .with_title("Extension: all seven strategies, ResNet50 stand-in, dynamic heterogeneity");
         for r in &self.rows {
             t.row(vec![
                 r.approach.name().to_string(),

@@ -64,6 +64,7 @@ fn motivation_spec(profile: ModelProfile, scale: ExperimentScale, seed: u64) -> 
         patience: None,
         charge_transfer_overhead: false,
         crashes: Vec::new(),
+        fault_plan: rna_core::fault::FaultPlan::none(),
     }
 }
 
@@ -121,8 +122,7 @@ mod tests {
         let r = run(ExperimentScale::Quick);
         assert_eq!(r.rows.len(), 6);
         for model in ["ResNet56", "VGG16"] {
-            let rows: Vec<&Fig1Row> =
-                r.rows.iter().filter(|row| row.model == model).collect();
+            let rows: Vec<&Fig1Row> = r.rows.iter().filter(|row| row.model == model).collect();
             // w1 (no delay) waits more than w3 (the 40 ms straggler).
             assert!(
                 rows[0].waiting_ms > rows[2].waiting_ms,

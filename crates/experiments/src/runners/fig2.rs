@@ -70,11 +70,8 @@ impl Fig2Result {
     /// Renders both panels as tables.
     pub fn render(&self) -> String {
         let summary_table = |title: &str, s: &Summary, unit: &str| {
-            let mut t = Table::new(vec![
-                "stat".into(),
-                format!("value ({unit})"),
-            ])
-            .with_title(title.to_string());
+            let mut t = Table::new(vec!["stat".into(), format!("value ({unit})")])
+                .with_title(title.to_string());
             for (name, v) in [
                 ("count", s.count as f64),
                 ("mean", s.mean),
@@ -111,7 +108,11 @@ mod tests {
     fn distributions_match_paper_statistics() {
         let r = run(ExperimentScale::Paper);
         // Figure 2a targets.
-        assert!((r.lengths.mean - 186.0).abs() < 10.0, "mean {}", r.lengths.mean);
+        assert!(
+            (r.lengths.mean - 186.0).abs() < 10.0,
+            "mean {}",
+            r.lengths.mean
+        );
         assert!((r.lengths.stddev - 97.7).abs() < 15.0);
         assert!(r.lengths.min >= 29.0 && r.lengths.max <= 1776.0);
         // Figure 2b targets: long-tail batch times around 1219 ms with a

@@ -156,9 +156,7 @@ fn extract_averaged(
         hetero,
         approach,
         train_time_s,
-        converged: rs
-            .iter()
-            .all(|r| r.stop_reason == StopReason::EarlyStopped),
+        converged: rs.iter().all(|r| r.stop_reason == StopReason::EarlyStopped),
         speedup: if train_time_s > 0.0 {
             horovod_time / train_time_s
         } else {
@@ -207,7 +205,11 @@ impl Fig6Result {
                 c.workload.to_string(),
                 c.hetero.name().to_string(),
                 c.approach.name().to_string(),
-                format!("{}{}", fmt_f(c.train_time_s, 1), if c.converged { "" } else { "*" }),
+                format!(
+                    "{}{}",
+                    fmt_f(c.train_time_s, 1),
+                    if c.converged { "" } else { "*" }
+                ),
                 fmt_speedup(c.speedup),
                 fmt_f(c.round_ms, 1),
                 fmt_pct(c.participation),

@@ -53,12 +53,8 @@ impl Fig7Result {
         let points = 9;
         let mut out = String::from("Figure 7: LSTM convergence (loss / accuracy vs time)\n");
         for c in &self.curves {
-            let mut t = Table::new(vec![
-                "time s".into(),
-                "loss".into(),
-                "accuracy".into(),
-            ])
-            .with_title(format!("-- {}", c.approach.name()));
+            let mut t = Table::new(vec!["time s".into(), "loss".into(), "accuracy".into()])
+                .with_title(format!("-- {}", c.approach.name()));
             let pts = c.history.points();
             if pts.is_empty() {
                 continue;

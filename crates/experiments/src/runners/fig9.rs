@@ -76,12 +76,8 @@ impl Fig9Result {
 
     /// Renders the sweep.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec![
-            "workers".into(),
-            "approach".into(),
-            "tokens/s".into(),
-        ])
-        .with_title("Figure 9: Transformer throughput vs process count");
+        let mut t = Table::new(vec!["workers".into(), "approach".into(), "tokens/s".into()])
+            .with_title("Figure 9: Transformer throughput vs process count");
         for r in &self.rows {
             t.row(vec![
                 r.workers.to_string(),

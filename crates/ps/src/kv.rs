@@ -36,10 +36,7 @@ impl ShardedStore {
     /// would make keys meaningless).
     pub fn new(init: Tensor, num_keys: usize) -> Self {
         assert!(num_keys > 0, "need at least one key");
-        assert!(
-            num_keys <= init.len().max(1),
-            "more keys than parameters"
-        );
+        assert!(num_keys <= init.len().max(1), "more keys than parameters");
         let shards = partition(init.len(), num_keys);
         ShardedStore {
             data: init,

@@ -80,11 +80,7 @@ impl GroupServer {
     /// from the server's.
     pub fn push(&mut self, group: usize, params: &Tensor) {
         assert!(group < self.slots.len(), "group out of range");
-        assert_eq!(
-            params.len(),
-            self.global.len(),
-            "parameter length mismatch"
-        );
+        assert_eq!(params.len(), self.global.len(), "parameter length mismatch");
         self.slots[group].copy_from(params);
         self.version += 1;
         self.group_versions[group] = self.version;

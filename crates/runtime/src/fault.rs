@@ -1,0 +1,186 @@
+//! Executing a [`FaultPlan`] on real OS threads.
+//!
+//! The plan itself — which worker crashes, hangs, or slows, and when — is
+//! defined once in [`rna_core::fault`] so the simulator and this runtime
+//! share semantics. This module adds the runtime-side machinery: a
+//! [`FaultExecutor`] each worker thread consults at the top of every
+//! iteration, and a seeded random-plan generator for stress tests and
+//! benchmarks.
+
+use std::time::Duration;
+
+pub use rna_core::fault::{
+    live_majority, probe_round_stalled, FaultPlan, WorkerFate, WorkerFault, LIVENESS_TIMEOUT_US,
+    PROBE_BACKOFF_US, ROUND_DEADLINE_US,
+};
+use rna_simnet::SimRng;
+
+/// What a worker thread must do before starting an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterDirective {
+    /// Run the iteration normally.
+    Proceed,
+    /// Freeze (no heartbeats) for the duration, then run the iteration.
+    HangFor(Duration),
+    /// Die: exit the worker loop without computing.
+    Crash,
+}
+
+/// Per-worker interpreter of a [`FaultPlan`], consulted once per
+/// iteration by the worker thread. Tracks the worker's [`WorkerFate`] as
+/// faults fire (crash outranks hang outranks slowdown in the report).
+#[derive(Debug, Clone)]
+pub struct FaultExecutor {
+    faults: Vec<WorkerFault>,
+    fate: WorkerFate,
+}
+
+impl FaultExecutor {
+    /// Extracts `worker`'s slice of the plan.
+    pub fn new(plan: &FaultPlan, worker: usize) -> Self {
+        FaultExecutor {
+            faults: plan.for_worker(worker).collect(),
+            fate: WorkerFate::Healthy,
+        }
+    }
+
+    /// Called when the worker is about to start iteration `iter` (i.e. it
+    /// has completed exactly `iter` iterations). Returns the directive and
+    /// records the fate.
+    pub fn on_iteration_start(&mut self, iter: u64) -> IterDirective {
+        for f in &self.faults {
+            if let WorkerFault::CrashAt { at_iter } = *f {
+                if at_iter == iter {
+                    self.fate = WorkerFate::Crashed { at_iter };
+                    return IterDirective::Crash;
+                }
+            }
+        }
+        for f in &self.faults {
+            if let WorkerFault::HangAt { at_iter, for_us } = *f {
+                if at_iter == iter {
+                    if !self.fate.is_dead() && self.fate == WorkerFate::Healthy {
+                        self.fate = WorkerFate::Hung { at_iter };
+                    }
+                    return IterDirective::HangFor(Duration::from_micros(for_us));
+                }
+            }
+        }
+        for f in &self.faults {
+            if let WorkerFault::SlowFrom { from_iter, .. } = *f {
+                if from_iter <= iter && self.fate == WorkerFate::Healthy {
+                    self.fate = WorkerFate::Slowed { from_iter };
+                }
+            }
+        }
+        IterDirective::Proceed
+    }
+
+    /// Extra compute delay injected into iteration `iter` by slow-forever
+    /// faults.
+    pub fn extra_compute_delay(&self, iter: u64) -> Duration {
+        let us: u64 = self
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                WorkerFault::SlowFrom {
+                    from_iter,
+                    extra_us,
+                } if from_iter <= iter => Some(extra_us),
+                _ => None,
+            })
+            .sum();
+        Duration::from_micros(us)
+    }
+
+    /// The fate observed so far (final once the worker exits its loop).
+    pub fn fate(&self) -> WorkerFate {
+        self.fate
+    }
+}
+
+/// Samples a random but fully deterministic plan from `rng`: each worker
+/// independently draws one of crash / hang / slow / healthy (¼ each), with
+/// trigger iterations uniform over the round horizon. Used by the faulted
+/// benchmark and stress tests; two runs with equal seeds inject equal
+/// faults.
+pub fn random_plan(rng: &mut SimRng, num_workers: usize, horizon: u64) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    let horizon = horizon.max(1);
+    for w in 0..num_workers {
+        let at = rng.uniform_u64(0..horizon);
+        match rng.uniform_u64(0..4) {
+            0 => plan = plan.crash(w, at),
+            1 => plan = plan.hang(w, at, 50_000),
+            2 => plan = plan.slow(w, at, 5_000),
+            _ => {}
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_crashes_at_exact_iteration() {
+        let plan = FaultPlan::none().crash(2, 4);
+        let mut ex = FaultExecutor::new(&plan, 2);
+        for i in 0..4 {
+            assert_eq!(ex.on_iteration_start(i), IterDirective::Proceed);
+        }
+        assert_eq!(ex.on_iteration_start(4), IterDirective::Crash);
+        assert_eq!(ex.fate(), WorkerFate::Crashed { at_iter: 4 });
+    }
+
+    #[test]
+    fn executor_ignores_other_workers() {
+        let plan = FaultPlan::none().crash(2, 0);
+        let mut ex = FaultExecutor::new(&plan, 1);
+        assert_eq!(ex.on_iteration_start(0), IterDirective::Proceed);
+        assert_eq!(ex.fate(), WorkerFate::Healthy);
+    }
+
+    #[test]
+    fn executor_hangs_then_proceeds() {
+        let plan = FaultPlan::none().hang(0, 3, 250);
+        let mut ex = FaultExecutor::new(&plan, 0);
+        assert_eq!(ex.on_iteration_start(2), IterDirective::Proceed);
+        assert_eq!(
+            ex.on_iteration_start(3),
+            IterDirective::HangFor(Duration::from_micros(250))
+        );
+        assert_eq!(ex.on_iteration_start(4), IterDirective::Proceed);
+        assert_eq!(ex.fate(), WorkerFate::Hung { at_iter: 3 });
+    }
+
+    #[test]
+    fn executor_accumulates_slowdowns() {
+        let plan = FaultPlan::none().slow(0, 2, 100).slow(0, 5, 50);
+        let mut ex = FaultExecutor::new(&plan, 0);
+        assert_eq!(ex.extra_compute_delay(1), Duration::ZERO);
+        assert_eq!(ex.extra_compute_delay(2), Duration::from_micros(100));
+        assert_eq!(ex.extra_compute_delay(7), Duration::from_micros(150));
+        ex.on_iteration_start(3);
+        assert_eq!(ex.fate(), WorkerFate::Slowed { from_iter: 2 });
+    }
+
+    #[test]
+    fn crash_outranks_hang_at_same_iteration() {
+        let plan = FaultPlan::none().hang(0, 1, 10).crash(0, 1);
+        let mut ex = FaultExecutor::new(&plan, 0);
+        assert_eq!(ex.on_iteration_start(1), IterDirective::Crash);
+        assert!(ex.fate().is_dead());
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = random_plan(&mut SimRng::seed(9), 16, 30);
+        let b = random_plan(&mut SimRng::seed(9), 16, 30);
+        let c = random_plan(&mut SimRng::seed(10), 16, 30);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ (16 workers)");
+        assert!(a.max_worker().is_none_or(|m| m < 16));
+    }
+}

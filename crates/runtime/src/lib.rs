@@ -15,6 +15,17 @@
 //!
 //! Both RNA and a BSP baseline are provided behind [`SyncMode`].
 //!
+//! ## Crash tolerance
+//!
+//! The runtime executes the shared fault model of [`rna_core::fault`] on
+//! real threads ([`fault`]): a [`FaultPlan`] can crash a worker after an
+//! exact iteration count, freeze it for a duration, or slow it forever.
+//! Workers heartbeat into shared slots; the controller probes and counts
+//! majorities over *live* workers only, resamples initiators away from
+//! dead ones, and completes unservable rounds degraded instead of
+//! blocking. [`ThreadedResult`] reports each worker's
+//! [`fault::WorkerFate`] and the number of degraded rounds.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,6 +40,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 mod threaded;
 
+pub use fault::{FaultPlan, WorkerFate, WorkerFault};
 pub use threaded::{run_threaded, SyncMode, ThreadedConfig, ThreadedResult};

@@ -1,15 +1,19 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex, RwLock};
-
 use rna_core::cache::GradientCache;
+use rna_core::fault::{
+    live_majority, probe_round_stalled, FaultPlan, WorkerFate, LIVENESS_TIMEOUT_US,
+    PROBE_BACKOFF_US, ROUND_DEADLINE_US,
+};
 use rna_simnet::SimRng;
 use rna_tensor::{reduce::weighted_average, Tensor};
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model, Sgd};
+
+use crate::fault::{FaultExecutor, IterDirective};
 
 /// Which synchronization strategy the threaded runtime runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,9 +23,18 @@ pub enum SyncMode {
     /// Randomized non-blocking AllReduce with power-of-d probing.
     Rna,
     /// Majority-triggered partial collectives (eager-SGD): like RNA but
-    /// the round fires when more than half the caches are ready.
+    /// the round fires when more than half the live caches are ready.
     EagerMajority,
 }
+
+/// Disjoint RNG stream namespaces for the threaded runtime. Earlier code
+/// forked worker streams at `10 + w` and `50 + w`, which collide once the
+/// cluster reaches 40 workers (worker 40's sampler stream equals worker
+/// 0's compute stream). Spacing the namespaces `1 << 32` apart keeps every
+/// role disjoint for any realistic worker count.
+const STREAM_SAMPLER: u64 = 1 << 32;
+const STREAM_COMPUTE: u64 = 2 << 32;
+const STREAM_PROBE: u64 = 3 << 32;
 
 /// Configuration of a threaded run.
 #[derive(Debug, Clone)]
@@ -46,6 +59,10 @@ pub struct ThreadedConfig {
     pub max_lead: u64,
     /// Per-worker mini-batch size.
     pub batch_size: usize,
+    /// Injected faults (crashes, hangs, slowdowns). The partial-collective
+    /// modes tolerate all of them; BSP tolerates only hangs and slowdowns
+    /// (a crashed worker would stall its barrier forever).
+    pub fault_plan: FaultPlan,
 }
 
 impl ThreadedConfig {
@@ -63,6 +80,7 @@ impl ThreadedConfig {
             staleness_bound: 4,
             max_lead: 8,
             batch_size: 16,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -79,13 +97,24 @@ impl ThreadedConfig {
         *last = (lo_us, hi_us);
         self
     }
+
+    /// Installs a fault plan (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 /// The outcome of a threaded run.
 #[derive(Debug, Clone)]
 pub struct ThreadedResult {
-    /// Rounds executed.
+    /// Rounds executed (degraded rounds included — the controller never
+    /// blocks indefinitely, it completes every budgeted round).
     pub rounds: u64,
+    /// Rounds that completed without applying an update because no
+    /// gradient could be assembled (cluster dead or every cached gradient
+    /// beyond the staleness bound).
+    pub rounds_degraded: u64,
     /// Real elapsed wall-clock time.
     pub wall: Duration,
     /// Final loss over the full dataset.
@@ -96,12 +125,26 @@ pub struct ThreadedResult {
     pub worker_iterations: Vec<u64>,
     /// Mean fraction of workers contributing per round.
     pub mean_participation: f64,
+    /// Each worker's post-mortem, reported by the worker threads
+    /// themselves as they execute the fault plan.
+    pub worker_fates: Vec<WorkerFate>,
+}
+
+impl ThreadedResult {
+    /// Workers still alive when the run finished.
+    pub fn live_workers(&self) -> usize {
+        self.worker_fates.iter().filter(|f| !f.is_dead()).count()
+    }
 }
 
 struct WorkerSlot {
     cache: Mutex<GradientCache>,
     params: RwLock<Tensor>,
     iterations: AtomicU64,
+    /// Microseconds since run start at the worker's last sign of life.
+    heartbeat_us: AtomicU64,
+    /// Cleared by the worker itself when its fault plan kills it.
+    alive: AtomicBool,
 }
 
 struct Shared {
@@ -110,14 +153,66 @@ struct Shared {
     stop: AtomicBool,
     pause_lock: Mutex<()>,
     pause_cv: Condvar,
+    start: Instant,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn heartbeat(&self, w: usize) {
+        self.slots[w]
+            .heartbeat_us
+            .store(self.now_us(), Ordering::Release);
+    }
+
+    /// Permanently-dead view: the worker thread exited via its crash
+    /// directive. Presumed-dead-by-silence workers are *not* in this set —
+    /// they may be hung and can return.
+    fn is_dead(&self, w: usize) -> bool {
+        !self.slots[w].alive.load(Ordering::Acquire)
+    }
+
+    /// Liveness view used for initiator election and majority counting:
+    /// alive and heard from within the liveness timeout. A hung worker
+    /// drops out of this set when its heartbeat goes stale and is
+    /// re-admitted automatically once it beats again.
+    fn live_view(&self) -> Vec<bool> {
+        let now = self.now_us();
+        self.slots
+            .iter()
+            .map(|s| {
+                s.alive.load(Ordering::Acquire)
+                    && now.saturating_sub(s.heartbeat_us.load(Ordering::Acquire))
+                        < LIVENESS_TIMEOUT_US
+            })
+            .collect()
+    }
+
+    fn all_dead(&self) -> bool {
+        (0..self.slots.len()).all(|w| self.is_dead(w))
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().expect("lock poisoned: a worker thread panicked")
 }
 
 /// Runs a full training session on real OS threads and returns the result.
 ///
+/// The controller never blocks indefinitely: every wait carries a timeout,
+/// probe rounds are resampled away from dead workers, the eager majority
+/// is recomputed over live workers only, and a round that cannot assemble
+/// any gradient by the round deadline completes *degraded* (no update)
+/// instead of stalling.
+///
 /// # Panics
 ///
-/// Panics if the configuration is inconsistent (zero workers/rounds, or a
-/// `compute_us` list of the wrong length).
+/// Panics if the configuration is inconsistent (zero workers/rounds, a
+/// `compute_us` list of the wrong length, a fault plan naming an absent
+/// worker, or a crash injected under [`SyncMode::Bsp`], whose barrier
+/// cannot survive one).
 pub fn run_threaded(config: &ThreadedConfig) -> ThreadedResult {
     assert!(config.num_workers > 0, "need at least one worker");
     assert!(config.rounds > 0, "need at least one round");
@@ -126,6 +221,15 @@ pub fn run_threaded(config: &ThreadedConfig) -> ThreadedResult {
         config.num_workers,
         "one compute range per worker"
     );
+    if let Some(max) = config.fault_plan.max_worker() {
+        assert!(max < config.num_workers, "fault plan names worker {max}");
+    }
+    if config.mode == SyncMode::Bsp {
+        assert!(
+            (0..config.num_workers).all(|w| config.fault_plan.crash_iter(w).is_none()),
+            "BSP cannot survive a crash: its barrier waits for every worker"
+        );
+    }
     let mut rng = SimRng::seed(config.seed);
     let dataset = Arc::new(Dataset::blobs(256, 8, 4, 0.4, &mut rng));
     let template = SoftmaxClassifier::new(8, 4, &mut rng);
@@ -140,6 +244,20 @@ fn sleep_range(rng: &mut SimRng, (lo, hi): (u64, u64)) {
     std::thread::sleep(Duration::from_micros(us));
 }
 
+/// Sleeps `total` in small slices, bailing out early when `stop` is set,
+/// so a long injected hang cannot outlive the run by more than one slice.
+fn interruptible_sleep(total: Duration, stop: &AtomicBool) {
+    let slice = Duration::from_millis(10);
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::Acquire) {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        std::thread::sleep(slice.min(deadline - now));
+    }
+}
+
 fn run_bsp(
     config: &ThreadedConfig,
     dataset: Arc<Dataset>,
@@ -147,32 +265,44 @@ fn run_bsp(
     mut rng: SimRng,
 ) -> ThreadedResult {
     let n = config.num_workers;
-    let (grad_tx, grad_rx): (Sender<(usize, Tensor)>, Receiver<(usize, Tensor)>) = unbounded();
+    let (grad_tx, grad_rx) = channel::<(usize, Tensor)>();
+    let stop = Arc::new(AtomicBool::new(false));
     let mut param_txs = Vec::new();
     let mut handles = Vec::new();
     let start = Instant::now();
     for w in 0..n {
-        let (ptx, prx): (Sender<Option<Tensor>>, Receiver<Option<Tensor>>) = unbounded();
+        let (ptx, prx): (Sender<Option<Tensor>>, Receiver<Option<Tensor>>) = channel();
         param_txs.push(ptx);
         let grad_tx = grad_tx.clone();
+        let stop = Arc::clone(&stop);
         let dataset = Arc::clone(&dataset);
         let mut model = template.clone();
-        let mut sampler = BatchSampler::new(rng.fork(10 + w as u64), config.batch_size);
-        let mut wrng = rng.fork(50 + w as u64);
+        let mut sampler = BatchSampler::new(rng.fork(STREAM_SAMPLER + w as u64), config.batch_size);
+        let mut wrng = rng.fork(STREAM_COMPUTE + w as u64);
         let range = config.compute_us[w];
-        handles.push(std::thread::spawn(move || -> u64 {
-            let mut iters = 0;
+        let mut faults = FaultExecutor::new(&config.fault_plan, w);
+        handles.push(std::thread::spawn(move || -> (u64, WorkerFate) {
+            let mut iters: u64 = 0;
             while let Ok(Some(params)) = prx.recv() {
+                match faults.on_iteration_start(iters) {
+                    IterDirective::Crash => unreachable!("crashes rejected for BSP"),
+                    IterDirective::HangFor(d) => interruptible_sleep(d, &stop),
+                    IterDirective::Proceed => {}
+                }
                 model.set_params(&params);
                 let batch = sampler.sample(&dataset);
                 let (_, grad) = model.loss_and_grad(&batch);
                 sleep_range(&mut wrng, range);
+                let extra = faults.extra_compute_delay(iters);
+                if !extra.is_zero() {
+                    std::thread::sleep(extra);
+                }
                 iters += 1;
                 if grad_tx.send((w, grad)).is_err() {
                     break;
                 }
             }
-            iters
+            (iters, faults.fate())
         }));
     }
 
@@ -200,14 +330,28 @@ fn run_bsp(
             }
         }
     }
+    stop.store(true, Ordering::Release);
     for tx in &param_txs {
         let _ = tx.send(None);
     }
-    let worker_iterations: Vec<u64> = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread panicked"))
-        .collect();
-    finish(config, dataset, template, master, start, worker_iterations, 1.0)
+    let mut worker_iterations = Vec::with_capacity(n);
+    let mut worker_fates = Vec::with_capacity(n);
+    for h in handles {
+        let (iters, fate) = h.join().expect("worker thread panicked");
+        worker_iterations.push(iters);
+        worker_fates.push(fate);
+    }
+    finish(
+        config,
+        dataset,
+        template,
+        master,
+        start,
+        worker_iterations,
+        1.0,
+        worker_fates,
+        0,
+    )
 }
 
 fn run_rna(
@@ -217,124 +361,219 @@ fn run_rna(
     mut rng: SimRng,
 ) -> ThreadedResult {
     let n = config.num_workers;
+    let start = Instant::now();
     let shared = Arc::new(Shared {
         slots: (0..n)
             .map(|_| WorkerSlot {
                 cache: Mutex::new(GradientCache::new(config.staleness_bound, true)),
                 params: RwLock::new(template.params().clone()),
                 iterations: AtomicU64::new(0),
+                heartbeat_us: AtomicU64::new(0),
+                alive: AtomicBool::new(true),
             })
             .collect(),
         round: AtomicU64::new(0),
         stop: AtomicBool::new(false),
         pause_lock: Mutex::new(()),
         pause_cv: Condvar::new(),
+        start,
     });
-    let (ready_tx, ready_rx): (Sender<usize>, Receiver<usize>) = unbounded();
-    let start = Instant::now();
+    let (ready_tx, ready_rx): (Sender<usize>, Receiver<usize>) = channel();
     let mut handles = Vec::new();
     for w in 0..n {
         let shared = Arc::clone(&shared);
         let ready_tx = ready_tx.clone();
         let dataset = Arc::clone(&dataset);
         let mut model = template.clone();
-        let mut sampler = BatchSampler::new(rng.fork(10 + w as u64), config.batch_size);
-        let mut wrng = rng.fork(50 + w as u64);
+        let mut sampler = BatchSampler::new(rng.fork(STREAM_SAMPLER + w as u64), config.batch_size);
+        let mut wrng = rng.fork(STREAM_COMPUTE + w as u64);
         let range = config.compute_us[w];
         let max_lead = config.max_lead;
-        handles.push(std::thread::spawn(move || {
+        let mut faults = FaultExecutor::new(&config.fault_plan, w);
+        handles.push(std::thread::spawn(move || -> WorkerFate {
             let mut local_iter: u64 = 0;
             while !shared.stop.load(Ordering::Acquire) {
-                // Bounded lead: park until the round counter catches up.
+                match faults.on_iteration_start(local_iter) {
+                    IterDirective::Crash => {
+                        // Dead forever: flag it so the controller stops
+                        // probing / counting this worker immediately.
+                        shared.slots[w].alive.store(false, Ordering::Release);
+                        break;
+                    }
+                    IterDirective::HangFor(d) => {
+                        // Frozen: no heartbeats until the hang lifts.
+                        interruptible_sleep(d, &shared.stop);
+                    }
+                    IterDirective::Proceed => {}
+                }
+                shared.heartbeat(w);
+                // Bounded lead: park until the round counter catches up,
+                // heartbeating so a parked worker is not presumed dead.
                 while !shared.stop.load(Ordering::Acquire)
                     && local_iter.saturating_sub(shared.round.load(Ordering::Acquire)) >= max_lead
                 {
-                    let mut guard = shared.pause_lock.lock();
-                    shared
+                    let guard = lock(&shared.pause_lock);
+                    let _unused = shared
                         .pause_cv
-                        .wait_for(&mut guard, Duration::from_millis(1));
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .expect("lock poisoned: a worker thread panicked");
+                    shared.heartbeat(w);
                 }
                 if shared.stop.load(Ordering::Acquire) {
                     break;
                 }
-                let params = shared.slots[w].params.read().clone();
+                let params = shared.slots[w]
+                    .params
+                    .read()
+                    .expect("lock poisoned: a worker thread panicked")
+                    .clone();
                 model.set_params(&params);
                 let batch = sampler.sample(&dataset);
                 let (_, grad) = model.loss_and_grad(&batch);
                 sleep_range(&mut wrng, range);
-                shared.slots[w].cache.lock().write(local_iter, grad);
+                let extra = faults.extra_compute_delay(local_iter);
+                if !extra.is_zero() {
+                    std::thread::sleep(extra);
+                }
+                shared.heartbeat(w);
+                lock(&shared.slots[w].cache).write(local_iter, grad);
                 shared.slots[w].iterations.fetch_add(1, Ordering::AcqRel);
                 local_iter += 1;
                 let _ = ready_tx.send(w);
             }
+            faults.fate()
         }));
     }
 
+    let mut probe_rng = rng.fork(STREAM_PROBE);
     let mut master = template.params().clone();
     let mut opt = Sgd::new(config.lr, 0.0, 0.0, master.len());
     let mut participation_sum = 0.0;
+    let mut rounds_degraded: u64 = 0;
+    let mut purged = vec![false; n];
+    let round_deadline = Duration::from_micros(ROUND_DEADLINE_US);
+    let probe_backoff = Duration::from_micros(PROBE_BACKOFF_US);
     for k in 0..config.rounds {
+        // Drain stale readiness notifications so the channel cannot grow
+        // without bound: the notifications only say "some cache changed",
+        // and the caches are re-polled below anyway.
+        while ready_rx.try_recv().is_ok() {}
+
+        let round_start = Instant::now();
+        let mut degraded = false;
         match config.mode {
             SyncMode::EagerMajority => {
-                // eager-SGD: wait for a strict majority of ready caches.
-                let majority = n / 2 + 1;
+                // eager-SGD: wait for a majority of the *live* electorate.
                 loop {
+                    if shared.all_dead() {
+                        degraded = true;
+                        break;
+                    }
+                    let live = shared.live_view();
                     let ready = (0..n)
-                        .filter(|&w| !shared.slots[w].cache.lock().is_empty())
+                        .filter(|&w| !shared.is_dead(w))
+                        .filter(|&w| !lock(&shared.slots[w].cache).is_empty())
                         .count();
-                    if ready >= majority {
+                    let need = live_majority(live.iter().filter(|&&l| l).count());
+                    if ready >= need {
+                        break;
+                    }
+                    if round_start.elapsed() >= round_deadline {
+                        degraded = true;
                         break;
                     }
                     let _ = ready_rx.recv_timeout(Duration::from_millis(1));
                 }
             }
             _ => {
-                // RNA: power-of-d probing — wait until one probed worker
-                // is ready.
-                let probed = rng.choose_distinct(n, config.probes.min(n));
+                // RNA: power-of-d probing over live workers — wait until a
+                // probed worker is ready, resampling away from workers that
+                // died or went silent (backoff-paced so a merely slow
+                // probed set still gets a chance to answer).
+                let mut probed = sample_probes(&mut probe_rng, &shared, config.probes);
+                let mut last_sample = Instant::now();
                 loop {
-                    let ready = probed
-                        .iter()
-                        .any(|&w| !shared.slots[w].cache.lock().is_empty());
-                    if ready {
+                    if shared.all_dead() {
+                        degraded = true;
                         break;
                     }
-                    // Drain readiness notifications (with a timeout so a
-                    // missed notification cannot wedge the controller).
+                    if probed
+                        .iter()
+                        .any(|&w| !shared.is_dead(w) && !lock(&shared.slots[w].cache).is_empty())
+                    {
+                        break;
+                    }
+                    let live = shared.live_view();
+                    if probed.is_empty()
+                        || probe_round_stalled(&probed, &live)
+                        || last_sample.elapsed() >= probe_backoff
+                    {
+                        probed = sample_probes(&mut probe_rng, &shared, config.probes);
+                        last_sample = Instant::now();
+                    }
+                    if round_start.elapsed() >= round_deadline {
+                        degraded = true;
+                        break;
+                    }
                     let _ = ready_rx.recv_timeout(Duration::from_millis(1));
                 }
             }
         }
-        // Force the partial collective: drain every cache.
+
+        // Force the partial collective: drain every live cache. A dead
+        // worker's cache is purged once — its final gradient is discarded,
+        // matching the simulator's crash semantics.
         let contributions: Vec<Option<Tensor>> = (0..n)
-            .map(|w| shared.slots[w].cache.lock().take_contribution(k))
+            .map(|w| {
+                if shared.is_dead(w) {
+                    if !purged[w] {
+                        purged[w] = true;
+                        *lock(&shared.slots[w].cache) =
+                            GradientCache::new(config.staleness_bound, true);
+                    }
+                    None
+                } else {
+                    lock(&shared.slots[w].cache).take_contribution(k)
+                }
+            })
             .collect();
         let weights: Vec<f32> = contributions
             .iter()
             .map(|c| if c.is_some() { 1.0 } else { 0.0 })
             .collect();
         let m: f32 = weights.iter().sum();
-        let null = Tensor::zeros(master.len());
-        let refs: Vec<&Tensor> = contributions
-            .iter()
-            .map(|c| c.as_ref().unwrap_or(&null))
-            .collect();
-        let reduced = weighted_average(&refs, &weights)
-            .expect("the probed initiator had a gradient ready");
-        // Linear Scaling Rule: learning rate × contributor count.
-        opt.step(&mut master, &reduced, m);
-        participation_sum += f64::from(m) / n as f64;
-        for slot in &shared.slots {
-            *slot.params.write() = master.clone();
+        if m > 0.0 && !degraded {
+            let null = Tensor::zeros(master.len());
+            let refs: Vec<&Tensor> = contributions
+                .iter()
+                .map(|c| c.as_ref().unwrap_or(&null))
+                .collect();
+            let reduced =
+                weighted_average(&refs, &weights).expect("at least one contributor present");
+            // Linear Scaling Rule: learning rate × contributor count.
+            opt.step(&mut master, &reduced, m);
+            participation_sum += f64::from(m) / n as f64;
+            for slot in &shared.slots {
+                *slot
+                    .params
+                    .write()
+                    .expect("lock poisoned: a worker thread panicked") = master.clone();
+            }
+        } else {
+            // Nothing usable this round (cluster dead, or every cached
+            // gradient fell past the staleness bound): complete the round
+            // degraded rather than blocking the run.
+            rounds_degraded += 1;
         }
         shared.round.store(k + 1, Ordering::Release);
         shared.pause_cv.notify_all();
     }
     shared.stop.store(true, Ordering::Release);
     shared.pause_cv.notify_all();
-    for h in handles {
-        h.join().expect("worker thread panicked");
-    }
+    let worker_fates: Vec<WorkerFate> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
     let worker_iterations: Vec<u64> = shared
         .slots
         .iter()
@@ -349,9 +588,31 @@ fn run_rna(
         start,
         worker_iterations,
         participation,
+        worker_fates,
+        rounds_degraded,
     )
 }
 
+/// Draws up to `probes` distinct candidates from the live view; when no
+/// worker is live (all silent, e.g. mid-hang) falls back to the not-yet-
+/// crashed set so a recovering worker can still be elected.
+fn sample_probes(rng: &mut SimRng, shared: &Shared, probes: usize) -> Vec<usize> {
+    let live = shared.live_view();
+    let mut pool: Vec<usize> = (0..live.len()).filter(|&w| live[w]).collect();
+    if pool.is_empty() {
+        pool = (0..live.len()).filter(|&w| !shared.is_dead(w)).collect();
+    }
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let d = probes.clamp(1, pool.len());
+    rng.choose_distinct(pool.len(), d)
+        .into_iter()
+        .map(|i| pool[i])
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
 fn finish(
     config: &ThreadedConfig,
     dataset: Arc<Dataset>,
@@ -360,6 +621,8 @@ fn finish(
     start: Instant,
     worker_iterations: Vec<u64>,
     mean_participation: f64,
+    worker_fates: Vec<WorkerFate>,
+    rounds_degraded: u64,
 ) -> ThreadedResult {
     let wall = start.elapsed();
     let mut model = template;
@@ -367,11 +630,13 @@ fn finish(
     let batch = dataset.full_batch();
     ThreadedResult {
         rounds: config.rounds,
+        rounds_degraded,
         wall,
         final_loss: model.loss(&batch),
         final_accuracy: model.accuracy(&batch),
         worker_iterations,
         mean_participation,
+        worker_fates,
     }
 }
 
@@ -389,6 +654,8 @@ mod tests {
         // BSP: every worker did exactly one iteration per round.
         assert!(r.worker_iterations.iter().all(|&i| i == 30));
         assert_eq!(r.mean_participation, 1.0);
+        assert!(r.worker_fates.iter().all(|f| *f == WorkerFate::Healthy));
+        assert_eq!(r.rounds_degraded, 0);
     }
 
     #[test]
@@ -399,6 +666,7 @@ mod tests {
         assert!(r.final_loss < 1.4, "loss {}", r.final_loss);
         assert!(r.mean_participation > 0.0 && r.mean_participation <= 1.0);
         assert!(r.worker_iterations.iter().all(|&i| i > 0));
+        assert_eq!(r.live_workers(), 3);
     }
 
     #[test]
@@ -406,12 +674,10 @@ mod tests {
         // Worker 3 sleeps 20 ms per iteration vs 1–2 ms for the others.
         // BSP's 30 rounds cost ≥ 600 ms; RNA's rounds are driven by the
         // fast workers.
-        let bsp = run_threaded(
-            &ThreadedConfig::quick(4, SyncMode::Bsp).with_straggler(20_000, 21_000),
-        );
-        let rna = run_threaded(
-            &ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(20_000, 21_000),
-        );
+        let bsp =
+            run_threaded(&ThreadedConfig::quick(4, SyncMode::Bsp).with_straggler(20_000, 21_000));
+        let rna =
+            run_threaded(&ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(20_000, 21_000));
         assert!(
             bsp.wall >= Duration::from_millis(550),
             "bsp wall {:?}",
@@ -448,5 +714,36 @@ mod tests {
         let mut config = ThreadedConfig::quick(2, SyncMode::Rna);
         config.compute_us.pop();
         run_threaded(&config);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan names worker")]
+    fn config_validates_fault_plan_targets() {
+        let config =
+            ThreadedConfig::quick(2, SyncMode::Rna).with_fault_plan(FaultPlan::none().crash(7, 1));
+        run_threaded(&config);
+    }
+
+    #[test]
+    #[should_panic(expected = "BSP cannot survive a crash")]
+    fn bsp_rejects_crash_plans() {
+        let config =
+            ThreadedConfig::quick(2, SyncMode::Bsp).with_fault_plan(FaultPlan::none().crash(0, 1));
+        run_threaded(&config);
+    }
+
+    #[test]
+    fn rng_stream_namespaces_are_disjoint() {
+        // Regression: the old per-worker forks at `10 + w` and `50 + w`
+        // collide at 40+ workers (10 + 40 == 50 + 0). The namespaced
+        // streams stay distinct across roles for any worker index that
+        // fits in 32 bits.
+        for &w in &[0u64, 1, 39, 40, 41, 1_000_000, u32::MAX as u64] {
+            for &v in &[0u64, 1, 39, 40, 41, 1_000_000, u32::MAX as u64] {
+                assert_ne!(STREAM_SAMPLER + w, STREAM_COMPUTE + v);
+                assert_ne!(STREAM_SAMPLER + w, STREAM_PROBE);
+                assert_ne!(STREAM_COMPUTE + v, STREAM_PROBE);
+            }
+        }
     }
 }

@@ -161,7 +161,11 @@ pub fn staleness_weighted_average(grads: &[(u64, &Tensor)], k: u64) -> Option<Te
         return None;
     }
     // Largest iteration gap τ among the accumulated results.
-    let tau = grads.iter().map(|&(t, _)| k.saturating_sub(t)).max().unwrap();
+    let tau = grads
+        .iter()
+        .map(|&(t, _)| k.saturating_sub(t))
+        .max()
+        .unwrap();
     let base = k - tau; // oldest iteration present or older
     let mut acc = Tensor::zeros(grads[0].1.len());
     let mut total = 0.0_f32;

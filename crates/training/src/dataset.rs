@@ -126,7 +126,11 @@ impl Dataset {
         assert!(input_dim > 0 && classes > 0, "empty dataset spec");
         assert!(lengths.iter().all(|&l| l > 0), "zero-length sequence");
         let prototypes: Vec<Vec<f32>> = (0..classes)
-            .map(|_| (0..input_dim).map(|_| rng.normal(0.0, 1.0) as f32).collect())
+            .map(|_| {
+                (0..input_dim)
+                    .map(|_| rng.normal(0.0, 1.0) as f32)
+                    .collect()
+            })
             .collect();
         let mut inputs = Vec::with_capacity(lengths.len());
         let mut labels = Vec::with_capacity(lengths.len());
@@ -134,8 +138,8 @@ impl Dataset {
             let c = i % classes;
             let mut seq = Vec::with_capacity(len * input_dim);
             for _ in 0..len {
-                for d in 0..input_dim {
-                    seq.push(prototypes[c][d] + noise * rng.normal(0.0, 1.0) as f32);
+                for &p in &prototypes[c] {
+                    seq.push(p + noise * rng.normal(0.0, 1.0) as f32);
                 }
             }
             inputs.push(seq);

@@ -271,7 +271,8 @@ impl Mlp {
             .collect();
         let logits: Vec<f32> = (0..self.classes)
             .map(|c| {
-                let row = &p[self.off_w2() + c * self.hidden..self.off_w2() + (c + 1) * self.hidden];
+                let row =
+                    &p[self.off_w2() + c * self.hidden..self.off_w2() + (c + 1) * self.hidden];
                 row.iter().zip(&h).map(|(w, hj)| w * hj).sum::<f32>() + p[self.off_b2() + c]
             })
             .collect();
@@ -387,7 +388,12 @@ impl LinearRegression {
 
     fn predict(&self, x: &[f32]) -> f32 {
         let p = self.params.as_slice();
-        p[..self.dim].iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>() + p[self.dim]
+        p[..self.dim]
+            .iter()
+            .zip(x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f32>()
+            + p[self.dim]
     }
 }
 
@@ -511,7 +517,8 @@ impl ElmanRnn {
         let last = &hs[len];
         let logits: Vec<f32> = (0..self.classes)
             .map(|c| {
-                let row = &p[self.off_wo() + c * self.hidden..self.off_wo() + (c + 1) * self.hidden];
+                let row =
+                    &p[self.off_wo() + c * self.hidden..self.off_wo() + (c + 1) * self.hidden];
                 row.iter().zip(last).map(|(w, hj)| w * hj).sum::<f32>() + p[self.off_bo() + c]
             })
             .collect();

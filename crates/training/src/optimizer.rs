@@ -96,10 +96,7 @@ impl Sgd {
     /// `weight_decay < 0`.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32, num_params: usize) -> Self {
         assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         assert!(weight_decay >= 0.0, "weight decay must be non-negative");
         Sgd {
             lr,

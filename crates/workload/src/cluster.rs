@@ -131,7 +131,11 @@ mod tests {
     fn paper_testbed_has_32_gpus() {
         let spec = ClusterSpec::paper_testbed();
         assert_eq!(spec.num_workers(), 32);
-        let k80 = spec.tiers().iter().filter(|t| **t == GpuTier::TeslaK80).count();
+        let k80 = spec
+            .tiers()
+            .iter()
+            .filter(|t| **t == GpuTier::TeslaK80)
+            .count();
         let g1080 = spec
             .tiers()
             .iter()

@@ -229,10 +229,7 @@ mod tests {
             per_unit: SimDuration::from_millis(2),
         };
         let mut rng = SimRng::seed(0);
-        assert_eq!(
-            m.sample(&mut rng, Some(5)),
-            SimDuration::from_millis(20)
-        );
+        assert_eq!(m.sample(&mut rng, Some(5)), SimDuration::from_millis(20));
         assert_eq!(m.sample(&mut rng, None), SimDuration::from_millis(10));
         assert_eq!(m.mean(5.0), SimDuration::from_millis(20));
     }

@@ -268,9 +268,7 @@ mod tests {
             delay: SimDuration::from_millis(100),
         };
         let mut rng = SimRng::seed(2);
-        let fired = (0..4000)
-            .filter(|_| !m.sample(&mut rng).is_zero())
-            .count();
+        let fired = (0..4000).filter(|_| !m.sample(&mut rng).is_zero()).count();
         let rate = fired as f64 / 4000.0;
         assert!((rate - 0.25).abs() < 0.03, "burst rate {rate}");
         assert_eq!(m.mean(), SimDuration::from_millis(25));

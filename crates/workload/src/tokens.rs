@@ -196,8 +196,7 @@ mod tests {
             .map(|_| m.sample_batch_time(&mut rng).1.as_millis_f64())
             .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let std =
-            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+        let std = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
         assert!(std / mean > 0.1, "cv {}", std / mean);
     }
 }

@@ -178,10 +178,7 @@ impl BatchTimeModel {
     /// # Panics
     ///
     /// Panics if the corpus is empty.
-    pub fn calibrate_bucketed(
-        corpus: &VideoCorpus,
-        target_mean: SimDuration,
-    ) -> Self {
+    pub fn calibrate_bucketed(corpus: &VideoCorpus, target_mean: SimDuration) -> Self {
         let mean_len = corpus.summary().mean.max(1.0);
         BatchTimeModel {
             per_frame: SimDuration::from_secs_f64(target_mean.as_secs_f64() / mean_len),

@@ -33,15 +33,21 @@ fn main() {
     println!("=== Figure 3(a): blocking AllReduce (Horovod BSP) ===");
     print!(
         "{}",
-        bsp.timeline
-            .render_gantt(SimTime::ZERO, window.min(SimTime::ZERO + bsp.wall_time), 100)
+        bsp.timeline.render_gantt(
+            SimTime::ZERO,
+            window.min(SimTime::ZERO + bsp.wall_time),
+            100
+        )
     );
     println!();
     println!("=== Figure 3(b): non-blocking AllReduce (RNA) ===");
     print!(
         "{}",
-        rna.timeline
-            .render_gantt(SimTime::ZERO, window.min(SimTime::ZERO + rna.wall_time), 100)
+        rna.timeline.render_gantt(
+            SimTime::ZERO,
+            window.min(SimTime::ZERO + rna.wall_time),
+            100
+        )
     );
 
     println!();

@@ -31,7 +31,11 @@ fn main() {
     let n = cluster.num_workers();
     println!("cluster tiers:");
     for (w, t) in cluster.tiers().iter().enumerate() {
-        println!("  worker {w}: {} ({}x compute time)", t.name(), t.slowdown_factor());
+        println!(
+            "  worker {w}: {} ({}x compute time)",
+            t.name(),
+            t.slowdown_factor()
+        );
     }
 
     let hetero = HeterogeneityModel::homogeneous(n).with_speed_factors(cluster.speed_factors());
@@ -51,11 +55,7 @@ fn main() {
     println!("\nflat RNA...");
     let flat = Engine::new(spec.clone(), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
     println!("hierarchical RNA...");
-    let hier = Engine::new(
-        spec,
-        HierRnaProtocol::new(groups, RnaConfig::default()),
-    )
-    .run();
+    let hier = Engine::new(spec, HierRnaProtocol::new(groups, RnaConfig::default())).run();
 
     println!();
     println!("                 flat RNA      hierarchical RNA");

@@ -38,10 +38,7 @@ fn main() {
 
     println!();
     println!("median response time (lower is better):");
-    print!(
-        "{}",
-        rna_experiments::table::bar_chart(&entries, 40)
-    );
+    print!("{}", rna_experiments::table::bar_chart(&entries, 40));
 
     println!();
     println!("theoretical expected-wait bound (rho = 0.9):");

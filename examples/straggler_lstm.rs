@@ -29,7 +29,10 @@ fn main() {
     );
     let bt = BatchTimeModel::calibrate(&corpus, 32, SimDuration::from_millis(1219), &mut rng);
     let times: Vec<f64> = (0..2000)
-        .map(|_| bt.batch_time(corpus.sample_batch_units(32, &mut rng)).as_millis_f64())
+        .map(|_| {
+            bt.batch_time(corpus.sample_batch_units(32, &mut rng))
+                .as_millis_f64()
+        })
         .collect();
     let ts = rna_tensor::stats::Summary::of(&times);
     println!(
@@ -66,6 +69,7 @@ fn main() {
         patience: None,
         charge_transfer_overhead: false,
         crashes: Vec::new(),
+        fault_plan: rna_core::fault::FaultPlan::none(),
     };
 
     println!("\ntraining LSTM stand-in with Horovod...");

@@ -32,18 +32,18 @@ fn main() {
 
     // 2. Serialize and parse back (what you would write to a file).
     let text = trace.to_text();
-    println!("trace text: {} lines, first: {:?}", text.lines().count(),
-        text.lines().next().unwrap_or(""));
+    println!(
+        "trace text: {} lines, first: {:?}",
+        text.lines().count(),
+        text.lines().next().unwrap_or("")
+    );
     let parsed = WorkloadTrace::from_text(&text).expect("round-trip");
     assert_eq!(&parsed, trace);
 
     // 3. Replay: run a *different* protocol (BSP) over the recorded
     //    durations via the Empirical compute model.
     let replay_model = parsed.pooled_replay_model().expect("non-empty trace");
-    println!(
-        "replay model mean iteration: {}",
-        replay_model.mean(0.0)
-    );
+    println!("replay model mean iteration: {}", replay_model.mean(0.0));
     let mut replay_spec = TrainSpec::smoke_test(n, 12).with_max_rounds(200);
     replay_spec.profile = replay_spec.profile.with_compute(replay_model);
     let replay = Engine::new(replay_spec, HorovodProtocol::new(n)).run();

@@ -30,7 +30,11 @@ fn two_probes_beat_one_on_round_latency() {
         spec.profile = spec
             .profile
             .with_compute(ComputeTimeModel::long_tail_ms(40.0, 30.0, 5.0, 300.0));
-        Engine::new(spec, RnaProtocol::new(n, RnaConfig::default().with_probes(d), 0)).run()
+        Engine::new(
+            spec,
+            RnaProtocol::new(n, RnaConfig::default().with_probes(d), 0),
+        )
+        .run()
     };
     // Average over a few seeds — single runs are noisy.
     let mean_round = |d: usize| {
@@ -100,11 +104,7 @@ fn dynamic_lr_scaling_speeds_early_convergence() {
     // faster with scaling.
     let n = 8;
     let at_fraction = |scaling: bool| {
-        let r = run_with(
-            RnaConfig::default().with_dynamic_lr_scaling(scaling),
-            n,
-            77,
-        );
+        let r = run_with(RnaConfig::default().with_dynamic_lr_scaling(scaling), n, 77);
         r.history.loss_milestone(1.0).unwrap()
     };
     let on = at_fraction(true);
@@ -143,7 +143,11 @@ fn transfer_overhead_knob_only_adds_time() {
     let n = 6;
     let mut charged_spec = hetero_spec(n, 66);
     charged_spec.charge_transfer_overhead = true;
-    let plain = Engine::new(hetero_spec(n, 66), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    let plain = Engine::new(
+        hetero_spec(n, 66),
+        RnaProtocol::new(n, RnaConfig::default(), 0),
+    )
+    .run();
     let charged = Engine::new(charged_spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
     assert!(charged.wall_time > plain.wall_time);
     // Same number of rounds — the overhead changes timing, not logic.
@@ -195,7 +199,11 @@ fn convergence_theory_accepts_experiment_configuration() {
     let c = ProblemConstants::new(1.4, 1.0, 0.25, 8.0);
     let eta = 4;
     let k_needed = min_iterations_for_delay(&c, eta);
-    let r = run_with(RnaConfig::default().with_staleness_bound(eta as usize), 8, 11);
+    let r = run_with(
+        RnaConfig::default().with_staleness_bound(eta as usize),
+        8,
+        11,
+    );
     // Our budgeted run may be shorter than the theory's asymptotic K; the
     // check is that the formulas compose, not that the budget is huge.
     let k = r.global_rounds.max(k_needed);

@@ -31,10 +31,12 @@ fn assert_identical(a: &RunResult, b: &RunResult) {
     );
 }
 
+type NamedRun = (&'static str, Box<dyn Fn() -> RunResult>);
+
 #[test]
 fn all_protocols_are_seed_deterministic() {
     let n = 5;
-    let runs: Vec<(&str, Box<dyn Fn() -> RunResult>)> = vec![
+    let runs: Vec<NamedRun> = vec![
         (
             "horovod",
             Box::new(move || Engine::new(spec(1), HorovodProtocol::new(n)).run()),

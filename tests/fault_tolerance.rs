@@ -7,7 +7,8 @@
 //! resampled, and the partial collective simply counts one more null
 //! contribution.
 
-use rna_baselines::HorovodProtocol;
+use rna_baselines::{EagerSgdProtocol, HorovodProtocol};
+use rna_core::fault::FaultPlan;
 use rna_core::hier::HierRnaProtocol;
 use rna_core::rna::RnaProtocol;
 use rna_core::sim::{Engine, TrainSpec};
@@ -113,4 +114,64 @@ fn crash_before_start_is_tolerated() {
     assert_eq!(r.worker_iterations[2].min(1), r.worker_iterations[2].min(1));
     let pts = r.history.points();
     assert!(pts.last().unwrap().loss < pts[0].loss);
+}
+
+#[test]
+fn iteration_indexed_crash_freezes_the_victim_exactly() {
+    // The FaultPlan path (shared with the threaded runtime): the victim
+    // completes exactly 5 iterations, survivors keep training.
+    let n = 4;
+    let spec = TrainSpec::smoke_test(n, 11)
+        .with_max_rounds(200)
+        .with_crash_at_iter(3, 5);
+    let r = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    assert_eq!(r.worker_iterations[3], 5);
+    assert!(
+        r.worker_iterations[0] > 20,
+        "iters {:?}",
+        r.worker_iterations
+    );
+    assert!(r.global_rounds >= 100, "rounds {}", r.global_rounds);
+    assert!(r.mean_participation() < 1.0);
+}
+
+#[test]
+fn eager_majority_survives_majority_death_in_the_simulator() {
+    // Before liveness tracking the eager trigger demanded a majority of
+    // *all* workers and deadlocked (event queue drains: Idle, frozen
+    // rounds) once half the cluster died. The electorate must shrink.
+    let n = 4;
+    let spec = TrainSpec::smoke_test(n, 13)
+        .with_max_rounds(150)
+        .with_fault_plan(FaultPlan::none().crash(0, 3).crash(1, 4).crash(2, 4));
+    let r = Engine::new(spec, EagerSgdProtocol::new(n)).run();
+    assert_eq!(r.global_rounds, 150, "majority must re-form over survivors");
+    assert!(
+        r.worker_iterations[3] > 10,
+        "iters {:?}",
+        r.worker_iterations
+    );
+}
+
+#[test]
+fn simulated_hang_recovers_where_crash_does_not() {
+    // A hang is the recoverable cousin of a crash: the worker freezes for
+    // 200 ms of virtual time, then rejoins and keeps iterating.
+    let n = 3;
+    let hang = TrainSpec::smoke_test(n, 17)
+        .with_max_rounds(100_000)
+        .with_max_time(SimDuration::from_secs(2))
+        .with_fault_plan(FaultPlan::none().hang(2, 5, 200_000));
+    let crash = TrainSpec::smoke_test(n, 17)
+        .with_max_rounds(100_000)
+        .with_max_time(SimDuration::from_secs(2))
+        .with_fault_plan(FaultPlan::none().crash(2, 5));
+    let proto = |s| Engine::new(s, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    let (h, c) = (proto(hang), proto(crash));
+    assert_eq!(c.worker_iterations[2], 5, "crashed: frozen forever");
+    assert!(
+        h.worker_iterations[2] > 5,
+        "hung: resumes after the freeze ({} iters)",
+        h.worker_iterations[2]
+    );
 }

@@ -27,8 +27,7 @@ fn hier_outperforms_flat_rna_under_deterministic_tiers() {
     let flat = Engine::new(spec(5), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
     // Auto-grouping splits the 10x tier gap; amortize the PS exchange over
     // 8 group rounds (the paper leaves the frequency as a tunable).
-    let hier_protocol =
-        HierRnaProtocol::auto(&spec(5), RnaConfig::default()).with_ps_every(8);
+    let hier_protocol = HierRnaProtocol::auto(&spec(5), RnaConfig::default()).with_ps_every(8);
     assert_eq!(hier_protocol.num_groups(), 2);
     let hier = Engine::new(spec(5), hier_protocol).run();
     // The fast group keeps its own cadence under hierarchy: at least as
@@ -83,9 +82,7 @@ fn hier_on_full_paper_testbed_trains() {
     let cluster = ClusterSpec::paper_testbed();
     let n = cluster.num_workers();
     let spec = TrainSpec::smoke_test(n, 9)
-        .with_hetero(
-            HeterogeneityModel::homogeneous(n).with_speed_factors(cluster.speed_factors()),
-        )
+        .with_hetero(HeterogeneityModel::homogeneous(n).with_speed_factors(cluster.speed_factors()))
         .with_max_rounds(100_000)
         .with_max_time(SimDuration::from_secs(8));
     let protocol = HierRnaProtocol::auto(&spec, RnaConfig::default());

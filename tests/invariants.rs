@@ -98,8 +98,7 @@ fn workload_trace_matches_iteration_counts() {
             // one in-flight iteration per worker can exceed the completed
             // count (crashed/cancelled ones never complete).
             assert!(
-                recorded >= r.worker_iterations[w]
-                    && recorded <= r.worker_iterations[w] + 1,
+                recorded >= r.worker_iterations[w] && recorded <= r.worker_iterations[w] + 1,
                 "{} worker {w}: recorded {recorded} vs completed {}",
                 r.protocol,
                 r.worker_iterations[w]

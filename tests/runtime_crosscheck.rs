@@ -5,7 +5,8 @@
 //! pins its qualitative claims to real OS-thread executions so they cannot
 //! be artifacts of the event model.
 
-use rna_baselines::HorovodProtocol;
+use rna_baselines::{EagerSgdProtocol, HorovodProtocol};
+use rna_core::fault::FaultPlan;
 use rna_core::rna::RnaProtocol;
 use rna_core::sim::{Engine, TrainSpec};
 use rna_core::RnaConfig;
@@ -15,12 +16,10 @@ use rna_workload::HeterogeneityModel;
 #[test]
 fn both_worlds_agree_rna_beats_bsp_with_a_straggler() {
     // Threaded world: 4 threads, one 20 ms straggler.
-    let t_bsp = run_threaded(
-        &ThreadedConfig::quick(4, SyncMode::Bsp).with_straggler(20_000, 21_000),
-    );
-    let t_rna = run_threaded(
-        &ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(20_000, 21_000),
-    );
+    let t_bsp =
+        run_threaded(&ThreadedConfig::quick(4, SyncMode::Bsp).with_straggler(20_000, 21_000));
+    let t_rna =
+        run_threaded(&ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(20_000, 21_000));
     let threaded_speedup = t_bsp.wall.as_secs_f64() / t_rna.wall.as_secs_f64().max(1e-9);
 
     // Simulated world: same shape (4 workers, ~1.5 ms compute, one 20 ms
@@ -30,16 +29,17 @@ fn both_worlds_agree_rna_beats_bsp_with_a_straggler() {
         let mut s = TrainSpec::smoke_test(n, seed)
             .with_hetero(HeterogeneityModel::deterministic(&[0, 0, 0, 20]))
             .with_max_rounds(30);
-        s.profile = s.profile.with_compute(rna_workload::ComputeTimeModel::Uniform {
-            lo: rna_simnet::SimDuration::from_micros(1_000),
-            hi: rna_simnet::SimDuration::from_micros(2_000),
-        });
+        s.profile = s
+            .profile
+            .with_compute(rna_workload::ComputeTimeModel::Uniform {
+                lo: rna_simnet::SimDuration::from_micros(1_000),
+                hi: rna_simnet::SimDuration::from_micros(2_000),
+            });
         s
     };
     let s_bsp = Engine::new(sim_spec(1), HorovodProtocol::new(n)).run();
     let s_rna = Engine::new(sim_spec(1), RnaProtocol::new(n, RnaConfig::default(), 0)).run();
-    let sim_speedup =
-        s_bsp.wall_time.as_secs_f64() / s_rna.wall_time.as_secs_f64().max(1e-9);
+    let sim_speedup = s_bsp.wall_time.as_secs_f64() / s_rna.wall_time.as_secs_f64().max(1e-9);
 
     assert!(
         threaded_speedup > 1.0,
@@ -51,7 +51,11 @@ fn both_worlds_agree_rna_beats_bsp_with_a_straggler() {
 #[test]
 fn both_worlds_train_to_working_accuracy() {
     let t_rna = run_threaded(&ThreadedConfig::quick(3, SyncMode::Rna));
-    assert!(t_rna.final_accuracy > 0.5, "threaded acc {}", t_rna.final_accuracy);
+    assert!(
+        t_rna.final_accuracy > 0.5,
+        "threaded acc {}",
+        t_rna.final_accuracy
+    );
 
     let spec = TrainSpec::smoke_test(3, 2).with_max_rounds(60);
     let s_rna = Engine::new(spec, RnaProtocol::new(3, RnaConfig::default(), 0)).run();
@@ -64,9 +68,7 @@ fn both_worlds_train_to_working_accuracy() {
 
 #[test]
 fn threaded_participation_is_partial_like_simulated() {
-    let t = run_threaded(
-        &ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(15_000, 16_000),
-    );
+    let t = run_threaded(&ThreadedConfig::quick(4, SyncMode::Rna).with_straggler(15_000, 16_000));
     // With a straggler, some rounds must exclude it.
     assert!(
         t.mean_participation < 1.0,
@@ -74,4 +76,62 @@ fn threaded_participation_is_partial_like_simulated() {
         t.mean_participation
     );
     assert!(t.mean_participation > 0.0);
+}
+
+#[test]
+fn both_worlds_agree_rna_survives_the_same_crash_plan() {
+    // One shared FaultPlan — worker 3 dies after exactly 5 iterations —
+    // fed to both worlds. Both must complete their round budget, freeze
+    // the victim at 5 iterations, show partial participation, and still
+    // reduce the loss.
+    let n = 4;
+    let plan = FaultPlan::none().crash(3, 5);
+
+    let t = run_threaded(&ThreadedConfig::quick(n, SyncMode::Rna).with_fault_plan(plan.clone()));
+    assert_eq!(t.rounds, 30);
+    assert!(t.worker_fates[3].is_dead());
+    assert_eq!(t.worker_iterations[3], 5);
+    assert!(t.mean_participation < 1.0 && t.mean_participation > 0.0);
+    assert!(t.final_loss < 1.4, "threaded loss {}", t.final_loss);
+
+    let spec = TrainSpec::smoke_test(n, 7)
+        .with_max_rounds(120)
+        .with_fault_plan(plan);
+    let s = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    assert_eq!(s.global_rounds, 120);
+    assert_eq!(
+        s.worker_iterations[3], 5,
+        "the simulator agrees on the victim's exact iteration count"
+    );
+    assert!(s.worker_iterations[0] > 5, "simulated survivors continue");
+    assert!(s.mean_participation() < 1.0);
+    let pts = s.history.points();
+    assert!(
+        pts.last().unwrap().loss < pts[0].loss,
+        "simulated loss falls"
+    );
+}
+
+#[test]
+fn both_worlds_agree_eager_majority_shrinks_to_survivors() {
+    // Same plan in both worlds: half the cluster dies early. The eager
+    // majority must re-form over the survivors everywhere.
+    let n = 4;
+    let plan = FaultPlan::none().crash(2, 2).crash(3, 2);
+
+    let t = run_threaded(
+        &ThreadedConfig::quick(n, SyncMode::EagerMajority).with_fault_plan(plan.clone()),
+    );
+    assert_eq!(t.rounds, 30);
+    assert_eq!(t.live_workers(), 2);
+    assert!(t.final_loss.is_finite());
+
+    let spec = TrainSpec::smoke_test(n, 3)
+        .with_max_rounds(120)
+        .with_fault_plan(plan);
+    let s = Engine::new(spec, EagerSgdProtocol::new(n)).run();
+    assert_eq!(s.global_rounds, 120, "simulated majority must not deadlock");
+    assert_eq!(s.worker_iterations[2], 2);
+    assert_eq!(s.worker_iterations[3], 2);
+    assert!(s.worker_iterations[0] > 2);
 }

@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion`.
+//!
+//! This container cannot reach crates.io, so the real `criterion` cannot
+//! be fetched. This crate keeps the workspace's bench suites compiling and
+//! running with the same source: `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple warm-up plus
+//! `sample_size` timed batches with a mean/min report — good enough for
+//! relative comparisons, with none of the real crate's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    warm_up: Duration,
+    elapsed: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring `sample_size`
+    /// batches (bounded by the measurement-time budget).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also sizes the batch so one sample is >= ~1ms.
+        let warm_start = Instant::now();
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(1) || warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.elapsed.push(t.elapsed());
+            self.iters += batch;
+            if measure_start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.elapsed.iter().sum();
+        let mean_ns = total.as_nanos() as f64 / self.iters as f64;
+        let batch = self.iters / self.elapsed.len() as u64;
+        let min_ns = self
+            .elapsed
+            .iter()
+            .map(|d| d.as_nanos() as f64 / batch.max(1) as f64)
+            .fold(f64::INFINITY, f64::min);
+        println!("{name:<50} mean {mean_ns:>12.1} ns/iter   min {min_ns:>12.1} ns/iter");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the time spent measuring one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Caps the warm-up time of one benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            warm_up: self.warm_up_time,
+            elapsed: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&name);
+        self
+    }
+
+    /// Opens a named group; group benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, in either the struct-ish or the
+/// positional form the real crate accepts.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

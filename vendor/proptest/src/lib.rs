@@ -1,0 +1,311 @@
+//! Offline stand-in for `proptest`.
+//!
+//! This container cannot reach crates.io, so the real `proptest` cannot be
+//! fetched. This crate reimplements the slice of its API the workspace
+//! uses — `proptest! { fn f(x in strategy, y: u64) { .. } }`, range and
+//! tuple strategies, `collection::vec`, `any::<T>()`, and the
+//! `prop_assert*` / `prop_assume!` macros — on top of a small,
+//! deterministic SplitMix64 generator. Each property runs [`NUM_CASES`]
+//! cases seeded from the test's module path, so failures reproduce
+//! bit-for-bit across runs and machines (no shrinking, no persistence
+//! files).
+
+/// Cases executed per property.
+pub const NUM_CASES: u64 = 64;
+
+/// Deterministic generator driving case inputs (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test identifier (FNV-1a over the name).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of values for one property parameter.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as $t;
+                self.start.wrapping_add(draw)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                let draw = (u128::from(rng.next_u64()) % span) as $t;
+                self.start().wrapping_add(draw)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let f = rng.next_f64() as $t;
+                let x = self.start + f * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if x >= self.end { self.start } else { x }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Types with a whole-domain default strategy (`any::<T>()` and bare
+/// `name: type` parameters).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        (rng.next_f64() * 2.0 - 1.0) as f32 * 1e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_f64() * 2.0 - 1.0) * 1e12
+    }
+}
+
+/// The strategy behind [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing a `Vec` with length drawn from `len` and
+    /// elements drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.start < self.len.end {
+                self.len.start + (rng.next_u64() as usize) % (self.len.end - self.len.start)
+            } else {
+                self.len.start
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Binds property parameters inside the generated test body. `name in
+/// strategy` samples the strategy; `name: type` samples the type's
+/// [`Arbitrary`] implementation.
+#[macro_export]
+macro_rules! __pt_bind {
+    ($rng:ident) => {};
+    ($rng:ident $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__pt_bind!($rng $($rest)*);
+    };
+    ($rng:ident $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__pt_bind!($rng $($rest)*);
+    };
+}
+
+/// Declares property tests. Each `fn` becomes a `#[test]` running
+/// [`NUM_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __pt_rng = $crate::TestRng::for_test(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __pt_case in 0..$crate::NUM_CASES {
+                    let _ = __pt_case;
+                    $crate::__pt_bind!(__pt_rng $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the real proptest uses.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// `assert_eq!` under a name the real proptest uses.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// `assert_ne!` under a name the real proptest uses.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current case when its inputs violate a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..9, f in -1.5f64..2.5, n in 0usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+            prop_assert!(n < 4);
+        }
+
+        #[test]
+        fn typed_and_assume(seed: u64, k in 1usize..10) {
+            prop_assume!(k > 2);
+            let _ = seed;
+            prop_assert!(k > 2 && k < 10);
+        }
+
+        #[test]
+        fn vec_and_tuples(
+            v in collection::vec((any::<bool>(), -1.0f32..1.0), 1..5),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for (_, f) in v {
+                prop_assert!((-1.0..1.0).contains(&f));
+            }
+        }
+    }
+}

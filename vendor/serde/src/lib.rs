@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace cannot reach crates.io, so the
+//! real `serde` cannot be fetched. The workspace uses the traits purely as
+//! derive annotations (no serializer is wired up anywhere), so this crate
+//! provides the two trait names and re-exports no-op derive macros under
+//! the usual names. Restoring the registry dependency restores real
+//! serialization without touching any downstream source file.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

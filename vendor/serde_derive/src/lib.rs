@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This container has no network access to crates.io, so the real
+//! `serde_derive` cannot be fetched. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — no
+//! code path serializes anything yet — so these derives expand to nothing.
+//! Swap the `[workspace.dependencies]` entries back to the registry
+//! versions to restore real serialization support.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
