@@ -13,4 +13,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+# Chaos stress: the fault and chaos suites in release mode across three
+# seeds (RNA_CHAOS_SEED reseeds the scenario without recompiling). Each
+# pass runs under a watchdog so a protocol deadlock fails CI with a
+# timeout instead of hanging it.
+echo "==> chaos stress (3 seeds, --release, watchdogged)"
+for seed in 11 23 37; do
+  echo "    seed ${seed}"
+  RNA_CHAOS_SEED="${seed}" timeout 600 cargo test -q --release \
+    -p rna-experiments --test chaos --test fault_tolerance
+  RNA_CHAOS_SEED="${seed}" timeout 600 cargo test -q --release \
+    -p rna-runtime --test fault_injection
+done
+
+echo "==> faults bench smoke (watchdogged)"
+timeout 900 cargo bench -q --bench faults
+
 echo "==> CI green"

@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rna_core::fault::FaultPlan;
+use rna_core::fault::{FaultPlan, NetFaultPlan};
 use rna_core::rna::RnaProtocol;
 use rna_core::sim::{Engine, TrainSpec};
 use rna_core::RnaConfig;
@@ -32,6 +32,23 @@ fn bench_simulated(c: &mut Criterion) {
         b.iter(|| {
             let plan = (4..8).fold(FaultPlan::none(), |p, w| p.crash(w, 3));
             let spec = sim_spec(8).with_fault_plan(plan);
+            Engine::new(spec, RnaProtocol::new(8, RnaConfig::default(), 0)).run()
+        })
+    });
+    g.bench_function("chaos_8w", |b| {
+        // Every fault class at once: lossy controller links (per-message
+        // RNG rolls), a timed partition (reachability filtering on every
+        // reduce), and a crash-restart. Prices the whole NetFaults path.
+        b.iter(|| {
+            let spec = sim_spec(8)
+                .with_fault_plan(FaultPlan::none().restart(6, 4, 50_000))
+                .with_net_fault_plan(
+                    NetFaultPlan::none()
+                        .with_seed(33)
+                        .drop_link(8, 0, 0.2)
+                        .drop_link(8, 1, 0.2)
+                        .partition(vec![4, 5, 6, 7], 50_000, 300_000),
+                );
             Engine::new(spec, RnaProtocol::new(8, RnaConfig::default(), 0)).run()
         })
     });

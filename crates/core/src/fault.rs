@@ -16,10 +16,17 @@
 //!   decide when an eager-majority round may fire and when an RNA probe
 //!   round must be resampled. Both the simulator's `GroupState` and the
 //!   threaded controller call these, so the worlds cannot drift.
-//! * The liveness timeouts the threaded controller uses to presume a
-//!   silent worker dead. The simulator does not need them (its crashes are
-//!   delivered as exact events), but they live here because they *define*
-//!   the crash semantics the threaded world approximates.
+//! * [`NetFaultPlan`] — the network-level counterpart: per-link message
+//!   drop probabilities, link flaps (timed down-windows), and timed
+//!   partitions. It compiles to the `rna_simnet::NetFaults` mechanism that
+//!   both the DES fabric and the threaded runtime's channel shim execute.
+//! * [`ToleranceConfig`] — the liveness/retry/deadline timeouts the
+//!   threaded controller uses to presume a silent worker dead. The
+//!   simulator does not need them (its crashes are delivered as exact
+//!   events), but they live here because they *define* the crash semantics
+//!   the threaded world approximates.
+
+use rna_simnet::{NetFaults, SimDuration, SimTime};
 
 /// One injected fault against one worker.
 ///
@@ -53,6 +60,18 @@ pub enum WorkerFault {
         /// Extra per-iteration compute time in microseconds.
         extra_us: u64,
     },
+    /// The worker crashes after completing `at_iter` iterations, then
+    /// comes back `rejoin_after_us` microseconds later: it pulls the
+    /// current model, is re-admitted to the liveness view, and resumes
+    /// contributing. Gradients cached at crash time are lost, exactly as
+    /// for [`WorkerFault::CrashAt`].
+    RestartAt {
+        /// Completed-iteration count at which the worker dies.
+        at_iter: u64,
+        /// Dwell time between the crash and the rejoin, in microseconds
+        /// (virtual time in the simulator, real time on threads).
+        rejoin_after_us: u64,
+    },
 }
 
 impl WorkerFault {
@@ -62,6 +81,7 @@ impl WorkerFault {
             WorkerFault::CrashAt { at_iter } => at_iter,
             WorkerFault::HangAt { at_iter, .. } => at_iter,
             WorkerFault::SlowFrom { from_iter, .. } => from_iter,
+            WorkerFault::RestartAt { at_iter, .. } => at_iter,
         }
     }
 }
@@ -126,6 +146,20 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a crash-restart: `worker` dies after completing `at_iter`
+    /// iterations, then rejoins `rejoin_after_us` microseconds later,
+    /// pulling the current model and resuming contribution.
+    pub fn restart(mut self, worker: usize, crash_iter: u64, rejoin_after_us: u64) -> Self {
+        self.faults.push((
+            worker,
+            WorkerFault::RestartAt {
+                at_iter: crash_iter,
+                rejoin_after_us,
+            },
+        ));
+        self
+    }
+
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
@@ -144,12 +178,34 @@ impl FaultPlan {
             .map(|(_, f)| *f)
     }
 
-    /// The iteration at which `worker` crashes, if the plan kills it.
+    /// The iteration at which `worker` crashes *permanently*, if the plan
+    /// kills it for good. Crash-restarts are not reported here — see
+    /// [`FaultPlan::restart_of`].
     pub fn crash_iter(&self, worker: usize) -> Option<u64> {
         self.for_worker(worker).find_map(|f| match f {
             WorkerFault::CrashAt { at_iter } => Some(at_iter),
             _ => None,
         })
+    }
+
+    /// The `(crash_iter, rejoin_after_us)` of `worker`'s crash-restart, if
+    /// the plan schedules one.
+    pub fn restart_of(&self, worker: usize) -> Option<(u64, u64)> {
+        self.for_worker(worker).find_map(|f| match f {
+            WorkerFault::RestartAt {
+                at_iter,
+                rejoin_after_us,
+            } => Some((at_iter, rejoin_after_us)),
+            _ => None,
+        })
+    }
+
+    /// The iteration at which `worker` stops computing for a while —
+    /// either a permanent crash or the crash half of a restart. Barrier
+    /// protocols (BSP) use this to reject plans they cannot survive.
+    pub fn kills(&self, worker: usize) -> Option<u64> {
+        self.crash_iter(worker)
+            .or_else(|| self.restart_of(worker).map(|(at, _)| at))
     }
 
     /// The largest worker index the plan touches, if any (used to validate
@@ -182,12 +238,29 @@ pub enum WorkerFate {
         /// Completed-iteration count at which the slowdown began.
         from_iter: u64,
     },
+    /// Crashed after `at_iter` iterations and was scheduled to rejoin.
+    /// `rejoined` reports whether the rejoin actually happened before the
+    /// run ended (a restart scheduled past the end of training is just a
+    /// crash).
+    Restarted {
+        /// Completed-iteration count at the crash.
+        at_iter: u64,
+        /// Whether the worker made it back into the cluster.
+        rejoined: bool,
+    },
 }
 
 impl WorkerFate {
     /// Whether the worker was dead (permanently) at the end of the run.
     pub fn is_dead(&self) -> bool {
-        matches!(self, WorkerFate::Crashed { .. })
+        matches!(
+            self,
+            WorkerFate::Crashed { .. }
+                | WorkerFate::Restarted {
+                    rejoined: false,
+                    ..
+                }
+        )
     }
 }
 
@@ -208,9 +281,15 @@ pub fn live_majority(live_members: usize) -> usize {
 /// live set. `probed` holds member-local indices into `live`.
 ///
 /// Shared by the simulator's `GroupState::handle_crash` and the threaded
-/// controller's re-probe loop.
+/// controller's re-probe loop. Tolerant of degenerate inputs: an empty
+/// probe set is not stalled (there is nothing to wait on), and a probed
+/// index outside `live` — possible transiently while a rejoining worker is
+/// re-admitted — counts as dead rather than panicking.
 pub fn probe_round_stalled(probed: &[usize], live: &[bool]) -> bool {
-    !probed.is_empty() && probed.iter().all(|&l| !live[l])
+    !probed.is_empty()
+        && probed
+            .iter()
+            .all(|&l| live.get(l).is_none_or(|&alive| !alive))
 }
 
 /// Real-time heartbeat age (microseconds) past which the threaded
@@ -228,6 +307,194 @@ pub const PROBE_BACKOFF_US: u64 = 2_000;
 /// round that cannot assemble any contribution by the deadline is
 /// completed *degraded* (no update applied) rather than blocking forever.
 pub const ROUND_DEADLINE_US: u64 = 5_000_000;
+
+/// The failure-detection and retry timeouts of the threaded controller,
+/// previously hard-coded as the three `*_US` constants (which remain as
+/// the [`Default`] values). Fault tests can tighten these instead of
+/// paying real 150 ms liveness waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToleranceConfig {
+    /// Heartbeat age past which a silent worker is presumed dead.
+    pub liveness_timeout_us: u64,
+    /// Initial re-probe backoff; doubles per retry within a round.
+    pub probe_backoff_us: u64,
+    /// Hard per-round deadline before the round completes degraded.
+    pub round_deadline_us: u64,
+}
+
+impl Default for ToleranceConfig {
+    fn default() -> Self {
+        ToleranceConfig {
+            liveness_timeout_us: LIVENESS_TIMEOUT_US,
+            probe_backoff_us: PROBE_BACKOFF_US,
+            round_deadline_us: ROUND_DEADLINE_US,
+        }
+    }
+}
+
+impl ToleranceConfig {
+    /// Tight timeouts for fault tests: sub-10 ms failure detection so a
+    /// crash test does not sit through 150 ms liveness waits per victim.
+    /// Still ≫ the 1–2 ms compute intervals the quick configs use.
+    pub fn tight() -> Self {
+        ToleranceConfig {
+            liveness_timeout_us: 8_000,
+            probe_backoff_us: 500,
+            round_deadline_us: 1_000_000,
+        }
+    }
+}
+
+/// A deterministic *network* fault script, shared by both worlds the same
+/// way [`FaultPlan`] is: per-link message-drop probabilities, link flaps
+/// (timed down-windows), and timed partitions that split the cluster into
+/// components.
+///
+/// Node numbering follows the simulator convention: workers are `0..n`,
+/// node `n` is the controller, node `n + 1` the parameter server/master.
+/// All windows are in microseconds — virtual time in the DES, elapsed real
+/// time in the threaded runtime — so one plan expresses the same chaos in
+/// both worlds.
+///
+/// The plan is pure data; [`NetFaultPlan::compile`] lowers it to the
+/// [`rna_simnet::NetFaults`] mechanism with the controller as a *bridge*
+/// node that both sides of a partition can still reach. The paper's
+/// scheduler (§3.1) is stateless and replicable per side, so modeling it
+/// as reachable keeps an isolated group's internal RNA coordination alive
+/// while its data paths (peer links, PS link) are genuinely severed.
+///
+/// # Examples
+///
+/// ```
+/// use rna_core::fault::NetFaultPlan;
+///
+/// let plan = NetFaultPlan::none()
+///     .with_seed(7)
+///     .drop_link(4, 0, 0.2)           // controller↔worker-0 loses 20%
+///     .flap(0, 1, 10_000, 20_000)     // link down for 10 ms
+///     .partition(vec![2, 3], 5_000, 50_000);
+/// plan.validate(4);
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetFaultPlan {
+    seed: u64,
+    drops: Vec<(usize, usize, f64)>,
+    flaps: Vec<(usize, usize, u64, u64)>,
+    partitions: Vec<(Vec<usize>, u64, u64)>,
+}
+
+impl NetFaultPlan {
+    /// The empty plan: a perfectly reliable fabric.
+    pub fn none() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// Sets the seed for the per-edge drop streams.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Each message on the `a`↔`b` link is dropped with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn drop_link(mut self, a: usize, b: usize, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} not in [0, 1]"
+        );
+        self.drops.push((a, b, p));
+        self
+    }
+
+    /// The `a`↔`b` link is down for the window `[from_us, until_us)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn flap(mut self, a: usize, b: usize, from_us: u64, until_us: u64) -> Self {
+        assert!(from_us < until_us, "empty flap window");
+        self.flaps.push((a, b, from_us, until_us));
+        self
+    }
+
+    /// Partitions the cluster for `[from_us, until_us)`: every link between
+    /// a worker in `component` and a node outside it is severed (the
+    /// controller excepted — see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `component` is empty or the window is empty.
+    pub fn partition(mut self, component: Vec<usize>, from_us: u64, until_us: u64) -> Self {
+        assert!(!component.is_empty(), "empty partition component");
+        assert!(from_us < until_us, "empty partition window");
+        self.partitions.push((component, from_us, until_us));
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.drops.is_empty() && self.flaps.is_empty() && self.partitions.is_empty()
+    }
+
+    /// The seed the drop streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Checks every node index against a cluster of `num_workers` workers:
+    /// partition components may name only workers (`< num_workers`); drop
+    /// and flap endpoints may also name the controller (`num_workers`) and
+    /// the PS/master node (`num_workers + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first out-of-range index.
+    pub fn validate(&self, num_workers: usize) {
+        let max_node = num_workers + 1;
+        for &(a, b, _) in &self.drops {
+            assert!(
+                a <= max_node && b <= max_node,
+                "drop endpoint out of range: ({a}, {b}) with {num_workers} workers"
+            );
+        }
+        for &(a, b, ..) in &self.flaps {
+            assert!(
+                a <= max_node && b <= max_node,
+                "flap endpoint out of range: ({a}, {b}) with {num_workers} workers"
+            );
+        }
+        for (component, ..) in &self.partitions {
+            for &w in component {
+                assert!(
+                    w < num_workers,
+                    "partition member {w} out of range for {num_workers} workers"
+                );
+            }
+        }
+    }
+
+    /// Lowers the plan to the [`rna_simnet::NetFaults`] mechanism for a
+    /// cluster whose controller is node `controller` (bridged across
+    /// partitions; see the type docs).
+    pub fn compile(&self, controller: usize) -> NetFaults {
+        let at = |us: u64| SimTime::ZERO + SimDuration::from_micros(us);
+        let mut f = NetFaults::new(self.seed);
+        for &(a, b, p) in &self.drops {
+            f = f.with_drop(a, b, p);
+        }
+        for &(a, b, from, until) in &self.flaps {
+            f = f.with_down(a, b, at(from), at(until));
+        }
+        for (component, from, until) in &self.partitions {
+            f = f.with_cut(component.clone(), vec![controller], at(*from), at(*until));
+        }
+        f
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -290,5 +557,213 @@ mod tests {
         assert!(!WorkerFate::Healthy.is_dead());
         assert!(!WorkerFate::Hung { at_iter: 1 }.is_dead());
         assert!(!WorkerFate::Slowed { from_iter: 1 }.is_dead());
+        assert!(WorkerFate::Restarted {
+            at_iter: 3,
+            rejoined: false
+        }
+        .is_dead());
+        assert!(!WorkerFate::Restarted {
+            at_iter: 3,
+            rejoined: true
+        }
+        .is_dead());
+    }
+
+    #[test]
+    fn restart_is_a_kill_but_not_a_crash() {
+        let plan = FaultPlan::none().restart(2, 5, 40_000);
+        assert_eq!(plan.crash_iter(2), None, "restarts are not permanent");
+        assert_eq!(plan.restart_of(2), Some((5, 40_000)));
+        assert_eq!(plan.kills(2), Some(5));
+        assert_eq!(plan.restart_of(0), None);
+        assert_eq!(
+            WorkerFault::RestartAt {
+                at_iter: 5,
+                rejoin_after_us: 1
+            }
+            .trigger_iter(),
+            5
+        );
+
+        let crash = FaultPlan::none().crash(1, 3);
+        assert_eq!(crash.kills(1), Some(3));
+        assert_eq!(crash.restart_of(1), None);
+    }
+
+    #[test]
+    fn stalled_probe_tolerates_degenerate_inputs() {
+        // Out-of-range probed indices count as dead, never panic.
+        assert!(probe_round_stalled(&[7], &[false, false]));
+        assert!(!probe_round_stalled(&[7, 0], &[true, false]));
+        // Empty live view: anything probed is stalled.
+        assert!(probe_round_stalled(&[0], &[]));
+        // Single live member.
+        assert!(!probe_round_stalled(&[0], &[true]));
+    }
+
+    #[test]
+    fn tolerance_default_matches_constants() {
+        let t = ToleranceConfig::default();
+        assert_eq!(t.liveness_timeout_us, LIVENESS_TIMEOUT_US);
+        assert_eq!(t.probe_backoff_us, PROBE_BACKOFF_US);
+        assert_eq!(t.round_deadline_us, ROUND_DEADLINE_US);
+        let tight = ToleranceConfig::tight();
+        assert!(tight.liveness_timeout_us < t.liveness_timeout_us);
+        assert!(tight.round_deadline_us < t.round_deadline_us);
+    }
+
+    #[test]
+    fn net_plan_builders_and_validation() {
+        let plan = NetFaultPlan::none()
+            .with_seed(3)
+            .drop_link(4, 0, 0.25)
+            .flap(1, 2, 100, 200)
+            .partition(vec![2, 3], 0, 1_000);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.seed(), 3);
+        plan.validate(4); // controller 4, PS 5 are legal drop endpoints
+        assert!(NetFaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn net_plan_compiles_with_controller_bridge() {
+        let at = |us: u64| rna_simnet::SimTime::ZERO + SimDuration::from_micros(us);
+        let f = NetFaultPlan::none()
+            .partition(vec![2, 3], 10, 20)
+            .compile(4);
+        assert!(!f.link_up(2, 0, at(15)), "island↔outside severed");
+        assert!(f.link_up(2, 4, at(15)), "controller bridges the cut");
+        assert!(f.link_up(2, 3, at(15)));
+        assert!(!f.link_up(3, 5, at(15)), "PS is on the majority side");
+        assert!(f.link_up(2, 0, at(25)), "heals after the window");
+    }
+
+    #[test]
+    #[should_panic(expected = "partition member 9 out of range")]
+    fn net_plan_rejects_out_of_range_partition_member() {
+        NetFaultPlan::none().partition(vec![9], 0, 10).validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop endpoint out of range")]
+    fn net_plan_rejects_out_of_range_drop_endpoint() {
+        NetFaultPlan::none().drop_link(0, 6, 0.5).validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn net_plan_rejects_bad_probability() {
+        let _ = NetFaultPlan::none().drop_link(0, 1, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty flap window")]
+    fn net_plan_rejects_empty_flap() {
+        let _ = NetFaultPlan::none().flap(0, 1, 50, 50);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Worker-fault builders accept any mix of duplicate workers
+            /// and fault kinds without panicking, and the accessors stay
+            /// consistent with what was inserted.
+            #[test]
+            fn fault_plan_builders_total(
+                ops in proptest::collection::vec(
+                    (0usize..8, 0u64..50, 1u64..10_000, 0u8..4), 0..24)
+            ) {
+                let mut plan = FaultPlan::none();
+                for &(w, iter, us, kind) in &ops {
+                    plan = match kind {
+                        0 => plan.crash(w, iter),
+                        1 => plan.hang(w, iter, us),
+                        2 => plan.slow(w, iter, us),
+                        _ => plan.restart(w, iter, us),
+                    };
+                }
+                prop_assert_eq!(plan.faults().len(), ops.len());
+                prop_assert_eq!(plan.is_empty(), ops.is_empty());
+                prop_assert_eq!(
+                    plan.max_worker(),
+                    ops.iter().map(|&(w, ..)| w).max()
+                );
+                for w in 0..8 {
+                    let count = plan.for_worker(w).count();
+                    prop_assert_eq!(
+                        count,
+                        ops.iter().filter(|&&(ow, ..)| ow == w).count()
+                    );
+                    if let Some(k) = plan.kills(w) {
+                        prop_assert!(plan
+                            .for_worker(w)
+                            .any(|f| f.trigger_iter() == k));
+                    }
+                }
+            }
+
+            /// Net-fault builders accept duplicate links and overlapping
+            /// windows; compiled link state is down inside any window that
+            /// covers `t` and up outside all of them.
+            #[test]
+            fn net_plan_overlapping_windows(
+                windows in proptest::collection::vec(
+                    (0u64..1_000, 1u64..1_000), 1..6),
+                t in 0u64..2_500
+            ) {
+                let mut plan = NetFaultPlan::none();
+                for &(from, len) in &windows {
+                    plan = plan.flap(0, 1, from, from + len);
+                }
+                plan.validate(2);
+                let f = plan.compile(2);
+                let now = rna_simnet::SimTime::ZERO + SimDuration::from_micros(t);
+                let covered = windows
+                    .iter()
+                    .any(|&(from, len)| from <= t && t < from + len);
+                prop_assert_eq!(f.link_up(0, 1, now), !covered);
+            }
+
+            /// In-range plans always validate; the check is total.
+            #[test]
+            fn net_plan_validate_accepts_in_range(
+                n in 2usize..12,
+                links in proptest::collection::vec((0usize..14, 0usize..14, 0f64..1.0), 0..8),
+            ) {
+                let mut plan = NetFaultPlan::none();
+                for &(a, b, p) in &links {
+                    plan = plan.drop_link(a.min(n + 1), b.min(n + 1), p);
+                }
+                plan.validate(n);
+            }
+
+            /// `live_majority` is always in `[1, live]`-ish bounds and
+            /// monotone.
+            #[test]
+            fn live_majority_bounds(live in 0usize..1_000) {
+                let m = live_majority(live);
+                prop_assert!(m >= 1);
+                prop_assert!(m <= live.max(1));
+                prop_assert!(live_majority(live + 1) >= m);
+            }
+
+            /// `probe_round_stalled` never panics, for any index soup.
+            #[test]
+            fn probe_round_stalled_total(
+                probed in proptest::collection::vec(0usize..32, 0..8),
+                live_bits in proptest::collection::vec(0u8..2, 0..16),
+            ) {
+                let live: Vec<bool> = live_bits.iter().map(|&b| b == 1).collect();
+                let stalled = probe_round_stalled(&probed, &live);
+                if probed.is_empty() {
+                    prop_assert!(!stalled);
+                }
+                if probed.iter().any(|&l| live.get(l) == Some(&true)) {
+                    prop_assert!(!stalled);
+                }
+            }
+        }
     }
 }

@@ -69,6 +69,9 @@ pub struct HierRnaProtocol {
     pending: Vec<Option<Tensor>>,
     /// Group rounds between PS exchanges.
     ps_every: u64,
+    /// Exchanges each group skipped because the PS was unreachable
+    /// (partition). Reset when the group reconciles on heal.
+    missed_exchanges: Vec<u64>,
 }
 
 impl HierRnaProtocol {
@@ -96,6 +99,7 @@ impl HierRnaProtocol {
             server: None,
             pending: vec![None; num_groups],
             ps_every: 1,
+            missed_exchanges: vec![0; num_groups],
         }
     }
 
@@ -147,6 +151,11 @@ impl HierRnaProtocol {
     /// Launches the asynchronous exchange: the accumulated gradient travels
     /// to the PS and the refreshed master comes back, paying push + pull on
     /// the star link plus the intra-group broadcast.
+    ///
+    /// A gradient accumulated across `missed_exchanges` skipped exchanges
+    /// (the group was partitioned from the PS) is reconciled with a
+    /// staleness discount — the Hop-style bounded-staleness reading — so a
+    /// long-isolated group cannot yank the master with a huge stale sum.
     fn ps_exchange(&mut self, ctx: &mut Ctx<'_, RnaMsg>, gid: usize) {
         let Some(grad) = self.pending[gid].take() else {
             return;
@@ -154,7 +163,8 @@ impl HierRnaProtocol {
         // The master applies the gradient at *send* time: the PS serializes
         // pushes, so the state the group later broadcasts already includes
         // this contribution plus whatever other groups landed meanwhile.
-        let lr = ctx.current_lr();
+        let missed = std::mem::take(&mut self.missed_exchanges[gid]);
+        let lr = ctx.current_lr() * rna_ps::staleness_discount(missed);
         let master = self.master.as_mut().expect("master set in on_start");
         master.axpy(-lr, &grad);
         if let Some(server) = self.server.as_mut() {
@@ -218,7 +228,8 @@ impl Protocol for HierRnaProtocol {
                 self.groups[group].handle_reply(ctx, &self.config, worker, round);
             }
             RnaMsg::ReduceDone { group, round } => {
-                let Some((reduced, contributors)) = self.groups[group].take_reduce_result(round)
+                let Some((reduced, contributors, applied)) =
+                    self.groups[group].take_reduce_result(round)
                 else {
                     return;
                 };
@@ -229,17 +240,39 @@ impl Protocol for HierRnaProtocol {
                 };
                 self.accumulate(ctx, group, &reduced, scale);
                 let exchange = (self.groups[group].round() + 1).is_multiple_of(self.ps_every);
-                if exchange {
+                let ps_reachable = self.groups[group]
+                    .representative()
+                    .is_some_and(|rep| ctx.link_up(rep, ctx.ps_id()));
+                if exchange && ps_reachable {
                     // Defer the round advance until the master broadcast
                     // returns.
                     self.groups[group].advance_round_deferred(contributors);
                     self.ps_exchange(ctx, group);
                 } else {
+                    if exchange {
+                        // The group is cut off from the PS: keep training on
+                        // the local accumulation and reconcile on heal.
+                        ctx.note_partition_round();
+                        self.missed_exchanges[group] += 1;
+                    }
                     // Preview the update group-locally; the accumulated
                     // gradient reaches the master at the next exchange.
-                    self.groups[group].apply_reduce(ctx, &self.config, &reduced, contributors);
+                    self.groups[group].apply_reduce(
+                        ctx,
+                        &self.config,
+                        &reduced,
+                        contributors,
+                        &applied,
+                    );
                     self.groups[group].advance_round(ctx, &self.config, contributors);
                 }
+            }
+            RnaMsg::ProbeRetry {
+                group,
+                round,
+                attempt,
+            } => {
+                self.groups[group].handle_probe_retry(ctx, &self.config, round, attempt);
             }
             RnaMsg::PsDone { group, blended } => {
                 for &w in &self.groups[group].members.clone() {
@@ -253,6 +286,11 @@ impl Protocol for HierRnaProtocol {
     fn on_crash(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
         let gid = self.worker_group[worker];
         self.groups[gid].handle_crash(ctx, &self.config, worker);
+    }
+
+    fn on_rejoin(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
+        let gid = self.worker_group[worker];
+        self.groups[gid].handle_rejoin(ctx, &self.config, worker);
     }
 }
 

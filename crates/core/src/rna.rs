@@ -49,6 +49,18 @@ pub enum RnaMsg {
         /// The replying worker.
         worker: usize,
     },
+    /// Controller self-timer: re-probe if the election round is still
+    /// winnerless (a dropped probe or reply must not wedge it). Armed only
+    /// when the fabric injects network faults.
+    ProbeRetry {
+        /// Group the retry belongs to.
+        group: usize,
+        /// Round the timer was armed for (stale timers are ignored).
+        round: u64,
+        /// Probe-issue epoch the timer was armed for — a resample from any
+        /// other path (e.g. a crash) bumps the epoch, expiring this timer.
+        attempt: u64,
+    },
     /// Self-scheduled completion of a group's partial AllReduce.
     ReduceDone {
         /// Group whose collective finished.
@@ -81,10 +93,23 @@ pub struct GroupState {
     reducing: bool,
     paused: Vec<bool>,
     live: Vec<bool>,
-    in_flight: Option<(Tensor, usize)>,
+    in_flight: Option<ReduceOutcome>,
     deferred: Option<usize>,
     initiator_counts: Vec<u64>,
     last_initiator: Option<usize>,
+    probe_epoch: u64,
+    retry_backoff_us: u64,
+}
+
+/// A finished collective waiting to be applied: the reduced gradient, how
+/// many members contributed, and which members were reachable from the
+/// initiator (partitioned members are excluded from the apply — they catch
+/// up through their staleness-weighted caches on heal).
+#[derive(Debug)]
+struct ReduceOutcome {
+    reduced: Tensor,
+    contributors: usize,
+    applied: Vec<usize>,
 }
 
 impl GroupState {
@@ -116,6 +141,8 @@ impl GroupState {
             deferred: None,
             initiator_counts: vec![0; n],
             last_initiator: None,
+            probe_epoch: 0,
+            retry_backoff_us: 0,
         }
     }
 
@@ -141,6 +168,14 @@ impl GroupState {
     /// Issues this round's probes (power-of-`d`-choices over the group's
     /// *live* members — crashed workers are never probed).
     pub fn start_probe_round(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig) {
+        self.retry_backoff_us = config.probe_retry_us;
+        self.issue_probes(ctx, config);
+    }
+
+    /// Samples and sends one batch of probes, bumping the probe epoch (so
+    /// any retry timer armed for an earlier batch expires) and arming a
+    /// fresh retry timer when the fabric is faulty.
+    fn issue_probes(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig) {
         let live: Vec<usize> = (0..self.members.len()).filter(|&l| self.live[l]).collect();
         if live.is_empty() {
             // The whole group died; nothing left to coordinate.
@@ -164,6 +199,50 @@ impl GroupState {
             );
         }
         self.probe = Some(round);
+        self.probe_epoch += 1;
+        if ctx.net_faults_enabled() {
+            // A dropped probe or reply would otherwise wedge the election
+            // forever: the controller only reacts to messages, and none
+            // would come. On a reliable fabric the timer is pointless (and
+            // arming it would perturb event-for-event determinism of
+            // existing runs), so it is gated on faults being present.
+            ctx.send_after(
+                ctx.controller_id(),
+                rna_simnet::SimDuration::from_micros(self.retry_backoff_us),
+                RnaMsg::ProbeRetry {
+                    group: self.id,
+                    round: self.round,
+                    attempt: self.probe_epoch,
+                },
+            );
+        }
+    }
+
+    /// A probe-retry timer fired: if the election round it was armed for
+    /// is still the current one, still winnerless, and no other path has
+    /// re-probed since (same epoch), resample with doubled backoff.
+    pub fn handle_probe_retry(
+        &mut self,
+        ctx: &mut Ctx<'_, RnaMsg>,
+        config: &RnaConfig,
+        round: u64,
+        attempt: u64,
+    ) {
+        if round != self.round || self.reducing || ctx.stopped() {
+            return;
+        }
+        if attempt != self.probe_epoch {
+            return;
+        }
+        let Some(probe) = &self.probe else {
+            return;
+        };
+        if probe.winner().is_some() {
+            return;
+        }
+        ctx.note_probe_retry();
+        self.retry_backoff_us = self.retry_backoff_us.saturating_mul(2);
+        self.issue_probes(ctx, config);
     }
 
     /// A member crashed: remove it from election and — if every probed
@@ -294,18 +373,47 @@ impl GroupState {
     /// Forces the partial AllReduce: snapshot contributions, compute the
     /// contributor average, and schedule completion after the collective's
     /// virtual cost.
+    ///
+    /// Members the initiator cannot reach (partition or flap) neither
+    /// contribute nor receive the result: their contribution is a null —
+    /// the paper-consistent treatment of a lost contribution — and their
+    /// caches keep accumulating so they reconcile, staleness-weighted, on
+    /// heal.
     fn launch_reduce(&mut self, ctx: &mut Ctx<'_, RnaMsg>, _config: &RnaConfig) {
         self.reducing = true;
         let k = self.round;
+        let initiator = self
+            .last_initiator
+            .expect("launch_reduce is only reached from an accepted reply");
+        let reachable: Vec<bool> = self
+            .members
+            .iter()
+            .map(|&m| m == initiator || ctx.link_up(initiator, m))
+            .collect();
+        if reachable.iter().any(|&r| !r) {
+            ctx.note_partition_round();
+        }
         let contributions: Vec<Option<Tensor>> = self
             .caches
             .iter_mut()
-            .map(|c| c.take_contribution(k))
+            .zip(&reachable)
+            .map(|(c, &r)| if r { c.take_contribution(k) } else { None })
             .collect();
         let refs: Vec<Option<&Tensor>> = contributions.iter().map(Option::as_ref).collect();
         let outcome = partial_allreduce(&refs)
             .expect("initiator has a ready gradient, so the round cannot be empty");
-        self.in_flight = Some((outcome.reduced, outcome.num_contributors));
+        let applied: Vec<usize> = self
+            .members
+            .iter()
+            .zip(&reachable)
+            .filter(|(_, &r)| r)
+            .map(|(&m, _)| m)
+            .collect();
+        self.in_flight = Some(ReduceOutcome {
+            reduced: outcome.reduced,
+            contributors: outcome.num_contributors,
+            applied,
+        });
         let n = self.members.len();
         let cost = ctx.cost();
         let bytes = ctx.grad_bytes();
@@ -330,15 +438,20 @@ impl GroupState {
 
     /// Claims the finished collective's result without applying it —
     /// the hierarchical protocol routes it through the parameter server
-    /// instead. Returns `None` if the completion was stale.
-    pub fn take_reduce_result(&mut self, round: u64) -> Option<(Tensor, usize)> {
+    /// instead. Returns `(reduced, contributors, applied_members)`, or
+    /// `None` if the completion was stale. `applied_members` are the
+    /// global ids the result should be applied to (members the initiator
+    /// could not reach at launch time are excluded).
+    pub fn take_reduce_result(&mut self, round: u64) -> Option<(Tensor, usize, Vec<usize>)> {
         if round != self.round || !self.reducing {
             return None;
         }
-        self.in_flight.take()
+        self.in_flight
+            .take()
+            .map(|o| (o.reduced, o.contributors, o.applied))
     }
 
-    /// Applies a reduced gradient to every member with the configured
+    /// Applies a reduced gradient to `targets` with the configured
     /// learning-rate scaling.
     pub fn apply_reduce(
         &mut self,
@@ -346,17 +459,19 @@ impl GroupState {
         config: &RnaConfig,
         reduced: &Tensor,
         contributors: usize,
+        targets: &[usize],
     ) {
         let lr_scale = if config.dynamic_lr_scaling {
             contributors as f32
         } else {
             1.0
         };
-        ctx.apply_reduced(&self.members, reduced, lr_scale);
+        ctx.apply_reduced(targets, reduced, lr_scale);
     }
 
-    /// The collective finished: apply the update to every member. Returns
-    /// the contributor count, or `None` if the completion was stale.
+    /// The collective finished: apply the update to every reachable
+    /// member. Returns the contributor count, or `None` if the completion
+    /// was stale.
     ///
     /// The caller is responsible for round bookkeeping
     /// ([`GroupState::advance_round`]) — the hierarchical protocol inserts
@@ -367,9 +482,53 @@ impl GroupState {
         config: &RnaConfig,
         round: u64,
     ) -> Option<usize> {
-        let (reduced, contributors) = self.take_reduce_result(round)?;
-        self.apply_reduce(ctx, config, &reduced, contributors);
+        let (reduced, contributors, applied) = self.take_reduce_result(round)?;
+        self.apply_reduce(ctx, config, &reduced, contributors, &applied);
         Some(contributors)
+    }
+
+    /// A live member of the group, preferring the most recent initiator —
+    /// the node the hierarchical protocol treats as the group's
+    /// representative toward the parameter server.
+    pub fn representative(&self) -> Option<usize> {
+        if let Some(w) = self.last_initiator {
+            if let Some(l) = self.member_index(w) {
+                if self.live[l] {
+                    return Some(w);
+                }
+            }
+        }
+        (0..self.members.len())
+            .find(|&l| self.live[l])
+            .map(|l| self.members[l])
+    }
+
+    /// A crashed member rejoined: re-admit it to the liveness view with a
+    /// fresh cache, seed it with a live peer's current parameters (the
+    /// "pull the current model" half of a restart), and restart its
+    /// compute pipeline. If the whole group had died, this also revives
+    /// the election loop.
+    pub fn handle_rejoin(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig, worker: usize) {
+        let Some(local) = self.member_index(worker) else {
+            return;
+        };
+        self.live[local] = true;
+        self.paused[local] = false;
+        self.pending_reply[local] = None;
+        self.caches[local] =
+            GradientCache::new(config.staleness_bound, config.weighted_accumulation);
+        if let Some(donor) = (0..self.members.len())
+            .find(|&l| l != local && self.live[l])
+            .map(|l| self.members[l])
+        {
+            let params = ctx.params(donor);
+            ctx.set_params(worker, &params);
+        }
+        let election_dead = self.probe.is_none() && !self.reducing;
+        if election_dead && !ctx.stopped() {
+            self.start_probe_round(ctx, config);
+        }
+        self.maybe_continue(ctx, config, local);
     }
 
     /// Defers round completion: the hierarchical protocol calls this when a
@@ -476,6 +635,10 @@ impl Protocol for RnaProtocol {
             RnaMsg::ProbeReply { round, worker, .. } => {
                 self.group.handle_reply(ctx, &self.config, worker, round);
             }
+            RnaMsg::ProbeRetry { round, attempt, .. } => {
+                self.group
+                    .handle_probe_retry(ctx, &self.config, round, attempt);
+            }
             RnaMsg::ReduceDone { round, .. } => {
                 if let Some(contributors) = self.group.handle_reduce_done(ctx, &self.config, round)
                 {
@@ -490,6 +653,10 @@ impl Protocol for RnaProtocol {
 
     fn on_crash(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
         self.group.handle_crash(ctx, &self.config, worker);
+    }
+
+    fn on_rejoin(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
+        self.group.handle_rejoin(ctx, &self.config, worker);
     }
 }
 

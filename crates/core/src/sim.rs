@@ -30,7 +30,7 @@ use rna_training::{BatchSampler, Dataset, EarlyStopping, History, LrSchedule, Mo
 use rna_workload::trace::WorkloadTrace;
 use rna_workload::{HeterogeneityModel, ModelProfile};
 
-use crate::fault::{FaultPlan, WorkerFault};
+use crate::fault::{FaultPlan, NetFaultPlan, WorkerFate, WorkerFault};
 use crate::stats::{RunResult, StopReason};
 
 /// The learnable task a run optimizes.
@@ -175,8 +175,13 @@ pub struct TrainSpec {
     /// Iteration-indexed fault injection shared with the threaded runtime
     /// (see [`crate::fault`]): crashes fire after a worker completes
     /// exactly `at_iter` iterations; hangs and slowdowns stretch the
-    /// affected iterations' compute time in virtual time.
+    /// affected iterations' compute time in virtual time; restarts crash
+    /// the worker then rejoin it after a virtual-time dwell.
     pub fault_plan: FaultPlan,
+    /// Network fault injection shared with the threaded runtime: per-link
+    /// drop probabilities, flaps, and partitions, applied by the fabric at
+    /// delivery time ([`Ctx::send`]).
+    pub net_fault_plan: NetFaultPlan,
 }
 
 impl TrainSpec {
@@ -213,6 +218,7 @@ impl TrainSpec {
             charge_transfer_overhead: false,
             crashes: Vec::new(),
             fault_plan: FaultPlan::none(),
+            net_fault_plan: NetFaultPlan::none(),
         }
     }
 
@@ -254,6 +260,20 @@ impl TrainSpec {
             assert!(max < self.num_workers, "fault plan names worker {max}");
         }
         self.fault_plan = plan;
+        self
+    }
+
+    /// Installs a [`NetFaultPlan`] (lossy links, flaps, partitions). The
+    /// fabric applies it at delivery time: dropped messages are billed but
+    /// never arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a node outside the cluster (see
+    /// [`NetFaultPlan::validate`]).
+    pub fn with_net_fault_plan(mut self, plan: NetFaultPlan) -> Self {
+        plan.validate(self.num_workers);
+        self.net_fault_plan = plan;
         self
     }
 
@@ -317,6 +337,17 @@ pub trait Protocol {
     fn on_crash(&mut self, ctx: &mut Ctx<'_, Self::Msg>, worker: usize) {
         let _ = (ctx, worker);
     }
+
+    /// A crashed worker rejoined (the rejoin half of
+    /// [`FaultPlan::restart`]). The engine has already revived it: it is
+    /// no longer crashed and may compute again, but its parameters are
+    /// whatever they were at crash time — the protocol is responsible for
+    /// re-seeding it with the current model and restarting its pipeline.
+    /// The default keeps the worker out of the run (a barrier protocol
+    /// with no rejoin story stays stalled, which is the paper's point).
+    fn on_rejoin(&mut self, ctx: &mut Ctx<'_, Self::Msg>, worker: usize) {
+        let _ = (ctx, worker);
+    }
 }
 
 #[derive(Debug)]
@@ -324,6 +355,7 @@ enum Event<M> {
     ComputeDone { worker: usize, iter: u64 },
     Message { from: usize, to: usize, msg: M },
     Crash { worker: usize },
+    Rejoin { worker: usize },
 }
 
 /// Engine-side state shared with protocols through [`Ctx`].
@@ -357,6 +389,11 @@ pub struct SimState<M> {
     crashed: Vec<bool>,
     last_top5: f64,
     workload_trace: WorkloadTrace,
+    fates: Vec<WorkerFate>,
+    restart_fired: Vec<bool>,
+    messages_dropped: u64,
+    probe_retries: u64,
+    partition_rounds: u64,
 }
 
 /// The protocol's handle onto the engine.
@@ -492,6 +529,20 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
             s.queue.schedule(s.clock, Event::Crash { worker });
             return;
         }
+        if let Some((at_iter, rejoin_after_us)) = s.spec.fault_plan.restart_of(worker) {
+            if at_iter == iter && !s.restart_fired[worker] {
+                // Crash now, rejoin after the dwell. `restart_fired` keeps
+                // the fault from re-triggering when the rejoined worker
+                // starts this same iteration again.
+                s.restart_fired[worker] = true;
+                s.queue.schedule(s.clock, Event::Crash { worker });
+                s.queue.schedule(
+                    s.clock + SimDuration::from_micros(rejoin_after_us),
+                    Event::Rejoin { worker },
+                );
+                return;
+            }
+        }
         let batch = s.samplers[worker].sample(&s.train_ds);
         let (_, grad) = s.models[worker].loss_and_grad(&batch);
         s.next_iter[worker] += 1;
@@ -515,12 +566,21 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
             match fault {
                 WorkerFault::HangAt { at_iter, for_us } if at_iter == iter => {
                     dur += SimDuration::from_micros(for_us);
+                    if !matches!(
+                        s.fates[worker],
+                        WorkerFate::Crashed { .. } | WorkerFate::Restarted { .. }
+                    ) {
+                        s.fates[worker] = WorkerFate::Hung { at_iter };
+                    }
                 }
                 WorkerFault::SlowFrom {
                     from_iter,
                     extra_us,
                 } if from_iter <= iter => {
                     dur += SimDuration::from_micros(extra_us);
+                    if s.fates[worker] == WorkerFate::Healthy {
+                        s.fates[worker] = WorkerFate::Slowed { from_iter };
+                    }
                 }
                 _ => {}
             }
@@ -532,14 +592,51 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
     }
 
     /// Sends a protocol message across the network; delivery is delayed by
-    /// the link's α–β cost for `bytes` and the bytes are accounted.
+    /// the link's α–β cost for `bytes` and the bytes are accounted. Under
+    /// a [`NetFaultPlan`] the fabric may eat the message: the bytes are
+    /// still billed (the sender did transmit) but nothing arrives, and
+    /// [`Ctx::messages_dropped`] ticks.
     pub fn send(&mut self, from: usize, to: usize, bytes: u64, msg: M) {
         let s = &mut *self.0;
         if from != to {
             s.comm_bytes += bytes;
         }
-        let at = s.net.delivery(from, to, bytes, s.clock);
-        s.queue.schedule(at, Event::Message { from, to, msg });
+        match s.net.try_delivery(from, to, bytes, s.clock) {
+            Some(at) => s.queue.schedule(at, Event::Message { from, to, msg }),
+            None => s.messages_dropped += 1,
+        }
+    }
+
+    /// Whether the `a`↔`b` link is structurally up right now (not inside a
+    /// flap window or partition). Always `true` on a fault-free fabric;
+    /// lossy-but-up links count as up. Protocols use this to model what a
+    /// node can *observe* about its connectivity — e.g. a hierarchical
+    /// group deciding whether the parameter server is reachable.
+    pub fn link_up(&self, a: usize, b: usize) -> bool {
+        self.0.net.link_up(a, b, self.0.clock)
+    }
+
+    /// Whether the run injects network faults at all. Retry machinery
+    /// arms itself only when this is true, so fault-free runs stay
+    /// event-for-event identical to the pre-fault engine.
+    pub fn net_faults_enabled(&self) -> bool {
+        self.0.net.has_faults()
+    }
+
+    /// Records one probe-round retry (re-issued after a timeout).
+    pub fn note_probe_retry(&mut self) {
+        self.0.probe_retries += 1;
+    }
+
+    /// Records one partition-degraded round (a live node was unreachable
+    /// where the protocol needed it).
+    pub fn note_partition_round(&mut self) {
+        self.0.partition_rounds += 1;
+    }
+
+    /// Messages the fabric has dropped so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.0.messages_dropped
     }
 
     /// Schedules a message to `to` after `delay` with no network charge —
@@ -705,8 +802,9 @@ impl<P: Protocol> Engine<P> {
         // A small min-delta keeps noisy near-plateau evaluations from
         // resetting the patience counter forever.
         let early = spec.patience.map(|p| EarlyStopping::new(p, 1e-3));
+        spec.net_fault_plan.validate(n);
         let state = SimState {
-            net: NetworkModel::uniform(spec.link),
+            net: NetworkModel::uniform(spec.link).with_faults(spec.net_fault_plan.compile(n)),
             cost: CollectiveCost::new(spec.link),
             eval_model: template,
             train_ds,
@@ -732,6 +830,11 @@ impl<P: Protocol> Engine<P> {
             crashed: vec![false; n],
             last_top5: 0.0,
             workload_trace: WorkloadTrace::new(n),
+            fates: vec![WorkerFate::Healthy; n],
+            restart_fired: vec![false; n],
+            messages_dropped: 0,
+            probe_retries: 0,
+            partition_rounds: 0,
             clock: SimTime::ZERO,
             queue: EventQueue::new(),
             spec,
@@ -794,8 +897,34 @@ impl<P: Protocol> Engine<P> {
                     s.computing[worker] = false;
                     s.in_flight[worker] = None;
                     s.pending[worker] = None;
+                    s.fates[worker] = if s.restart_fired[worker] {
+                        WorkerFate::Restarted {
+                            at_iter: s.local_iter[worker],
+                            rejoined: false,
+                        }
+                    } else {
+                        WorkerFate::Crashed {
+                            at_iter: s.local_iter[worker],
+                        }
+                    };
                     s.spans.end(worker, s.clock);
                     self.protocol.on_crash(&mut Ctx(&mut self.state), worker);
+                }
+                Event::Rejoin { worker } => {
+                    let s = &mut self.state;
+                    if !s.crashed[worker] {
+                        continue;
+                    }
+                    s.crashed[worker] = false;
+                    s.computing[worker] = false;
+                    if let WorkerFate::Restarted { at_iter, .. } = s.fates[worker] {
+                        s.fates[worker] = WorkerFate::Restarted {
+                            at_iter,
+                            rejoined: true,
+                        };
+                    }
+                    s.spans.begin(worker, SpanKind::Wait, s.clock);
+                    self.protocol.on_rejoin(&mut Ctx(&mut self.state), worker);
                 }
             }
         }
@@ -817,6 +946,10 @@ impl<P: Protocol> Engine<P> {
             final_top5: s.last_top5,
             workload_trace: s.workload_trace,
             timeline,
+            worker_fates: s.fates,
+            messages_dropped: s.messages_dropped,
+            probe_retries: s.probe_retries,
+            partition_rounds: s.partition_rounds,
         }
     }
 }
@@ -1032,6 +1165,87 @@ mod tests {
             }
         }
         fn on_message(&mut self, _c: &mut Ctx<'_, ()>, _f: usize, _t: usize, _m: ()) {}
+        fn on_rejoin(&mut self, ctx: &mut Ctx<'_, ()>, worker: usize) {
+            ctx.begin_compute(worker);
+        }
+    }
+
+    #[test]
+    fn restart_revives_the_worker_and_reports_the_fate() {
+        let plan = FaultPlan::none().restart(1, 4, 30_000);
+        let spec = TrainSpec::smoke_test(3, 7)
+            .with_max_rounds(60)
+            .with_fault_plan(plan);
+        let result = Engine::new(spec, FreeRun).run();
+        assert_eq!(
+            result.worker_fates[1],
+            WorkerFate::Restarted {
+                at_iter: 4,
+                rejoined: true
+            }
+        );
+        assert!(!result.worker_fates[1].is_dead());
+        assert!(
+            result.worker_iterations[1] > 4,
+            "the rejoined worker iterates again: {:?}",
+            result.worker_iterations
+        );
+        assert!(
+            result.worker_iterations[1] < result.worker_iterations[0],
+            "the 30 ms outage costs iterations: {:?}",
+            result.worker_iterations
+        );
+    }
+
+    #[test]
+    fn restart_past_end_of_run_is_a_death() {
+        // The rejoin lands after the virtual-time budget: the worker dies
+        // at 4 iterations and the fate reports the rejoin never happened.
+        let plan = FaultPlan::none().restart(1, 4, 60_000_000);
+        let spec = TrainSpec::smoke_test(3, 7)
+            .with_max_time(SimDuration::from_millis(200))
+            .with_max_rounds(u64::MAX / 2)
+            .with_fault_plan(plan);
+        let result = Engine::new(spec, FreeRun).run();
+        assert_eq!(result.worker_iterations[1], 4);
+        assert_eq!(
+            result.worker_fates[1],
+            WorkerFate::Restarted {
+                at_iter: 4,
+                rejoined: false
+            }
+        );
+        assert!(result.worker_fates[1].is_dead());
+    }
+
+    #[test]
+    fn lossy_fabric_drops_messages_and_counts_them() {
+        struct Spray;
+        impl Protocol for Spray {
+            type Msg = u32;
+            fn name(&self) -> &'static str {
+                "spray"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                for i in 0..200 {
+                    ctx.send(0, 1, 100, i);
+                }
+            }
+            fn on_compute_done(&mut self, _c: &mut Ctx<'_, u32>, _w: usize, _i: u64) {}
+            fn on_message(&mut self, _c: &mut Ctx<'_, u32>, _f: usize, _t: usize, _m: u32) {}
+        }
+        let spec = TrainSpec::smoke_test(2, 0)
+            .with_net_fault_plan(NetFaultPlan::none().with_seed(5).drop_link(0, 1, 0.5));
+        let result = Engine::new(spec, Spray).run();
+        assert!(
+            result.messages_dropped > 50 && result.messages_dropped < 150,
+            "≈half of 200 sends drop: {}",
+            result.messages_dropped
+        );
+        assert_eq!(
+            result.comm_bytes, 20_000,
+            "dropped messages still bill the sender's bytes"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use rna_simnet::SimDuration;
 use rna_training::History;
 use rna_workload::trace::WorkloadTrace;
 
+use crate::fault::WorkerFate;
 use crate::timeline::Timeline;
 
 /// Why a training run stopped.
@@ -51,6 +52,15 @@ pub struct RunResult {
     pub workload_trace: WorkloadTrace,
     /// Per-worker execution timeline (span transitions, capped).
     pub timeline: Timeline,
+    /// Post-mortem verdict per worker (all `Healthy` on fault-free runs).
+    pub worker_fates: Vec<WorkerFate>,
+    /// Messages the fabric dropped (lossy links, flaps, partitions).
+    pub messages_dropped: u64,
+    /// Probe rounds re-issued after a timeout (dropped probe or reply).
+    pub probe_retries: u64,
+    /// Rounds in which some live node was unreachable — a PS exchange was
+    /// skipped or a reduce excluded a partitioned member.
+    pub partition_rounds: u64,
 }
 
 impl RunResult {
@@ -129,6 +139,10 @@ mod tests {
             final_top5: 0.0,
             workload_trace: WorkloadTrace::new(2),
             timeline: Timeline::default(),
+            worker_fates: vec![WorkerFate::Healthy; 2],
+            messages_dropped: 0,
+            probe_retries: 0,
+            partition_rounds: 0,
         }
     }
 

@@ -248,6 +248,7 @@ impl Workload {
             charge_transfer_overhead: false,
             crashes: Vec::new(),
             fault_plan: rna_core::fault::FaultPlan::none(),
+            net_fault_plan: rna_core::fault::NetFaultPlan::none(),
         }
     }
 }

@@ -65,6 +65,7 @@ fn motivation_spec(profile: ModelProfile, scale: ExperimentScale, seed: u64) -> 
         charge_transfer_overhead: false,
         crashes: Vec::new(),
         fault_plan: rna_core::fault::FaultPlan::none(),
+        net_fault_plan: rna_core::fault::NetFaultPlan::none(),
     }
 }
 

@@ -22,4 +22,4 @@ pub mod kv;
 mod server;
 
 pub use kv::ShardedStore;
-pub use server::GroupServer;
+pub use server::{staleness_discount, GroupServer};

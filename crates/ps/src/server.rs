@@ -1,5 +1,24 @@
 use rna_tensor::Tensor;
 
+/// Weight applied to a gradient that sat out `missed` PS exchanges while
+/// its group was partitioned from the server: `1 / (1 + missed)`.
+///
+/// A group that never missed an exchange reconciles at full weight; a
+/// long-isolated group's accumulated sum is damped proportionally to its
+/// staleness so healing cannot yank the master parameters — the same
+/// recency-biased reading the protocol applies to per-worker gradient
+/// caches (§3.3), lifted to the group level.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rna_ps::staleness_discount(0), 1.0);
+/// assert_eq!(rna_ps::staleness_discount(3), 0.25);
+/// ```
+pub fn staleness_discount(missed: u64) -> f32 {
+    1.0 / (1.0 + missed as f32)
+}
+
 /// A model-averaging parameter server with one slot per registered group.
 ///
 /// Semantics follow §4 and §6 of the paper:
@@ -156,6 +175,14 @@ impl GroupServer {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn staleness_discount_decays_harmonically() {
+        assert_eq!(staleness_discount(0), 1.0);
+        assert_eq!(staleness_discount(1), 0.5);
+        assert_eq!(staleness_discount(4), 0.2);
+        assert!(staleness_discount(1_000_000) > 0.0);
+    }
 
     #[test]
     fn single_group_passthrough() {

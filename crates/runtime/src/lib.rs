@@ -43,5 +43,5 @@
 pub mod fault;
 mod threaded;
 
-pub use fault::{FaultPlan, WorkerFate, WorkerFault};
+pub use fault::{FaultPlan, NetFaultPlan, NetShim, ToleranceConfig, WorkerFate, WorkerFault};
 pub use threaded::{run_threaded, SyncMode, ThreadedConfig, ThreadedResult};

@@ -5,15 +5,14 @@ use std::time::{Duration, Instant};
 
 use rna_core::cache::GradientCache;
 use rna_core::fault::{
-    live_majority, probe_round_stalled, FaultPlan, WorkerFate, LIVENESS_TIMEOUT_US,
-    PROBE_BACKOFF_US, ROUND_DEADLINE_US,
+    live_majority, probe_round_stalled, FaultPlan, NetFaultPlan, ToleranceConfig, WorkerFate,
 };
 use rna_simnet::SimRng;
 use rna_tensor::{reduce::weighted_average, Tensor};
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model, Sgd};
 
-use crate::fault::{FaultExecutor, IterDirective};
+use crate::fault::{FaultExecutor, IterDirective, NetShim};
 
 /// Which synchronization strategy the threaded runtime runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +58,17 @@ pub struct ThreadedConfig {
     pub max_lead: u64,
     /// Per-worker mini-batch size.
     pub batch_size: usize,
-    /// Injected faults (crashes, hangs, slowdowns). The partial-collective
-    /// modes tolerate all of them; BSP tolerates only hangs and slowdowns
-    /// (a crashed worker would stall its barrier forever).
+    /// Injected worker faults (crashes, hangs, slowdowns, restarts). The
+    /// partial-collective modes tolerate all of them; BSP tolerates only
+    /// hangs and slowdowns (a crashed worker would stall its barrier
+    /// forever).
     pub fault_plan: FaultPlan,
+    /// Injected network faults (lossy links, flaps, partitions), executed
+    /// by the controller through a [`NetShim`]. BSP rejects these too: a
+    /// single lost gradient wedges its barrier.
+    pub net_fault_plan: NetFaultPlan,
+    /// Liveness / deadline / backoff knobs for the fault-tolerance paths.
+    pub tolerance: ToleranceConfig,
 }
 
 impl ThreadedConfig {
@@ -81,6 +87,8 @@ impl ThreadedConfig {
             max_lead: 8,
             batch_size: 16,
             fault_plan: FaultPlan::none(),
+            net_fault_plan: NetFaultPlan::none(),
+            tolerance: ToleranceConfig::default(),
         }
     }
 
@@ -101,6 +109,19 @@ impl ThreadedConfig {
     /// Installs a fault plan (see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Installs a network fault plan (see [`crate::fault::NetShim`]).
+    pub fn with_net_fault_plan(mut self, plan: NetFaultPlan) -> Self {
+        self.net_fault_plan = plan;
+        self
+    }
+
+    /// Overrides the tolerance knobs (liveness timeout, round deadline,
+    /// probe backoff). [`ToleranceConfig::tight`] makes fault tests fast.
+    pub fn with_tolerance(mut self, tolerance: ToleranceConfig) -> Self {
+        self.tolerance = tolerance;
         self
     }
 }
@@ -128,6 +149,14 @@ pub struct ThreadedResult {
     /// Each worker's post-mortem, reported by the worker threads
     /// themselves as they execute the fault plan.
     pub worker_fates: Vec<WorkerFate>,
+    /// Logical messages the network shim dropped (lossy links, flaps,
+    /// partitions). Always 0 on a clean fabric.
+    pub messages_dropped: u64,
+    /// Probe rounds re-issued because the fabric ate the previous attempt.
+    pub probe_retries: u64,
+    /// Rounds during which at least one live worker was severed from the
+    /// controller by a down-window or partition.
+    pub partition_rounds: u64,
 }
 
 impl ThreadedResult {
@@ -154,6 +183,7 @@ struct Shared {
     pause_lock: Mutex<()>,
     pause_cv: Condvar,
     start: Instant,
+    liveness_timeout_us: u64,
 }
 
 impl Shared {
@@ -185,7 +215,7 @@ impl Shared {
             .map(|s| {
                 s.alive.load(Ordering::Acquire)
                     && now.saturating_sub(s.heartbeat_us.load(Ordering::Acquire))
-                        < LIVENESS_TIMEOUT_US
+                        < self.liveness_timeout_us
             })
             .collect()
     }
@@ -224,10 +254,15 @@ pub fn run_threaded(config: &ThreadedConfig) -> ThreadedResult {
     if let Some(max) = config.fault_plan.max_worker() {
         assert!(max < config.num_workers, "fault plan names worker {max}");
     }
+    config.net_fault_plan.validate(config.num_workers);
     if config.mode == SyncMode::Bsp {
         assert!(
-            (0..config.num_workers).all(|w| config.fault_plan.crash_iter(w).is_none()),
+            (0..config.num_workers).all(|w| config.fault_plan.kills(w).is_none()),
             "BSP cannot survive a crash: its barrier waits for every worker"
+        );
+        assert!(
+            config.net_fault_plan.is_empty(),
+            "BSP cannot survive network faults: one lost gradient wedges its barrier"
         );
     }
     let mut rng = SimRng::seed(config.seed);
@@ -285,7 +320,9 @@ fn run_bsp(
             let mut iters: u64 = 0;
             while let Ok(Some(params)) = prx.recv() {
                 match faults.on_iteration_start(iters) {
-                    IterDirective::Crash => unreachable!("crashes rejected for BSP"),
+                    IterDirective::Crash | IterDirective::Restart(_) => {
+                        unreachable!("crashes rejected for BSP")
+                    }
                     IterDirective::HangFor(d) => interruptible_sleep(d, &stop),
                     IterDirective::Proceed => {}
                 }
@@ -351,6 +388,7 @@ fn run_bsp(
         1.0,
         worker_fates,
         0,
+        NetCounters::default(),
     )
 }
 
@@ -377,6 +415,7 @@ fn run_rna(
         pause_lock: Mutex::new(()),
         pause_cv: Condvar::new(),
         start,
+        liveness_timeout_us: config.tolerance.liveness_timeout_us,
     });
     let (ready_tx, ready_rx): (Sender<usize>, Receiver<usize>) = channel();
     let mut handles = Vec::new();
@@ -399,6 +438,20 @@ fn run_rna(
                         // probing / counting this worker immediately.
                         shared.slots[w].alive.store(false, Ordering::Release);
                         break;
+                    }
+                    IterDirective::Restart(down_for) => {
+                        // Crash-restart: indistinguishable from a crash
+                        // while down, then the process comes back, pulls
+                        // the current model from its parameter slot (the
+                        // controller keeps pushing to it), and re-enters
+                        // the liveness view via its next heartbeat.
+                        shared.slots[w].alive.store(false, Ordering::Release);
+                        interruptible_sleep(down_for, &shared.stop);
+                        if shared.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        faults.mark_rejoined();
+                        shared.slots[w].alive.store(true, Ordering::Release);
                     }
                     IterDirective::HangFor(d) => {
                         // Frozen: no heartbeats until the hang lifts.
@@ -451,8 +504,13 @@ fn run_rna(
     let mut participation_sum = 0.0;
     let mut rounds_degraded: u64 = 0;
     let mut purged = vec![false; n];
-    let round_deadline = Duration::from_micros(ROUND_DEADLINE_US);
-    let probe_backoff = Duration::from_micros(PROBE_BACKOFF_US);
+    let mut shim = NetShim::new(&config.net_fault_plan, n);
+    let ctrl = shim.controller_id();
+    let mut messages_dropped: u64 = 0;
+    let mut probe_retries: u64 = 0;
+    let mut partition_rounds: u64 = 0;
+    let round_deadline = Duration::from_micros(config.tolerance.round_deadline_us);
+    let probe_backoff = Duration::from_micros(config.tolerance.probe_backoff_us);
     for k in 0..config.rounds {
         // Drain stale readiness notifications so the channel cannot grow
         // without bound: the notifications only say "some cache changed",
@@ -461,6 +519,12 @@ fn run_rna(
 
         let round_start = Instant::now();
         let mut degraded = false;
+        // The worker whose readiness fired the round. Partition semantics
+        // follow the simulator's `launch_reduce`: gradients and parameter
+        // broadcasts ride initiator↔member links, so a member severed from
+        // the initiator sits the round out (the controller itself is a
+        // partition bridge — the paper's stateless, replicable scheduler).
+        let mut initiator: Option<usize> = None;
         match config.mode {
             SyncMode::EagerMajority => {
                 // eager-SGD: wait for a majority of the *live* electorate.
@@ -470,12 +534,13 @@ fn run_rna(
                         break;
                     }
                     let live = shared.live_view();
-                    let ready = (0..n)
+                    let ready: Vec<usize> = (0..n)
                         .filter(|&w| !shared.is_dead(w))
                         .filter(|&w| !lock(&shared.slots[w].cache).is_empty())
-                        .count();
+                        .collect();
                     let need = live_majority(live.iter().filter(|&&l| l).count());
-                    if ready >= need {
+                    if ready.len() >= need {
+                        initiator = ready.first().copied();
                         break;
                     }
                     if round_start.elapsed() >= round_deadline {
@@ -489,26 +554,43 @@ fn run_rna(
                 // RNA: power-of-d probing over live workers — wait until a
                 // probed worker is ready, resampling away from workers that
                 // died or went silent (backoff-paced so a merely slow
-                // probed set still gets a chance to answer).
-                let mut probed = sample_probes(&mut probe_rng, &shared, config.probes);
+                // probed set still gets a chance to answer). Each probe is
+                // a controller→worker→controller RPC pair: the shim may
+                // eat either leg, and an election that loses every probe
+                // to the fabric is retried with exponential backoff — an
+                // idempotent re-issue, never a wedge.
+                let mut backoff = probe_backoff;
+                let (mut probed, lost) =
+                    probe_rpc(&mut probe_rng, &shared, config.probes, &mut shim, ctrl);
+                messages_dropped += lost;
+                let mut last_lost = lost > 0;
                 let mut last_sample = Instant::now();
                 loop {
                     if shared.all_dead() {
                         degraded = true;
                         break;
                     }
-                    if probed
+                    if let Some(&w) = probed
                         .iter()
-                        .any(|&w| !shared.is_dead(w) && !lock(&shared.slots[w].cache).is_empty())
+                        .find(|&&w| !shared.is_dead(w) && !lock(&shared.slots[w].cache).is_empty())
                     {
+                        initiator = Some(w);
                         break;
                     }
                     let live = shared.live_view();
                     if probed.is_empty()
                         || probe_round_stalled(&probed, &live)
-                        || last_sample.elapsed() >= probe_backoff
+                        || last_sample.elapsed() >= backoff
                     {
-                        probed = sample_probes(&mut probe_rng, &shared, config.probes);
+                        if last_lost {
+                            probe_retries += 1;
+                            backoff = backoff.saturating_mul(2);
+                        }
+                        let (fresh, lost) =
+                            probe_rpc(&mut probe_rng, &shared, config.probes, &mut shim, ctrl);
+                        messages_dropped += lost;
+                        last_lost = lost > 0;
+                        probed = fresh;
                         last_sample = Instant::now();
                     }
                     if round_start.elapsed() >= round_deadline {
@@ -522,7 +604,14 @@ fn run_rna(
 
         // Force the partial collective: drain every live cache. A dead
         // worker's cache is purged once — its final gradient is discarded,
-        // matching the simulator's crash semantics.
+        // matching the simulator's crash semantics (a restarted worker
+        // refills it after rejoining). A worker severed from the
+        // controller keeps its cache untouched — its island keeps
+        // accumulating and reconciles on heal — while a gradient lost to
+        // a lossy link becomes a null in the partial collective.
+        let mut severed = false;
+        let now_us = shared.now_us();
+        let gather = initiator.unwrap_or(ctrl);
         let contributions: Vec<Option<Tensor>> = (0..n)
             .map(|w| {
                 if shared.is_dead(w) {
@@ -533,10 +622,25 @@ fn run_rna(
                     }
                     None
                 } else {
-                    lock(&shared.slots[w].cache).take_contribution(k)
+                    purged[w] = false;
+                    if !shim.link_up(w, gather, now_us) {
+                        severed = true;
+                        return None;
+                    }
+                    match lock(&shared.slots[w].cache).take_contribution(k) {
+                        Some(g) if shim.deliver(w, gather, now_us) => Some(g),
+                        Some(_) => {
+                            messages_dropped += 1;
+                            None
+                        }
+                        None => None,
+                    }
                 }
             })
             .collect();
+        if severed {
+            partition_rounds += 1;
+        }
         let weights: Vec<f32> = contributions
             .iter()
             .map(|c| if c.is_some() { 1.0 } else { 0.0 })
@@ -553,7 +657,15 @@ fn run_rna(
             // Linear Scaling Rule: learning rate × contributor count.
             opt.step(&mut master, &reduced, m);
             participation_sum += f64::from(m) / n as f64;
-            for slot in &shared.slots {
+            let push_us = shared.now_us();
+            for (w, slot) in shared.slots.iter().enumerate() {
+                // The parameter push rides the same faulty fabric: a
+                // severed or unlucky worker keeps its stale view and
+                // catches up on a later round's push.
+                if !shim.deliver(gather, w, push_us) {
+                    messages_dropped += 1;
+                    continue;
+                }
                 *slot
                     .params
                     .write()
@@ -590,7 +702,43 @@ fn run_rna(
         participation,
         worker_fates,
         rounds_degraded,
+        NetCounters {
+            messages_dropped,
+            probe_retries,
+            partition_rounds,
+        },
     )
+}
+
+/// One probe election attempt over the faulty fabric: samples candidates,
+/// then rolls the controller→worker probe and the worker→controller reply
+/// on the shim. Returns the candidates whose RPC round-trip survived and
+/// how many messages the fabric ate (0 on a clean fabric, where this is
+/// exactly [`sample_probes`]).
+fn probe_rpc(
+    rng: &mut SimRng,
+    shared: &Shared,
+    probes: usize,
+    shim: &mut NetShim,
+    ctrl: usize,
+) -> (Vec<usize>, u64) {
+    let sampled = sample_probes(rng, shared, probes);
+    if !shim.enabled() {
+        return (sampled, 0);
+    }
+    let now_us = shared.now_us();
+    let mut lost = 0;
+    let survived = sampled
+        .into_iter()
+        .filter(|&w| {
+            let ok = shim.deliver(ctrl, w, now_us) && shim.deliver(w, ctrl, now_us);
+            if !ok {
+                lost += 1;
+            }
+            ok
+        })
+        .collect();
+    (survived, lost)
 }
 
 /// Draws up to `probes` distinct candidates from the live view; when no
@@ -612,6 +760,14 @@ fn sample_probes(rng: &mut SimRng, shared: &Shared, probes: usize) -> Vec<usize>
         .collect()
 }
 
+/// Controller-side tallies of what the network shim did to the run.
+#[derive(Debug, Clone, Copy, Default)]
+struct NetCounters {
+    messages_dropped: u64,
+    probe_retries: u64,
+    partition_rounds: u64,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn finish(
     config: &ThreadedConfig,
@@ -623,6 +779,7 @@ fn finish(
     mean_participation: f64,
     worker_fates: Vec<WorkerFate>,
     rounds_degraded: u64,
+    net: NetCounters,
 ) -> ThreadedResult {
     let wall = start.elapsed();
     let mut model = template;
@@ -637,6 +794,9 @@ fn finish(
         worker_iterations,
         mean_participation,
         worker_fates,
+        messages_dropped: net.messages_dropped,
+        probe_retries: net.probe_retries,
+        partition_rounds: net.partition_rounds,
     }
 }
 

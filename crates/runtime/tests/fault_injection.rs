@@ -6,7 +6,9 @@
 
 use std::time::Duration;
 
-use rna_runtime::{run_threaded, FaultPlan, SyncMode, ThreadedConfig, WorkerFate};
+use rna_runtime::{
+    run_threaded, FaultPlan, NetFaultPlan, SyncMode, ThreadedConfig, ToleranceConfig, WorkerFate,
+};
 
 /// Runs the config on a helper thread and panics if it does not finish
 /// within a generous bound — the acceptance criterion is that
@@ -152,4 +154,98 @@ fn healthy_runs_report_no_degradation() {
     assert_eq!(r.rounds_degraded, 0);
     assert!(r.worker_fates.iter().all(|f| *f == WorkerFate::Healthy));
     assert_eq!(r.live_workers(), 4);
+    assert_eq!(r.messages_dropped, 0);
+    assert_eq!(r.probe_retries, 0);
+    assert_eq!(r.partition_rounds, 0);
+}
+
+#[test]
+fn rna_survives_a_crash_restart_rejoin() {
+    // Worker 2 dies after 5 iterations and comes back 30 ms later: it must
+    // be re-admitted to the liveness view, resume contributing, and end the
+    // run counted among the living.
+    let mut config = ThreadedConfig::quick(4, SyncMode::Rna)
+        .with_fault_plan(FaultPlan::none().restart(2, 5, 30_000));
+    config.rounds = 60;
+    let r = run_bounded(config);
+    assert_eq!(r.rounds, 60);
+    assert_eq!(
+        r.worker_fates[2],
+        WorkerFate::Restarted {
+            at_iter: 5,
+            rejoined: true
+        }
+    );
+    assert_eq!(r.live_workers(), 4, "a completed restart is not a death");
+    assert!(
+        r.worker_iterations[2] > 5,
+        "the restarted worker contributes after rejoining: {:?}",
+        r.worker_iterations
+    );
+    assert!(r.final_loss < 1.4, "loss {}", r.final_loss);
+}
+
+#[test]
+fn rna_trains_through_lossy_controller_links() {
+    // 30% loss on two controller↔worker links: probes are retried, lost
+    // gradients become nulls in the partial collective, and the run still
+    // completes and trains.
+    let config = ThreadedConfig::quick(4, SyncMode::Rna).with_net_fault_plan(
+        NetFaultPlan::none()
+            .with_seed(21)
+            .drop_link(4, 0, 0.3)
+            .drop_link(4, 1, 0.3),
+    );
+    let r = run_bounded(config);
+    assert_eq!(r.rounds, 30);
+    assert!(r.messages_dropped > 0, "the shim must have eaten something");
+    assert_eq!(r.partition_rounds, 0, "lossy is not partitioned");
+    assert!(r.worker_fates.iter().all(|f| *f == WorkerFate::Healthy));
+    assert!(r.final_loss < 1.4, "loss {}", r.final_loss);
+}
+
+#[test]
+fn rna_rides_out_a_timed_partition() {
+    // Workers 2 and 3 are severed from the controller between 20 ms and
+    // 80 ms into the run. Rounds during the window run on the reachable
+    // half; after the heal the severed workers' caches reconcile and every
+    // budgeted round completes.
+    let mut config = ThreadedConfig::quick(4, SyncMode::Rna)
+        .with_net_fault_plan(NetFaultPlan::none().with_seed(5).partition(
+            vec![2, 3],
+            20_000,
+            80_000,
+        ))
+        .with_tolerance(ToleranceConfig::tight());
+    config.rounds = 60;
+    let r = run_bounded(config);
+    assert_eq!(r.rounds, 60);
+    assert!(
+        r.partition_rounds > 0,
+        "some rounds must have seen the partition"
+    );
+    assert!(
+        r.partition_rounds < r.rounds,
+        "the partition heals: {} of {} rounds cut",
+        r.partition_rounds,
+        r.rounds
+    );
+    assert_eq!(r.live_workers(), 4, "a partition is not a death");
+    assert!(r.final_loss.is_finite());
+}
+
+#[test]
+#[should_panic(expected = "BSP cannot survive a crash")]
+fn bsp_rejects_restart_plans() {
+    let config = ThreadedConfig::quick(2, SyncMode::Bsp)
+        .with_fault_plan(FaultPlan::none().restart(0, 1, 10_000));
+    run_threaded(&config);
+}
+
+#[test]
+#[should_panic(expected = "BSP cannot survive network faults")]
+fn bsp_rejects_net_fault_plans() {
+    let config = ThreadedConfig::quick(2, SyncMode::Bsp)
+        .with_net_fault_plan(NetFaultPlan::none().drop_link(2, 0, 0.1));
+    run_threaded(&config);
 }

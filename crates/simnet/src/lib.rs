@@ -40,7 +40,7 @@ mod rng;
 mod time;
 pub mod trace;
 
-pub use net::{LinkModel, NetworkModel, Topology};
+pub use net::{LinkModel, NetFaults, NetworkModel, Topology};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -70,6 +70,7 @@ fn main() {
         charge_transfer_overhead: false,
         crashes: Vec::new(),
         fault_plan: rna_core::fault::FaultPlan::none(),
+        net_fault_plan: rna_core::fault::NetFaultPlan::none(),
     };
 
     println!("\ntraining LSTM stand-in with Horovod...");

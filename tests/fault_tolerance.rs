@@ -175,3 +175,90 @@ fn simulated_hang_recovers_where_crash_does_not() {
         h.worker_iterations[2]
     );
 }
+
+#[test]
+fn restarted_worker_rejoins_and_keeps_contributing() {
+    // Crash-restart: worker 2 dies after 5 iterations and rejoins 50 ms of
+    // virtual time later — it must pull the live model, re-enter the
+    // election, and finish the run with more iterations than it died with.
+    use rna_core::fault::WorkerFate;
+    let n = 4;
+    let spec = TrainSpec::smoke_test(n, 13)
+        .with_max_rounds(200)
+        .with_fault_plan(FaultPlan::none().restart(2, 5, 50_000));
+    let r = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    assert_eq!(r.global_rounds, 200);
+    assert_eq!(
+        r.worker_fates[2],
+        WorkerFate::Restarted {
+            at_iter: 5,
+            rejoined: true
+        }
+    );
+    assert!(
+        r.worker_iterations[2] > 5,
+        "rejoined worker contributes: {:?}",
+        r.worker_iterations
+    );
+}
+
+#[test]
+fn lossy_controller_links_trigger_probe_retries() {
+    // Half of all probe traffic to workers 0 and 1 vanishes. The retry
+    // timers must re-issue elections (idempotent round ids, exponential
+    // backoff) instead of wedging, and the run still completes its budget.
+    use rna_core::fault::NetFaultPlan;
+    let n = 4;
+    let spec = TrainSpec::smoke_test(n, 19)
+        .with_max_rounds(150)
+        .with_net_fault_plan(
+            NetFaultPlan::none()
+                .with_seed(7)
+                .drop_link(n, 0, 0.5)
+                .drop_link(n, 1, 0.5),
+        );
+    let r = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    assert_eq!(r.global_rounds, 150, "elections must not wedge");
+    assert!(r.messages_dropped > 0, "the fabric must have eaten probes");
+    assert!(r.probe_retries > 0, "dropped probes must be retried");
+    let pts = r.history.points();
+    assert!(pts.last().unwrap().loss < pts[0].loss, "still trains");
+}
+
+#[test]
+fn partitioned_hier_group_trains_locally_and_reconciles() {
+    // A timed partition isolates the slow group (workers 4–7) from the
+    // parameter server mid-run. The isolated group keeps training on its
+    // local accumulation (partition_rounds counts the skipped exchanges),
+    // then reconciles with a staleness-discounted push once the fabric
+    // heals — and the run converges.
+    use rna_core::fault::NetFaultPlan;
+    use rna_workload::HeterogeneityModel;
+    let n = 8;
+    let spec = TrainSpec::smoke_test(n, 23)
+        .with_hetero(HeterogeneityModel::mixed_groups(n, 0, 10, 50, 60))
+        .with_max_rounds(150)
+        .with_net_fault_plan(NetFaultPlan::none().with_seed(3).partition(
+            vec![4, 5, 6, 7],
+            100_000,
+            800_000,
+        ));
+    let p = HierRnaProtocol::new(
+        vec![(0..4).collect(), (4..8).collect()],
+        RnaConfig::default(),
+    );
+    let r = Engine::new(spec, p).run();
+    assert!(r.global_rounds >= 100, "rounds {}", r.global_rounds);
+    assert!(
+        r.partition_rounds > 0,
+        "isolated exchanges must be counted: {:?}",
+        r.partition_rounds
+    );
+    let pts = r.history.points();
+    assert!(
+        pts.last().unwrap().loss < pts[0].loss,
+        "{} -> {}",
+        pts[0].loss,
+        pts.last().unwrap().loss
+    );
+}

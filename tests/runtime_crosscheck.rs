@@ -135,3 +135,53 @@ fn both_worlds_agree_eager_majority_shrinks_to_survivors() {
     assert_eq!(s.worker_iterations[3], 2);
     assert!(s.worker_iterations[0] > 2);
 }
+
+#[test]
+fn both_worlds_agree_on_chaos_crash_restart_and_lossy_links() {
+    // One shared chaos scenario — worker 3 dies for good at iteration 4,
+    // worker 2 crash-restarts at iteration 5, and the controller's links
+    // to workers 0 and 1 drop 20% of probe traffic — fed to both worlds
+    // with identical plans. Both must freeze the dead victim at exactly 4
+    // iterations, bring the restarted worker back as a contributor, and
+    // complete every budgeted round.
+    use rna_core::fault::{NetFaultPlan, WorkerFate};
+    use rna_runtime::ToleranceConfig;
+    let n = 4;
+    let plan = FaultPlan::none().crash(3, 4).restart(2, 5, 30_000);
+    let net = NetFaultPlan::none()
+        .with_seed(9)
+        .drop_link(n, 0, 0.2)
+        .drop_link(n, 1, 0.2);
+
+    let mut config = ThreadedConfig::quick(n, SyncMode::Rna)
+        .with_fault_plan(plan.clone())
+        .with_net_fault_plan(net.clone())
+        .with_tolerance(ToleranceConfig::tight());
+    config.rounds = 60;
+    let t = run_threaded(&config);
+    assert_eq!(t.rounds, 60);
+    assert_eq!(t.worker_iterations[3], 4, "threaded victim frozen at 4");
+    assert!(matches!(
+        t.worker_fates[2],
+        WorkerFate::Restarted { rejoined: true, .. }
+    ));
+    assert!(t.worker_iterations[2] > 5, "threaded rejoiner contributes");
+    assert!(t.messages_dropped > 0, "threaded shim saw the lossy links");
+
+    let spec = TrainSpec::smoke_test(n, 7)
+        .with_max_rounds(120)
+        .with_fault_plan(plan)
+        .with_net_fault_plan(net);
+    let s = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    assert_eq!(s.global_rounds, 120);
+    assert_eq!(s.worker_iterations[3], 4, "simulated victim frozen at 4");
+    assert!(matches!(
+        s.worker_fates[2],
+        WorkerFate::Restarted { rejoined: true, .. }
+    ));
+    assert!(s.worker_iterations[2] > 5, "simulated rejoiner contributes");
+    assert!(
+        s.messages_dropped > 0,
+        "simulated fabric saw the lossy links"
+    );
+}
