@@ -29,4 +29,16 @@ done
 echo "==> faults bench smoke (watchdogged)"
 timeout 900 cargo bench -q --bench faults
 
+# Data-path perf floor: the fused reduce kernels must beat the seed's
+# naive clone-scale-add path by >=2x, measured fresh in this run. The
+# report lands at the repo root as the tracked baseline.
+echo "==> data-path bench (--check, writes BENCH_PR3.json)"
+timeout 600 cargo run -q --release -p rna-bench --bin datapath -- \
+  --check --out BENCH_PR3.json
+
+# Zero-alloc guarantee: the debug-only allocation counter must show that
+# warm pooled rounds allocate nothing (vacuous in release, so run debug).
+echo "==> pooled data-path alloc check (debug)"
+timeout 600 cargo test -q -p rna-core --test pooling
+
 echo "==> CI green"

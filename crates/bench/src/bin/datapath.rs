@@ -1,0 +1,269 @@
+//! Data-path benchmark baseline: fused/pooled kernels vs the naive
+//! allocate-per-call, pass-per-input implementations they replaced, plus
+//! end-to-end rounds/sec for an 8-worker miniature run in both execution
+//! worlds (discrete-event simulator and real threads).
+//!
+//! Emits a hand-formatted JSON report (no serde_json in the offline build)
+//! to `BENCH_PR3.json` by default; `ci.sh` runs it with `--check`, which
+//! fails the build unless the fused reduce and weighted average beat the
+//! naive versions by ≥2× *measured in the same run* — a tracked floor, not
+//! a one-off number in a README.
+//!
+//! Usage: `datapath [--check] [--out <path>]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rna_bench::mini_spec;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::Engine;
+use rna_core::RnaConfig;
+use rna_runtime::{run_threaded, SyncMode, ThreadedConfig};
+use rna_tensor::reduce::weighted_average_into;
+use rna_tensor::{ReduceOp, Tensor};
+
+/// Headline problem size: 8 contributors × 64 Ki elements (≈ the per-group
+/// gradient the controller reduces each round).
+const ELEMS: usize = 65_536;
+const INPUTS: usize = 8;
+/// Kernel invocations per timed sample and best-of sample count; min-of-N
+/// filters scheduler noise on a shared single-core host.
+const ITERS: usize = 24;
+const SAMPLES: usize = 5;
+
+fn pseudo(len: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Best-of-`SAMPLES` time for `ITERS` calls of `f`, in ns per call.
+fn time_ns_per_call<F: FnMut()>(mut f: F) -> f64 {
+    // One untimed warm-up sample primes caches and the branch predictor.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / ITERS as f64);
+    }
+    best
+}
+
+// The naive baselines reproduce the pre-optimization data path: a fresh
+// allocation per call and one full read-modify-write pass per input (plus a
+// scaled temporary where the op is weighted). `inline(never)` keeps the
+// optimizer from collapsing them into the fused forms they are compared
+// against.
+
+#[inline(never)]
+fn naive_reduce_mean(inputs: &[&Tensor]) -> Tensor {
+    // The seed had no dedicated reduce: the controller averaged by calling
+    // weighted_average with unit weights, so every contribution paid a
+    // clone, a weight-scaling pass, and an accumulation pass.
+    let len = inputs[0].len();
+    let mut acc = vec![0.0f32; len];
+    for t in inputs {
+        let mut scaled = t.as_slice().to_vec();
+        for v in scaled.iter_mut() {
+            *v *= black_box(1.0f32);
+        }
+        for (a, s) in acc.iter_mut().zip(&scaled) {
+            *a += *s;
+        }
+    }
+    let inv = 1.0 / inputs.len() as f32;
+    for a in acc.iter_mut() {
+        *a *= inv;
+    }
+    Tensor::from_vec(acc)
+}
+
+#[inline(never)]
+fn naive_weighted_average(inputs: &[&Tensor], weights: &[f32]) -> Tensor {
+    let len = inputs[0].len();
+    let total: f32 = weights.iter().sum();
+    let mut acc = vec![0.0f32; len];
+    for (t, &w) in inputs.iter().zip(weights) {
+        if w == 0.0 {
+            continue;
+        }
+        let mut scaled = t.as_slice().to_vec();
+        for v in scaled.iter_mut() {
+            *v *= w;
+        }
+        for (a, s) in acc.iter_mut().zip(&scaled) {
+            *a += *s;
+        }
+    }
+    let inv = 1.0 / total;
+    for a in acc.iter_mut() {
+        *a *= inv;
+    }
+    Tensor::from_vec(acc)
+}
+
+#[inline(never)]
+fn naive_axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    for i in 0..y.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+struct KernelRow {
+    name: &'static str,
+    naive_ns_per_elem: f64,
+    fused_ns_per_elem: f64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.naive_ns_per_elem / self.fused_ns_per_elem
+    }
+}
+
+fn bench_kernels() -> Vec<KernelRow> {
+    let inputs: Vec<Tensor> = (0..INPUTS).map(|i| pseudo(ELEMS, i as u64 + 1)).collect();
+    let refs: Vec<&Tensor> = inputs.iter().collect();
+    let weights: Vec<f32> = (0..INPUTS)
+        .map(|i| if i == 3 { 0.0 } else { 1.0 + i as f32 * 0.25 })
+        .collect();
+    let mut rows = Vec::new();
+
+    // Mean reduce across the 8 inputs: pass-per-input vs one fused sweep
+    // into a reused output buffer.
+    let naive = time_ns_per_call(|| {
+        black_box(naive_reduce_mean(black_box(&refs)));
+    });
+    let mut out = Tensor::zeros(ELEMS);
+    let fused = time_ns_per_call(|| {
+        ReduceOp::Mean.reduce_into(black_box(&mut out), black_box(&refs));
+        black_box(&out);
+    });
+    rows.push(KernelRow {
+        name: "reduce_mean",
+        naive_ns_per_elem: naive / ELEMS as f64,
+        fused_ns_per_elem: fused / ELEMS as f64,
+    });
+
+    // Weighted average (the partial-AllReduce core): scaled temporary +
+    // two passes per input vs one fused multiply-accumulate sweep.
+    let naive = time_ns_per_call(|| {
+        black_box(naive_weighted_average(
+            black_box(&refs),
+            black_box(&weights),
+        ));
+    });
+    let mut out = Tensor::zeros(ELEMS);
+    let fused = time_ns_per_call(|| {
+        weighted_average_into(black_box(&mut out), black_box(&refs), black_box(&weights));
+        black_box(&out);
+    });
+    rows.push(KernelRow {
+        name: "weighted_average",
+        naive_ns_per_elem: naive / ELEMS as f64,
+        fused_ns_per_elem: fused / ELEMS as f64,
+    });
+
+    // axpy (`y += α·x`, the optimizer/master update): indexed scalar loop
+    // vs the unrolled kernel. In-place on persistent buffers for both arms;
+    // α is tiny so repeated application cannot overflow.
+    let alpha = 1.0e-7f32;
+    let mut y_naive = inputs[0].as_slice().to_vec();
+    let x = inputs[1].clone();
+    let naive = time_ns_per_call(|| {
+        naive_axpy(black_box(&mut y_naive), alpha, black_box(x.as_slice()));
+    });
+    let mut y_fused = inputs[0].clone();
+    let fused = time_ns_per_call(|| {
+        y_fused.axpy(alpha, black_box(&x));
+        black_box(&y_fused);
+    });
+    rows.push(KernelRow {
+        name: "axpy",
+        naive_ns_per_elem: naive / ELEMS as f64,
+        fused_ns_per_elem: fused / ELEMS as f64,
+    });
+
+    rows
+}
+
+fn bench_end_to_end() -> (f64, f64) {
+    // Simulator world: 8 workers under dynamic stragglers, flat RNA.
+    let spec = mini_spec(8, 200, 1);
+    let t = Instant::now();
+    let result = Engine::new(spec, RnaProtocol::new(8, RnaConfig::default(), 0)).run();
+    let sim_rps = result.global_rounds as f64 / t.elapsed().as_secs_f64();
+
+    // Threaded world: same scale on real OS threads, sub-millisecond
+    // compute so the bench stays fast.
+    let mut config = ThreadedConfig::quick(8, SyncMode::Rna);
+    config.rounds = 40;
+    config.compute_us = vec![(500, 1_000); 8];
+    let t = Instant::now();
+    let result = run_threaded(&config);
+    let threaded_rps = result.rounds as f64 / t.elapsed().as_secs_f64();
+    (sim_rps, threaded_rps)
+}
+
+fn render_json(rows: &[KernelRow], sim_rps: f64, threaded_rps: f64) -> String {
+    let mut kernels = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            kernels.push_str(",\n");
+        }
+        kernels.push_str(&format!(
+            "    \"{}\": {{ \"naive_ns_per_elem\": {:.3}, \"fused_ns_per_elem\": {:.3}, \"speedup\": {:.2} }}",
+            r.name,
+            r.naive_ns_per_elem,
+            r.fused_ns_per_elem,
+            r.speedup()
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"rna-datapath-bench-v1\",\n  \"elements\": {ELEMS},\n  \"inputs\": {INPUTS},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"end_to_end\": {{\n    \"sim_rounds_per_sec\": {sim_rps:.1},\n    \"threaded_rounds_per_sec\": {threaded_rps:.1}\n  }}\n}}\n"
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+
+    let rows = bench_kernels();
+    let (sim_rps, threaded_rps) = bench_end_to_end();
+    let json = render_json(&rows, sim_rps, threaded_rps);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if check {
+        for r in &rows {
+            if r.name == "reduce_mean" || r.name == "weighted_average" {
+                assert!(
+                    r.speedup() >= 2.0,
+                    "{} speedup {:.2}x regressed below the tracked 2x floor \
+                     (naive {:.3} ns/elem, fused {:.3} ns/elem)",
+                    r.name,
+                    r.speedup(),
+                    r.naive_ns_per_elem,
+                    r.fused_ns_per_elem
+                );
+            }
+        }
+        eprintln!("check passed: fused reduce and weighted average hold the 2x floor");
+    }
+}

@@ -28,5 +28,5 @@ pub mod partial;
 pub mod ring;
 
 pub use cost::CollectiveCost;
-pub use partial::{partial_allreduce, PartialOutcome};
-pub use ring::{ring_allreduce, ring_broadcast};
+pub use partial::{partial_allreduce, partial_allreduce_pooled, PartialOutcome};
+pub use ring::{ring_allreduce, ring_allreduce_pooled, ring_broadcast};

@@ -6,8 +6,18 @@
 //! `w_{k,i} ∈ {0, 1}` flags availability. The communication graph is
 //! unchanged — nulls still travel the ring — which is what lets RNA keep
 //! ring AllReduce's O(M) cost.
+//!
+//! The hot path is [`partial_allreduce_pooled`]: it draws the output from a
+//! [`TensorPool`], never materializes null tensors, and accumulates every
+//! contributor in a single fused pass — bit-identical to the naive
+//! weighted-average sequence (nulls carried weight 0 and were skipped, and
+//! `1.0 · x` is an identity), but with one memory pass instead of `N + 2`
+//! and zero steady-state allocations.
 
-use rna_tensor::{reduce::weighted_average, Tensor};
+use rna_tensor::{Tensor, TensorPool};
+
+/// Unroll width matching the `rna-tensor` fused kernels.
+const LANES: usize = 8;
 
 /// The result of a partial AllReduce round.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +47,9 @@ impl PartialOutcome {
 /// Returns `None` when *no* worker has a gradient (the initiator must have
 /// one by construction, so protocol engines treat this as a skipped round).
 ///
+/// Allocates the output tensor; protocol engines use
+/// [`partial_allreduce_pooled`] to recycle round buffers instead.
+///
 /// # Panics
 ///
 /// Panics if the available tensors have differing lengths.
@@ -55,19 +68,59 @@ impl PartialOutcome {
 /// assert_eq!(out.contributed, vec![true, false, true]);
 /// ```
 pub fn partial_allreduce(contributions: &[Option<&Tensor>]) -> Option<PartialOutcome> {
+    // A cap-0 pool never retains buffers: this is exactly "allocate fresh".
+    let mut pool = TensorPool::with_cap_per_len(0);
+    partial_allreduce_pooled(contributions, &mut pool)
+}
+
+/// [`partial_allreduce`] drawing the output from `pool` and reducing in one
+/// fused pass.
+///
+/// The caller owns the returned `PartialOutcome.reduced` and is expected to
+/// release it back to the pool once applied; at that point a steady-state
+/// round performs no tensor allocation at all.
+///
+/// # Panics
+///
+/// Panics if the available tensors have differing lengths.
+pub fn partial_allreduce_pooled(
+    contributions: &[Option<&Tensor>],
+    pool: &mut TensorPool,
+) -> Option<PartialOutcome> {
     let contributed: Vec<bool> = contributions.iter().map(Option::is_some).collect();
     let num_contributors = contributed.iter().filter(|&&c| c).count();
     if num_contributors == 0 {
         return None;
     }
     let dim = contributions.iter().flatten().next().unwrap().len();
-    let null = Tensor::zeros(dim);
-    let tensors: Vec<&Tensor> = contributions.iter().map(|c| c.unwrap_or(&null)).collect();
-    let weights: Vec<f32> = contributed
-        .iter()
-        .map(|&c| if c { 1.0 } else { 0.0 })
-        .collect();
-    let reduced = weighted_average(&tensors, &weights)?;
+    for t in contributions.iter().flatten() {
+        assert_eq!(t.len(), dim, "tensor length mismatch in partial allreduce");
+    }
+    let mut reduced = pool.acquire(dim);
+    let inv = 1.0 / num_contributors as f32;
+    let o = reduced.as_mut_slice();
+    let mut i = 0;
+    while i + LANES <= dim {
+        let mut acc = [0.0f32; LANES];
+        for t in contributions.iter().flatten() {
+            let s = &t.as_slice()[i..i + LANES];
+            for l in 0..LANES {
+                acc[l] += s[l];
+            }
+        }
+        for l in 0..LANES {
+            o[i + l] = acc[l] * inv;
+        }
+        i += LANES;
+    }
+    while i < dim {
+        let mut acc = 0.0f32;
+        for t in contributions.iter().flatten() {
+            acc += t.as_slice()[i];
+        }
+        o[i] = acc * inv;
+        i += 1;
+    }
     Some(PartialOutcome {
         reduced,
         num_contributors,
@@ -119,6 +172,37 @@ mod tests {
         let a = Tensor::zeros(2);
         let b = Tensor::zeros(3);
         partial_allreduce(&[Some(&a), Some(&b)]);
+    }
+
+    #[test]
+    fn pooled_matches_unpooled_bit_exactly_and_recycles() {
+        let mut pool = TensorPool::new();
+        let tensors: Vec<Tensor> = (0..5)
+            .map(|i| (0..19).map(|j| ((i * 31 + j) as f32).sin()).collect())
+            .collect();
+        for round in 0..4 {
+            let refs: Vec<Option<&Tensor>> = tensors
+                .iter()
+                .enumerate()
+                .map(|(i, t)| ((i + round) % 3 != 0).then_some(t))
+                .collect();
+            let plain = partial_allreduce(&refs);
+            let pooled = partial_allreduce_pooled(&refs, &mut pool);
+            match (plain, pooled) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.reduced.as_slice(), b.reduced.as_slice());
+                    assert_eq!(a.num_contributors, b.num_contributors);
+                    assert_eq!(a.contributed, b.contributed);
+                    pool.release(b.reduced);
+                }
+                (None, None) => {}
+                other => panic!("pooled/unpooled disagree: {other:?}"),
+            }
+        }
+        assert!(
+            pool.hits() >= 3,
+            "later rounds must recycle the round buffer"
+        );
     }
 
     proptest! {

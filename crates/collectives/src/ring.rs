@@ -5,7 +5,7 @@
 //! applied per chunk — so the tests can verify not just the final sum but
 //! the invariant that every worker touched exactly `2(N−1)` chunks.
 
-use rna_tensor::{partition, ReduceOp, Tensor};
+use rna_tensor::{partition, ReduceOp, Tensor, TensorPool};
 
 /// Performs a ring AllReduce over per-worker buffers, in place: after the
 /// call every buffer holds `op` applied across all inputs (for
@@ -39,6 +39,24 @@ use rna_tensor::{partition, ReduceOp, Tensor};
 /// assert_eq!(bufs[1].as_slice(), &[5.0, 7.0, 9.0]);
 /// ```
 pub fn ring_allreduce(buffers: &mut [Tensor], op: ReduceOp) -> u64 {
+    // A cap-0 pool never retains buffers, i.e. plain allocation.
+    let mut pool = TensorPool::with_cap_per_len(0);
+    ring_allreduce_pooled(buffers, op, &mut pool)
+}
+
+/// [`ring_allreduce`] drawing its scratch space from `pool`.
+///
+/// Within one step every worker sends a *distinct* chunk index, so the
+/// outgoing chunks of a whole step occupy disjoint ranges of a full-length
+/// plane. One pooled scratch tensor therefore snapshots all simultaneous
+/// sends, replacing the per-worker-per-step chunk clones of the naive
+/// implementation; receives then reduce (or copy) in place from the scratch
+/// plane. With a warm pool a call performs zero tensor allocations.
+///
+/// # Panics
+///
+/// Panics if `buffers` is empty or the buffers have differing lengths.
+pub fn ring_allreduce_pooled(buffers: &mut [Tensor], op: ReduceOp, pool: &mut TensorPool) -> u64 {
     assert!(
         !buffers.is_empty(),
         "ring allreduce needs at least one buffer"
@@ -53,49 +71,50 @@ pub fn ring_allreduce(buffers: &mut [Tensor], op: ReduceOp) -> u64 {
         return 0;
     }
     let chunks = partition(len, n);
+    let mut scratch = pool.acquire(len);
     let mut transfers = 0u64;
 
     // Reduce-scatter: N−1 steps.
     for step in 0..n - 1 {
         // All sends in a step are logically simultaneous; snapshot the
-        // outgoing chunks first.
-        let outgoing: Vec<(usize, Tensor)> = (0..n)
-            .map(|i| {
-                let c = (i + n - step) % n;
-                (c, buffers[i].slice(chunks[c].as_range()))
-            })
-            .collect();
+        // outgoing chunks onto the scratch plane first (disjoint ranges).
+        for (i, buffer) in buffers.iter().enumerate() {
+            let c = (i + n - step) % n;
+            let range = chunks[c].as_range();
+            scratch.as_mut_slice()[range.clone()].copy_from_slice(&buffer.as_slice()[range]);
+        }
         for (i, buffer) in buffers.iter_mut().enumerate() {
             // Worker i receives from its left neighbor i−1 the chunk that
             // neighbor sent this step, and reduces it into its own buffer.
             let left = (i + n - 1) % n;
-            let (c, chunk) = &outgoing[left];
-            if chunk.is_empty() {
+            let c = (left + n - step) % n;
+            let range = chunks[c].as_range();
+            if range.is_empty() {
                 continue;
             }
-            let range = chunks[*c].as_range();
-            let mut acc = buffer.slice(range.clone());
-            op.accumulate(&mut acc, chunk);
-            buffer.write_chunk(range.start, &acc);
+            op.accumulate_slice(
+                &mut buffer.as_mut_slice()[range.clone()],
+                &scratch.as_slice()[range],
+            );
             transfers += 1;
         }
     }
 
     // All-gather: N−1 steps. Worker i starts owning reduced chunk (i+1)%n.
     for step in 0..n - 1 {
-        let outgoing: Vec<(usize, Tensor)> = (0..n)
-            .map(|i| {
-                let c = (i + 1 + n - step) % n;
-                (c, buffers[i].slice(chunks[c].as_range()))
-            })
-            .collect();
+        for (i, buffer) in buffers.iter().enumerate() {
+            let c = (i + 1 + n - step) % n;
+            let range = chunks[c].as_range();
+            scratch.as_mut_slice()[range.clone()].copy_from_slice(&buffer.as_slice()[range]);
+        }
         for (i, buffer) in buffers.iter_mut().enumerate() {
             let left = (i + n - 1) % n;
-            let (c, chunk) = &outgoing[left];
-            if chunk.is_empty() {
+            let c = (left + 1 + n - step) % n;
+            let range = chunks[c].as_range();
+            if range.is_empty() {
                 continue;
             }
-            buffer.write_chunk(chunks[*c].start, chunk);
+            buffer.as_mut_slice()[range.clone()].copy_from_slice(&scratch.as_slice()[range]);
             transfers += 1;
         }
     }
@@ -106,6 +125,7 @@ pub fn ring_allreduce(buffers: &mut [Tensor], op: ReduceOp) -> u64 {
             b.scale(scale);
         }
     }
+    pool.release(scratch);
     transfers
 }
 
@@ -237,6 +257,32 @@ mod tests {
     fn broadcast_rejects_bad_source() {
         let mut bufs = vec![Tensor::zeros(1)];
         ring_broadcast(&mut bufs, 1);
+    }
+
+    #[test]
+    fn pooled_ring_matches_unpooled_bit_exactly_and_recycles() {
+        let mut pool = TensorPool::new();
+        for round in 0..3 {
+            let inputs: Vec<Tensor> = (0..6)
+                .map(|i| {
+                    (0..37)
+                        .map(|j| ((round * 103 + i * 17 + j) as f32).cos())
+                        .collect()
+                })
+                .collect();
+            let mut plain = inputs.clone();
+            let mut pooled = inputs;
+            let t0 = ring_allreduce(&mut plain, ReduceOp::Sum);
+            let t1 = ring_allreduce_pooled(&mut pooled, ReduceOp::Sum, &mut pool);
+            assert_eq!(t0, t1);
+            for (a, b) in plain.iter().zip(&pooled) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+        assert!(
+            pool.hits() >= 2,
+            "scratch plane must be recycled across calls"
+        );
     }
 
     #[test]

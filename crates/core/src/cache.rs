@@ -11,7 +11,10 @@
 //! overwritten (the paper: "overwrite the stale data and only keep results
 //! within the bound").
 
-use rna_tensor::{reduce::staleness_weighted_average, ReduceOp, Tensor};
+use rna_tensor::{
+    reduce::{staleness_weighted_average, staleness_weighted_average_into},
+    ReduceOp, Tensor, TensorPool,
+};
 
 /// A bounded, staleness-aware gradient accumulator for one worker.
 ///
@@ -105,6 +108,35 @@ impl GradientCache {
         out
     }
 
+    /// [`GradientCache::take_contribution`] on the pooled data path: the
+    /// contribution buffer comes from `pool` and the drained entry buffers
+    /// are released back to it, so a steady-state drain allocates nothing.
+    ///
+    /// Bit-identical to the unpooled drain — the fused `*_into` reductions
+    /// preserve per-element accumulation order, and pooled buffers are
+    /// zeroed on acquire.
+    pub fn take_contribution_pooled(&mut self, k: u64, pool: &mut TensorPool) -> Option<Tensor> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut out = pool.acquire(self.entries[0].1.len());
+        let ok = if self.weighted {
+            staleness_weighted_average_into(&mut out, &self.entries, k)
+        } else {
+            ReduceOp::Mean.reduce_into(&mut out, &self.entry_tensors())
+        };
+        debug_assert!(ok, "non-empty cache must produce a contribution");
+        for (_, g) in self.entries.drain(..) {
+            pool.release(g);
+        }
+        Some(out)
+    }
+
+    /// The pending gradients without their iteration tags (borrowed).
+    fn entry_tensors(&self) -> Vec<&Tensor> {
+        self.entries.iter().map(|(_, g)| g).collect()
+    }
+
     /// The largest iteration gap among pending entries relative to round
     /// `k` (0 when empty).
     pub fn max_staleness(&self, k: u64) -> u64 {
@@ -191,6 +223,29 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_bound_panics() {
         GradientCache::new(0, true);
+    }
+
+    #[test]
+    fn pooled_drain_matches_unpooled_bit_exactly() {
+        for weighted in [true, false] {
+            let mut plain = GradientCache::new(4, weighted);
+            let mut pooled = GradientCache::new(4, weighted);
+            let mut pool = TensorPool::new();
+            for k in 0..6u64 {
+                for i in 0..3u64 {
+                    let g: Tensor = (0..19)
+                        .map(|j| ((k * 37 + i * 11 + j) as f32).sin())
+                        .collect();
+                    plain.write(k + i, g.clone());
+                    pooled.write(k + i, g);
+                }
+                let a = plain.take_contribution(k + 2).unwrap();
+                let b = pooled.take_contribution_pooled(k + 2, &mut pool).unwrap();
+                assert_eq!(a.as_slice(), b.as_slice(), "weighted={weighted} k={k}");
+                pool.release(b);
+            }
+            assert!(pool.hits() > 0, "drained entries must be recycled");
+        }
     }
 
     proptest! {

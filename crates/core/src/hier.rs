@@ -141,11 +141,19 @@ impl HierRnaProtocol {
         self.server.as_ref().map_or(0, |s| s.staleness(gid))
     }
 
-    fn accumulate(&mut self, ctx: &Ctx<'_, RnaMsg>, gid: usize, reduced: &Tensor, scale: f32) {
+    fn accumulate(&mut self, ctx: &mut Ctx<'_, RnaMsg>, gid: usize, reduced: &Tensor, scale: f32) {
         let dim = reduced.len();
-        let pending = self.pending[gid].get_or_insert_with(|| Tensor::zeros(dim));
+        let pooled = self.config.pooled;
+        let pending = self.pending[gid].get_or_insert_with(|| {
+            // Pooled buffers arrive zeroed, so both arms start the
+            // accumulator from exact zero.
+            if pooled {
+                ctx.pool_mut().acquire(dim)
+            } else {
+                Tensor::zeros(dim)
+            }
+        });
         pending.axpy(scale, reduced);
-        let _ = ctx;
     }
 
     /// Launches the asynchronous exchange: the accumulated gradient travels
@@ -170,7 +178,18 @@ impl HierRnaProtocol {
         if let Some(server) = self.server.as_mut() {
             server.push(gid, master);
         }
-        let blended = master.clone();
+        // The broadcast payload snapshots the master; on the pooled path
+        // both it and the drained accumulator cycle through the pool.
+        let blended = if self.config.pooled {
+            let mut b = ctx.pool_mut().acquire(master.len());
+            b.copy_from(master);
+            b
+        } else {
+            master.clone()
+        };
+        if self.config.pooled {
+            ctx.pool_release(grad);
+        }
         let bytes = ctx.grad_bytes();
         let cost = ctx.cost();
         let group_size = self.groups[gid].members.len();
@@ -238,15 +257,18 @@ impl Protocol for HierRnaProtocol {
                 } else {
                     1.0
                 };
+                // Delta-sample the alloc hook around the data-path work
+                // (accumulate, exchange, apply) but not the round advance,
+                // whose compute launches allocate on the out-of-scope
+                // compute path.
+                let allocs_before = rna_tensor::alloc::count();
                 self.accumulate(ctx, group, &reduced, scale);
                 let exchange = (self.groups[group].round() + 1).is_multiple_of(self.ps_every);
                 let ps_reachable = self.groups[group]
                     .representative()
                     .is_some_and(|rep| ctx.link_up(rep, ctx.ps_id()));
-                if exchange && ps_reachable {
-                    // Defer the round advance until the master broadcast
-                    // returns.
-                    self.groups[group].advance_round_deferred(contributors);
+                let deferred = exchange && ps_reachable;
+                if deferred {
                     self.ps_exchange(ctx, group);
                 } else {
                     if exchange {
@@ -264,6 +286,16 @@ impl Protocol for HierRnaProtocol {
                         contributors,
                         &applied,
                     );
+                }
+                if self.config.pooled {
+                    ctx.pool_release(reduced);
+                }
+                ctx.note_datapath_allocs(rna_tensor::alloc::count() - allocs_before);
+                if deferred {
+                    // Defer the round advance until the master broadcast
+                    // returns.
+                    self.groups[group].advance_round_deferred(contributors);
+                } else {
                     self.groups[group].advance_round(ctx, &self.config, contributors);
                 }
             }
@@ -275,9 +307,14 @@ impl Protocol for HierRnaProtocol {
                 self.groups[group].handle_probe_retry(ctx, &self.config, round, attempt);
             }
             RnaMsg::PsDone { group, blended } => {
+                let allocs_before = rna_tensor::alloc::count();
                 for &w in &self.groups[group].members.clone() {
                     ctx.set_params(w, &blended);
                 }
+                if self.config.pooled {
+                    ctx.pool_release(blended);
+                }
+                ctx.note_datapath_allocs(rna_tensor::alloc::count() - allocs_before);
                 self.groups[group].complete_deferred_round(ctx, &self.config);
             }
         }

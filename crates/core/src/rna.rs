@@ -21,7 +21,7 @@
 //! [`RnaProtocol`] wraps a single group spanning the whole cluster;
 //! `rna-core::hier` reuses [`GroupState`] for per-group RNA.
 
-use rna_collectives::partial_allreduce;
+use rna_collectives::{partial_allreduce, partial_allreduce_pooled};
 use rna_simnet::trace::SpanKind;
 use rna_tensor::Tensor;
 
@@ -379,7 +379,7 @@ impl GroupState {
     /// the paper-consistent treatment of a lost contribution — and their
     /// caches keep accumulating so they reconcile, staleness-weighted, on
     /// heal.
-    fn launch_reduce(&mut self, ctx: &mut Ctx<'_, RnaMsg>, _config: &RnaConfig) {
+    fn launch_reduce(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig) {
         self.reducing = true;
         let k = self.round;
         let initiator = self
@@ -393,15 +393,43 @@ impl GroupState {
         if reachable.iter().any(|&r| !r) {
             ctx.note_partition_round();
         }
-        let contributions: Vec<Option<Tensor>> = self
-            .caches
-            .iter_mut()
-            .zip(&reachable)
-            .map(|(c, &r)| if r { c.take_contribution(k) } else { None })
-            .collect();
+        // Everything from the cache drain to the reduced output runs on the
+        // pooled, fused data path (bit-identical to the naive one); the
+        // debug alloc delta proves steady-state rounds allocate nothing.
+        let allocs_before = rna_tensor::alloc::count();
+        let caches = &mut self.caches;
+        let contributions: Vec<Option<Tensor>> = if config.pooled {
+            caches
+                .iter_mut()
+                .zip(&reachable)
+                .map(|(c, &r)| {
+                    if r {
+                        c.take_contribution_pooled(k, ctx.pool_mut())
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        } else {
+            caches
+                .iter_mut()
+                .zip(&reachable)
+                .map(|(c, &r)| if r { c.take_contribution(k) } else { None })
+                .collect()
+        };
         let refs: Vec<Option<&Tensor>> = contributions.iter().map(Option::as_ref).collect();
-        let outcome = partial_allreduce(&refs)
-            .expect("initiator has a ready gradient, so the round cannot be empty");
+        let outcome = if config.pooled {
+            partial_allreduce_pooled(&refs, ctx.pool_mut())
+        } else {
+            partial_allreduce(&refs)
+        }
+        .expect("initiator has a ready gradient, so the round cannot be empty");
+        if config.pooled {
+            for g in contributions.into_iter().flatten() {
+                ctx.pool_release(g);
+            }
+        }
+        ctx.note_datapath_allocs(rna_tensor::alloc::count() - allocs_before);
         let applied: Vec<usize> = self
             .members
             .iter()
@@ -483,7 +511,12 @@ impl GroupState {
         round: u64,
     ) -> Option<usize> {
         let (reduced, contributors, applied) = self.take_reduce_result(round)?;
+        let allocs_before = rna_tensor::alloc::count();
         self.apply_reduce(ctx, config, &reduced, contributors, &applied);
+        if config.pooled {
+            ctx.pool_release(reduced);
+        }
+        ctx.note_datapath_allocs(rna_tensor::alloc::count() - allocs_before);
         Some(contributors)
     }
 

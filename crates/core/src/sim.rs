@@ -24,7 +24,7 @@
 use rna_collectives::CollectiveCost;
 use rna_simnet::trace::{SpanKind, SpanTracker};
 use rna_simnet::{EventQueue, LinkModel, NetworkModel, SimDuration, SimRng, SimTime};
-use rna_tensor::Tensor;
+use rna_tensor::{Tensor, TensorPool};
 use rna_training::model::{ElmanRnn, LinearRegression, Mlp, SoftmaxClassifier};
 use rna_training::{BatchSampler, Dataset, EarlyStopping, History, LrSchedule, Model, Sgd};
 use rna_workload::trace::WorkloadTrace;
@@ -394,6 +394,10 @@ pub struct SimState<M> {
     messages_dropped: u64,
     probe_retries: u64,
     partition_rounds: u64,
+    pool: TensorPool,
+    apply_scratch: Tensor,
+    eval_scratch: Tensor,
+    datapath_allocs: u64,
 }
 
 /// The protocol's handle onto the engine.
@@ -639,6 +643,27 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
         self.0.messages_dropped
     }
 
+    /// The engine's tensor-buffer pool. Protocols route their reduce data
+    /// path through it so steady-state rounds recycle buffers instead of
+    /// allocating ([`rna_tensor::TensorPool`]).
+    pub fn pool_mut(&mut self) -> &mut TensorPool {
+        &mut self.0.pool
+    }
+
+    /// Returns a tensor's buffer to the engine's pool for reuse.
+    pub fn pool_release(&mut self, t: Tensor) {
+        self.0.pool.release(t);
+    }
+
+    /// Accumulates `n` fresh tensor-buffer allocations observed on the
+    /// reduce data path into the run's [`RunResult::datapath_allocs`]
+    /// counter (protocols sample `rna_tensor::alloc::count()` as a delta
+    /// around their reduce regions; the hook is debug-only, so `n` is 0 in
+    /// release builds).
+    pub fn note_datapath_allocs(&mut self, n: u64) {
+        self.0.datapath_allocs += n;
+    }
+
     /// Schedules a message to `to` after `delay` with no network charge —
     /// the idiom for completion timers (e.g. "the ring finishes in T").
     pub fn send_after(&mut self, to: usize, delay: SimDuration, msg: M) {
@@ -663,14 +688,18 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
 
     /// Applies the reduced gradient to every listed worker with the given
     /// learning-rate scale (RNA passes the contributor count, BSP passes 1).
+    ///
+    /// Runs through a persistent scratch tensor — the per-worker parameter
+    /// clone the naive implementation made each round is replaced by a
+    /// `copy_from` into reused storage, so applying allocates nothing.
     pub fn apply_reduced(&mut self, workers: &[usize], grad: &Tensor, lr_scale: f32) {
         let s = &mut *self.0;
         let lr = s.spec.lr.lr_at(s.global_round);
         for &w in workers {
             s.opts[w].set_lr(lr);
-            let mut p = s.models[w].params().clone();
-            s.opts[w].step(&mut p, grad, lr_scale);
-            s.models[w].set_params(&p);
+            s.apply_scratch.copy_from(s.models[w].params());
+            s.opts[w].step(&mut s.apply_scratch, grad, lr_scale);
+            s.models[w].set_params(&s.apply_scratch);
         }
     }
 
@@ -681,14 +710,14 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
     }
 
     /// Atomically averages the parameters of two workers (AD-PSGD's
-    /// pairwise model averaging).
+    /// pairwise model averaging). Allocation-free: the average is formed
+    /// in the persistent scratch tensor.
     pub fn average_pair(&mut self, a: usize, b: usize) {
         let s = &mut *self.0;
-        let mut pa = s.models[a].params().clone();
-        let pb = s.models[b].params().clone();
-        pa.lerp(&pb, 0.5);
-        s.models[a].set_params(&pa);
-        s.models[b].set_params(&pa);
+        s.apply_scratch.copy_from(s.models[a].params());
+        s.apply_scratch.lerp(s.models[b].params(), 0.5);
+        s.models[a].set_params(&s.apply_scratch);
+        s.models[b].set_params(&s.apply_scratch);
     }
 
     /// Completes one global synchronization round: bumps the round counter,
@@ -730,13 +759,15 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
 
 fn evaluate<M>(s: &mut SimState<M>) {
     // Evaluate the mean of the replicas — the standard metric for
-    // decentralized training (all replicas coincide under BSP).
-    let mut mean = Tensor::zeros(s.models[0].num_params());
+    // decentralized training (all replicas coincide under BSP). The mean
+    // is formed in a persistent scratch tensor (allocation-free; zeroing
+    // then summing is bit-identical to summing into a fresh zeros tensor).
+    s.eval_scratch.fill_zero();
     for m in &s.models {
-        mean.add_assign(m.params());
+        s.eval_scratch.add_assign(m.params());
     }
-    mean.scale(1.0 / s.models.len() as f32);
-    s.eval_model.set_params(&mean);
+    s.eval_scratch.scale(1.0 / s.models.len() as f32);
+    s.eval_model.set_params(&s.eval_scratch);
     let batch = s.eval_ds.full_batch();
     let loss = f64::from(s.eval_model.loss(&batch));
     let acc = f64::from(s.eval_model.accuracy(&batch));
@@ -799,6 +830,7 @@ impl<P: Protocol> Engine<P> {
             .collect();
         let workload_rngs = (0..n).map(|w| root.fork(200 + w as u64)).collect();
         let proto_rng = root.fork(300);
+        let num_params = template.num_params();
         // A small min-delta keeps noisy near-plateau evaluations from
         // resetting the patience counter forever.
         let early = spec.patience.map(|p| EarlyStopping::new(p, 1e-3));
@@ -835,6 +867,10 @@ impl<P: Protocol> Engine<P> {
             messages_dropped: 0,
             probe_retries: 0,
             partition_rounds: 0,
+            pool: TensorPool::new(),
+            apply_scratch: Tensor::zeros(num_params),
+            eval_scratch: Tensor::zeros(num_params),
+            datapath_allocs: 0,
             clock: SimTime::ZERO,
             queue: EventQueue::new(),
             spec,
@@ -950,6 +986,7 @@ impl<P: Protocol> Engine<P> {
             messages_dropped: s.messages_dropped,
             probe_retries: s.probe_retries,
             partition_rounds: s.partition_rounds,
+            datapath_allocs: s.datapath_allocs,
         }
     }
 }

@@ -61,6 +61,14 @@ pub struct RunResult {
     /// Rounds in which some live node was unreachable — a PS exchange was
     /// skipped or a reduce excluded a partitioned member.
     pub partition_rounds: u64,
+    /// Fresh tensor-buffer heap allocations performed by the reduce data
+    /// path (cache drain, collective, apply) over the whole run. Always 0
+    /// in release builds — the underlying hook is debug-only (see
+    /// `rna_tensor::alloc`). With the pooled data path this stays flat
+    /// after warm-up; the naive path grows linearly with rounds. Excluded
+    /// from bit-identity comparisons: pooling changes where buffers come
+    /// from, never the numbers in them.
+    pub datapath_allocs: u64,
 }
 
 impl RunResult {
@@ -143,6 +151,7 @@ mod tests {
             messages_dropped: 0,
             probe_retries: 0,
             partition_rounds: 0,
+            datapath_allocs: 0,
         }
     }
 

@@ -5,7 +5,7 @@
 //! parameter tensor is split into `num_keys` contiguous shards using the
 //! same partitioning as ring chunks.
 
-use rna_tensor::{partition, ChunkRange, Tensor};
+use rna_tensor::{partition, ChunkRange, Tensor, TensorPool};
 
 /// A tensor store sharded into contiguous keyed ranges.
 ///
@@ -81,6 +81,20 @@ impl ShardedStore {
         self.data.slice(self.shards[key].as_range())
     }
 
+    /// [`ShardedStore::pull_key`] drawing the result buffer from `pool` —
+    /// with a warm pool a pull allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn pull_key_pooled(&self, key: usize, pool: &mut TensorPool) -> Tensor {
+        let range = self.shards[key].as_range();
+        let mut out = pool.acquire(range.len());
+        out.as_mut_slice()
+            .copy_from_slice(&self.data.as_slice()[range]);
+        out
+    }
+
     /// Per-key update counter.
     ///
     /// # Panics
@@ -106,6 +120,25 @@ impl ShardedStore {
         self.shards
             .iter()
             .map(|r| full.slice(r.as_range()))
+            .collect()
+    }
+
+    /// [`ShardedStore::split`] drawing the per-key buffers from `pool`;
+    /// release them back after the push to keep the cycle allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` has a different length than the store.
+    pub fn split_pooled(&self, full: &Tensor, pool: &mut TensorPool) -> Vec<Tensor> {
+        assert_eq!(full.len(), self.data.len(), "tensor length mismatch");
+        self.shards
+            .iter()
+            .map(|r| {
+                let range = r.as_range();
+                let mut t = pool.acquire(range.len());
+                t.as_mut_slice().copy_from_slice(&full.as_slice()[range]);
+                t
+            })
             .collect()
     }
 }
@@ -141,6 +174,27 @@ mod tests {
             store.push_key(k, shard);
         }
         assert_eq!(store.assemble(), &full);
+    }
+
+    #[test]
+    fn pooled_pull_and_split_match_plain_and_recycle() {
+        let full: Tensor = (0..11).map(|i| (i as f32).sin()).collect();
+        let store = ShardedStore::new(full.clone(), 3);
+        let mut pool = TensorPool::new();
+        for round in 0..3 {
+            for k in 0..store.num_keys() {
+                let pooled = store.pull_key_pooled(k, &mut pool);
+                assert_eq!(pooled, store.pull_key(k), "round {round} key {k}");
+                pool.release(pooled);
+            }
+            let plain = store.split(&full);
+            let pooled = store.split_pooled(&full, &mut pool);
+            assert_eq!(plain, pooled);
+            for t in pooled {
+                pool.release(t);
+            }
+        }
+        assert!(pool.hits() > 0, "shard buffers must be recycled");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use rna_core::fault::{
     live_majority, probe_round_stalled, FaultPlan, NetFaultPlan, ToleranceConfig, WorkerFate,
 };
 use rna_simnet::SimRng;
-use rna_tensor::{reduce::weighted_average, Tensor};
+use rna_tensor::{Tensor, TensorPool};
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model, Sgd};
 
@@ -168,7 +168,13 @@ impl ThreadedResult {
 
 struct WorkerSlot {
     cache: Mutex<GradientCache>,
-    params: RwLock<Tensor>,
+    /// The worker's view of the parameters. The controller publishes each
+    /// round's master as one shared `Arc` snapshot — replacing `n` deep
+    /// tensor clones with `n` refcount bumps — and workers clone the `Arc`
+    /// (not the tensor) out of the lock. Snapshots are immutable once
+    /// published; when the last slot lets go of one, the controller
+    /// reclaims its buffer into the pool.
+    params: RwLock<Arc<Tensor>>,
     iterations: AtomicU64,
     /// Microseconds since run start at the worker's last sign of life.
     heartbeat_us: AtomicU64,
@@ -306,7 +312,7 @@ fn run_bsp(
     let mut handles = Vec::new();
     let start = Instant::now();
     for w in 0..n {
-        let (ptx, prx): (Sender<Option<Tensor>>, Receiver<Option<Tensor>>) = channel();
+        let (ptx, prx) = channel::<Option<Arc<Tensor>>>();
         param_txs.push(ptx);
         let grad_tx = grad_tx.clone();
         let stop = Arc::clone(&stop);
@@ -345,9 +351,12 @@ fn run_bsp(
 
     let mut master = template.params().clone();
     let mut opt = Sgd::new(config.lr, 0.0, 0.0, master.len());
+    let mut pool = TensorPool::new();
+    let snapshot = Arc::new(master.clone());
     for tx in &param_txs {
-        tx.send(Some(master.clone())).expect("worker alive");
+        tx.send(Some(Arc::clone(&snapshot))).expect("worker alive");
     }
+    drop(snapshot);
     for round in 0..config.rounds {
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
         let mut received = 0;
@@ -358,12 +367,23 @@ fn run_bsp(
             }
             grads[w] = Some(g);
         }
-        let refs: Vec<&Tensor> = grads.iter().map(|g| g.as_ref().unwrap()).collect();
-        let mean = weighted_average(&refs, &vec![1.0; n]).expect("n >= 1");
+        // Fused mean (bit-identical to uniformly weighted averaging) into a
+        // pooled buffer; the drained gradients feed the pool afterwards.
+        let mut mean = pool.acquire(master.len());
+        reduce_contributions_into(&mut mean, &grads, n as f32);
         opt.step(&mut master, &mean, 1.0);
+        pool.release(mean);
+        for g in grads.into_iter().flatten() {
+            pool.release(g);
+        }
         if round + 1 < config.rounds {
+            // One shared snapshot per round instead of one deep clone per
+            // worker.
+            let mut snap = pool.acquire(master.len());
+            snap.copy_from(&master);
+            let snapshot = Arc::new(snap);
             for tx in &param_txs {
-                let _ = tx.send(Some(master.clone()));
+                let _ = tx.send(Some(Arc::clone(&snapshot)));
             }
         }
     }
@@ -400,11 +420,12 @@ fn run_rna(
 ) -> ThreadedResult {
     let n = config.num_workers;
     let start = Instant::now();
+    let init_params = Arc::new(template.params().clone());
     let shared = Arc::new(Shared {
         slots: (0..n)
             .map(|_| WorkerSlot {
                 cache: Mutex::new(GradientCache::new(config.staleness_bound, true)),
-                params: RwLock::new(template.params().clone()),
+                params: RwLock::new(Arc::clone(&init_params)),
                 iterations: AtomicU64::new(0),
                 heartbeat_us: AtomicU64::new(0),
                 alive: AtomicBool::new(true),
@@ -475,11 +496,15 @@ fn run_rna(
                 if shared.stop.load(Ordering::Acquire) {
                     break;
                 }
-                let params = shared.slots[w]
-                    .params
-                    .read()
-                    .expect("lock poisoned: a worker thread panicked")
-                    .clone();
+                // Clone the Arc, not the tensor: the snapshot is immutable
+                // once published, so the read lock is held only for a
+                // refcount bump.
+                let params = Arc::clone(
+                    &shared.slots[w]
+                        .params
+                        .read()
+                        .expect("lock poisoned: a worker thread panicked"),
+                );
                 model.set_params(&params);
                 let batch = sampler.sample(&dataset);
                 let (_, grad) = model.loss_and_grad(&batch);
@@ -501,6 +526,7 @@ fn run_rna(
     let mut probe_rng = rng.fork(STREAM_PROBE);
     let mut master = template.params().clone();
     let mut opt = Sgd::new(config.lr, 0.0, 0.0, master.len());
+    let mut pool = TensorPool::new();
     let mut participation_sum = 0.0;
     let mut rounds_degraded: u64 = 0;
     let mut purged = vec![false; n];
@@ -627,10 +653,11 @@ fn run_rna(
                         severed = true;
                         return None;
                     }
-                    match lock(&shared.slots[w].cache).take_contribution(k) {
+                    match lock(&shared.slots[w].cache).take_contribution_pooled(k, &mut pool) {
                         Some(g) if shim.deliver(w, gather, now_us) => Some(g),
-                        Some(_) => {
+                        Some(g) => {
                             messages_dropped += 1;
+                            pool.release(g);
                             None
                         }
                         None => None,
@@ -647,17 +674,23 @@ fn run_rna(
             .collect();
         let m: f32 = weights.iter().sum();
         if m > 0.0 && !degraded {
-            let null = Tensor::zeros(master.len());
-            let refs: Vec<&Tensor> = contributions
-                .iter()
-                .map(|c| c.as_ref().unwrap_or(&null))
-                .collect();
-            let reduced =
-                weighted_average(&refs, &weights).expect("at least one contributor present");
+            // Fused partial collective: nulls are skipped instead of being
+            // materialized as zero tensors, the mean lands in a pooled
+            // buffer, and wide tensors split across cores (bit-identical to
+            // the null-padded `weighted_average` the naive path computed).
+            let mut reduced = pool.acquire(master.len());
+            reduce_contributions_into(&mut reduced, &contributions, m);
             // Linear Scaling Rule: learning rate × contributor count.
             opt.step(&mut master, &reduced, m);
+            pool.release(reduced);
             participation_sum += f64::from(m) / n as f64;
             let push_us = shared.now_us();
+            // One shared snapshot per round; slots swap Arcs, and the last
+            // reference to the previous round's snapshot recycles its
+            // buffer.
+            let mut snap = pool.acquire(master.len());
+            snap.copy_from(&master);
+            let snapshot = Arc::new(snap);
             for (w, slot) in shared.slots.iter().enumerate() {
                 // The parameter push rides the same faulty fabric: a
                 // severed or unlucky worker keeps its stale view and
@@ -666,16 +699,25 @@ fn run_rna(
                     messages_dropped += 1;
                     continue;
                 }
-                *slot
-                    .params
-                    .write()
-                    .expect("lock poisoned: a worker thread panicked") = master.clone();
+                let prev = std::mem::replace(
+                    &mut *slot
+                        .params
+                        .write()
+                        .expect("lock poisoned: a worker thread panicked"),
+                    Arc::clone(&snapshot),
+                );
+                if let Some(t) = Arc::into_inner(prev) {
+                    pool.release(t);
+                }
             }
         } else {
             // Nothing usable this round (cluster dead, or every cached
             // gradient fell past the staleness bound): complete the round
             // degraded rather than blocking the run.
             rounds_degraded += 1;
+        }
+        for g in contributions.into_iter().flatten() {
+            pool.release(g);
         }
         shared.round.store(k + 1, Ordering::Release);
         shared.pause_cv.notify_all();
@@ -758,6 +800,70 @@ fn sample_probes(rng: &mut SimRng, shared: &Shared, probes: usize) -> Vec<usize>
         .into_iter()
         .map(|i| pool[i])
         .collect()
+}
+
+/// Fused mean of the contributing gradients: `out[i] = Σ g[i] / m` over the
+/// `Some` entries, in slot order. Bit-identical to zero-padding the `None`s
+/// and computing a uniformly weighted average (per-element accumulation
+/// starts at 0 and adds contributions in the same order; chunking splits
+/// only *across* elements, never within one element's sum), which is what
+/// the naive controller did.
+///
+/// Wide tensors are split across cores with scoped threads; below
+/// [`PAR_MIN_ELEMS_PER_THREAD`] elements per core — or on a single-core
+/// host — the reduction runs sequentially, with the identical result.
+fn reduce_contributions_into(out: &mut Tensor, contributions: &[Option<Tensor>], m: f32) {
+    let threads = parallelism_for(out.len());
+    reduce_contributions_with(out, contributions, m, threads);
+}
+
+/// Minimum elements each reduction thread must own before fan-out pays for
+/// itself; below this the scoped-thread setup dwarfs the arithmetic.
+const PAR_MIN_ELEMS_PER_THREAD: usize = 4096;
+
+fn parallelism_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    cores.min(len / PAR_MIN_ELEMS_PER_THREAD).max(1)
+}
+
+/// [`reduce_contributions_into`] with an explicit thread count (tests force
+/// the parallel path on small tensors to prove it matches the sequential
+/// one bit-for-bit).
+fn reduce_contributions_with(
+    out: &mut Tensor,
+    contributions: &[Option<Tensor>],
+    m: f32,
+    threads: usize,
+) {
+    let inv = 1.0 / m;
+    let inputs: Vec<&Tensor> = contributions.iter().flatten().collect();
+    let out = out.as_mut_slice();
+    if threads <= 1 || out.is_empty() {
+        reduce_segment(out, &inputs, 0, inv);
+        return;
+    }
+    let chunk = out.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (idx, piece) in out.chunks_mut(chunk).enumerate() {
+            let inputs = &inputs;
+            scope.spawn(move || reduce_segment(piece, inputs, idx * chunk, inv));
+        }
+    });
+}
+
+/// Sequential fused kernel over one element range: zero, accumulate each
+/// input's matching segment in order, scale once.
+fn reduce_segment(out: &mut [f32], inputs: &[&Tensor], offset: usize, inv: f32) {
+    out.fill(0.0);
+    for t in inputs {
+        let src = &t.as_slice()[offset..offset + out.len()];
+        for (o, s) in out.iter_mut().zip(src) {
+            *o += s;
+        }
+    }
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
 }
 
 /// Controller-side tallies of what the network shim did to the run.
@@ -890,6 +996,109 @@ mod tests {
         let config =
             ThreadedConfig::quick(2, SyncMode::Bsp).with_fault_plan(FaultPlan::none().crash(0, 1));
         run_threaded(&config);
+    }
+
+    #[test]
+    fn fused_reduce_matches_null_padded_weighted_average_bit_exactly() {
+        use rna_tensor::reduce::weighted_average;
+        // The naive controller materialized a zero tensor per absent
+        // contribution and ran a 1/0-weighted average; the fused kernel
+        // skips the nulls. The two must agree to the last bit, including
+        // on lengths that leave an unrolled-loop remainder.
+        for len in [1usize, 7, 8, 19, 64] {
+            let contributions: Vec<Option<Tensor>> = (0..5)
+                .map(|i| {
+                    (i != 2).then(|| {
+                        (0..len)
+                            .map(|j| ((i * 31 + j) as f32 * 0.37).sin())
+                            .collect()
+                    })
+                })
+                .collect();
+            let m = contributions.iter().flatten().count() as f32;
+            let null = Tensor::zeros(len);
+            let refs: Vec<&Tensor> = contributions
+                .iter()
+                .map(|c| c.as_ref().unwrap_or(&null))
+                .collect();
+            let weights: Vec<f32> = contributions
+                .iter()
+                .map(|c| if c.is_some() { 1.0 } else { 0.0 })
+                .collect();
+            let expected = weighted_average(&refs, &weights).unwrap();
+            let mut fused = Tensor::zeros(len);
+            reduce_contributions_into(&mut fused, &contributions, m);
+            assert_eq!(fused.as_slice(), expected.as_slice(), "len={len}");
+            // Forcing the chunk-parallel path on a small tensor must not
+            // change a single bit either: the split is across elements.
+            for threads in [2usize, 3, 5] {
+                let mut parallel = Tensor::zeros(len);
+                reduce_contributions_with(&mut parallel, &contributions, m, threads);
+                assert_eq!(
+                    parallel.as_slice(),
+                    expected.as_slice(),
+                    "len={len} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controller_round_is_bit_identical_to_the_naive_data_path() {
+        use rna_core::cache::GradientCache;
+        use rna_tensor::reduce::weighted_average;
+        // Replays one controller round on fixed inputs through both the
+        // pooled/fused path and the seed's allocate-per-round path. (The
+        // full threaded run is wall-clock nondeterministic, so bit-identity
+        // is asserted component-wise; see DESIGN.md.)
+        let len = 36;
+        let mut pool = TensorPool::new();
+        for k in 0..4u64 {
+            let mut caches: Vec<GradientCache> =
+                (0..3).map(|_| GradientCache::new(4, true)).collect();
+            let mut caches_pooled: Vec<GradientCache> =
+                (0..3).map(|_| GradientCache::new(4, true)).collect();
+            for (w, (a, b)) in caches.iter_mut().zip(&mut caches_pooled).enumerate() {
+                for i in 0..=w as u64 {
+                    let g: Tensor = (0..len)
+                        .map(|j| ((k * 91 + w as u64 * 17 + i * 5 + j as u64) as f32).cos())
+                        .collect();
+                    a.write(k + i, g.clone());
+                    b.write(k + i, g);
+                }
+            }
+            // Worker 1 sits the round out in both worlds.
+            let naive: Vec<Option<Tensor>> = caches
+                .iter_mut()
+                .enumerate()
+                .map(|(w, c)| (w != 1).then(|| c.take_contribution(k)).flatten())
+                .collect();
+            let pooled: Vec<Option<Tensor>> = caches_pooled
+                .iter_mut()
+                .enumerate()
+                .map(|(w, c)| {
+                    (w != 1)
+                        .then(|| c.take_contribution_pooled(k, &mut pool))
+                        .flatten()
+                })
+                .collect();
+            let m = naive.iter().flatten().count() as f32;
+            let null = Tensor::zeros(len);
+            let refs: Vec<&Tensor> = naive.iter().map(|c| c.as_ref().unwrap_or(&null)).collect();
+            let weights: Vec<f32> = naive
+                .iter()
+                .map(|c| if c.is_some() { 1.0 } else { 0.0 })
+                .collect();
+            let expected = weighted_average(&refs, &weights).unwrap();
+            let mut reduced = pool.acquire(len);
+            reduce_contributions_into(&mut reduced, &pooled, m);
+            assert_eq!(reduced.as_slice(), expected.as_slice(), "round {k}");
+            pool.release(reduced);
+            for g in pooled.into_iter().flatten() {
+                pool.release(g);
+            }
+        }
+        assert!(pool.hits() > 0, "round buffers must be recycled");
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Debug-only accounting of fresh tensor-buffer heap allocations.
+//!
+//! Every constructor in this crate that obtains a *new* `Vec<f32>` from the
+//! global allocator ([`Tensor::zeros`](crate::Tensor::zeros),
+//! [`Tensor::filled`](crate::Tensor::filled), `Tensor::clone`,
+//! [`Tensor::slice`](crate::Tensor::slice), …) bumps a **per-thread**
+//! counter in debug builds. Code that *recycles* an existing buffer — a
+//! [`TensorPool`](crate::TensorPool) hit, `copy_from` between equal-length
+//! tensors, `from_vec` taking ownership — does not. The counter is
+//! thread-local so that delta measurements stay exact even when other
+//! threads (e.g. concurrently running tests) allocate tensors of their own.
+//!
+//! The simulator samples [`count`] as a delta around its reduce data path and
+//! reports the total as `RunResult::datapath_allocs`, which lets a test (and
+//! `ci.sh`) assert that steady-state rounds perform **zero** tensor
+//! allocations once the pool is warm.
+//!
+//! In release builds the counter is compiled out and [`count`] always
+//! returns 0, so the hook has no cost on the benchmarked configuration.
+
+use std::cell::Cell;
+
+thread_local! {
+    static TENSOR_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one fresh tensor-buffer allocation. No-op in release builds.
+#[inline]
+pub(crate) fn note_alloc() {
+    if cfg!(debug_assertions) {
+        TENSOR_ALLOCS.with(|c| c.set(c.get() + 1));
+    }
+}
+
+/// Number of fresh tensor-buffer allocations on the current thread since it
+/// started.
+///
+/// Monotonically increasing; callers measure regions by taking deltas.
+/// Always 0 in release builds (the hook is debug-only).
+#[inline]
+pub fn count() -> u64 {
+    if cfg!(debug_assertions) {
+        TENSOR_ALLOCS.with(Cell::get)
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn constructors_are_counted_and_reuse_is_not() {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let before = super::count();
+        let a = Tensor::zeros(16);
+        let mut b = a.clone();
+        let _s = a.slice(0..8);
+        let fresh = super::count() - before;
+        assert_eq!(fresh, 3, "zeros + clone + slice each allocate");
+
+        let before = super::count();
+        b.copy_from(&a); // equal lengths: reuses b's buffer
+        b.fill_zero();
+        let _t = Tensor::from_vec(b.into_vec()); // ownership transfer
+        assert_eq!(super::count(), before, "buffer reuse must not be counted");
+    }
+}

@@ -14,6 +14,10 @@
 //!   and weighted averaging across many tensors.
 //! * [`stats`] — scalar statistics (mean, stddev, percentiles, histograms)
 //!   used by the experiment harness to summarize timing distributions.
+//! * [`pool`] — a length-keyed free list ([`TensorPool`]) that makes
+//!   steady-state reduce rounds allocation-free.
+//! * [`alloc`] — a debug-only counter of fresh tensor-buffer allocations,
+//!   used to *prove* the zero-allocation property in tests.
 //!
 //! # Examples
 //!
@@ -29,11 +33,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alloc;
 pub mod chunks;
+pub mod pool;
 pub mod reduce;
 pub mod stats;
 mod tensor;
 
 pub use chunks::{partition, ChunkRange};
+pub use pool::TensorPool;
 pub use reduce::ReduceOp;
 pub use tensor::Tensor;

@@ -4,7 +4,20 @@
 //! partial AllReduce sums the gradients of the workers that contributed
 //! (weight `w = 1`) and rescales by `W = 1 / Σ w`, treating absent workers as
 //! null contributions.
+//!
+//! Every averaging helper has a fused `*_into` variant that writes into a
+//! caller-provided buffer (typically from a [`TensorPool`](crate::TensorPool))
+//! in a **single pass** over memory: instead of the naive
+//! zero-the-accumulator → one `axpy` sweep per input → final `scale` sweep
+//! (`N + 2` passes for `N` inputs), the fused kernels accumulate an 8-lane
+//! block across all inputs and write each output element exactly once. The
+//! per-element arithmetic — accumulation order, the single multiply by the
+//! precomputed `1 / Σ w` — is identical to the naive sequence, so results are
+//! bit-for-bit the same.
 
+use std::borrow::Borrow;
+
+use crate::tensor::{zip_apply, LANES};
 use crate::Tensor;
 
 /// An element-wise reduction operator applied across tensors.
@@ -35,32 +48,47 @@ pub enum ReduceOp {
 impl ReduceOp {
     /// Reduces `inputs` element-wise, or `None` when `inputs` is empty.
     ///
+    /// Allocates the output; use [`ReduceOp::reduce_into`] on the hot path.
+    ///
     /// # Panics
     ///
     /// Panics if the input tensors have differing lengths.
     pub fn reduce(&self, inputs: &[&Tensor]) -> Option<Tensor> {
         let first = inputs.first()?;
-        let mut acc = (*first).clone();
-        for t in &inputs[1..] {
-            assert_eq!(acc.len(), t.len(), "tensor length mismatch in reduce");
-            match self {
-                ReduceOp::Sum | ReduceOp::Mean => acc.add_assign(t),
-                ReduceOp::Max => {
-                    for (a, b) in acc.as_mut_slice().iter_mut().zip(t.as_slice()) {
-                        *a = a.max(*b);
-                    }
-                }
-                ReduceOp::Min => {
-                    for (a, b) in acc.as_mut_slice().iter_mut().zip(t.as_slice()) {
-                        *a = a.min(*b);
-                    }
-                }
+        let mut out = Tensor::zeros(first.len());
+        self.reduce_into(&mut out, inputs);
+        Some(out)
+    }
+
+    /// Fused reduction of `inputs` into `out` in one pass over memory.
+    ///
+    /// Returns `false` (leaving `out` untouched) when `inputs` is empty.
+    /// Accepts both `&[&Tensor]` and `&[Tensor]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` or any input disagrees on length.
+    pub fn reduce_into<T: Borrow<Tensor>>(&self, out: &mut Tensor, inputs: &[T]) -> bool {
+        if inputs.is_empty() {
+            return false;
+        }
+        for t in inputs {
+            assert_eq!(
+                out.len(),
+                t.borrow().len(),
+                "tensor length mismatch in reduce"
+            );
+        }
+        match self {
+            ReduceOp::Sum => fold_blocks(out.as_mut_slice(), inputs, |a, b| a + b, 1.0),
+            ReduceOp::Mean => {
+                let inv = 1.0 / inputs.len() as f32;
+                fold_blocks(out.as_mut_slice(), inputs, |a, b| a + b, inv);
             }
+            ReduceOp::Max => fold_blocks(out.as_mut_slice(), inputs, f32::max, 1.0),
+            ReduceOp::Min => fold_blocks(out.as_mut_slice(), inputs, f32::min, 1.0),
         }
-        if let ReduceOp::Mean = self {
-            acc.scale(1.0 / inputs.len() as f32);
-        }
-        Some(acc)
+        true
     }
 
     /// Combines a partial accumulator with one more input, for streaming
@@ -73,19 +101,67 @@ impl ReduceOp {
     ///
     /// Panics if the lengths differ.
     pub fn accumulate(&self, acc: &mut Tensor, input: &Tensor) {
+        self.accumulate_slice(acc.as_mut_slice(), input.as_slice());
+    }
+
+    /// Slice-level form of [`ReduceOp::accumulate`], usable on sub-ranges of
+    /// a larger buffer (the ring collective reduces chunks in place this
+    /// way). One implementation serves Sum/Mean/Max/Min.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn accumulate_slice(&self, acc: &mut [f32], input: &[f32]) {
+        assert_eq!(
+            acc.len(),
+            input.len(),
+            "tensor length mismatch in reduce accumulate"
+        );
         match self {
-            ReduceOp::Sum | ReduceOp::Mean => acc.add_assign(input),
-            ReduceOp::Max => {
-                for (a, b) in acc.as_mut_slice().iter_mut().zip(input.as_slice()) {
-                    *a = a.max(*b);
-                }
-            }
-            ReduceOp::Min => {
-                for (a, b) in acc.as_mut_slice().iter_mut().zip(input.as_slice()) {
-                    *a = a.min(*b);
-                }
+            ReduceOp::Sum | ReduceOp::Mean => zip_apply(acc, input, |a, b| a + b),
+            ReduceOp::Max => zip_apply(acc, input, f32::max),
+            ReduceOp::Min => zip_apply(acc, input, f32::min),
+        }
+    }
+}
+
+/// Folds all `inputs` into `out` blockwise: each 8-lane block is seeded from
+/// the first input, combined across the remaining inputs with `f`, scaled by
+/// `post`, and written exactly once. `post` is 1.0 except for `Mean`
+/// (multiplying by 1.0 is an identity on every `f32`, so non-mean ops are
+/// unaffected).
+#[inline]
+fn fold_blocks<T: Borrow<Tensor>>(
+    out: &mut [f32],
+    inputs: &[T],
+    f: impl Fn(f32, f32) -> f32,
+    post: f32,
+) {
+    let len = out.len();
+    let first = inputs[0].borrow().as_slice();
+    let rest = &inputs[1..];
+    let mut i = 0;
+    while i + LANES <= len {
+        let mut acc = [0.0f32; LANES];
+        acc.copy_from_slice(&first[i..i + LANES]);
+        for t in rest {
+            let s = &t.borrow().as_slice()[i..i + LANES];
+            for l in 0..LANES {
+                acc[l] = f(acc[l], s[l]);
             }
         }
+        for l in 0..LANES {
+            out[i + l] = acc[l] * post;
+        }
+        i += LANES;
+    }
+    while i < len {
+        let mut acc = first[i];
+        for t in rest {
+            acc = f(acc, t.borrow().as_slice()[i]);
+        }
+        out[i] = acc * post;
+        i += 1;
     }
 }
 
@@ -93,7 +169,8 @@ impl ReduceOp {
 /// `out = Σ wᵢ · gᵢ / Σ wᵢ`.
 ///
 /// Returns `None` when the weight sum is zero (every contribution was null)
-/// or when `inputs` is empty.
+/// or when `inputs` is empty. Allocates the output; use
+/// [`weighted_average_into`] on the hot path.
 ///
 /// # Panics
 ///
@@ -115,6 +192,23 @@ impl ReduceOp {
 /// assert_eq!(avg.as_slice(), &[2.0]);
 /// ```
 pub fn weighted_average(inputs: &[&Tensor], weights: &[f32]) -> Option<Tensor> {
+    let mut out = Tensor::zeros(inputs.first().map_or(0, |t| t.len()));
+    weighted_average_into(&mut out, inputs, weights).then_some(out)
+}
+
+/// Fused, single-pass form of [`weighted_average`] writing into `out`.
+///
+/// Returns `false` (leaving `out` untouched) when `inputs` is empty or the
+/// weight sum is zero. Bit-identical to the naive zeros → `axpy` per input →
+/// `scale(1/Σw)` sequence: elements accumulate in input order from 0.0,
+/// zero-weight inputs are skipped, and the result is multiplied once by the
+/// precomputed reciprocal.
+///
+/// # Panics
+///
+/// Same contract as [`weighted_average`], plus `out` must match the input
+/// length.
+pub fn weighted_average_into(out: &mut Tensor, inputs: &[&Tensor], weights: &[f32]) -> bool {
     assert_eq!(
         inputs.len(),
         weights.len(),
@@ -125,16 +219,45 @@ pub fn weighted_average(inputs: &[&Tensor], weights: &[f32]) -> Option<Tensor> {
     }
     let total: f32 = weights.iter().sum();
     if inputs.is_empty() || total == 0.0 {
-        return None;
+        return false;
     }
-    let mut acc = Tensor::zeros(inputs[0].len());
-    for (t, &w) in inputs.iter().zip(weights) {
-        if w > 0.0 {
-            acc.axpy(w, t);
+    for t in inputs {
+        assert_eq!(
+            out.len(),
+            t.len(),
+            "tensor length mismatch in weighted average"
+        );
+    }
+    let inv = 1.0 / total;
+    let len = out.len();
+    let o = out.as_mut_slice();
+    let mut i = 0;
+    while i + LANES <= len {
+        let mut acc = [0.0f32; LANES];
+        for (t, &w) in inputs.iter().zip(weights) {
+            if w > 0.0 {
+                let s = &t.as_slice()[i..i + LANES];
+                for l in 0..LANES {
+                    acc[l] += w * s[l];
+                }
+            }
         }
+        for l in 0..LANES {
+            o[i + l] = acc[l] * inv;
+        }
+        i += LANES;
     }
-    acc.scale(1.0 / total);
-    Some(acc)
+    while i < len {
+        let mut acc = 0.0f32;
+        for (t, &w) in inputs.iter().zip(weights) {
+            if w > 0.0 {
+                acc += w * t.as_slice()[i];
+            }
+        }
+        o[i] = acc * inv;
+        i += 1;
+    }
+    true
 }
 
 /// Staleness-weighted local reduction of accumulated gradients
@@ -149,33 +272,83 @@ pub fn weighted_average(inputs: &[&Tensor], weights: &[f32]) -> Option<Tensor> {
 /// i.e. the weight of an update grows linearly with how recent it is; the
 /// oldest accumulated gradient gets weight 1.
 ///
-/// Returns `None` when `grads` is empty.
+/// Returns `None` when `grads` is empty. Allocates the output; use
+/// [`staleness_weighted_average_into`] on the hot path.
 ///
 /// # Panics
 ///
-/// Panics if any `t > k` pairing makes a weight non-positive impossible by
-/// construction — weights are always ≥ 1 for `t ≥ k − τ`, which the iteration
-/// bookkeeping guarantees; panics if tensor lengths differ.
+/// Panics if the tensor lengths differ. The weights themselves cannot
+/// trigger a panic: by the definition of `τ`, the oldest entry sits exactly
+/// at `base = k − τ`, so every weight `t − base + 1` is ≥ 1 — including for
+/// "future" gradients with `t > k` (a faster peer's update), which simply
+/// weigh more.
 pub fn staleness_weighted_average(grads: &[(u64, &Tensor)], k: u64) -> Option<Tensor> {
+    let mut out = Tensor::zeros(grads.first().map_or(0, |(_, g)| g.len()));
+    staleness_weighted_average_into(&mut out, grads, k).then_some(out)
+}
+
+/// Fused, single-pass form of [`staleness_weighted_average`] writing into
+/// `out`. Accepts both `&[(u64, &Tensor)]` and `&[(u64, Tensor)]`, so a
+/// gradient cache can pass its entries without building a borrow vector.
+///
+/// Returns `false` (leaving `out` untouched) when `grads` is empty.
+///
+/// # Panics
+///
+/// Same contract as [`staleness_weighted_average`], plus `out` must match
+/// the gradient length.
+pub fn staleness_weighted_average_into<T: Borrow<Tensor>>(
+    out: &mut Tensor,
+    grads: &[(u64, T)],
+    k: u64,
+) -> bool {
     if grads.is_empty() {
-        return None;
+        return false;
     }
     // Largest iteration gap τ among the accumulated results.
     let tau = grads
         .iter()
-        .map(|&(t, _)| k.saturating_sub(t))
+        .map(|(t, _)| k.saturating_sub(*t))
         .max()
         .unwrap();
     let base = k - tau; // oldest iteration present or older
-    let mut acc = Tensor::zeros(grads[0].1.len());
     let mut total = 0.0_f32;
-    for &(t, g) in grads {
-        let w = (t - base + 1) as f32;
-        acc.axpy(w, g);
-        total += w;
+    for (t, g) in grads {
+        assert_eq!(
+            out.len(),
+            g.borrow().len(),
+            "tensor length mismatch in staleness average"
+        );
+        total += (t - base + 1) as f32;
     }
-    acc.scale(1.0 / total);
-    Some(acc)
+    let inv = 1.0 / total;
+    let len = out.len();
+    let o = out.as_mut_slice();
+    let mut i = 0;
+    while i + LANES <= len {
+        let mut acc = [0.0f32; LANES];
+        for (t, g) in grads {
+            let w = (t - base + 1) as f32;
+            let s = &g.borrow().as_slice()[i..i + LANES];
+            for l in 0..LANES {
+                acc[l] += w * s[l];
+            }
+        }
+        for l in 0..LANES {
+            o[i + l] = acc[l] * inv;
+        }
+        i += LANES;
+    }
+    while i < len {
+        let mut acc = 0.0f32;
+        for (t, g) in grads {
+            let w = (t - base + 1) as f32;
+            acc += w * g.borrow().as_slice()[i];
+        }
+        o[i] = acc * inv;
+        i += 1;
+    }
+    true
 }
 
 #[cfg(test)]
@@ -220,6 +393,18 @@ mod tests {
     fn reduce_single_is_identity() {
         let a = Tensor::from_vec(vec![1.5]);
         assert_eq!(ReduceOp::Mean.reduce(&[&a]).unwrap(), a);
+    }
+
+    #[test]
+    fn reduce_into_accepts_owned_inputs() {
+        let inputs = vec![
+            Tensor::from_vec(vec![1.0, 2.0]),
+            Tensor::from_vec(vec![3.0, 4.0]),
+        ];
+        let mut out = Tensor::zeros(2);
+        assert!(ReduceOp::Sum.reduce_into(&mut out, &inputs));
+        assert_eq!(out.as_slice(), &[4.0, 6.0]);
+        assert!(!ReduceOp::Sum.reduce_into(&mut out, &Vec::<Tensor>::new()));
     }
 
     #[test]
@@ -292,6 +477,17 @@ mod tests {
         let out = staleness_weighted_average(&[(5, &old), (6, &fut)], 5).unwrap();
         // τ = 0, base = 5, weights 1 and 2 → (0 + 8)/3
         assert!((out.as_slice()[0] - 8.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staleness_into_accepts_owned_entries() {
+        let entries: Vec<(u64, Tensor)> = vec![
+            (9, Tensor::from_vec(vec![3.0])),
+            (10, Tensor::from_vec(vec![9.0])),
+        ];
+        let mut out = Tensor::zeros(1);
+        assert!(staleness_weighted_average_into(&mut out, &entries, 10));
+        assert_eq!(out.as_slice(), &[7.0]);
     }
 
     proptest! {

@@ -3,6 +3,46 @@ use std::ops::{Index, IndexMut, Range};
 
 use serde::{Deserialize, Serialize};
 
+use crate::alloc::note_alloc;
+
+/// Unroll width of the element-wise kernels. Eight `f32` lanes fill one
+/// 256-bit vector register, and the fixed-size inner loops below are written
+/// so the autovectorizer can turn them into straight-line SIMD without any
+/// `unsafe` or platform intrinsics.
+pub(crate) const LANES: usize = 8;
+
+/// Applies `a[i] = f(a[i], b[i])` over two equal-length slices with an
+/// 8-wide unrolled main loop. All element-wise binary kernels funnel through
+/// this helper, so they share one autovectorizer-friendly shape.
+#[inline]
+pub(crate) fn zip_apply(a: &mut [f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ac = a.chunks_exact_mut(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ac).zip(&mut bc) {
+        for l in 0..LANES {
+            xa[l] = f(xa[l], xb[l]);
+        }
+    }
+    for (x, y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+        *x = f(*x, *y);
+    }
+}
+
+/// Applies `a[i] = f(a[i])` with an 8-wide unrolled main loop.
+#[inline]
+pub(crate) fn map_apply(a: &mut [f32], f: impl Fn(f32) -> f32) {
+    let mut ac = a.chunks_exact_mut(LANES);
+    for xa in &mut ac {
+        for x in xa.iter_mut() {
+            *x = f(*x);
+        }
+    }
+    for x in ac.into_remainder() {
+        *x = f(*x);
+    }
+}
+
 /// A flat, heap-allocated buffer of `f32` values.
 ///
 /// `Tensor` is the payload type exchanged by every collective in this
@@ -11,7 +51,8 @@ use serde::{Deserialize, Serialize};
 /// what Horovod-style AllReduce implementations do ("tensor fusion").
 ///
 /// All arithmetic is in-place where possible so that the simulator never
-/// allocates in its hot loop.
+/// allocates in its hot loop; fresh-buffer constructors feed the debug
+/// [`alloc`](crate::alloc) counter so the zero-allocation claim is testable.
 ///
 /// # Examples
 ///
@@ -22,7 +63,7 @@ use serde::{Deserialize, Serialize};
 /// g.axpy(2.0, &Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0]));
 /// assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
 /// ```
-#[derive(Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(PartialEq, Default, Serialize, Deserialize)]
 pub struct Tensor {
     data: Vec<f32>,
 }
@@ -37,6 +78,7 @@ impl Tensor {
     /// assert_eq!(t.as_slice(), &[0.0, 0.0, 0.0]);
     /// ```
     pub fn zeros(len: usize) -> Self {
+        note_alloc();
         Tensor {
             data: vec![0.0; len],
         }
@@ -44,6 +86,7 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn filled(len: usize, value: f32) -> Self {
+        note_alloc();
         Tensor {
             data: vec![value; len],
         }
@@ -87,9 +130,7 @@ impl Tensor {
 
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
-        for v in &mut self.data {
-            *v = 0.0;
-        }
+        self.data.fill(0.0);
     }
 
     /// Element-wise `self += other`.
@@ -99,9 +140,7 @@ impl Tensor {
     /// Panics if the lengths differ.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.len(), other.len(), "tensor length mismatch in add");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        zip_apply(&mut self.data, &other.data, |a, b| a + b);
     }
 
     /// Element-wise `self -= other`.
@@ -111,16 +150,12 @@ impl Tensor {
     /// Panics if the lengths differ.
     pub fn sub_assign(&mut self, other: &Tensor) {
         assert_eq!(self.len(), other.len(), "tensor length mismatch in sub");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a -= b;
-        }
+        zip_apply(&mut self.data, &other.data, |a, b| a - b);
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        map_apply(&mut self.data, |a| a * s);
     }
 
     /// `self += alpha * other` (the BLAS `axpy` primitive).
@@ -130,9 +165,22 @@ impl Tensor {
     /// Panics if the lengths differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.len(), other.len(), "tensor length mismatch in axpy");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        zip_apply(&mut self.data, &other.data, |a, b| a + alpha * b);
+    }
+
+    /// Fused `self = (self + alpha * other) * s` in one pass.
+    ///
+    /// Equivalent to `axpy(alpha, other)` followed by `scale(s)` (the scale
+    /// distributes over the sum only in exact arithmetic, so this computes
+    /// the same expression element-wise, not the algebraic rearrangement)
+    /// but touches memory once instead of twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy_scale(&mut self, alpha: f32, other: &Tensor, s: f32) {
+        assert_eq!(self.len(), other.len(), "tensor length mismatch in axpy");
+        zip_apply(&mut self.data, &other.data, |a, b| (a + alpha * b) * s);
     }
 
     /// Linear interpolation toward `other`: `self = (1 - t) * self + t * other`.
@@ -144,9 +192,7 @@ impl Tensor {
     /// Panics if the lengths differ.
     pub fn lerp(&mut self, other: &Tensor, t: f32) {
         assert_eq!(self.len(), other.len(), "tensor length mismatch in lerp");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a = (1.0 - t) * *a + t * b;
-        }
+        zip_apply(&mut self.data, &other.data, |a, b| (1.0 - t) * a + t * b);
     }
 
     /// Dot product with `other`.
@@ -180,6 +226,7 @@ impl Tensor {
         if self.len() == other.len() {
             self.data.copy_from_slice(&other.data);
         } else {
+            note_alloc();
             self.data = other.data.clone();
         }
     }
@@ -190,6 +237,7 @@ impl Tensor {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: Range<usize>) -> Tensor {
+        note_alloc();
         Tensor {
             data: self.data[range].to_vec(),
         }
@@ -210,12 +258,11 @@ impl Tensor {
     ///
     /// Panics if `offset + chunk.len()` exceeds the tensor length.
     pub fn add_chunk(&mut self, offset: usize, chunk: &Tensor) {
-        for (a, b) in self.data[offset..offset + chunk.len()]
-            .iter_mut()
-            .zip(&chunk.data)
-        {
-            *a += b;
-        }
+        zip_apply(
+            &mut self.data[offset..offset + chunk.len()],
+            &chunk.data,
+            |a, b| a + b,
+        );
     }
 
     /// Whether all elements are within `tol` of the corresponding element of
@@ -242,14 +289,27 @@ impl Tensor {
     /// Panics if `bound` is negative or NaN.
     pub fn clip(&mut self, bound: f32) {
         assert!(bound >= 0.0, "clip bound must be non-negative");
-        for v in &mut self.data {
-            *v = v.clamp(-bound, bound);
-        }
+        map_apply(&mut self.data, |v| v.clamp(-bound, bound));
     }
 
     /// Iterates over the elements.
     pub fn iter(&self) -> std::slice::Iter<'_, f32> {
         self.data.iter()
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        note_alloc();
+        Tensor {
+            data: self.data.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Reuses the existing buffer when lengths match (and is then not a
+        // fresh allocation for the debug counter).
+        self.copy_from(source);
     }
 }
 
@@ -291,6 +351,7 @@ impl From<Vec<f32>> for Tensor {
 
 impl FromIterator<f32> for Tensor {
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        note_alloc();
         Tensor {
             data: iter.into_iter().collect(),
         }
@@ -344,10 +405,36 @@ mod tests {
     }
 
     #[test]
+    fn kernels_cover_unrolled_body_and_remainder() {
+        // 19 = 2 full 8-lane blocks + a 3-element tail: exercises both paths.
+        let n = 19;
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i * i) as f32 * 0.25).collect();
+        let mut a = Tensor::from_vec(x.clone());
+        a.axpy(-0.75, &Tensor::from_vec(y.clone()));
+        for i in 0..n {
+            assert_eq!(a.as_slice()[i], x[i] + -0.75 * y[i], "lane {i}");
+        }
+    }
+
+    #[test]
     fn axpy_matches_manual() {
         let mut a = Tensor::from_vec(vec![1.0, 1.0]);
         a.axpy(-0.5, &Tensor::from_vec(vec![2.0, 4.0]));
         assert_eq!(a.as_slice(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn axpy_scale_fuses_bit_exactly() {
+        let n = 21;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+        let mut fused = Tensor::from_vec(x.clone());
+        fused.axpy_scale(1.25, &Tensor::from_vec(y.clone()), 0.1);
+        let mut twopass = Tensor::from_vec(x);
+        twopass.axpy(1.25, &Tensor::from_vec(y));
+        twopass.scale(0.1);
+        assert_eq!(fused, twopass);
     }
 
     #[test]
@@ -389,6 +476,14 @@ mod tests {
         let mut a = Tensor::zeros(2);
         a.copy_from(&Tensor::from_vec(vec![1.0, 2.0, 3.0]));
         assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn clone_from_reuses_buffer() {
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let mut dst = Tensor::zeros(3);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Property tests pinning every fused kernel to a scalar reference
+//! implementation.
+//!
+//! The scalar references below are deliberately naive, un-unrolled loops —
+//! the exact code the optimized kernels replaced. Sum-style accumulations
+//! must match **bit-exactly** (the fused kernels perform the same
+//! per-element operations in the same order); everything else must agree
+//! within 1e-6.
+
+use proptest::prelude::*;
+use rna_tensor::reduce::{
+    staleness_weighted_average, staleness_weighted_average_into, weighted_average,
+    weighted_average_into,
+};
+use rna_tensor::{ReduceOp, Tensor, TensorPool};
+
+fn scalar_axpy(x: &mut [f32], alpha: f32, y: &[f32]) {
+    for (a, b) in x.iter_mut().zip(y) {
+        *a += alpha * b;
+    }
+}
+
+fn scalar_scale(x: &mut [f32], s: f32) {
+    for a in x.iter_mut() {
+        *a *= s;
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_assign_is_bit_exact(
+        len in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let (x, y) = two_tensors(len, seed);
+        let mut fused = Tensor::from_vec(x.clone());
+        fused.add_assign(&Tensor::from_vec(y.clone()));
+        let mut reference = x;
+        for (a, b) in reference.iter_mut().zip(&y) { *a += b; }
+        prop_assert_eq!(fused.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn axpy_is_bit_exact(
+        len in 0usize..40,
+        alpha in -4.0f32..4.0,
+        seed in 0u64..1000,
+    ) {
+        let (x, y) = two_tensors(len, seed);
+        let mut fused = Tensor::from_vec(x.clone());
+        fused.axpy(alpha, &Tensor::from_vec(y.clone()));
+        let mut reference = x;
+        scalar_axpy(&mut reference, alpha, &y);
+        prop_assert_eq!(fused.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn scale_is_bit_exact(
+        len in 0usize..40,
+        s in -4.0f32..4.0,
+        seed in 0u64..1000,
+    ) {
+        let (x, _) = two_tensors(len, seed);
+        let mut fused = Tensor::from_vec(x.clone());
+        fused.scale(s);
+        let mut reference = x;
+        scalar_scale(&mut reference, s);
+        prop_assert_eq!(fused.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn axpy_scale_matches_two_pass_bit_exactly(
+        len in 0usize..40,
+        alpha in -4.0f32..4.0,
+        s in -4.0f32..4.0,
+        seed in 0u64..1000,
+    ) {
+        let (x, y) = two_tensors(len, seed);
+        let mut fused = Tensor::from_vec(x.clone());
+        fused.axpy_scale(alpha, &Tensor::from_vec(y.clone()), s);
+        let mut reference = x;
+        scalar_axpy(&mut reference, alpha, &y);
+        scalar_scale(&mut reference, s);
+        prop_assert_eq!(fused.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn reduce_ops_match_scalar_reference(
+        len in 0usize..40,
+        n in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_vec(pseudo(len, seed.wrapping_add(i as u64))))
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+            let fused = op.reduce(&refs).unwrap();
+            let mut reference = inputs[0].as_slice().to_vec();
+            for t in &inputs[1..] {
+                for (a, &b) in reference.iter_mut().zip(t.as_slice()) {
+                    *a = match op {
+                        ReduceOp::Sum => *a + b,
+                        ReduceOp::Max => a.max(b),
+                        ReduceOp::Min => a.min(b),
+                        ReduceOp::Mean => unreachable!(),
+                    };
+                }
+            }
+            // Sum (and the order-insensitive max/min) are bit-exact.
+            prop_assert_eq!(fused.as_slice(), reference.as_slice());
+        }
+        // Mean: same sum then one multiply by 1/n — also bit-exact.
+        let fused = ReduceOp::Mean.reduce(&refs).unwrap();
+        let mut reference = inputs[0].as_slice().to_vec();
+        for t in &inputs[1..] {
+            for (a, b) in reference.iter_mut().zip(t.as_slice()) { *a += b; }
+        }
+        scalar_scale(&mut reference, 1.0 / n as f32);
+        prop_assert_eq!(fused.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn weighted_average_into_matches_naive_bit_exactly(
+        len in 0usize..40,
+        n in 1usize..6,
+        seed in 0u64..1000,
+        weights in proptest::collection::vec(0.0f32..5.0, 1..6),
+    ) {
+        let n = n.min(weights.len());
+        let weights = &weights[..n];
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_vec(pseudo(len, seed.wrapping_add(100 + i as u64))))
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+
+        // The naive seed implementation: zeros → axpy per input → scale.
+        let total: f32 = weights.iter().sum();
+        let naive = if total == 0.0 {
+            None
+        } else {
+            let mut acc = vec![0.0f32; len];
+            for (t, &w) in refs.iter().zip(weights) {
+                if w > 0.0 {
+                    scalar_axpy(&mut acc, w, t.as_slice());
+                }
+            }
+            scalar_scale(&mut acc, 1.0 / total);
+            Some(acc)
+        };
+
+        let alloc = weighted_average(&refs, weights);
+        let mut pooled_out = TensorPool::new().acquire(len);
+        let pooled_ok = weighted_average_into(&mut pooled_out, &refs, weights);
+
+        match naive {
+            Some(reference) => {
+                prop_assert_eq!(alloc.unwrap().as_slice(), reference.as_slice());
+                prop_assert!(pooled_ok);
+                prop_assert_eq!(pooled_out.as_slice(), reference.as_slice());
+            }
+            None => {
+                prop_assert!(alloc.is_none());
+                prop_assert!(!pooled_ok);
+            }
+        }
+    }
+
+    #[test]
+    fn staleness_average_into_matches_naive_bit_exactly(
+        len in 0usize..40,
+        n in 1usize..6,
+        k in 10u64..30,
+        seed in 0u64..1000,
+    ) {
+        let tensors: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_vec(pseudo(len, seed.wrapping_add(200 + i as u64))))
+            .collect();
+        let grads: Vec<(u64, &Tensor)> = tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (k - (i as u64 % 7), t))
+            .collect();
+
+        // Naive seed implementation.
+        let tau = grads.iter().map(|&(t, _)| k.saturating_sub(t)).max().unwrap();
+        let base = k - tau;
+        let mut acc = vec![0.0f32; len];
+        let mut total = 0.0f32;
+        for &(t, g) in &grads {
+            let w = (t - base + 1) as f32;
+            scalar_axpy(&mut acc, w, g.as_slice());
+            total += w;
+        }
+        scalar_scale(&mut acc, 1.0 / total);
+
+        let fused = staleness_weighted_average(&grads, k).unwrap();
+        prop_assert_eq!(fused.as_slice(), acc.as_slice());
+
+        let mut out = Tensor::zeros(len);
+        prop_assert!(staleness_weighted_average_into(&mut out, &grads, k));
+        prop_assert_eq!(out.as_slice(), acc.as_slice());
+    }
+
+    #[test]
+    fn lerp_stays_within_tolerance_of_reference(
+        len in 0usize..40,
+        t in 0.0f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        let (x, y) = two_tensors(len, seed);
+        let mut fused = Tensor::from_vec(x.clone());
+        fused.lerp(&Tensor::from_vec(y.clone()), t);
+        for i in 0..len {
+            let expect = (1.0 - t) * x[i] + t * y[i];
+            prop_assert!((fused.as_slice()[i] - expect).abs() <= 1e-6 * expect.abs().max(1.0));
+        }
+    }
+}
+
+/// Deterministic pseudo-random buffer so every proptest case is cheap to
+/// derive and reproducible without extra strategy plumbing.
+fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 200.0 - 100.0
+        })
+        .collect()
+}
+
+fn two_tensors(len: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    (pseudo(len, seed), pseudo(len, seed.wrapping_add(1)))
+}
