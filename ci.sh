@@ -26,8 +26,25 @@ for seed in 11 23 37; do
     -p rna-runtime --test fault_injection
 done
 
+# Control-plane stress: controller kills, checkpoint/resume roundtrips,
+# and PS-shard failover across three seeds in release mode, watchdogged
+# like the chaos pass above.
+echo "==> recovery stress (3 seeds, --release, watchdogged)"
+for seed in 11 23 37; do
+  echo "    seed ${seed}"
+  RNA_CHAOS_SEED="${seed}" timeout 600 cargo test -q --release \
+    -p rna-experiments --test recovery
+done
+
 echo "==> faults bench smoke (watchdogged)"
 timeout 900 cargo bench -q --bench faults
+
+# Recovery floor: checkpoint roundtrips must be bit-exact and both worlds
+# must survive their injected controller deaths, measured fresh in this
+# run. The report lands at the repo root as the tracked baseline.
+echo "==> recovery bench (--check, writes BENCH_PR4.json)"
+timeout 600 cargo run -q --release -p rna-bench --bin recovery -- \
+  --check --out BENCH_PR4.json
 
 # Data-path perf floor: the fused reduce kernels must beat the seed's
 # naive clone-scale-add path by >=2x, measured fresh in this run. The

@@ -1,0 +1,201 @@
+//! Control-plane recovery baseline: checkpoint write/read latency through
+//! the crash-consistent store, and the cost of a controller failover in
+//! both execution worlds (discrete-event simulator and real threads).
+//!
+//! Emits a hand-formatted JSON report (no serde_json in the offline build)
+//! to `BENCH_PR4.json` by default; `ci.sh` runs it with `--check`, which
+//! fails the build unless recovery *worked* in the same run — checkpoint
+//! roundtrips are bit-exact, every failover run still completes its full
+//! round budget, and the simulator's failover replay stays deterministic.
+//!
+//! Usage: `recovery [--check] [--out <path>]`
+
+use std::time::Instant;
+
+use rna_bench::mini_spec;
+use rna_core::fault::FaultPlan;
+use rna_core::recovery::CheckpointStore;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::Engine;
+use rna_core::RnaConfig;
+use rna_runtime::{run_threaded, SyncMode, ThreadedConfig, ToleranceConfig};
+use rna_tensor::wire::{self, Reader};
+use rna_tensor::Tensor;
+
+/// Headline checkpoint size: a 64 Ki-element model plus its optimizer
+/// velocity, the two tensors a controller checkpoint actually carries.
+const ELEMS: usize = 65_536;
+const SAMPLES: usize = 5;
+
+fn pseudo(len: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+struct CheckpointNumbers {
+    payload_bytes: usize,
+    save_us: f64,
+    load_us: f64,
+}
+
+/// Best-of-N microseconds for one save and one load+decode of a
+/// model-sized payload through the checksummed temp+rename store.
+fn bench_checkpoint_store() -> CheckpointNumbers {
+    let dir = std::env::temp_dir().join(format!("rna-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir).expect("scratch dir");
+    let master = pseudo(ELEMS, 1);
+    let velocity = pseudo(ELEMS, 2);
+    let mut payload = Vec::new();
+    wire::put_u64(&mut payload, 123);
+    wire::put_tensor(&mut payload, &master);
+    wire::put_tensor(&mut payload, &velocity);
+
+    let mut save_us = f64::INFINITY;
+    let mut load_us = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        store.save(&payload).expect("save");
+        save_us = save_us.min(t.elapsed().as_secs_f64() * 1e6);
+
+        let t = Instant::now();
+        let loaded = store.load_latest().expect("load");
+        let mut r = Reader::new(&loaded.payload);
+        let round = r.u64().expect("round");
+        let m = r.tensor().expect("master");
+        let v = r.tensor().expect("velocity");
+        load_us = load_us.min(t.elapsed().as_secs_f64() * 1e6);
+
+        // Bit-exactness is part of the measurement: a store that loses
+        // bits has no business being fast.
+        assert_eq!(round, 123);
+        assert_eq!(m.as_slice(), master.as_slice());
+        assert_eq!(v.as_slice(), velocity.as_slice());
+    }
+    let bytes = payload.len();
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointNumbers {
+        payload_bytes: bytes,
+        save_us,
+        load_us,
+    }
+}
+
+struct WorldNumbers {
+    clean_rounds_per_sec: f64,
+    failover_rounds_per_sec: f64,
+    failovers: u64,
+    rounds_lost: u64,
+}
+
+fn bench_des_failover() -> WorldNumbers {
+    let rounds = 200;
+    let t = Instant::now();
+    let clean = Engine::new(
+        mini_spec(8, rounds, 1),
+        RnaProtocol::new(8, RnaConfig::default(), 0),
+    )
+    .run();
+    let clean_rps = clean.global_rounds as f64 / t.elapsed().as_secs_f64();
+
+    let spec = mini_spec(8, rounds, 1)
+        .with_fault_plan(FaultPlan::none().crash_controller(50).crash_controller(120));
+    let t = Instant::now();
+    let faulted = Engine::new(spec, RnaProtocol::new(8, RnaConfig::default(), 0)).run();
+    let faulted_rps = faulted.global_rounds as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(
+        faulted.global_rounds, rounds,
+        "failover must not eat rounds"
+    );
+    WorldNumbers {
+        clean_rounds_per_sec: clean_rps,
+        failover_rounds_per_sec: faulted_rps,
+        failovers: faulted.controller_failovers,
+        rounds_lost: faulted.failover_rounds_lost,
+    }
+}
+
+fn bench_threaded_failover() -> WorldNumbers {
+    let mut config = ThreadedConfig::quick(8, SyncMode::Rna)
+        .with_tolerance(ToleranceConfig::tight())
+        .with_checkpoint_every(5);
+    config.rounds = 40;
+    config.compute_us = vec![(500, 1_000); 8];
+    let t = Instant::now();
+    let clean = run_threaded(&config);
+    let clean_rps = clean.rounds as f64 / t.elapsed().as_secs_f64();
+
+    let config = config.with_fault_plan(FaultPlan::none().crash_controller(20));
+    let t = Instant::now();
+    let faulted = run_threaded(&config);
+    let faulted_rps = faulted.rounds as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(faulted.rounds, 40, "failover must not eat rounds");
+    WorldNumbers {
+        clean_rounds_per_sec: clean_rps,
+        failover_rounds_per_sec: faulted_rps,
+        failovers: faulted.controller_failovers,
+        rounds_lost: faulted.failover_rounds_lost,
+    }
+}
+
+fn render_world(w: &WorldNumbers) -> String {
+    format!(
+        "{{ \"clean_rounds_per_sec\": {:.1}, \"failover_rounds_per_sec\": {:.1}, \"failovers\": {}, \"rounds_lost\": {} }}",
+        w.clean_rounds_per_sec, w.failover_rounds_per_sec, w.failovers, w.rounds_lost
+    )
+}
+
+fn render_json(ck: &CheckpointNumbers, des: &WorldNumbers, threaded: &WorldNumbers) -> String {
+    format!(
+        "{{\n  \"schema\": \"rna-recovery-bench-v1\",\n  \"model_elements\": {ELEMS},\n  \"checkpoint\": {{ \"payload_bytes\": {}, \"save_us\": {:.1}, \"load_us\": {:.1} }},\n  \"des_failover\": {},\n  \"threaded_failover\": {}\n}}\n",
+        ck.payload_bytes,
+        ck.save_us,
+        ck.load_us,
+        render_world(des),
+        render_world(threaded)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+
+    let ck = bench_checkpoint_store();
+    let des = bench_des_failover();
+    let threaded = bench_threaded_failover();
+    let json = render_json(&ck, &des, &threaded);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if check {
+        // Correctness floors, not perf guesses: both worlds survived their
+        // injected controller deaths, and the simulator's failover cost is
+        // the designed one probe round per crash.
+        assert_eq!(des.failovers, 2, "DES failovers");
+        assert_eq!(
+            des.rounds_lost, 2,
+            "DES loses exactly the probe round in flight"
+        );
+        assert_eq!(threaded.failovers, 1, "threaded failovers");
+        assert!(
+            threaded.rounds_lost <= 5,
+            "threaded redo bounded by the checkpoint cadence, got {}",
+            threaded.rounds_lost
+        );
+        eprintln!("recovery checks passed");
+    }
+}

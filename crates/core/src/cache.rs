@@ -137,6 +137,43 @@ impl GradientCache {
         self.entries.iter().map(|(_, g)| g).collect()
     }
 
+    /// The pending entries as `(iteration, gradient)` pairs, oldest first
+    /// (for checkpoints — a crash-consistent snapshot must persist the
+    /// cached gradients a worker has not yet contributed).
+    pub fn entries(&self) -> &[(u64, Tensor)] {
+        &self.entries
+    }
+
+    /// The configured staleness bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Whether staleness-linear weighting is enabled.
+    pub fn weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Rebuilds a cache from checkpointed state, restoring the pending
+    /// entries and the eviction counter exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` or `entries.len() > bound` (an impossible
+    /// state for a live cache — a corrupted checkpoint).
+    pub fn from_checkpoint(
+        bound: usize,
+        weighted: bool,
+        evicted: u64,
+        entries: Vec<(u64, Tensor)>,
+    ) -> Self {
+        let mut cache = GradientCache::new(bound, weighted);
+        assert!(entries.len() <= bound, "cache snapshot exceeds its bound");
+        cache.entries = entries;
+        cache.evicted = evicted;
+        cache
+    }
+
     /// The largest iteration gap among pending entries relative to round
     /// `k` (0 when empty).
     pub fn max_staleness(&self, k: u64) -> u64 {

@@ -111,6 +111,12 @@ impl WorkerFault {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     faults: Vec<(usize, WorkerFault)>,
+    /// Global rounds at which the *active controller* dies (one failover
+    /// each; the warm standby takes over after the lease expires).
+    controller_crashes: Vec<u64>,
+    /// `(shard, round)` pairs: the primary replica of PS shard `shard`
+    /// dies at global round `round` and pulls degrade to its mirror.
+    ps_crashes: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -160,9 +166,49 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a controller crash: the *active controller* dies as global
+    /// round `at_round` begins. Probes already in flight are lost, workers
+    /// keep computing into their caches, and the warm standby takes over
+    /// once the controller's lease expires — bumping the term so stale
+    /// replies from the dead incarnation are harmless.
+    ///
+    /// Unlike the worker faults, this targets the control plane (node `n`
+    /// in the simulator's numbering), so it is not subject to the
+    /// `max_worker` cluster-size validation.
+    pub fn crash_controller(mut self, at_round: u64) -> Self {
+        self.controller_crashes.push(at_round);
+        self.controller_crashes.sort_unstable();
+        self
+    }
+
+    /// Adds a PS shard crash: the primary replica of shard `shard` dies at
+    /// global round `at_round`. Subsequent pushes and pulls for that shard
+    /// degrade to its mirror (read-repaired up to the crash) instead of
+    /// wedging the hierarchical exchange.
+    pub fn crash_ps_shard(mut self, shard: usize, at_round: u64) -> Self {
+        self.ps_crashes.push((shard, at_round));
+        self
+    }
+
+    /// The sorted global rounds at which the active controller dies.
+    pub fn controller_crashes(&self) -> &[u64] {
+        &self.controller_crashes
+    }
+
+    /// The `(shard, round)` PS-shard crashes in insertion order.
+    pub fn ps_shard_crashes(&self) -> &[(usize, u64)] {
+        &self.ps_crashes
+    }
+
+    /// Whether the plan injects any control-plane fault (controller or PS
+    /// shard crash).
+    pub fn has_control_faults(&self) -> bool {
+        !self.controller_crashes.is_empty() || !self.ps_crashes.is_empty()
+    }
+
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && !self.has_control_faults()
     }
 
     /// All `(worker, fault)` entries in insertion order.
@@ -308,16 +354,81 @@ pub const PROBE_BACKOFF_US: u64 = 2_000;
 /// completed *degraded* (no update applied) rather than blocking forever.
 pub const ROUND_DEADLINE_US: u64 = 5_000_000;
 
+/// Default ceiling on the exponential re-probe backoff (microseconds):
+/// doubling stops here so a long partition cannot push the retry interval
+/// past the round deadline.
+pub const PROBE_BACKOFF_CAP_US: u64 = 128_000;
+
+/// A structurally invalid timeout or cadence configuration.
+///
+/// Returned by [`ToleranceConfig::validate`] (and the recovery module's
+/// checkpoint-cadence validation) instead of letting a zero window silently
+/// declare every worker dead or spin a retry loop hot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `liveness_timeout_us == 0`: every worker would be presumed dead the
+    /// instant it was probed.
+    ZeroLivenessWindow,
+    /// `round_deadline_us == 0`: every round would complete degraded
+    /// before any gradient could arrive.
+    ZeroDeadlineWindow,
+    /// `probe_backoff_us == 0`: the re-probe loop would spin without
+    /// pacing (and exponential doubling of zero never backs off).
+    ZeroProbeBackoff,
+    /// `probe_backoff_cap_us < probe_backoff_us`: a ceiling below the base
+    /// makes the very first backoff interval already "over cap".
+    BackoffCapBelowBase {
+        /// The configured initial backoff.
+        base_us: u64,
+        /// The configured (smaller) ceiling.
+        cap_us: u64,
+    },
+    /// A checkpoint cadence of zero rounds: there is no round boundary at
+    /// which such a checkpoint could ever be cut.
+    ZeroCheckpointCadence,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroLivenessWindow => {
+                write!(f, "liveness timeout must be positive")
+            }
+            ConfigError::ZeroDeadlineWindow => {
+                write!(f, "round deadline must be positive")
+            }
+            ConfigError::ZeroProbeBackoff => {
+                write!(f, "probe backoff must be positive")
+            }
+            ConfigError::BackoffCapBelowBase { base_us, cap_us } => {
+                write!(
+                    f,
+                    "probe backoff cap ({cap_us} us) is below the base ({base_us} us)"
+                )
+            }
+            ConfigError::ZeroCheckpointCadence => {
+                write!(f, "checkpoint cadence must be at least one round")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The failure-detection and retry timeouts of the threaded controller,
-/// previously hard-coded as the three `*_US` constants (which remain as
-/// the [`Default`] values). Fault tests can tighten these instead of
-/// paying real 150 ms liveness waits.
+/// previously hard-coded as the `*_US` constants (which remain as the
+/// [`Default`] values). Fault tests can tighten these instead of paying
+/// real 150 ms liveness waits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ToleranceConfig {
-    /// Heartbeat age past which a silent worker is presumed dead.
+    /// Heartbeat age past which a silent worker is presumed dead. Also the
+    /// controller lease: a standby takes over when the active controller
+    /// has not heartbeat within this window.
     pub liveness_timeout_us: u64,
     /// Initial re-probe backoff; doubles per retry within a round.
     pub probe_backoff_us: u64,
+    /// Ceiling for the exponential re-probe backoff.
+    pub probe_backoff_cap_us: u64,
     /// Hard per-round deadline before the round completes degraded.
     pub round_deadline_us: u64,
 }
@@ -327,6 +438,7 @@ impl Default for ToleranceConfig {
         ToleranceConfig {
             liveness_timeout_us: LIVENESS_TIMEOUT_US,
             probe_backoff_us: PROBE_BACKOFF_US,
+            probe_backoff_cap_us: PROBE_BACKOFF_CAP_US,
             round_deadline_us: ROUND_DEADLINE_US,
         }
     }
@@ -340,8 +452,57 @@ impl ToleranceConfig {
         ToleranceConfig {
             liveness_timeout_us: 8_000,
             probe_backoff_us: 500,
+            probe_backoff_cap_us: 32_000,
             round_deadline_us: 1_000_000,
         }
+    }
+
+    /// Builds a validated configuration, rejecting zero windows and a
+    /// backoff ceiling below the base with a typed [`ConfigError`].
+    ///
+    /// # Errors
+    ///
+    /// See the [`ConfigError`] variants for each rejected shape.
+    pub fn new(
+        liveness_timeout_us: u64,
+        probe_backoff_us: u64,
+        probe_backoff_cap_us: u64,
+        round_deadline_us: u64,
+    ) -> Result<Self, ConfigError> {
+        let config = ToleranceConfig {
+            liveness_timeout_us,
+            probe_backoff_us,
+            probe_backoff_cap_us,
+            round_deadline_us,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the invariants [`ToleranceConfig::new`] enforces. Callers
+    /// that build the struct literally (or deserialize it) should validate
+    /// before use; `run_threaded` does.
+    ///
+    /// # Errors
+    ///
+    /// See the [`ConfigError`] variants for each rejected shape.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.liveness_timeout_us == 0 {
+            return Err(ConfigError::ZeroLivenessWindow);
+        }
+        if self.round_deadline_us == 0 {
+            return Err(ConfigError::ZeroDeadlineWindow);
+        }
+        if self.probe_backoff_us == 0 {
+            return Err(ConfigError::ZeroProbeBackoff);
+        }
+        if self.probe_backoff_cap_us < self.probe_backoff_us {
+            return Err(ConfigError::BackoffCapBelowBase {
+                base_us: self.probe_backoff_us,
+                cap_us: self.probe_backoff_cap_us,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -606,10 +767,60 @@ mod tests {
         let t = ToleranceConfig::default();
         assert_eq!(t.liveness_timeout_us, LIVENESS_TIMEOUT_US);
         assert_eq!(t.probe_backoff_us, PROBE_BACKOFF_US);
+        assert_eq!(t.probe_backoff_cap_us, PROBE_BACKOFF_CAP_US);
         assert_eq!(t.round_deadline_us, ROUND_DEADLINE_US);
         let tight = ToleranceConfig::tight();
         assert!(tight.liveness_timeout_us < t.liveness_timeout_us);
         assert!(tight.round_deadline_us < t.round_deadline_us);
+        t.validate().unwrap();
+        tight.validate().unwrap();
+    }
+
+    #[test]
+    fn tolerance_validation_rejects_zero_windows() {
+        assert_eq!(
+            ToleranceConfig::new(0, 1, 1, 1),
+            Err(ConfigError::ZeroLivenessWindow)
+        );
+        assert_eq!(
+            ToleranceConfig::new(1, 1, 1, 0),
+            Err(ConfigError::ZeroDeadlineWindow)
+        );
+        assert_eq!(
+            ToleranceConfig::new(1, 0, 1, 1),
+            Err(ConfigError::ZeroProbeBackoff)
+        );
+        assert_eq!(
+            ToleranceConfig::new(1, 500, 499, 1),
+            Err(ConfigError::BackoffCapBelowBase {
+                base_us: 500,
+                cap_us: 499
+            })
+        );
+        assert!(ToleranceConfig::new(1, 500, 500, 1).is_ok());
+        // Errors render as readable messages, not Debug soup.
+        let msg = ConfigError::BackoffCapBelowBase {
+            base_us: 500,
+            cap_us: 499,
+        }
+        .to_string();
+        assert!(msg.contains("below the base"), "{msg}");
+    }
+
+    #[test]
+    fn control_plane_faults_accumulate_and_sort() {
+        let plan = FaultPlan::none()
+            .crash_controller(9)
+            .crash_ps_shard(1, 4)
+            .crash_controller(3);
+        assert_eq!(plan.controller_crashes(), &[3, 9]);
+        assert_eq!(plan.ps_shard_crashes(), &[(1, 4)]);
+        assert!(plan.has_control_faults());
+        assert!(!plan.is_empty());
+        // Control-plane targets are not workers: cluster-size validation
+        // keys off worker faults only.
+        assert_eq!(plan.max_worker(), None);
+        assert!(!FaultPlan::none().has_control_faults());
     }
 
     #[test]

@@ -30,7 +30,7 @@
 use rna_simnet::SimDuration;
 use rna_tensor::Tensor;
 
-use rna_ps::GroupServer;
+use rna_ps::ReplicatedGroupServer;
 
 use crate::grouping::{group_of, partition_groups};
 use crate::rna::{GroupState, RnaMsg};
@@ -61,10 +61,14 @@ pub struct HierRnaProtocol {
     config: RnaConfig,
     groups: Vec<GroupState>,
     worker_group: Vec<usize>,
-    /// The asynchronous master parameters (the PS state).
+    /// The asynchronous master parameters (the PS state). Deliberately kept
+    /// as the broadcast source even under PS-shard faults: the master is
+    /// the analytic model of the exchange, the replicated server below
+    /// mirrors it per slot — so fault-free runs stay bit-identical.
     master: Option<Tensor>,
-    /// Slot bookkeeping (per-group versions/staleness diagnostics).
-    server: Option<GroupServer>,
+    /// Slot bookkeeping (per-group versions/staleness diagnostics), each
+    /// slot mirrored to a warm replica with read-repair on pull.
+    server: Option<ReplicatedGroupServer>,
     /// Accumulated `Σ scale·ḡ` per group since its last exchange.
     pending: Vec<Option<Tensor>>,
     /// Group rounds between PS exchanges.
@@ -72,6 +76,9 @@ pub struct HierRnaProtocol {
     /// Exchanges each group skipped because the PS was unreachable
     /// (partition). Reset when the group reconciles on heal.
     missed_exchanges: Vec<u64>,
+    /// Which [`crate::fault::FaultPlan::ps_shard_crashes`] entries have
+    /// already fired (sized lazily in `on_start`).
+    ps_crashes_done: Vec<bool>,
 }
 
 impl HierRnaProtocol {
@@ -100,6 +107,7 @@ impl HierRnaProtocol {
             pending: vec![None; num_groups],
             ps_every: 1,
             missed_exchanges: vec![0; num_groups],
+            ps_crashes_done: Vec::new(),
         }
     }
 
@@ -141,6 +149,42 @@ impl HierRnaProtocol {
         self.server.as_ref().map_or(0, |s| s.staleness(gid))
     }
 
+    /// PS shard primaries that crashed and degraded to their replica.
+    pub fn ps_failovers(&self) -> u64 {
+        self.server.as_ref().map_or(0, |s| s.failovers())
+    }
+
+    /// Mirror copies the PS refreshed by read-repair.
+    pub fn ps_read_repairs(&self) -> u64 {
+        self.server.as_ref().map_or(0, |s| s.read_repairs())
+    }
+
+    /// Fires any planned PS-shard crash scheduled for this group at its
+    /// current round: the slot's primary dies and the exchange degrades to
+    /// the warm mirror. Each plan entry fires exactly once.
+    fn maybe_crash_ps_shard(&mut self, ctx: &mut Ctx<'_, RnaMsg>, gid: usize) {
+        if ctx.fault_plan().ps_shard_crashes().is_empty() {
+            return;
+        }
+        let round = self.groups[gid].round();
+        let crashes = ctx.fault_plan().ps_shard_crashes().to_vec();
+        if self.ps_crashes_done.len() < crashes.len() {
+            self.ps_crashes_done.resize(crashes.len(), false);
+        }
+        for (i, &(shard, at_round)) in crashes.iter().enumerate() {
+            if self.ps_crashes_done[i] || shard != gid || at_round != round {
+                continue;
+            }
+            self.ps_crashes_done[i] = true;
+            if let Some(server) = self.server.as_mut() {
+                if shard < server.num_groups() {
+                    server.kill_primary(shard);
+                    ctx.note_ps_failover();
+                }
+            }
+        }
+    }
+
     fn accumulate(&mut self, ctx: &mut Ctx<'_, RnaMsg>, gid: usize, reduced: &Tensor, scale: f32) {
         let dim = reduced.len();
         let pooled = self.config.pooled;
@@ -177,6 +221,9 @@ impl HierRnaProtocol {
         master.axpy(-lr, &grad);
         if let Some(server) = self.server.as_mut() {
             server.push(gid, master);
+            // The pull half of the exchange read-repairs the slot's mirror,
+            // so a later primary crash degrades to this round's value.
+            let _ = server.pull_slot(gid);
         }
         // The broadcast payload snapshots the master; on the pooled path
         // both it and the drained accumulator cycle through the pool.
@@ -220,7 +267,8 @@ impl Protocol for HierRnaProtocol {
             "grouping must cover exactly the spec's workers"
         );
         self.master = Some(ctx.params(0));
-        self.server = Some(GroupServer::new(ctx.params(0), self.groups.len()));
+        self.server = Some(ReplicatedGroupServer::new(ctx.params(0), self.groups.len()));
+        self.ps_crashes_done = vec![false; ctx.fault_plan().ps_shard_crashes().len()];
         for w in 0..ctx.num_workers() {
             ctx.begin_compute(w);
         }
@@ -261,6 +309,7 @@ impl Protocol for HierRnaProtocol {
                 // (accumulate, exchange, apply) but not the round advance,
                 // whose compute launches allocate on the out-of-scope
                 // compute path.
+                self.maybe_crash_ps_shard(ctx, group);
                 let allocs_before = rna_tensor::alloc::count();
                 self.accumulate(ctx, group, &reduced, scale);
                 let exchange = (self.groups[group].round() + 1).is_multiple_of(self.ps_every);
@@ -316,6 +365,10 @@ impl Protocol for HierRnaProtocol {
                 }
                 ctx.note_datapath_allocs(rna_tensor::alloc::count() - allocs_before);
                 self.groups[group].complete_deferred_round(ctx, &self.config);
+            }
+            RnaMsg::StandbyTakeover { .. } => {
+                // Controller failover is modeled for flat RNA only; the
+                // hierarchical protocol never arms this timer.
             }
         }
     }
@@ -440,6 +493,20 @@ mod tests {
         let f = flat.final_loss().unwrap();
         let h = hier.final_loss().unwrap();
         assert!(h < f * 3.0 + 0.05, "hier {h} vs flat {f}");
+    }
+
+    #[test]
+    fn ps_shard_crash_degrades_to_replica() {
+        use crate::fault::FaultPlan;
+        let spec = mixed_spec(6, 11, 60)
+            .with_fault_plan(FaultPlan::none().crash_ps_shard(0, 5).crash_ps_shard(1, 9));
+        let p = HierRnaProtocol::auto(&spec, RnaConfig::default());
+        let r = Engine::new(spec, p).run();
+        // The exchange degrades to the mirrors instead of wedging.
+        assert_eq!(r.global_rounds, 60);
+        assert_eq!(r.ps_failovers, 2);
+        let pts = r.history.points();
+        assert!(pts.last().unwrap().loss < pts[0].loss);
     }
 
     #[test]

@@ -60,11 +60,13 @@ pub mod fault;
 pub mod grouping;
 pub mod hier;
 pub mod probe;
+pub mod recovery;
 pub mod rna;
 pub mod sim;
 pub mod stats;
 pub mod timeline;
 
 pub use config::RnaConfig;
-pub use fault::{FaultPlan, WorkerFate, WorkerFault};
+pub use fault::{FaultPlan, ToleranceConfig, WorkerFate, WorkerFault};
+pub use recovery::{CheckpointStore, RecoveryConfig, RecoveryError, RoundJournal};
 pub use stats::{RunResult, StopReason};

@@ -23,10 +23,13 @@
 
 use rna_collectives::{partial_allreduce, partial_allreduce_pooled};
 use rna_simnet::trace::SpanKind;
+use rna_tensor::wire::{self, Reader};
 use rna_tensor::Tensor;
 
 use crate::cache::GradientCache;
+use crate::fault::ToleranceConfig;
 use crate::probe::ProbeRound;
+use crate::recovery::RoundJournal;
 use crate::sim::{Ctx, Protocol};
 use crate::RnaConfig;
 
@@ -76,6 +79,15 @@ pub enum RnaMsg {
         /// Blended parameters pulled from the server.
         blended: Tensor,
     },
+    /// Warm-standby self-timer: the active controller's lease expired, so
+    /// the standby takes over under the next term. Scheduled when a
+    /// [`crate::fault::FaultPlan::crash_controller`] fault fires; ignored
+    /// unless the controller is actually down and the term is the expected
+    /// successor (stale timers are harmless).
+    StandbyTakeover {
+        /// The term the standby claims (must be current term + 1).
+        term: u64,
+    },
 }
 
 /// Per-group RNA state machine. `pub` so the hierarchical protocol can
@@ -99,6 +111,10 @@ pub struct GroupState {
     last_initiator: Option<usize>,
     probe_epoch: u64,
     retry_backoff_us: u64,
+    /// Checkpoint quiesce in progress: members finishing an iteration are
+    /// paused instead of continuing, until every live member is idle and
+    /// the checkpoint can be cut.
+    quiescing: bool,
 }
 
 /// A finished collective waiting to be applied: the reduced gradient, how
@@ -143,6 +159,7 @@ impl GroupState {
             last_initiator: None,
             probe_epoch: 0,
             retry_backoff_us: 0,
+            quiescing: false,
         }
     }
 
@@ -241,7 +258,10 @@ impl GroupState {
             return;
         }
         ctx.note_probe_retry();
-        self.retry_backoff_us = self.retry_backoff_us.saturating_mul(2);
+        self.retry_backoff_us = self
+            .retry_backoff_us
+            .saturating_mul(2)
+            .min(crate::fault::PROBE_BACKOFF_CAP_US);
         self.issue_probes(ctx, config);
     }
 
@@ -328,13 +348,14 @@ impl GroupState {
     }
 
     /// Starts the member's next iteration unless it is too far ahead of the
-    /// group round (bounded lead) or the run has stopped.
+    /// group round (bounded lead), a checkpoint quiesce is draining the
+    /// group, or the run has stopped.
     fn maybe_continue(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig, local: usize) {
         let worker = self.members[local];
         if ctx.stopped() || ctx.is_computing(worker) || !self.live[local] {
             return;
         }
-        if ctx.local_iter(worker).saturating_sub(self.round) >= config.max_lead {
+        if self.quiescing || ctx.local_iter(worker).saturating_sub(self.round) >= config.max_lead {
             self.paused[local] = true;
             ctx.set_span(worker, SpanKind::Wait);
         } else {
@@ -586,17 +607,212 @@ impl GroupState {
         config: &RnaConfig,
         contributors: usize,
     ) {
+        self.complete_round(ctx, contributors);
+        self.resume_paused(ctx, config);
+        if !ctx.stopped() {
+            self.start_probe_round(ctx, config);
+        }
+    }
+
+    /// The bookkeeping half of [`GroupState::advance_round`]: clears the
+    /// reduce latch, bumps the round, and records participation. Callers
+    /// that need to intervene before the next probe round (a checkpoint
+    /// quiesce, a controller-crash fault) follow up with
+    /// [`GroupState::resume_paused`] and [`GroupState::start_probe_round`]
+    /// themselves.
+    pub fn complete_round(&mut self, ctx: &mut Ctx<'_, RnaMsg>, contributors: usize) {
         self.reducing = false;
         self.round += 1;
         ctx.finish_round(contributors as f64 / self.members.len() as f64);
+    }
+
+    /// Gives every paused member a chance to continue (in member order —
+    /// the order matters for event-queue determinism, so the checkpoint
+    /// resume path uses exactly this loop too).
+    pub fn resume_paused(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig) {
         for local in 0..self.members.len() {
             if self.paused[local] {
                 self.maybe_continue(ctx, config, local);
             }
         }
-        if !ctx.stopped() {
-            self.start_probe_round(ctx, config);
+    }
+
+    /// Starts draining the group for a crash-consistent checkpoint:
+    /// members finishing their in-flight iteration are paused instead of
+    /// continuing. Cut the checkpoint once [`GroupState::all_idle`].
+    pub fn begin_quiesce(&mut self) {
+        self.quiescing = true;
+        // Members already lead-bound-paused stay paused through the cut.
+        for local in 0..self.members.len() {
+            if self.live[local] {
+                self.paused[local] = true;
+            }
         }
+    }
+
+    /// Whether a checkpoint quiesce is draining this group.
+    pub fn quiescing(&self) -> bool {
+        self.quiescing
+    }
+
+    /// Ends the quiesce (after the checkpoint was written).
+    pub fn end_quiesce(&mut self) {
+        self.quiescing = false;
+    }
+
+    /// Whether every live member is idle (no iteration in flight) — the
+    /// condition for cutting a crash-consistent checkpoint.
+    pub fn all_idle(&self, ctx: &Ctx<'_, RnaMsg>) -> bool {
+        self.members
+            .iter()
+            .enumerate()
+            .all(|(local, &w)| !self.live[local] || !ctx.is_computing(w))
+    }
+
+    /// Resets the controller-side election state after a standby takeover:
+    /// the new controller trusts only the journal-recovered `round`, holds
+    /// no probe round or in-flight collective, and bumps the probe epoch
+    /// so any timer armed by the dead controller expires.
+    pub fn recover_for_takeover(&mut self, round: u64) {
+        self.round = round;
+        self.probe = None;
+        self.reducing = false;
+        self.in_flight = None;
+        self.deferred = None;
+        self.probe_epoch += 1;
+    }
+
+    /// Serializes the group's quiesced state into a checkpoint blob:
+    /// liveness and pause flags, pending probe replies, initiator
+    /// bookkeeping, and every member's gradient cache (bound, weighting,
+    /// eviction counter, and exact pending entries).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the group is quiesced (no collective in flight).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        debug_assert!(!self.reducing && self.in_flight.is_none() && self.deferred.is_none());
+        wire::put_u64(out, self.round);
+        wire::put_u64(out, self.probe_epoch);
+        wire::put_u64(out, self.retry_backoff_us);
+        wire::put_u64(out, self.members.len() as u64);
+        match self.last_initiator {
+            Some(w) => {
+                wire::put_u32(out, 1);
+                wire::put_u64(out, w as u64);
+            }
+            None => wire::put_u32(out, 0),
+        }
+        for local in 0..self.members.len() {
+            wire::put_u32(out, u32::from(self.live[local]));
+            wire::put_u32(out, u32::from(self.paused[local]));
+            wire::put_u64(out, self.initiator_counts[local]);
+            match self.pending_reply[local] {
+                Some(r) => {
+                    wire::put_u32(out, 1);
+                    wire::put_u64(out, r);
+                }
+                None => wire::put_u32(out, 0),
+            }
+            let cache = &self.caches[local];
+            wire::put_u64(out, cache.bound() as u64);
+            wire::put_u32(out, u32::from(cache.weighted()));
+            wire::put_u64(out, cache.evicted());
+            wire::put_u64(out, cache.entries().len() as u64);
+            for (iter, grad) in cache.entries() {
+                wire::put_u64(out, *iter);
+                wire::put_tensor(out, grad);
+            }
+        }
+    }
+
+    /// Restores state written by [`GroupState::encode_into`]. Returns
+    /// `false` on any mismatch (member count, malformed cache) instead of
+    /// panicking — the caller surfaces a typed corruption error.
+    pub fn restore_from(&mut self, r: &mut Reader<'_>) -> bool {
+        let Some(round) = r.u64() else { return false };
+        let Some(probe_epoch) = r.u64() else {
+            return false;
+        };
+        let Some(retry_backoff_us) = r.u64() else {
+            return false;
+        };
+        match r.u64() {
+            Some(n) if n as usize == self.members.len() => {}
+            _ => return false,
+        }
+        let last_initiator = match r.u32() {
+            Some(0) => None,
+            Some(1) => match r.u64() {
+                Some(w) => Some(w as usize),
+                None => return false,
+            },
+            _ => return false,
+        };
+        let n = self.members.len();
+        let mut live = vec![true; n];
+        let mut paused = vec![false; n];
+        let mut initiator_counts = vec![0u64; n];
+        let mut pending_reply = vec![None; n];
+        let mut caches = Vec::with_capacity(n);
+        for local in 0..n {
+            live[local] = match r.u32() {
+                Some(v) => v != 0,
+                None => return false,
+            };
+            paused[local] = match r.u32() {
+                Some(v) => v != 0,
+                None => return false,
+            };
+            initiator_counts[local] = match r.u64() {
+                Some(v) => v,
+                None => return false,
+            };
+            pending_reply[local] = match r.u32() {
+                Some(0) => None,
+                Some(1) => match r.u64() {
+                    Some(v) => Some(v),
+                    None => return false,
+                },
+                _ => return false,
+            };
+            let Some(bound) = r.u64() else { return false };
+            let Some(weighted) = r.u32() else {
+                return false;
+            };
+            let Some(evicted) = r.u64() else { return false };
+            let Some(count) = r.u64() else { return false };
+            if bound == 0 || count > bound || count > r.remaining() as u64 / 8 {
+                return false;
+            }
+            let mut entries = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let Some(iter) = r.u64() else { return false };
+                let Some(grad) = r.tensor() else { return false };
+                entries.push((iter, grad));
+            }
+            caches.push(GradientCache::from_checkpoint(
+                bound as usize,
+                weighted != 0,
+                evicted,
+                entries,
+            ));
+        }
+        self.round = round;
+        self.probe_epoch = probe_epoch;
+        self.retry_backoff_us = retry_backoff_us;
+        self.last_initiator = last_initiator;
+        self.live = live;
+        self.paused = paused;
+        self.initiator_counts = initiator_counts;
+        self.pending_reply = pending_reply;
+        self.caches = caches;
+        self.probe = None;
+        self.reducing = false;
+        self.in_flight = None;
+        self.deferred = None;
+        self.quiescing = false;
+        true
     }
 }
 
@@ -620,6 +836,20 @@ impl GroupState {
 pub struct RnaProtocol {
     config: RnaConfig,
     group: GroupState,
+    tolerance: ToleranceConfig,
+    /// Controller term: bumped by every standby takeover. Round ids are
+    /// implicitly epoch-guarded — the takeover bumps the probe epoch, so
+    /// probe replies addressed to the dead incarnation expire harmlessly.
+    term: u64,
+    /// The active controller is down; controller-addressed messages are
+    /// dropped until the warm standby's lease timer fires.
+    ctrl_down: bool,
+    /// Completed probe rounds, replayed by the standby to recover the
+    /// round counter (and serialized into every checkpoint).
+    journal: RoundJournal,
+    /// Index into [`crate::fault::FaultPlan::controller_crashes`] of the
+    /// next controller crash not yet executed.
+    crash_idx: usize,
 }
 
 impl RnaProtocol {
@@ -632,12 +862,95 @@ impl RnaProtocol {
     /// Panics if `n == 0`.
     pub fn new(n: usize, config: RnaConfig, _seed: u64) -> Self {
         let group = GroupState::new(0, (0..n).collect(), &config);
-        RnaProtocol { config, group }
+        RnaProtocol {
+            config,
+            group,
+            tolerance: ToleranceConfig::default(),
+            term: 0,
+            ctrl_down: false,
+            journal: RoundJournal::new(),
+            crash_idx: 0,
+        }
+    }
+
+    /// Overrides the control-plane tolerance knobs (lease window, probe
+    /// backoff). The config was validated at its own construction.
+    pub fn with_tolerance(mut self, tolerance: ToleranceConfig) -> Self {
+        self.tolerance = tolerance;
+        self
     }
 
     /// The underlying group state (for tests and diagnostics).
     pub fn group(&self) -> &GroupState {
         &self.group
+    }
+
+    /// The current controller term (0 until the first failover).
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Starts the next probe round — unless the fault plan kills the
+    /// controller at this round, in which case the controller goes dark
+    /// and the warm standby's lease timer is armed instead.
+    fn start_next_round(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
+        if ctx.stopped() {
+            return;
+        }
+        if ctx.fault_plan().controller_crashes().get(self.crash_idx) == Some(&self.group.round()) {
+            self.crash_idx += 1;
+            self.ctrl_down = true;
+            ctx.send_after(
+                ctx.controller_id(),
+                rna_simnet::SimDuration::from_micros(self.tolerance.liveness_timeout_us),
+                RnaMsg::StandbyTakeover {
+                    term: self.term + 1,
+                },
+            );
+            return;
+        }
+        self.group.start_probe_round(ctx, &self.config);
+    }
+
+    /// The warm standby's lease timer fired: bump the term, recover the
+    /// round counter from the journal, reset the election state (probe
+    /// epoch bump expires the dead incarnation's timers), and restart the
+    /// abandoned probe round.
+    fn handle_takeover(&mut self, ctx: &mut Ctx<'_, RnaMsg>, term: u64) {
+        if !self.ctrl_down || term != self.term + 1 {
+            return; // stale timer from an older incarnation
+        }
+        self.term = term;
+        self.ctrl_down = false;
+        let round = self.journal.next_round();
+        debug_assert_eq!(
+            round,
+            self.group.round(),
+            "journal replay must agree with the group round"
+        );
+        self.group.recover_for_takeover(round);
+        // One probe round was abandoned: the downtime cost of the takeover.
+        ctx.note_controller_failover(1);
+        self.start_next_round(ctx);
+    }
+
+    /// Cuts the pending checkpoint if the quiesce has drained (every live
+    /// member idle), then resumes the group exactly as the non-checkpoint
+    /// path would have — the same sequence [`Protocol::on_resume`] replays
+    /// after a restart, which is what makes disk resume bit-identical.
+    fn try_cut_checkpoint(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
+        if !self.group.quiescing() || !self.group.all_idle(ctx) {
+            return;
+        }
+        let mut blob = Vec::new();
+        wire::put_u64(&mut blob, self.term);
+        wire::put_u64(&mut blob, self.crash_idx as u64);
+        self.journal.encode_into(&mut blob);
+        self.group.encode_into(&mut blob);
+        ctx.write_checkpoint(&blob);
+        self.group.end_quiesce();
+        self.group.resume_paused(ctx, &self.config);
+        self.start_next_round(ctx);
     }
 }
 
@@ -652,15 +965,31 @@ impl Protocol for RnaProtocol {
         for w in 0..ctx.num_workers() {
             ctx.begin_compute(w);
         }
-        self.group.start_probe_round(ctx, &self.config);
+        // Routed through the crash check so a controller crash at round 0
+        // is honored (workers still compute and fill caches meanwhile).
+        self.start_next_round(ctx);
     }
 
     fn on_compute_done(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize, iter: u64) {
         self.group
             .handle_compute_done(ctx, &self.config, worker, iter);
+        if self.group.quiescing() {
+            self.try_cut_checkpoint(ctx);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, RnaMsg>, _from: usize, to: usize, msg: RnaMsg) {
+        if self.ctrl_down {
+            // The active controller is dead: everything addressed to it is
+            // lost. (Probes are controller→worker, so none are in flight;
+            // StandbyTakeover is addressed to the *standby*.)
+            match &msg {
+                RnaMsg::ProbeReply { .. }
+                | RnaMsg::ProbeRetry { .. }
+                | RnaMsg::ReduceDone { .. } => return,
+                _ => {}
+            }
+        }
         match msg {
             RnaMsg::Probe { round, .. } => {
                 self.group.handle_probe(ctx, &self.config, to, round);
@@ -675,21 +1004,65 @@ impl Protocol for RnaProtocol {
             RnaMsg::ReduceDone { round, .. } => {
                 if let Some(contributors) = self.group.handle_reduce_done(ctx, &self.config, round)
                 {
-                    self.group.advance_round(ctx, &self.config, contributors);
+                    let initiator = self.group.last_initiator().unwrap_or(0);
+                    self.group.complete_round(ctx, contributors);
+                    self.journal.record(round, initiator, contributors as u32);
+                    if ctx.checkpoint_due() && !ctx.stopped() {
+                        self.group.begin_quiesce();
+                        self.try_cut_checkpoint(ctx);
+                    } else {
+                        self.group.resume_paused(ctx, &self.config);
+                        self.start_next_round(ctx);
+                    }
                 }
             }
             RnaMsg::PsDone { .. } => {
                 // Flat RNA never schedules PS exchanges.
+            }
+            RnaMsg::StandbyTakeover { term } => {
+                self.handle_takeover(ctx, term);
             }
         }
     }
 
     fn on_crash(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
         self.group.handle_crash(ctx, &self.config, worker);
+        if self.group.quiescing() {
+            // The crashed member no longer gates the quiesce.
+            self.try_cut_checkpoint(ctx);
+        }
     }
 
     fn on_rejoin(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
         self.group.handle_rejoin(ctx, &self.config, worker);
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> bool {
+        let mut r = Reader::new(blob);
+        let Some(term) = r.u64() else { return false };
+        let Some(crash_idx) = r.u64() else {
+            return false;
+        };
+        let Some(journal) = RoundJournal::decode(&mut r) else {
+            return false;
+        };
+        if !self.group.restore_from(&mut r) {
+            return false;
+        }
+        self.term = term;
+        self.crash_idx = crash_idx as usize;
+        self.journal = journal;
+        // Checkpoints are only cut at quiesce points, where the controller
+        // is alive by construction.
+        self.ctrl_down = false;
+        true
+    }
+
+    fn on_resume(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
+        // Exactly the continuation `try_cut_checkpoint` runs after writing
+        // the checkpoint — resuming from disk replays the same events.
+        self.group.resume_paused(ctx, &self.config);
+        self.start_next_round(ctx);
     }
 }
 
@@ -815,6 +1188,54 @@ mod tests {
     fn one_probe_config_still_makes_progress() {
         let r = run(4, 11, RnaConfig::default().with_probes(1), 60);
         assert_eq!(r.global_rounds, 60);
+    }
+
+    #[test]
+    fn controller_failover_is_survived_and_deterministic() {
+        use crate::fault::FaultPlan;
+        let run = |plan: FaultPlan| {
+            let spec = TrainSpec::smoke_test(4, 23)
+                .with_max_rounds(40)
+                .with_fault_plan(plan);
+            Engine::new(spec, RnaProtocol::new(4, RnaConfig::default(), 0)).run()
+        };
+        let a = run(FaultPlan::none().crash_controller(10));
+        let b = run(FaultPlan::none().crash_controller(10));
+        let clean = run(FaultPlan::none());
+        assert_eq!(a.global_rounds, 40);
+        assert_eq!(a.controller_failovers, 1);
+        assert_eq!(a.failover_rounds_lost, 1);
+        // Same-seed replays of the failover are bit-identical.
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.final_loss(), b.final_loss());
+        assert_eq!(a.comm_bytes, b.comm_bytes);
+        assert_eq!(a.worker_iterations, b.worker_iterations);
+        // The lease window is real downtime.
+        assert!(a.wall_time > clean.wall_time);
+        assert_eq!(clean.controller_failovers, 0);
+    }
+
+    #[test]
+    fn controller_crash_at_round_zero_is_survived() {
+        use crate::fault::FaultPlan;
+        let spec = TrainSpec::smoke_test(3, 4)
+            .with_max_rounds(20)
+            .with_fault_plan(FaultPlan::none().crash_controller(0));
+        let r = Engine::new(spec, RnaProtocol::new(3, RnaConfig::default(), 0)).run();
+        assert_eq!(r.global_rounds, 20);
+        assert_eq!(r.controller_failovers, 1);
+    }
+
+    #[test]
+    fn repeated_controller_crashes_each_fail_over() {
+        use crate::fault::FaultPlan;
+        let spec = TrainSpec::smoke_test(4, 31)
+            .with_max_rounds(30)
+            .with_fault_plan(FaultPlan::none().crash_controller(5).crash_controller(15));
+        let r = Engine::new(spec, RnaProtocol::new(4, RnaConfig::default(), 0)).run();
+        assert_eq!(r.global_rounds, 30);
+        assert_eq!(r.controller_failovers, 2);
+        assert_eq!(r.failover_rounds_lost, 2);
     }
 
     #[test]

@@ -31,7 +31,9 @@ use rna_workload::trace::WorkloadTrace;
 use rna_workload::{HeterogeneityModel, ModelProfile};
 
 use crate::fault::{FaultPlan, NetFaultPlan, WorkerFate, WorkerFault};
+use crate::recovery::{self, CheckpointStore, RecoveryConfig, RecoveryError};
 use crate::stats::{RunResult, StopReason};
+use rna_tensor::wire::{self, Reader};
 
 /// The learnable task a run optimizes.
 #[derive(Debug, Clone, PartialEq)]
@@ -348,6 +350,24 @@ pub trait Protocol {
     fn on_rejoin(&mut self, ctx: &mut Ctx<'_, Self::Msg>, worker: usize) {
         let _ = (ctx, worker);
     }
+
+    /// Restores protocol-private state from a checkpoint blob previously
+    /// passed to [`Ctx::write_checkpoint`]. Returns `false` when the
+    /// protocol does not support checkpointing or the blob is malformed
+    /// (the default), which makes [`Engine::resume`] fail cleanly.
+    fn restore(&mut self, blob: &[u8]) -> bool {
+        let _ = blob;
+        false
+    }
+
+    /// Called instead of [`Protocol::on_start`] when the engine was built
+    /// by [`Engine::resume`]: the protocol must restart its pipelines from
+    /// the restored (quiesced) state rather than from scratch. The default
+    /// delegates to `on_start`, which is only correct for protocols whose
+    /// start sequence is state-driven.
+    fn on_resume(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.on_start(ctx);
+    }
 }
 
 #[derive(Debug)]
@@ -356,6 +376,15 @@ enum Event<M> {
     Message { from: usize, to: usize, msg: M },
     Crash { worker: usize },
     Rejoin { worker: usize },
+}
+
+/// Engine-side crash-recovery state: where checkpoints go and how often.
+struct EngineRecovery {
+    store: CheckpointStore,
+    config: RecoveryConfig,
+    /// Round of the most recent checkpoint (so a cadence round is
+    /// checkpointed once, not once per triggering event).
+    last_round: u64,
 }
 
 /// Engine-side state shared with protocols through [`Ctx`].
@@ -394,6 +423,13 @@ pub struct SimState<M> {
     messages_dropped: u64,
     probe_retries: u64,
     partition_rounds: u64,
+    controller_failovers: u64,
+    failover_rounds_lost: u64,
+    ps_failovers: u64,
+    checkpoints_written: u64,
+    rejoin_at: Vec<Option<SimTime>>,
+    recovery: Option<EngineRecovery>,
+    resumed: bool,
     pool: TensorPool,
     apply_scratch: Tensor,
     eval_scratch: Tensor,
@@ -537,13 +573,14 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
             if at_iter == iter && !s.restart_fired[worker] {
                 // Crash now, rejoin after the dwell. `restart_fired` keeps
                 // the fault from re-triggering when the rejoined worker
-                // starts this same iteration again.
+                // starts this same iteration again. The rejoin instant is
+                // remembered so a checkpoint cut during the dwell can
+                // re-schedule it on resume.
                 s.restart_fired[worker] = true;
+                let rejoin = s.clock + SimDuration::from_micros(rejoin_after_us);
+                s.rejoin_at[worker] = Some(rejoin);
                 s.queue.schedule(s.clock, Event::Crash { worker });
-                s.queue.schedule(
-                    s.clock + SimDuration::from_micros(rejoin_after_us),
-                    Event::Rejoin { worker },
-                );
+                s.queue.schedule(rejoin, Event::Rejoin { worker });
                 return;
             }
         }
@@ -625,6 +662,14 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
     /// event-for-event identical to the pre-fault engine.
     pub fn net_faults_enabled(&self) -> bool {
         self.0.net.has_faults()
+    }
+
+    /// The run's fault plan. Worker faults (crash/hang/slow/restart) are
+    /// executed by the engine itself; *control-plane* faults (controller
+    /// and PS-shard crashes) are consulted and executed by the protocol,
+    /// which owns the control plane.
+    pub fn fault_plan(&self) -> &crate::fault::FaultPlan {
+        &self.0.spec.fault_plan
     }
 
     /// Records one probe-round retry (re-issued after a timeout).
@@ -755,6 +800,98 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
             self.0.stop = Some(reason);
         }
     }
+
+    /// Whether the run is due for a crash-consistent checkpoint: recovery
+    /// is enabled, the current round sits on the cadence, and this round
+    /// has not been checkpointed yet. Protocols that support checkpointing
+    /// poll this after completing a round, quiesce their members, and then
+    /// call [`Ctx::write_checkpoint`].
+    pub fn checkpoint_due(&self) -> bool {
+        match &self.0.recovery {
+            Some(r) => {
+                let round = self.0.global_round;
+                round > 0 && round.is_multiple_of(r.config.every) && r.last_round != round
+            }
+            None => false,
+        }
+    }
+
+    /// Writes a crash-consistent checkpoint: the engine's full training
+    /// state (clock, counters, every worker's parameters, optimizer state,
+    /// RNG stream positions, convergence history) plus the protocol's own
+    /// `blob` (its caches, round state, and journal). A checkpoint write
+    /// failure is reported on stderr and the run continues — losing a
+    /// checkpoint must never kill training.
+    ///
+    /// The protocol must be quiesced when it calls this: no iteration in
+    /// flight anywhere (every pending gradient drained into protocol state
+    /// captured by `blob`), no protocol message in flight that cannot be
+    /// safely lost. [`Engine::resume`] rebuilds exactly this state.
+    pub fn write_checkpoint(&mut self, blob: &[u8]) {
+        let s = &mut *self.0;
+        debug_assert!(
+            s.computing.iter().all(|&c| !c),
+            "checkpoint cut while an iteration is in flight"
+        );
+        let Some(r) = &mut s.recovery else {
+            return;
+        };
+        let engine = encode_engine_state_fields(
+            s.clock,
+            &s.models,
+            &s.opts,
+            &s.samplers,
+            &s.workload_rngs,
+            &s.proto_rng,
+            &s.local_iter,
+            &s.next_iter,
+            &s.crashed,
+            &s.restart_fired,
+            &s.rejoin_at,
+            &s.fates,
+            &s.history,
+            EngineCounters {
+                global_round: s.global_round,
+                participation_sum: s.participation_sum,
+                comm_bytes: s.comm_bytes,
+                evals_done: s.evals_done,
+                messages_dropped: s.messages_dropped,
+                probe_retries: s.probe_retries,
+                partition_rounds: s.partition_rounds,
+                controller_failovers: s.controller_failovers,
+                failover_rounds_lost: s.failover_rounds_lost,
+                ps_failovers: s.ps_failovers,
+                checkpoints_written: s.checkpoints_written + 1,
+                last_top5: s.last_top5,
+            },
+        );
+        let mut payload = Vec::with_capacity(engine.len() + blob.len() + 16);
+        wire::put_u64(&mut payload, engine.len() as u64);
+        payload.extend_from_slice(&engine);
+        wire::put_u64(&mut payload, blob.len() as u64);
+        payload.extend_from_slice(blob);
+        match r.store.save(&payload) {
+            Ok(()) => {
+                r.last_round = s.global_round;
+                s.checkpoints_written += 1;
+            }
+            Err(e) => eprintln!(
+                "checkpoint write failed at round {}: {e} (continuing)",
+                s.global_round
+            ),
+        }
+    }
+
+    /// Records one controller failover and the probe rounds it cost.
+    pub fn note_controller_failover(&mut self, rounds_lost: u64) {
+        self.0.controller_failovers += 1;
+        self.0.failover_rounds_lost += rounds_lost;
+    }
+
+    /// Records one PS shard primary crash (degraded to its replica).
+    pub fn note_ps_failover(&mut self) {
+        self.0.ps_failovers += 1;
+    }
 }
 
 fn evaluate<M>(s: &mut SimState<M>) {
@@ -867,6 +1004,13 @@ impl<P: Protocol> Engine<P> {
             messages_dropped: 0,
             probe_retries: 0,
             partition_rounds: 0,
+            controller_failovers: 0,
+            failover_rounds_lost: 0,
+            ps_failovers: 0,
+            checkpoints_written: 0,
+            rejoin_at: vec![None; n],
+            recovery: None,
+            resumed: false,
             pool: TensorPool::new(),
             apply_scratch: Tensor::zeros(num_params),
             eval_scratch: Tensor::zeros(num_params),
@@ -878,14 +1022,110 @@ impl<P: Protocol> Engine<P> {
         Engine { state, protocol }
     }
 
+    /// Enables crash-consistent checkpointing: every `config.every`
+    /// completed rounds the protocol quiesces and the engine writes its
+    /// full state to `store` (see [`Ctx::write_checkpoint`]). Only
+    /// protocols that poll [`Ctx::checkpoint_due`] actually checkpoint —
+    /// for others this is inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation (zero cadence).
+    pub fn with_recovery(mut self, store: CheckpointStore, config: RecoveryConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid recovery config: {e}");
+        }
+        self.state.recovery = Some(EngineRecovery {
+            store,
+            config,
+            last_round: 0,
+        });
+        self
+    }
+
+    /// Rebuilds an engine from the latest intact checkpoint in `store` and
+    /// prepares it to continue the run: engine state (clock, counters,
+    /// parameters, optimizer state, RNG stream positions, history) is
+    /// restored exactly, `protocol` is restored through
+    /// [`Protocol::restore`], and [`Engine::run`] will enter via
+    /// [`Protocol::on_resume`]. On a fault-free fabric the continuation is
+    /// bit-identical to the uninterrupted run: same loss trajectory, wall
+    /// time, iteration counts, and comm bytes. (Execution-side traces —
+    /// span breakdowns, timelines, the workload trace, pool warm-up —
+    /// restart at the checkpoint; and the drop-RNG position of a *faulty*
+    /// fabric is not captured, so net-fault runs resume correctly but not
+    /// bit-identically.)
+    ///
+    /// `spec` and `protocol` must be constructed with the same parameters
+    /// as the original run; the checkpoint stores no spec and cannot
+    /// detect a divergent one beyond size mismatches.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`] when no intact checkpoint generation exists or
+    /// the payload does not match the spec (wrong worker count, wrong
+    /// model size, or a protocol that cannot restore the blob).
+    pub fn resume(
+        spec: TrainSpec,
+        protocol: P,
+        store: CheckpointStore,
+        config: RecoveryConfig,
+    ) -> Result<Self, RecoveryError> {
+        let loaded = store.load_latest()?;
+        let mut engine = Engine::new(spec, protocol);
+        let mut r = Reader::new(&loaded.payload);
+        let engine_len = r
+            .u64()
+            .ok_or_else(|| RecoveryError::Corrupt("payload too short".into()))?;
+        let engine_bytes = read_exact(&mut r, engine_len)?;
+        let proto_len = r
+            .u64()
+            .ok_or_else(|| RecoveryError::Corrupt("payload too short".into()))?;
+        let proto_bytes = read_exact(&mut r, proto_len)?;
+        restore_engine_state(&mut engine.state, engine_bytes)?;
+        if !engine.protocol.restore(proto_bytes) {
+            return Err(RecoveryError::Corrupt(
+                "protocol rejected its checkpoint blob".into(),
+            ));
+        }
+        engine.state.resumed = true;
+        let last_round = engine.state.global_round;
+        engine.state.recovery = Some(EngineRecovery {
+            store,
+            config,
+            last_round,
+        });
+        Ok(engine)
+    }
+
     /// Runs the event loop to completion and returns the results.
     pub fn run(mut self) -> RunResult {
-        for (worker, at) in self.state.spec.crashes.clone() {
-            self.state
-                .queue
-                .schedule(SimTime::ZERO + at, Event::Crash { worker });
+        if self.state.resumed {
+            // Re-arm only the fault events still in the future: time-based
+            // crashes past the restored clock and the rejoin timers that
+            // were pending when the checkpoint was cut.
+            let clock = self.state.clock;
+            for (worker, at) in self.state.spec.crashes.clone() {
+                if SimTime::ZERO + at > clock {
+                    self.state
+                        .queue
+                        .schedule(SimTime::ZERO + at, Event::Crash { worker });
+                }
+            }
+            for worker in 0..self.state.spec.num_workers {
+                if let Some(at) = self.state.rejoin_at[worker] {
+                    self.state.queue.schedule(at, Event::Rejoin { worker });
+                }
+            }
+            self.protocol.on_resume(&mut Ctx(&mut self.state));
+        } else {
+            for (worker, at) in self.state.spec.crashes.clone() {
+                self.state
+                    .queue
+                    .schedule(SimTime::ZERO + at, Event::Crash { worker });
+            }
+            self.protocol.on_start(&mut Ctx(&mut self.state));
         }
-        self.protocol.on_start(&mut Ctx(&mut self.state));
         let max_time = SimTime::ZERO + self.state.spec.max_time;
         let mut events: u64 = 0;
         const EVENT_BUDGET: u64 = 50_000_000;
@@ -948,6 +1188,7 @@ impl<P: Protocol> Engine<P> {
                 }
                 Event::Rejoin { worker } => {
                     let s = &mut self.state;
+                    s.rejoin_at[worker] = None;
                     if !s.crashed[worker] {
                         continue;
                     }
@@ -986,9 +1227,226 @@ impl<P: Protocol> Engine<P> {
             messages_dropped: s.messages_dropped,
             probe_retries: s.probe_retries,
             partition_rounds: s.partition_rounds,
+            controller_failovers: s.controller_failovers,
+            failover_rounds_lost: s.failover_rounds_lost,
+            ps_failovers: s.ps_failovers,
+            checkpoints_written: s.checkpoints_written,
             datapath_allocs: s.datapath_allocs,
         }
     }
+}
+
+/// Scalar counters bundled into the engine checkpoint section.
+struct EngineCounters {
+    global_round: u64,
+    participation_sum: f64,
+    comm_bytes: u64,
+    evals_done: u64,
+    messages_dropped: u64,
+    probe_retries: u64,
+    partition_rounds: u64,
+    controller_failovers: u64,
+    failover_rounds_lost: u64,
+    ps_failovers: u64,
+    checkpoints_written: u64,
+    last_top5: f64,
+}
+
+fn put_fate(out: &mut Vec<u8>, fate: &WorkerFate) {
+    match *fate {
+        WorkerFate::Healthy => wire::put_u32(out, 0),
+        WorkerFate::Crashed { at_iter } => {
+            wire::put_u32(out, 1);
+            wire::put_u64(out, at_iter);
+        }
+        WorkerFate::Hung { at_iter } => {
+            wire::put_u32(out, 2);
+            wire::put_u64(out, at_iter);
+        }
+        WorkerFate::Slowed { from_iter } => {
+            wire::put_u32(out, 3);
+            wire::put_u64(out, from_iter);
+        }
+        WorkerFate::Restarted { at_iter, rejoined } => {
+            wire::put_u32(out, 4);
+            wire::put_u64(out, at_iter);
+            wire::put_u32(out, u32::from(rejoined));
+        }
+    }
+}
+
+fn read_fate(r: &mut Reader<'_>) -> Option<WorkerFate> {
+    Some(match r.u32()? {
+        0 => WorkerFate::Healthy,
+        1 => WorkerFate::Crashed { at_iter: r.u64()? },
+        2 => WorkerFate::Hung { at_iter: r.u64()? },
+        3 => WorkerFate::Slowed {
+            from_iter: r.u64()?,
+        },
+        4 => WorkerFate::Restarted {
+            at_iter: r.u64()?,
+            rejoined: r.u32()? != 0,
+        },
+        _ => return None,
+    })
+}
+
+/// Serializes the engine's training state at a quiesce point. Split out of
+/// [`Ctx::write_checkpoint`] so the borrow of each field is explicit.
+#[allow(clippy::too_many_arguments)]
+fn encode_engine_state_fields(
+    clock: SimTime,
+    models: &[Box<dyn Model>],
+    opts: &[Sgd],
+    samplers: &[BatchSampler],
+    workload_rngs: &[SimRng],
+    proto_rng: &SimRng,
+    local_iter: &[u64],
+    next_iter: &[u64],
+    crashed: &[bool],
+    restart_fired: &[bool],
+    rejoin_at: &[Option<SimTime>],
+    fates: &[WorkerFate],
+    history: &History,
+    c: EngineCounters,
+) -> Vec<u8> {
+    let n = models.len();
+    let mut out = Vec::new();
+    wire::put_u64(&mut out, (clock - SimTime::ZERO).as_nanos());
+    wire::put_u64(&mut out, c.global_round);
+    wire::put_f64(&mut out, c.participation_sum);
+    wire::put_u64(&mut out, c.comm_bytes);
+    wire::put_u64(&mut out, c.evals_done);
+    wire::put_u64(&mut out, c.messages_dropped);
+    wire::put_u64(&mut out, c.probe_retries);
+    wire::put_u64(&mut out, c.partition_rounds);
+    wire::put_u64(&mut out, c.controller_failovers);
+    wire::put_u64(&mut out, c.failover_rounds_lost);
+    wire::put_u64(&mut out, c.ps_failovers);
+    wire::put_u64(&mut out, c.checkpoints_written);
+    wire::put_f64(&mut out, c.last_top5);
+    wire::put_u64(&mut out, n as u64);
+    wire::put_u64(&mut out, models[0].num_params() as u64);
+    for w in 0..n {
+        wire::put_u64(&mut out, local_iter[w]);
+        wire::put_u64(&mut out, next_iter[w]);
+        wire::put_u32(&mut out, u32::from(crashed[w]));
+        wire::put_u32(&mut out, u32::from(restart_fired[w]));
+        match rejoin_at[w] {
+            Some(at) => {
+                wire::put_u32(&mut out, 1);
+                wire::put_u64(&mut out, (at - SimTime::ZERO).as_nanos());
+            }
+            None => wire::put_u32(&mut out, 0),
+        }
+        put_fate(&mut out, &fates[w]);
+        wire::put_tensor(&mut out, models[w].params());
+        wire::put_tensor(&mut out, opts[w].velocity());
+        recovery::put_rng(&mut out, &samplers[w].rng_state());
+        recovery::put_rng(&mut out, &workload_rngs[w].state());
+    }
+    recovery::put_rng(&mut out, &proto_rng.state());
+    wire::put_u64(&mut out, history.points().len() as u64);
+    for p in history.points() {
+        wire::put_f64(&mut out, p.time_s);
+        wire::put_u64(&mut out, p.iteration);
+        wire::put_f64(&mut out, p.loss);
+        wire::put_f64(&mut out, p.accuracy);
+    }
+    out
+}
+
+fn read_exact<'a>(r: &mut Reader<'a>, len: u64) -> Result<&'a [u8], RecoveryError> {
+    r.bytes_exact(len as usize)
+        .ok_or_else(|| RecoveryError::Corrupt("section length exceeds payload".into()))
+}
+
+fn corrupt(why: &str) -> RecoveryError {
+    RecoveryError::Corrupt(why.into())
+}
+
+/// Restores the engine section written by [`encode_engine_state_fields`]
+/// into a freshly built [`SimState`].
+fn restore_engine_state<M>(s: &mut SimState<M>, bytes: &[u8]) -> Result<(), RecoveryError> {
+    let r = &mut Reader::new(bytes);
+    let short = || corrupt("engine section truncated");
+    let clock_ns = r.u64().ok_or_else(short)?;
+    s.clock = SimTime::ZERO + SimDuration::from_nanos(clock_ns);
+    s.global_round = r.u64().ok_or_else(short)?;
+    s.participation_sum = r.f64().ok_or_else(short)?;
+    s.comm_bytes = r.u64().ok_or_else(short)?;
+    s.evals_done = r.u64().ok_or_else(short)?;
+    s.messages_dropped = r.u64().ok_or_else(short)?;
+    s.probe_retries = r.u64().ok_or_else(short)?;
+    s.partition_rounds = r.u64().ok_or_else(short)?;
+    s.controller_failovers = r.u64().ok_or_else(short)?;
+    s.failover_rounds_lost = r.u64().ok_or_else(short)?;
+    s.ps_failovers = r.u64().ok_or_else(short)?;
+    s.checkpoints_written = r.u64().ok_or_else(short)?;
+    s.last_top5 = r.f64().ok_or_else(short)?;
+    let n = r.u64().ok_or_else(short)? as usize;
+    if n != s.spec.num_workers {
+        return Err(corrupt("worker count mismatch"));
+    }
+    let num_params = r.u64().ok_or_else(short)? as usize;
+    if num_params != s.models[0].num_params() {
+        return Err(corrupt("model size mismatch"));
+    }
+    for w in 0..n {
+        s.local_iter[w] = r.u64().ok_or_else(short)?;
+        s.next_iter[w] = r.u64().ok_or_else(short)?;
+        s.crashed[w] = r.u32().ok_or_else(short)? != 0;
+        s.restart_fired[w] = r.u32().ok_or_else(short)? != 0;
+        s.rejoin_at[w] = match r.u32().ok_or_else(short)? {
+            0 => None,
+            1 => Some(SimTime::ZERO + SimDuration::from_nanos(r.u64().ok_or_else(short)?)),
+            _ => return Err(corrupt("bad rejoin tag")),
+        };
+        s.fates[w] = read_fate(r).ok_or_else(|| corrupt("bad worker fate"))?;
+        let params = r.tensor().ok_or_else(short)?;
+        if params.len() != num_params {
+            return Err(corrupt("parameter tensor size mismatch"));
+        }
+        s.models[w].set_params(&params);
+        let velocity = r.tensor().ok_or_else(short)?;
+        if velocity.len() != num_params {
+            return Err(corrupt("velocity tensor size mismatch"));
+        }
+        s.opts[w].set_velocity(&velocity);
+        let sampler = recovery::read_rng(r).ok_or_else(|| corrupt("bad sampler rng"))?;
+        s.samplers[w].restore_rng(&sampler);
+        let workload = recovery::read_rng(r).ok_or_else(|| corrupt("bad workload rng"))?;
+        s.workload_rngs[w] = SimRng::from_state(&workload);
+        s.in_flight[w] = None;
+        s.pending[w] = None;
+        s.computing[w] = false;
+    }
+    let proto = recovery::read_rng(r).ok_or_else(|| corrupt("bad protocol rng"))?;
+    s.proto_rng = SimRng::from_state(&proto);
+    let points = r.u64().ok_or_else(short)?;
+    if points > bytes.len() as u64 / 32 {
+        return Err(corrupt("history length implausible"));
+    }
+    s.history = History::new();
+    for _ in 0..points {
+        let time_s = r.f64().ok_or_else(short)?;
+        let iteration = r.u64().ok_or_else(short)?;
+        let loss = r.f64().ok_or_else(short)?;
+        let accuracy = r.f64().ok_or_else(short)?;
+        s.history.record(time_s, iteration, loss, accuracy);
+    }
+    // Early stopping has no snapshot of its own: replaying the recorded
+    // losses reproduces its best/strike state exactly (it is a pure fold
+    // over the evaluation sequence).
+    if let Some(early) = &mut s.early {
+        let patience = s.spec.patience.expect("early implies patience");
+        *early = EarlyStopping::new(patience, 1e-3);
+        for p in s.history.points() {
+            let _ = early.update(p.loss);
+        }
+    }
+    s.stop = None;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -61,6 +61,16 @@ pub struct RunResult {
     /// Rounds in which some live node was unreachable — a PS exchange was
     /// skipped or a reduce excluded a partitioned member.
     pub partition_rounds: u64,
+    /// Controller failovers: times a warm standby bumped the term and took
+    /// over after the active controller's lease expired.
+    pub controller_failovers: u64,
+    /// Probe rounds abandoned and restarted across all controller
+    /// failovers (the downtime cost of each takeover).
+    pub failover_rounds_lost: u64,
+    /// PS shard primaries that crashed and degraded to their replica.
+    pub ps_failovers: u64,
+    /// Crash-consistent checkpoints written during the run.
+    pub checkpoints_written: u64,
     /// Fresh tensor-buffer heap allocations performed by the reduce data
     /// path (cache drain, collective, apply) over the whole run. Always 0
     /// in release builds — the underlying hook is debug-only (see
@@ -151,6 +161,10 @@ mod tests {
             messages_dropped: 0,
             probe_retries: 0,
             partition_rounds: 0,
+            controller_failovers: 0,
+            failover_rounds_lost: 0,
+            ps_failovers: 0,
+            checkpoints_written: 0,
             datapath_allocs: 0,
         }
     }

@@ -14,12 +14,17 @@
 //!   and the paper's atomic `PSPushPull` operation.
 //! * [`kv`] — the key-value sharding layer: parameters are split into keyed
 //!   shards (ps-lite's interface) so pushes and pulls can be per-key.
+//! * [`replica`] — primary/replica mirroring with read-repair: a shard
+//!   primary crash degrades that slot to its warm mirror instead of
+//!   wedging the exchange.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod kv;
+pub mod replica;
 mod server;
 
 pub use kv::ShardedStore;
+pub use replica::{ReplicatedGroupServer, ReplicatedStore};
 pub use server::{staleness_discount, GroupServer};

@@ -91,6 +91,25 @@ impl GroupServer {
         self.version - self.group_versions[group]
     }
 
+    /// The raw parameter copy currently held in the group's slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn slot(&self, group: usize) -> &Tensor {
+        &self.slots[group]
+    }
+
+    /// The server version at which the group's slot was last written (0 if
+    /// the group never pushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn slot_version(&self, group: usize) -> u64 {
+        self.group_versions[group]
+    }
+
     /// Stores `params` in the group's slot and refreshes the global average.
     ///
     /// # Panics

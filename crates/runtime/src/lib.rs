@@ -26,6 +26,17 @@
 //! blocking. [`ThreadedResult`] reports each worker's
 //! [`fault::WorkerFate`] and the number of degraded rounds.
 //!
+//! ## Control-plane tolerance
+//!
+//! The controller itself runs under a lease: each incarnation is a real
+//! thread that heartbeats every round and checkpoints the control plane
+//! (master, optimizer velocity, round counter, tallies) to a warm-standby
+//! slot — and, when [`ThreadedConfig::recovery_dir`] is set, to disk via
+//! `rna_core::recovery::CheckpointStore`. A crashed controller thread is
+//! replaced after the lease expires by a standby that replays from the
+//! last checkpoint; a killed *process* is resumed with
+//! [`resume_threaded`] from the newest disk checkpoint.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,4 +55,4 @@ pub mod fault;
 mod threaded;
 
 pub use fault::{FaultPlan, NetFaultPlan, NetShim, ToleranceConfig, WorkerFate, WorkerFault};
-pub use threaded::{run_threaded, SyncMode, ThreadedConfig, ThreadedResult};
+pub use threaded::{resume_threaded, run_threaded, SyncMode, ThreadedConfig, ThreadedResult};

@@ -1,13 +1,16 @@
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use rna_core::cache::GradientCache;
 use rna_core::fault::{
     live_majority, probe_round_stalled, FaultPlan, NetFaultPlan, ToleranceConfig, WorkerFate,
 };
+use rna_core::recovery::{CheckpointStore, RecoveryConfig, RecoveryError};
 use rna_simnet::SimRng;
+use rna_tensor::wire::{self, Reader};
 use rna_tensor::{Tensor, TensorPool};
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model, Sgd};
@@ -69,6 +72,13 @@ pub struct ThreadedConfig {
     pub net_fault_plan: NetFaultPlan,
     /// Liveness / deadline / backoff knobs for the fault-tolerance paths.
     pub tolerance: ToleranceConfig,
+    /// Rounds between controller checkpoints (warm-standby slot, plus disk
+    /// when `recovery_dir` is set). Must be nonzero.
+    pub checkpoint_every: u64,
+    /// When set, controller checkpoints are also written to this directory
+    /// (crash-consistently, via [`CheckpointStore`]) so a killed process
+    /// can be resumed with [`resume_threaded`].
+    pub recovery_dir: Option<PathBuf>,
 }
 
 impl ThreadedConfig {
@@ -89,6 +99,8 @@ impl ThreadedConfig {
             fault_plan: FaultPlan::none(),
             net_fault_plan: NetFaultPlan::none(),
             tolerance: ToleranceConfig::default(),
+            checkpoint_every: 5,
+            recovery_dir: None,
         }
     }
 
@@ -124,6 +136,20 @@ impl ThreadedConfig {
         self.tolerance = tolerance;
         self
     }
+
+    /// Sets the controller checkpoint cadence (rounds between warm-standby
+    /// and disk checkpoints).
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Enables disk checkpoints under `dir` so the run can be resumed with
+    /// [`resume_threaded`] after a process kill.
+    pub fn with_recovery_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.recovery_dir = Some(dir.into());
+        self
+    }
 }
 
 /// The outcome of a threaded run.
@@ -157,6 +183,17 @@ pub struct ThreadedResult {
     /// Rounds during which at least one live worker was severed from the
     /// controller by a down-window or partition.
     pub partition_rounds: u64,
+    /// Times the controller thread died and the warm standby took over
+    /// from the last checkpoint.
+    pub controller_failovers: u64,
+    /// Rounds of progress redone across all failovers (crash round minus
+    /// checkpoint round, summed) — the real downtime cost, unlike the
+    /// simulator where worker state survives and only the probe round is
+    /// lost.
+    pub failover_rounds_lost: u64,
+    /// Controller checkpoints written (warm-standby slot updates; the same
+    /// count lands on disk when a recovery directory is configured).
+    pub checkpoints_written: u64,
 }
 
 impl ThreadedResult {
@@ -231,8 +268,14 @@ impl Shared {
     }
 }
 
+/// Locks a mutex, recovering from poisoning instead of propagating the
+/// panic: a worker thread that died mid-critical-section must degrade the
+/// run (its fate is recorded at join time), not abort the whole process.
+/// The guarded structures (caches, snapshots) are written atomically from
+/// the protocol's point of view — a poisoned guard still holds a
+/// consistent value, at worst a stale one.
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
-    m.lock().expect("lock poisoned: a worker thread panicked")
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Runs a full training session on real OS threads and returns the result.
@@ -250,6 +293,72 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
 /// worker, or a crash injected under [`SyncMode::Bsp`], whose barrier
 /// cannot survive one).
 pub fn run_threaded(config: &ThreadedConfig) -> ThreadedResult {
+    validate_config(config);
+    let mut rng = SimRng::seed(config.seed);
+    let dataset = Arc::new(Dataset::blobs(256, 8, 4, 0.4, &mut rng));
+    let template = SoftmaxClassifier::new(8, 4, &mut rng);
+    match config.mode {
+        SyncMode::Bsp => run_bsp(config, dataset, template, rng),
+        SyncMode::Rna | SyncMode::EagerMajority => run_rna(config, dataset, template, rng, None),
+    }
+}
+
+/// Resumes a run whose process died, from the newest disk checkpoint under
+/// `config.recovery_dir`.
+///
+/// The checkpoint captures the *control plane*: master parameters,
+/// optimizer velocity, the round counter, and the controller tallies.
+/// Worker threads restart fresh (their in-memory caches died with the
+/// process) and pull the checkpointed master on their first iteration, so
+/// the resumed loss trajectory matches the uninterrupted run approximately
+/// rather than bit-for-bit — real threads are wall-clock nondeterministic
+/// anyway. Both runs converge to the same region; the deterministic
+/// bit-identical resume story lives in the simulator
+/// (`rna_core::sim::Engine::resume`).
+///
+/// # Errors
+///
+/// [`RecoveryError::Missing`] when no checkpoint exists,
+/// [`RecoveryError::Corrupt`] when both generations fail validation, and
+/// [`RecoveryError::Io`] for filesystem failures.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`run_threaded`]), if
+/// `recovery_dir` is unset, or under [`SyncMode::Bsp`], which has no
+/// checkpoint machinery.
+pub fn resume_threaded(config: &ThreadedConfig) -> Result<ThreadedResult, RecoveryError> {
+    validate_config(config);
+    assert!(
+        config.mode != SyncMode::Bsp,
+        "checkpoint/resume is implemented for the partial-collective modes"
+    );
+    let dir = config
+        .recovery_dir
+        .as_ref()
+        .expect("resume_threaded requires recovery_dir");
+    let store = CheckpointStore::new(dir).map_err(RecoveryError::Io)?;
+    let loaded = store.load_latest()?;
+    let ck = decode_ctrl_checkpoint(&loaded.payload).ok_or_else(|| {
+        RecoveryError::Corrupt("threaded checkpoint payload failed to decode".into())
+    })?;
+    let mut rng = SimRng::seed(config.seed);
+    let dataset = Arc::new(Dataset::blobs(256, 8, 4, 0.4, &mut rng));
+    let template = SoftmaxClassifier::new(8, 4, &mut rng);
+    if ck.master.len() != template.params().len() {
+        return Err(RecoveryError::Corrupt(
+            "checkpointed model size does not match the configuration".into(),
+        ));
+    }
+    if ck.round > config.rounds {
+        return Err(RecoveryError::Corrupt(
+            "checkpointed round exceeds the round budget".into(),
+        ));
+    }
+    Ok(run_rna(config, dataset, template, rng, Some(ck)))
+}
+
+fn validate_config(config: &ThreadedConfig) {
     assert!(config.num_workers > 0, "need at least one worker");
     assert!(config.rounds > 0, "need at least one round");
     assert_eq!(
@@ -261,6 +370,16 @@ pub fn run_threaded(config: &ThreadedConfig) -> ThreadedResult {
         assert!(max < config.num_workers, "fault plan names worker {max}");
     }
     config.net_fault_plan.validate(config.num_workers);
+    if let Err(e) = config.tolerance.validate() {
+        panic!("invalid tolerance config: {e}");
+    }
+    if let Err(e) = (RecoveryConfig {
+        every: config.checkpoint_every,
+    })
+    .validate()
+    {
+        panic!("invalid checkpoint cadence: {e}");
+    }
     if config.mode == SyncMode::Bsp {
         assert!(
             (0..config.num_workers).all(|w| config.fault_plan.kills(w).is_none()),
@@ -270,13 +389,10 @@ pub fn run_threaded(config: &ThreadedConfig) -> ThreadedResult {
             config.net_fault_plan.is_empty(),
             "BSP cannot survive network faults: one lost gradient wedges its barrier"
         );
-    }
-    let mut rng = SimRng::seed(config.seed);
-    let dataset = Arc::new(Dataset::blobs(256, 8, 4, 0.4, &mut rng));
-    let template = SoftmaxClassifier::new(8, 4, &mut rng);
-    match config.mode {
-        SyncMode::Bsp => run_bsp(config, dataset, template, rng),
-        SyncMode::Rna | SyncMode::EagerMajority => run_rna(config, dataset, template, rng),
+        assert!(
+            config.fault_plan.controller_crashes().is_empty(),
+            "BSP has no standby controller: a controller crash ends the run"
+        );
     }
 }
 
@@ -354,27 +470,56 @@ fn run_bsp(
     let mut pool = TensorPool::new();
     let snapshot = Arc::new(master.clone());
     for tx in &param_txs {
-        tx.send(Some(Arc::clone(&snapshot))).expect("worker alive");
+        let _ = tx.send(Some(Arc::clone(&snapshot)));
     }
     drop(snapshot);
+    let mut rounds_degraded: u64 = 0;
+    let round_deadline = Duration::from_micros(config.tolerance.round_deadline_us);
     for round in 0..config.rounds {
+        let round_start = Instant::now();
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
         let mut received = 0;
+        let mut degraded = false;
         while received < n {
-            let (w, g) = grad_rx.recv().expect("workers alive");
-            if grads[w].is_none() {
-                received += 1;
+            // A worker thread that panicked (or wedged) must not stall the
+            // barrier forever: the round completes degraded at the
+            // deadline instead, recorded as a fate at join time.
+            let remaining = round_deadline.saturating_sub(round_start.elapsed());
+            match grad_rx.recv_timeout(remaining.max(Duration::from_millis(1))) {
+                Ok((w, g)) => {
+                    if grads[w].is_none() {
+                        received += 1;
+                    }
+                    grads[w] = Some(g);
+                }
+                Err(_) => {
+                    degraded = true;
+                    break;
+                }
             }
-            grads[w] = Some(g);
+            if round_start.elapsed() >= round_deadline {
+                degraded = received < n;
+                break;
+            }
         }
-        // Fused mean (bit-identical to uniformly weighted averaging) into a
-        // pooled buffer; the drained gradients feed the pool afterwards.
-        let mut mean = pool.acquire(master.len());
-        reduce_contributions_into(&mut mean, &grads, n as f32);
-        opt.step(&mut master, &mean, 1.0);
-        pool.release(mean);
-        for g in grads.into_iter().flatten() {
-            pool.release(g);
+        if degraded {
+            // Strict barrier semantics: an incomplete round applies no
+            // update (BSP has no notion of a partial collective).
+            rounds_degraded += 1;
+            for g in grads.into_iter().flatten() {
+                pool.release(g);
+            }
+        } else {
+            // Fused mean (bit-identical to uniformly weighted averaging)
+            // into a pooled buffer; the drained gradients feed the pool
+            // afterwards.
+            let mut mean = pool.acquire(master.len());
+            reduce_contributions_into(&mut mean, &grads, n as f32);
+            opt.step(&mut master, &mean, 1.0);
+            pool.release(mean);
+            for g in grads.into_iter().flatten() {
+                pool.release(g);
+            }
         }
         if round + 1 < config.rounds {
             // One shared snapshot per round instead of one deep clone per
@@ -394,9 +539,17 @@ fn run_bsp(
     let mut worker_iterations = Vec::with_capacity(n);
     let mut worker_fates = Vec::with_capacity(n);
     for h in handles {
-        let (iters, fate) = h.join().expect("worker thread panicked");
-        worker_iterations.push(iters);
-        worker_fates.push(fate);
+        match h.join() {
+            Ok((iters, fate)) => {
+                worker_iterations.push(iters);
+                worker_fates.push(fate);
+            }
+            Err(_) => {
+                // The thread panicked: its iteration count died with it.
+                worker_iterations.push(0);
+                worker_fates.push(WorkerFate::Crashed { at_iter: 0 });
+            }
+        }
     }
     finish(
         config,
@@ -407,8 +560,9 @@ fn run_bsp(
         worker_iterations,
         1.0,
         worker_fates,
-        0,
+        rounds_degraded,
         NetCounters::default(),
+        RecoveryCounters::default(),
     )
 }
 
@@ -417,10 +571,20 @@ fn run_rna(
     dataset: Arc<Dataset>,
     template: SoftmaxClassifier,
     mut rng: SimRng,
+    resume: Option<CtrlCheckpoint>,
 ) -> ThreadedResult {
     let n = config.num_workers;
     let start = Instant::now();
-    let init_params = Arc::new(template.params().clone());
+    let state = resume.unwrap_or_else(|| CtrlCheckpoint {
+        round: 0,
+        master: template.params().clone(),
+        velocity: Tensor::zeros(template.params().len()),
+        participation_sum: 0.0,
+        rounds_degraded: 0,
+        net: NetCounters::default(),
+        checkpoints_written: 0,
+    });
+    let init_params = Arc::new(state.master.clone());
     let shared = Arc::new(Shared {
         slots: (0..n)
             .map(|_| WorkerSlot {
@@ -431,7 +595,7 @@ fn run_rna(
                 alive: AtomicBool::new(true),
             })
             .collect(),
-        round: AtomicU64::new(0),
+        round: AtomicU64::new(state.round),
         stop: AtomicBool::new(false),
         pause_lock: Mutex::new(()),
         pause_cv: Condvar::new(),
@@ -490,7 +654,7 @@ fn run_rna(
                     let _unused = shared
                         .pause_cv
                         .wait_timeout(guard, Duration::from_millis(1))
-                        .expect("lock poisoned: a worker thread panicked");
+                        .unwrap_or_else(PoisonError::into_inner);
                     shared.heartbeat(w);
                 }
                 if shared.stop.load(Ordering::Acquire) {
@@ -503,7 +667,7 @@ fn run_rna(
                     &shared.slots[w]
                         .params
                         .read()
-                        .expect("lock poisoned: a worker thread panicked"),
+                        .unwrap_or_else(PoisonError::into_inner),
                 );
                 model.set_params(&params);
                 let batch = sampler.sample(&dataset);
@@ -523,21 +687,157 @@ fn run_rna(
         }));
     }
 
-    let mut probe_rng = rng.fork(STREAM_PROBE);
-    let mut master = template.params().clone();
+    let store = config
+        .recovery_dir
+        .as_ref()
+        .map(|dir| CheckpointStore::new(dir).expect("recovery directory must be writable"));
+    let crashes: Vec<u64> = config.fault_plan.controller_crashes().to_vec();
+    let plane = CtrlPlane {
+        heartbeat_us: AtomicU64::new(0),
+        slot: Mutex::new(Some(state.clone())),
+    };
+    let mut state = state;
+    let mut term: usize = 0;
+    let mut recovery = RecoveryCounters::default();
+    let mut ready_rx = ready_rx;
+    let final_state = loop {
+        // Each incarnation is a real (scoped) thread: a planned crash makes
+        // it exit mid-run, exactly like a controller process dying. Every
+        // term forks its own probe stream; term 0's fork is the run's
+        // first, so fault-free runs elect the same initiators as before
+        // the standby machinery existed.
+        let crash_at = crashes.get(term).copied();
+        let mut probe_rng = rng.fork(STREAM_PROBE + term as u64);
+        let incarnation = state.clone();
+        let rx = ready_rx;
+        let outcome = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    controller_loop(
+                        config,
+                        &shared,
+                        &plane,
+                        store.as_ref(),
+                        incarnation,
+                        &mut probe_rng,
+                        crash_at,
+                        rx,
+                    )
+                })
+                .join()
+        });
+        let (result, rx) = match outcome {
+            Ok(pair) => pair,
+            // A genuine (unplanned) controller panic is a harness bug, not
+            // an injected fault; surface it.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        ready_rx = rx;
+        match result {
+            Some(done) => break done,
+            None => {
+                // The controller died. The standby must not seize the round
+                // until the lease expires — a live-but-slow incumbent may
+                // still hold it — then it replays from the last checkpoint.
+                // Workers are oblivious: the lead gate parks them against
+                // the rolled-back round counter and their caches keep
+                // serving the reborn controller.
+                let lease = config.tolerance.liveness_timeout_us;
+                while shared
+                    .now_us()
+                    .saturating_sub(plane.heartbeat_us.load(Ordering::Acquire))
+                    < lease
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let recovered = lock(&plane.slot)
+                    .clone()
+                    .expect("standby slot is seeded before the first incarnation");
+                recovery.controller_failovers += 1;
+                recovery.failover_rounds_lost += crash_at
+                    .unwrap_or(recovered.round)
+                    .saturating_sub(recovered.round);
+                shared.round.store(recovered.round, Ordering::Release);
+                shared.pause_cv.notify_all();
+                state = recovered;
+                term += 1;
+            }
+        }
+    };
+    shared.stop.store(true, Ordering::Release);
+    shared.pause_cv.notify_all();
+    let worker_fates: Vec<WorkerFate> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(w, h)| {
+            h.join().unwrap_or_else(|_| {
+                // The worker thread panicked; record the crash instead of
+                // taking the whole run down with it.
+                shared.slots[w].alive.store(false, Ordering::Release);
+                WorkerFate::Crashed {
+                    at_iter: shared.slots[w].iterations.load(Ordering::Acquire),
+                }
+            })
+        })
+        .collect();
+    let worker_iterations: Vec<u64> = shared
+        .slots
+        .iter()
+        .map(|s| s.iterations.load(Ordering::Acquire))
+        .collect();
+    // Rounds redone after a failover died with their incarnation's tallies,
+    // so the surviving lineage counts every round exactly once.
+    let participation = final_state.participation_sum / config.rounds as f64;
+    recovery.checkpoints_written = final_state.checkpoints_written;
+    finish(
+        config,
+        dataset,
+        template,
+        final_state.master,
+        start,
+        worker_iterations,
+        participation,
+        worker_fates,
+        final_state.rounds_degraded,
+        final_state.net,
+        recovery,
+    )
+}
+
+/// One controller incarnation: executes rounds `ck.round..config.rounds`,
+/// heartbeating its lease at every round top and cutting a checkpoint
+/// (warm-standby slot, plus disk when a store is configured) every
+/// `checkpoint_every` rounds. Returns `None` when the fault plan kills the
+/// incarnation — *before* executing the crash round, so progress since the
+/// last checkpoint is genuinely lost — and the finished state otherwise.
+/// The readiness receiver is threaded back out so the next incarnation can
+/// inherit it.
+#[allow(clippy::too_many_arguments)]
+fn controller_loop(
+    config: &ThreadedConfig,
+    shared: &Shared,
+    plane: &CtrlPlane,
+    store: Option<&CheckpointStore>,
+    mut ck: CtrlCheckpoint,
+    probe_rng: &mut SimRng,
+    crash_at: Option<u64>,
+    ready_rx: Receiver<usize>,
+) -> (Option<CtrlCheckpoint>, Receiver<usize>) {
+    let n = config.num_workers;
+    let mut master = ck.master.clone();
     let mut opt = Sgd::new(config.lr, 0.0, 0.0, master.len());
+    opt.set_velocity(&ck.velocity);
     let mut pool = TensorPool::new();
-    let mut participation_sum = 0.0;
-    let mut rounds_degraded: u64 = 0;
     let mut purged = vec![false; n];
     let mut shim = NetShim::new(&config.net_fault_plan, n);
     let ctrl = shim.controller_id();
-    let mut messages_dropped: u64 = 0;
-    let mut probe_retries: u64 = 0;
-    let mut partition_rounds: u64 = 0;
     let round_deadline = Duration::from_micros(config.tolerance.round_deadline_us);
     let probe_backoff = Duration::from_micros(config.tolerance.probe_backoff_us);
-    for k in 0..config.rounds {
+    for k in ck.round..config.rounds {
+        if crash_at == Some(k) {
+            return (None, ready_rx);
+        }
+        plane.heartbeat_us.store(shared.now_us(), Ordering::Release);
         // Drain stale readiness notifications so the channel cannot grow
         // without bound: the notifications only say "some cache changed",
         // and the caches are re-polled below anyway.
@@ -587,8 +887,8 @@ fn run_rna(
                 // idempotent re-issue, never a wedge.
                 let mut backoff = probe_backoff;
                 let (mut probed, lost) =
-                    probe_rpc(&mut probe_rng, &shared, config.probes, &mut shim, ctrl);
-                messages_dropped += lost;
+                    probe_rpc(probe_rng, shared, config.probes, &mut shim, ctrl);
+                ck.net.messages_dropped += lost;
                 let mut last_lost = lost > 0;
                 let mut last_sample = Instant::now();
                 loop {
@@ -609,12 +909,14 @@ fn run_rna(
                         || last_sample.elapsed() >= backoff
                     {
                         if last_lost {
-                            probe_retries += 1;
-                            backoff = backoff.saturating_mul(2);
+                            ck.net.probe_retries += 1;
+                            backoff = backoff
+                                .saturating_mul(2)
+                                .min(Duration::from_micros(config.tolerance.probe_backoff_cap_us));
                         }
                         let (fresh, lost) =
-                            probe_rpc(&mut probe_rng, &shared, config.probes, &mut shim, ctrl);
-                        messages_dropped += lost;
+                            probe_rpc(probe_rng, shared, config.probes, &mut shim, ctrl);
+                        ck.net.messages_dropped += lost;
                         last_lost = lost > 0;
                         probed = fresh;
                         last_sample = Instant::now();
@@ -656,7 +958,7 @@ fn run_rna(
                     match lock(&shared.slots[w].cache).take_contribution_pooled(k, &mut pool) {
                         Some(g) if shim.deliver(w, gather, now_us) => Some(g),
                         Some(g) => {
-                            messages_dropped += 1;
+                            ck.net.messages_dropped += 1;
                             pool.release(g);
                             None
                         }
@@ -666,7 +968,7 @@ fn run_rna(
             })
             .collect();
         if severed {
-            partition_rounds += 1;
+            ck.net.partition_rounds += 1;
         }
         let weights: Vec<f32> = contributions
             .iter()
@@ -683,7 +985,7 @@ fn run_rna(
             // Linear Scaling Rule: learning rate × contributor count.
             opt.step(&mut master, &reduced, m);
             pool.release(reduced);
-            participation_sum += f64::from(m) / n as f64;
+            ck.participation_sum += f64::from(m) / n as f64;
             let push_us = shared.now_us();
             // One shared snapshot per round; slots swap Arcs, and the last
             // reference to the previous round's snapshot recycles its
@@ -696,14 +998,11 @@ fn run_rna(
                 // severed or unlucky worker keeps its stale view and
                 // catches up on a later round's push.
                 if !shim.deliver(gather, w, push_us) {
-                    messages_dropped += 1;
+                    ck.net.messages_dropped += 1;
                     continue;
                 }
                 let prev = std::mem::replace(
-                    &mut *slot
-                        .params
-                        .write()
-                        .expect("lock poisoned: a worker thread panicked"),
+                    &mut *slot.params.write().unwrap_or_else(PoisonError::into_inner),
                     Arc::clone(&snapshot),
                 );
                 if let Some(t) = Arc::into_inner(prev) {
@@ -714,42 +1013,49 @@ fn run_rna(
             // Nothing usable this round (cluster dead, or every cached
             // gradient fell past the staleness bound): complete the round
             // degraded rather than blocking the run.
-            rounds_degraded += 1;
+            ck.rounds_degraded += 1;
         }
         for g in contributions.into_iter().flatten() {
             pool.release(g);
         }
         shared.round.store(k + 1, Ordering::Release);
         shared.pause_cv.notify_all();
+        if (k + 1) % config.checkpoint_every == 0 && k + 1 < config.rounds {
+            cut_checkpoint(&mut ck, k + 1, &master, &opt, plane, store);
+        }
     }
-    shared.stop.store(true, Ordering::Release);
-    shared.pause_cv.notify_all();
-    let worker_fates: Vec<WorkerFate> = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread panicked"))
-        .collect();
-    let worker_iterations: Vec<u64> = shared
-        .slots
-        .iter()
-        .map(|s| s.iterations.load(Ordering::Acquire))
-        .collect();
-    let participation = participation_sum / config.rounds as f64;
-    finish(
-        config,
-        dataset,
-        template,
-        master,
-        start,
-        worker_iterations,
-        participation,
-        worker_fates,
-        rounds_degraded,
-        NetCounters {
-            messages_dropped,
-            probe_retries,
-            partition_rounds,
-        },
-    )
+    // Final cut: the finished state is itself a checkpoint, so resuming a
+    // completed run replays nothing.
+    cut_checkpoint(&mut ck, config.rounds, &master, &opt, plane, store);
+    (Some(ck), ready_rx)
+}
+
+/// Captures the control plane into `ck`, publishes it to the warm-standby
+/// slot, and — when a store is configured — persists the same bytes
+/// crash-consistently on disk. A disk-write failure degrades the run to
+/// warm-standby-only recovery instead of killing it.
+fn cut_checkpoint(
+    ck: &mut CtrlCheckpoint,
+    round: u64,
+    master: &Tensor,
+    opt: &Sgd,
+    plane: &CtrlPlane,
+    store: Option<&CheckpointStore>,
+) {
+    ck.round = round;
+    ck.master.copy_from(master);
+    ck.velocity.copy_from(opt.velocity());
+    ck.checkpoints_written += 1;
+    *lock(&plane.slot) = Some(ck.clone());
+    if let Some(store) = store {
+        let mut payload = Vec::new();
+        encode_ctrl_checkpoint(ck, &mut payload);
+        if let Err(e) = store.save(&payload) {
+            eprintln!(
+                "controller checkpoint write failed (warm standby still covers a crash): {e}"
+            );
+        }
+    }
 }
 
 /// One probe election attempt over the faulty fabric: samples candidates,
@@ -874,6 +1180,85 @@ struct NetCounters {
     partition_rounds: u64,
 }
 
+/// Supervisor-side tallies of the control-plane fault machinery. Unlike
+/// [`CtrlCheckpoint`] contents these are per-process observations — a
+/// resumed process starts its own count.
+#[derive(Debug, Clone, Copy, Default)]
+struct RecoveryCounters {
+    controller_failovers: u64,
+    failover_rounds_lost: u64,
+    checkpoints_written: u64,
+}
+
+/// Everything a standby needs to continue the run: the training state the
+/// workers cannot reconstruct (master parameters, optimizer velocity, the
+/// round counter) plus the controller's cumulative tallies. The warm
+/// standby holds the latest one in memory; the same bytes land on disk —
+/// under [`CheckpointStore`]'s checksummed temp+rename frame — when a
+/// recovery directory is configured.
+#[derive(Debug, Clone)]
+struct CtrlCheckpoint {
+    round: u64,
+    master: Tensor,
+    velocity: Tensor,
+    participation_sum: f64,
+    rounds_degraded: u64,
+    net: NetCounters,
+    checkpoints_written: u64,
+}
+
+/// The lease the controller and its warm standby share: a heartbeat the
+/// incumbent refreshes at every round top, and the checkpoint slot the
+/// standby replays from once the heartbeat goes stale.
+struct CtrlPlane {
+    heartbeat_us: AtomicU64,
+    slot: Mutex<Option<CtrlCheckpoint>>,
+}
+
+fn encode_ctrl_checkpoint(ck: &CtrlCheckpoint, out: &mut Vec<u8>) {
+    wire::put_u64(out, ck.round);
+    wire::put_f64(out, ck.participation_sum);
+    wire::put_u64(out, ck.rounds_degraded);
+    wire::put_u64(out, ck.net.messages_dropped);
+    wire::put_u64(out, ck.net.probe_retries);
+    wire::put_u64(out, ck.net.partition_rounds);
+    wire::put_u64(out, ck.checkpoints_written);
+    wire::put_tensor(out, &ck.master);
+    wire::put_tensor(out, &ck.velocity);
+}
+
+/// Decodes a payload written by [`encode_ctrl_checkpoint`]; `None` on any
+/// truncation, trailing garbage, or shape mismatch (the store's checksum
+/// catches bit rot; this catches format drift).
+fn decode_ctrl_checkpoint(payload: &[u8]) -> Option<CtrlCheckpoint> {
+    let mut r = Reader::new(payload);
+    let round = r.u64()?;
+    let participation_sum = r.f64()?;
+    let rounds_degraded = r.u64()?;
+    let messages_dropped = r.u64()?;
+    let probe_retries = r.u64()?;
+    let partition_rounds = r.u64()?;
+    let checkpoints_written = r.u64()?;
+    let master = r.tensor()?;
+    let velocity = r.tensor()?;
+    if r.remaining() != 0 || master.is_empty() || master.len() != velocity.len() {
+        return None;
+    }
+    Some(CtrlCheckpoint {
+        round,
+        master,
+        velocity,
+        participation_sum,
+        rounds_degraded,
+        net: NetCounters {
+            messages_dropped,
+            probe_retries,
+            partition_rounds,
+        },
+        checkpoints_written,
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn finish(
     config: &ThreadedConfig,
@@ -886,6 +1271,7 @@ fn finish(
     worker_fates: Vec<WorkerFate>,
     rounds_degraded: u64,
     net: NetCounters,
+    recovery: RecoveryCounters,
 ) -> ThreadedResult {
     let wall = start.elapsed();
     let mut model = template;
@@ -903,6 +1289,9 @@ fn finish(
         messages_dropped: net.messages_dropped,
         probe_retries: net.probe_retries,
         partition_rounds: net.partition_rounds,
+        controller_failovers: recovery.controller_failovers,
+        failover_rounds_lost: recovery.failover_rounds_lost,
+        checkpoints_written: recovery.checkpoints_written,
     }
 }
 
@@ -1099,6 +1488,151 @@ mod tests {
             }
         }
         assert!(pool.hits() > 0, "round buffers must be recycled");
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        let m = Arc::new(Mutex::new(17u64));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("die while holding the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        // The degraded-run policy: the value is still consistent, use it.
+        assert_eq!(*lock(&m), 17);
+    }
+
+    #[test]
+    fn controller_failover_resumes_from_warm_standby() {
+        let config = ThreadedConfig::quick(4, SyncMode::Rna)
+            .with_tolerance(ToleranceConfig::tight())
+            .with_checkpoint_every(4)
+            .with_fault_plan(FaultPlan::none().crash_controller(10));
+        let r = run_threaded(&config);
+        assert_eq!(r.rounds, 30);
+        assert_eq!(r.controller_failovers, 1);
+        // Crash at round 10 with cadence 4 → last checkpoint at round 8 →
+        // exactly 2 rounds of real progress redone.
+        assert_eq!(r.failover_rounds_lost, 2);
+        assert!(r.checkpoints_written > 0);
+        assert!(r.final_loss < 1.4, "loss {}", r.final_loss);
+        assert_eq!(r.live_workers(), 4);
+    }
+
+    #[test]
+    fn repeated_controller_crashes_are_each_survived() {
+        let config = ThreadedConfig::quick(3, SyncMode::EagerMajority)
+            .with_tolerance(ToleranceConfig::tight())
+            .with_checkpoint_every(3)
+            .with_fault_plan(FaultPlan::none().crash_controller(5).crash_controller(12));
+        let r = run_threaded(&config);
+        assert_eq!(r.rounds, 30);
+        assert_eq!(r.controller_failovers, 2);
+        assert!(r.final_loss < 1.5, "loss {}", r.final_loss);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rna-threaded-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn killed_process_resumes_from_disk_checkpoint() {
+        let dir = scratch_dir("resume");
+        // "Process one": dies (run ends) with 10 of 30 rounds budgeted, so
+        // the newest checkpoint on disk is from round 10.
+        let mut config = ThreadedConfig::quick(3, SyncMode::Rna)
+            .with_checkpoint_every(5)
+            .with_recovery_dir(&dir);
+        config.rounds = 10;
+        let first = run_threaded(&config);
+        assert!(first.checkpoints_written >= 2);
+        // "Process two": same config with the full budget picks up at
+        // round 10 and finishes the remaining 20.
+        config.rounds = 30;
+        let resumed = resume_threaded(&config).expect("resume from disk");
+        assert_eq!(resumed.rounds, 30);
+        assert!(
+            resumed.final_loss < first.final_loss,
+            "resumed {} vs first {}",
+            resumed.final_loss,
+            first.final_loss
+        );
+        // Resuming the *finished* run replays nothing: the model is served
+        // straight from the final checkpoint, bit-for-bit.
+        let replay = resume_threaded(&config).expect("resume a finished run");
+        assert_eq!(replay.final_loss.to_bits(), resumed.final_loss.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_any_checkpoint_is_a_typed_error() {
+        let dir = scratch_dir("missing");
+        let config = ThreadedConfig::quick(2, SyncMode::Rna).with_recovery_dir(&dir);
+        match resume_threaded(&config) {
+            Err(RecoveryError::Missing) => {}
+            other => panic!("expected Missing, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid checkpoint cadence")]
+    fn zero_checkpoint_cadence_is_rejected() {
+        let config = ThreadedConfig::quick(2, SyncMode::Rna).with_checkpoint_every(0);
+        run_threaded(&config);
+    }
+
+    #[test]
+    #[should_panic(expected = "BSP has no standby controller")]
+    fn bsp_rejects_controller_crash_plans() {
+        let config = ThreadedConfig::quick(2, SyncMode::Bsp)
+            .with_fault_plan(FaultPlan::none().crash_controller(3));
+        run_threaded(&config);
+    }
+
+    #[test]
+    fn ctrl_checkpoint_codec_roundtrips() {
+        let ck = CtrlCheckpoint {
+            round: 19,
+            master: Tensor::from_vec(vec![1.5, -2.25, 0.0]),
+            velocity: Tensor::from_vec(vec![0.5, 0.0, -1.0]),
+            participation_sum: 12.75,
+            rounds_degraded: 3,
+            net: NetCounters {
+                messages_dropped: 7,
+                probe_retries: 2,
+                partition_rounds: 1,
+            },
+            checkpoints_written: 4,
+        };
+        let mut payload = Vec::new();
+        encode_ctrl_checkpoint(&ck, &mut payload);
+        let back = decode_ctrl_checkpoint(&payload).expect("roundtrip");
+        assert_eq!(back.round, 19);
+        assert_eq!(back.master.as_slice(), ck.master.as_slice());
+        assert_eq!(back.velocity.as_slice(), ck.velocity.as_slice());
+        assert_eq!(back.participation_sum, 12.75);
+        assert_eq!(back.rounds_degraded, 3);
+        assert_eq!(back.net.messages_dropped, 7);
+        assert_eq!(back.checkpoints_written, 4);
+        // Truncations and trailing garbage are rejected, never panics.
+        for cut in 0..payload.len() {
+            assert!(
+                decode_ctrl_checkpoint(&payload[..cut]).is_none(),
+                "cut={cut}"
+            );
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_ctrl_checkpoint(&padded).is_none());
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub mod trace;
 
 pub use net::{LinkModel, NetFaults, NetworkModel, Topology};
 pub use queue::EventQueue;
-pub use rng::SimRng;
+pub use rng::{SimRng, SimRngState};
 pub use time::{SimDuration, SimTime};

@@ -18,6 +18,9 @@
 //!   steady-state reduce rounds allocation-free.
 //! * [`alloc`] — a debug-only counter of fresh tensor-buffer allocations,
 //!   used to *prove* the zero-allocation property in tests.
+//! * [`wire`] — hand-rolled little-endian binary (de)serialization
+//!   primitives for crash-recovery checkpoints (the vendored `serde` is a
+//!   no-op stub in this offline build).
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@ pub mod pool;
 pub mod reduce;
 pub mod stats;
 mod tensor;
+pub mod wire;
 
 pub use chunks::{partition, ChunkRange};
 pub use pool::TensorPool;

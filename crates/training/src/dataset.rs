@@ -350,6 +350,18 @@ impl BatchSampler {
         self.batch_size
     }
 
+    /// The exact position of the sampling stream (for checkpoints).
+    pub fn rng_state(&self) -> rna_simnet::SimRngState {
+        self.rng.state()
+    }
+
+    /// Rewinds the sampling stream to a checkpointed position, so the next
+    /// [`BatchSampler::sample`] draws the same indices the original sampler
+    /// would have drawn.
+    pub fn restore_rng(&mut self, state: &rna_simnet::SimRngState) {
+        self.rng = SimRng::from_state(state);
+    }
+
     /// Samples one mini-batch (with replacement).
     ///
     /// # Panics

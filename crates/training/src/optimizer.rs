@@ -147,6 +147,26 @@ impl Sgd {
     pub fn reset_momentum(&mut self) {
         self.velocity.fill_zero();
     }
+
+    /// The momentum buffer (for checkpoints — the optimizer state that must
+    /// survive a crash alongside the parameters).
+    pub fn velocity(&self) -> &Tensor {
+        &self.velocity
+    }
+
+    /// Overwrites the momentum buffer from a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the optimizer's parameter count.
+    pub fn set_velocity(&mut self, velocity: &Tensor) {
+        assert_eq!(
+            velocity.len(),
+            self.velocity.len(),
+            "optimizer size mismatch"
+        );
+        self.velocity.copy_from(velocity);
+    }
 }
 
 #[cfg(test)]

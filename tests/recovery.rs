@@ -1,0 +1,236 @@
+//! Control-plane fault tolerance, end to end in both execution worlds.
+//!
+//! The simulator side proves the strong property: a checkpoint→kill→resume
+//! cycle is *bit-identical* to the uninterrupted run on a clean fabric —
+//! the checkpoint captures every byte the continuation depends on (model,
+//! optimizer velocity, gradient caches, staleness counters, RNG stream
+//! positions). The threaded side proves the practical property: a
+//! controller thread that really dies is replaced by a warm standby, and a
+//! process that really dies resumes from disk, with the redone progress
+//! reported honestly.
+//!
+//! `RNA_CHAOS_SEED` varies the base seed so CI can sweep several seeds
+//! without recompiling.
+
+use rna_core::fault::FaultPlan;
+use rna_core::recovery::{CheckpointStore, RecoveryConfig, RecoveryError};
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::{RnaConfig, RunResult};
+use rna_runtime::{resume_threaded, run_threaded, SyncMode, ThreadedConfig, ToleranceConfig};
+use rna_workload::HeterogeneityModel;
+
+const N: usize = 5;
+
+fn chaos_seed() -> u64 {
+    std::env::var("RNA_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11)
+}
+
+fn spec(seed: u64, rounds: u64) -> TrainSpec {
+    TrainSpec::smoke_test(N, seed)
+        .with_hetero(HeterogeneityModel::dynamic_uniform(N, 0, 30))
+        .with_max_rounds(rounds)
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rna-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.wall_time, b.wall_time);
+    assert_eq!(a.global_rounds, b.global_rounds);
+    assert_eq!(a.worker_iterations, b.worker_iterations);
+    assert_eq!(a.comm_bytes, b.comm_bytes);
+    assert_eq!(a.final_loss(), b.final_loss());
+    let (pa, pb) = (a.history.points(), b.history.points());
+    assert_eq!(pa.len(), pb.len());
+    for (x, y) in pa.iter().zip(pb) {
+        assert_eq!(x.time_s, y.time_s);
+        assert_eq!(x.loss, y.loss);
+    }
+}
+
+/// The headline guarantee: kill the simulated run mid-stream, resume from
+/// the newest disk checkpoint, and the continuation is bit-identical to
+/// the run that was never interrupted.
+#[test]
+fn des_checkpoint_kill_resume_is_bit_identical() {
+    let seed = chaos_seed();
+    let every = RecoveryConfig::new(10).unwrap();
+
+    let uninterrupted_dir = scratch_dir("uninterrupted");
+    let uninterrupted = Engine::new(spec(seed, 40), RnaProtocol::new(N, RnaConfig::default(), 0))
+        .with_recovery(CheckpointStore::new(&uninterrupted_dir).unwrap(), every)
+        .run();
+
+    // "Kill": the first process only gets 25 of the 40 rounds; its newest
+    // surviving checkpoint is from round 20.
+    let dir = scratch_dir("killed");
+    let partial = Engine::new(spec(seed, 25), RnaProtocol::new(N, RnaConfig::default(), 0))
+        .with_recovery(CheckpointStore::new(&dir).unwrap(), every)
+        .run();
+    assert!(partial.checkpoints_written >= 2);
+
+    let resumed = Engine::resume(
+        spec(seed, 40),
+        RnaProtocol::new(N, RnaConfig::default(), 0),
+        CheckpointStore::new(&dir).unwrap(),
+        every,
+    )
+    .expect("resume from the killed run's checkpoints")
+    .run();
+
+    assert_identical(&uninterrupted, &resumed);
+    let _ = std::fs::remove_dir_all(&uninterrupted_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted newest generation falls back to the previous one — and the
+/// older starting point still converges to the identical final state,
+/// because every checkpoint is a quiesce point of the same trajectory.
+#[test]
+fn des_corrupt_latest_falls_back_to_previous_generation() {
+    let seed = chaos_seed() ^ 0x5EED;
+    let every = RecoveryConfig::new(10).unwrap();
+
+    let clean_dir = scratch_dir("clean");
+    let clean = Engine::new(spec(seed, 40), RnaProtocol::new(N, RnaConfig::default(), 0))
+        .with_recovery(CheckpointStore::new(&clean_dir).unwrap(), every)
+        .run();
+
+    let dir = scratch_dir("corrupt");
+    let store = CheckpointStore::new(&dir).unwrap();
+    let _ = Engine::new(spec(seed, 25), RnaProtocol::new(N, RnaConfig::default(), 0))
+        .with_recovery(CheckpointStore::new(&dir).unwrap(), every)
+        .run();
+
+    // Flip bytes in the newest generation; the previous one must carry.
+    std::fs::write(store.latest_path(), b"not a checkpoint at all").unwrap();
+    let resumed = Engine::resume(
+        spec(seed, 40),
+        RnaProtocol::new(N, RnaConfig::default(), 0),
+        CheckpointStore::new(&dir).unwrap(),
+        every,
+    )
+    .expect("previous generation must survive a corrupt latest")
+    .run();
+    assert_identical(&clean, &resumed);
+
+    // Wreck both generations (the resumed run above refreshed them): now
+    // recovery must fail with a typed error, never a panic or a silent
+    // fresh start.
+    std::fs::write(store.latest_path(), b"not a checkpoint at all").unwrap();
+    std::fs::write(store.previous_path(), b"").unwrap();
+    let err = Engine::resume(
+        spec(seed, 40),
+        RnaProtocol::new(N, RnaConfig::default(), 0),
+        CheckpointStore::new(&dir).unwrap(),
+        every,
+    )
+    .err()
+    .expect("both generations gone");
+    assert!(matches!(err, RecoveryError::Corrupt(_)), "{err:?}");
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Controller failover in the simulator is deterministic: same seed, same
+/// crash plan, same result — and costs exactly the probe round in flight.
+#[test]
+fn des_controller_failover_is_deterministic() {
+    let seed = chaos_seed() ^ 0xFA11;
+    let run = || {
+        Engine::new(
+            spec(seed, 40).with_fault_plan(FaultPlan::none().crash_controller(12)),
+            RnaProtocol::new(N, RnaConfig::default(), 0),
+        )
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.controller_failovers, 1);
+    assert_eq!(a.failover_rounds_lost, 1);
+    assert_eq!(a.global_rounds, 40);
+    assert_identical(&a, &b);
+}
+
+/// The threaded world under the same plan: the controller thread really
+/// dies, the standby really waits out the lease, and the rounds redone
+/// since the last checkpoint are reported.
+#[test]
+fn threaded_controller_kill_soak_converges() {
+    let seed = chaos_seed();
+    let mut config = ThreadedConfig::quick(4, SyncMode::Rna)
+        .with_tolerance(ToleranceConfig::tight())
+        .with_checkpoint_every(4)
+        .with_fault_plan(FaultPlan::none().crash_controller(7).crash_controller(19));
+    config.seed = seed;
+    let r = run_threaded(&config);
+    assert_eq!(r.rounds, 30);
+    assert_eq!(r.controller_failovers, 2);
+    // Cadence 4: crash at 7 redoes 3 rounds (checkpoint at 4), crash at 19
+    // redoes 3 (checkpoint at 16).
+    assert_eq!(r.failover_rounds_lost, 6);
+    assert_eq!(r.live_workers(), 4);
+    assert!(r.final_loss < 1.5, "loss {}", r.final_loss);
+}
+
+/// Kill the process after a partial budget, then resume from disk: the
+/// resumed run finishes the budget and keeps improving on the checkpointed
+/// model instead of restarting from scratch.
+#[test]
+fn threaded_checkpoint_roundtrip_across_processes() {
+    let seed = chaos_seed() ^ 0xD15C;
+    let dir = scratch_dir("threaded");
+    let mut config = ThreadedConfig::quick(3, SyncMode::Rna)
+        .with_checkpoint_every(5)
+        .with_recovery_dir(&dir);
+    config.seed = seed;
+    config.rounds = 10;
+    let first = run_threaded(&config);
+    config.rounds = 30;
+    let resumed = resume_threaded(&config).expect("disk checkpoint survives the process");
+    assert_eq!(resumed.rounds, 30);
+    assert!(
+        resumed.final_loss < first.final_loss,
+        "resumed {} vs first {}",
+        resumed.final_loss,
+        first.final_loss
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A PS shard crash under hierarchical RNA degrades the shard to its warm
+/// replica — the run completes every round and keeps learning.
+#[test]
+fn hier_ps_shard_crash_degrades_not_wedges() {
+    use rna_core::hier::HierRnaProtocol;
+    let seed = chaos_seed() ^ 0x95;
+    let n = 8;
+    let spec = TrainSpec::smoke_test(n, seed)
+        .with_hetero(HeterogeneityModel::mixed_groups(n, 0, 10, 40, 50))
+        .with_max_rounds(60)
+        .with_fault_plan(
+            FaultPlan::none()
+                .crash_ps_shard(0, 15)
+                // Shard crashes fire at the owning *group's* round; the
+                // slow group advances far fewer rounds than the fast one.
+                .crash_ps_shard(1, 6),
+        );
+    let groups: Vec<Vec<usize>> = vec![(0..4).collect(), (4..8).collect()];
+    let r = Engine::new(spec, HierRnaProtocol::new(groups, RnaConfig::default())).run();
+    assert_eq!(r.ps_failovers, 2);
+    assert_eq!(r.global_rounds, 60);
+    let first = r.history.points().first().map(|p| p.loss).unwrap();
+    let last = r.final_loss().unwrap();
+    assert!(last < first, "loss must still fall: {first} -> {last}");
+}
