@@ -53,8 +53,22 @@ echo "==> data-path bench (--check, writes BENCH_PR3.json)"
 timeout 600 cargo run -q --release -p rna-bench --bin datapath -- \
   --check --out BENCH_PR3.json
 
+# Wire-compression floor: fp16 must shrink the gradient wire >=1.9x and
+# top-k (k=10%) >=3.5x versus lossless, lossy runs must finish no later on
+# the virtual clock, measured fresh in this run. The report lands at the
+# repo root as the tracked baseline.
+echo "==> codec bench (--check, writes BENCH_PR5.json)"
+timeout 600 cargo run -q --release -p rna-bench --bin codec -- \
+  --check --out BENCH_PR5.json
+
+# Codec property tests in debug mode: roundtrip invariants, error-feedback
+# telescoping, and frame-size models get their debug_assert! coverage.
+echo "==> codec property tests (debug)"
+timeout 600 cargo test -q -p rna-tensor codec
+
 # Zero-alloc guarantee: the debug-only allocation counter must show that
 # warm pooled rounds allocate nothing (vacuous in release, so run debug).
+# Covers the simulator pool and the threaded controller's reduce region.
 echo "==> pooled data-path alloc check (debug)"
 timeout 600 cargo test -q -p rna-core --test pooling
 

@@ -1,0 +1,277 @@
+//! Wire-codec baseline: encode/decode throughput for every gradient codec
+//! on the headline 64 Ki-element tensor, plus end-to-end simulator runs
+//! under each codec showing what compression buys on the wire and costs in
+//! residual error — and a threaded lossless run pinning the rounds/sec
+//! floor of the real-thread data path.
+//!
+//! Emits a hand-formatted JSON report (no serde_json in the offline build)
+//! to `BENCH_PR5.json` by default; `ci.sh` runs it with `--check`, which
+//! fails the build unless fp16 shrinks the wire ≥ 1.9× and top-k (k = 10%)
+//! ≥ 3.5× versus lossless *measured in the same run*, every lossy run's
+//! virtual wall clock is no slower than the lossless one, and codec
+//! throughput clears a loose absolute floor.
+//!
+//! Usage: `codec [--check] [--out <path>]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rna_bench::{json_header, mini_spec};
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::Engine;
+use rna_core::{Compression, RnaConfig};
+use rna_runtime::{run_threaded, SyncMode, ThreadedConfig};
+use rna_tensor::Tensor;
+
+/// Headline tensor size: 64 Ki elements, the per-group gradient the
+/// controller ships each round (matches the datapath bench).
+const ELEMS: usize = 65_536;
+/// Kernel invocations per timed sample and best-of sample count; min-of-N
+/// filters scheduler noise on a shared single-core host.
+const ITERS: usize = 24;
+const SAMPLES: usize = 5;
+
+fn pseudo(len: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Best-of-`SAMPLES` time for `ITERS` calls of `f`, in ns per call.
+fn time_ns_per_call<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / ITERS as f64);
+    }
+    best
+}
+
+struct CodecRow {
+    codec: Compression,
+    frame_bytes: u64,
+    encode_gbps: f64,
+    decode_gbps: f64,
+    sim_rounds_per_sec: f64,
+    bytes_on_wire: u64,
+    bytes_saved: u64,
+    codec_error_l2: f64,
+    virtual_wall_s: f64,
+    final_loss: f64,
+}
+
+impl CodecRow {
+    /// Wire shrink factor versus shipping the same exchanges losslessly.
+    fn wire_ratio(&self) -> f64 {
+        (self.bytes_on_wire + self.bytes_saved) as f64 / self.bytes_on_wire as f64
+    }
+}
+
+/// Encode + decode throughput in GB/s of *uncompressed* gradient per
+/// second — the apples-to-apples rate across codecs that emit different
+/// byte counts.
+fn bench_codec_micro(codec: Compression) -> (u64, f64, f64) {
+    let input = pseudo(ELEMS, 7);
+    let raw_bytes = (ELEMS * 4) as f64;
+    // Deterministic LCG stands in for the runtime's codec RNG stream; the
+    // draw cost is part of what int8's stochastic rounding pays for real.
+    let mut state = 0x1234_5678_u64;
+    let mut draw = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 32) as u32
+    };
+
+    let mut frame = Vec::new();
+    let encode_ns = time_ns_per_call(|| {
+        codec.encode(black_box(&input), &mut frame, &mut draw);
+        black_box(&frame);
+    });
+
+    let mut out = Tensor::zeros(ELEMS);
+    let decode_ns = time_ns_per_call(|| {
+        codec
+            .decode(black_box(&frame), &mut out)
+            .expect("self-encoded frame must decode");
+        black_box(&out);
+    });
+
+    (
+        frame.len() as u64,
+        raw_bytes / encode_ns,
+        raw_bytes / decode_ns,
+    )
+}
+
+/// End-to-end simulator run under `codec`: 8 workers, dynamic stragglers,
+/// 200 rounds — same miniature cluster as the datapath bench.
+fn bench_sim_end_to_end(codec: Compression) -> (f64, u64, u64, f64, f64, f64) {
+    let spec = mini_spec(8, 200, 1);
+    let config = RnaConfig::default().with_compression(codec);
+    let t = Instant::now();
+    let r = Engine::new(spec, RnaProtocol::new(8, config, 0)).run();
+    let rps = r.global_rounds as f64 / t.elapsed().as_secs_f64();
+    (
+        rps,
+        r.bytes_on_wire,
+        r.bytes_saved,
+        r.codec_error_l2,
+        r.wall_time.as_secs_f64(),
+        r.final_loss().expect("run evaluates"),
+    )
+}
+
+fn bench_codecs() -> Vec<CodecRow> {
+    [
+        Compression::Lossless,
+        Compression::Fp16,
+        Compression::Int8,
+        Compression::top_k_10pct(),
+    ]
+    .into_iter()
+    .map(|codec| {
+        let (frame_bytes, encode_gbps, decode_gbps) = bench_codec_micro(codec);
+        let (rps, wire, saved, err, wall, loss) = bench_sim_end_to_end(codec);
+        CodecRow {
+            codec,
+            frame_bytes,
+            encode_gbps,
+            decode_gbps,
+            sim_rounds_per_sec: rps,
+            bytes_on_wire: wire,
+            bytes_saved: saved,
+            codec_error_l2: err,
+            virtual_wall_s: wall,
+            final_loss: loss,
+        }
+    })
+    .collect()
+}
+
+/// Threaded world under lossless: the real-thread rounds/sec floor the
+/// codec layer must not regress (compare against BENCH_PR3.json).
+fn bench_threaded_lossless() -> f64 {
+    let mut config =
+        ThreadedConfig::quick(8, SyncMode::Rna).with_compression(Compression::Lossless);
+    config.rounds = 40;
+    config.compute_us = vec![(500, 1_000); 8];
+    let t = Instant::now();
+    let r = run_threaded(&config);
+    r.rounds as f64 / t.elapsed().as_secs_f64()
+}
+
+fn render_json(rows: &[CodecRow], threaded_rps: f64) -> String {
+    let mut codecs = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            codecs.push_str(",\n");
+        }
+        codecs.push_str(&format!(
+            "    \"{}\": {{\n      \"frame_bytes\": {},\n      \"encode_gbps\": {:.2},\n      \"decode_gbps\": {:.2},\n      \"sim_rounds_per_sec\": {:.1},\n      \"bytes_on_wire\": {},\n      \"bytes_saved\": {},\n      \"wire_ratio\": {:.2},\n      \"codec_error_l2\": {:.3},\n      \"virtual_wall_s\": {:.3},\n      \"final_loss\": {:.4}\n    }}",
+            r.codec.name(),
+            r.frame_bytes,
+            r.encode_gbps,
+            r.decode_gbps,
+            r.sim_rounds_per_sec,
+            r.bytes_on_wire,
+            r.bytes_saved,
+            r.wire_ratio(),
+            r.codec_error_l2,
+            r.virtual_wall_s,
+            r.final_loss,
+        ));
+    }
+    format!(
+        "{{\n{}\n  \"elements\": {ELEMS},\n  \"codecs\": {{\n{codecs}\n  }},\n  \"threaded_lossless_rounds_per_sec\": {threaded_rps:.1}\n}}\n",
+        json_header("rna-codec-bench-v1")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+
+    let rows = bench_codecs();
+    let threaded_rps = bench_threaded_lossless();
+    let json = render_json(&rows, threaded_rps);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if check {
+        let lossless = &rows[0];
+        assert!(lossless.codec.is_lossless());
+        assert_eq!(
+            lossless.bytes_saved, 0,
+            "lossless must ride the exact legacy wire path"
+        );
+        assert_eq!(lossless.codec_error_l2, 0.0, "lossless leaves no residual");
+        for r in &rows[1..] {
+            // Lossy rounds finish no later on the virtual clock: the ring
+            // ships smaller frames, so the simulated run can only speed up.
+            assert!(
+                r.virtual_wall_s <= lossless.virtual_wall_s,
+                "{} virtual wall {:.3}s exceeds lossless {:.3}s",
+                r.codec.name(),
+                r.virtual_wall_s,
+                lossless.virtual_wall_s
+            );
+            assert!(
+                r.final_loss.is_finite(),
+                "{} diverged: loss {}",
+                r.codec.name(),
+                r.final_loss
+            );
+        }
+        let floor = |name: &str| {
+            rows.iter()
+                .find(|r| r.codec.name() == name)
+                .unwrap_or_else(|| panic!("codec row {name}"))
+        };
+        let fp16 = floor("fp16");
+        assert!(
+            fp16.wire_ratio() >= 1.9,
+            "fp16 wire ratio {:.2}x regressed below the tracked 1.9x floor",
+            fp16.wire_ratio()
+        );
+        let topk = floor("topk");
+        assert!(
+            topk.wire_ratio() >= 3.5,
+            "top-k(10%) wire ratio {:.2}x regressed below the tracked 3.5x floor",
+            topk.wire_ratio()
+        );
+        for r in &rows {
+            assert!(
+                r.encode_gbps >= 0.2 && r.decode_gbps >= 0.2,
+                "{} codec throughput below the loose 0.2 GB/s floor \
+                 (encode {:.2}, decode {:.2})",
+                r.codec.name(),
+                r.encode_gbps,
+                r.decode_gbps
+            );
+        }
+        assert!(
+            lossless.sim_rounds_per_sec >= 100.0,
+            "simulator throughput collapsed: {:.1} rounds/sec",
+            lossless.sim_rounds_per_sec
+        );
+        eprintln!("check passed: fp16 holds 1.9x and top-k holds 3.5x on the wire");
+    }
+}

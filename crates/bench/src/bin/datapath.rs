@@ -14,7 +14,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use rna_bench::mini_spec;
+use rna_bench::{json_header, mini_spec};
 use rna_core::rna::RnaProtocol;
 use rna_core::sim::Engine;
 use rna_core::RnaConfig;
@@ -229,7 +229,8 @@ fn render_json(rows: &[KernelRow], sim_rps: f64, threaded_rps: f64) -> String {
         ));
     }
     format!(
-        "{{\n  \"schema\": \"rna-datapath-bench-v1\",\n  \"elements\": {ELEMS},\n  \"inputs\": {INPUTS},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"end_to_end\": {{\n    \"sim_rounds_per_sec\": {sim_rps:.1},\n    \"threaded_rounds_per_sec\": {threaded_rps:.1}\n  }}\n}}\n"
+        "{{\n{}\n  \"elements\": {ELEMS},\n  \"inputs\": {INPUTS},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"end_to_end\": {{\n    \"sim_rounds_per_sec\": {sim_rps:.1},\n    \"threaded_rounds_per_sec\": {threaded_rps:.1}\n  }}\n}}\n",
+        json_header("rna-datapath-bench-v1")
     )
 }
 

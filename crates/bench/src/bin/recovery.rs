@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use rna_bench::mini_spec;
+use rna_bench::{json_header, mini_spec};
 use rna_core::fault::FaultPlan;
 use rna_core::recovery::CheckpointStore;
 use rna_core::rna::RnaProtocol;
@@ -154,7 +154,8 @@ fn render_world(w: &WorldNumbers) -> String {
 
 fn render_json(ck: &CheckpointNumbers, des: &WorldNumbers, threaded: &WorldNumbers) -> String {
     format!(
-        "{{\n  \"schema\": \"rna-recovery-bench-v1\",\n  \"model_elements\": {ELEMS},\n  \"checkpoint\": {{ \"payload_bytes\": {}, \"save_us\": {:.1}, \"load_us\": {:.1} }},\n  \"des_failover\": {},\n  \"threaded_failover\": {}\n}}\n",
+        "{{\n{}\n  \"model_elements\": {ELEMS},\n  \"checkpoint\": {{ \"payload_bytes\": {}, \"save_us\": {:.1}, \"load_us\": {:.1} }},\n  \"des_failover\": {},\n  \"threaded_failover\": {}\n}}\n",
+        json_header("rna-recovery-bench-v1"),
         ck.payload_bytes,
         ck.save_us,
         ck.load_us,

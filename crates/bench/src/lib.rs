@@ -29,3 +29,68 @@ pub fn mini_spec(n: usize, rounds: u64, seed: u64) -> TrainSpec {
         .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 20))
         .with_max_rounds(rounds)
 }
+
+/// Shared opening lines for the hand-formatted JSON reports the bench bins
+/// emit (no serde_json in the offline build): the schema name plus the git
+/// commit the numbers were measured at, so a checked-in `BENCH_*.json` can
+/// always be traced back to the exact code state it describes.
+///
+/// The returned string is two indented key lines ending in a comma; callers
+/// splice it immediately after the opening `{` of their report.
+pub fn json_header(schema: &str) -> String {
+    format!(
+        "  \"schema\": \"{schema}\",\n  \"commit\": \"{}\",",
+        git_commit()
+    )
+}
+
+/// Best-effort short commit hash read straight from `.git` — the offline
+/// build spawns no processes. Walks up from the current directory so the
+/// bins work from the workspace root or any crate directory.
+fn git_commit() -> String {
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        let git = d.join(".git");
+        if git.is_dir() {
+            return resolve_head(&git).unwrap_or_else(|| "unknown".to_string());
+        }
+        dir = d.parent().map(std::path::Path::to_path_buf);
+    }
+    "unknown".to_string()
+}
+
+/// Resolves `HEAD` to a hash: either detached (hash inline) or a symbolic
+/// ref found loose under `refs/` or in `packed-refs`.
+fn resolve_head(git: &std::path::Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let hash = match head.strip_prefix("ref: ") {
+        None => head.to_string(),
+        Some(r) => match std::fs::read_to_string(git.join(r)) {
+            Ok(loose) => loose.trim().to_string(),
+            Err(_) => {
+                let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+                packed.lines().find_map(|line| {
+                    let (hash, name) = line.split_once(' ')?;
+                    (name == r).then(|| hash.to_string())
+                })?
+            }
+        },
+    };
+    (hash.len() >= 12 && hash.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| hash[..12].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn header_carries_schema_and_a_real_commit() {
+        let h = super::json_header("test-schema-v1");
+        assert!(h.starts_with("  \"schema\": \"test-schema-v1\",\n  \"commit\": \""));
+        assert!(h.ends_with("\","));
+        // The workspace is a real git repo, so the hash must resolve.
+        let commit = h.rsplit('"').nth(1).unwrap();
+        assert_eq!(commit.len(), 12, "short hash, got {commit:?}");
+        assert!(commit.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,381 @@
+//! Ring AllReduce over *encoded* chunk frames — the compressed, pipelined
+//! wire path.
+//!
+//! [`ring_allreduce_coded`] runs the same scatter-and-gather schedule as
+//! [`crate::ring_allreduce`], but every chunk crosses the wire as a
+//! self-describing codec frame ([`rna_tensor::codec::Compression`]):
+//! encoded on send, decoded on receipt, reduced in place. The schedule is
+//! *pipelined within a step*: all of a step's outgoing frames are encoded
+//! before any of its decodes run, so on real hardware worker `i`'s encode
+//! of message `m+1` overlaps worker `i−1`'s decode/reduce of message `m` —
+//! the same overlap the scratch-plane snapshot gives the pooled ring. This
+//! is why the cost model charges only transfer time for encoded frames:
+//! codec compute hides behind the transfer of the neighboring chunk.
+//!
+//! In the all-gather phase each fully-reduced chunk is encoded **once** by
+//! its owner and the same frame is forwarded verbatim around the ring
+//! (re-encoding per hop would compound quantization error). Every worker —
+//! including the owner — decodes that one frame, so after the call all
+//! buffers are *bit-identical*, lossy codecs included.
+
+use rna_tensor::codec::Compression;
+use rna_tensor::{partition, ReduceOp, Tensor, TensorPool};
+
+/// Wire accounting returned by [`ring_allreduce_coded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodedRingStats {
+    /// Chunk messages that crossed the wire (empty chunks move nothing).
+    pub messages: u64,
+    /// Bytes actually sent: the sum of encoded frame sizes over all
+    /// messages (headers included).
+    pub wire_bytes: u64,
+    /// Bytes the same messages would have cost under
+    /// [`Compression::Lossless`] — the savings baseline.
+    pub lossless_bytes: u64,
+}
+
+impl CodedRingStats {
+    /// `lossless_bytes − wire_bytes`, saturating (lossless frames are never
+    /// smaller than themselves, but guard anyway).
+    pub fn bytes_saved(&self) -> u64 {
+        self.lossless_bytes.saturating_sub(self.wire_bytes)
+    }
+}
+
+/// Performs a ring AllReduce whose chunk transfers are encoded with
+/// `codec`, in place; returns the wire accounting.
+///
+/// After the call every buffer holds the same decoded reduction (for lossy
+/// codecs: the codec's approximation of it — bit-identical across workers).
+/// `draw` feeds stochastic-rounding codecs; deterministic draws give
+/// deterministic results. With a warm `pool` and `Lossless`, results are
+/// bit-identical to [`crate::ring_allreduce_pooled`].
+///
+/// # Panics
+///
+/// Panics if `buffers` is empty or the buffers have differing lengths.
+pub fn ring_allreduce_coded(
+    buffers: &mut [Tensor],
+    op: ReduceOp,
+    codec: Compression,
+    pool: &mut TensorPool,
+    draw: &mut impl FnMut() -> u32,
+) -> CodedRingStats {
+    assert!(
+        !buffers.is_empty(),
+        "ring allreduce needs at least one buffer"
+    );
+    let n = buffers.len();
+    let len = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == len),
+        "ring allreduce buffers must have equal lengths"
+    );
+    let mut stats = CodedRingStats::default();
+    if n == 1 {
+        return stats;
+    }
+    let chunks = partition(len, n);
+    let max_chunk = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
+    let mut scratch = pool.acquire(max_chunk);
+    // One frame buffer per worker: the whole step's sends are encoded
+    // before its receives decode (the within-step pipeline).
+    let mut frames: Vec<Vec<u8>> = vec![Vec::new(); n];
+
+    // Reduce-scatter: N−1 steps, re-encoding at every hop (the accumulating
+    // chunk changes at each worker, so each hop is a fresh frame).
+    for step in 0..n - 1 {
+        for (i, buffer) in buffers.iter().enumerate() {
+            let c = (i + n - step) % n;
+            let range = chunks[c].as_range();
+            if range.is_empty() {
+                continue;
+            }
+            codec.encode_slice(&buffer.as_slice()[range], &mut frames[i], draw);
+        }
+        for (i, buffer) in buffers.iter_mut().enumerate() {
+            let left = (i + n - 1) % n;
+            let c = (left + n - step) % n;
+            let range = chunks[c].as_range();
+            if range.is_empty() {
+                continue;
+            }
+            let clen = range.len();
+            let frame = &frames[left];
+            codec
+                .decode_slice(frame, &mut scratch.as_mut_slice()[..clen])
+                .expect("self-produced frame must decode");
+            op.accumulate_slice(
+                &mut buffer.as_mut_slice()[range],
+                &scratch.as_slice()[..clen],
+            );
+            stats.messages += 1;
+            stats.wire_bytes += frame.len() as u64;
+            stats.lossless_bytes += Compression::Lossless.frame_bytes(clen);
+        }
+    }
+
+    // All-gather: each worker owns the fully reduced chunk (i+1)%n. Apply
+    // the Mean scale to the owned chunk, encode it once, and circulate the
+    // same frame verbatim; everyone (owner included) decodes that frame so
+    // all buffers end bit-identical.
+    for (i, frame) in frames.iter_mut().enumerate() {
+        let owned = (i + 1) % n;
+        let range = chunks[owned].as_range();
+        if let ReduceOp::Mean = op {
+            let scale = 1.0 / n as f32;
+            let s = &mut buffers[i].as_mut_slice()[range.clone()];
+            for v in s.iter_mut() {
+                *v *= scale;
+            }
+        }
+        if range.is_empty() {
+            frame.clear();
+            continue;
+        }
+        codec.encode_slice(&buffers[i].as_slice()[range], frame, draw);
+    }
+    for (i, frame) in frames.iter().enumerate() {
+        // The owner's self-decode: no bytes move, but the owner must see
+        // the same post-roundtrip values as everyone else.
+        let owned = (i + 1) % n;
+        let range = chunks[owned].as_range();
+        if range.is_empty() {
+            continue;
+        }
+        let clen = range.len();
+        codec
+            .decode_slice(frame, &mut scratch.as_mut_slice()[..clen])
+            .expect("self-produced frame must decode");
+        buffers[i].as_mut_slice()[range].copy_from_slice(&scratch.as_slice()[..clen]);
+    }
+    for step in 0..n - 1 {
+        for (i, buffer) in buffers.iter_mut().enumerate() {
+            // Worker i receives chunk (i − step) mod n this step (the
+            // pooled ring's schedule); that chunk's one-and-only frame was
+            // encoded by its owner, worker (chunk − 1) mod n.
+            let chunk_idx = (i + n - step) % n;
+            let owner = (chunk_idx + n - 1) % n;
+            let range = chunks[chunk_idx].as_range();
+            if range.is_empty() {
+                continue;
+            }
+            let clen = range.len();
+            let frame = &frames[owner];
+            codec
+                .decode_slice(frame, &mut scratch.as_mut_slice()[..clen])
+                .expect("self-produced frame must decode");
+            buffer.as_mut_slice()[range].copy_from_slice(&scratch.as_slice()[..clen]);
+            stats.messages += 1;
+            stats.wire_bytes += frame.len() as u64;
+            stats.lossless_bytes += Compression::Lossless.frame_bytes(clen);
+        }
+    }
+
+    pool.release(scratch);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CollectiveCost;
+    use crate::{ring_allreduce, ring_allreduce_pooled};
+
+    fn lcg_draws(seed: u64) -> impl FnMut() -> u32 {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 32) as u32
+        }
+    }
+
+    fn inputs(n: usize, len: usize, seed: u64) -> Vec<Tensor> {
+        let mut d = lcg_draws(seed);
+        (0..n)
+            .map(|_| {
+                (0..len)
+                    .map(|_| (d() as f32 / (1u32 << 24) as f32) - 128.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_coded_matches_plain_ring_bit_exactly() {
+        let mut pool = TensorPool::new();
+        for op in [ReduceOp::Sum, ReduceOp::Mean] {
+            for n in [2usize, 3, 5, 8] {
+                for len in [1usize, 2, 7, 16, 37] {
+                    let mut plain = inputs(n, len, 7);
+                    let mut coded = plain.clone();
+                    ring_allreduce(&mut plain, op);
+                    let stats = ring_allreduce_coded(
+                        &mut coded,
+                        op,
+                        Compression::Lossless,
+                        &mut pool,
+                        &mut lcg_draws(0),
+                    );
+                    for (a, b) in plain.iter().zip(&coded) {
+                        let bits = |t: &Tensor| {
+                            t.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                        };
+                        assert_eq!(bits(a), bits(b), "op={op:?} n={n} len={len}");
+                    }
+                    assert_eq!(stats.wire_bytes, stats.lossless_bytes);
+                    assert_eq!(stats.bytes_saved(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_coded_buffers_end_bit_identical_across_workers() {
+        let mut pool = TensorPool::new();
+        for codec in [
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::TopK { permille: 250 },
+        ] {
+            for n in [2usize, 4, 6] {
+                for len in [3usize, 8, 41] {
+                    let mut bufs = inputs(n, len, 13);
+                    ring_allreduce_coded(
+                        &mut bufs,
+                        ReduceOp::Mean,
+                        codec,
+                        &mut pool,
+                        &mut lcg_draws(5),
+                    );
+                    let first: Vec<u32> = bufs[0].as_slice().iter().map(|x| x.to_bits()).collect();
+                    for b in &bufs[1..] {
+                        let bits: Vec<u32> = b.as_slice().iter().map(|x| x.to_bits()).collect();
+                        assert_eq!(first, bits, "{} n={n} len={len}", codec.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_coded_mean_stays_close_to_exact_mean() {
+        let mut pool = TensorPool::new();
+        let n = 6;
+        let len = 96;
+        let mut exact = inputs(n, len, 21);
+        let mut coded = exact.clone();
+        ring_allreduce(&mut exact, ReduceOp::Mean);
+        ring_allreduce_coded(
+            &mut coded,
+            ReduceOp::Mean,
+            Compression::Fp16,
+            &mut pool,
+            &mut lcg_draws(0),
+        );
+        // n−1 quantizing hops on the scatter path plus one on the gather
+        // path: error stays within a few fp16 ulps of the running values.
+        for (a, b) in exact[0].as_slice().iter().zip(coded[0].as_slice()) {
+            let bound = (a.abs().max(256.0)) * (n as f32) / 1024.0;
+            assert!((a - b).abs() <= bound, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn wire_bytes_match_codec_size_model_and_cost_crosscheck() {
+        let mut pool = TensorPool::new();
+        let n = 4usize;
+        let len = 32usize; // divisible: every chunk is len/n elements
+        let clen = len / n;
+        for codec in [
+            Compression::Lossless,
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::TopK { permille: 500 },
+        ] {
+            let mut bufs = inputs(n, len, 3);
+            let stats = ring_allreduce_coded(
+                &mut bufs,
+                ReduceOp::Sum,
+                codec,
+                &mut pool,
+                &mut lcg_draws(1),
+            );
+            assert_eq!(stats.messages, CollectiveCost::ring_messages(n));
+            assert_eq!(
+                stats.wire_bytes,
+                stats.messages * codec.frame_bytes(clen),
+                "{}",
+                codec.name()
+            );
+            // The framed cost model charges exactly these bytes.
+            let c = CollectiveCost::default();
+            assert_eq!(
+                c.ring_bytes_per_worker_framed(n, codec.frame_bytes(clen)) * n as u64,
+                stats.wire_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn fp16_saves_about_half_the_wire() {
+        let mut pool = TensorPool::new();
+        let mut bufs = inputs(8, 64 * 8, 9);
+        let stats = ring_allreduce_coded(
+            &mut bufs,
+            ReduceOp::Sum,
+            Compression::Fp16,
+            &mut pool,
+            &mut lcg_draws(0),
+        );
+        let ratio = stats.lossless_bytes as f64 / stats.wire_bytes as f64;
+        assert!(ratio > 1.8, "ratio {ratio}");
+        assert!(stats.bytes_saved() > 0);
+    }
+
+    #[test]
+    fn coded_ring_matches_pooled_scratch_behaviour_for_short_tensors() {
+        // len < n leaves empty chunks: messages drop below 2n(n−1) and the
+        // result still matches the plain ring under Lossless.
+        let mut pool = TensorPool::new();
+        let n = 5;
+        let mut plain = inputs(n, 2, 31);
+        let mut coded = plain.clone();
+        let t = ring_allreduce_pooled(&mut plain, ReduceOp::Sum, &mut pool);
+        let stats = ring_allreduce_coded(
+            &mut coded,
+            ReduceOp::Sum,
+            Compression::Lossless,
+            &mut pool,
+            &mut lcg_draws(0),
+        );
+        assert_eq!(stats.messages, t, "both paths skip empty-chunk hops");
+        for (a, b) in plain.iter().zip(&coded) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn int8_draw_stream_makes_coded_ring_deterministic() {
+        let mut pool = TensorPool::new();
+        let mut run = |seed| {
+            let mut bufs = inputs(4, 40, 17);
+            ring_allreduce_coded(
+                &mut bufs,
+                ReduceOp::Mean,
+                Compression::Int8,
+                &mut pool,
+                &mut lcg_draws(seed),
+            );
+            bufs[0]
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5), "same draws, same bits");
+        assert_ne!(run(5), run(6), "different draws actually round differently");
+    }
+}

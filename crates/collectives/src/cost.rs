@@ -14,6 +14,15 @@
 
 use rna_simnet::{LinkModel, SimDuration};
 
+/// Fixed wire-framing overhead per message, in bytes.
+///
+/// Every frame the gradient codec emits starts with a
+/// [`rna_tensor::codec::FRAME_HEADER_BYTES`]-byte header (codec tag,
+/// parameter, element count). The α term of the link model covers
+/// *latency*, not framing, so byte-accurate accounting must charge the
+/// header on every message — the `*_framed` methods below do.
+pub const MSG_HEADER_BYTES: u64 = rna_tensor::codec::FRAME_HEADER_BYTES;
+
 /// Cost calculator for the collectives used in the reproduction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CollectiveCost {
@@ -111,6 +120,56 @@ impl CollectiveCost {
             2 * (n as u64 - 1) * bytes.div_ceil(n as u64)
         }
     }
+
+    /// Total chunk messages a ring AllReduce puts on the wire: `2 n (n−1)`
+    /// (each of the `n` workers sends one chunk per step across `2(n−1)`
+    /// steps). This is exactly the transfer count
+    /// [`crate::ring_allreduce`] returns when no chunk is empty
+    /// (`elements ≥ n`), which the tests cross-check.
+    pub fn ring_messages(n: usize) -> u64 {
+        if n <= 1 {
+            0
+        } else {
+            2 * n as u64 * (n as u64 - 1)
+        }
+    }
+
+    /// Ring AllReduce where every message carries a fixed `frame_bytes` —
+    /// an encoded chunk *plus* its per-message wire header
+    /// ([`MSG_HEADER_BYTES`]). `2(n−1)` steps, one frame per step per
+    /// worker.
+    ///
+    /// With `frame_bytes = bytes.div_ceil(n)` (header 0) this degenerates
+    /// to [`CollectiveCost::ring_allreduce`] exactly; the codec-aware call
+    /// sites pass `Compression::frame_bytes(chunk_elements)` instead, so
+    /// virtual time reflects encoded chunks and real framing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ring_allreduce_framed(&self, n: usize, frame_bytes: u64) -> SimDuration {
+        assert!(n > 0, "collective over zero workers");
+        if n == 1 {
+            return SimDuration::ZERO;
+        }
+        self.link.transfer_time(frame_bytes) * (2 * (n as u64 - 1))
+    }
+
+    /// Per-worker wire bytes for the framed ring: `2(n−1)` messages of
+    /// `frame_bytes` each. Multiplying by `n` gives the cluster-wide total,
+    /// which equals [`CollectiveCost::ring_messages`]` × frame_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ring_bytes_per_worker_framed(&self, n: usize, frame_bytes: u64) -> u64 {
+        assert!(n > 0, "collective over zero workers");
+        if n == 1 {
+            0
+        } else {
+            2 * (n as u64 - 1) * frame_bytes
+        }
+    }
 }
 
 impl Default for CollectiveCost {
@@ -205,6 +264,58 @@ mod tests {
     #[should_panic(expected = "zero workers")]
     fn zero_workers_panics() {
         cost().ring_allreduce(0, 100);
+    }
+
+    #[test]
+    fn framed_with_zero_header_degenerates_to_legacy() {
+        let c = cost();
+        for n in [1usize, 2, 4, 7] {
+            for bytes in [0u64, 64, 4000, 1 << 20] {
+                let chunk = if n == 1 { 0 } else { bytes.div_ceil(n as u64) };
+                assert_eq!(
+                    c.ring_allreduce_framed(n, chunk),
+                    c.ring_allreduce(n, bytes)
+                );
+                assert_eq!(
+                    c.ring_bytes_per_worker_framed(n, chunk),
+                    c.ring_bytes_per_worker(n, bytes)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn framed_charge_cross_checks_counted_ring_transfers() {
+        // The message count in the cost formula must be the message count
+        // the data-movement implementation actually performs, and the total
+        // framed charge must equal messages × (chunk + header).
+        use rna_tensor::{ReduceOp, Tensor};
+        for n in [2usize, 3, 5, 8] {
+            let elems = n * 8; // divisible: every chunk non-empty and equal
+            let mut bufs: Vec<Tensor> = (0..n).map(|_| Tensor::filled(elems, 1.0)).collect();
+            let transfers = crate::ring_allreduce(&mut bufs, ReduceOp::Sum);
+            assert_eq!(transfers, CollectiveCost::ring_messages(n), "n={n}");
+
+            let payload = 4 * (elems as u64 / n as u64); // bytes per chunk
+            let frame = payload + MSG_HEADER_BYTES;
+            let c = cost();
+            assert_eq!(
+                c.ring_bytes_per_worker_framed(n, frame) * n as u64,
+                transfers * frame,
+                "total framed bytes must be messages × frame size (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn header_makes_framed_strictly_dearer_than_legacy() {
+        let c = cost();
+        for n in [2usize, 4, 8] {
+            let bytes = 1_000_000u64;
+            let frame = bytes.div_ceil(n as u64) + MSG_HEADER_BYTES;
+            assert!(c.ring_allreduce_framed(n, frame) > c.ring_allreduce(n, bytes));
+            assert!(c.ring_bytes_per_worker_framed(n, frame) > c.ring_bytes_per_worker(n, bytes));
+        }
     }
 
     proptest! {

@@ -1,3 +1,4 @@
+use rna_tensor::codec::Compression;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the RNA protocol.
@@ -47,6 +48,12 @@ pub struct RnaConfig {
     /// after this long is re-probed, with exponential backoff per retry.
     /// On a reliable fabric the retry timers are never armed.
     pub probe_retry_us: u64,
+    /// Gradient wire codec. The default, [`Compression::Lossless`], is
+    /// bit-identical (values, bytes and virtual time) to the pre-codec wire
+    /// path. Lossy codecs shrink every gradient exchange and carry their
+    /// quantization error forward through per-worker error-feedback
+    /// residuals, so training stays convergent.
+    pub compression: Compression,
 }
 
 impl Default for RnaConfig {
@@ -60,6 +67,7 @@ impl Default for RnaConfig {
             probe_bytes: 64,
             pooled: true,
             probe_retry_us: 2_000,
+            compression: Compression::Lossless,
         }
     }
 }
@@ -126,6 +134,22 @@ impl RnaConfig {
         self.probe_retry_us = us;
         self
     }
+
+    /// Selects the gradient wire codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codec is `TopK` with `permille` outside `1..=1000`.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        if let Compression::TopK { permille } = compression {
+            assert!(
+                (1..=1000).contains(&permille),
+                "TopK permille must be in 1..=1000, got {permille}"
+            );
+        }
+        self.compression = compression;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +165,23 @@ mod tests {
         assert!(c.staleness_bound >= 1);
         assert!(c.max_lead >= 1);
         assert!(c.pooled, "the pooled data path is the default");
+        assert_eq!(
+            c.compression,
+            Compression::Lossless,
+            "lossless wire is the default — pre-codec runs stay bit-identical"
+        );
+    }
+
+    #[test]
+    fn compression_builder_sets_codec() {
+        let c = RnaConfig::default().with_compression(Compression::Fp16);
+        assert_eq!(c.compression, Compression::Fp16);
+    }
+
+    #[test]
+    #[should_panic(expected = "permille")]
+    fn rejects_invalid_topk_fraction() {
+        RnaConfig::default().with_compression(Compression::TopK { permille: 1001 });
     }
 
     #[test]

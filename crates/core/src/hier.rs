@@ -79,6 +79,11 @@ pub struct HierRnaProtocol {
     /// Which [`crate::fault::FaultPlan::ps_shard_crashes`] entries have
     /// already fired (sized lazily in `on_start`).
     ps_crashes_done: Vec<bool>,
+    /// Per-group error-feedback residuals for the lossy PS push (the pull
+    /// stays full-precision — the master must reach every group exactly).
+    ps_residuals: Vec<Option<Tensor>>,
+    /// Reusable encode scratch for the PS push.
+    codec_buf: Vec<u8>,
 }
 
 impl HierRnaProtocol {
@@ -108,6 +113,8 @@ impl HierRnaProtocol {
             ps_every: 1,
             missed_exchanges: vec![0; num_groups],
             ps_crashes_done: Vec::new(),
+            ps_residuals: vec![None; num_groups],
+            codec_buf: Vec::new(),
         }
     }
 
@@ -209,9 +216,26 @@ impl HierRnaProtocol {
     /// staleness discount — the Hop-style bounded-staleness reading — so a
     /// long-isolated group cannot yank the master with a huge stale sum.
     fn ps_exchange(&mut self, ctx: &mut Ctx<'_, RnaMsg>, gid: usize) {
-        let Some(grad) = self.pending[gid].take() else {
+        let Some(mut grad) = self.pending[gid].take() else {
             return;
         };
+        let codec = self.config.compression;
+        if !codec.is_lossless() {
+            // Lossy push: the PS receives decode(encode(grad + residual));
+            // the dropped remainder stays in the group's residual and rides
+            // the next push (error feedback).
+            let residual = self.ps_residuals[gid].get_or_insert_with(|| Tensor::zeros(grad.len()));
+            let rng = ctx.codec_rng();
+            let mut draw = || rng.uniform_u64(0..1 << 32) as u32;
+            let (_, err) = rna_tensor::codec::encode_with_feedback(
+                codec,
+                &mut grad,
+                residual,
+                &mut self.codec_buf,
+                &mut draw,
+            );
+            ctx.note_codec_error(err);
+        }
         // The master applies the gradient at *send* time: the PS serializes
         // pushes, so the state the group later broadcasts already includes
         // this contribution plus whatever other groups landed meanwhile.
@@ -240,8 +264,18 @@ impl HierRnaProtocol {
         let bytes = ctx.grad_bytes();
         let cost = ctx.cost();
         let group_size = self.groups[gid].members.len();
-        let duration = cost.point_to_point(bytes) * 2 + cost.ring_broadcast(group_size, bytes);
-        ctx.charge_bytes(bytes * 2);
+        // The push travels encoded; the pull (refreshed master) is always
+        // full precision. Lossless takes the legacy formulas verbatim.
+        let push_bytes = if codec.is_lossless() {
+            bytes
+        } else {
+            codec.frame_bytes((bytes / 4) as usize)
+        };
+        let duration = cost.point_to_point(push_bytes)
+            + cost.point_to_point(bytes)
+            + cost.ring_broadcast(group_size, bytes);
+        ctx.charge_bytes(push_bytes + bytes);
+        ctx.note_wire_bytes(push_bytes + bytes, bytes * 2);
         ctx.send_after(
             ctx.controller_id(),
             duration,
@@ -410,6 +444,31 @@ mod tests {
         let (fast, slow) = if g0.contains(&0) { (g0, g1) } else { (g1, g0) };
         assert_eq!(fast, vec![0, 1, 2, 3]);
         assert_eq!(slow, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn hier_lossy_codec_shrinks_wire_and_replays_identically() {
+        use rna_tensor::Compression;
+        let run = |codec| {
+            let spec = mixed_spec(6, 3, 60);
+            let p = HierRnaProtocol::auto(&spec, RnaConfig::default().with_compression(codec));
+            Engine::new(spec, p).run()
+        };
+        let lossless = run(Compression::Lossless);
+        let fp16a = run(Compression::Fp16);
+        let fp16b = run(Compression::Fp16);
+        assert_eq!(fp16a.wall_time, fp16b.wall_time);
+        assert_eq!(fp16a.comm_bytes, fp16b.comm_bytes);
+        assert_eq!(fp16a.final_loss(), fp16b.final_loss());
+        assert!(
+            fp16a.bytes_on_wire < lossless.bytes_on_wire,
+            "fp16 wire {} vs lossless {}",
+            fp16a.bytes_on_wire,
+            lossless.bytes_on_wire
+        );
+        assert!(fp16a.bytes_saved > 0);
+        assert_eq!(lossless.codec_error_l2, 0.0);
+        assert!(fp16a.codec_error_l2 > 0.0);
     }
 
     #[test]

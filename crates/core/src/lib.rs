@@ -69,4 +69,5 @@ pub mod timeline;
 pub use config::RnaConfig;
 pub use fault::{FaultPlan, ToleranceConfig, WorkerFate, WorkerFault};
 pub use recovery::{CheckpointStore, RecoveryConfig, RecoveryError, RoundJournal};
+pub use rna_tensor::Compression;
 pub use stats::{RunResult, StopReason};

@@ -23,6 +23,7 @@
 
 use rna_collectives::{partial_allreduce, partial_allreduce_pooled};
 use rna_simnet::trace::SpanKind;
+use rna_tensor::codec;
 use rna_tensor::wire::{self, Reader};
 use rna_tensor::Tensor;
 
@@ -115,6 +116,14 @@ pub struct GroupState {
     /// paused instead of continuing, until every live member is idle and
     /// the checkpoint can be cut.
     quiescing: bool,
+    /// Per-member error-feedback residuals for lossy wire codecs: what the
+    /// last encode dropped, re-added to the next contribution so the
+    /// quantization error telescopes instead of accumulating. Allocated
+    /// lazily on the first lossy encode (always empty under `Lossless`).
+    residuals: Vec<Option<Tensor>>,
+    /// Reusable encode scratch so steady-state lossy rounds do not
+    /// allocate a fresh frame buffer.
+    codec_buf: Vec<u8>,
 }
 
 /// A finished collective waiting to be applied: the reduced gradient, how
@@ -160,6 +169,8 @@ impl GroupState {
             probe_epoch: 0,
             retry_backoff_us: 0,
             quiescing: false,
+            residuals: (0..n).map(|_| None).collect(),
+            codec_buf: Vec::new(),
         }
     }
 
@@ -419,7 +430,7 @@ impl GroupState {
         // debug alloc delta proves steady-state rounds allocate nothing.
         let allocs_before = rna_tensor::alloc::count();
         let caches = &mut self.caches;
-        let contributions: Vec<Option<Tensor>> = if config.pooled {
+        let mut contributions: Vec<Option<Tensor>> = if config.pooled {
             caches
                 .iter_mut()
                 .zip(&reachable)
@@ -438,6 +449,28 @@ impl GroupState {
                 .map(|(c, &r)| if r { c.take_contribution(k) } else { None })
                 .collect()
         };
+        let codec = config.compression;
+        if !codec.is_lossless() {
+            // Lossy wire: each contribution crosses the network as
+            // decode(encode(grad + residual)); the dropped remainder stays
+            // behind in the member's residual (error feedback), so the
+            // reduce below sees exactly what a receiver could reconstruct.
+            for (local, slot) in contributions.iter_mut().enumerate() {
+                let Some(grad) = slot.as_mut() else { continue };
+                let residual =
+                    self.residuals[local].get_or_insert_with(|| Tensor::zeros(grad.len()));
+                let rng = ctx.codec_rng();
+                let mut draw = || rng.uniform_u64(0..1 << 32) as u32;
+                let (_, err) = codec::encode_with_feedback(
+                    codec,
+                    grad,
+                    residual,
+                    &mut self.codec_buf,
+                    &mut draw,
+                );
+                ctx.note_codec_error(err);
+            }
+        }
         let refs: Vec<Option<&Tensor>> = contributions.iter().map(Option::as_ref).collect();
         let outcome = if config.pooled {
             partial_allreduce_pooled(&refs, ctx.pool_mut())
@@ -466,10 +499,26 @@ impl GroupState {
         let n = self.members.len();
         let cost = ctx.cost();
         let bytes = ctx.grad_bytes();
+        // Wire charging, billed at the profile's gradient size. Lossless
+        // takes the legacy (unframed) formulas verbatim so pre-codec runs
+        // replay bit-identically; lossy codecs price each ring message as
+        // one encoded chunk frame (header + codec payload).
+        let legacy_wire = cost.ring_bytes_per_worker(n, bytes) * n as u64;
+        let (ring_time, wire) = if codec.is_lossless() {
+            (cost.ring_allreduce(n, bytes), legacy_wire)
+        } else {
+            let elems = rna_tensor::chunks::max_chunk_len((bytes / 4) as usize, n);
+            let frame = codec.frame_bytes(elems);
+            (
+                cost.ring_allreduce_framed(n, frame),
+                cost.ring_bytes_per_worker_framed(n, frame) * n as u64,
+            )
+        };
         let duration = cost.link().transfer_time(64) // trigger broadcast
-            + cost.ring_allreduce(n, bytes)
+            + ring_time
             + ctx.transfer_overhead();
-        ctx.charge_bytes(cost.ring_bytes_per_worker(n, bytes) * n as u64);
+        ctx.charge_bytes(wire);
+        ctx.note_wire_bytes(wire, legacy_wire);
         for &w in &self.members {
             if !ctx.is_computing(w) {
                 ctx.set_span(w, SpanKind::Communicate);
@@ -724,6 +773,17 @@ impl GroupState {
                 wire::put_tensor(out, grad);
             }
         }
+        // Error-feedback residuals: without them a lossy-codec resume
+        // would re-drop what the pre-crash run already owed its members.
+        for local in 0..self.members.len() {
+            match &self.residuals[local] {
+                Some(t) => {
+                    wire::put_u32(out, 1);
+                    wire::put_tensor(out, t);
+                }
+                None => wire::put_u32(out, 0),
+            }
+        }
     }
 
     /// Restores state written by [`GroupState::encode_into`]. Returns
@@ -798,6 +858,17 @@ impl GroupState {
                 entries,
             ));
         }
+        let mut residuals: Vec<Option<Tensor>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            residuals.push(match r.u32() {
+                Some(0) => None,
+                Some(1) => match r.tensor() {
+                    Some(t) => Some(t),
+                    None => return false,
+                },
+                _ => return false,
+            });
+        }
         self.round = round;
         self.probe_epoch = probe_epoch;
         self.retry_backoff_us = retry_backoff_us;
@@ -807,6 +878,7 @@ impl GroupState {
         self.initiator_counts = initiator_counts;
         self.pending_reply = pending_reply;
         self.caches = caches;
+        self.residuals = residuals;
         self.probe = None;
         self.reducing = false;
         self.in_flight = None;
@@ -1101,6 +1173,90 @@ mod tests {
         assert_eq!(a.final_loss(), b.final_loss());
         assert_eq!(a.worker_iterations, b.worker_iterations);
         assert_eq!(a.comm_bytes, b.comm_bytes);
+    }
+
+    #[test]
+    fn lossless_codec_is_bit_identical_to_default() {
+        use rna_tensor::Compression;
+        let a = run(4, 9, RnaConfig::default(), 60);
+        let b = run(
+            4,
+            9,
+            RnaConfig::default().with_compression(Compression::Lossless),
+            60,
+        );
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.comm_bytes, b.comm_bytes);
+        assert_eq!(a.final_loss(), b.final_loss());
+        assert_eq!(a.worker_iterations, b.worker_iterations);
+        assert!(a.bytes_on_wire > 0, "gradient rings must be accounted");
+        assert_eq!(a.bytes_saved, 0, "lossless saves nothing");
+        assert_eq!(a.codec_error_l2, 0.0, "lossless drops nothing");
+        assert!(
+            a.bytes_on_wire <= a.comm_bytes,
+            "wire bytes are a subset of all traffic"
+        );
+    }
+
+    #[test]
+    fn every_codec_replays_bit_identically_from_the_same_seed() {
+        use rna_tensor::Compression;
+        for codec in [
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::top_k_10pct(),
+        ] {
+            let config = RnaConfig::default().with_compression(codec);
+            let a = run(4, 11, config.clone(), 50);
+            let b = run(4, 11, config, 50);
+            assert_eq!(a.wall_time, b.wall_time, "{codec:?}");
+            assert_eq!(a.comm_bytes, b.comm_bytes, "{codec:?}");
+            assert_eq!(a.final_loss(), b.final_loss(), "{codec:?}");
+            assert_eq!(a.bytes_on_wire, b.bytes_on_wire, "{codec:?}");
+            assert_eq!(a.codec_error_l2, b.codec_error_l2, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_codecs_shrink_the_wire_and_the_clock() {
+        use rna_tensor::Compression;
+        let lossless = run(4, 9, RnaConfig::default(), 60);
+        let fp16 = run(
+            4,
+            9,
+            RnaConfig::default().with_compression(Compression::Fp16),
+            60,
+        );
+        let topk = run(
+            4,
+            9,
+            RnaConfig::default().with_compression(Compression::top_k_10pct()),
+            60,
+        );
+        let ratio = |r: &crate::RunResult| lossless.bytes_on_wire as f64 / r.bytes_on_wire as f64;
+        assert!(ratio(&fp16) >= 1.9, "fp16 wire ratio {}", ratio(&fp16));
+        assert!(ratio(&topk) >= 3.5, "topk wire ratio {}", ratio(&topk));
+        assert!(fp16.bytes_saved > 0 && topk.bytes_saved > 0);
+        assert!(
+            fp16.wall_time <= lossless.wall_time,
+            "smaller frames cannot slow the virtual clock"
+        );
+        assert!(fp16.codec_error_l2 > 0.0 && fp16.codec_error_l2.is_finite());
+    }
+
+    #[test]
+    fn lossy_codecs_still_train_to_lower_loss() {
+        use rna_tensor::Compression;
+        for codec in [Compression::Fp16, Compression::Int8] {
+            let r = run(4, 3, RnaConfig::default().with_compression(codec), 200);
+            let pts = r.history.points();
+            assert!(
+                pts.last().unwrap().loss < pts[0].loss * 0.7,
+                "{codec:?}: loss {} -> {}",
+                pts[0].loss,
+                pts.last().unwrap().loss
+            );
+        }
     }
 
     #[test]

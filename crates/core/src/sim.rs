@@ -402,6 +402,7 @@ pub struct SimState<M> {
     samplers: Vec<BatchSampler>,
     workload_rngs: Vec<SimRng>,
     proto_rng: SimRng,
+    codec_rng: SimRng,
     in_flight: Vec<Option<(u64, Tensor)>>,
     pending: Vec<Option<(u64, Tensor)>>,
     local_iter: Vec<u64>,
@@ -434,6 +435,9 @@ pub struct SimState<M> {
     apply_scratch: Tensor,
     eval_scratch: Tensor,
     datapath_allocs: u64,
+    bytes_on_wire: u64,
+    bytes_saved: u64,
+    codec_error_l2: f64,
 }
 
 /// The protocol's handle onto the engine.
@@ -488,6 +492,14 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
     /// The protocol's private RNG stream.
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.0.proto_rng
+    }
+
+    /// The codec's private RNG stream (stochastic-rounding draws). Separate
+    /// from [`Ctx::rng`] so switching codecs never perturbs probe/election
+    /// randomness, and `Lossless` runs (which never draw from it) stay
+    /// bit-identical to the pre-codec engine.
+    pub fn codec_rng(&mut self) -> &mut SimRng {
+        &mut self.0.codec_rng
     }
 
     /// The global synchronization round counter.
@@ -709,6 +721,21 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
         self.0.datapath_allocs += n;
     }
 
+    /// Accounts one gradient exchange's encoded wire footprint: `actual`
+    /// bytes really moved (codec frames, headers included) against the
+    /// `baseline` a lossless wire would have moved for the same exchange.
+    /// Feeds [`RunResult::bytes_on_wire`] / [`RunResult::bytes_saved`].
+    pub fn note_wire_bytes(&mut self, actual: u64, baseline: u64) {
+        self.0.bytes_on_wire += actual;
+        self.0.bytes_saved += baseline.saturating_sub(actual);
+    }
+
+    /// Accumulates the L2 norm of one lossy encode's error-feedback
+    /// residual into [`RunResult::codec_error_l2`].
+    pub fn note_codec_error(&mut self, l2: f64) {
+        self.0.codec_error_l2 += l2;
+    }
+
     /// Schedules a message to `to` after `delay` with no network charge —
     /// the idiom for completion timers (e.g. "the ring finishes in T").
     pub fn send_after(&mut self, to: usize, delay: SimDuration, msg: M) {
@@ -843,6 +870,7 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
             &s.samplers,
             &s.workload_rngs,
             &s.proto_rng,
+            &s.codec_rng,
             &s.local_iter,
             &s.next_iter,
             &s.crashed,
@@ -863,6 +891,9 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
                 ps_failovers: s.ps_failovers,
                 checkpoints_written: s.checkpoints_written + 1,
                 last_top5: s.last_top5,
+                bytes_on_wire: s.bytes_on_wire,
+                bytes_saved: s.bytes_saved,
+                codec_error_l2: s.codec_error_l2,
             },
         );
         let mut payload = Vec::with_capacity(engine.len() + blob.len() + 16);
@@ -967,6 +998,10 @@ impl<P: Protocol> Engine<P> {
             .collect();
         let workload_rngs = (0..n).map(|w| root.fork(200 + w as u64)).collect();
         let proto_rng = root.fork(300);
+        // Forked after every pre-existing stream: adding the codec stream
+        // leaves data/sampler/workload/protocol draws untouched, so runs
+        // that never use it (Lossless) replay the pre-codec engine exactly.
+        let codec_rng = root.fork(400);
         let num_params = template.num_params();
         // A small min-delta keeps noisy near-plateau evaluations from
         // resetting the patience counter forever.
@@ -983,6 +1018,7 @@ impl<P: Protocol> Engine<P> {
             samplers,
             workload_rngs,
             proto_rng,
+            codec_rng,
             in_flight: vec![None; n],
             pending: vec![None; n],
             local_iter: vec![0; n],
@@ -1015,6 +1051,9 @@ impl<P: Protocol> Engine<P> {
             apply_scratch: Tensor::zeros(num_params),
             eval_scratch: Tensor::zeros(num_params),
             datapath_allocs: 0,
+            bytes_on_wire: 0,
+            bytes_saved: 0,
+            codec_error_l2: 0.0,
             clock: SimTime::ZERO,
             queue: EventQueue::new(),
             spec,
@@ -1232,6 +1271,9 @@ impl<P: Protocol> Engine<P> {
             ps_failovers: s.ps_failovers,
             checkpoints_written: s.checkpoints_written,
             datapath_allocs: s.datapath_allocs,
+            bytes_on_wire: s.bytes_on_wire,
+            bytes_saved: s.bytes_saved,
+            codec_error_l2: s.codec_error_l2,
         }
     }
 }
@@ -1250,6 +1292,9 @@ struct EngineCounters {
     ps_failovers: u64,
     checkpoints_written: u64,
     last_top5: f64,
+    bytes_on_wire: u64,
+    bytes_saved: u64,
+    codec_error_l2: f64,
 }
 
 fn put_fate(out: &mut Vec<u8>, fate: &WorkerFate) {
@@ -1301,6 +1346,7 @@ fn encode_engine_state_fields(
     samplers: &[BatchSampler],
     workload_rngs: &[SimRng],
     proto_rng: &SimRng,
+    codec_rng: &SimRng,
     local_iter: &[u64],
     next_iter: &[u64],
     crashed: &[bool],
@@ -1325,6 +1371,9 @@ fn encode_engine_state_fields(
     wire::put_u64(&mut out, c.ps_failovers);
     wire::put_u64(&mut out, c.checkpoints_written);
     wire::put_f64(&mut out, c.last_top5);
+    wire::put_u64(&mut out, c.bytes_on_wire);
+    wire::put_u64(&mut out, c.bytes_saved);
+    wire::put_f64(&mut out, c.codec_error_l2);
     wire::put_u64(&mut out, n as u64);
     wire::put_u64(&mut out, models[0].num_params() as u64);
     for w in 0..n {
@@ -1346,6 +1395,7 @@ fn encode_engine_state_fields(
         recovery::put_rng(&mut out, &workload_rngs[w].state());
     }
     recovery::put_rng(&mut out, &proto_rng.state());
+    recovery::put_rng(&mut out, &codec_rng.state());
     wire::put_u64(&mut out, history.points().len() as u64);
     for p in history.points() {
         wire::put_f64(&mut out, p.time_s);
@@ -1384,6 +1434,9 @@ fn restore_engine_state<M>(s: &mut SimState<M>, bytes: &[u8]) -> Result<(), Reco
     s.ps_failovers = r.u64().ok_or_else(short)?;
     s.checkpoints_written = r.u64().ok_or_else(short)?;
     s.last_top5 = r.f64().ok_or_else(short)?;
+    s.bytes_on_wire = r.u64().ok_or_else(short)?;
+    s.bytes_saved = r.u64().ok_or_else(short)?;
+    s.codec_error_l2 = r.f64().ok_or_else(short)?;
     let n = r.u64().ok_or_else(short)? as usize;
     if n != s.spec.num_workers {
         return Err(corrupt("worker count mismatch"));
@@ -1423,6 +1476,8 @@ fn restore_engine_state<M>(s: &mut SimState<M>, bytes: &[u8]) -> Result<(), Reco
     }
     let proto = recovery::read_rng(r).ok_or_else(|| corrupt("bad protocol rng"))?;
     s.proto_rng = SimRng::from_state(&proto);
+    let codec = recovery::read_rng(r).ok_or_else(|| corrupt("bad codec rng"))?;
+    s.codec_rng = SimRng::from_state(&codec);
     let points = r.u64().ok_or_else(short)?;
     if points > bytes.len() as u64 / 32 {
         return Err(corrupt("history length implausible"));

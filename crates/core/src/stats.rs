@@ -79,6 +79,21 @@ pub struct RunResult {
     /// from bit-identity comparisons: pooling changes where buffers come
     /// from, never the numbers in them.
     pub datapath_allocs: u64,
+    /// Bytes the gradient wire path actually put on the network after
+    /// encoding (frames: codec payload plus per-message headers). Under
+    /// `Compression::Lossless` this equals the legacy (unframed) gradient
+    /// charge, so it is a strict subset of [`RunResult::comm_bytes`]
+    /// (which also counts probes and control traffic).
+    pub bytes_on_wire: u64,
+    /// Bytes the selected codec saved versus shipping the same exchanges
+    /// losslessly (`lossless-equivalent − bytes_on_wire`; 0 for
+    /// `Lossless`).
+    pub bytes_saved: u64,
+    /// Accumulated L2 norm of the error-feedback residuals left behind by
+    /// lossy encodes (one term per encoded gradient; exactly 0.0 for
+    /// `Lossless`). A bounded value across a long run is the signature of
+    /// a convergent lossy codec.
+    pub codec_error_l2: f64,
 }
 
 impl RunResult {
@@ -166,6 +181,9 @@ mod tests {
             ps_failovers: 0,
             checkpoints_written: 0,
             datapath_allocs: 0,
+            bytes_on_wire: 0,
+            bytes_saved: 0,
+            codec_error_l2: 0.0,
         }
     }
 

@@ -108,3 +108,41 @@ fn hier_steady_state_rounds_are_allocation_free() {
         "the hierarchical data path must also go allocation-free once warm"
     );
 }
+
+/// The real-thread controller's fused reduce region (cache drain, codec
+/// transform, partial collective, apply) must also go allocation-free once
+/// its pool is warm. Real threads make *which* rounds allocate timing-
+/// dependent (warm-up spreads over the first few rounds as caches fill),
+/// so instead of short-vs-long equality this pins an absolute ceiling far
+/// below one allocation per round: 120 rounds with a leaky region would
+/// record ≥ 120.
+#[test]
+fn threaded_steady_state_rounds_are_allocation_free() {
+    use rna_runtime::{run_threaded, SyncMode, ThreadedConfig};
+    if !cfg!(debug_assertions) {
+        // The alloc hook is compiled out in release builds.
+        return;
+    }
+    let n = 4;
+    let mut config = ThreadedConfig::quick(n, SyncMode::Rna);
+    config.rounds = 120;
+    // Keep compute fast so the run stays well under a second.
+    config.compute_us = vec![(100, 200); n];
+    let r = run_threaded(&config);
+    assert_eq!(r.rounds, 120);
+    // Warm-up: n cache-drain buffers plus the reduce accumulator, with a
+    // little slack for rounds where a contribution arrives late and the
+    // pool briefly runs one buffer deeper.
+    let ceiling = (2 * n + 4) as u64;
+    assert!(
+        r.datapath_allocs <= ceiling,
+        "threaded reduce region allocates in steady state: {} allocs over {} rounds (ceiling {})",
+        r.datapath_allocs,
+        r.rounds,
+        ceiling
+    );
+    assert!(
+        r.datapath_allocs > 0,
+        "warm-up must be visible to the debug alloc hook"
+    );
+}

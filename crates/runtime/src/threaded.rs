@@ -10,8 +10,9 @@ use rna_core::fault::{
 };
 use rna_core::recovery::{CheckpointStore, RecoveryConfig, RecoveryError};
 use rna_simnet::SimRng;
+use rna_tensor::codec;
 use rna_tensor::wire::{self, Reader};
-use rna_tensor::{Tensor, TensorPool};
+use rna_tensor::{Compression, Tensor, TensorPool};
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model, Sgd};
 
@@ -37,6 +38,10 @@ pub enum SyncMode {
 const STREAM_SAMPLER: u64 = 1 << 32;
 const STREAM_COMPUTE: u64 = 2 << 32;
 const STREAM_PROBE: u64 = 3 << 32;
+/// Codec stream (stochastic-rounding draws), forked per controller
+/// incarnation like [`STREAM_PROBE`] so a failed-over controller replays
+/// deterministic draws without sharing the probe stream.
+const STREAM_CODEC: u64 = 4 << 32;
 
 /// Configuration of a threaded run.
 #[derive(Debug, Clone)]
@@ -79,6 +84,13 @@ pub struct ThreadedConfig {
     /// (crash-consistently, via [`CheckpointStore`]) so a killed process
     /// can be resumed with [`resume_threaded`].
     pub recovery_dir: Option<PathBuf>,
+    /// Gradient wire codec for the partial-collective modes (RNA and
+    /// eager-majority): every drained contribution really crosses the
+    /// controller boundary as `decode(encode(grad + residual))`, with the
+    /// dropped remainder carried in a per-worker error-feedback residual.
+    /// BSP ignores it (its strict barrier predates the compressed wire
+    /// path). The default `Lossless` leaves gradients untouched.
+    pub compression: Compression,
 }
 
 impl ThreadedConfig {
@@ -101,6 +113,7 @@ impl ThreadedConfig {
             tolerance: ToleranceConfig::default(),
             checkpoint_every: 5,
             recovery_dir: None,
+            compression: Compression::Lossless,
         }
     }
 
@@ -150,6 +163,22 @@ impl ThreadedConfig {
         self.recovery_dir = Some(dir.into());
         self
     }
+
+    /// Selects the gradient wire codec (partial-collective modes only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codec is `TopK` with `permille` outside `1..=1000`.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        if let Compression::TopK { permille } = compression {
+            assert!(
+                (1..=1000).contains(&permille),
+                "TopK permille must be in 1..=1000, got {permille}"
+            );
+        }
+        self.compression = compression;
+        self
+    }
 }
 
 /// The outcome of a threaded run.
@@ -194,6 +223,22 @@ pub struct ThreadedResult {
     /// Controller checkpoints written (warm-standby slot updates; the same
     /// count lands on disk when a recovery directory is configured).
     pub checkpoints_written: u64,
+    /// Fresh tensor-buffer heap allocations the controller's fused reduce
+    /// region (cache drain, codec transform, partial collective, apply)
+    /// performed over the run. Debug-only hook: always 0 in release
+    /// builds. With the pooled data path this stays flat after warm-up.
+    pub datapath_allocs: u64,
+    /// Bytes the drained gradient contributions would occupy on the wire
+    /// after encoding (codec frames, per-message headers included). The
+    /// parameter broadcast stays full precision and is not counted, so
+    /// lossy-vs-lossless ratios measure the gradient path alone.
+    pub bytes_on_wire: u64,
+    /// `lossless-equivalent − bytes_on_wire` over the same contributions
+    /// (0 under `Lossless`).
+    pub bytes_saved: u64,
+    /// Accumulated L2 norm of the error-feedback residuals left behind by
+    /// lossy encodes (exactly 0.0 under `Lossless`).
+    pub codec_error_l2: f64,
 }
 
 impl ThreadedResult {
@@ -563,6 +608,7 @@ fn run_bsp(
         rounds_degraded,
         NetCounters::default(),
         RecoveryCounters::default(),
+        DatapathCounters::default(),
     )
 }
 
@@ -582,6 +628,7 @@ fn run_rna(
         participation_sum: 0.0,
         rounds_degraded: 0,
         net: NetCounters::default(),
+        data: DatapathCounters::default(),
         checkpoints_written: 0,
     });
     let init_params = Arc::new(state.master.clone());
@@ -708,6 +755,7 @@ fn run_rna(
         // the standby machinery existed.
         let crash_at = crashes.get(term).copied();
         let mut probe_rng = rng.fork(STREAM_PROBE + term as u64);
+        let mut codec_rng = rng.fork(STREAM_CODEC + term as u64);
         let incarnation = state.clone();
         let rx = ready_rx;
         let outcome = std::thread::scope(|scope| {
@@ -720,6 +768,7 @@ fn run_rna(
                         store.as_ref(),
                         incarnation,
                         &mut probe_rng,
+                        &mut codec_rng,
                         crash_at,
                         rx,
                     )
@@ -801,6 +850,7 @@ fn run_rna(
         final_state.rounds_degraded,
         final_state.net,
         recovery,
+        final_state.data,
     )
 }
 
@@ -820,6 +870,7 @@ fn controller_loop(
     store: Option<&CheckpointStore>,
     mut ck: CtrlCheckpoint,
     probe_rng: &mut SimRng,
+    codec_rng: &mut SimRng,
     crash_at: Option<u64>,
     ready_rx: Receiver<usize>,
 ) -> (Option<CtrlCheckpoint>, Receiver<usize>) {
@@ -829,6 +880,13 @@ fn controller_loop(
     opt.set_velocity(&ck.velocity);
     let mut pool = TensorPool::new();
     let mut purged = vec![false; n];
+    let wire_codec = config.compression;
+    // Per-worker error-feedback residuals. Like the pool, they live with
+    // the incarnation: a failed-over controller starts with clean
+    // residuals, which only costs the (bounded) error the dead incarnation
+    // still owed — the telescoping restarts from zero.
+    let mut residuals: Vec<Option<Tensor>> = vec![None; n];
+    let mut codec_buf: Vec<u8> = Vec::new();
     let mut shim = NetShim::new(&config.net_fault_plan, n);
     let ctrl = shim.controller_id();
     let round_deadline = Duration::from_micros(config.tolerance.round_deadline_us);
@@ -940,7 +998,14 @@ fn controller_loop(
         let mut severed = false;
         let now_us = shared.now_us();
         let gather = initiator.unwrap_or(ctrl);
-        let contributions: Vec<Option<Tensor>> = (0..n)
+        // Everything from the cache drain through the applied update is the
+        // fused reduce region; the alloc delta (debug builds) proves its
+        // steady-state rounds recycle pooled buffers instead of allocating.
+        // The parameter broadcast below is excluded: snapshot buffers are
+        // reclaimed by whichever thread drops the last `Arc`, so their pool
+        // hits are timing-dependent by design.
+        let allocs_before = rna_tensor::alloc::count();
+        let mut contributions: Vec<Option<Tensor>> = (0..n)
             .map(|w| {
                 if shared.is_dead(w) {
                     if !purged[w] {
@@ -970,6 +1035,26 @@ fn controller_loop(
         if severed {
             ck.net.partition_rounds += 1;
         }
+        // The wire codec runs where the gradient crosses the network: each
+        // delivered contribution becomes decode(encode(grad + residual)),
+        // and the dropped remainder waits in the worker's residual for its
+        // next contribution (error feedback). Lossless is the identity and
+        // only accounts the frame bytes a lossless wire would move.
+        for (w, slot) in contributions.iter_mut().enumerate() {
+            let Some(g) = slot.as_mut() else { continue };
+            let lossless_frame = Compression::Lossless.frame_bytes(g.len());
+            if wire_codec.is_lossless() {
+                ck.data.bytes_on_wire += lossless_frame;
+                continue;
+            }
+            let residual = residuals[w].get_or_insert_with(|| Tensor::zeros(g.len()));
+            let mut draw = || codec_rng.uniform_u64(0..1 << 32) as u32;
+            let (frame, err) =
+                codec::encode_with_feedback(wire_codec, g, residual, &mut codec_buf, &mut draw);
+            ck.data.bytes_on_wire += frame;
+            ck.data.bytes_saved += lossless_frame.saturating_sub(frame);
+            ck.data.codec_error_l2 += err;
+        }
         let weights: Vec<f32> = contributions
             .iter()
             .map(|c| if c.is_some() { 1.0 } else { 0.0 })
@@ -985,6 +1070,7 @@ fn controller_loop(
             // Linear Scaling Rule: learning rate × contributor count.
             opt.step(&mut master, &reduced, m);
             pool.release(reduced);
+            ck.data.allocs += rna_tensor::alloc::count() - allocs_before;
             ck.participation_sum += f64::from(m) / n as f64;
             let push_us = shared.now_us();
             // One shared snapshot per round; slots swap Arcs, and the last
@@ -1014,6 +1100,7 @@ fn controller_loop(
             // gradient fell past the staleness bound): complete the round
             // degraded rather than blocking the run.
             ck.rounds_degraded += 1;
+            ck.data.allocs += rna_tensor::alloc::count() - allocs_before;
         }
         for g in contributions.into_iter().flatten() {
             pool.release(g);
@@ -1180,6 +1267,18 @@ struct NetCounters {
     partition_rounds: u64,
 }
 
+/// Controller-side tallies of the gradient data path: what the wire codec
+/// did to the drained contributions, and what the fused reduce region
+/// allocated. Checkpointed so a failed-over or resumed controller keeps
+/// the cumulative totals.
+#[derive(Debug, Clone, Copy, Default)]
+struct DatapathCounters {
+    allocs: u64,
+    bytes_on_wire: u64,
+    bytes_saved: u64,
+    codec_error_l2: f64,
+}
+
 /// Supervisor-side tallies of the control-plane fault machinery. Unlike
 /// [`CtrlCheckpoint`] contents these are per-process observations — a
 /// resumed process starts its own count.
@@ -1204,6 +1303,7 @@ struct CtrlCheckpoint {
     participation_sum: f64,
     rounds_degraded: u64,
     net: NetCounters,
+    data: DatapathCounters,
     checkpoints_written: u64,
 }
 
@@ -1222,6 +1322,10 @@ fn encode_ctrl_checkpoint(ck: &CtrlCheckpoint, out: &mut Vec<u8>) {
     wire::put_u64(out, ck.net.messages_dropped);
     wire::put_u64(out, ck.net.probe_retries);
     wire::put_u64(out, ck.net.partition_rounds);
+    wire::put_u64(out, ck.data.allocs);
+    wire::put_u64(out, ck.data.bytes_on_wire);
+    wire::put_u64(out, ck.data.bytes_saved);
+    wire::put_f64(out, ck.data.codec_error_l2);
     wire::put_u64(out, ck.checkpoints_written);
     wire::put_tensor(out, &ck.master);
     wire::put_tensor(out, &ck.velocity);
@@ -1238,6 +1342,10 @@ fn decode_ctrl_checkpoint(payload: &[u8]) -> Option<CtrlCheckpoint> {
     let messages_dropped = r.u64()?;
     let probe_retries = r.u64()?;
     let partition_rounds = r.u64()?;
+    let allocs = r.u64()?;
+    let bytes_on_wire = r.u64()?;
+    let bytes_saved = r.u64()?;
+    let codec_error_l2 = r.f64()?;
     let checkpoints_written = r.u64()?;
     let master = r.tensor()?;
     let velocity = r.tensor()?;
@@ -1254,6 +1362,12 @@ fn decode_ctrl_checkpoint(payload: &[u8]) -> Option<CtrlCheckpoint> {
             messages_dropped,
             probe_retries,
             partition_rounds,
+        },
+        data: DatapathCounters {
+            allocs,
+            bytes_on_wire,
+            bytes_saved,
+            codec_error_l2,
         },
         checkpoints_written,
     })
@@ -1272,6 +1386,7 @@ fn finish(
     rounds_degraded: u64,
     net: NetCounters,
     recovery: RecoveryCounters,
+    data: DatapathCounters,
 ) -> ThreadedResult {
     let wall = start.elapsed();
     let mut model = template;
@@ -1292,6 +1407,10 @@ fn finish(
         controller_failovers: recovery.controller_failovers,
         failover_rounds_lost: recovery.failover_rounds_lost,
         checkpoints_written: recovery.checkpoints_written,
+        datapath_allocs: data.allocs,
+        bytes_on_wire: data.bytes_on_wire,
+        bytes_saved: data.bytes_saved,
+        codec_error_l2: data.codec_error_l2,
     }
 }
 
@@ -1611,6 +1730,12 @@ mod tests {
                 probe_retries: 2,
                 partition_rounds: 1,
             },
+            data: DatapathCounters {
+                allocs: 11,
+                bytes_on_wire: 4096,
+                bytes_saved: 2048,
+                codec_error_l2: 0.625,
+            },
             checkpoints_written: 4,
         };
         let mut payload = Vec::new();
@@ -1622,6 +1747,10 @@ mod tests {
         assert_eq!(back.participation_sum, 12.75);
         assert_eq!(back.rounds_degraded, 3);
         assert_eq!(back.net.messages_dropped, 7);
+        assert_eq!(back.data.allocs, 11);
+        assert_eq!(back.data.bytes_on_wire, 4096);
+        assert_eq!(back.data.bytes_saved, 2048);
+        assert_eq!(back.data.codec_error_l2, 0.625);
         assert_eq!(back.checkpoints_written, 4);
         // Truncations and trailing garbage are rejected, never panics.
         for cut in 0..payload.len() {
@@ -1646,7 +1775,56 @@ mod tests {
                 assert_ne!(STREAM_SAMPLER + w, STREAM_COMPUTE + v);
                 assert_ne!(STREAM_SAMPLER + w, STREAM_PROBE);
                 assert_ne!(STREAM_COMPUTE + v, STREAM_PROBE);
+                // Codec draws must never share a stream with any other
+                // role (terms index the codec/probe namespaces the same
+                // way worker ids index the others).
+                assert_ne!(STREAM_SAMPLER + w, STREAM_CODEC + v);
+                assert_ne!(STREAM_COMPUTE + w, STREAM_CODEC + v);
+                assert_ne!(STREAM_PROBE + w, STREAM_CODEC + v);
             }
+        }
+    }
+
+    #[test]
+    fn lossless_wire_accounts_bytes_but_saves_nothing() {
+        let r = run_threaded(&ThreadedConfig::quick(3, SyncMode::Rna));
+        assert!(r.bytes_on_wire > 0, "drained gradients must be accounted");
+        assert_eq!(r.bytes_saved, 0);
+        assert_eq!(r.codec_error_l2, 0.0);
+    }
+
+    #[test]
+    fn lossy_wire_shrinks_bytes_and_still_trains() {
+        let lossless = run_threaded(&ThreadedConfig::quick(3, SyncMode::Rna));
+        for codec in [
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::top_k_10pct(),
+        ] {
+            let r = run_threaded(&ThreadedConfig::quick(3, SyncMode::Rna).with_compression(codec));
+            assert!(r.bytes_on_wire > 0, "{codec:?}");
+            assert!(r.bytes_saved > 0, "{codec:?} saved nothing");
+            assert!(
+                r.codec_error_l2 > 0.0 && r.codec_error_l2.is_finite(),
+                "{codec:?} error {}",
+                r.codec_error_l2
+            );
+            // Real threads make byte totals run-dependent (participation
+            // varies), so compare rates, not totals: the mean encoded
+            // frame must be smaller than the mean lossless frame.
+            let frames = |x: &ThreadedResult| (x.bytes_on_wire + x.bytes_saved) as f64;
+            assert!(
+                r.bytes_on_wire as f64 / frames(&r) < 0.95,
+                "{codec:?} frame shrink {} / {}",
+                r.bytes_on_wire,
+                frames(&r)
+            );
+            assert!(
+                r.final_loss.is_finite() && r.final_loss < lossless.final_loss * 3.0 + 1.0,
+                "{codec:?} diverged: {} vs {}",
+                r.final_loss,
+                lossless.final_loss
+            );
         }
     }
 }

@@ -162,5 +162,40 @@ mod tests {
             let max = *sizes.iter().max().unwrap();
             prop_assert!(max - min <= 1);
         }
+
+        #[test]
+        fn fewer_elements_than_chunks(len in 0usize..64, extra in 1usize..64) {
+            // len < n: the first len chunks hold one element each, the
+            // remaining n − len chunks are empty (and harmless to iterate).
+            let n = len + extra;
+            let chunks = partition(len, n);
+            for (i, c) in chunks.iter().enumerate() {
+                if i < len {
+                    prop_assert_eq!(c.len(), 1, "chunk {i}");
+                    prop_assert_eq!(c.as_range(), i..i + 1);
+                } else {
+                    prop_assert!(c.is_empty(), "chunk {i}");
+                }
+            }
+        }
+
+        #[test]
+        fn zero_elements_yields_all_empty_chunks(n in 1usize..64) {
+            let chunks = partition(0, n);
+            prop_assert_eq!(chunks.len(), n);
+            for c in &chunks {
+                prop_assert!(c.is_empty());
+                prop_assert_eq!(c.as_range().len(), 0);
+            }
+            prop_assert_eq!(max_chunk_len(0, n), 0);
+        }
+
+        #[test]
+        fn single_chunk_spans_everything(len in 0usize..5000) {
+            let chunks = partition(len, 1);
+            prop_assert_eq!(chunks.len(), 1);
+            prop_assert_eq!(chunks[0].as_range(), 0..len);
+            prop_assert_eq!(max_chunk_len(len, 1), len);
+        }
     }
 }

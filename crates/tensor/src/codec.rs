@@ -1,0 +1,756 @@
+//! Pluggable gradient wire codecs: lossless fp32, fp16, int8 with
+//! stochastic rounding, and top-k sparsification.
+//!
+//! Every frame a codec produces is self-describing: a fixed
+//! [`FRAME_HEADER_BYTES`]-byte header (codec tag, codec parameter, element
+//! count) followed by the codec-specific payload. The header is what the
+//! cost model charges per message on top of the payload (latency α covers
+//! propagation, not framing), and [`Compression::frame_bytes`] is the exact
+//! size [`Compression::encode`] emits — the discrete-event simulator charges
+//! that same figure, so virtual-time savings and measured savings agree to
+//! the byte.
+//!
+//! Lossy codecs are made convergent by the *error-feedback* recurrence
+//! ([`encode_with_feedback`]): the quantization error of round `t` is
+//! carried into round `t+1`'s input, so the bias of repeated rounding
+//! cancels instead of accumulating. `Int8` additionally uses stochastic
+//! rounding, whose random draws come from a caller-supplied stream — in the
+//! simulator that is a forked, namespaced ChaCha stream, which keeps
+//! same-seed replays bit-identical.
+//!
+//! Decoders never panic on malformed input: they return `None` so callers
+//! can surface corruption as a typed error, mirroring [`crate::wire`].
+
+use crate::wire::{self, Reader};
+use crate::Tensor;
+
+/// Fixed per-frame header size in bytes: `u32` codec tag, `u32` codec
+/// parameter, `u64` element count.
+pub const FRAME_HEADER_BYTES: u64 = 16;
+
+/// The gradient wire codec selected for a run.
+///
+/// `Lossless` is the default and is bit-identical (in values, bytes and
+/// cost accounting) to the pre-codec wire path. The lossy codecs trade
+/// per-round precision for wire bytes and rely on error feedback (carried
+/// by the protocol layer) to stay convergent.
+///
+/// # Examples
+///
+/// ```
+/// use rna_tensor::codec::Compression;
+/// use rna_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, -2.5, 0.25, 8.0]);
+/// let mut frame = Vec::new();
+/// Compression::Fp16.encode(&t, &mut frame, &mut || 0);
+/// assert_eq!(frame.len() as u64, Compression::Fp16.frame_bytes(4));
+/// let mut out = Tensor::zeros(4);
+/// Compression::Fp16.decode(&frame, &mut out).unwrap();
+/// assert_eq!(out.as_slice(), t.as_slice()); // these values are f16-exact
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum Compression {
+    /// Raw little-endian f32 bit patterns: 4 bytes/element, bit-exact.
+    #[default]
+    Lossless,
+    /// IEEE-754 binary16 with round-to-nearest-even: 2 bytes/element.
+    Fp16,
+    /// Per-frame absmax scale plus one signed byte per element, quantized
+    /// with *stochastic* rounding (unbiased): `4 + 1·elements` bytes.
+    Int8,
+    /// Keeps the `permille/1000` fraction of elements with the largest
+    /// magnitudes (at least one), framed as `(index, value)` pairs:
+    /// `4 + 8·k` bytes.
+    TopK {
+        /// Kept fraction in permille; must be in `1..=1000`.
+        permille: u16,
+    },
+}
+
+impl Compression {
+    /// `TopK` with `k = 10%` of elements, the paper-adjacent default.
+    pub fn top_k_10pct() -> Self {
+        Compression::TopK { permille: 100 }
+    }
+
+    /// Whether this codec reproduces its input bit-for-bit.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, Compression::Lossless)
+    }
+
+    /// Whether encoding consumes random draws (stochastic rounding).
+    pub fn needs_rng(&self) -> bool {
+        matches!(self, Compression::Int8)
+    }
+
+    /// Stable display name for benches and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Compression::Lossless => "lossless",
+            Compression::Fp16 => "fp16",
+            Compression::Int8 => "int8-sr",
+            Compression::TopK { .. } => "topk",
+        }
+    }
+
+    /// The wire tag written into frame headers.
+    fn tag(&self) -> u32 {
+        match self {
+            Compression::Lossless => 0,
+            Compression::Fp16 => 1,
+            Compression::Int8 => 2,
+            Compression::TopK { .. } => 3,
+        }
+    }
+
+    /// The codec parameter written into frame headers (`permille` for
+    /// `TopK`, 0 otherwise).
+    fn param(&self) -> u32 {
+        match self {
+            Compression::TopK { permille } => u32::from(*permille),
+            _ => 0,
+        }
+    }
+
+    /// Number of elements `TopK` keeps for a tensor of `elems` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codec is `TopK` with `permille` outside `1..=1000`.
+    pub fn keep_count(&self, elems: usize) -> usize {
+        match self {
+            Compression::TopK { permille } => {
+                assert!(
+                    (1..=1000).contains(permille),
+                    "TopK permille must be in 1..=1000, got {permille}"
+                );
+                if elems == 0 {
+                    0
+                } else {
+                    (((elems as u64) * u64::from(*permille) / 1000).max(1)) as usize
+                }
+            }
+            _ => elems,
+        }
+    }
+
+    /// Payload bytes (header excluded) for a tensor of `elems` elements.
+    ///
+    /// This is a pure size model equal to what [`Compression::encode`]
+    /// emits, so the cost model can charge encoded bytes without encoding.
+    pub fn payload_bytes(&self, elems: usize) -> u64 {
+        let e = elems as u64;
+        match self {
+            Compression::Lossless => 4 * e,
+            Compression::Fp16 => 2 * e,
+            Compression::Int8 => 4 + e,
+            Compression::TopK { .. } => 4 + 8 * self.keep_count(elems) as u64,
+        }
+    }
+
+    /// Total frame bytes (header included) for `elems` elements.
+    pub fn frame_bytes(&self, elems: usize) -> u64 {
+        FRAME_HEADER_BYTES + self.payload_bytes(elems)
+    }
+
+    /// Encodes `xs` into `out` (cleared first): header then payload.
+    ///
+    /// `draw` supplies uniform `u32` draws for stochastic rounding; codecs
+    /// that do not round stochastically never call it.
+    pub fn encode_slice(&self, xs: &[f32], out: &mut Vec<u8>, draw: &mut impl FnMut() -> u32) {
+        out.clear();
+        wire::put_u32(out, self.tag());
+        wire::put_u32(out, self.param());
+        wire::put_u64(out, xs.len() as u64);
+        match self {
+            Compression::Lossless => {
+                for &x in xs {
+                    wire::put_f32(out, x);
+                }
+            }
+            Compression::Fp16 => {
+                for &x in xs {
+                    out.extend_from_slice(&f32_to_f16_bits(x).to_le_bytes());
+                }
+            }
+            Compression::Int8 => {
+                let max_abs = xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
+                wire::put_f32(out, scale);
+                for &x in xs {
+                    out.push(quantize_i8_sr(x, scale, draw) as u8);
+                }
+            }
+            Compression::TopK { .. } => {
+                let k = self.keep_count(xs.len());
+                let idx = top_k_indices(xs, k);
+                wire::put_u32(out, k as u32);
+                for &i in &idx {
+                    wire::put_u32(out, i);
+                    wire::put_f32(out, xs[i as usize]);
+                }
+            }
+        }
+        debug_assert_eq!(out.len() as u64, self.frame_bytes(xs.len()));
+    }
+
+    /// Decodes a frame produced by [`Compression::encode_slice`] into
+    /// `out`, overwriting every element (`TopK` zero-fills the rest).
+    ///
+    /// Returns `None` if the frame is truncated, carries a different codec
+    /// tag/parameter, or its element count does not match `out.len()`.
+    pub fn decode_slice(&self, frame: &[u8], out: &mut [f32]) -> Option<()> {
+        let mut r = Reader::new(frame);
+        if r.u32()? != self.tag() || r.u32()? != self.param() {
+            return None;
+        }
+        if r.u64()? != out.len() as u64 {
+            return None;
+        }
+        match self {
+            Compression::Lossless => {
+                for o in out.iter_mut() {
+                    *o = r.f32()?;
+                }
+            }
+            Compression::Fp16 => {
+                for o in out.iter_mut() {
+                    let b = r.bytes_exact(2)?;
+                    *o = f16_bits_to_f32(u16::from_le_bytes([b[0], b[1]]));
+                }
+            }
+            Compression::Int8 => {
+                let scale = r.f32()?;
+                for o in out.iter_mut() {
+                    let q = r.bytes_exact(1)?[0] as i8;
+                    *o = f32::from(q) * scale;
+                }
+            }
+            Compression::TopK { .. } => {
+                let k = r.u32()? as usize;
+                if k != self.keep_count(out.len()) {
+                    return None;
+                }
+                out.fill(0.0);
+                for _ in 0..k {
+                    let i = r.u32()? as usize;
+                    let v = r.f32()?;
+                    if i >= out.len() {
+                        return None;
+                    }
+                    out[i] = v;
+                }
+            }
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(())
+    }
+
+    /// [`Compression::encode_slice`] over a whole tensor.
+    pub fn encode(&self, t: &Tensor, out: &mut Vec<u8>, draw: &mut impl FnMut() -> u32) {
+        self.encode_slice(t.as_slice(), out, draw);
+    }
+
+    /// [`Compression::decode_slice`] into a whole tensor.
+    pub fn decode(&self, frame: &[u8], out: &mut Tensor) -> Option<()> {
+        self.decode_slice(frame, out.as_mut_slice())
+    }
+}
+
+/// Applies the error-feedback recurrence around one encode/decode:
+///
+/// ```text
+/// compensated = grad + residual
+/// wire        = decode(encode(compensated))
+/// residual'   = compensated − wire
+/// ```
+///
+/// On return `grad` holds the decoded (wire) gradient, `residual` holds the
+/// updated carry, and `scratch` holds the emitted frame. Returns
+/// `(frame_bytes, residual_l2)` — the bytes that crossed the wire and the
+/// L2 norm of the error carried into the next round (zero for `Lossless`).
+///
+/// With a warm `residual` of the right length the call performs zero tensor
+/// allocations: the frame buffer reuses `scratch`'s capacity and both
+/// tensors are rewritten in place.
+///
+/// # Panics
+///
+/// Panics if `residual.len() != grad.len()` (callers own residual setup) or
+/// if a frame this function just encoded fails to decode (impossible absent
+/// memory corruption).
+pub fn encode_with_feedback(
+    codec: Compression,
+    grad: &mut Tensor,
+    residual: &mut Tensor,
+    scratch: &mut Vec<u8>,
+    draw: &mut impl FnMut() -> u32,
+) -> (u64, f64) {
+    assert_eq!(
+        residual.len(),
+        grad.len(),
+        "error-feedback residual length mismatch"
+    );
+    grad.add_assign(residual); // compensated
+    codec.encode(grad, scratch, draw);
+    residual.copy_from(grad); // residual := compensated (for now)
+    codec
+        .decode(scratch, grad) // grad := wire value
+        .expect("self-produced frame must decode");
+    residual.sub_assign(grad); // residual := compensated − wire
+    (scratch.len() as u64, f64::from(residual.norm_l2()))
+}
+
+/// Converts an `f32` to IEEE-754 binary16 bits with round-to-nearest-even.
+///
+/// Overflow saturates to infinity (as IEEE rounding prescribes), NaN is
+/// preserved as a quiet NaN, and subnormal halves are produced for small
+/// magnitudes.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7FFF_FFFF;
+    if abs >= 0x7F80_0000 {
+        // Infinity maps to infinity; NaN keeps a quiet payload bit.
+        return if abs > 0x7F80_0000 {
+            sign | 0x7E00
+        } else {
+            sign | 0x7C00
+        };
+    }
+    let exp = (abs >> 23) as i32; // biased f32 exponent
+    let mant = abs & 0x007F_FFFF;
+    let half_exp = exp - 112; // rebias 127 → 15
+    if half_exp >= 0x1F {
+        return sign | 0x7C00; // |x| ≥ 2^16: overflow to infinity
+    }
+    if half_exp <= 0 {
+        if half_exp < -10 {
+            return sign; // too small for even a subnormal: round to zero
+        }
+        // Subnormal: add the implicit leading 1, shift into place, RNE.
+        let m = mant | 0x0080_0000;
+        let shift = (14 - half_exp) as u32; // 14..=24
+        let kept = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let round_up = rem > halfway || (rem == halfway && (kept & 1) == 1);
+        return sign | (kept + u32::from(round_up)) as u16;
+    }
+    // Normal: drop 13 mantissa bits with RNE; a rounding carry that
+    // overflows the mantissa correctly bumps the exponent (possibly to inf).
+    let kept = mant >> 13;
+    let rem = mant & 0x1FFF;
+    let mut h = ((half_exp as u32) << 10) | kept;
+    if rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1) {
+        h += 1;
+    }
+    sign | h as u16
+}
+
+/// Converts IEEE-754 binary16 bits back to `f32` (exact — every half value
+/// is representable in single precision).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = (u32::from(h) & 0x8000) << 16;
+    let exp = u32::from(h >> 10) & 0x1F;
+    let mant = u32::from(h) & 0x03FF;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal half: renormalize into f32's wider exponent range.
+            let mut e = 113u32;
+            let mut m = m << 13;
+            while m & 0x0080_0000 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | (e << 23) | (m & 0x007F_FFFF)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+        (e, m) => sign | ((e + 112) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Quantizes `x` to a signed byte under `scale` with stochastic rounding:
+/// `E[result·scale] = x` for in-range finite inputs.
+fn quantize_i8_sr(x: f32, scale: f32, draw: &mut impl FnMut() -> u32) -> i8 {
+    if scale == 0.0 {
+        return 0;
+    }
+    let v = x / scale; // in [-127, 127] up to rounding of the division
+    let lo = v.floor();
+    let frac = v - lo;
+    let mut q = lo as i32;
+    if frac > 0.0 {
+        // 24-bit uniform in [0, 1): exactly representable in f32.
+        let u = (draw() >> 8) as f32 / (1u32 << 24) as f32;
+        if u < frac {
+            q += 1;
+        }
+    }
+    q.clamp(-127, 127) as i8
+}
+
+/// Indices of the `k` largest-magnitude elements, in ascending index order.
+///
+/// Selection uses a total order (magnitude descending, index ascending) so
+/// the kept set — and therefore the frame — is deterministic even with tied
+/// magnitudes.
+fn top_k_indices(xs: &[f32], k: usize) -> Vec<u32> {
+    debug_assert!(k <= xs.len());
+    let mut idx: Vec<u32> = (0..xs.len() as u32).collect();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < xs.len() {
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            let ma = xs[a as usize].abs();
+            let mb = xs[b as usize].abs();
+            mb.total_cmp(&ma).then(a.cmp(&b))
+        });
+        idx.truncate(k);
+    }
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic draw stream for tests (SplitMix-ish LCG).
+    fn lcg_draws(seed: u64) -> impl FnMut() -> u32 {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 32) as u32
+        }
+    }
+
+    fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+        let mut d = lcg_draws(seed);
+        (0..len)
+            .map(|_| (d() as f32 / (1u32 << 24) as f32) - 128.0)
+            .collect()
+    }
+
+    fn roundtrip(codec: Compression, xs: &[f32], seed: u64) -> Vec<f32> {
+        let mut frame = Vec::new();
+        codec.encode_slice(xs, &mut frame, &mut lcg_draws(seed));
+        assert_eq!(frame.len() as u64, codec.frame_bytes(xs.len()));
+        let mut out = vec![f32::NAN; xs.len()];
+        codec.decode_slice(&frame, &mut out).expect("decode");
+        out
+    }
+
+    #[test]
+    fn lossless_roundtrip_is_bit_exact() {
+        let xs = vec![0.0, -0.0, 1.5, f32::MIN_POSITIVE, -3.25e7];
+        let out = roundtrip(Compression::Lossless, &xs, 1);
+        for (a, b) in xs.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fp16_known_values_are_exact() {
+        // Values exactly representable in binary16 roundtrip unchanged.
+        for &x in &[0.0f32, 1.0, -2.0, 0.5, 65504.0, -0.25, 6.103_515_6e-5] {
+            assert_eq!(roundtrip(Compression::Fp16, &[x], 0)[0], x, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fp16_specials() {
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xFC00);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00, "RNE rounds 65520 to inf");
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(65504.0)), 65504.0);
+        assert_eq!(f32_to_f16_bits(1e-10), 0, "underflow to signed zero");
+        assert_eq!(f32_to_f16_bits(-1e-10), 0x8000);
+    }
+
+    #[test]
+    fn int8_zero_tensor_roundtrips_to_zero() {
+        let out = roundtrip(Compression::Int8, &[0.0; 9], 3);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn int8_stochastic_rounding_is_unbiased() {
+        // Quantize the same awkward value many times with fresh draws; the
+        // mean must approach the true value (SR is unbiased, unlike RNE).
+        let xs = [0.3f32, 1.0];
+        let mut sum = 0.0f64;
+        let trials = 4000;
+        for t in 0..trials {
+            let out = roundtrip(Compression::Int8, &xs, t as u64 + 1);
+            sum += f64::from(out[0]);
+        }
+        let mean = sum / f64::from(trials);
+        assert!((mean - 0.3).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn int8_same_draws_same_bytes() {
+        let xs = pseudo(257, 5);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Compression::Int8.encode_slice(&xs, &mut a, &mut lcg_draws(9));
+        Compression::Int8.encode_slice(&xs, &mut b, &mut lcg_draws(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let xs = vec![0.1, -9.0, 0.2, 7.0, -0.3, 0.05, 3.0, -1.0, 0.0, 0.4];
+        let codec = Compression::TopK { permille: 300 }; // k = 3
+        let out = roundtrip(codec, &xs, 0);
+        assert_eq!(out[1], -9.0);
+        assert_eq!(out[3], 7.0);
+        assert_eq!(out[6], 3.0);
+        let kept: usize = out.iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(kept, 3);
+    }
+
+    #[test]
+    fn topk_ties_are_deterministic() {
+        let xs = vec![1.0f32; 8];
+        let codec = Compression::TopK { permille: 250 }; // k = 2 of 8 equal mags
+        let a = roundtrip(codec, &xs, 0);
+        let b = roundtrip(codec, &xs, 1);
+        assert_eq!(a, b);
+        // Lowest indices win ties.
+        assert_eq!(&a[..2], &[1.0, 1.0]);
+        assert!(a[2..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn topk_keeps_at_least_one_element() {
+        let codec = Compression::TopK { permille: 1 };
+        assert_eq!(codec.keep_count(5), 1);
+        assert_eq!(codec.keep_count(0), 0);
+        let out = roundtrip(codec, &[0.0, 2.0, -1.0], 0);
+        assert_eq!(out, vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permille")]
+    fn topk_rejects_zero_permille() {
+        Compression::TopK { permille: 0 }.keep_count(10);
+    }
+
+    #[test]
+    fn empty_tensors_roundtrip_under_every_codec() {
+        for codec in [
+            Compression::Lossless,
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::top_k_10pct(),
+        ] {
+            let out = roundtrip(codec, &[], 0);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn frames_are_rejected_on_mismatch_and_truncation() {
+        let xs = pseudo(33, 7);
+        let mut frame = Vec::new();
+        Compression::Fp16.encode_slice(&xs, &mut frame, &mut lcg_draws(0));
+        let mut out = vec![0.0; 33];
+        // Wrong codec.
+        assert!(Compression::Int8.decode_slice(&frame, &mut out).is_none());
+        // Wrong length.
+        let mut short = vec![0.0; 32];
+        assert!(Compression::Fp16.decode_slice(&frame, &mut short).is_none());
+        // Truncation at every cut point.
+        for cut in 0..frame.len() {
+            assert!(
+                Compression::Fp16
+                    .decode_slice(&frame[..cut], &mut out)
+                    .is_none(),
+                "cut={cut}"
+            );
+        }
+        // Trailing garbage.
+        frame.push(0);
+        assert!(Compression::Fp16.decode_slice(&frame, &mut out).is_none());
+    }
+
+    #[test]
+    fn topk_out_of_range_index_is_rejected() {
+        let xs = [5.0f32, 1.0];
+        let codec = Compression::TopK { permille: 500 };
+        let mut frame = Vec::new();
+        codec.encode_slice(&xs, &mut frame, &mut lcg_draws(0));
+        // Corrupt the kept index (first u32 after the 4-byte count).
+        let base = FRAME_HEADER_BYTES as usize + 4;
+        frame[base..base + 4].copy_from_slice(&99u32.to_le_bytes());
+        let mut out = [0.0f32; 2];
+        assert!(codec.decode_slice(&frame, &mut out).is_none());
+    }
+
+    #[test]
+    fn error_feedback_recurrence_carries_the_quantization_error() {
+        // The recurrence telescopes: across any horizon, what the wire
+        // delivered plus the final residual equals the sum of the inputs —
+        // no gradient signal is ever dropped, only deferred. Check it for
+        // every lossy codec, including a coordinate (0.01) that TopK would
+        // silently starve without feedback.
+        for codec in [
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::TopK { permille: 500 },
+        ] {
+            let mut residual = Tensor::zeros(4);
+            let mut scratch = Vec::new();
+            let mut delivered = Tensor::zeros(4);
+            let rounds = 64u64;
+            for round in 0..rounds {
+                let mut grad = Tensor::from_vec(vec![0.01, 1.0, 0.02, 2.0]);
+                let (bytes, err) = encode_with_feedback(
+                    codec,
+                    &mut grad,
+                    &mut residual,
+                    &mut scratch,
+                    &mut lcg_draws(round),
+                );
+                assert_eq!(bytes, codec.frame_bytes(4), "{}", codec.name());
+                assert!(err.is_finite());
+                delivered.add_assign(&grad);
+            }
+            let expect = [0.01f32, 1.0, 0.02, 2.0].map(|x| x * rounds as f32);
+            for (i, &want) in expect.iter().enumerate() {
+                let got = delivered.as_slice()[i] + residual.as_slice()[i];
+                assert!(
+                    (got - want).abs() < 2e-2,
+                    "{} coord {i}: delivered+residual {got} vs {want}",
+                    codec.name(),
+                );
+            }
+            // And the deferral is bounded: the residual never exceeds a few
+            // quanta, so small coordinates do get through (TopK's residual
+            // for coordinate 0 is at most the largest competing magnitude).
+            assert!(
+                f64::from(residual.norm_l2()) < 4.0,
+                "{} residual diverged",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn error_feedback_is_a_noop_for_lossless() {
+        let mut grad = Tensor::from_vec(vec![1.25, -3.5]);
+        let mut residual = Tensor::zeros(2);
+        let mut scratch = Vec::new();
+        let (bytes, err) = encode_with_feedback(
+            Compression::Lossless,
+            &mut grad,
+            &mut residual,
+            &mut scratch,
+            &mut lcg_draws(0),
+        );
+        assert_eq!(bytes, FRAME_HEADER_BYTES + 8);
+        assert_eq!(err, 0.0);
+        assert_eq!(grad.as_slice(), &[1.25, -3.5]);
+        assert_eq!(residual.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn payload_model_matches_real_encodes() {
+        for codec in [
+            Compression::Lossless,
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::TopK { permille: 100 },
+            Compression::TopK { permille: 1000 },
+        ] {
+            for len in [0usize, 1, 7, 100, 1000] {
+                let xs = pseudo(len, len as u64 + 1);
+                let mut frame = Vec::new();
+                codec.encode_slice(&xs, &mut frame, &mut lcg_draws(3));
+                assert_eq!(
+                    frame.len() as u64,
+                    codec.frame_bytes(len),
+                    "{} len={len}",
+                    codec.name()
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fp16_error_within_half_ulp(seed: u64, len in 1usize..80) {
+            let xs = pseudo(len, seed | 1);
+            let out = roundtrip(Compression::Fp16, &xs, seed);
+            for (a, b) in xs.iter().zip(&out) {
+                // RNE error ≤ 2^-11 relative for normals, ≤ 2^-25 absolute
+                // in the subnormal range.
+                let bound = (a.abs() * (1.0 / 2048.0)).max(3.0e-8);
+                prop_assert!((a - b).abs() <= bound, "a={a} b={b}");
+            }
+        }
+
+        #[test]
+        fn int8_error_within_one_scale_quantum(seed: u64, len in 1usize..80) {
+            let xs = pseudo(len, seed | 1);
+            let max_abs = xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let scale = max_abs / 127.0;
+            let out = roundtrip(Compression::Int8, &xs, seed);
+            for (a, b) in xs.iter().zip(&out) {
+                prop_assert!((a - b).abs() <= scale * 1.0001 + 1e-6, "a={a} b={b}");
+            }
+        }
+
+        #[test]
+        fn topk_kept_set_dominates_dropped(seed: u64, len in 1usize..120, permille in 1u16..=1000) {
+            let xs = pseudo(len, seed | 1);
+            let codec = Compression::TopK { permille };
+            let out = roundtrip(codec, &xs, seed);
+            let kept_min = out
+                .iter()
+                .zip(&xs)
+                .filter(|(o, _)| **o != 0.0)
+                .map(|(_, x)| x.abs())
+                .fold(f32::INFINITY, f32::min);
+            for (o, x) in out.iter().zip(&xs) {
+                if *o == 0.0 && *x != 0.0 {
+                    // Every dropped element is no larger than every kept one.
+                    prop_assert!(x.abs() <= kept_min, "dropped {x} vs kept min {kept_min}");
+                }
+            }
+        }
+
+        #[test]
+        fn lossless_roundtrip_bit_exact_prop(seed: u64, len in 0usize..120) {
+            let xs = pseudo(len, seed | 1);
+            let out = roundtrip(Compression::Lossless, &xs, seed);
+            for (a, b) in xs.iter().zip(&out) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn fp16_roundtrip_is_idempotent(seed: u64, len in 1usize..60) {
+            // decode(encode(x)) is a fixed point: encoding again is exact.
+            let xs = pseudo(len, seed | 1);
+            let once = roundtrip(Compression::Fp16, &xs, seed);
+            let twice = roundtrip(Compression::Fp16, &once, seed);
+            for (a, b) in once.iter().zip(&twice) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

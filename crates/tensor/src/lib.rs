@@ -21,6 +21,9 @@
 //! * [`wire`] — hand-rolled little-endian binary (de)serialization
 //!   primitives for crash-recovery checkpoints (the vendored `serde` is a
 //!   no-op stub in this offline build).
+//! * [`codec`] — pluggable gradient wire codecs ([`codec::Compression`]:
+//!   lossless, fp16, int8 with stochastic rounding, top-k) plus the
+//!   error-feedback recurrence that keeps the lossy ones convergent.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 
 pub mod alloc;
 pub mod chunks;
+pub mod codec;
 pub mod pool;
 pub mod reduce;
 pub mod stats;
@@ -45,6 +49,7 @@ mod tensor;
 pub mod wire;
 
 pub use chunks::{partition, ChunkRange};
+pub use codec::Compression;
 pub use pool::TensorPool;
 pub use reduce::ReduceOp;
 pub use tensor::Tensor;

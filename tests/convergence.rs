@@ -135,6 +135,72 @@ fn lr_scaling_ablation_both_converge() {
     );
 }
 
+/// Lossy wire codecs with error feedback stay inside a documented
+/// tolerance of the lossless run: the EF recurrence re-injects what each
+/// encode dropped, so compression perturbs the trajectory without
+/// derailing it (DESIGN.md "Wire compression" quotes these bounds).
+#[test]
+fn lossy_codecs_converge_within_tolerance_of_lossless() {
+    use rna_core::Compression;
+    let run = |codec| {
+        let n = 6;
+        let spec = TrainSpec::smoke_test(n, 21)
+            .with_hetero(HeterogeneityModel::dynamic_uniform(n, 0, 30))
+            .with_max_rounds(600);
+        let config = RnaConfig::default().with_compression(codec);
+        Engine::new(spec, RnaProtocol::new(n, config, 0)).run()
+    };
+    let lossless = run(Compression::Lossless);
+    let base = lossless.final_loss().unwrap();
+    let first = lossless.history.points()[0].loss;
+    assert!(base < first, "baseline must itself converge");
+    for codec in [
+        Compression::Fp16,
+        Compression::Int8,
+        Compression::top_k_10pct(),
+    ] {
+        let r = run(codec);
+        let loss = r.final_loss().unwrap();
+        // Documented tolerance: a lossy run ends within 1.5x of the
+        // lossless final loss plus a small absolute slack for runs that
+        // are already near the noise floor.
+        assert!(
+            loss.is_finite() && loss <= base * 1.5 + 0.05,
+            "{codec:?}: final loss {loss} vs lossless {base}"
+        );
+        assert!(
+            loss < first,
+            "{codec:?}: must still improve on the initial loss {first}, got {loss}"
+        );
+        assert!(
+            r.codec_error_l2 > 0.0,
+            "{codec:?}: lossy encodes must leave a residual trace"
+        );
+    }
+}
+
+/// The lossy regression task still hits the seed suite's quality bar:
+/// fp16 on the convex regression problem lands within the same 0.2
+/// threshold the lossless test pins.
+#[test]
+fn fp16_converges_on_regression_within_seed_threshold() {
+    use rna_core::Compression;
+    let spec = spec_with_task(
+        TaskKind::Regression {
+            dim: 6,
+            samples: 300,
+            noise: 0.05,
+        },
+        4,
+        3,
+        400,
+    );
+    let config = RnaConfig::default().with_compression(Compression::Fp16);
+    let r = Engine::new(spec, RnaProtocol::new(4, config, 0)).run();
+    let final_loss = r.final_loss().unwrap();
+    assert!(final_loss < 0.2, "fp16 regression loss {final_loss}");
+}
+
 #[test]
 fn gradient_noise_does_not_destabilize_partial_rounds() {
     // Many rounds with single-contributor updates: the loss trace must

@@ -94,6 +94,56 @@ fn des_checkpoint_kill_resume_is_bit_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The same guarantee under every lossy wire codec: the checkpoint also
+/// captures the codec RNG position (int8's stochastic rounding draws) and
+/// the per-member error-feedback residuals, so a resumed lossy run replays
+/// the interrupted one bit for bit.
+#[test]
+fn des_lossy_codec_kill_resume_is_bit_identical() {
+    use rna_core::Compression;
+    let seed = chaos_seed();
+    for codec in [
+        Compression::Fp16,
+        Compression::Int8,
+        Compression::top_k_10pct(),
+    ] {
+        let config = || RnaConfig::default().with_compression(codec);
+        let every = RecoveryConfig::new(10).unwrap();
+
+        let full_dir = scratch_dir("codec-full");
+        let uninterrupted = Engine::new(spec(seed, 40), RnaProtocol::new(N, config(), 0))
+            .with_recovery(CheckpointStore::new(&full_dir).unwrap(), every)
+            .run();
+
+        let dir = scratch_dir("codec-killed");
+        let partial = Engine::new(spec(seed, 25), RnaProtocol::new(N, config(), 0))
+            .with_recovery(CheckpointStore::new(&dir).unwrap(), every)
+            .run();
+        assert!(partial.checkpoints_written >= 2, "{codec:?}");
+
+        let resumed = Engine::resume(
+            spec(seed, 40),
+            RnaProtocol::new(N, config(), 0),
+            CheckpointStore::new(&dir).unwrap(),
+            every,
+        )
+        .expect("resume from the killed run's checkpoints")
+        .run();
+
+        assert_identical(&uninterrupted, &resumed);
+        assert_eq!(
+            uninterrupted.bytes_on_wire, resumed.bytes_on_wire,
+            "{codec:?}"
+        );
+        assert_eq!(
+            uninterrupted.codec_error_l2, resumed.codec_error_l2,
+            "{codec:?}"
+        );
+        let _ = std::fs::remove_dir_all(&full_dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// A corrupted newest generation falls back to the previous one — and the
 /// older starting point still converges to the identical final state,
 /// because every checkpoint is a quiesce point of the same trajectory.
