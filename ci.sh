@@ -61,10 +61,20 @@ echo "==> codec bench (--check, writes BENCH_PR5.json)"
 timeout 600 cargo run -q --release -p rna-bench --bin codec -- \
   --check --out BENCH_PR5.json
 
+# Process-world smoke: real subprocesses over TCP on ephemeral localhost
+# ports, including a genuine SIGKILL + rejoin and a severed socket. A
+# wedged coordinator (or a leaked worker holding a socket open) fails CI
+# by timeout instead of hanging it.
+echo "==> process-world smoke (real sockets + SIGKILL, watchdogged)"
+timeout 600 cargo test -q --release -p rna-runtime --test process_world
+timeout 600 cargo test -q --release -p rna-experiments --test three_worlds
+
 # Codec property tests in debug mode: roundtrip invariants, error-feedback
 # telescoping, and frame-size models get their debug_assert! coverage.
-echo "==> codec property tests (debug)"
+# The proto fuzz tests cover the socket-fed frame decoding path.
+echo "==> codec + proto property tests (debug)"
 timeout 600 cargo test -q -p rna-tensor codec
+timeout 600 cargo test -q -p rna-runtime proto
 
 # Zero-alloc guarantee: the debug-only allocation counter must show that
 # warm pooled rounds allocate nothing (vacuous in release, so run debug).

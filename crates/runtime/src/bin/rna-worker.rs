@@ -1,0 +1,33 @@
+//! Worker subprocess for the process-world runtime.
+//!
+//! Spawned by [`rna_runtime::run_process`], never by hand:
+//! `rna-worker <addr> <worker> <token> <incarnation>`. The interesting
+//! code lives in [`rna_runtime::worker::run_worker`]; this binary only
+//! parses the command line and maps the outcome to an exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed = (|| -> Option<(u32, u64, u32)> {
+        if args.len() != 5 {
+            return None;
+        }
+        Some((
+            args[2].parse().ok()?,
+            args[3].parse().ok()?,
+            args[4].parse().ok()?,
+        ))
+    })();
+    let Some((worker, token, incarnation)) = parsed else {
+        eprintln!("usage: rna-worker <addr> <worker> <token> <incarnation>");
+        return ExitCode::from(2);
+    };
+    match rna_runtime::worker::run_worker(&args[1], worker, token, incarnation) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rna-worker {worker}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,17 +1,27 @@
 //! # rna-runtime
 //!
-//! A real multi-threaded RNA runtime: OS threads, channels, and locks
-//! instead of the discrete-event simulator.
+//! Real executions of the RNA protocol — the second and third of the
+//! repo's three worlds (the first being `rna_core::sim`'s discrete-event
+//! simulator):
+//!
+//! * **Threaded** ([`run_threaded`]): every worker is an OS thread in
+//!   this process, sharing gradient caches behind locks.
+//! * **Process** ([`run_process`]): every worker is a subprocess
+//!   (`rna-worker`) speaking a length-delimited TCP protocol ([`proto`])
+//!   to a coordinator. Crashes are real `SIGKILL`s/aborts, partitions
+//!   are severed sockets, and rejoin re-spawns the binary from a
+//!   checkpointed iteration count.
 //!
 //! The paper implements RNA with two threads per process — computation on
 //! the GPU, communication via background MPI (§3.3/§6). This crate
-//! reproduces that split with actual concurrency: each worker is an OS
-//! thread alternating compute (a busy interval plus a real gradient on its
-//! replica) and deposits into a shared gradient cache; a controller thread
-//! probes workers, forces partial reductions, and publishes updated
-//! parameters. It exists to show the protocol is implementable outside the
-//! simulator and that the DES results are not simulation artifacts; the
-//! integration tests cross-check the two.
+//! reproduces that split with actual concurrency: each worker alternates
+//! compute (a busy interval plus a real gradient on its replica) and
+//! deposits into a gradient cache; a controller probes workers, forces
+//! partial reductions, and publishes updated parameters. The controller
+//! logic is written once against the `Transport` trait and reused by both
+//! worlds. It all exists to show the protocol is implementable outside
+//! the simulator and that the DES results are not simulation artifacts;
+//! the integration tests cross-check the three worlds.
 //!
 //! Both RNA and a BSP baseline are provided behind [`SyncMode`].
 //!
@@ -52,7 +62,13 @@
 #![forbid(unsafe_code)]
 
 pub mod fault;
+pub mod process;
+pub mod proto;
 mod threaded;
+mod transport;
+pub mod worker;
 
 pub use fault::{FaultPlan, NetFaultPlan, NetShim, ToleranceConfig, WorkerFate, WorkerFault};
+pub use process::{run_process, ProcessConfig, ProcessResult};
+pub use rna_tensor::codec::Compression;
 pub use threaded::{resume_threaded, run_threaded, SyncMode, ThreadedConfig, ThreadedResult};

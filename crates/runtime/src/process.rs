@@ -1,0 +1,908 @@
+//! The third execution world: worker *processes* over real TCP.
+//!
+//! [`run_process`] binds an ephemeral localhost port, spawns one
+//! `rna-worker` subprocess per worker, and supervises them over the
+//! length-delimited protocol of [`crate::proto`]. The controller itself is
+//! the same [`crate::transport`] code the threaded world runs — this
+//! module only implements [`Transport`] over sockets: per-connection
+//! reader threads feed coordinator-side mirrors (gradient cache, heartbeat
+//! timestamp, iteration count), and parameter/round pushes become framed
+//! TCP writes.
+//!
+//! What is *real* here that the other worlds simulate:
+//!
+//! - A planned crash or crash-restart is a genuine process death — the
+//!   worker executes `abort()` mid-protocol, indistinguishable on the wire
+//!   from `kill -9` (which [`ProcessConfig::with_kill9`] also delivers, as
+//!   an unplanned SIGKILL the fault plan never announced).
+//! - A partition is a severed socket ([`ProcessConfig::with_sever`] calls
+//!   `shutdown` on a live connection), not a flag in a shim.
+//! - A slow worker is a genuinely slow process; its frames arrive late
+//!   because they were sent late.
+//!
+//! Rejoin is checkpoint-based: the coordinator remembers each worker's
+//! completed-iteration count, respawns the process (planned restarts
+//! always; unplanned deaths when [`ProcessConfig::respawn_unplanned`] is
+//! set), and the fresh incarnation's `Setup` frame carries the current
+//! master, the round counter, and the iteration to resume from — the
+//! worker fast-forwards its sampler so the data stream continues instead
+//! of repeating.
+//!
+//! The gradient wire codec runs at the coordinator, exactly where the
+//! threaded world runs it: workers ship full-precision gradients and the
+//! controller transforms each drained contribution through
+//! `decode(encode(grad + residual))`. That keeps byte accounting and
+//! convergence directly comparable across all three worlds; pushing the
+//! encoder into the worker binary would be a wire-efficiency change, not a
+//! protocol change, and belongs to a later PR.
+
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+use rna_core::cache::GradientCache;
+use rna_core::fault::{WorkerFate, WorkerFault};
+use rna_core::recovery::CheckpointStore;
+use rna_simnet::SimRng;
+use rna_tensor::{Tensor, TensorPool};
+use rna_training::model::SoftmaxClassifier;
+use rna_training::{Dataset, Model};
+
+use crate::proto::{read_msg, write_msg, Msg, WorkerSetup};
+use crate::threaded::{finish, validate_config, SyncMode, ThreadedConfig, ThreadedResult};
+use crate::transport::{
+    lock, supervise, CtrlCheckpoint, Transport, STREAM_COMPUTE, STREAM_SAMPLER,
+};
+
+/// Salt folded into the seed to derive the per-run Hello token, so the
+/// token is deterministic for a given run but never equal to the seed.
+const TOKEN_SALT: u64 = 0x524e_4150_u64; // "RNAP"
+
+/// How long the coordinator waits for the initial cluster to connect
+/// before declaring the spawn wedged.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Grace period between the `Stop` frame and a hard kill at teardown.
+const STOP_GRACE: Duration = Duration::from_secs(2);
+
+/// Configuration of a process-world run: the shared [`ThreadedConfig`]
+/// plus the knobs that only exist once workers are real processes.
+#[derive(Debug, Clone)]
+pub struct ProcessConfig {
+    /// The world-independent configuration (workers, rounds, mode, fault
+    /// plans, tolerance, codec). BSP is rejected: the barrier runtime has
+    /// no socket incarnation.
+    pub base: ThreadedConfig,
+    /// Explicit path to the `rna-worker` binary. When unset, the
+    /// `RNA_WORKER_EXE` environment variable is consulted, then siblings
+    /// of the current executable (which covers `cargo test`, where the
+    /// binary lands next to the test runner's `deps` directory).
+    pub worker_exe: Option<PathBuf>,
+    /// Respawn workers whose process exits without the fault plan
+    /// announcing it (SIGKILL, severed socket, a genuine bug). Off, an
+    /// unplanned death is recorded as a crash fate; on, the worker rejoins
+    /// from its coordinator-side checkpoint and the respawn is counted in
+    /// [`ProcessResult::worker_respawns`].
+    pub respawn_unplanned: bool,
+    /// `(worker, round)` pairs: deliver a real SIGKILL to the worker's
+    /// process once the round counter reaches `round`. Unlike
+    /// `FaultPlan::crash`, the worker is never told — the fault is only
+    /// observable through the socket going quiet.
+    pub kill9: Vec<(usize, u64)>,
+    /// `(worker, round)` pairs: sever the worker's live socket (TCP
+    /// `shutdown` on the coordinator side) once the round counter reaches
+    /// `round`. The worker exits on the dead socket and rejoins per
+    /// [`ProcessConfig::respawn_unplanned`].
+    pub sever: Vec<(usize, u64)>,
+}
+
+impl ProcessConfig {
+    /// Wraps a [`ThreadedConfig`] with process-world defaults (no kills,
+    /// no severs, respawn unplanned deaths).
+    pub fn new(base: ThreadedConfig) -> Self {
+        ProcessConfig {
+            base,
+            worker_exe: None,
+            respawn_unplanned: true,
+            kill9: Vec::new(),
+            sever: Vec::new(),
+        }
+    }
+
+    /// A fast homogeneous configuration mirroring
+    /// [`ThreadedConfig::quick`].
+    pub fn quick(num_workers: usize, mode: SyncMode) -> Self {
+        ProcessConfig::new(ThreadedConfig::quick(num_workers, mode))
+    }
+
+    /// Sets an explicit worker-binary path (tests use
+    /// `env!("CARGO_BIN_EXE_rna-worker")`).
+    pub fn with_worker_exe(mut self, exe: impl Into<PathBuf>) -> Self {
+        self.worker_exe = Some(exe.into());
+        self
+    }
+
+    /// Schedules a real SIGKILL for `worker` at `round`.
+    pub fn with_kill9(mut self, worker: usize, round: u64) -> Self {
+        self.kill9.push((worker, round));
+        self
+    }
+
+    /// Schedules a real socket sever for `worker` at `round`.
+    pub fn with_sever(mut self, worker: usize, round: u64) -> Self {
+        self.sever.push((worker, round));
+        self
+    }
+
+    /// Sets the unplanned-death policy (see
+    /// [`ProcessConfig::respawn_unplanned`]).
+    pub fn with_respawn_unplanned(mut self, respawn: bool) -> Self {
+        self.respawn_unplanned = respawn;
+        self
+    }
+}
+
+/// The outcome of a process-world run: the shared counters, plus the
+/// process-only observations.
+#[derive(Debug, Clone)]
+pub struct ProcessResult {
+    /// The world-independent result — same fields, same meaning as the
+    /// threaded world, so cross-world assertions compare directly.
+    pub run: ThreadedResult,
+    /// Worker processes respawned after *unplanned* deaths (SIGKILL,
+    /// severed sockets). Planned crash-restarts are not counted here —
+    /// they are visible as `Restarted` fates, like in the other worlds.
+    pub worker_respawns: u64,
+    /// Live sockets the run severed (scheduled severs plus write failures
+    /// that forced a disconnect).
+    pub sockets_severed: u64,
+}
+
+/// Coordinator-side mirror of one worker process: what the reader thread
+/// learned from its frames, plus the supervision state the spawner needs.
+struct ProcSlot {
+    cache: Mutex<GradientCache>,
+    /// Completed local iterations, monotone (`fetch_max` from heartbeat
+    /// and gradient frames). This is the rejoin checkpoint.
+    iterations: AtomicU64,
+    heartbeat_us: AtomicU64,
+    /// Reachable: the process is believed running with a socket attached.
+    /// Cleared by the reader on EOF/error and by the child supervisor on
+    /// process exit; set again when a (re)spawned incarnation completes
+    /// its handshake.
+    alive: AtomicBool,
+    /// Coordinator→worker write half. `None` while down or severed.
+    conn: Mutex<Option<TcpStream>>,
+    /// The worker's post-mortem. Reader threads fill it from a graceful
+    /// `Fate` frame only when empty; the child supervisor's verdicts
+    /// (crashed, restarted) overwrite — a respawned worker's final
+    /// incarnation honestly reports `Healthy`, which must not mask the
+    /// restart.
+    fate: Mutex<Option<WorkerFate>>,
+    /// `start_iter` the next accepted incarnation resumes from.
+    start_iter: AtomicU64,
+    /// Expected incarnation of the next Hello; readers from older
+    /// incarnations must not clobber `alive` after a respawn.
+    incarnation: AtomicU64,
+    /// Reader threads spawned / exited for this worker, so the child
+    /// supervisor can wait for the final frames of a dead incarnation to
+    /// drain before classifying the death.
+    readers_started: AtomicU64,
+    readers_exited: AtomicU64,
+}
+
+struct ProcShared {
+    slots: Vec<ProcSlot>,
+    round: AtomicU64,
+    /// Latest master published by the controller; what a late joiner's
+    /// `Setup` frame carries.
+    published: RwLock<Tensor>,
+    start: Instant,
+    stop: AtomicBool,
+    liveness_timeout_us: u64,
+    token: u64,
+    param_len: usize,
+    sockets_severed: AtomicU64,
+    worker_respawns: AtomicU64,
+}
+
+impl ProcShared {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// [`Transport`] over TCP: reads come from the mirrors the reader threads
+/// maintain, pushes become frames on the per-worker sockets.
+struct ProcessTransport {
+    shared: Arc<ProcShared>,
+    ready_rx: Receiver<usize>,
+    /// Scheduled severs not yet executed.
+    sever: Vec<(usize, u64)>,
+    /// The parameter frame is encoded once per round and the same bytes go
+    /// to every socket.
+    frame: Vec<u8>,
+    frame_round: Option<u64>,
+    scratch: Vec<u8>,
+}
+
+impl ProcessTransport {
+    /// Drops worker `w`'s write half and counts the sever. The worker
+    /// exits on its dead socket; the child supervisor decides whether it
+    /// comes back.
+    fn sever_conn(&self, w: usize) {
+        if let Some(s) = lock(&self.shared.slots[w].conn).take() {
+            let _ = s.shutdown(Shutdown::Both);
+            self.shared.sockets_severed.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+impl Transport for ProcessTransport {
+    fn now_us(&self) -> u64 {
+        self.shared.now_us()
+    }
+
+    fn is_dead(&self, w: usize) -> bool {
+        !self.shared.slots[w].alive.load(Ordering::Acquire)
+    }
+
+    fn all_dead(&self) -> bool {
+        (0..self.shared.slots.len()).all(|w| self.is_dead(w))
+    }
+
+    fn live_view(&self) -> Vec<bool> {
+        let now = self.shared.now_us();
+        self.shared
+            .slots
+            .iter()
+            .map(|s| {
+                s.alive.load(Ordering::Acquire)
+                    && now.saturating_sub(s.heartbeat_us.load(Ordering::Acquire))
+                        < self.shared.liveness_timeout_us
+            })
+            .collect()
+    }
+
+    fn heartbeat_us(&self, w: usize) -> u64 {
+        self.shared.slots[w].heartbeat_us.load(Ordering::Acquire)
+    }
+
+    fn cache_ready(&self, w: usize) -> bool {
+        !lock(&self.shared.slots[w].cache).is_empty()
+    }
+
+    fn drain(&mut self, w: usize, round: u64, pool: &mut TensorPool) -> Option<Tensor> {
+        lock(&self.shared.slots[w].cache).take_contribution_pooled(round, pool)
+    }
+
+    fn purge(&mut self, w: usize, staleness_bound: usize) {
+        *lock(&self.shared.slots[w].cache) = GradientCache::new(staleness_bound, true);
+    }
+
+    fn push_params(
+        &mut self,
+        w: usize,
+        round: u64,
+        snap: &Arc<Tensor>,
+        _pool: &mut TensorPool,
+    ) -> bool {
+        if self.frame_round != Some(round) {
+            // One encode per round; every socket gets the same bytes. The
+            // published copy is what a worker joining mid-run starts from.
+            self.shared
+                .published
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .copy_from(snap);
+            self.frame.clear();
+            let msg = Msg::Params {
+                round,
+                params: Tensor::clone(snap),
+            };
+            write_msg(&mut self.frame, &msg, &mut self.scratch)
+                .expect("writing to a Vec cannot fail");
+            self.frame_round = Some(round);
+        }
+        let mut guard = lock(&self.shared.slots[w].conn);
+        match guard.as_mut() {
+            // No socket: the worker is down. The threaded world's push
+            // into a dead worker's slot also "succeeds" (nobody reads it),
+            // so this is not a drop — counting it would skew the
+            // cross-world message accounting.
+            None => true,
+            Some(stream) => {
+                if std::io::Write::write_all(stream, &self.frame).is_ok() {
+                    true
+                } else {
+                    drop(guard);
+                    self.sever_conn(w);
+                    false
+                }
+            }
+        }
+    }
+
+    fn advance_round(&mut self, k: u64) {
+        self.shared.round.store(k, Ordering::Release);
+        // Scheduled severs fire on the round edge: a real partition at a
+        // known protocol point, so tests can assert what it cost.
+        let shared = Arc::clone(&self.shared);
+        self.sever.retain(|&(w, at)| {
+            if k >= at {
+                if let Some(s) = lock(&shared.slots[w].conn).take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                    shared.sockets_severed.fetch_add(1, Ordering::AcqRel);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let mut frame = Vec::new();
+        write_msg(&mut frame, &Msg::Round { round: k }, &mut self.scratch)
+            .expect("writing to a Vec cannot fail");
+        for w in 0..self.shared.slots.len() {
+            let mut guard = lock(&self.shared.slots[w].conn);
+            if let Some(stream) = guard.as_mut() {
+                if std::io::Write::write_all(stream, &frame).is_err() {
+                    drop(guard);
+                    self.sever_conn(w);
+                }
+            }
+        }
+    }
+
+    fn wait_ready(&mut self, timeout: Duration) {
+        let _ = self.ready_rx.recv_timeout(timeout);
+    }
+
+    fn drain_ready(&mut self) {
+        while self.ready_rx.try_recv().is_ok() {}
+    }
+}
+
+/// Locates the worker binary: explicit config, then the `RNA_WORKER_EXE`
+/// environment variable, then siblings of the current executable (test
+/// runners live in `target/<profile>/deps`, the binary one level up).
+fn resolve_worker_exe(explicit: Option<&PathBuf>) -> PathBuf {
+    if let Some(p) = explicit {
+        return p.clone();
+    }
+    if let Ok(p) = std::env::var("RNA_WORKER_EXE") {
+        return PathBuf::from(p);
+    }
+    let name = format!("rna-worker{}", std::env::consts::EXE_SUFFIX);
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dir = exe.parent().map(PathBuf::from);
+        while let Some(d) = dir {
+            let candidate = d.join(&name);
+            if candidate.is_file() {
+                return candidate;
+            }
+            dir = d.parent().map(PathBuf::from);
+        }
+    }
+    panic!(
+        "cannot locate the rna-worker binary; set ProcessConfig::worker_exe \
+         or the RNA_WORKER_EXE environment variable"
+    );
+}
+
+/// Whether a fault directive is still ahead of a rejoining incarnation.
+/// `SlowFrom` is a permanent condition, not an event — a slow worker stays
+/// slow across restarts, as it does under the threaded `FaultExecutor`.
+fn still_pending(f: &WorkerFault, start_iter: u64, incarnation: u64) -> bool {
+    if incarnation == 0 {
+        return true;
+    }
+    match *f {
+        WorkerFault::SlowFrom { .. } => true,
+        WorkerFault::CrashAt { at_iter }
+        | WorkerFault::HangAt { at_iter, .. }
+        | WorkerFault::RestartAt { at_iter, .. } => at_iter > start_iter,
+    }
+}
+
+/// Accepts connections until stop: validates the Hello (token, worker
+/// index, expected incarnation), answers with the Setup frame, attaches
+/// the write half to the slot, and spawns a reader thread for the read
+/// half.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ProcShared>,
+    config: &ThreadedConfig,
+    ready_tx: &Sender<usize>,
+    join_tx: &Sender<usize>,
+) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // A wedged or hostile peer must not block the accept loop forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let (token, worker, incarnation) = match read_msg(&mut stream) {
+            Ok(Msg::Hello {
+                token,
+                worker,
+                incarnation,
+            }) => (token, worker, u64::from(incarnation)),
+            // Anything else — garbage, a port scanner, a truncated frame —
+            // is dropped without disturbing the run.
+            _ => continue,
+        };
+        let w = worker as usize;
+        if token != shared.token
+            || w >= shared.slots.len()
+            || incarnation != shared.slots[w].incarnation.load(Ordering::Acquire)
+        {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(None);
+        let slot = &shared.slots[w];
+        let start_iter = slot.start_iter.load(Ordering::Acquire);
+        let setup = WorkerSetup {
+            worker,
+            seed: config.seed,
+            batch_size: config.batch_size as u64,
+            max_lead: config.max_lead,
+            compute_lo_us: config.compute_us[w].0,
+            compute_hi_us: config.compute_us[w].1,
+            liveness_timeout_us: config.tolerance.liveness_timeout_us,
+            start_iter,
+            round: shared.round.load(Ordering::Acquire),
+            faults: config
+                .fault_plan
+                .for_worker(w)
+                .filter(|f| still_pending(f, start_iter, incarnation))
+                .collect(),
+            params: shared
+                .published
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        };
+        let mut scratch = Vec::new();
+        if write_msg(&mut stream, &Msg::Setup(setup), &mut scratch).is_err() {
+            continue;
+        }
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        *lock(&slot.conn) = Some(stream);
+        slot.heartbeat_us.store(shared.now_us(), Ordering::Release);
+        slot.alive.store(true, Ordering::Release);
+        slot.readers_started.fetch_add(1, Ordering::AcqRel);
+        {
+            let shared = Arc::clone(shared);
+            let ready_tx = ready_tx.clone();
+            std::thread::spawn(move || reader_loop(read_half, &shared, w, incarnation, &ready_tx));
+        }
+        let _ = join_tx.send(w);
+        let _ = ready_tx.send(w);
+    }
+}
+
+/// Consumes one incarnation's frames into the coordinator mirrors. Exits
+/// on EOF, socket error, or any protocol violation (which severs the
+/// connection rather than trusting the peer further).
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: &Arc<ProcShared>,
+    w: usize,
+    incarnation: u64,
+    ready_tx: &Sender<usize>,
+) {
+    let slot = &shared.slots[w];
+    loop {
+        match read_msg(&mut stream) {
+            Ok(Msg::Heartbeat { iter }) => {
+                slot.iterations.fetch_max(iter, Ordering::AcqRel);
+                slot.heartbeat_us.store(shared.now_us(), Ordering::Release);
+                let _ = ready_tx.send(w);
+            }
+            Ok(Msg::Grad { iter, grad }) => {
+                // A wrong-size gradient would poison the reduce; treat it
+                // as a protocol violation, not data.
+                if grad.len() != shared.param_len {
+                    break;
+                }
+                lock(&slot.cache).write(iter, grad);
+                slot.iterations.fetch_max(iter + 1, Ordering::AcqRel);
+                slot.heartbeat_us.store(shared.now_us(), Ordering::Release);
+                let _ = ready_tx.send(w);
+            }
+            Ok(Msg::Fate(f)) => {
+                let mut fate = lock(&slot.fate);
+                if fate.is_none() {
+                    *fate = Some(f);
+                }
+            }
+            // Coordinator-bound tags from a worker, or a broken frame:
+            // stop trusting the socket.
+            Ok(_) | Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    // Only the current incarnation's reader may declare the worker
+    // unreachable: a respawn may already have attached a fresh socket by
+    // the time the old reader drains its EOF.
+    if slot.incarnation.load(Ordering::Acquire) == incarnation {
+        slot.alive.store(false, Ordering::Release);
+        *lock(&slot.conn) = None;
+    }
+    slot.readers_exited.fetch_add(1, Ordering::AcqRel);
+    let _ = ready_tx.send(w);
+}
+
+/// Spawns and re-spawns worker `w`'s process: delivers scheduled SIGKILLs,
+/// classifies each death against the fault plan, executes planned rejoin
+/// delays, and applies the unplanned-death policy. Returns when the worker
+/// is permanently down or the run is stopping.
+#[allow(clippy::too_many_lines)]
+fn supervise_child(
+    config: &ProcessConfig,
+    shared: &Arc<ProcShared>,
+    w: usize,
+    exe: &PathBuf,
+    addr: &str,
+    ready_tx: &Sender<usize>,
+) {
+    let slot = &shared.slots[w];
+    let kill_at: Option<u64> = config
+        .kill9
+        .iter()
+        .filter(|&&(kw, _)| kw == w)
+        .map(|&(_, at)| at)
+        .min();
+    let planned_crash = config.base.fault_plan.crash_iter(w);
+    let mut planned_restart = config.base.fault_plan.restart_of(w);
+    let mut incarnation: u64 = 0;
+    let mut start_iter: u64 = 0;
+    let mut kill_fired = false;
+    loop {
+        slot.start_iter.store(start_iter, Ordering::Release);
+        slot.incarnation.store(incarnation, Ordering::Release);
+        // Reachability is granted optimistically at spawn (the threaded
+        // world's workers also start alive); the handshake refreshes the
+        // heartbeat, and a process that never connects goes stale and
+        // then exits.
+        slot.alive.store(true, Ordering::Release);
+        let spawned = Command::new(exe)
+            .arg(addr)
+            .arg(w.to_string())
+            .arg(shared.token.to_string())
+            .arg(incarnation.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn();
+        let mut child: Child = match spawned {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("failed to spawn worker {w}: {e}");
+                slot.alive.store(false, Ordering::Release);
+                *lock(&slot.fate) = Some(WorkerFate::Crashed {
+                    at_iter: slot.iterations.load(Ordering::Acquire),
+                });
+                let _ = ready_tx.send(w);
+                return;
+            }
+        };
+        // Wait for the process to exit, firing the SIGKILL schedule and
+        // honoring stop (with a grace window for the Stop frame to land).
+        let mut stopping = false;
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Err(_) => break,
+                Ok(None) => {}
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                stopping = true;
+                let deadline = Instant::now() + STOP_GRACE;
+                loop {
+                    if matches!(child.try_wait(), Ok(Some(_)) | Err(_)) {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                break;
+            }
+            if !kill_fired && kill_at.is_some_and(|at| shared.round.load(Ordering::Acquire) >= at) {
+                // The real thing: SIGKILL, unannounced. The only evidence
+                // is the socket going quiet.
+                let _ = child.kill();
+                kill_fired = true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if stopping {
+            return;
+        }
+        // The process is gone. Let the reader drain the socket's final
+        // frames (EOF arrives after buffered data) so the iteration mirror
+        // is complete before the death is classified.
+        let settle = Instant::now() + Duration::from_millis(500);
+        while slot.readers_exited.load(Ordering::Acquire)
+            < slot.readers_started.load(Ordering::Acquire)
+            && Instant::now() < settle
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        slot.alive.store(false, Ordering::Release);
+        *lock(&slot.conn) = None;
+        let _ = ready_tx.send(w);
+        let iters = slot.iterations.load(Ordering::Acquire);
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some((at, rejoin_after_us)) = planned_restart {
+            if iters == at {
+                // Planned crash-restart: the worker aborted on schedule.
+                // Sit out the down window, then rejoin from the
+                // coordinator-side checkpoint.
+                planned_restart = None;
+                *lock(&slot.fate) = Some(WorkerFate::Restarted {
+                    at_iter: at,
+                    rejoined: false,
+                });
+                let deadline = Instant::now() + Duration::from_micros(rejoin_after_us);
+                while !shared.stop.load(Ordering::Acquire) {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2).min(left));
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                *lock(&slot.fate) = Some(WorkerFate::Restarted {
+                    at_iter: at,
+                    rejoined: true,
+                });
+                start_iter = at;
+                incarnation += 1;
+                continue;
+            }
+        }
+        if planned_crash == Some(iters) {
+            // Planned permanent crash: record it and leave the worker
+            // down, like every other world.
+            *lock(&slot.fate) = Some(WorkerFate::Crashed { at_iter: iters });
+            return;
+        }
+        // Unplanned death: SIGKILL, severed socket, or a real bug.
+        if config.respawn_unplanned {
+            shared.worker_respawns.fetch_add(1, Ordering::AcqRel);
+            *lock(&slot.fate) = Some(WorkerFate::Restarted {
+                at_iter: iters,
+                rejoined: true,
+            });
+            start_iter = iters;
+            incarnation += 1;
+            continue;
+        }
+        *lock(&slot.fate) = Some(WorkerFate::Crashed { at_iter: iters });
+        return;
+    }
+}
+
+/// Runs a full training session with worker subprocesses over TCP and
+/// returns the result.
+///
+/// The controller logic, fault plans, tolerance knobs, and codec
+/// accounting are shared with [`crate::run_threaded`] — the only thing
+/// that changes is the transport, so the counters are directly comparable
+/// across worlds.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`crate::run_threaded`]), under
+/// [`SyncMode::Bsp`] (the barrier runtime has no process incarnation), if
+/// a kill/sever schedule names an absent worker, if the worker binary
+/// cannot be located, or if the initial cluster fails to connect within a
+/// generous timeout.
+pub fn run_process(config: &ProcessConfig) -> ProcessResult {
+    let base = &config.base;
+    validate_config(base);
+    assert!(
+        base.mode != SyncMode::Bsp,
+        "the process world implements the partial-collective modes"
+    );
+    let n = base.num_workers;
+    for &(w, _) in config.kill9.iter().chain(&config.sever) {
+        assert!(w < n, "kill/sever schedule names worker {w}");
+    }
+    let exe = resolve_worker_exe(config.worker_exe.as_ref());
+    let start = Instant::now();
+
+    // The shared RNG sequence: dataset, template, then the per-worker
+    // forks in worker order. The worker processes replay the identical
+    // sequence from the seed, so burning the forks here keeps the
+    // controller's probe/codec streams aligned with the threaded world.
+    let mut rng = SimRng::seed(base.seed);
+    let dataset = Arc::new(Dataset::blobs(256, 8, 4, 0.4, &mut rng));
+    let template = SoftmaxClassifier::new(8, 4, &mut rng);
+    for w in 0..n {
+        let _ = rng.fork(STREAM_SAMPLER + w as u64);
+        let _ = rng.fork(STREAM_COMPUTE + w as u64);
+    }
+    let token = SimRng::seed(base.seed ^ TOKEN_SALT).uniform_u64(0..u64::MAX);
+    let state = CtrlCheckpoint::initial(template.params().clone());
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral localhost port");
+    let addr = listener
+        .local_addr()
+        .expect("a bound listener has an address")
+        .to_string();
+
+    let shared = Arc::new(ProcShared {
+        slots: (0..n)
+            .map(|_| ProcSlot {
+                cache: Mutex::new(GradientCache::new(base.staleness_bound, true)),
+                iterations: AtomicU64::new(0),
+                heartbeat_us: AtomicU64::new(0),
+                alive: AtomicBool::new(false),
+                conn: Mutex::new(None),
+                fate: Mutex::new(None),
+                start_iter: AtomicU64::new(0),
+                incarnation: AtomicU64::new(0),
+                readers_started: AtomicU64::new(0),
+                readers_exited: AtomicU64::new(0),
+            })
+            .collect(),
+        round: AtomicU64::new(0),
+        published: RwLock::new(state.master.clone()),
+        start,
+        stop: AtomicBool::new(false),
+        liveness_timeout_us: base.tolerance.liveness_timeout_us,
+        token,
+        param_len: state.master.len(),
+        sockets_severed: AtomicU64::new(0),
+        worker_respawns: AtomicU64::new(0),
+    });
+
+    let (ready_tx, ready_rx): (Sender<usize>, Receiver<usize>) = channel();
+    let (join_tx, join_rx): (Sender<usize>, Receiver<usize>) = channel();
+
+    let accept_handle = {
+        let shared = Arc::clone(&shared);
+        let config = base.clone();
+        let ready_tx = ready_tx.clone();
+        std::thread::spawn(move || accept_loop(&listener, &shared, &config, &ready_tx, &join_tx))
+    };
+    let sup_handles: Vec<_> = (0..n)
+        .map(|w| {
+            let config = config.clone();
+            let shared = Arc::clone(&shared);
+            let exe = exe.clone();
+            let addr = addr.clone();
+            let ready_tx = ready_tx.clone();
+            std::thread::spawn(move || supervise_child(&config, &shared, w, &exe, &addr, &ready_tx))
+        })
+        .collect();
+
+    // Initial barrier: the run starts once the whole cluster has
+    // handshaken, so round 0 is not spent electing over an empty room.
+    let join_deadline = Instant::now() + JOIN_TIMEOUT;
+    let mut joined = 0usize;
+    while joined < n {
+        let left = join_deadline.saturating_duration_since(Instant::now());
+        assert!(
+            !left.is_zero(),
+            "only {joined}/{n} workers joined within {JOIN_TIMEOUT:?}"
+        );
+        if join_rx.recv_timeout(left).is_ok() {
+            joined += 1;
+        }
+    }
+
+    let store = base
+        .recovery_dir
+        .as_ref()
+        .map(|dir| CheckpointStore::new(dir).expect("recovery directory must be writable"));
+    let mut transport = ProcessTransport {
+        shared: Arc::clone(&shared),
+        ready_rx,
+        sever: config.sever.clone(),
+        frame: Vec::new(),
+        frame_round: None,
+        scratch: Vec::new(),
+    };
+    let (final_state, recovery) = supervise(base, &mut transport, &mut rng, state, store.as_ref());
+
+    // Teardown: stop, ask every live worker to finish gracefully (its
+    // Fate frame arrives through the reader), and let the child
+    // supervisors enforce the grace window.
+    shared.stop.store(true, Ordering::Release);
+    let mut scratch = Vec::new();
+    for slot in &shared.slots {
+        if let Some(stream) = lock(&slot.conn).as_mut() {
+            let _ = write_msg(stream, &Msg::Stop, &mut scratch);
+        }
+    }
+    for h in sup_handles {
+        let _ = h.join();
+    }
+    // Unblock the accept loop (it is parked in accept()).
+    let _ = TcpStream::connect(&addr);
+    let _ = accept_handle.join();
+
+    let worker_iterations: Vec<u64> = shared
+        .slots
+        .iter()
+        .map(|s| s.iterations.load(Ordering::Acquire))
+        .collect();
+    let worker_fates: Vec<WorkerFate> = shared
+        .slots
+        .iter()
+        .map(|s| lock(&s.fate).take().unwrap_or(WorkerFate::Healthy))
+        .collect();
+    let participation = final_state.participation_sum / base.rounds as f64;
+    let run = finish(
+        base,
+        dataset,
+        template,
+        final_state.master,
+        start,
+        worker_iterations,
+        participation,
+        worker_fates,
+        final_state.rounds_degraded,
+        final_state.deadline_overshoot_us,
+        final_state.net,
+        recovery,
+        final_state.data,
+    );
+    ProcessResult {
+        run,
+        worker_respawns: shared.worker_respawns.load(Ordering::Acquire),
+        sockets_severed: shared.sockets_severed.load(Ordering::Acquire),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn still_pending_filters_consumed_triggers_on_rejoin() {
+        let crash = WorkerFault::CrashAt { at_iter: 5 };
+        let slow = WorkerFault::SlowFrom {
+            from_iter: 0,
+            extra_us: 100,
+        };
+        let restart = WorkerFault::RestartAt {
+            at_iter: 5,
+            rejoin_after_us: 1,
+        };
+        // First incarnation gets everything, including iteration-0
+        // triggers.
+        assert!(still_pending(&crash, 0, 0));
+        assert!(still_pending(&restart, 0, 0));
+        // A rejoin at iteration 5 must not re-fire the restart that caused
+        // it, but keeps a later crash and any permanent slowdown.
+        assert!(!still_pending(&restart, 5, 1));
+        assert!(!still_pending(&crash, 5, 1));
+        assert!(still_pending(&WorkerFault::CrashAt { at_iter: 9 }, 5, 1));
+        assert!(still_pending(&slow, 5, 1));
+    }
+
+    #[test]
+    fn worker_exe_resolution_prefers_explicit_path() {
+        let explicit = PathBuf::from("/does/not/matter/rna-worker");
+        assert_eq!(resolve_worker_exe(Some(&explicit)), explicit);
+    }
+}

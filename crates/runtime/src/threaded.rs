@@ -5,18 +5,18 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use rna_core::cache::GradientCache;
-use rna_core::fault::{
-    live_majority, probe_round_stalled, FaultPlan, NetFaultPlan, ToleranceConfig, WorkerFate,
-};
+use rna_core::fault::{FaultPlan, NetFaultPlan, ToleranceConfig, WorkerFate};
 use rna_core::recovery::{CheckpointStore, RecoveryConfig, RecoveryError};
 use rna_simnet::SimRng;
-use rna_tensor::codec;
-use rna_tensor::wire::{self, Reader};
 use rna_tensor::{Compression, Tensor, TensorPool};
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model, Sgd};
 
-use crate::fault::{FaultExecutor, IterDirective, NetShim};
+use crate::fault::{FaultExecutor, IterDirective};
+use crate::transport::{
+    decode_ctrl_checkpoint, lock, reduce_contributions_into, supervise, CtrlCheckpoint,
+    DatapathCounters, NetCounters, RecoveryCounters, Transport, STREAM_COMPUTE, STREAM_SAMPLER,
+};
 
 /// Which synchronization strategy the threaded runtime runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,19 +29,6 @@ pub enum SyncMode {
     /// the round fires when more than half the live caches are ready.
     EagerMajority,
 }
-
-/// Disjoint RNG stream namespaces for the threaded runtime. Earlier code
-/// forked worker streams at `10 + w` and `50 + w`, which collide once the
-/// cluster reaches 40 workers (worker 40's sampler stream equals worker
-/// 0's compute stream). Spacing the namespaces `1 << 32` apart keeps every
-/// role disjoint for any realistic worker count.
-const STREAM_SAMPLER: u64 = 1 << 32;
-const STREAM_COMPUTE: u64 = 2 << 32;
-const STREAM_PROBE: u64 = 3 << 32;
-/// Codec stream (stochastic-rounding draws), forked per controller
-/// incarnation like [`STREAM_PROBE`] so a failed-over controller replays
-/// deterministic draws without sharing the probe stream.
-const STREAM_CODEC: u64 = 4 << 32;
 
 /// Configuration of a threaded run.
 #[derive(Debug, Clone)]
@@ -72,8 +59,8 @@ pub struct ThreadedConfig {
     /// forever).
     pub fault_plan: FaultPlan,
     /// Injected network faults (lossy links, flaps, partitions), executed
-    /// by the controller through a [`NetShim`]. BSP rejects these too: a
-    /// single lost gradient wedges its barrier.
+    /// by the controller through a [`crate::fault::NetShim`]. BSP rejects
+    /// these too: a single lost gradient wedges its barrier.
     pub net_fault_plan: NetFaultPlan,
     /// Liveness / deadline / backoff knobs for the fault-tolerance paths.
     pub tolerance: ToleranceConfig,
@@ -191,6 +178,11 @@ pub struct ThreadedResult {
     /// gradient could be assembled (cluster dead or every cached gradient
     /// beyond the staleness bound).
     pub rounds_degraded: u64,
+    /// Microseconds degraded rounds ran past `round_deadline_us`, summed.
+    /// Waits are clamped to the true remaining budget, so this measures
+    /// scheduler wake-up latency only; the earlier 1 ms-floored waits
+    /// could legally overshoot by a millisecond per late contributor.
+    pub deadline_overshoot_us: u64,
     /// Real elapsed wall-clock time.
     pub wall: Duration,
     /// Final loss over the full dataset.
@@ -248,7 +240,7 @@ impl ThreadedResult {
     }
 }
 
-struct WorkerSlot {
+pub(crate) struct WorkerSlot {
     cache: Mutex<GradientCache>,
     /// The worker's view of the parameters. The controller publishes each
     /// round's master as one shared `Arc` snapshot — replacing `n` deep
@@ -264,7 +256,7 @@ struct WorkerSlot {
     alive: AtomicBool,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     slots: Vec<WorkerSlot>,
     round: AtomicU64,
     stop: AtomicBool,
@@ -313,14 +305,80 @@ impl Shared {
     }
 }
 
-/// Locks a mutex, recovering from poisoning instead of propagating the
-/// panic: a worker thread that died mid-critical-section must degrade the
-/// run (its fate is recorded at join time), not abort the whole process.
-/// The guarded structures (caches, snapshots) are written atomically from
-/// the protocol's point of view — a poisoned guard still holds a
-/// consistent value, at worst a stale one.
-fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// [`Transport`] over shared memory: the controller reads the worker
+/// slots directly and "pushes" parameters by swapping `Arc` snapshots.
+struct ThreadedTransport<'a> {
+    shared: &'a Shared,
+    ready_rx: Receiver<usize>,
+}
+
+impl Transport for ThreadedTransport<'_> {
+    fn now_us(&self) -> u64 {
+        self.shared.now_us()
+    }
+
+    fn is_dead(&self, w: usize) -> bool {
+        self.shared.is_dead(w)
+    }
+
+    fn all_dead(&self) -> bool {
+        self.shared.all_dead()
+    }
+
+    fn live_view(&self) -> Vec<bool> {
+        self.shared.live_view()
+    }
+
+    fn heartbeat_us(&self, w: usize) -> u64 {
+        self.shared.slots[w].heartbeat_us.load(Ordering::Acquire)
+    }
+
+    fn cache_ready(&self, w: usize) -> bool {
+        !lock(&self.shared.slots[w].cache).is_empty()
+    }
+
+    fn drain(&mut self, w: usize, round: u64, pool: &mut TensorPool) -> Option<Tensor> {
+        lock(&self.shared.slots[w].cache).take_contribution_pooled(round, pool)
+    }
+
+    fn purge(&mut self, w: usize, staleness_bound: usize) {
+        *lock(&self.shared.slots[w].cache) = GradientCache::new(staleness_bound, true);
+    }
+
+    fn push_params(
+        &mut self,
+        w: usize,
+        _round: u64,
+        snap: &Arc<Tensor>,
+        pool: &mut TensorPool,
+    ) -> bool {
+        let prev = std::mem::replace(
+            &mut *self.shared.slots[w]
+                .params
+                .write()
+                .unwrap_or_else(PoisonError::into_inner),
+            Arc::clone(snap),
+        );
+        // The last reference to the previous round's snapshot recycles its
+        // buffer.
+        if let Some(t) = Arc::into_inner(prev) {
+            pool.release(t);
+        }
+        true
+    }
+
+    fn advance_round(&mut self, k: u64) {
+        self.shared.round.store(k, Ordering::Release);
+        self.shared.pause_cv.notify_all();
+    }
+
+    fn wait_ready(&mut self, timeout: Duration) {
+        let _ = self.ready_rx.recv_timeout(timeout);
+    }
+
+    fn drain_ready(&mut self) {
+        while self.ready_rx.try_recv().is_ok() {}
+    }
 }
 
 /// Runs a full training session on real OS threads and returns the result.
@@ -403,7 +461,7 @@ pub fn resume_threaded(config: &ThreadedConfig) -> Result<ThreadedResult, Recove
     Ok(run_rna(config, dataset, template, rng, Some(ck)))
 }
 
-fn validate_config(config: &ThreadedConfig) {
+pub(crate) fn validate_config(config: &ThreadedConfig) {
     assert!(config.num_workers > 0, "need at least one worker");
     assert!(config.rounds > 0, "need at least one round");
     assert_eq!(
@@ -441,14 +499,14 @@ fn validate_config(config: &ThreadedConfig) {
     }
 }
 
-fn sleep_range(rng: &mut SimRng, (lo, hi): (u64, u64)) {
+pub(crate) fn sleep_range(rng: &mut SimRng, (lo, hi): (u64, u64)) {
     let us = if hi > lo { rng.uniform_u64(lo..hi) } else { lo };
     std::thread::sleep(Duration::from_micros(us));
 }
 
 /// Sleeps `total` in small slices, bailing out early when `stop` is set,
 /// so a long injected hang cannot outlive the run by more than one slice.
-fn interruptible_sleep(total: Duration, stop: &AtomicBool) {
+pub(crate) fn interruptible_sleep(total: Duration, stop: &AtomicBool) {
     let slice = Duration::from_millis(10);
     let deadline = Instant::now() + total;
     while !stop.load(Ordering::Acquire) {
@@ -519,6 +577,7 @@ fn run_bsp(
     }
     drop(snapshot);
     let mut rounds_degraded: u64 = 0;
+    let mut deadline_overshoot_us: u64 = 0;
     let round_deadline = Duration::from_micros(config.tolerance.round_deadline_us);
     for round in 0..config.rounds {
         let round_start = Instant::now();
@@ -528,9 +587,16 @@ fn run_bsp(
         while received < n {
             // A worker thread that panicked (or wedged) must not stall the
             // barrier forever: the round completes degraded at the
-            // deadline instead, recorded as a fate at join time.
-            let remaining = round_deadline.saturating_sub(round_start.elapsed());
-            match grad_rx.recv_timeout(remaining.max(Duration::from_millis(1))) {
+            // deadline instead, recorded as a fate at join time. The wait
+            // is the *true* remaining budget — the earlier 1 ms floor let
+            // every late contributor push the round up to 1 ms past its
+            // deadline.
+            let elapsed = round_start.elapsed();
+            if elapsed >= round_deadline {
+                degraded = true;
+                break;
+            }
+            match grad_rx.recv_timeout(round_deadline - elapsed) {
                 Ok((w, g)) => {
                     if grads[w].is_none() {
                         received += 1;
@@ -542,15 +608,20 @@ fn run_bsp(
                     break;
                 }
             }
-            if round_start.elapsed() >= round_deadline {
-                degraded = received < n;
-                break;
-            }
         }
         if degraded {
             // Strict barrier semantics: an incomplete round applies no
-            // update (BSP has no notion of a partial collective).
+            // update (BSP has no notion of a partial collective). Whatever
+            // the scheduler added past the deadline is accounted, not
+            // silently swallowed.
             rounds_degraded += 1;
+            deadline_overshoot_us += u64::try_from(
+                round_start
+                    .elapsed()
+                    .saturating_sub(round_deadline)
+                    .as_micros(),
+            )
+            .unwrap_or(u64::MAX);
             for g in grads.into_iter().flatten() {
                 pool.release(g);
             }
@@ -606,6 +677,7 @@ fn run_bsp(
         1.0,
         worker_fates,
         rounds_degraded,
+        deadline_overshoot_us,
         NetCounters::default(),
         RecoveryCounters::default(),
         DatapathCounters::default(),
@@ -621,16 +693,7 @@ fn run_rna(
 ) -> ThreadedResult {
     let n = config.num_workers;
     let start = Instant::now();
-    let state = resume.unwrap_or_else(|| CtrlCheckpoint {
-        round: 0,
-        master: template.params().clone(),
-        velocity: Tensor::zeros(template.params().len()),
-        participation_sum: 0.0,
-        rounds_degraded: 0,
-        net: NetCounters::default(),
-        data: DatapathCounters::default(),
-        checkpoints_written: 0,
-    });
+    let state = resume.unwrap_or_else(|| CtrlCheckpoint::initial(template.params().clone()));
     let init_params = Arc::new(state.master.clone());
     let shared = Arc::new(Shared {
         slots: (0..n)
@@ -650,6 +713,11 @@ fn run_rna(
         liveness_timeout_us: config.tolerance.liveness_timeout_us,
     });
     let (ready_tx, ready_rx): (Sender<usize>, Receiver<usize>) = channel();
+    // Parked workers re-check the round counter (and heartbeat) at this
+    // cadence even without a wake-up; it only bounds how stale a missed
+    // notify can go, so a healthy fraction of the liveness window is
+    // enough — no 1 ms polling.
+    let park_recheck = Duration::from_micros((config.tolerance.liveness_timeout_us / 4).max(1_000));
     let mut handles = Vec::new();
     for w in 0..n {
         let shared = Arc::clone(&shared);
@@ -667,8 +735,11 @@ fn run_rna(
                 match faults.on_iteration_start(local_iter) {
                     IterDirective::Crash => {
                         // Dead forever: flag it so the controller stops
-                        // probing / counting this worker immediately.
+                        // probing / counting this worker immediately, and
+                        // wake it — a death changes the electorate just
+                        // like a deposit does.
                         shared.slots[w].alive.store(false, Ordering::Release);
+                        let _ = ready_tx.send(w);
                         break;
                     }
                     IterDirective::Restart(down_for) => {
@@ -678,12 +749,14 @@ fn run_rna(
                         // controller keeps pushing to it), and re-enters
                         // the liveness view via its next heartbeat.
                         shared.slots[w].alive.store(false, Ordering::Release);
+                        let _ = ready_tx.send(w);
                         interruptible_sleep(down_for, &shared.stop);
                         if shared.stop.load(Ordering::Acquire) {
                             break;
                         }
                         faults.mark_rejoined();
                         shared.slots[w].alive.store(true, Ordering::Release);
+                        let _ = ready_tx.send(w);
                     }
                     IterDirective::HangFor(d) => {
                         // Frozen: no heartbeats until the hang lifts.
@@ -694,13 +767,15 @@ fn run_rna(
                 shared.heartbeat(w);
                 // Bounded lead: park until the round counter catches up,
                 // heartbeating so a parked worker is not presumed dead.
+                // The controller's `advance_round` notifies the condvar;
+                // the timeout is only a missed-wakeup backstop.
                 while !shared.stop.load(Ordering::Acquire)
                     && local_iter.saturating_sub(shared.round.load(Ordering::Acquire)) >= max_lead
                 {
                     let guard = lock(&shared.pause_lock);
                     let _unused = shared
                         .pause_cv
-                        .wait_timeout(guard, Duration::from_millis(1))
+                        .wait_timeout(guard, park_recheck)
                         .unwrap_or_else(PoisonError::into_inner);
                     shared.heartbeat(w);
                 }
@@ -738,81 +813,12 @@ fn run_rna(
         .recovery_dir
         .as_ref()
         .map(|dir| CheckpointStore::new(dir).expect("recovery directory must be writable"));
-    let crashes: Vec<u64> = config.fault_plan.controller_crashes().to_vec();
-    let plane = CtrlPlane {
-        heartbeat_us: AtomicU64::new(0),
-        slot: Mutex::new(Some(state.clone())),
+    let mut transport = ThreadedTransport {
+        shared: &shared,
+        ready_rx,
     };
-    let mut state = state;
-    let mut term: usize = 0;
-    let mut recovery = RecoveryCounters::default();
-    let mut ready_rx = ready_rx;
-    let final_state = loop {
-        // Each incarnation is a real (scoped) thread: a planned crash makes
-        // it exit mid-run, exactly like a controller process dying. Every
-        // term forks its own probe stream; term 0's fork is the run's
-        // first, so fault-free runs elect the same initiators as before
-        // the standby machinery existed.
-        let crash_at = crashes.get(term).copied();
-        let mut probe_rng = rng.fork(STREAM_PROBE + term as u64);
-        let mut codec_rng = rng.fork(STREAM_CODEC + term as u64);
-        let incarnation = state.clone();
-        let rx = ready_rx;
-        let outcome = std::thread::scope(|scope| {
-            scope
-                .spawn(|| {
-                    controller_loop(
-                        config,
-                        &shared,
-                        &plane,
-                        store.as_ref(),
-                        incarnation,
-                        &mut probe_rng,
-                        &mut codec_rng,
-                        crash_at,
-                        rx,
-                    )
-                })
-                .join()
-        });
-        let (result, rx) = match outcome {
-            Ok(pair) => pair,
-            // A genuine (unplanned) controller panic is a harness bug, not
-            // an injected fault; surface it.
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        ready_rx = rx;
-        match result {
-            Some(done) => break done,
-            None => {
-                // The controller died. The standby must not seize the round
-                // until the lease expires — a live-but-slow incumbent may
-                // still hold it — then it replays from the last checkpoint.
-                // Workers are oblivious: the lead gate parks them against
-                // the rolled-back round counter and their caches keep
-                // serving the reborn controller.
-                let lease = config.tolerance.liveness_timeout_us;
-                while shared
-                    .now_us()
-                    .saturating_sub(plane.heartbeat_us.load(Ordering::Acquire))
-                    < lease
-                {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                let recovered = lock(&plane.slot)
-                    .clone()
-                    .expect("standby slot is seeded before the first incarnation");
-                recovery.controller_failovers += 1;
-                recovery.failover_rounds_lost += crash_at
-                    .unwrap_or(recovered.round)
-                    .saturating_sub(recovered.round);
-                shared.round.store(recovered.round, Ordering::Release);
-                shared.pause_cv.notify_all();
-                state = recovered;
-                term += 1;
-            }
-        }
-    };
+    let (final_state, recovery) =
+        supervise(config, &mut transport, &mut rng, state, store.as_ref());
     shared.stop.store(true, Ordering::Release);
     shared.pause_cv.notify_all();
     let worker_fates: Vec<WorkerFate> = handles
@@ -837,7 +843,6 @@ fn run_rna(
     // Rounds redone after a failover died with their incarnation's tallies,
     // so the surviving lineage counts every round exactly once.
     let participation = final_state.participation_sum / config.rounds as f64;
-    recovery.checkpoints_written = final_state.checkpoints_written;
     finish(
         config,
         dataset,
@@ -848,533 +853,15 @@ fn run_rna(
         participation,
         worker_fates,
         final_state.rounds_degraded,
+        final_state.deadline_overshoot_us,
         final_state.net,
         recovery,
         final_state.data,
     )
 }
 
-/// One controller incarnation: executes rounds `ck.round..config.rounds`,
-/// heartbeating its lease at every round top and cutting a checkpoint
-/// (warm-standby slot, plus disk when a store is configured) every
-/// `checkpoint_every` rounds. Returns `None` when the fault plan kills the
-/// incarnation — *before* executing the crash round, so progress since the
-/// last checkpoint is genuinely lost — and the finished state otherwise.
-/// The readiness receiver is threaded back out so the next incarnation can
-/// inherit it.
 #[allow(clippy::too_many_arguments)]
-fn controller_loop(
-    config: &ThreadedConfig,
-    shared: &Shared,
-    plane: &CtrlPlane,
-    store: Option<&CheckpointStore>,
-    mut ck: CtrlCheckpoint,
-    probe_rng: &mut SimRng,
-    codec_rng: &mut SimRng,
-    crash_at: Option<u64>,
-    ready_rx: Receiver<usize>,
-) -> (Option<CtrlCheckpoint>, Receiver<usize>) {
-    let n = config.num_workers;
-    let mut master = ck.master.clone();
-    let mut opt = Sgd::new(config.lr, 0.0, 0.0, master.len());
-    opt.set_velocity(&ck.velocity);
-    let mut pool = TensorPool::new();
-    let mut purged = vec![false; n];
-    let wire_codec = config.compression;
-    // Per-worker error-feedback residuals. Like the pool, they live with
-    // the incarnation: a failed-over controller starts with clean
-    // residuals, which only costs the (bounded) error the dead incarnation
-    // still owed — the telescoping restarts from zero.
-    let mut residuals: Vec<Option<Tensor>> = vec![None; n];
-    let mut codec_buf: Vec<u8> = Vec::new();
-    let mut shim = NetShim::new(&config.net_fault_plan, n);
-    let ctrl = shim.controller_id();
-    let round_deadline = Duration::from_micros(config.tolerance.round_deadline_us);
-    let probe_backoff = Duration::from_micros(config.tolerance.probe_backoff_us);
-    for k in ck.round..config.rounds {
-        if crash_at == Some(k) {
-            return (None, ready_rx);
-        }
-        plane.heartbeat_us.store(shared.now_us(), Ordering::Release);
-        // Drain stale readiness notifications so the channel cannot grow
-        // without bound: the notifications only say "some cache changed",
-        // and the caches are re-polled below anyway.
-        while ready_rx.try_recv().is_ok() {}
-
-        let round_start = Instant::now();
-        let mut degraded = false;
-        // The worker whose readiness fired the round. Partition semantics
-        // follow the simulator's `launch_reduce`: gradients and parameter
-        // broadcasts ride initiator↔member links, so a member severed from
-        // the initiator sits the round out (the controller itself is a
-        // partition bridge — the paper's stateless, replicable scheduler).
-        let mut initiator: Option<usize> = None;
-        match config.mode {
-            SyncMode::EagerMajority => {
-                // eager-SGD: wait for a majority of the *live* electorate.
-                loop {
-                    if shared.all_dead() {
-                        degraded = true;
-                        break;
-                    }
-                    let live = shared.live_view();
-                    let ready: Vec<usize> = (0..n)
-                        .filter(|&w| !shared.is_dead(w))
-                        .filter(|&w| !lock(&shared.slots[w].cache).is_empty())
-                        .collect();
-                    let need = live_majority(live.iter().filter(|&&l| l).count());
-                    if ready.len() >= need {
-                        initiator = ready.first().copied();
-                        break;
-                    }
-                    if round_start.elapsed() >= round_deadline {
-                        degraded = true;
-                        break;
-                    }
-                    let _ = ready_rx.recv_timeout(Duration::from_millis(1));
-                }
-            }
-            _ => {
-                // RNA: power-of-d probing over live workers — wait until a
-                // probed worker is ready, resampling away from workers that
-                // died or went silent (backoff-paced so a merely slow
-                // probed set still gets a chance to answer). Each probe is
-                // a controller→worker→controller RPC pair: the shim may
-                // eat either leg, and an election that loses every probe
-                // to the fabric is retried with exponential backoff — an
-                // idempotent re-issue, never a wedge.
-                let mut backoff = probe_backoff;
-                let (mut probed, lost) =
-                    probe_rpc(probe_rng, shared, config.probes, &mut shim, ctrl);
-                ck.net.messages_dropped += lost;
-                let mut last_lost = lost > 0;
-                let mut last_sample = Instant::now();
-                loop {
-                    if shared.all_dead() {
-                        degraded = true;
-                        break;
-                    }
-                    if let Some(&w) = probed
-                        .iter()
-                        .find(|&&w| !shared.is_dead(w) && !lock(&shared.slots[w].cache).is_empty())
-                    {
-                        initiator = Some(w);
-                        break;
-                    }
-                    let live = shared.live_view();
-                    if probed.is_empty()
-                        || probe_round_stalled(&probed, &live)
-                        || last_sample.elapsed() >= backoff
-                    {
-                        if last_lost {
-                            ck.net.probe_retries += 1;
-                            backoff = backoff
-                                .saturating_mul(2)
-                                .min(Duration::from_micros(config.tolerance.probe_backoff_cap_us));
-                        }
-                        let (fresh, lost) =
-                            probe_rpc(probe_rng, shared, config.probes, &mut shim, ctrl);
-                        ck.net.messages_dropped += lost;
-                        last_lost = lost > 0;
-                        probed = fresh;
-                        last_sample = Instant::now();
-                    }
-                    if round_start.elapsed() >= round_deadline {
-                        degraded = true;
-                        break;
-                    }
-                    let _ = ready_rx.recv_timeout(Duration::from_millis(1));
-                }
-            }
-        }
-
-        // Force the partial collective: drain every live cache. A dead
-        // worker's cache is purged once — its final gradient is discarded,
-        // matching the simulator's crash semantics (a restarted worker
-        // refills it after rejoining). A worker severed from the
-        // controller keeps its cache untouched — its island keeps
-        // accumulating and reconciles on heal — while a gradient lost to
-        // a lossy link becomes a null in the partial collective.
-        let mut severed = false;
-        let now_us = shared.now_us();
-        let gather = initiator.unwrap_or(ctrl);
-        // Everything from the cache drain through the applied update is the
-        // fused reduce region; the alloc delta (debug builds) proves its
-        // steady-state rounds recycle pooled buffers instead of allocating.
-        // The parameter broadcast below is excluded: snapshot buffers are
-        // reclaimed by whichever thread drops the last `Arc`, so their pool
-        // hits are timing-dependent by design.
-        let allocs_before = rna_tensor::alloc::count();
-        let mut contributions: Vec<Option<Tensor>> = (0..n)
-            .map(|w| {
-                if shared.is_dead(w) {
-                    if !purged[w] {
-                        purged[w] = true;
-                        *lock(&shared.slots[w].cache) =
-                            GradientCache::new(config.staleness_bound, true);
-                    }
-                    None
-                } else {
-                    purged[w] = false;
-                    if !shim.link_up(w, gather, now_us) {
-                        severed = true;
-                        return None;
-                    }
-                    match lock(&shared.slots[w].cache).take_contribution_pooled(k, &mut pool) {
-                        Some(g) if shim.deliver(w, gather, now_us) => Some(g),
-                        Some(g) => {
-                            ck.net.messages_dropped += 1;
-                            pool.release(g);
-                            None
-                        }
-                        None => None,
-                    }
-                }
-            })
-            .collect();
-        if severed {
-            ck.net.partition_rounds += 1;
-        }
-        // The wire codec runs where the gradient crosses the network: each
-        // delivered contribution becomes decode(encode(grad + residual)),
-        // and the dropped remainder waits in the worker's residual for its
-        // next contribution (error feedback). Lossless is the identity and
-        // only accounts the frame bytes a lossless wire would move.
-        for (w, slot) in contributions.iter_mut().enumerate() {
-            let Some(g) = slot.as_mut() else { continue };
-            let lossless_frame = Compression::Lossless.frame_bytes(g.len());
-            if wire_codec.is_lossless() {
-                ck.data.bytes_on_wire += lossless_frame;
-                continue;
-            }
-            let residual = residuals[w].get_or_insert_with(|| Tensor::zeros(g.len()));
-            let mut draw = || codec_rng.uniform_u64(0..1 << 32) as u32;
-            let (frame, err) =
-                codec::encode_with_feedback(wire_codec, g, residual, &mut codec_buf, &mut draw);
-            ck.data.bytes_on_wire += frame;
-            ck.data.bytes_saved += lossless_frame.saturating_sub(frame);
-            ck.data.codec_error_l2 += err;
-        }
-        let weights: Vec<f32> = contributions
-            .iter()
-            .map(|c| if c.is_some() { 1.0 } else { 0.0 })
-            .collect();
-        let m: f32 = weights.iter().sum();
-        if m > 0.0 && !degraded {
-            // Fused partial collective: nulls are skipped instead of being
-            // materialized as zero tensors, the mean lands in a pooled
-            // buffer, and wide tensors split across cores (bit-identical to
-            // the null-padded `weighted_average` the naive path computed).
-            let mut reduced = pool.acquire(master.len());
-            reduce_contributions_into(&mut reduced, &contributions, m);
-            // Linear Scaling Rule: learning rate × contributor count.
-            opt.step(&mut master, &reduced, m);
-            pool.release(reduced);
-            ck.data.allocs += rna_tensor::alloc::count() - allocs_before;
-            ck.participation_sum += f64::from(m) / n as f64;
-            let push_us = shared.now_us();
-            // One shared snapshot per round; slots swap Arcs, and the last
-            // reference to the previous round's snapshot recycles its
-            // buffer.
-            let mut snap = pool.acquire(master.len());
-            snap.copy_from(&master);
-            let snapshot = Arc::new(snap);
-            for (w, slot) in shared.slots.iter().enumerate() {
-                // The parameter push rides the same faulty fabric: a
-                // severed or unlucky worker keeps its stale view and
-                // catches up on a later round's push.
-                if !shim.deliver(gather, w, push_us) {
-                    ck.net.messages_dropped += 1;
-                    continue;
-                }
-                let prev = std::mem::replace(
-                    &mut *slot.params.write().unwrap_or_else(PoisonError::into_inner),
-                    Arc::clone(&snapshot),
-                );
-                if let Some(t) = Arc::into_inner(prev) {
-                    pool.release(t);
-                }
-            }
-        } else {
-            // Nothing usable this round (cluster dead, or every cached
-            // gradient fell past the staleness bound): complete the round
-            // degraded rather than blocking the run.
-            ck.rounds_degraded += 1;
-            ck.data.allocs += rna_tensor::alloc::count() - allocs_before;
-        }
-        for g in contributions.into_iter().flatten() {
-            pool.release(g);
-        }
-        shared.round.store(k + 1, Ordering::Release);
-        shared.pause_cv.notify_all();
-        if (k + 1) % config.checkpoint_every == 0 && k + 1 < config.rounds {
-            cut_checkpoint(&mut ck, k + 1, &master, &opt, plane, store);
-        }
-    }
-    // Final cut: the finished state is itself a checkpoint, so resuming a
-    // completed run replays nothing.
-    cut_checkpoint(&mut ck, config.rounds, &master, &opt, plane, store);
-    (Some(ck), ready_rx)
-}
-
-/// Captures the control plane into `ck`, publishes it to the warm-standby
-/// slot, and — when a store is configured — persists the same bytes
-/// crash-consistently on disk. A disk-write failure degrades the run to
-/// warm-standby-only recovery instead of killing it.
-fn cut_checkpoint(
-    ck: &mut CtrlCheckpoint,
-    round: u64,
-    master: &Tensor,
-    opt: &Sgd,
-    plane: &CtrlPlane,
-    store: Option<&CheckpointStore>,
-) {
-    ck.round = round;
-    ck.master.copy_from(master);
-    ck.velocity.copy_from(opt.velocity());
-    ck.checkpoints_written += 1;
-    *lock(&plane.slot) = Some(ck.clone());
-    if let Some(store) = store {
-        let mut payload = Vec::new();
-        encode_ctrl_checkpoint(ck, &mut payload);
-        if let Err(e) = store.save(&payload) {
-            eprintln!(
-                "controller checkpoint write failed (warm standby still covers a crash): {e}"
-            );
-        }
-    }
-}
-
-/// One probe election attempt over the faulty fabric: samples candidates,
-/// then rolls the controller→worker probe and the worker→controller reply
-/// on the shim. Returns the candidates whose RPC round-trip survived and
-/// how many messages the fabric ate (0 on a clean fabric, where this is
-/// exactly [`sample_probes`]).
-fn probe_rpc(
-    rng: &mut SimRng,
-    shared: &Shared,
-    probes: usize,
-    shim: &mut NetShim,
-    ctrl: usize,
-) -> (Vec<usize>, u64) {
-    let sampled = sample_probes(rng, shared, probes);
-    if !shim.enabled() {
-        return (sampled, 0);
-    }
-    let now_us = shared.now_us();
-    let mut lost = 0;
-    let survived = sampled
-        .into_iter()
-        .filter(|&w| {
-            let ok = shim.deliver(ctrl, w, now_us) && shim.deliver(w, ctrl, now_us);
-            if !ok {
-                lost += 1;
-            }
-            ok
-        })
-        .collect();
-    (survived, lost)
-}
-
-/// Draws up to `probes` distinct candidates from the live view; when no
-/// worker is live (all silent, e.g. mid-hang) falls back to the not-yet-
-/// crashed set so a recovering worker can still be elected.
-fn sample_probes(rng: &mut SimRng, shared: &Shared, probes: usize) -> Vec<usize> {
-    let live = shared.live_view();
-    let mut pool: Vec<usize> = (0..live.len()).filter(|&w| live[w]).collect();
-    if pool.is_empty() {
-        pool = (0..live.len()).filter(|&w| !shared.is_dead(w)).collect();
-    }
-    if pool.is_empty() {
-        return Vec::new();
-    }
-    let d = probes.clamp(1, pool.len());
-    rng.choose_distinct(pool.len(), d)
-        .into_iter()
-        .map(|i| pool[i])
-        .collect()
-}
-
-/// Fused mean of the contributing gradients: `out[i] = Σ g[i] / m` over the
-/// `Some` entries, in slot order. Bit-identical to zero-padding the `None`s
-/// and computing a uniformly weighted average (per-element accumulation
-/// starts at 0 and adds contributions in the same order; chunking splits
-/// only *across* elements, never within one element's sum), which is what
-/// the naive controller did.
-///
-/// Wide tensors are split across cores with scoped threads; below
-/// [`PAR_MIN_ELEMS_PER_THREAD`] elements per core — or on a single-core
-/// host — the reduction runs sequentially, with the identical result.
-fn reduce_contributions_into(out: &mut Tensor, contributions: &[Option<Tensor>], m: f32) {
-    let threads = parallelism_for(out.len());
-    reduce_contributions_with(out, contributions, m, threads);
-}
-
-/// Minimum elements each reduction thread must own before fan-out pays for
-/// itself; below this the scoped-thread setup dwarfs the arithmetic.
-const PAR_MIN_ELEMS_PER_THREAD: usize = 4096;
-
-fn parallelism_for(len: usize) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    cores.min(len / PAR_MIN_ELEMS_PER_THREAD).max(1)
-}
-
-/// [`reduce_contributions_into`] with an explicit thread count (tests force
-/// the parallel path on small tensors to prove it matches the sequential
-/// one bit-for-bit).
-fn reduce_contributions_with(
-    out: &mut Tensor,
-    contributions: &[Option<Tensor>],
-    m: f32,
-    threads: usize,
-) {
-    let inv = 1.0 / m;
-    let inputs: Vec<&Tensor> = contributions.iter().flatten().collect();
-    let out = out.as_mut_slice();
-    if threads <= 1 || out.is_empty() {
-        reduce_segment(out, &inputs, 0, inv);
-        return;
-    }
-    let chunk = out.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (idx, piece) in out.chunks_mut(chunk).enumerate() {
-            let inputs = &inputs;
-            scope.spawn(move || reduce_segment(piece, inputs, idx * chunk, inv));
-        }
-    });
-}
-
-/// Sequential fused kernel over one element range: zero, accumulate each
-/// input's matching segment in order, scale once.
-fn reduce_segment(out: &mut [f32], inputs: &[&Tensor], offset: usize, inv: f32) {
-    out.fill(0.0);
-    for t in inputs {
-        let src = &t.as_slice()[offset..offset + out.len()];
-        for (o, s) in out.iter_mut().zip(src) {
-            *o += s;
-        }
-    }
-    for o in out.iter_mut() {
-        *o *= inv;
-    }
-}
-
-/// Controller-side tallies of what the network shim did to the run.
-#[derive(Debug, Clone, Copy, Default)]
-struct NetCounters {
-    messages_dropped: u64,
-    probe_retries: u64,
-    partition_rounds: u64,
-}
-
-/// Controller-side tallies of the gradient data path: what the wire codec
-/// did to the drained contributions, and what the fused reduce region
-/// allocated. Checkpointed so a failed-over or resumed controller keeps
-/// the cumulative totals.
-#[derive(Debug, Clone, Copy, Default)]
-struct DatapathCounters {
-    allocs: u64,
-    bytes_on_wire: u64,
-    bytes_saved: u64,
-    codec_error_l2: f64,
-}
-
-/// Supervisor-side tallies of the control-plane fault machinery. Unlike
-/// [`CtrlCheckpoint`] contents these are per-process observations — a
-/// resumed process starts its own count.
-#[derive(Debug, Clone, Copy, Default)]
-struct RecoveryCounters {
-    controller_failovers: u64,
-    failover_rounds_lost: u64,
-    checkpoints_written: u64,
-}
-
-/// Everything a standby needs to continue the run: the training state the
-/// workers cannot reconstruct (master parameters, optimizer velocity, the
-/// round counter) plus the controller's cumulative tallies. The warm
-/// standby holds the latest one in memory; the same bytes land on disk —
-/// under [`CheckpointStore`]'s checksummed temp+rename frame — when a
-/// recovery directory is configured.
-#[derive(Debug, Clone)]
-struct CtrlCheckpoint {
-    round: u64,
-    master: Tensor,
-    velocity: Tensor,
-    participation_sum: f64,
-    rounds_degraded: u64,
-    net: NetCounters,
-    data: DatapathCounters,
-    checkpoints_written: u64,
-}
-
-/// The lease the controller and its warm standby share: a heartbeat the
-/// incumbent refreshes at every round top, and the checkpoint slot the
-/// standby replays from once the heartbeat goes stale.
-struct CtrlPlane {
-    heartbeat_us: AtomicU64,
-    slot: Mutex<Option<CtrlCheckpoint>>,
-}
-
-fn encode_ctrl_checkpoint(ck: &CtrlCheckpoint, out: &mut Vec<u8>) {
-    wire::put_u64(out, ck.round);
-    wire::put_f64(out, ck.participation_sum);
-    wire::put_u64(out, ck.rounds_degraded);
-    wire::put_u64(out, ck.net.messages_dropped);
-    wire::put_u64(out, ck.net.probe_retries);
-    wire::put_u64(out, ck.net.partition_rounds);
-    wire::put_u64(out, ck.data.allocs);
-    wire::put_u64(out, ck.data.bytes_on_wire);
-    wire::put_u64(out, ck.data.bytes_saved);
-    wire::put_f64(out, ck.data.codec_error_l2);
-    wire::put_u64(out, ck.checkpoints_written);
-    wire::put_tensor(out, &ck.master);
-    wire::put_tensor(out, &ck.velocity);
-}
-
-/// Decodes a payload written by [`encode_ctrl_checkpoint`]; `None` on any
-/// truncation, trailing garbage, or shape mismatch (the store's checksum
-/// catches bit rot; this catches format drift).
-fn decode_ctrl_checkpoint(payload: &[u8]) -> Option<CtrlCheckpoint> {
-    let mut r = Reader::new(payload);
-    let round = r.u64()?;
-    let participation_sum = r.f64()?;
-    let rounds_degraded = r.u64()?;
-    let messages_dropped = r.u64()?;
-    let probe_retries = r.u64()?;
-    let partition_rounds = r.u64()?;
-    let allocs = r.u64()?;
-    let bytes_on_wire = r.u64()?;
-    let bytes_saved = r.u64()?;
-    let codec_error_l2 = r.f64()?;
-    let checkpoints_written = r.u64()?;
-    let master = r.tensor()?;
-    let velocity = r.tensor()?;
-    if r.remaining() != 0 || master.is_empty() || master.len() != velocity.len() {
-        return None;
-    }
-    Some(CtrlCheckpoint {
-        round,
-        master,
-        velocity,
-        participation_sum,
-        rounds_degraded,
-        net: NetCounters {
-            messages_dropped,
-            probe_retries,
-            partition_rounds,
-        },
-        data: DatapathCounters {
-            allocs,
-            bytes_on_wire,
-            bytes_saved,
-            codec_error_l2,
-        },
-        checkpoints_written,
-    })
-}
-
-#[allow(clippy::too_many_arguments)]
-fn finish(
+pub(crate) fn finish(
     config: &ThreadedConfig,
     dataset: Arc<Dataset>,
     template: SoftmaxClassifier,
@@ -1384,6 +871,7 @@ fn finish(
     mean_participation: f64,
     worker_fates: Vec<WorkerFate>,
     rounds_degraded: u64,
+    deadline_overshoot_us: u64,
     net: NetCounters,
     recovery: RecoveryCounters,
     data: DatapathCounters,
@@ -1395,6 +883,7 @@ fn finish(
     ThreadedResult {
         rounds: config.rounds,
         rounds_degraded,
+        deadline_overshoot_us,
         wall,
         final_loss: model.loss(&batch),
         final_accuracy: model.accuracy(&batch),
@@ -1430,6 +919,7 @@ mod tests {
         assert_eq!(r.mean_participation, 1.0);
         assert!(r.worker_fates.iter().all(|f| *f == WorkerFate::Healthy));
         assert_eq!(r.rounds_degraded, 0);
+        assert_eq!(r.deadline_overshoot_us, 0);
     }
 
     #[test]
@@ -1483,6 +973,30 @@ mod tests {
     }
 
     #[test]
+    fn bsp_degraded_rounds_account_the_deadline_overshoot() {
+        // Every round must time out: a 3 ms deadline against 80 ms
+        // compute (wide enough that even a controller woken tens of
+        // milliseconds late by a loaded scheduler still finds no
+        // gradient). The overshoot counter records the scheduler's
+        // wake-up latency past the deadline — with the clamped wait it
+        // is bounded by OS jitter, not by a 1 ms-per-contributor floor.
+        let mut config = ThreadedConfig::quick(2, SyncMode::Bsp);
+        config.rounds = 3;
+        config.compute_us = vec![(80_000, 81_000); 2];
+        config.tolerance = ToleranceConfig {
+            round_deadline_us: 3_000,
+            ..ToleranceConfig::default()
+        };
+        let r = run_threaded(&config);
+        assert_eq!(r.rounds_degraded, 3);
+        assert!(
+            r.deadline_overshoot_us < 3 * 1_000_000,
+            "overshoot {} µs is not plausibly scheduler latency",
+            r.deadline_overshoot_us
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "one compute range per worker")]
     fn config_validates_compute_ranges() {
         let mut config = ThreadedConfig::quick(2, SyncMode::Rna);
@@ -1504,51 +1018,6 @@ mod tests {
         let config =
             ThreadedConfig::quick(2, SyncMode::Bsp).with_fault_plan(FaultPlan::none().crash(0, 1));
         run_threaded(&config);
-    }
-
-    #[test]
-    fn fused_reduce_matches_null_padded_weighted_average_bit_exactly() {
-        use rna_tensor::reduce::weighted_average;
-        // The naive controller materialized a zero tensor per absent
-        // contribution and ran a 1/0-weighted average; the fused kernel
-        // skips the nulls. The two must agree to the last bit, including
-        // on lengths that leave an unrolled-loop remainder.
-        for len in [1usize, 7, 8, 19, 64] {
-            let contributions: Vec<Option<Tensor>> = (0..5)
-                .map(|i| {
-                    (i != 2).then(|| {
-                        (0..len)
-                            .map(|j| ((i * 31 + j) as f32 * 0.37).sin())
-                            .collect()
-                    })
-                })
-                .collect();
-            let m = contributions.iter().flatten().count() as f32;
-            let null = Tensor::zeros(len);
-            let refs: Vec<&Tensor> = contributions
-                .iter()
-                .map(|c| c.as_ref().unwrap_or(&null))
-                .collect();
-            let weights: Vec<f32> = contributions
-                .iter()
-                .map(|c| if c.is_some() { 1.0 } else { 0.0 })
-                .collect();
-            let expected = weighted_average(&refs, &weights).unwrap();
-            let mut fused = Tensor::zeros(len);
-            reduce_contributions_into(&mut fused, &contributions, m);
-            assert_eq!(fused.as_slice(), expected.as_slice(), "len={len}");
-            // Forcing the chunk-parallel path on a small tensor must not
-            // change a single bit either: the split is across elements.
-            for threads in [2usize, 3, 5] {
-                let mut parallel = Tensor::zeros(len);
-                reduce_contributions_with(&mut parallel, &contributions, m, threads);
-                assert_eq!(
-                    parallel.as_slice(),
-                    expected.as_slice(),
-                    "len={len} threads={threads}"
-                );
-            }
-        }
     }
 
     #[test]
@@ -1715,74 +1184,6 @@ mod tests {
         let config = ThreadedConfig::quick(2, SyncMode::Bsp)
             .with_fault_plan(FaultPlan::none().crash_controller(3));
         run_threaded(&config);
-    }
-
-    #[test]
-    fn ctrl_checkpoint_codec_roundtrips() {
-        let ck = CtrlCheckpoint {
-            round: 19,
-            master: Tensor::from_vec(vec![1.5, -2.25, 0.0]),
-            velocity: Tensor::from_vec(vec![0.5, 0.0, -1.0]),
-            participation_sum: 12.75,
-            rounds_degraded: 3,
-            net: NetCounters {
-                messages_dropped: 7,
-                probe_retries: 2,
-                partition_rounds: 1,
-            },
-            data: DatapathCounters {
-                allocs: 11,
-                bytes_on_wire: 4096,
-                bytes_saved: 2048,
-                codec_error_l2: 0.625,
-            },
-            checkpoints_written: 4,
-        };
-        let mut payload = Vec::new();
-        encode_ctrl_checkpoint(&ck, &mut payload);
-        let back = decode_ctrl_checkpoint(&payload).expect("roundtrip");
-        assert_eq!(back.round, 19);
-        assert_eq!(back.master.as_slice(), ck.master.as_slice());
-        assert_eq!(back.velocity.as_slice(), ck.velocity.as_slice());
-        assert_eq!(back.participation_sum, 12.75);
-        assert_eq!(back.rounds_degraded, 3);
-        assert_eq!(back.net.messages_dropped, 7);
-        assert_eq!(back.data.allocs, 11);
-        assert_eq!(back.data.bytes_on_wire, 4096);
-        assert_eq!(back.data.bytes_saved, 2048);
-        assert_eq!(back.data.codec_error_l2, 0.625);
-        assert_eq!(back.checkpoints_written, 4);
-        // Truncations and trailing garbage are rejected, never panics.
-        for cut in 0..payload.len() {
-            assert!(
-                decode_ctrl_checkpoint(&payload[..cut]).is_none(),
-                "cut={cut}"
-            );
-        }
-        let mut padded = payload.clone();
-        padded.push(0);
-        assert!(decode_ctrl_checkpoint(&padded).is_none());
-    }
-
-    #[test]
-    fn rng_stream_namespaces_are_disjoint() {
-        // Regression: the old per-worker forks at `10 + w` and `50 + w`
-        // collide at 40+ workers (10 + 40 == 50 + 0). The namespaced
-        // streams stay distinct across roles for any worker index that
-        // fits in 32 bits.
-        for &w in &[0u64, 1, 39, 40, 41, 1_000_000, u32::MAX as u64] {
-            for &v in &[0u64, 1, 39, 40, 41, 1_000_000, u32::MAX as u64] {
-                assert_ne!(STREAM_SAMPLER + w, STREAM_COMPUTE + v);
-                assert_ne!(STREAM_SAMPLER + w, STREAM_PROBE);
-                assert_ne!(STREAM_COMPUTE + v, STREAM_PROBE);
-                // Codec draws must never share a stream with any other
-                // role (terms index the codec/probe namespaces the same
-                // way worker ids index the others).
-                assert_ne!(STREAM_SAMPLER + w, STREAM_CODEC + v);
-                assert_ne!(STREAM_COMPUTE + w, STREAM_CODEC + v);
-                assert_ne!(STREAM_PROBE + w, STREAM_CODEC + v);
-            }
-        }
     }
 
     #[test]

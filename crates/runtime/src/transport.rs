@@ -1,0 +1,917 @@
+//! The world-agnostic controller: probe elections, partial collectives,
+//! codec accounting, degraded rounds, and lease-based failover, written
+//! once against the [`Transport`] trait.
+//!
+//! The threaded world implements [`Transport`] over shared memory
+//! (`Mutex<GradientCache>` slots, atomics, a condvar); the process world
+//! implements it over sockets (coordinator-side mirrors fed by per-
+//! connection reader threads, parameter pushes as framed TCP writes). The
+//! controller logic itself — what the paper calls the stateless scheduler —
+//! cannot drift between the worlds because it is this one function.
+//!
+//! Every wait in the controller is event-driven: the election loops block
+//! on the transport's readiness channel with a timeout equal to the next
+//! *scheduled* event (round deadline, probe re-sample, or the earliest
+//! moment a live worker's heartbeat could go stale) instead of the 1 ms
+//! polling the earlier threaded controller used.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use rna_core::fault::{live_majority, probe_round_stalled};
+use rna_core::recovery::CheckpointStore;
+use rna_simnet::SimRng;
+use rna_tensor::codec;
+use rna_tensor::wire::{self, Reader};
+use rna_tensor::{Compression, Tensor, TensorPool};
+
+use crate::fault::NetShim;
+use crate::threaded::{SyncMode, ThreadedConfig};
+
+/// Disjoint RNG stream namespaces shared by the threaded and process
+/// runtimes. Earlier code forked worker streams at `10 + w` and `50 + w`,
+/// which collide once the cluster reaches 40 workers; spacing the
+/// namespaces `1 << 32` apart keeps every role disjoint for any realistic
+/// worker count.
+pub(crate) const STREAM_SAMPLER: u64 = 1 << 32;
+pub(crate) const STREAM_COMPUTE: u64 = 2 << 32;
+pub(crate) const STREAM_PROBE: u64 = 3 << 32;
+/// Codec stream (stochastic-rounding draws), forked per controller
+/// incarnation like [`STREAM_PROBE`] so a failed-over controller replays
+/// deterministic draws without sharing the probe stream.
+pub(crate) const STREAM_CODEC: u64 = 4 << 32;
+
+/// Floor for controller waits: below this the timeout machinery costs more
+/// than the wait is worth.
+const MIN_WAIT: Duration = Duration::from_micros(50);
+
+/// Locks a mutex, recovering from poisoning instead of propagating the
+/// panic: a worker thread that died mid-critical-section must degrade the
+/// run (its fate is recorded at join time), not abort the whole process.
+/// The guarded structures (caches, snapshots) are written atomically from
+/// the protocol's point of view — a poisoned guard still holds a
+/// consistent value, at worst a stale one.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How a controller incarnation observes and reaches its cluster.
+///
+/// `&mut self` receivers exist for the socket world (writes, channel
+/// receives); the threaded implementation is all shared-memory loads.
+pub(crate) trait Transport: Send {
+    /// Microseconds since run start on the controller's clock.
+    fn now_us(&self) -> u64;
+    /// Permanently-dead view (the worker executed a crash, or its process
+    /// exited and will not be respawned).
+    fn is_dead(&self, w: usize) -> bool;
+    /// Whether every worker is dead.
+    fn all_dead(&self) -> bool;
+    /// Liveness view for elections and majorities: alive and heard from
+    /// within the liveness timeout.
+    fn live_view(&self) -> Vec<bool>;
+    /// Microseconds-since-start of worker `w`'s last sign of life.
+    fn heartbeat_us(&self, w: usize) -> u64;
+    /// Whether worker `w`'s gradient cache has at least one entry.
+    fn cache_ready(&self, w: usize) -> bool;
+    /// Takes worker `w`'s freshest in-bound contribution for round `round`
+    /// (see `GradientCache::take_contribution_pooled`).
+    fn drain(&mut self, w: usize, round: u64, pool: &mut TensorPool) -> Option<Tensor>;
+    /// Discards a dead worker's cache so its final gradient is never
+    /// reduced (matching the simulator's crash semantics).
+    fn purge(&mut self, w: usize, staleness_bound: usize);
+    /// Delivers the round-`round` parameter snapshot to worker `w`.
+    /// Returns `false` when the wire genuinely ate it (socket severed);
+    /// injected-fault drops are rolled by the controller's shim *before*
+    /// this call. Implementations that retire a previously-held snapshot
+    /// here return its buffer to `pool`.
+    fn push_params(
+        &mut self,
+        w: usize,
+        round: u64,
+        snap: &Arc<Tensor>,
+        pool: &mut TensorPool,
+    ) -> bool;
+    /// Publishes the new round counter to every worker (the bounded-lead
+    /// gate). Also used to roll the counter *back* after a failover.
+    fn advance_round(&mut self, k: u64);
+    /// Blocks until some worker's state may have changed (gradient
+    /// deposited, worker died or rejoined) or the timeout elapses.
+    fn wait_ready(&mut self, timeout: Duration);
+    /// Discards queued readiness notifications (they only say "something
+    /// changed", and the controller re-polls anyway).
+    fn drain_ready(&mut self);
+}
+
+/// Controller-side tallies of what the network shim did to the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NetCounters {
+    pub messages_dropped: u64,
+    pub probe_retries: u64,
+    pub partition_rounds: u64,
+}
+
+/// Controller-side tallies of the gradient data path: what the wire codec
+/// did to the drained contributions, and what the fused reduce region
+/// allocated. Checkpointed so a failed-over or resumed controller keeps
+/// the cumulative totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DatapathCounters {
+    pub allocs: u64,
+    pub bytes_on_wire: u64,
+    pub bytes_saved: u64,
+    pub codec_error_l2: f64,
+}
+
+/// Supervisor-side tallies of the control-plane fault machinery. Unlike
+/// [`CtrlCheckpoint`] contents these are per-process observations — a
+/// resumed process starts its own count.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RecoveryCounters {
+    pub controller_failovers: u64,
+    pub failover_rounds_lost: u64,
+    pub checkpoints_written: u64,
+}
+
+/// Everything a standby needs to continue the run: the training state the
+/// workers cannot reconstruct (master parameters, optimizer velocity, the
+/// round counter) plus the controller's cumulative tallies. The warm
+/// standby holds the latest one in memory; the same bytes land on disk —
+/// under [`CheckpointStore`]'s checksummed temp+rename frame — when a
+/// recovery directory is configured.
+#[derive(Debug, Clone)]
+pub(crate) struct CtrlCheckpoint {
+    pub round: u64,
+    pub master: Tensor,
+    pub velocity: Tensor,
+    pub participation_sum: f64,
+    pub rounds_degraded: u64,
+    /// Microseconds degraded rounds ran past their deadline (scheduling
+    /// noise now that waits are clamped to the true remaining budget; the
+    /// earlier 1 ms-floored waits could overshoot by 1 ms per late
+    /// contributor).
+    pub deadline_overshoot_us: u64,
+    pub net: NetCounters,
+    pub data: DatapathCounters,
+    pub checkpoints_written: u64,
+}
+
+impl CtrlCheckpoint {
+    /// The state a fresh (round 0) controller starts from.
+    pub fn initial(master: Tensor) -> Self {
+        let velocity = Tensor::zeros(master.len());
+        CtrlCheckpoint {
+            round: 0,
+            master,
+            velocity,
+            participation_sum: 0.0,
+            rounds_degraded: 0,
+            deadline_overshoot_us: 0,
+            net: NetCounters::default(),
+            data: DatapathCounters::default(),
+            checkpoints_written: 0,
+        }
+    }
+}
+
+/// The lease the controller and its warm standby share: a heartbeat the
+/// incumbent refreshes at every round top, and the checkpoint slot the
+/// standby replays from once the heartbeat goes stale.
+pub(crate) struct CtrlPlane {
+    pub heartbeat_us: AtomicU64,
+    pub slot: Mutex<Option<CtrlCheckpoint>>,
+}
+
+pub(crate) fn encode_ctrl_checkpoint(ck: &CtrlCheckpoint, out: &mut Vec<u8>) {
+    wire::put_u64(out, ck.round);
+    wire::put_f64(out, ck.participation_sum);
+    wire::put_u64(out, ck.rounds_degraded);
+    wire::put_u64(out, ck.deadline_overshoot_us);
+    wire::put_u64(out, ck.net.messages_dropped);
+    wire::put_u64(out, ck.net.probe_retries);
+    wire::put_u64(out, ck.net.partition_rounds);
+    wire::put_u64(out, ck.data.allocs);
+    wire::put_u64(out, ck.data.bytes_on_wire);
+    wire::put_u64(out, ck.data.bytes_saved);
+    wire::put_f64(out, ck.data.codec_error_l2);
+    wire::put_u64(out, ck.checkpoints_written);
+    wire::put_tensor(out, &ck.master);
+    wire::put_tensor(out, &ck.velocity);
+}
+
+/// Decodes a payload written by [`encode_ctrl_checkpoint`]; `None` on any
+/// truncation, trailing garbage, or shape mismatch (the store's checksum
+/// catches bit rot; this catches format drift).
+pub(crate) fn decode_ctrl_checkpoint(payload: &[u8]) -> Option<CtrlCheckpoint> {
+    let mut r = Reader::new(payload);
+    let round = r.u64()?;
+    let participation_sum = r.f64()?;
+    let rounds_degraded = r.u64()?;
+    let deadline_overshoot_us = r.u64()?;
+    let messages_dropped = r.u64()?;
+    let probe_retries = r.u64()?;
+    let partition_rounds = r.u64()?;
+    let allocs = r.u64()?;
+    let bytes_on_wire = r.u64()?;
+    let bytes_saved = r.u64()?;
+    let codec_error_l2 = r.f64()?;
+    let checkpoints_written = r.u64()?;
+    let master = r.tensor()?;
+    let velocity = r.tensor()?;
+    if r.remaining() != 0 || master.is_empty() || master.len() != velocity.len() {
+        return None;
+    }
+    Some(CtrlCheckpoint {
+        round,
+        master,
+        velocity,
+        participation_sum,
+        rounds_degraded,
+        deadline_overshoot_us,
+        net: NetCounters {
+            messages_dropped,
+            probe_retries,
+            partition_rounds,
+        },
+        data: DatapathCounters {
+            allocs,
+            bytes_on_wire,
+            bytes_saved,
+            codec_error_l2,
+        },
+        checkpoints_written,
+    })
+}
+
+/// Captures the control plane into `ck`, publishes it to the warm-standby
+/// slot, and — when a store is configured — persists the same bytes
+/// crash-consistently on disk. A disk-write failure degrades the run to
+/// warm-standby-only recovery instead of killing it.
+fn cut_checkpoint(
+    ck: &mut CtrlCheckpoint,
+    round: u64,
+    master: &Tensor,
+    opt: &rna_training::Sgd,
+    plane: &CtrlPlane,
+    store: Option<&CheckpointStore>,
+) {
+    ck.round = round;
+    ck.master.copy_from(master);
+    ck.velocity.copy_from(opt.velocity());
+    ck.checkpoints_written += 1;
+    *lock(&plane.slot) = Some(ck.clone());
+    if let Some(store) = store {
+        let mut payload = Vec::new();
+        encode_ctrl_checkpoint(ck, &mut payload);
+        if let Err(e) = store.save(&payload) {
+            eprintln!(
+                "controller checkpoint write failed (warm standby still covers a crash): {e}"
+            );
+        }
+    }
+}
+
+/// The earliest moment (as a wait duration from now) at which some
+/// currently-fresh live worker's heartbeat could cross the liveness
+/// timeout — the only liveness transition no readiness event announces.
+/// Falls back to 1 ms when no worker is fresh (all hung or silent), the
+/// one state where the controller must genuinely poll for recovery.
+fn liveness_edge<T: Transport + ?Sized>(t: &T, n: usize, liveness_us: u64) -> Duration {
+    let now = t.now_us();
+    let mut edge = u64::MAX;
+    for w in 0..n {
+        if t.is_dead(w) {
+            continue;
+        }
+        let stale_at = t.heartbeat_us(w).saturating_add(liveness_us);
+        if stale_at > now {
+            edge = edge.min(stale_at - now);
+        }
+    }
+    if edge == u64::MAX {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_micros(edge)
+    }
+}
+
+/// One probe election attempt over the faulty fabric: samples candidates,
+/// then rolls the controller→worker probe and the worker→controller reply
+/// on the shim. Returns the candidates whose RPC round-trip survived and
+/// how many messages the fabric ate (0 on a clean fabric, where this is
+/// exactly [`sample_probes`]).
+fn probe_rpc<T: Transport + ?Sized>(
+    rng: &mut SimRng,
+    t: &T,
+    n: usize,
+    probes: usize,
+    shim: &mut NetShim,
+    ctrl: usize,
+) -> (Vec<usize>, u64) {
+    let sampled = sample_probes(rng, t, n, probes);
+    if !shim.enabled() {
+        return (sampled, 0);
+    }
+    let now_us = t.now_us();
+    let mut lost = 0;
+    let survived = sampled
+        .into_iter()
+        .filter(|&w| {
+            let ok = shim.deliver(ctrl, w, now_us) && shim.deliver(w, ctrl, now_us);
+            if !ok {
+                lost += 1;
+            }
+            ok
+        })
+        .collect();
+    (survived, lost)
+}
+
+/// Draws up to `probes` distinct candidates from the live view; when no
+/// worker is live (all silent, e.g. mid-hang) falls back to the not-yet-
+/// crashed set so a recovering worker can still be elected.
+fn sample_probes<T: Transport + ?Sized>(
+    rng: &mut SimRng,
+    t: &T,
+    n: usize,
+    probes: usize,
+) -> Vec<usize> {
+    let live = t.live_view();
+    let mut pool: Vec<usize> = (0..n).filter(|&w| live[w]).collect();
+    if pool.is_empty() {
+        pool = (0..n).filter(|&w| !t.is_dead(w)).collect();
+    }
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let d = probes.clamp(1, pool.len());
+    rng.choose_distinct(pool.len(), d)
+        .into_iter()
+        .map(|i| pool[i])
+        .collect()
+}
+
+/// One controller incarnation: executes rounds `ck.round..config.rounds`,
+/// heartbeating its lease at every round top and cutting a checkpoint
+/// (warm-standby slot, plus disk when a store is configured) every
+/// `checkpoint_every` rounds. Returns `None` when the fault plan kills the
+/// incarnation — *before* executing the crash round, so progress since the
+/// last checkpoint is genuinely lost — and the finished state otherwise.
+#[allow(clippy::too_many_arguments)]
+fn controller_loop<T: Transport + ?Sized>(
+    config: &ThreadedConfig,
+    transport: &mut T,
+    plane: &CtrlPlane,
+    store: Option<&CheckpointStore>,
+    mut ck: CtrlCheckpoint,
+    probe_rng: &mut SimRng,
+    codec_rng: &mut SimRng,
+    crash_at: Option<u64>,
+) -> Option<CtrlCheckpoint> {
+    let n = config.num_workers;
+    let mut master = ck.master.clone();
+    let mut opt = rna_training::Sgd::new(config.lr, 0.0, 0.0, master.len());
+    opt.set_velocity(&ck.velocity);
+    let mut pool = TensorPool::new();
+    let mut purged = vec![false; n];
+    let wire_codec = config.compression;
+    // Per-worker error-feedback residuals. Like the pool, they live with
+    // the incarnation: a failed-over controller starts with clean
+    // residuals, which only costs the (bounded) error the dead incarnation
+    // still owed — the telescoping restarts from zero.
+    let mut residuals: Vec<Option<Tensor>> = vec![None; n];
+    let mut codec_buf: Vec<u8> = Vec::new();
+    let mut shim = NetShim::new(&config.net_fault_plan, n);
+    let ctrl = shim.controller_id();
+    let liveness_us = config.tolerance.liveness_timeout_us;
+    let round_deadline = Duration::from_micros(config.tolerance.round_deadline_us);
+    let probe_backoff = Duration::from_micros(config.tolerance.probe_backoff_us);
+    for k in ck.round..config.rounds {
+        if crash_at == Some(k) {
+            return None;
+        }
+        plane
+            .heartbeat_us
+            .store(transport.now_us(), Ordering::Release);
+        // Drain stale readiness notifications so the channel cannot grow
+        // without bound: the notifications only say "some cache changed",
+        // and the caches are re-polled below anyway.
+        transport.drain_ready();
+
+        let round_start = Instant::now();
+        let mut degraded = false;
+        // The worker whose readiness fired the round. Partition semantics
+        // follow the simulator's `launch_reduce`: gradients and parameter
+        // broadcasts ride initiator↔member links, so a member severed from
+        // the initiator sits the round out (the controller itself is a
+        // partition bridge — the paper's stateless, replicable scheduler).
+        let mut initiator: Option<usize> = None;
+        match config.mode {
+            SyncMode::EagerMajority => {
+                // eager-SGD: wait for a majority of the *live* electorate.
+                loop {
+                    if transport.all_dead() {
+                        degraded = true;
+                        break;
+                    }
+                    let live = transport.live_view();
+                    let ready: Vec<usize> = (0..n)
+                        .filter(|&w| !transport.is_dead(w))
+                        .filter(|&w| transport.cache_ready(w))
+                        .collect();
+                    let need = live_majority(live.iter().filter(|&&l| l).count());
+                    if ready.len() >= need {
+                        initiator = ready.first().copied();
+                        break;
+                    }
+                    let elapsed = round_start.elapsed();
+                    if elapsed >= round_deadline {
+                        degraded = true;
+                        break;
+                    }
+                    // Event-driven wait: a deposit/death wakes the channel,
+                    // a heartbeat going stale is bounded by the liveness
+                    // edge, and the round deadline caps everything.
+                    let wait = (round_deadline - elapsed)
+                        .min(liveness_edge(transport, n, liveness_us))
+                        .max(MIN_WAIT);
+                    transport.wait_ready(wait);
+                }
+            }
+            _ => {
+                // RNA: power-of-d probing over live workers — wait until a
+                // probed worker is ready, resampling away from workers that
+                // died or went silent (backoff-paced so a merely slow
+                // probed set still gets a chance to answer). Each probe is
+                // a controller→worker→controller RPC pair: the shim may
+                // eat either leg, and an election that loses every probe
+                // to the fabric is retried with exponential backoff — an
+                // idempotent re-issue, never a wedge.
+                let mut backoff = probe_backoff;
+                let (mut probed, lost) =
+                    probe_rpc(probe_rng, transport, n, config.probes, &mut shim, ctrl);
+                ck.net.messages_dropped += lost;
+                let mut last_lost = lost > 0;
+                let mut last_sample = Instant::now();
+                loop {
+                    if transport.all_dead() {
+                        degraded = true;
+                        break;
+                    }
+                    if let Some(&w) = probed
+                        .iter()
+                        .find(|&&w| !transport.is_dead(w) && transport.cache_ready(w))
+                    {
+                        initiator = Some(w);
+                        break;
+                    }
+                    let live = transport.live_view();
+                    if probed.is_empty()
+                        || probe_round_stalled(&probed, &live)
+                        || last_sample.elapsed() >= backoff
+                    {
+                        if last_lost {
+                            ck.net.probe_retries += 1;
+                            backoff = backoff
+                                .saturating_mul(2)
+                                .min(Duration::from_micros(config.tolerance.probe_backoff_cap_us));
+                        }
+                        let (fresh, lost) =
+                            probe_rpc(probe_rng, transport, n, config.probes, &mut shim, ctrl);
+                        ck.net.messages_dropped += lost;
+                        last_lost = lost > 0;
+                        probed = fresh;
+                        last_sample = Instant::now();
+                    }
+                    let elapsed = round_start.elapsed();
+                    if elapsed >= round_deadline {
+                        degraded = true;
+                        break;
+                    }
+                    let wait = (round_deadline - elapsed)
+                        .min(backoff.saturating_sub(last_sample.elapsed()))
+                        .min(liveness_edge(transport, n, liveness_us))
+                        .max(MIN_WAIT);
+                    transport.wait_ready(wait);
+                }
+            }
+        }
+        if degraded {
+            // Clamped waits make the overshoot scheduling noise; account
+            // it so the degraded-round stats stay honest either way.
+            ck.deadline_overshoot_us += u64::try_from(
+                round_start
+                    .elapsed()
+                    .saturating_sub(round_deadline)
+                    .as_micros(),
+            )
+            .unwrap_or(u64::MAX);
+        }
+
+        // Force the partial collective: drain every live cache. A dead
+        // worker's cache is purged once — its final gradient is discarded,
+        // matching the simulator's crash semantics (a restarted worker
+        // refills it after rejoining). A worker severed from the
+        // controller keeps its cache untouched — its island keeps
+        // accumulating and reconciles on heal — while a gradient lost to
+        // a lossy link becomes a null in the partial collective.
+        let mut severed = false;
+        let now_us = transport.now_us();
+        let gather = initiator.unwrap_or(ctrl);
+        // Everything from the cache drain through the applied update is the
+        // fused reduce region; the alloc delta (debug builds) proves its
+        // steady-state rounds recycle pooled buffers instead of allocating.
+        // The parameter broadcast below is excluded: snapshot buffers are
+        // reclaimed by whichever thread drops the last `Arc`, so their pool
+        // hits are timing-dependent by design.
+        let allocs_before = rna_tensor::alloc::count();
+        let mut contributions: Vec<Option<Tensor>> = Vec::with_capacity(n);
+        for (w, was_purged) in purged.iter_mut().enumerate() {
+            let c = if transport.is_dead(w) {
+                if !*was_purged {
+                    *was_purged = true;
+                    transport.purge(w, config.staleness_bound);
+                }
+                None
+            } else {
+                *was_purged = false;
+                if !shim.link_up(w, gather, now_us) {
+                    severed = true;
+                    None
+                } else {
+                    match transport.drain(w, k, &mut pool) {
+                        Some(g) if shim.deliver(w, gather, now_us) => Some(g),
+                        Some(g) => {
+                            ck.net.messages_dropped += 1;
+                            pool.release(g);
+                            None
+                        }
+                        None => None,
+                    }
+                }
+            };
+            contributions.push(c);
+        }
+        if severed {
+            ck.net.partition_rounds += 1;
+        }
+        // The wire codec runs where the gradient crosses the network: each
+        // delivered contribution becomes decode(encode(grad + residual)),
+        // and the dropped remainder waits in the worker's residual for its
+        // next contribution (error feedback). Lossless is the identity and
+        // only accounts the frame bytes a lossless wire would move.
+        for (w, slot) in contributions.iter_mut().enumerate() {
+            let Some(g) = slot.as_mut() else { continue };
+            let lossless_frame = Compression::Lossless.frame_bytes(g.len());
+            if wire_codec.is_lossless() {
+                ck.data.bytes_on_wire += lossless_frame;
+                continue;
+            }
+            let residual = residuals[w].get_or_insert_with(|| Tensor::zeros(g.len()));
+            let mut draw = || codec_rng.uniform_u64(0..1 << 32) as u32;
+            let (frame, err) =
+                codec::encode_with_feedback(wire_codec, g, residual, &mut codec_buf, &mut draw);
+            ck.data.bytes_on_wire += frame;
+            ck.data.bytes_saved += lossless_frame.saturating_sub(frame);
+            ck.data.codec_error_l2 += err;
+        }
+        let m: f32 = contributions.iter().flatten().count() as f32;
+        if m > 0.0 && !degraded {
+            // Fused partial collective: nulls are skipped instead of being
+            // materialized as zero tensors, the mean lands in a pooled
+            // buffer, and wide tensors split across cores (bit-identical to
+            // the null-padded `weighted_average` the naive path computed).
+            let mut reduced = pool.acquire(master.len());
+            reduce_contributions_into(&mut reduced, &contributions, m);
+            // Linear Scaling Rule: learning rate × contributor count.
+            opt.step(&mut master, &reduced, m);
+            pool.release(reduced);
+            ck.data.allocs += rna_tensor::alloc::count() - allocs_before;
+            ck.participation_sum += f64::from(m) / n as f64;
+            let push_us = transport.now_us();
+            // One shared snapshot per round; the threaded slots swap Arcs
+            // (the last reference recycles its buffer), the process world
+            // frames the same snapshot onto each socket.
+            let mut snap = pool.acquire(master.len());
+            snap.copy_from(&master);
+            let snapshot = Arc::new(snap);
+            for w in 0..n {
+                // The parameter push rides the same faulty fabric: a
+                // severed or unlucky worker keeps its stale view and
+                // catches up on a later round's push.
+                if !shim.deliver(gather, w, push_us) {
+                    ck.net.messages_dropped += 1;
+                    continue;
+                }
+                if !transport.push_params(w, k + 1, &snapshot, &mut pool) {
+                    // The wire itself ate it (socket severed): same
+                    // observable outcome as an injected drop.
+                    ck.net.messages_dropped += 1;
+                }
+            }
+            // In the process world (no retaining slots) the snapshot dies
+            // here and its buffer goes back to the pool immediately.
+            if let Some(t) = Arc::into_inner(snapshot) {
+                pool.release(t);
+            }
+        } else {
+            // Nothing usable this round (cluster dead, or every cached
+            // gradient fell past the staleness bound): complete the round
+            // degraded rather than blocking the run.
+            ck.rounds_degraded += 1;
+            ck.data.allocs += rna_tensor::alloc::count() - allocs_before;
+        }
+        for g in contributions.into_iter().flatten() {
+            pool.release(g);
+        }
+        transport.advance_round(k + 1);
+        if (k + 1) % config.checkpoint_every == 0 && k + 1 < config.rounds {
+            cut_checkpoint(&mut ck, k + 1, &master, &opt, plane, store);
+        }
+    }
+    // Final cut: the finished state is itself a checkpoint, so resuming a
+    // completed run replays nothing.
+    cut_checkpoint(&mut ck, config.rounds, &master, &opt, plane, store);
+    Some(ck)
+}
+
+/// Runs controller incarnations under the lease+term protocol until the
+/// round budget is spent: each incarnation is a real (scoped) thread — a
+/// planned crash makes it exit mid-run, exactly like a controller process
+/// dying — and the warm standby waits out the lease before replaying from
+/// the last checkpoint. Every term forks its own probe/codec streams;
+/// term 0's forks are the run's first after worker setup, so fault-free
+/// runs elect the same initiators in every world.
+pub(crate) fn supervise<T: Transport + ?Sized>(
+    config: &ThreadedConfig,
+    transport: &mut T,
+    rng: &mut SimRng,
+    state0: CtrlCheckpoint,
+    store: Option<&CheckpointStore>,
+) -> (CtrlCheckpoint, RecoveryCounters) {
+    let crashes: Vec<u64> = config.fault_plan.controller_crashes().to_vec();
+    let plane = CtrlPlane {
+        heartbeat_us: AtomicU64::new(0),
+        slot: Mutex::new(Some(state0.clone())),
+    };
+    let mut state = state0;
+    let mut term: usize = 0;
+    let mut recovery = RecoveryCounters::default();
+    loop {
+        let crash_at = crashes.get(term).copied();
+        let mut probe_rng = rng.fork(STREAM_PROBE + term as u64);
+        let mut codec_rng = rng.fork(STREAM_CODEC + term as u64);
+        let incarnation = state.clone();
+        let outcome = {
+            let t = &mut *transport;
+            let plane = &plane;
+            std::thread::scope(|scope| {
+                scope
+                    .spawn(move || {
+                        controller_loop(
+                            config,
+                            t,
+                            plane,
+                            store,
+                            incarnation,
+                            &mut probe_rng,
+                            &mut codec_rng,
+                            crash_at,
+                        )
+                    })
+                    .join()
+            })
+        };
+        let result = match outcome {
+            Ok(r) => r,
+            // A genuine (unplanned) controller panic is a harness bug, not
+            // an injected fault; surface it.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        match result {
+            Some(done) => {
+                recovery.checkpoints_written = done.checkpoints_written;
+                return (done, recovery);
+            }
+            None => {
+                // The controller died. The standby must not seize the round
+                // until the lease expires — a live-but-slow incumbent may
+                // still hold it — then it replays from the last checkpoint.
+                // Workers are oblivious: the lead gate parks them against
+                // the rolled-back round counter and their caches keep
+                // serving the reborn controller. The dead incumbent's
+                // heartbeat cannot refresh, so one exact-remaining sleep
+                // (not a 1 ms poll) covers the wait.
+                let lease = config.tolerance.liveness_timeout_us;
+                loop {
+                    let since = transport
+                        .now_us()
+                        .saturating_sub(plane.heartbeat_us.load(Ordering::Acquire));
+                    if since >= lease {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(lease - since));
+                }
+                let recovered = lock(&plane.slot)
+                    .clone()
+                    .expect("standby slot is seeded before the first incarnation");
+                recovery.controller_failovers += 1;
+                recovery.failover_rounds_lost += crash_at
+                    .unwrap_or(recovered.round)
+                    .saturating_sub(recovered.round);
+                transport.advance_round(recovered.round);
+                state = recovered;
+                term += 1;
+            }
+        }
+    }
+}
+
+/// Fused mean of the contributing gradients: `out[i] = Σ g[i] / m` over the
+/// `Some` entries, in slot order. Bit-identical to zero-padding the `None`s
+/// and computing a uniformly weighted average (per-element accumulation
+/// starts at 0 and adds contributions in the same order; chunking splits
+/// only *across* elements, never within one element's sum), which is what
+/// the naive controller did.
+///
+/// Wide tensors are split across cores with scoped threads; below
+/// [`PAR_MIN_ELEMS_PER_THREAD`] elements per core — or on a single-core
+/// host — the reduction runs sequentially, with the identical result.
+pub(crate) fn reduce_contributions_into(
+    out: &mut Tensor,
+    contributions: &[Option<Tensor>],
+    m: f32,
+) {
+    let threads = parallelism_for(out.len());
+    reduce_contributions_with(out, contributions, m, threads);
+}
+
+/// Minimum elements each reduction thread must own before fan-out pays for
+/// itself; below this the scoped-thread setup dwarfs the arithmetic.
+const PAR_MIN_ELEMS_PER_THREAD: usize = 4096;
+
+fn parallelism_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    cores.min(len / PAR_MIN_ELEMS_PER_THREAD).max(1)
+}
+
+/// [`reduce_contributions_into`] with an explicit thread count (tests force
+/// the parallel path on small tensors to prove it matches the sequential
+/// one bit-for-bit).
+pub(crate) fn reduce_contributions_with(
+    out: &mut Tensor,
+    contributions: &[Option<Tensor>],
+    m: f32,
+    threads: usize,
+) {
+    let inv = 1.0 / m;
+    let inputs: Vec<&Tensor> = contributions.iter().flatten().collect();
+    let out = out.as_mut_slice();
+    if threads <= 1 || out.is_empty() {
+        reduce_segment(out, &inputs, 0, inv);
+        return;
+    }
+    let chunk = out.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (idx, piece) in out.chunks_mut(chunk).enumerate() {
+            let inputs = &inputs;
+            scope.spawn(move || reduce_segment(piece, inputs, idx * chunk, inv));
+        }
+    });
+}
+
+/// Sequential fused kernel over one element range: zero, accumulate each
+/// input's matching segment in order, scale once.
+fn reduce_segment(out: &mut [f32], inputs: &[&Tensor], offset: usize, inv: f32) {
+    out.fill(0.0);
+    for t in inputs {
+        let src = &t.as_slice()[offset..offset + out.len()];
+        for (o, s) in out.iter_mut().zip(src) {
+            *o += s;
+        }
+    }
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctrl_checkpoint_codec_roundtrips() {
+        let ck = CtrlCheckpoint {
+            round: 19,
+            master: Tensor::from_vec(vec![1.5, -2.25, 0.0]),
+            velocity: Tensor::from_vec(vec![0.5, 0.0, -1.0]),
+            participation_sum: 12.75,
+            rounds_degraded: 3,
+            deadline_overshoot_us: 417,
+            net: NetCounters {
+                messages_dropped: 7,
+                probe_retries: 2,
+                partition_rounds: 1,
+            },
+            data: DatapathCounters {
+                allocs: 11,
+                bytes_on_wire: 4096,
+                bytes_saved: 2048,
+                codec_error_l2: 0.625,
+            },
+            checkpoints_written: 4,
+        };
+        let mut payload = Vec::new();
+        encode_ctrl_checkpoint(&ck, &mut payload);
+        let back = decode_ctrl_checkpoint(&payload).expect("roundtrip");
+        assert_eq!(back.round, 19);
+        assert_eq!(back.master.as_slice(), ck.master.as_slice());
+        assert_eq!(back.velocity.as_slice(), ck.velocity.as_slice());
+        assert_eq!(back.participation_sum, 12.75);
+        assert_eq!(back.rounds_degraded, 3);
+        assert_eq!(back.deadline_overshoot_us, 417);
+        assert_eq!(back.net.messages_dropped, 7);
+        assert_eq!(back.data.allocs, 11);
+        assert_eq!(back.data.bytes_on_wire, 4096);
+        assert_eq!(back.data.bytes_saved, 2048);
+        assert_eq!(back.data.codec_error_l2, 0.625);
+        assert_eq!(back.checkpoints_written, 4);
+        // Truncations and trailing garbage are rejected, never panics.
+        for cut in 0..payload.len() {
+            assert!(
+                decode_ctrl_checkpoint(&payload[..cut]).is_none(),
+                "cut={cut}"
+            );
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_ctrl_checkpoint(&padded).is_none());
+    }
+
+    #[test]
+    fn rng_stream_namespaces_are_disjoint() {
+        // Regression: the old per-worker forks at `10 + w` and `50 + w`
+        // collide at 40+ workers (10 + 40 == 50 + 0). The namespaced
+        // streams stay distinct across roles for any worker index that
+        // fits in 32 bits.
+        for &w in &[0u64, 1, 39, 40, 41, 1_000_000, u32::MAX as u64] {
+            for &v in &[0u64, 1, 39, 40, 41, 1_000_000, u32::MAX as u64] {
+                assert_ne!(STREAM_SAMPLER + w, STREAM_COMPUTE + v);
+                assert_ne!(STREAM_SAMPLER + w, STREAM_PROBE);
+                assert_ne!(STREAM_COMPUTE + v, STREAM_PROBE);
+                // Codec draws must never share a stream with any other
+                // role (terms index the codec/probe namespaces the same
+                // way worker ids index the others).
+                assert_ne!(STREAM_SAMPLER + w, STREAM_CODEC + v);
+                assert_ne!(STREAM_COMPUTE + w, STREAM_CODEC + v);
+                assert_ne!(STREAM_PROBE + w, STREAM_CODEC + v);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_reduce_matches_null_padded_weighted_average_bit_exactly() {
+        use rna_tensor::reduce::weighted_average;
+        // The naive controller materialized a zero tensor per absent
+        // contribution and ran a 1/0-weighted average; the fused kernel
+        // skips the nulls. The two must agree to the last bit, including
+        // on lengths that leave an unrolled-loop remainder.
+        for len in [1usize, 7, 8, 19, 64] {
+            let contributions: Vec<Option<Tensor>> = (0..5)
+                .map(|i| {
+                    (i != 2).then(|| {
+                        (0..len)
+                            .map(|j| ((i * 31 + j) as f32 * 0.37).sin())
+                            .collect()
+                    })
+                })
+                .collect();
+            let m = contributions.iter().flatten().count() as f32;
+            let null = Tensor::zeros(len);
+            let refs: Vec<&Tensor> = contributions
+                .iter()
+                .map(|c| c.as_ref().unwrap_or(&null))
+                .collect();
+            let weights: Vec<f32> = contributions
+                .iter()
+                .map(|c| if c.is_some() { 1.0 } else { 0.0 })
+                .collect();
+            let expected = weighted_average(&refs, &weights).unwrap();
+            let mut fused = Tensor::zeros(len);
+            reduce_contributions_into(&mut fused, &contributions, m);
+            assert_eq!(fused.as_slice(), expected.as_slice(), "len={len}");
+            // Forcing the chunk-parallel path on a small tensor must not
+            // change a single bit either: the split is across elements.
+            for threads in [2usize, 3, 5] {
+                let mut parallel = Tensor::zeros(len);
+                reduce_contributions_with(&mut parallel, &contributions, m, threads);
+                assert_eq!(
+                    parallel.as_slice(),
+                    expected.as_slice(),
+                    "len={len} threads={threads}"
+                );
+            }
+        }
+    }
+}

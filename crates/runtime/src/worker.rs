@@ -1,0 +1,299 @@
+//! The worker subprocess's side of the process-world protocol.
+//!
+//! [`run_worker`] is what the `rna-worker` binary calls after parsing its
+//! command line: connect, `Hello`, receive the `Setup` frame, replay the
+//! run's shared RNG sequence so its sampler/compute streams are identical
+//! to the threaded world's worker threads, then loop compute → gradient
+//! frame, heartbeating and honoring the bounded-lead gate against the
+//! round counter the coordinator streams back.
+//!
+//! Fault directives come down in the `Setup` frame and are executed by the
+//! same [`FaultExecutor`] the threaded workers use, with one difference
+//! that is the whole point of this world: a crash or crash-restart
+//! directive calls [`std::process::abort`] — the process genuinely
+//! vanishes mid-protocol, and rejoining is the *coordinator's* problem
+//! (it respawns the binary with the next incarnation number and a `Setup`
+//! that resumes from the checkpointed iteration).
+
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use rna_core::fault::{FaultPlan, WorkerFault};
+use rna_simnet::SimRng;
+use rna_tensor::Tensor;
+use rna_training::model::SoftmaxClassifier;
+use rna_training::{BatchSampler, Dataset, Model};
+
+use crate::fault::{FaultExecutor, IterDirective};
+use crate::proto::{read_msg, write_msg, Msg, ProtoError};
+use crate::threaded::{interruptible_sleep, sleep_range};
+use crate::transport::{lock, STREAM_COMPUTE, STREAM_SAMPLER};
+
+/// How long the worker keeps retrying its initial connect: the coordinator
+/// spawns the whole cluster before some listeners' backlogs drain.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// What the socket reader thread shares with the compute loop.
+struct Link {
+    /// The coordinator's round counter (drives the bounded-lead gate).
+    round: AtomicU64,
+    /// Freshest parameter snapshot not yet applied.
+    fresh_params: Mutex<Option<Tensor>>,
+    /// Set on `Stop`, socket death, or any protocol violation.
+    stop: AtomicBool,
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Link {
+    fn halt(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+/// Rebuilds a single-worker [`FaultPlan`] from the directives the `Setup`
+/// frame shipped (the coordinator already filtered out triggers this
+/// incarnation must not re-fire).
+fn plan_from(faults: &[WorkerFault]) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for f in faults {
+        plan = match *f {
+            WorkerFault::CrashAt { at_iter } => plan.crash(0, at_iter),
+            WorkerFault::HangAt { at_iter, for_us } => plan.hang(0, at_iter, for_us),
+            WorkerFault::SlowFrom {
+                from_iter,
+                extra_us,
+            } => plan.slow(0, from_iter, extra_us),
+            WorkerFault::RestartAt {
+                at_iter,
+                rejoin_after_us,
+            } => plan.restart(0, at_iter, rejoin_after_us),
+        };
+    }
+    plan
+}
+
+fn connect_retry(addr: &str) -> Result<TcpStream, ProtoError> {
+    let deadline = Instant::now() + CONNECT_TIMEOUT;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => return Err(ProtoError::Io(e)),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Consumes coordinator frames: parameter snapshots and round advances
+/// update the link (waking the lead gate); `Stop`, a dead socket, or a
+/// protocol violation halts the worker.
+fn reader_loop(mut stream: TcpStream, link: &Link) {
+    loop {
+        match read_msg(&mut stream) {
+            Ok(Msg::Params { round: _, params }) => {
+                *lock(&link.fresh_params) = Some(params);
+                link.cv.notify_all();
+            }
+            Ok(Msg::Round { round }) => {
+                // A plain store, not a max: a controller failover rolls
+                // the counter back, and the lead gate must honor that.
+                link.round.store(round, Ordering::Release);
+                link.cv.notify_all();
+            }
+            Ok(Msg::Stop) | Ok(_) | Err(_) => {
+                link.halt();
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one worker incarnation against the coordinator at `addr`.
+///
+/// Returns when the coordinator sends `Stop` (after reporting the
+/// worker's fate) or when the socket dies; a crash/restart directive
+/// never returns — it aborts the process.
+///
+/// # Errors
+///
+/// [`ProtoError`] when the coordinator cannot be reached, rejects the
+/// handshake, or speaks a malformed protocol.
+pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Result<(), ProtoError> {
+    let mut stream = connect_retry(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut scratch = Vec::new();
+    write_msg(
+        &mut stream,
+        &Msg::Hello {
+            token,
+            worker,
+            incarnation,
+        },
+        &mut scratch,
+    )?;
+    let setup = match read_msg(&mut stream)? {
+        Msg::Setup(s) => s,
+        _ => {
+            return Err(ProtoError::Garbage {
+                what: "expected a Setup frame after Hello",
+            })
+        }
+    };
+    if setup.worker != worker || setup.params.is_empty() {
+        return Err(ProtoError::Garbage {
+            what: "setup frame does not match this worker",
+        });
+    }
+
+    // Replay the shared RNG sequence from the master seed: dataset,
+    // template, then every worker's fork pair in worker order. This is
+    // what makes the process world's data streams identical to the
+    // threaded world's without shipping the dataset over the socket.
+    let mut rng = SimRng::seed(setup.seed);
+    let dataset = Dataset::blobs(256, 8, 4, 0.4, &mut rng);
+    let mut model = SoftmaxClassifier::new(8, 4, &mut rng);
+    for v in 0..u64::from(worker) {
+        let _ = rng.fork(STREAM_SAMPLER + v);
+        let _ = rng.fork(STREAM_COMPUTE + v);
+    }
+    let mut sampler = BatchSampler::new(
+        rng.fork(STREAM_SAMPLER + u64::from(worker)),
+        usize::try_from(setup.batch_size).unwrap_or(usize::MAX),
+    );
+    let mut wrng = rng.fork(STREAM_COMPUTE + u64::from(worker));
+    // Fast-forward the sampler so a rejoined incarnation continues the
+    // data stream instead of repeating its predecessor's batches.
+    for _ in 0..setup.start_iter {
+        let _ = sampler.sample(&dataset);
+    }
+    model.set_params(&setup.params);
+    let mut faults = FaultExecutor::new(&plan_from(&setup.faults), 0);
+
+    let link = Arc::new(Link {
+        round: AtomicU64::new(setup.round),
+        fresh_params: Mutex::new(None),
+        stop: AtomicBool::new(false),
+        gate: Mutex::new(()),
+        cv: Condvar::new(),
+    });
+    let reader = {
+        let stream = stream.try_clone()?;
+        let link = Arc::clone(&link);
+        std::thread::spawn(move || reader_loop(stream, &link))
+    };
+
+    let range = (setup.compute_lo_us, setup.compute_hi_us);
+    // Beat at least every quarter liveness window, even while parked, so
+    // the coordinator never presumes a waiting worker dead.
+    let park_recheck = Duration::from_micros((setup.liveness_timeout_us / 4).max(1_000));
+    let mut local_iter = setup.start_iter;
+    'run: while !link.stop.load(Ordering::Acquire) {
+        match faults.on_iteration_start(local_iter) {
+            IterDirective::Crash | IterDirective::Restart(_) => {
+                // A real death, not a simulated one: the process vanishes
+                // mid-protocol exactly like `kill -9`. For a restart the
+                // coordinator owns the rejoin (down window, respawn,
+                // checkpointed Setup).
+                std::process::abort();
+            }
+            IterDirective::HangFor(d) => interruptible_sleep(d, &link.stop),
+            IterDirective::Proceed => {}
+        }
+        if write_msg(
+            &mut stream,
+            &Msg::Heartbeat { iter: local_iter },
+            &mut scratch,
+        )
+        .is_err()
+        {
+            break 'run;
+        }
+        // Bounded lead: park until the round counter catches up, still
+        // heartbeating. The reader's Round frames notify the condvar; the
+        // timeout only bounds a missed wakeup.
+        while !link.stop.load(Ordering::Acquire)
+            && local_iter.saturating_sub(link.round.load(Ordering::Acquire)) >= setup.max_lead
+        {
+            let guard = lock(&link.gate);
+            let _unused = link
+                .cv
+                .wait_timeout(guard, park_recheck)
+                .unwrap_or_else(PoisonError::into_inner);
+            if write_msg(
+                &mut stream,
+                &Msg::Heartbeat { iter: local_iter },
+                &mut scratch,
+            )
+            .is_err()
+            {
+                break 'run;
+            }
+        }
+        if link.stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(p) = lock(&link.fresh_params).take() {
+            model.set_params(&p);
+        }
+        let batch = sampler.sample(&dataset);
+        let (_, grad) = model.loss_and_grad(&batch);
+        sleep_range(&mut wrng, range);
+        let extra = faults.extra_compute_delay(local_iter);
+        if !extra.is_zero() {
+            std::thread::sleep(extra);
+        }
+        if write_msg(
+            &mut stream,
+            &Msg::Grad {
+                iter: local_iter,
+                grad,
+            },
+            &mut scratch,
+        )
+        .is_err()
+        {
+            break 'run;
+        }
+        local_iter += 1;
+    }
+    // Graceful exit: report the post-mortem. The socket may already be
+    // gone (severed), in which case the coordinator composes the fate
+    // itself — exactly the information a real network would have.
+    let _ = write_msg(&mut stream, &Msg::Fate(faults.fate()), &mut scratch);
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = reader.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_from_rebuilds_every_fault_kind() {
+        let faults = vec![
+            WorkerFault::CrashAt { at_iter: 3 },
+            WorkerFault::HangAt {
+                at_iter: 1,
+                for_us: 50,
+            },
+            WorkerFault::SlowFrom {
+                from_iter: 0,
+                extra_us: 9,
+            },
+            WorkerFault::RestartAt {
+                at_iter: 7,
+                rejoin_after_us: 11,
+            },
+        ];
+        let plan = plan_from(&faults);
+        let rebuilt: Vec<WorkerFault> = plan.for_worker(0).collect();
+        assert_eq!(rebuilt, faults);
+        // All directives land on worker 0 — the subprocess only knows
+        // itself.
+        assert_eq!(plan.max_worker(), Some(0));
+    }
+}

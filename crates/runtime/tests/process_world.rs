@@ -1,0 +1,117 @@
+//! Integration tests for the process world: real subprocesses, real
+//! sockets, real SIGKILLs. Every run binds an ephemeral localhost port,
+//! so parallel test processes never collide.
+
+use rna_core::fault::{ToleranceConfig, WorkerFate};
+use rna_runtime::{run_process, FaultPlan, ProcessConfig, SyncMode};
+
+fn quick(n: usize, mode: SyncMode) -> ProcessConfig {
+    ProcessConfig::quick(n, mode).with_worker_exe(env!("CARGO_BIN_EXE_rna-worker"))
+}
+
+#[test]
+fn process_world_trains_over_real_sockets() {
+    let r = run_process(&quick(3, SyncMode::Rna));
+    assert_eq!(r.run.rounds, 30);
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
+    assert!(r.run.final_accuracy > 0.5, "acc {}", r.run.final_accuracy);
+    assert!(r.run.worker_iterations.iter().all(|&i| i > 0));
+    assert_eq!(r.run.live_workers(), 3);
+    assert!(r.run.bytes_on_wire > 0);
+    assert_eq!(r.worker_respawns, 0);
+    assert_eq!(r.sockets_severed, 0);
+}
+
+#[test]
+fn eager_majority_also_runs_as_processes() {
+    let r = run_process(&quick(3, SyncMode::EagerMajority));
+    assert_eq!(r.run.rounds, 30);
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
+    assert!(r.run.mean_participation > 0.0);
+}
+
+#[test]
+fn planned_crash_is_a_real_process_death() {
+    // Worker 2's fault plan aborts its process at iteration 5; the run
+    // must finish without it and report the crash fate.
+    let mut config = quick(3, SyncMode::Rna);
+    config.base = config
+        .base
+        .with_fault_plan(FaultPlan::none().crash(2, 5))
+        .with_tolerance(ToleranceConfig::tight());
+    let r = run_process(&config);
+    assert_eq!(r.run.rounds, 30);
+    assert_eq!(
+        r.run.worker_fates[2],
+        WorkerFate::Crashed { at_iter: 5 },
+        "fates: {:?}",
+        r.run.worker_fates
+    );
+    // The mirror freezes exactly where the abort happened.
+    assert_eq!(r.run.worker_iterations[2], 5);
+    assert_eq!(r.run.live_workers(), 2);
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
+    // A planned crash is not an unplanned respawn.
+    assert_eq!(r.worker_respawns, 0);
+}
+
+#[test]
+fn sigkilled_worker_rejoins_from_checkpoint() {
+    // A real SIGKILL at round 8 — the fault plan never announced it, the
+    // worker had no chance to say goodbye. The coordinator must notice
+    // the dead socket, respawn the process, and hand it a Setup that
+    // resumes from the checkpointed iteration count.
+    let mut config = quick(3, SyncMode::Rna).with_kill9(1, 8);
+    config.base.rounds = 40;
+    config.base = config.base.with_tolerance(ToleranceConfig::tight());
+    let r = run_process(&config);
+    assert_eq!(r.run.rounds, 40);
+    assert!(r.worker_respawns >= 1, "no respawn after SIGKILL");
+    assert!(
+        matches!(
+            r.run.worker_fates[1],
+            WorkerFate::Restarted { rejoined: true, .. }
+        ),
+        "fates: {:?}",
+        r.run.worker_fates
+    );
+    // The rejoined worker kept iterating past its checkpoint.
+    assert_eq!(r.run.live_workers(), 3);
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
+}
+
+#[test]
+fn severed_socket_is_a_real_partition_and_heals_by_respawn() {
+    let mut config = quick(3, SyncMode::Rna).with_sever(0, 6);
+    config.base.rounds = 40;
+    config.base = config.base.with_tolerance(ToleranceConfig::tight());
+    let r = run_process(&config);
+    assert_eq!(r.run.rounds, 40);
+    assert!(r.sockets_severed >= 1, "the sever never fired");
+    assert!(r.worker_respawns >= 1, "the severed worker never came back");
+    assert_eq!(r.run.live_workers(), 3);
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
+}
+
+#[test]
+fn unplanned_death_without_respawn_is_a_crash_fate() {
+    let mut config = quick(3, SyncMode::Rna)
+        .with_kill9(2, 5)
+        .with_respawn_unplanned(false);
+    config.base = config.base.with_tolerance(ToleranceConfig::tight());
+    let r = run_process(&config);
+    assert_eq!(r.run.rounds, 30);
+    assert_eq!(r.worker_respawns, 0);
+    assert!(
+        matches!(r.run.worker_fates[2], WorkerFate::Crashed { .. }),
+        "fates: {:?}",
+        r.run.worker_fates
+    );
+    assert_eq!(r.run.live_workers(), 2);
+}
+
+#[test]
+fn bsp_is_rejected_in_the_process_world() {
+    let result = std::panic::catch_unwind(|| run_process(&quick(2, SyncMode::Bsp)));
+    assert!(result.is_err(), "BSP must be rejected");
+}

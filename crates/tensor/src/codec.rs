@@ -18,11 +18,106 @@
 //! simulator that is a forked, namespaced ChaCha stream, which keeps
 //! same-seed replays bit-identical.
 //!
-//! Decoders never panic on malformed input: they return `None` so callers
-//! can surface corruption as a typed error, mirroring [`crate::wire`].
+//! Decoders never panic on malformed input: they return a typed
+//! [`CodecError`] naming what was wrong — and they never size an
+//! allocation from an unvalidated frame field (the caller owns the output
+//! buffer; counts inside the frame are checked against it). This matters
+//! now that frames can arrive over a socket from another process, not
+//! just from locally-produced bytes.
 
 use crate::wire::{self, Reader};
 use crate::Tensor;
+
+/// Why a codec frame could not be decoded. Carries enough to log a
+/// useful diagnostic without echoing attacker-controlled bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame ended before the field named here was complete.
+    Truncated {
+        /// The field being decoded when the bytes ran out.
+        what: &'static str,
+    },
+    /// The frame's header names a different codec than the decoder.
+    WrongCodec {
+        /// The tag found in the header.
+        got: u32,
+        /// The tag the decoding codec expected.
+        expected: u32,
+    },
+    /// The frame's codec parameter (e.g. top-k permille) disagrees with
+    /// the decoder's.
+    WrongParam {
+        /// The parameter found in the header.
+        got: u32,
+        /// The parameter the decoding codec expected.
+        expected: u32,
+    },
+    /// The frame's element count does not match the output buffer.
+    LengthMismatch {
+        /// Elements the frame claims to carry.
+        got: u64,
+        /// Elements the output buffer holds.
+        expected: u64,
+    },
+    /// A top-k frame's kept count disagrees with the codec's `keep_count`
+    /// for this tensor size.
+    KeepCountMismatch {
+        /// Kept-element count in the frame.
+        got: u64,
+        /// The count the codec prescribes.
+        expected: u64,
+    },
+    /// A top-k index points outside the output tensor.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// The output tensor's length.
+        len: u64,
+    },
+    /// Bytes remained after the last field of a structurally-complete
+    /// frame.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: u64,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CodecError::Truncated { what } => write!(f, "frame truncated while reading {what}"),
+            CodecError::WrongCodec { got, expected } => {
+                write!(
+                    f,
+                    "frame carries codec tag {got}, decoder expected {expected}"
+                )
+            }
+            CodecError::WrongParam { got, expected } => {
+                write!(
+                    f,
+                    "frame codec parameter {got}, decoder expected {expected}"
+                )
+            }
+            CodecError::LengthMismatch { got, expected } => {
+                write!(f, "frame carries {got} elements, output holds {expected}")
+            }
+            CodecError::KeepCountMismatch { got, expected } => {
+                write!(
+                    f,
+                    "top-k frame keeps {got} elements, codec prescribes {expected}"
+                )
+            }
+            CodecError::IndexOutOfRange { index, len } => {
+                write!(f, "top-k index {index} outside tensor of {len} elements")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
 
 /// Fixed per-frame header size in bytes: `u32` codec tag, `u32` codec
 /// parameter, `u64` element count.
@@ -198,55 +293,101 @@ impl Compression {
     /// Decodes a frame produced by [`Compression::encode_slice`] into
     /// `out`, overwriting every element (`TopK` zero-fills the rest).
     ///
-    /// Returns `None` if the frame is truncated, carries a different codec
-    /// tag/parameter, or its element count does not match `out.len()`.
-    pub fn decode_slice(&self, frame: &[u8], out: &mut [f32]) -> Option<()> {
+    /// Never panics and never allocates based on frame contents: every
+    /// count inside the frame is validated against the caller-provided
+    /// `out`, so a hostile frame cannot force a giant allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] naming what was malformed: truncation, a foreign
+    /// codec tag or parameter, an element-count mismatch against `out`,
+    /// out-of-range top-k indices, or trailing bytes.
+    pub fn decode_slice(&self, frame: &[u8], out: &mut [f32]) -> Result<(), CodecError> {
         let mut r = Reader::new(frame);
-        if r.u32()? != self.tag() || r.u32()? != self.param() {
-            return None;
+        let tag = r.u32().ok_or(CodecError::Truncated { what: "codec tag" })?;
+        if tag != self.tag() {
+            return Err(CodecError::WrongCodec {
+                got: tag,
+                expected: self.tag(),
+            });
         }
-        if r.u64()? != out.len() as u64 {
-            return None;
+        let param = r.u32().ok_or(CodecError::Truncated {
+            what: "codec parameter",
+        })?;
+        if param != self.param() {
+            return Err(CodecError::WrongParam {
+                got: param,
+                expected: self.param(),
+            });
+        }
+        let count = r.u64().ok_or(CodecError::Truncated {
+            what: "element count",
+        })?;
+        if count != out.len() as u64 {
+            return Err(CodecError::LengthMismatch {
+                got: count,
+                expected: out.len() as u64,
+            });
         }
         match self {
             Compression::Lossless => {
                 for o in out.iter_mut() {
-                    *o = r.f32()?;
+                    *o = r.f32().ok_or(CodecError::Truncated {
+                        what: "f32 payload",
+                    })?;
                 }
             }
             Compression::Fp16 => {
                 for o in out.iter_mut() {
-                    let b = r.bytes_exact(2)?;
+                    let b = r.bytes_exact(2).ok_or(CodecError::Truncated {
+                        what: "f16 payload",
+                    })?;
                     *o = f16_bits_to_f32(u16::from_le_bytes([b[0], b[1]]));
                 }
             }
             Compression::Int8 => {
-                let scale = r.f32()?;
+                let scale = r
+                    .f32()
+                    .ok_or(CodecError::Truncated { what: "int8 scale" })?;
                 for o in out.iter_mut() {
-                    let q = r.bytes_exact(1)?[0] as i8;
+                    let q = r.bytes_exact(1).ok_or(CodecError::Truncated {
+                        what: "int8 payload",
+                    })?[0] as i8;
                     *o = f32::from(q) * scale;
                 }
             }
             Compression::TopK { .. } => {
-                let k = r.u32()? as usize;
-                if k != self.keep_count(out.len()) {
-                    return None;
+                let k = r.u32().ok_or(CodecError::Truncated {
+                    what: "top-k keep count",
+                })? as u64;
+                let expected = self.keep_count(out.len()) as u64;
+                if k != expected {
+                    return Err(CodecError::KeepCountMismatch { got: k, expected });
                 }
                 out.fill(0.0);
                 for _ in 0..k {
-                    let i = r.u32()? as usize;
-                    let v = r.f32()?;
+                    let i = r.u32().ok_or(CodecError::Truncated {
+                        what: "top-k index",
+                    })? as usize;
+                    let v = r.f32().ok_or(CodecError::Truncated {
+                        what: "top-k value",
+                    })?;
                     if i >= out.len() {
-                        return None;
+                        return Err(CodecError::IndexOutOfRange {
+                            index: i as u64,
+                            len: out.len() as u64,
+                        });
                     }
                     out[i] = v;
                 }
             }
         }
         if r.remaining() != 0 {
-            return None;
+            return Err(CodecError::TrailingBytes {
+                remaining: r.remaining() as u64,
+            });
         }
-        Some(())
+        Ok(())
     }
 
     /// [`Compression::encode_slice`] over a whole tensor.
@@ -255,7 +396,11 @@ impl Compression {
     }
 
     /// [`Compression::decode_slice`] into a whole tensor.
-    pub fn decode(&self, frame: &[u8], out: &mut Tensor) -> Option<()> {
+    ///
+    /// # Errors
+    ///
+    /// See [`Compression::decode_slice`].
+    pub fn decode(&self, frame: &[u8], out: &mut Tensor) -> Result<(), CodecError> {
         self.decode_slice(frame, out.as_mut_slice())
     }
 }
@@ -569,22 +714,38 @@ mod tests {
         Compression::Fp16.encode_slice(&xs, &mut frame, &mut lcg_draws(0));
         let mut out = vec![0.0; 33];
         // Wrong codec.
-        assert!(Compression::Int8.decode_slice(&frame, &mut out).is_none());
+        assert_eq!(
+            Compression::Int8.decode_slice(&frame, &mut out),
+            Err(CodecError::WrongCodec {
+                got: 1,
+                expected: 2
+            })
+        );
         // Wrong length.
         let mut short = vec![0.0; 32];
-        assert!(Compression::Fp16.decode_slice(&frame, &mut short).is_none());
+        assert_eq!(
+            Compression::Fp16.decode_slice(&frame, &mut short),
+            Err(CodecError::LengthMismatch {
+                got: 33,
+                expected: 32
+            })
+        );
         // Truncation at every cut point.
         for cut in 0..frame.len() {
             assert!(
-                Compression::Fp16
-                    .decode_slice(&frame[..cut], &mut out)
-                    .is_none(),
+                matches!(
+                    Compression::Fp16.decode_slice(&frame[..cut], &mut out),
+                    Err(CodecError::Truncated { .. })
+                ),
                 "cut={cut}"
             );
         }
         // Trailing garbage.
         frame.push(0);
-        assert!(Compression::Fp16.decode_slice(&frame, &mut out).is_none());
+        assert_eq!(
+            Compression::Fp16.decode_slice(&frame, &mut out),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
     }
 
     #[test]
@@ -597,7 +758,10 @@ mod tests {
         let base = FRAME_HEADER_BYTES as usize + 4;
         frame[base..base + 4].copy_from_slice(&99u32.to_le_bytes());
         let mut out = [0.0f32; 2];
-        assert!(codec.decode_slice(&frame, &mut out).is_none());
+        assert_eq!(
+            codec.decode_slice(&frame, &mut out),
+            Err(CodecError::IndexOutOfRange { index: 99, len: 2 })
+        );
     }
 
     #[test]

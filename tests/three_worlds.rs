@@ -1,0 +1,103 @@
+//! Cross-check across all THREE execution worlds: the discrete-event
+//! simulator, the threaded runtime, and the multi-process runtime over
+//! real TCP sockets.
+//!
+//! The same `FaultPlan` drives a simulated crash, a thread that stops
+//! looping, and a subprocess that genuinely `abort()`s mid-protocol —
+//! every world must freeze the victim at the identical iteration, finish
+//! its round budget, and still reduce the loss. This is what keeps the
+//! simulator's quantitative claims honest: the event model, the
+//! shared-memory model, and the socket model cannot drift apart without
+//! one of these assertions catching it.
+
+use rna_core::fault::FaultPlan;
+use rna_core::rna::RnaProtocol;
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::RnaConfig;
+use rna_runtime::{
+    run_process, run_threaded, Compression, ProcessConfig, SyncMode, ThreadedConfig,
+};
+
+/// Frame-count identity for a codec on the quick model (36 parameters):
+/// `bytes_on_wire / frame_bytes(codec)` and
+/// `(bytes_on_wire + bytes_saved) / frame_bytes(lossless)` are the same
+/// frame count, so the cross-multiplied products must match exactly.
+fn assert_codec_accounting(bytes_on_wire: u64, bytes_saved: u64, codec: Compression, world: &str) {
+    let lossless = Compression::Lossless.frame_bytes(36);
+    let lossy = codec.frame_bytes(36);
+    assert!(bytes_on_wire > 0, "{world}: no bytes accounted");
+    assert!(bytes_saved > 0, "{world}: lossy codec saved nothing");
+    assert_eq!(
+        bytes_on_wire * lossless,
+        (bytes_on_wire + bytes_saved) * lossy,
+        "{world}: byte accounting is not frame-exact"
+    );
+}
+
+#[test]
+fn all_three_worlds_agree_on_the_same_crash_plan() {
+    // Worker 2 dies after exactly 5 iterations, everywhere.
+    let n = 3;
+    let plan = FaultPlan::none().crash(2, 5);
+
+    // World one: discrete-event simulation.
+    let spec = TrainSpec::smoke_test(n, 7)
+        .with_max_rounds(120)
+        .with_fault_plan(plan.clone());
+    let s = Engine::new(spec, RnaProtocol::new(n, RnaConfig::default(), 0)).run();
+    assert_eq!(s.global_rounds, 120);
+    assert_eq!(s.worker_iterations[2], 5, "simulated victim frozen at 5");
+    assert!(s.worker_iterations[0] > 5, "simulated survivors continue");
+
+    // World two: OS threads in one process.
+    let t = run_threaded(&ThreadedConfig::quick(n, SyncMode::Rna).with_fault_plan(plan.clone()));
+    assert_eq!(t.rounds, 30);
+    assert!(t.worker_fates[2].is_dead());
+    assert_eq!(t.worker_iterations[2], 5, "threaded victim frozen at 5");
+    assert!(t.final_loss < 1.4, "threaded loss {}", t.final_loss);
+
+    // World three: subprocesses over TCP. The "crash" is a real
+    // `abort()` — the coordinator learns of it from the dead socket.
+    let mut config = ProcessConfig::quick(n, SyncMode::Rna);
+    config.base = config.base.with_fault_plan(plan);
+    let p = run_process(&config);
+    assert_eq!(p.run.rounds, 30);
+    assert!(p.run.worker_fates[2].is_dead());
+    assert_eq!(p.run.worker_iterations[2], 5, "process victim frozen at 5");
+    assert_eq!(p.run.live_workers(), 2);
+    assert!(p.run.final_loss < 1.4, "process loss {}", p.run.final_loss);
+    assert_eq!(p.worker_respawns, 0, "a planned crash is not respawned");
+}
+
+#[test]
+fn threaded_and_process_worlds_converge_alike() {
+    let t = run_threaded(&ThreadedConfig::quick(3, SyncMode::Rna));
+    let p = run_process(&ProcessConfig::quick(3, SyncMode::Rna));
+    for (world, loss, acc) in [
+        ("threaded", t.final_loss, t.final_accuracy),
+        ("process", p.run.final_loss, p.run.final_accuracy),
+    ] {
+        assert!(loss < 1.4, "{world} loss {loss}");
+        assert!(acc > 0.5, "{world} acc {acc}");
+    }
+    // Both worlds run the same model, same seed, same number of workers —
+    // their evaluation datasets are bit-identical, so wildly different
+    // outcomes would mean one world's data path is broken.
+    assert!((t.final_loss - p.run.final_loss).abs() < 0.5);
+}
+
+#[test]
+fn byte_accounting_is_frame_exact_in_both_real_worlds() {
+    // Fp16 on the 36-parameter quick model: every gradient frame is 88
+    // bytes where lossless would be 160. The saved-bytes counter must be
+    // exact in both the threaded and the process world — the codec runs
+    // at the controller/coordinator in both, on the identical code path.
+    let codec = Compression::Fp16;
+    let t = run_threaded(&ThreadedConfig::quick(3, SyncMode::Rna).with_compression(codec));
+    assert_codec_accounting(t.bytes_on_wire, t.bytes_saved, codec, "threaded");
+
+    let mut config = ProcessConfig::quick(3, SyncMode::Rna);
+    config.base = config.base.with_compression(codec);
+    let p = run_process(&config);
+    assert_codec_accounting(p.run.bytes_on_wire, p.run.bytes_saved, codec, "process");
+}
