@@ -36,6 +36,16 @@ for seed in 11 23 37; do
     -p rna-experiments --test recovery
 done
 
+# Elastic-membership stress: mid-run joins, graceful retirements,
+# evictions and the online ζ-split regroup in all three worlds across
+# three seeds in release mode, watchdogged like the chaos pass above.
+echo "==> churn stress (3 seeds, --release, watchdogged)"
+for seed in 11 23 37; do
+  echo "    seed ${seed}"
+  RNA_CHAOS_SEED="${seed}" timeout 600 cargo test -q --release \
+    -p rna-experiments --test churn
+done
+
 echo "==> faults bench smoke (watchdogged)"
 timeout 900 cargo bench -q --bench faults
 
@@ -60,6 +70,15 @@ timeout 600 cargo run -q --release -p rna-bench --bin datapath -- \
 echo "==> codec bench (--check, writes BENCH_PR5.json)"
 timeout 600 cargo run -q --release -p rna-bench --bin codec -- \
   --check --out BENCH_PR5.json
+
+# Elasticity floor: the admission snapshot must roundtrip bit-exactly,
+# the gray-straggler run must commit a topology swap that rehomes PS keys
+# without eating its round budget, and the threaded churn run must account
+# every membership event, measured fresh in this run. The report lands at
+# the repo root as the tracked baseline.
+echo "==> churn bench (--check, writes BENCH_PR7.json)"
+timeout 600 cargo run -q --release -p rna-bench --bin churn -- \
+  --check --out BENCH_PR7.json
 
 # Process-world smoke: real subprocesses over TCP on ephemeral localhost
 # ports, including a genuine SIGKILL + rejoin and a severed socket. A

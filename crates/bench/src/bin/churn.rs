@@ -1,0 +1,195 @@
+//! Elastic-membership baseline: admission snapshot latency, and simulator
+//! throughput while an online regroup is in flight versus steady state,
+//! plus a threaded-world churn run for the real-clock view.
+//!
+//! Emits a hand-formatted JSON report (no serde_json in the offline build)
+//! to `BENCH_PR7.json` by default; `ci.sh` runs it with `--check`, which
+//! fails the build unless elasticity *worked* in the same run — the
+//! admission snapshot roundtrips bit-exactly, the gray-straggler run
+//! commits at least one topology swap and rehomes PS keys without eating
+//! its round budget, and the threaded churn run accounts every event.
+//!
+//! Usage: `churn [--check] [--out <path>]`
+
+use std::time::Instant;
+
+use rna_bench::json_header;
+use rna_core::fault::FaultPlan;
+use rna_core::hier::HierRnaProtocol;
+use rna_core::membership::{ChurnPlan, RegroupPolicy};
+use rna_core::sim::{Engine, TrainSpec};
+use rna_core::RnaConfig;
+use rna_runtime::{run_threaded, SyncMode, ThreadedConfig};
+use rna_tensor::wire::{self, Reader};
+use rna_tensor::Tensor;
+
+/// Admission snapshot size: a 64 Ki-element model, what a joiner actually
+/// pulls before its first round.
+const ELEMS: usize = 65_536;
+const SAMPLES: usize = 5;
+const ROUNDS: u64 = 200;
+
+fn pseudo(len: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+struct AdmissionNumbers {
+    snapshot_bytes: usize,
+    encode_us: f64,
+    decode_us: f64,
+}
+
+/// Best-of-N microseconds for encoding and decoding a model-sized
+/// admission snapshot — the serialization cost a joiner pays on top of
+/// the wire transfer itself.
+fn bench_admission_snapshot() -> AdmissionNumbers {
+    let master = pseudo(ELEMS, 1);
+    let mut encode_us = f64::INFINITY;
+    let mut decode_us = f64::INFINITY;
+    let mut bytes = 0;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let mut payload = Vec::new();
+        wire::put_u64(&mut payload, 42);
+        wire::put_tensor(&mut payload, &master);
+        encode_us = encode_us.min(t.elapsed().as_secs_f64() * 1e6);
+        bytes = payload.len();
+
+        let t = Instant::now();
+        let mut r = Reader::new(&payload);
+        let round = r.u64().expect("round");
+        let m = r.tensor().expect("snapshot");
+        decode_us = decode_us.min(t.elapsed().as_secs_f64() * 1e6);
+
+        // Bit-exactness is part of the measurement: a snapshot path that
+        // loses bits has no business being fast.
+        assert_eq!(round, 42);
+        assert_eq!(m.as_slice(), master.as_slice());
+    }
+    AdmissionNumbers {
+        snapshot_bytes: bytes,
+        encode_us,
+        decode_us,
+    }
+}
+
+struct RegroupNumbers {
+    steady_rounds_per_sec: f64,
+    regroup_rounds_per_sec: f64,
+    regroup_events: u64,
+    ps_keys_rebalanced: u64,
+    rounds: u64,
+}
+
+/// Simulator throughput with the online regroup machinery armed and
+/// firing (a gray straggler forces a topology swap) versus the same
+/// cluster running clean — the overhead of estimation, quiesce, and the
+/// atomic swap, in host rounds per second.
+fn bench_des_regroup() -> RegroupNumbers {
+    let t = Instant::now();
+    let clean = Engine::new(
+        TrainSpec::smoke_test(8, 23).with_max_rounds(ROUNDS),
+        HierRnaProtocol::new(vec![(0..8).collect()], RnaConfig::default()),
+    )
+    .run();
+    let steady_rps = clean.global_rounds as f64 / t.elapsed().as_secs_f64();
+
+    let spec = TrainSpec::smoke_test(8, 23)
+        .with_max_rounds(ROUNDS)
+        .with_fault_plan(FaultPlan::none().gray(3, 5, 2_000, 20_000));
+    let p = HierRnaProtocol::new(vec![(0..8).collect()], RnaConfig::default())
+        .with_regroup_policy(RegroupPolicy::default());
+    let t = Instant::now();
+    let regrouped = Engine::new(spec, p).run();
+    let regroup_rps = regrouped.global_rounds as f64 / t.elapsed().as_secs_f64();
+    RegroupNumbers {
+        steady_rounds_per_sec: steady_rps,
+        regroup_rounds_per_sec: regroup_rps,
+        regroup_events: regrouped.regroup_events,
+        ps_keys_rebalanced: regrouped.ps_keys_rebalanced,
+        rounds: regrouped.global_rounds,
+    }
+}
+
+struct ThreadedNumbers {
+    rounds_per_sec: f64,
+    workers_joined: u64,
+    workers_retired: u64,
+    snapshot_bytes_streamed: u64,
+    rounds: u64,
+}
+
+/// Real-clock churn: a 5-slot threaded cluster admits one joiner and
+/// drains one retiree inside its 30-round quick run.
+fn bench_threaded_churn() -> ThreadedNumbers {
+    let plan = ChurnPlan::none().join(4, 8, 500_000).retire(1, 20);
+    let config = ThreadedConfig::quick(5, SyncMode::Rna).with_churn_plan(plan);
+    let t = Instant::now();
+    let r = run_threaded(&config);
+    let rps = r.rounds as f64 / t.elapsed().as_secs_f64();
+    ThreadedNumbers {
+        rounds_per_sec: rps,
+        workers_joined: r.workers_joined,
+        workers_retired: r.workers_retired,
+        snapshot_bytes_streamed: r.snapshot_bytes_streamed,
+        rounds: r.rounds,
+    }
+}
+
+fn render_json(adm: &AdmissionNumbers, des: &RegroupNumbers, thr: &ThreadedNumbers) -> String {
+    format!(
+        "{{\n{}\n  \"model_elements\": {ELEMS},\n  \"admission\": {{ \"snapshot_bytes\": {}, \"encode_us\": {:.1}, \"decode_us\": {:.1} }},\n  \"des_regroup\": {{ \"steady_rounds_per_sec\": {:.1}, \"regroup_rounds_per_sec\": {:.1}, \"regroup_events\": {}, \"ps_keys_rebalanced\": {} }},\n  \"threaded_churn\": {{ \"rounds_per_sec\": {:.1}, \"workers_joined\": {}, \"workers_retired\": {}, \"snapshot_bytes_streamed\": {} }}\n}}\n",
+        json_header("rna-churn-bench-v1"),
+        adm.snapshot_bytes,
+        adm.encode_us,
+        adm.decode_us,
+        des.steady_rounds_per_sec,
+        des.regroup_rounds_per_sec,
+        des.regroup_events,
+        des.ps_keys_rebalanced,
+        thr.rounds_per_sec,
+        thr.workers_joined,
+        thr.workers_retired,
+        thr.snapshot_bytes_streamed,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+
+    let adm = bench_admission_snapshot();
+    let des = bench_des_regroup();
+    let thr = bench_threaded_churn();
+    let json = render_json(&adm, &des, &thr);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if check {
+        // Correctness floors, not perf guesses: elasticity must have
+        // actually happened in the measured runs.
+        assert_eq!(des.rounds, ROUNDS, "regroup must not eat the budget");
+        assert!(des.regroup_events >= 1, "the gray straggler forces a swap");
+        assert!(des.ps_keys_rebalanced > 0, "a committed swap rehomes keys");
+        assert_eq!(thr.rounds, 30, "threaded churn completes its budget");
+        assert_eq!(thr.workers_joined, 1, "threaded join admitted");
+        assert_eq!(thr.workers_retired, 1, "threaded retiree drained");
+        assert!(thr.snapshot_bytes_streamed > 0, "admission streamed bytes");
+        eprintln!("churn checks passed");
+    }
+}

@@ -60,6 +60,24 @@ pub enum WorkerFault {
         /// Extra per-iteration compute time in microseconds.
         extra_us: u64,
     },
+    /// Gray degradation: from `from_iter` on, the worker's extra
+    /// per-iteration time *ramps up* by `step_us` each iteration, capped
+    /// at `cap_us` — a node quietly souring (thermal throttling, a dying
+    /// disk, a noisy neighbour) rather than failing outright. At
+    /// iteration `i >= from_iter` the extra delay is
+    /// `min((i - from_iter + 1) * step_us, cap_us)`. Distinct from
+    /// [`WorkerFault::SlowFrom`]'s constant persistent straggler and from
+    /// the paper's random per-iteration stragglers; this is the regime
+    /// online regrouping reacts to, because the launch-time speed probe
+    /// saw a healthy worker.
+    GrayFrom {
+        /// Completed-iteration count at which the degradation begins.
+        from_iter: u64,
+        /// Per-iteration ramp increment in microseconds.
+        step_us: u64,
+        /// Ceiling on the extra per-iteration time in microseconds.
+        cap_us: u64,
+    },
     /// The worker crashes after completing `at_iter` iterations, then
     /// comes back `rejoin_after_us` microseconds later: it pulls the
     /// current model, is re-admitted to the liveness view, and resumes
@@ -81,7 +99,26 @@ impl WorkerFault {
             WorkerFault::CrashAt { at_iter } => at_iter,
             WorkerFault::HangAt { at_iter, .. } => at_iter,
             WorkerFault::SlowFrom { from_iter, .. } => from_iter,
+            WorkerFault::GrayFrom { from_iter, .. } => from_iter,
             WorkerFault::RestartAt { at_iter, .. } => at_iter,
+        }
+    }
+
+    /// The extra compute delay this fault (if it is a slowdown) adds to
+    /// iteration `iter`, in microseconds. Both worlds call this so the
+    /// constant-straggler and gray-ramp arithmetic cannot drift.
+    pub fn slowdown_at(&self, iter: u64) -> u64 {
+        match *self {
+            WorkerFault::SlowFrom {
+                from_iter,
+                extra_us,
+            } if iter >= from_iter => extra_us,
+            WorkerFault::GrayFrom {
+                from_iter,
+                step_us,
+                cap_us,
+            } if iter >= from_iter => (iter - from_iter + 1).saturating_mul(step_us).min(cap_us),
+            _ => 0,
         }
     }
 }
@@ -147,6 +184,21 @@ impl FaultPlan {
             WorkerFault::SlowFrom {
                 from_iter,
                 extra_us,
+            },
+        ));
+        self
+    }
+
+    /// Adds a gray-degradation ramp: from `from_iter` on, `worker`'s
+    /// extra per-iteration time grows by `step_us` each iteration, capped
+    /// at `cap_us`. See [`WorkerFault::GrayFrom`].
+    pub fn gray(mut self, worker: usize, from_iter: u64, step_us: u64, cap_us: u64) -> Self {
+        self.faults.push((
+            worker,
+            WorkerFault::GrayFrom {
+                from_iter,
+                step_us,
+                cap_us,
             },
         ));
         self
@@ -294,10 +346,24 @@ pub enum WorkerFate {
         /// Whether the worker made it back into the cluster.
         rejoined: bool,
     },
+    /// Left gracefully under a `ChurnPlan`: contributed through
+    /// `at_round`, final gradient drained, then removed.
+    Retired {
+        /// Last global round the worker contributed to.
+        at_round: u64,
+    },
+    /// Forcibly removed under a `ChurnPlan` as round `at_round` began;
+    /// in-flight work toward that round was discarded.
+    Evicted {
+        /// First global round the worker was excluded from.
+        at_round: u64,
+    },
 }
 
 impl WorkerFate {
     /// Whether the worker was dead (permanently) at the end of the run.
+    /// Planned departures ([`WorkerFate::Retired`], [`WorkerFate::Evicted`])
+    /// are not deaths — see [`WorkerFate::is_departed`].
     pub fn is_dead(&self) -> bool {
         matches!(
             self,
@@ -306,6 +372,15 @@ impl WorkerFate {
                     rejoined: false,
                     ..
                 }
+        )
+    }
+
+    /// Whether the worker left the cluster under a churn plan (retired or
+    /// evicted) rather than by failure.
+    pub fn is_departed(&self) -> bool {
+        matches!(
+            self,
+            WorkerFate::Retired { .. } | WorkerFate::Evicted { .. }
         )
     }
 }
@@ -386,6 +461,30 @@ pub enum ConfigError {
     /// A checkpoint cadence of zero rounds: there is no round boundary at
     /// which such a checkpoint could ever be cut.
     ZeroCheckpointCadence,
+    /// A `ChurnPlan` join whose admission deadline is shorter than the
+    /// liveness lease: the controller would presume the joiner dead while
+    /// the snapshot stream is still legitimately in flight.
+    AdmissionDeadlineBelowLease {
+        /// The joining worker.
+        worker: usize,
+        /// The configured admission deadline.
+        deadline_us: u64,
+        /// The liveness lease it must cover.
+        lease_us: u64,
+    },
+    /// A structurally impossible `ChurnPlan`: duplicate events, a leave
+    /// scheduled at or before the same worker's join, an out-of-capacity
+    /// identity, or a plan that drains the cluster. `worker` is
+    /// `usize::MAX` for whole-plan problems.
+    ChurnPlanMalformed {
+        /// The offending worker (or `usize::MAX`).
+        worker: usize,
+        /// What is wrong, in one clause.
+        why: &'static str,
+    },
+    /// A regroup policy that can never fire: zero check cadence or an
+    /// EWMA smoothing factor outside `(0, 1]`.
+    ZeroRegroupCadence,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -408,6 +507,30 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroCheckpointCadence => {
                 write!(f, "checkpoint cadence must be at least one round")
+            }
+            ConfigError::AdmissionDeadlineBelowLease {
+                worker,
+                deadline_us,
+                lease_us,
+            } => {
+                write!(
+                    f,
+                    "worker {worker}: admission deadline ({deadline_us} us) is \
+                     below the liveness lease ({lease_us} us)"
+                )
+            }
+            ConfigError::ChurnPlanMalformed { worker, why } => {
+                if *worker == usize::MAX {
+                    write!(f, "malformed churn plan: {why}")
+                } else {
+                    write!(f, "malformed churn plan for worker {worker}: {why}")
+                }
+            }
+            ConfigError::ZeroRegroupCadence => {
+                write!(
+                    f,
+                    "regroup policy needs a positive check cadence and an EWMA alpha in (0, 1]"
+                )
             }
         }
     }
@@ -691,6 +814,47 @@ mod tests {
             .trigger_iter(),
             4
         );
+        assert_eq!(
+            WorkerFault::GrayFrom {
+                from_iter: 6,
+                step_us: 2,
+                cap_us: 10
+            }
+            .trigger_iter(),
+            6
+        );
+    }
+
+    #[test]
+    fn gray_ramp_grows_then_caps() {
+        let gray = WorkerFault::GrayFrom {
+            from_iter: 10,
+            step_us: 300,
+            cap_us: 1_000,
+        };
+        assert_eq!(gray.slowdown_at(9), 0);
+        assert_eq!(gray.slowdown_at(10), 300);
+        assert_eq!(gray.slowdown_at(11), 600);
+        assert_eq!(gray.slowdown_at(12), 900);
+        assert_eq!(gray.slowdown_at(13), 1_000, "capped");
+        assert_eq!(gray.slowdown_at(10_000), 1_000);
+        // Constant straggler through the same lens.
+        let slow = WorkerFault::SlowFrom {
+            from_iter: 5,
+            extra_us: 700,
+        };
+        assert_eq!(slow.slowdown_at(4), 0);
+        assert_eq!(slow.slowdown_at(5), 700);
+        assert_eq!(slow.slowdown_at(500), 700);
+        // Non-slowdown faults never slow anything.
+        assert_eq!(WorkerFault::CrashAt { at_iter: 3 }.slowdown_at(9), 0);
+        // The builder registers it like any other fault.
+        let plan = FaultPlan::none().gray(2, 10, 300, 1_000);
+        assert!(matches!(
+            plan.for_worker(2).next(),
+            Some(WorkerFault::GrayFrom { .. })
+        ));
+        assert_eq!(plan.max_worker(), Some(2));
     }
 
     #[test]
@@ -728,6 +892,13 @@ mod tests {
             rejoined: true
         }
         .is_dead());
+        // Planned departures are not deaths, but they are departures.
+        assert!(!WorkerFate::Retired { at_round: 5 }.is_dead());
+        assert!(!WorkerFate::Evicted { at_round: 5 }.is_dead());
+        assert!(WorkerFate::Retired { at_round: 5 }.is_departed());
+        assert!(WorkerFate::Evicted { at_round: 5 }.is_departed());
+        assert!(!WorkerFate::Healthy.is_departed());
+        assert!(!WorkerFate::Crashed { at_iter: 0 }.is_departed());
     }
 
     #[test]
@@ -884,7 +1055,7 @@ mod tests {
             #[test]
             fn fault_plan_builders_total(
                 ops in proptest::collection::vec(
-                    (0usize..8, 0u64..50, 1u64..10_000, 0u8..4), 0..24)
+                    (0usize..8, 0u64..50, 1u64..10_000, 0u8..5), 0..24)
             ) {
                 let mut plan = FaultPlan::none();
                 for &(w, iter, us, kind) in &ops {
@@ -892,6 +1063,7 @@ mod tests {
                         0 => plan.crash(w, iter),
                         1 => plan.hang(w, iter, us),
                         2 => plan.slow(w, iter, us),
+                        3 => plan.gray(w, iter, us, us * 4),
                         _ => plan.restart(w, iter, us),
                     };
                 }

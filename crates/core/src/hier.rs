@@ -32,7 +32,11 @@ use rna_tensor::Tensor;
 
 use rna_ps::ReplicatedGroupServer;
 
+use crate::cache::GradientCache;
 use crate::grouping::{group_of, partition_groups};
+use crate::membership::{
+    hetero_ratio, regroup_decision, ChurnEvent, RegroupPolicy, SpeedEstimator,
+};
 use crate::rna::{GroupState, RnaMsg};
 use crate::sim::{Ctx, Protocol, TrainSpec};
 use crate::RnaConfig;
@@ -84,6 +88,33 @@ pub struct HierRnaProtocol {
     ps_residuals: Vec<Option<Tensor>>,
     /// Reusable encode scratch for the PS push.
     codec_buf: Vec<u8>,
+    /// Workers that left via the churn plan (retired or evicted). Their
+    /// engine may still deliver an in-flight `ComputeDone` after the
+    /// departure edge; the gradient is discarded at the protocol level.
+    departed: Vec<bool>,
+    /// Planned joiners already admitted (each join fires exactly once,
+    /// even when a topology swap jumps a group's round clock past the
+    /// join round).
+    joined: Vec<bool>,
+    /// Per-worker EWMA of observed compute times — the live counterpart
+    /// of the launch-time probe the §4 split keys off. Fed on every
+    /// `ComputeDone` while a regroup policy is armed.
+    speed: SpeedEstimator,
+    /// Online-regroup policy; `None` (the default) disables regrouping
+    /// entirely, leaving pre-existing runs untouched.
+    policy: Option<RegroupPolicy>,
+    /// Completed group-round edges across all groups — the clock the
+    /// regroup cadence runs on.
+    round_edges: u64,
+    /// `round_edges` at the last committed topology swap.
+    last_swap_edge: u64,
+    /// Heterogeneity ratio at the last committed grouping (negative until
+    /// first measured).
+    last_ratio: f64,
+    /// An armed topology swap: the proposed grouping and the measured
+    /// ratio that justified it. While set, every group quiesces; the swap
+    /// commits atomically once all groups are drained.
+    pending_regroup: Option<(Vec<Vec<usize>>, f64)>,
 }
 
 impl HierRnaProtocol {
@@ -115,6 +146,14 @@ impl HierRnaProtocol {
             ps_crashes_done: Vec::new(),
             ps_residuals: vec![None; num_groups],
             codec_buf: Vec::new(),
+            departed: vec![false; n],
+            joined: vec![false; n],
+            speed: SpeedEstimator::new(n, RegroupPolicy::default().alpha),
+            policy: None,
+            round_edges: 0,
+            last_swap_edge: 0,
+            last_ratio: -1.0,
+            pending_regroup: None,
         }
     }
 
@@ -137,6 +176,21 @@ impl HierRnaProtocol {
     pub fn with_ps_every(mut self, every: u64) -> Self {
         assert!(every > 0, "PS cadence must be positive");
         self.ps_every = every;
+        self
+    }
+
+    /// Arms online regrouping: per-worker EWMA speed estimates feed the
+    /// §4 ζ-split whenever the policy's cadence comes due and the measured
+    /// heterogeneity has drifted; a differing split is committed as an
+    /// atomic topology swap at a cluster-wide quiesce point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid ([`RegroupPolicy::validate`]).
+    pub fn with_regroup_policy(mut self, policy: RegroupPolicy) -> Self {
+        policy.validate().expect("invalid regroup policy");
+        self.speed = SpeedEstimator::new(self.worker_group.len(), policy.alpha);
+        self.policy = Some(policy);
         self
     }
 
@@ -285,6 +339,238 @@ impl HierRnaProtocol {
             },
         );
     }
+
+    /// Round-edge hook shared by the immediate and deferred (PS-exchange)
+    /// completion paths: process planned churn for the group, run the
+    /// online regroup check, and — unless a topology swap is draining or
+    /// just committed — resume the group into its next probe round.
+    fn after_round_edge(&mut self, ctx: &mut Ctx<'_, RnaMsg>, gid: usize) {
+        self.round_edges += 1;
+        self.process_churn(ctx, gid);
+        if self.pending_regroup.is_none() {
+            self.maybe_regroup(ctx);
+        }
+        if self.pending_regroup.is_some() {
+            // A swap is armed: hold this group at its edge (no new probe
+            // round) and commit once every group has drained. The commit
+            // itself restarts every group.
+            self.try_commit_regroup(ctx);
+            return;
+        }
+        let config = &self.config;
+        if let Some(g) = self.groups.get_mut(gid) {
+            g.resume_paused(ctx, config);
+            if !ctx.stopped() {
+                g.start_probe_round(ctx, config);
+            }
+        }
+    }
+
+    /// Applies the churn plan's events for members of group `gid`, called
+    /// right after `complete_round` bumped the group round. Comparisons
+    /// are `>=` with once-flags rather than exact equality because a
+    /// committed topology swap aligns every group to the maximum round —
+    /// events falling inside the jumped-over range must still fire.
+    fn process_churn(&mut self, ctx: &mut Ctx<'_, RnaMsg>, gid: usize) {
+        let events: Vec<(usize, ChurnEvent)> = ctx.churn_plan().events().to_vec();
+        if events.is_empty() {
+            return;
+        }
+        let next = self.groups[gid].round();
+        for (w, ev) in events {
+            if self.worker_group[w] != gid {
+                continue;
+            }
+            match ev {
+                ChurnEvent::Retire { at_round } => {
+                    if next > at_round && !self.departed[w] {
+                        self.groups[gid].depart(&self.config, w);
+                        self.departed[w] = true;
+                        self.speed.forget(w);
+                        ctx.note_worker_retired(w, at_round);
+                    }
+                }
+                ChurnEvent::Evict { at_round } => {
+                    if next >= at_round && !self.departed[w] {
+                        self.groups[gid].depart(&self.config, w);
+                        self.departed[w] = true;
+                        self.speed.forget(w);
+                        ctx.note_worker_evicted(w, at_round);
+                    }
+                }
+                ChurnEvent::Join { at_round, .. } => {
+                    if next >= at_round && !self.joined[w] {
+                        self.joined[w] = true;
+                        let snapshot_bytes = 4 * ctx.params(w).len() as u64;
+                        if self.groups[gid].live_members().is_empty() {
+                            // No live peer to donate parameters: stream
+                            // the master directly.
+                            if let Some(master) = self.master.as_ref() {
+                                ctx.set_params(w, master);
+                            }
+                        }
+                        self.groups[gid].handle_rejoin(ctx, &self.config, w);
+                        ctx.charge_bytes(snapshot_bytes);
+                        ctx.note_worker_joined(w, snapshot_bytes);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The online-regroup check (§4, run live): when the policy's cadence
+    /// is due, every active worker's EWMA estimate is trusted, and the
+    /// heterogeneity ratio has drifted past the threshold, re-run the
+    /// ζ-split over the estimates. A split that differs from the current
+    /// grouping arms a pending swap and quiesces every group.
+    fn maybe_regroup(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
+        let Some(policy) = self.policy else { return };
+        if ctx.stopped() || !policy.due(self.round_edges, self.last_swap_edge) {
+            return;
+        }
+        let mut members: Vec<usize> = self
+            .groups
+            .iter()
+            .flat_map(GroupState::live_members)
+            .collect();
+        members.sort_unstable();
+        if members.len() < 2 || self.speed.min_samples(&members) < policy.min_samples {
+            return;
+        }
+        let Some(times) = self.speed.estimates(&members) else {
+            return;
+        };
+        let ratio = hetero_ratio(&times);
+        if self.last_ratio >= 0.0 && (ratio - self.last_ratio).abs() < policy.drift_threshold {
+            return;
+        }
+        let current: Vec<Vec<usize>> = self
+            .groups
+            .iter()
+            .map(GroupState::live_members)
+            .filter(|m| !m.is_empty())
+            .collect();
+        match regroup_decision(&current, &members, &times) {
+            Some(proposal) => {
+                self.pending_regroup = Some((proposal, ratio));
+                for g in &mut self.groups {
+                    g.begin_quiesce();
+                }
+            }
+            None => {
+                // The split agrees with the current grouping: record the
+                // ratio as the new baseline so only further drift re-arms
+                // the check.
+                self.last_ratio = ratio;
+            }
+        }
+    }
+
+    /// Commits the armed topology swap once every group is drained: flush
+    /// pending PS accumulators into the master (nothing contributed is
+    /// lost), transplant gradient caches into the new layout, rebuild the
+    /// group states aligned to the maximum round, rebalance the PS shard
+    /// keys from the replica-backed blend, and restart every group.
+    /// Returns whether the swap committed.
+    fn try_commit_regroup(&mut self, ctx: &mut Ctx<'_, RnaMsg>) -> bool {
+        if self.pending_regroup.is_none() {
+            return false;
+        }
+        if ctx.stopped() {
+            // The run ended mid-drain: abandon the swap.
+            self.pending_regroup = None;
+            for g in &mut self.groups {
+                g.end_quiesce();
+            }
+            return false;
+        }
+        if !self.groups.iter().all(|g| g.idle_for_swap(ctx)) {
+            return false;
+        }
+        let (mut layout, ratio) = self
+            .pending_regroup
+            .take()
+            .expect("checked non-empty above");
+        // 1. Flush every group's pending accumulator into the master, so
+        //    gradients contributed before the swap survive it. The flush
+        //    is full-precision (no codec): the owed error-feedback
+        //    residuals are dropped with the old layout — a bounded, rare
+        //    loss the swap accepts.
+        let master = self.master.as_mut().expect("master set in on_start");
+        for gid in 0..self.pending.len() {
+            if let Some(grad) = self.pending[gid].take() {
+                let missed = std::mem::take(&mut self.missed_exchanges[gid]);
+                let lr = ctx.current_lr() * rna_ps::staleness_discount(missed);
+                master.axpy(-lr, &grad);
+                if self.config.pooled {
+                    ctx.pool_release(grad);
+                }
+            }
+        }
+        // 2. Steal every worker's cache and liveness so accumulated but
+        //    unreduced work crosses the swap.
+        let n = self.worker_group.len();
+        let mut caches: Vec<Option<GradientCache>> = (0..n).map(|_| None).collect();
+        let mut live = vec![false; n];
+        for g in &mut self.groups {
+            for w in g.members.clone() {
+                live[w] = g.is_live(w);
+                caches[w] = g.take_cache(&self.config, w);
+            }
+        }
+        // 3. The proposal covers live members only; park every other
+        //    identity (dormant joiners, departed, crashed) in the smallest
+        //    group, deterministically (ties break to the lowest index).
+        for w in 0..n {
+            if !layout.iter().any(|g| g.contains(&w)) {
+                let target = (0..layout.len())
+                    .min_by_key(|&i| (layout[i].len(), i))
+                    .expect("regroup proposal has at least one group");
+                layout[target].push(w);
+            }
+        }
+        // 4. Rebuild the group states on the new layout, aligned to the
+        //    maximum old round so the global round clock never runs
+        //    backwards, with caches transplanted and non-live members
+        //    dormant.
+        let round = self.groups.iter().map(GroupState::round).max().unwrap_or(0);
+        self.groups = layout
+            .iter()
+            .enumerate()
+            .map(|(id, members)| GroupState::new(id, members.clone(), &self.config))
+            .collect();
+        self.worker_group = group_of(&layout, n);
+        let k = self.groups.len();
+        self.pending = vec![None; k];
+        self.missed_exchanges = vec![0; k];
+        self.ps_residuals = vec![None; k];
+        for g in &mut self.groups {
+            for w in g.members.clone() {
+                if let Some(cache) = caches[w].take() {
+                    g.adopt_cache(w, cache);
+                }
+                if !live[w] {
+                    g.set_dormant(w);
+                }
+            }
+            g.recover_for_takeover(round);
+        }
+        // 5. Rebalance the PS shard keys: every slot reseeds from the
+        //    replica-backed blend already folded into the master, so no
+        //    pull can wedge on a dead primary mid-handoff.
+        let master = self.master.as_ref().expect("master set in on_start");
+        let moved = self.server.as_mut().map_or(0, |s| s.rebalance(master, k));
+        ctx.note_regroup(moved);
+        self.last_swap_edge = self.round_edges;
+        self.last_ratio = ratio;
+        // 6. Atomic swap done: restart every group's compute and election.
+        let config = &self.config;
+        for g in &mut self.groups {
+            g.resume_all(ctx, config);
+            g.start_probe_round(ctx, config);
+        }
+        true
+    }
 }
 
 impl Protocol for HierRnaProtocol {
@@ -304,7 +590,12 @@ impl Protocol for HierRnaProtocol {
         self.server = Some(ReplicatedGroupServer::new(ctx.params(0), self.groups.len()));
         self.ps_crashes_done = vec![false; ctx.fault_plan().ps_shard_crashes().len()];
         for w in 0..ctx.num_workers() {
-            ctx.begin_compute(w);
+            if ctx.churn_plan().join_of(w).is_some() {
+                // Planned joiner: dormant until its admission round.
+                self.groups[self.worker_group[w]].set_dormant(w);
+            } else {
+                ctx.begin_compute(w);
+            }
         }
         for g in &mut self.groups {
             g.start_probe_round(ctx, &self.config);
@@ -312,25 +603,50 @@ impl Protocol for HierRnaProtocol {
     }
 
     fn on_compute_done(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize, iter: u64) {
+        if self.departed[worker] {
+            // The worker left at a round edge while this iteration was in
+            // flight; its gradient no longer has a home.
+            let _ = ctx.take_gradient(worker);
+            return;
+        }
+        if self.policy.is_some() {
+            if let Some(took) = ctx.last_compute_time(worker) {
+                self.speed.observe(worker, took);
+            }
+        }
         let gid = self.worker_group[worker];
         self.groups[gid].handle_compute_done(ctx, &self.config, worker, iter);
+        if self.pending_regroup.is_some() {
+            self.try_commit_regroup(ctx);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, RnaMsg>, _from: usize, to: usize, msg: RnaMsg) {
+        // A committed topology swap may shrink the group count; messages
+        // addressed to a no-longer-existing group id are stale by
+        // definition and expire here.
         match msg {
             RnaMsg::Probe { group, round } => {
-                self.groups[group].handle_probe(ctx, &self.config, to, round);
+                let config = &self.config;
+                if let Some(g) = self.groups.get_mut(group) {
+                    g.handle_probe(ctx, config, to, round);
+                }
             }
             RnaMsg::ProbeReply {
                 group,
                 round,
                 worker,
             } => {
-                self.groups[group].handle_reply(ctx, &self.config, worker, round);
+                let config = &self.config;
+                if let Some(g) = self.groups.get_mut(group) {
+                    g.handle_reply(ctx, config, worker, round);
+                }
             }
             RnaMsg::ReduceDone { group, round } => {
-                let Some((reduced, contributors, applied)) =
-                    self.groups[group].take_reduce_result(round)
+                let Some((reduced, contributors, applied)) = self
+                    .groups
+                    .get_mut(group)
+                    .and_then(|g| g.take_reduce_result(round))
                 else {
                     return;
                 };
@@ -379,7 +695,8 @@ impl Protocol for HierRnaProtocol {
                     // returns.
                     self.groups[group].advance_round_deferred(contributors);
                 } else {
-                    self.groups[group].advance_round(ctx, &self.config, contributors);
+                    self.groups[group].complete_round(ctx, contributors);
+                    self.after_round_edge(ctx, group);
                 }
             }
             RnaMsg::ProbeRetry {
@@ -387,9 +704,21 @@ impl Protocol for HierRnaProtocol {
                 round,
                 attempt,
             } => {
-                self.groups[group].handle_probe_retry(ctx, &self.config, round, attempt);
+                let config = &self.config;
+                if let Some(g) = self.groups.get_mut(group) {
+                    g.handle_probe_retry(ctx, config, round, attempt);
+                }
             }
             RnaMsg::PsDone { group, blended } => {
+                // A group with a deferred round always survives the swap
+                // untouched (`idle_for_swap` refuses to commit while one
+                // is outstanding), so a valid id here is never stale.
+                if group >= self.groups.len() {
+                    if self.config.pooled {
+                        ctx.pool_release(blended);
+                    }
+                    return;
+                }
                 let allocs_before = rna_tensor::alloc::count();
                 for &w in &self.groups[group].members.clone() {
                     ctx.set_params(w, &blended);
@@ -398,7 +727,10 @@ impl Protocol for HierRnaProtocol {
                     ctx.pool_release(blended);
                 }
                 ctx.note_datapath_allocs(rna_tensor::alloc::count() - allocs_before);
-                self.groups[group].complete_deferred_round(ctx, &self.config);
+                if let Some(contributors) = self.groups[group].take_deferred() {
+                    self.groups[group].complete_round(ctx, contributors);
+                    self.after_round_edge(ctx, group);
+                }
             }
             RnaMsg::StandbyTakeover { .. } => {
                 // Controller failover is modeled for flat RNA only; the
@@ -409,7 +741,14 @@ impl Protocol for HierRnaProtocol {
 
     fn on_crash(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {
         let gid = self.worker_group[worker];
+        // The crashed worker's estimate is history; it re-earns trust
+        // after a restart.
+        self.speed.forget(worker);
         self.groups[gid].handle_crash(ctx, &self.config, worker);
+        if self.pending_regroup.is_some() {
+            // The crashed member no longer gates the drain.
+            self.try_commit_regroup(ctx);
+        }
     }
 
     fn on_rejoin(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize) {

@@ -59,6 +59,7 @@ mod config;
 pub mod fault;
 pub mod grouping;
 pub mod hier;
+pub mod membership;
 pub mod probe;
 pub mod recovery;
 pub mod rna;
@@ -68,6 +69,7 @@ pub mod timeline;
 
 pub use config::RnaConfig;
 pub use fault::{FaultPlan, ToleranceConfig, WorkerFate, WorkerFault};
+pub use membership::{ChurnEvent, ChurnPlan, RegroupPolicy, SpeedEstimator};
 pub use recovery::{CheckpointStore, RecoveryConfig, RecoveryError, RoundJournal};
 pub use rna_tensor::Compression;
 pub use stats::{RunResult, StopReason};

@@ -1,0 +1,794 @@
+//! Elastic membership: deterministic churn plans and online regrouping.
+//!
+//! The paper fixes the worker set at launch; real heterogeneous fleets
+//! churn — spot instances vanish, new nodes arrive, and a fast worker can
+//! degrade into a persistent straggler until the launch-time ζ-split
+//! grouping (§4, [`crate::grouping`]) is wrong. This module supplies the
+//! three pieces all execution worlds share:
+//!
+//! * [`ChurnPlan`] — a seedable-free, deterministic membership script
+//!   (join / retire / evict at global rounds) mirroring
+//!   [`crate::fault::FaultPlan`]'s compile-and-replay design, so the same
+//!   plan fed to the simulator, the threaded runtime, and the process
+//!   runtime admits and removes the same identities at the same rounds,
+//!   and same-seed DES replays stay bit-identical.
+//! * [`SpeedEstimator`] — per-worker EWMA of observed per-iteration times,
+//!   fed from virtual-time deltas in the DES and heartbeat/iteration
+//!   timings in the real runtimes.
+//! * [`RegroupPolicy`] / [`regroup_decision`] — when measured
+//!   heterogeneity drifts, re-run the paper's ζ-split on the *live*
+//!   estimates and propose a new grouping; the hierarchical protocol
+//!   swaps topologies atomically at a quiesce point.
+//!
+//! ## Membership semantics (identical in every world)
+//!
+//! All plans are expressed against a fixed *capacity* `n`: the maximum
+//! number of worker identities the run will ever hold. Joiners exist from
+//! construction but are **dormant** — they compute nothing, join no
+//! election, and count in no majority — until their join round. Vectors
+//! never shrink; retirement and eviction deactivate an identity in place.
+//! This is what makes bit-identical replay trivial and keeps churn-free
+//! runs byte-identical to their pre-elastic behaviour.
+//!
+//! * **Join at round `r`** — the worker is dormant for rounds `< r` and
+//!   active from round `r` on. Admission streams it the current model
+//!   snapshot (counted in `snapshot_bytes_streamed`) and grants it RNG
+//!   streams from a disjoint namespace, so the data streams of incumbent
+//!   workers are untouched.
+//! * **Retire at round `r`** — graceful: the worker is active *through*
+//!   round `r`, its final contribution is drained and reduced, and it is
+//!   removed when round `r` completes. Zero contributed rounds are lost.
+//! * **Evict at round `r`** — immediate: the worker is active only for
+//!   rounds `< r`; whatever it computed toward round `r` is dropped, the
+//!   same way a crash drops a cached gradient.
+
+use rna_simnet::SimDuration;
+
+use crate::fault::{ConfigError, ToleranceConfig};
+use crate::grouping::partition_groups;
+
+/// One membership event against one worker identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The worker becomes active at global round `at_round` (dormant
+    /// before). `admission_deadline_us` bounds how long admission — the
+    /// snapshot stream plus handshake — may take before the controller
+    /// gives up on the joiner for this round and treats it as not yet
+    /// arrived; it must be at least the liveness lease, or the joiner
+    /// would be declared dead mid-admission.
+    Join {
+        /// First global round the worker participates in.
+        at_round: u64,
+        /// Admission budget in microseconds (real time in the runtimes,
+        /// virtual time in the DES).
+        admission_deadline_us: u64,
+    },
+    /// Graceful leave: the worker contributes through round `at_round`
+    /// (its in-flight gradient is drained, not dropped) and is removed
+    /// when that round completes.
+    Retire {
+        /// Last global round the worker contributes to.
+        at_round: u64,
+    },
+    /// Forced leave: the worker is removed as round `at_round` begins;
+    /// anything it computed toward that round is discarded.
+    Evict {
+        /// First global round the worker is excluded from.
+        at_round: u64,
+    },
+}
+
+impl ChurnEvent {
+    /// The global round at which this event fires.
+    pub fn at_round(&self) -> u64 {
+        match *self {
+            ChurnEvent::Join { at_round, .. } => at_round,
+            ChurnEvent::Retire { at_round } => at_round,
+            ChurnEvent::Evict { at_round } => at_round,
+        }
+    }
+}
+
+/// A deterministic membership script: which identity joins or leaves at
+/// which global round.
+///
+/// Plans are plain data — no randomness — so the same plan fed to all
+/// three execution worlds produces the same admissions and removals at
+/// the same rounds, which is what the cross-world churn tests pin.
+///
+/// # Examples
+///
+/// ```
+/// use rna_core::membership::ChurnPlan;
+/// use rna_core::fault::ToleranceConfig;
+///
+/// // Capacity 8: workers 0..6 start active, 6 and 7 join mid-run,
+/// // worker 1 retires gracefully after round 20.
+/// let plan = ChurnPlan::none()
+///     .join(6, 10, 500_000)
+///     .join(7, 14, 500_000)
+///     .retire(1, 20);
+/// plan.validate(8, &ToleranceConfig::default()).unwrap();
+/// assert!(!plan.active_at(6, 9));
+/// assert!(plan.active_at(6, 10));
+/// assert!(plan.active_at(1, 20)); // retiree drains through its round
+/// assert!(!plan.active_at(1, 21));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    events: Vec<(usize, ChurnEvent)>,
+}
+
+impl ChurnPlan {
+    /// The empty plan: the launch membership runs unchanged.
+    pub fn none() -> Self {
+        ChurnPlan::default()
+    }
+
+    /// Adds a join: `worker` is dormant until global round `at_round`,
+    /// then admitted with an `admission_deadline_us` budget.
+    pub fn join(mut self, worker: usize, at_round: u64, admission_deadline_us: u64) -> Self {
+        self.events.push((
+            worker,
+            ChurnEvent::Join {
+                at_round,
+                admission_deadline_us,
+            },
+        ));
+        self
+    }
+
+    /// Adds a graceful retirement: `worker` contributes through round
+    /// `at_round`, then leaves with its final contribution drained.
+    pub fn retire(mut self, worker: usize, at_round: u64) -> Self {
+        self.events.push((worker, ChurnEvent::Retire { at_round }));
+        self
+    }
+
+    /// Adds an eviction: `worker` is removed as round `at_round` begins.
+    pub fn evict(mut self, worker: usize, at_round: u64) -> Self {
+        self.events.push((worker, ChurnEvent::Evict { at_round }));
+        self
+    }
+
+    /// Whether the plan changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All `(worker, event)` entries in insertion order.
+    pub fn events(&self) -> &[(usize, ChurnEvent)] {
+        &self.events
+    }
+
+    /// The events aimed at one worker.
+    pub fn for_worker(&self, worker: usize) -> impl Iterator<Item = ChurnEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |(w, _)| *w == worker)
+            .map(|(_, e)| *e)
+    }
+
+    /// The `(at_round, admission_deadline_us)` of `worker`'s join, if the
+    /// plan schedules one.
+    pub fn join_of(&self, worker: usize) -> Option<(u64, u64)> {
+        self.for_worker(worker).find_map(|e| match e {
+            ChurnEvent::Join {
+                at_round,
+                admission_deadline_us,
+            } => Some((at_round, admission_deadline_us)),
+            _ => None,
+        })
+    }
+
+    /// The round through which `worker` contributes before retiring, if
+    /// the plan schedules a graceful retirement.
+    pub fn retire_of(&self, worker: usize) -> Option<u64> {
+        self.for_worker(worker).find_map(|e| match e {
+            ChurnEvent::Retire { at_round } => Some(at_round),
+            _ => None,
+        })
+    }
+
+    /// The round at which `worker` is evicted, if the plan schedules one.
+    pub fn evict_of(&self, worker: usize) -> Option<u64> {
+        self.for_worker(worker).find_map(|e| match e {
+            ChurnEvent::Evict { at_round } => Some(at_round),
+            _ => None,
+        })
+    }
+
+    /// Sorted worker ids with a scheduled join (the identities that start
+    /// dormant). The runtimes use this to replay RNG fork order: joiners
+    /// draw their streams from a disjoint namespace.
+    pub fn joiners(&self) -> Vec<usize> {
+        let mut js: Vec<usize> = self
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, ChurnEvent::Join { .. }))
+            .map(|(w, _)| *w)
+            .collect();
+        js.sort_unstable();
+        js.dedup();
+        js
+    }
+
+    /// The largest worker index the plan touches, if any.
+    pub fn max_worker(&self) -> Option<usize> {
+        self.events.iter().map(|(w, _)| *w).max()
+    }
+
+    /// Whether `worker` is an active member for global round `round`
+    /// under this plan: joined (or launch member), not yet retired, not
+    /// yet evicted. A retiree is active *through* its retire round; an
+    /// evictee is active only strictly before its evict round.
+    pub fn active_at(&self, worker: usize, round: u64) -> bool {
+        if let Some((join_round, _)) = self.join_of(worker) {
+            if round < join_round {
+                return false;
+            }
+        }
+        if let Some(retire_round) = self.retire_of(worker) {
+            if round > retire_round {
+                return false;
+            }
+        }
+        if let Some(evict_round) = self.evict_of(worker) {
+            if round >= evict_round {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The sorted active member set for global round `round`, out of a
+    /// cluster of `capacity` identities.
+    pub fn active_set(&self, capacity: usize, round: u64) -> Vec<usize> {
+        (0..capacity)
+            .filter(|&w| self.active_at(w, round))
+            .collect()
+    }
+
+    /// Checks the plan against a cluster of `capacity` identities and the
+    /// run's [`ToleranceConfig`], returning the first structural problem
+    /// as a typed [`ConfigError`] instead of wedging mid-run.
+    ///
+    /// Rejected shapes: an event naming a worker `>= capacity`; duplicate
+    /// events of the same kind for one worker; both a retirement and an
+    /// eviction for one worker; a join at round 0 (launch members need no
+    /// join event); a leave scheduled at or before the same worker's
+    /// join (the identity would never participate); an eviction at round
+    /// 0; an admission deadline shorter than the liveness lease (the
+    /// controller would presume the joiner dead mid-admission); and a
+    /// plan that leaves no active worker at some event round.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ChurnPlanMalformed`] or
+    /// [`ConfigError::AdmissionDeadlineBelowLease`] per the shapes above.
+    pub fn validate(
+        &self,
+        capacity: usize,
+        tolerance: &ToleranceConfig,
+    ) -> Result<(), ConfigError> {
+        let malformed = |worker, why| Err(ConfigError::ChurnPlanMalformed { worker, why });
+        for &(w, e) in &self.events {
+            if w >= capacity {
+                return malformed(w, "event names a worker beyond cluster capacity");
+            }
+            let dup = self
+                .events
+                .iter()
+                .filter(|(ow, oe)| {
+                    *ow == w && std::mem::discriminant(oe) == std::mem::discriminant(&e)
+                })
+                .count();
+            if dup > 1 {
+                return malformed(w, "duplicate events of the same kind for one worker");
+            }
+            if self.retire_of(w).is_some() && self.evict_of(w).is_some() {
+                return malformed(w, "both a retirement and an eviction for one worker");
+            }
+            match e {
+                ChurnEvent::Join {
+                    at_round,
+                    admission_deadline_us,
+                } => {
+                    if at_round == 0 {
+                        return malformed(w, "join at round 0; launch members need no join event");
+                    }
+                    if admission_deadline_us < tolerance.liveness_timeout_us {
+                        return Err(ConfigError::AdmissionDeadlineBelowLease {
+                            worker: w,
+                            deadline_us: admission_deadline_us,
+                            lease_us: tolerance.liveness_timeout_us,
+                        });
+                    }
+                }
+                ChurnEvent::Retire { at_round } => {
+                    if let Some((join_round, _)) = self.join_of(w) {
+                        if at_round < join_round {
+                            return malformed(w, "retires before it joins");
+                        }
+                    }
+                }
+                ChurnEvent::Evict { at_round } => {
+                    if at_round == 0 {
+                        return malformed(w, "evicted at round 0; the identity never participates");
+                    }
+                    if let Some((join_round, _)) = self.join_of(w) {
+                        if at_round <= join_round {
+                            return malformed(w, "evicted at or before its join round");
+                        }
+                    }
+                }
+            }
+        }
+        // The cluster must never drain completely: check every round at
+        // which membership changes.
+        for &(_, e) in &self.events {
+            let r = e.at_round();
+            for round in [r, r.saturating_add(1)] {
+                if self.active_set(capacity, round).is_empty() {
+                    return malformed(
+                        usize::MAX,
+                        "plan leaves no active worker at some event round",
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker EWMA of observed per-iteration times, the live counterpart
+/// of the launch-time probe the paper's §4 grouping keys off.
+///
+/// Fed virtual-time deltas in the DES and heartbeat/iteration timings in
+/// the real runtimes; read by [`regroup_decision`] when the
+/// [`RegroupPolicy`] says heterogeneity may have drifted.
+#[derive(Debug, Clone)]
+pub struct SpeedEstimator {
+    alpha: f64,
+    ewma_ns: Vec<f64>,
+    samples: Vec<u64>,
+}
+
+impl SpeedEstimator {
+    /// An estimator over `capacity` worker identities with smoothing
+    /// factor `alpha` (weight of the newest sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(capacity: usize, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha {alpha} not in (0, 1]"
+        );
+        SpeedEstimator {
+            alpha,
+            ewma_ns: vec![0.0; capacity],
+            samples: vec![0; capacity],
+        }
+    }
+
+    /// Records one observed iteration duration for `worker`.
+    pub fn observe(&mut self, worker: usize, took: SimDuration) {
+        let ns = took.as_nanos() as f64;
+        if self.samples[worker] == 0 {
+            self.ewma_ns[worker] = ns;
+        } else {
+            self.ewma_ns[worker] += self.alpha * (ns - self.ewma_ns[worker]);
+        }
+        self.samples[worker] += 1;
+    }
+
+    /// How many samples `worker` has contributed.
+    pub fn samples(&self, worker: usize) -> u64 {
+        self.samples[worker]
+    }
+
+    /// The current estimate for `worker`, if it has any samples.
+    pub fn estimate(&self, worker: usize) -> Option<SimDuration> {
+        if self.samples[worker] == 0 {
+            None
+        } else {
+            Some(SimDuration::from_nanos(self.ewma_ns[worker].max(1.0) as u64))
+        }
+    }
+
+    /// The estimates for an explicit member list, or `None` if any member
+    /// has no samples yet (a regroup must not run on guesses).
+    pub fn estimates(&self, members: &[usize]) -> Option<Vec<SimDuration>> {
+        members.iter().map(|&w| self.estimate(w)).collect()
+    }
+
+    /// The smallest sample count across `members` (0 for an empty list).
+    pub fn min_samples(&self, members: &[usize]) -> u64 {
+        members.iter().map(|&w| self.samples[w]).min().unwrap_or(0)
+    }
+
+    /// Discards `worker`'s history (e.g. after an eviction, so a reused
+    /// identity does not inherit stale speed).
+    pub fn forget(&mut self, worker: usize) {
+        self.ewma_ns[worker] = 0.0;
+        self.samples[worker] = 0;
+    }
+}
+
+/// When the hierarchical protocol checks for — and commits — an online
+/// regroup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegroupPolicy {
+    /// Check cadence: consider a regroup every this many global rounds.
+    pub check_every_rounds: u64,
+    /// Minimum rounds between committed topology swaps (a swap is
+    /// disruptive: the PS rebalances keys and caches reset).
+    pub cooldown_rounds: u64,
+    /// Minimum EWMA samples every active worker must have before its
+    /// estimate is trusted.
+    pub min_samples: u64,
+    /// EWMA smoothing factor handed to [`SpeedEstimator::new`].
+    pub alpha: f64,
+    /// How far the measured heterogeneity ratio ζ/v must drift from its
+    /// value at the last committed grouping before a re-split is even
+    /// attempted. 0.0 re-evaluates on every check.
+    pub drift_threshold: f64,
+}
+
+impl Default for RegroupPolicy {
+    fn default() -> Self {
+        RegroupPolicy {
+            check_every_rounds: 8,
+            cooldown_rounds: 16,
+            min_samples: 3,
+            alpha: 0.3,
+            drift_threshold: 0.25,
+        }
+    }
+}
+
+impl RegroupPolicy {
+    /// Checks the policy's invariants with a typed error, mirroring
+    /// [`ToleranceConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroRegroupCadence`] when `check_every_rounds` is 0
+    /// (the check would never fire) or `alpha` leaves `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.check_every_rounds == 0 || !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(ConfigError::ZeroRegroupCadence);
+        }
+        Ok(())
+    }
+
+    /// Whether round `round` is a check point under the cadence and the
+    /// cooldown since `last_swap_round`.
+    pub fn due(&self, round: u64, last_swap_round: u64) -> bool {
+        round > 0
+            && round.is_multiple_of(self.check_every_rounds)
+            && round.saturating_sub(last_swap_round) >= self.cooldown_rounds
+    }
+}
+
+/// The measured heterogeneity ratio ζ/v: the fastest-to-slowest gap over
+/// the mean per-iteration time. The paper splits while ζ > v, i.e. while
+/// this ratio exceeds 1. Returns 0.0 for fewer than two workers or a
+/// zero mean.
+pub fn hetero_ratio(times: &[SimDuration]) -> f64 {
+    if times.len() < 2 {
+        return 0.0;
+    }
+    let min = times.iter().min().copied().unwrap().as_nanos();
+    let max = times.iter().max().copied().unwrap().as_nanos();
+    let mean = times.iter().map(SimDuration::as_nanos).sum::<u64>() / times.len() as u64;
+    if mean == 0 {
+        return 0.0;
+    }
+    (max - min) as f64 / mean as f64
+}
+
+/// Canonicalizes a grouping: members sorted within each group, groups
+/// sorted by first member, empty groups dropped. Two groupings are the
+/// same partition iff their canonical forms are equal.
+pub fn canonical_groups(groups: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            let mut m = g.clone();
+            m.sort_unstable();
+            m
+        })
+        .collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Re-runs the paper's ζ-split ([`partition_groups`]) on live speed
+/// estimates and proposes a new grouping when it differs from the
+/// current one.
+///
+/// `members[i]`'s estimated per-iteration time is `times[i]`; both are
+/// indexed by *position*, and member ids are global worker ids. Returns
+/// the proposed grouping in canonical form ([`canonical_groups`]) only
+/// when it is a genuinely different partition of the same member set —
+/// `None` means "keep the current topology".
+///
+/// # Panics
+///
+/// Panics if `members` and `times` disagree in length.
+pub fn regroup_decision(
+    current: &[Vec<usize>],
+    members: &[usize],
+    times: &[SimDuration],
+) -> Option<Vec<Vec<usize>>> {
+    assert_eq!(
+        members.len(),
+        times.len(),
+        "one speed estimate per member required"
+    );
+    if members.is_empty() {
+        return None;
+    }
+    let split = partition_groups(times);
+    let proposed = canonical_groups(
+        &split
+            .iter()
+            .map(|g| g.iter().map(|&local| members[local]).collect())
+            .collect::<Vec<Vec<usize>>>(),
+    );
+    if proposed == canonical_groups(current) {
+        None
+    } else {
+        Some(proposed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(m: u64) -> SimDuration {
+        SimDuration::from_millis(m)
+    }
+
+    #[test]
+    fn plan_builders_accumulate() {
+        let plan = ChurnPlan::none()
+            .join(6, 10, 500_000)
+            .retire(1, 20)
+            .evict(2, 5);
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.join_of(6), Some((10, 500_000)));
+        assert_eq!(plan.retire_of(1), Some(20));
+        assert_eq!(plan.evict_of(2), Some(5));
+        assert_eq!(plan.join_of(1), None);
+        assert_eq!(plan.max_worker(), Some(6));
+        assert_eq!(plan.joiners(), vec![6]);
+        assert!(!plan.is_empty());
+        assert!(ChurnPlan::none().is_empty());
+    }
+
+    #[test]
+    fn activity_windows() {
+        let plan = ChurnPlan::none()
+            .join(3, 10, 500_000)
+            .retire(1, 20)
+            .evict(2, 5);
+        // Launch member with no events: always active.
+        assert!(plan.active_at(0, 0));
+        assert!(plan.active_at(0, 1_000));
+        // Joiner: dormant before its round.
+        assert!(!plan.active_at(3, 0));
+        assert!(!plan.active_at(3, 9));
+        assert!(plan.active_at(3, 10));
+        assert!(plan.active_at(3, 99));
+        // Retiree: drains through its round inclusive.
+        assert!(plan.active_at(1, 20));
+        assert!(!plan.active_at(1, 21));
+        // Evictee: excluded from its round on.
+        assert!(plan.active_at(2, 4));
+        assert!(!plan.active_at(2, 5));
+        assert_eq!(plan.active_set(4, 0), vec![0, 1, 2]);
+        assert_eq!(plan.active_set(4, 10), vec![0, 1, 3]);
+        assert_eq!(plan.active_set(4, 30), vec![0, 3]);
+    }
+
+    #[test]
+    fn join_then_leave_windows() {
+        let plan = ChurnPlan::none().join(0, 5, 500_000).retire(0, 9);
+        assert!(!plan.active_at(0, 4));
+        assert!(plan.active_at(0, 5));
+        assert!(plan.active_at(0, 9));
+        assert!(!plan.active_at(0, 10));
+        plan.validate(2, &ToleranceConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_malformed_shapes() {
+        let tol = ToleranceConfig::default();
+        let cases: Vec<(ChurnPlan, &str)> = vec![
+            (
+                ChurnPlan::none().join(5, 3, 500_000),
+                "beyond cluster capacity",
+            ),
+            (
+                ChurnPlan::none().join(1, 3, 500_000).join(1, 7, 500_000),
+                "duplicate events",
+            ),
+            (
+                ChurnPlan::none().retire(1, 3).evict(1, 7),
+                "both a retirement and an eviction",
+            ),
+            (ChurnPlan::none().join(1, 0, 500_000), "join at round 0"),
+            (
+                ChurnPlan::none().join(1, 8, 500_000).retire(1, 3),
+                "retires before it joins",
+            ),
+            (ChurnPlan::none().evict(1, 0), "evicted at round 0"),
+            (
+                ChurnPlan::none().join(1, 8, 500_000).evict(1, 8),
+                "at or before its join round",
+            ),
+            (
+                ChurnPlan::none()
+                    .evict(0, 2)
+                    .evict(1, 2)
+                    .retire(2, 1)
+                    .retire(3, 1),
+                "no active worker",
+            ),
+        ];
+        for (plan, needle) in cases {
+            match plan.validate(4, &tol) {
+                Err(ConfigError::ChurnPlanMalformed { why, .. }) => {
+                    assert!(why.contains(needle), "{why:?} missing {needle:?}");
+                }
+                other => panic!("expected malformed ({needle}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_admission_deadline_below_lease() {
+        let tol = ToleranceConfig::default();
+        let plan = ChurnPlan::none().join(1, 3, tol.liveness_timeout_us - 1);
+        assert_eq!(
+            plan.validate(4, &tol),
+            Err(ConfigError::AdmissionDeadlineBelowLease {
+                worker: 1,
+                deadline_us: tol.liveness_timeout_us - 1,
+                lease_us: tol.liveness_timeout_us,
+            })
+        );
+        // Exactly the lease is fine.
+        ChurnPlan::none()
+            .join(1, 3, tol.liveness_timeout_us)
+            .validate(4, &tol)
+            .unwrap();
+        // The error renders readably.
+        let msg = ConfigError::AdmissionDeadlineBelowLease {
+            worker: 1,
+            deadline_us: 10,
+            lease_us: 20,
+        }
+        .to_string();
+        assert!(msg.contains("admission deadline"), "{msg}");
+    }
+
+    #[test]
+    fn estimator_converges_and_gates() {
+        let mut est = SpeedEstimator::new(3, 0.5);
+        assert_eq!(est.estimate(0), None);
+        assert_eq!(est.estimates(&[0, 1]), None);
+        for _ in 0..20 {
+            est.observe(0, ms(100));
+            est.observe(1, ms(400));
+        }
+        let e0 = est.estimate(0).unwrap();
+        let e1 = est.estimate(1).unwrap();
+        assert_eq!(e0, ms(100));
+        assert_eq!(e1, ms(400));
+        assert_eq!(est.samples(0), 20);
+        assert_eq!(est.min_samples(&[0, 1, 2]), 0);
+        assert_eq!(est.min_samples(&[0, 1]), 20);
+        assert_eq!(est.estimates(&[0, 1]), Some(vec![e0, e1]));
+        // A drifting worker's estimate follows the drift.
+        for _ in 0..20 {
+            est.observe(0, ms(500));
+        }
+        assert!(est.estimate(0).unwrap() > ms(490));
+        est.forget(0);
+        assert_eq!(est.estimate(0), None);
+        assert_eq!(est.min_samples(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0, 1]")]
+    fn estimator_rejects_bad_alpha() {
+        let _ = SpeedEstimator::new(2, 0.0);
+    }
+
+    #[test]
+    fn policy_cadence_and_cooldown() {
+        let policy = RegroupPolicy {
+            check_every_rounds: 4,
+            cooldown_rounds: 8,
+            ..RegroupPolicy::default()
+        };
+        policy.validate().unwrap();
+        assert!(!policy.due(0, 0)); // round 0 is launch grouping
+        assert!(!policy.due(4, 0)); // inside cooldown
+        assert!(policy.due(8, 0));
+        assert!(!policy.due(9, 0)); // off-cadence
+        assert!(!policy.due(12, 8)); // cooldown since last swap
+        assert!(policy.due(16, 8));
+        assert!(RegroupPolicy {
+            check_every_rounds: 0,
+            ..RegroupPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RegroupPolicy {
+            alpha: 1.5,
+            ..RegroupPolicy::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn hetero_ratio_matches_split_criterion() {
+        // ζ = 300 ms, v = 250 ms → ratio 1.2 > 1, the paper splits.
+        let r = hetero_ratio(&[ms(100), ms(400)]);
+        assert!((r - 1.2).abs() < 1e-9, "{r}");
+        assert_eq!(hetero_ratio(&[ms(100)]), 0.0);
+        assert_eq!(hetero_ratio(&[]), 0.0);
+        assert_eq!(hetero_ratio(&[SimDuration::ZERO, SimDuration::ZERO]), 0.0);
+    }
+
+    #[test]
+    fn regroup_decision_matches_offline_split() {
+        // Active members 0,2,3,5 (1 and 4 left): two clear speed tiers.
+        let members = [0usize, 2, 3, 5];
+        let times = [ms(100), ms(400), ms(100), ms(400)];
+        let current = vec![vec![0, 2, 3, 5]]; // launch: one flat group
+        let proposed = regroup_decision(&current, &members, &times).unwrap();
+        // Pin against the offline split on the same speed vector.
+        let offline = partition_groups(&times);
+        let mapped: Vec<Vec<usize>> = offline
+            .iter()
+            .map(|g| g.iter().map(|&l| members[l]).collect())
+            .collect();
+        assert_eq!(proposed, canonical_groups(&mapped));
+        assert_eq!(proposed, vec![vec![0, 3], vec![2, 5]]);
+    }
+
+    #[test]
+    fn regroup_decision_keeps_equivalent_partition() {
+        let members = [0usize, 1, 2, 3];
+        let times = [ms(100), ms(400), ms(100), ms(400)];
+        // Current grouping already matches the split (listed in a
+        // different order — canonicalization must see through that).
+        let current = vec![vec![3, 1], vec![2, 0]];
+        assert_eq!(regroup_decision(&current, &members, &times), None);
+        // Homogeneous speeds with a flat current topology: no change.
+        let flat = vec![vec![0, 1, 2, 3]];
+        assert_eq!(regroup_decision(&flat, &members, &[ms(100); 4]), None);
+        // Empty member set never proposes anything.
+        assert_eq!(regroup_decision(&flat, &[], &[]), None);
+    }
+
+    #[test]
+    fn regroup_decision_coalesces_when_homogeneous() {
+        // A previously split cluster whose speeds converged proposes the
+        // flat topology again.
+        let members = [0usize, 1, 2, 3];
+        let current = vec![vec![0, 1], vec![2, 3]];
+        let proposed = regroup_decision(&current, &members, &[ms(100); 4]).unwrap();
+        assert_eq!(proposed, vec![vec![0, 1, 2, 3]]);
+    }
+}

@@ -29,6 +29,7 @@ use rna_tensor::Tensor;
 
 use crate::cache::GradientCache;
 use crate::fault::ToleranceConfig;
+use crate::membership::ChurnEvent;
 use crate::probe::ProbeRound;
 use crate::recovery::RoundJournal;
 use crate::sim::{Ctx, Protocol};
@@ -718,6 +719,100 @@ impl GroupState {
             .all(|(local, &w)| !self.live[local] || !ctx.is_computing(w))
     }
 
+    /// Marks a planned joiner dormant before the run starts: not live, not
+    /// paused, never probed. Unlike a crash there is no stall to resample —
+    /// the member never held a probe slot. Admission later goes through
+    /// [`GroupState::handle_rejoin`], which is exactly a join: fresh cache,
+    /// parameters seeded from a live peer, compute pipeline started.
+    pub fn set_dormant(&mut self, worker: usize) {
+        if let Some(local) = self.member_index(worker) {
+            self.live[local] = false;
+            self.paused[local] = false;
+            self.pending_reply[local] = None;
+        }
+    }
+
+    /// Removes a member from the active roster at a round edge (planned
+    /// retirement or eviction). The round that just completed already
+    /// merged the member's final contribution, so this is graceful: the
+    /// member simply stops being probed, elected, or applied to. Its cache
+    /// is reset — anything computed toward the *next* round is discarded,
+    /// which is the definition of the departure edge.
+    pub fn depart(&mut self, config: &RnaConfig, worker: usize) {
+        if let Some(local) = self.member_index(worker) {
+            self.live[local] = false;
+            self.paused[local] = false;
+            self.pending_reply[local] = None;
+            self.caches[local] =
+                GradientCache::new(config.staleness_bound, config.weighted_accumulation);
+        }
+    }
+
+    /// Whether the member is live (joined, not crashed, not departed).
+    pub fn is_live(&self, worker: usize) -> bool {
+        self.member_index(worker)
+            .is_some_and(|local| self.live[local])
+    }
+
+    /// Global ids of the group's live members.
+    pub fn live_members(&self) -> Vec<usize> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|&(local, _)| self.live[local])
+            .map(|(_, &w)| w)
+            .collect()
+    }
+
+    /// Steals the member's gradient cache for a topology swap, leaving a
+    /// fresh one behind. The swap transplants caches into the new group
+    /// layout so accumulated-but-unreduced work survives regrouping.
+    pub fn take_cache(&mut self, config: &RnaConfig, worker: usize) -> Option<GradientCache> {
+        self.member_index(worker).map(|local| {
+            std::mem::replace(
+                &mut self.caches[local],
+                GradientCache::new(config.staleness_bound, config.weighted_accumulation),
+            )
+        })
+    }
+
+    /// Installs a transplanted gradient cache for the member (the other
+    /// half of [`GroupState::take_cache`]).
+    pub fn adopt_cache(&mut self, worker: usize, cache: GradientCache) {
+        if let Some(local) = self.member_index(worker) {
+            self.caches[local] = cache;
+        }
+    }
+
+    /// Whether the group is drained enough for an atomic topology swap:
+    /// no collective in flight, no deferred round, and every live member
+    /// idle. Same discipline as the checkpoint quiesce, extended to the
+    /// reduce latch (the checkpoint path only reaches its cut from a round
+    /// edge, where `reducing` is clear by construction; regrouping polls
+    /// from arbitrary points).
+    pub fn idle_for_swap(&self, ctx: &Ctx<'_, RnaMsg>) -> bool {
+        !self.reducing && self.in_flight.is_none() && self.deferred.is_none() && self.all_idle(ctx)
+    }
+
+    /// Kicks every idle live member's compute pipeline — the post-swap
+    /// counterpart of [`GroupState::resume_paused`], for freshly rebuilt
+    /// groups whose pause flags did not survive the rebuild.
+    pub fn resume_all(&mut self, ctx: &mut Ctx<'_, RnaMsg>, config: &RnaConfig) {
+        for local in 0..self.members.len() {
+            if self.live[local] {
+                self.maybe_continue(ctx, config, local);
+            }
+        }
+    }
+
+    /// Claims a deferred round completion without advancing the round —
+    /// callers that must interleave work at the round edge (churn
+    /// processing, a regroup check) take the contributor count and drive
+    /// [`GroupState::complete_round`] themselves.
+    pub fn take_deferred(&mut self) -> Option<usize> {
+        self.deferred.take()
+    }
+
     /// Resets the controller-side election state after a standby takeover:
     /// the new controller trusts only the journal-recovered `round`, holds
     /// no probe round or in-flight collective, and bumps the probe epoch
@@ -922,6 +1017,10 @@ pub struct RnaProtocol {
     /// Index into [`crate::fault::FaultPlan::controller_crashes`] of the
     /// next controller crash not yet executed.
     crash_idx: usize,
+    /// Workers that left via the churn plan (retired or evicted). Their
+    /// engine may still deliver an in-flight `ComputeDone` after the
+    /// departure edge; the gradient is discarded at the protocol level.
+    departed: Vec<bool>,
 }
 
 impl RnaProtocol {
@@ -942,6 +1041,7 @@ impl RnaProtocol {
             ctrl_down: false,
             journal: RoundJournal::new(),
             crash_idx: 0,
+            departed: vec![false; n],
         }
     }
 
@@ -1006,6 +1106,55 @@ impl RnaProtocol {
         self.start_next_round(ctx);
     }
 
+    /// Applies the churn plan's events that fall on this round edge. Called
+    /// right after `complete_round` bumped the group round, so
+    /// `group.round()` is the round about to start:
+    ///
+    /// * a **retirement** with `at_round == round - 1` just contributed its
+    ///   final round and leaves now (zero contributed rounds lost);
+    /// * an **eviction** with `at_round == round` leaves before the round
+    ///   it is excluded from, discarding any compute toward it;
+    /// * a **join** with `at_round == round` is admitted: parameters are
+    ///   streamed from a live peer (billed to the virtual wire) and the
+    ///   member enters the election from this round on.
+    ///
+    /// Round edges advance by exactly one per completed collective, so the
+    /// equality tests fire each event exactly once; the plan was validated
+    /// at spec construction (no joins or evictions at round 0).
+    fn process_churn(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
+        let events: Vec<(usize, ChurnEvent)> = ctx.churn_plan().events().to_vec();
+        if events.is_empty() {
+            return;
+        }
+        let next = self.group.round();
+        for (w, ev) in events {
+            match ev {
+                ChurnEvent::Retire { at_round } => {
+                    if at_round + 1 == next && !self.departed[w] {
+                        self.group.depart(&self.config, w);
+                        self.departed[w] = true;
+                        ctx.note_worker_retired(w, at_round);
+                    }
+                }
+                ChurnEvent::Evict { at_round } => {
+                    if at_round == next && !self.departed[w] {
+                        self.group.depart(&self.config, w);
+                        self.departed[w] = true;
+                        ctx.note_worker_evicted(w, at_round);
+                    }
+                }
+                ChurnEvent::Join { at_round, .. } => {
+                    if at_round == next {
+                        let snapshot_bytes = 4 * ctx.params(w).len() as u64;
+                        self.group.handle_rejoin(ctx, &self.config, w);
+                        ctx.charge_bytes(snapshot_bytes);
+                        ctx.note_worker_joined(w, snapshot_bytes);
+                    }
+                }
+            }
+        }
+    }
+
     /// Cuts the pending checkpoint if the quiesce has drained (every live
     /// member idle), then resumes the group exactly as the non-checkpoint
     /// path would have — the same sequence [`Protocol::on_resume`] replays
@@ -1035,7 +1184,12 @@ impl Protocol for RnaProtocol {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
         for w in 0..ctx.num_workers() {
-            ctx.begin_compute(w);
+            if ctx.churn_plan().join_of(w).is_some() {
+                // Planned joiner: dormant until its admission round.
+                self.group.set_dormant(w);
+            } else {
+                ctx.begin_compute(w);
+            }
         }
         // Routed through the crash check so a controller crash at round 0
         // is honored (workers still compute and fill caches meanwhile).
@@ -1043,6 +1197,12 @@ impl Protocol for RnaProtocol {
     }
 
     fn on_compute_done(&mut self, ctx: &mut Ctx<'_, RnaMsg>, worker: usize, iter: u64) {
+        if self.departed[worker] {
+            // The worker left at a round edge while this iteration was in
+            // flight; its gradient no longer has a home.
+            let _ = ctx.take_gradient(worker);
+            return;
+        }
         self.group
             .handle_compute_done(ctx, &self.config, worker, iter);
         if self.group.quiescing() {
@@ -1079,6 +1239,7 @@ impl Protocol for RnaProtocol {
                     let initiator = self.group.last_initiator().unwrap_or(0);
                     self.group.complete_round(ctx, contributors);
                     self.journal.record(round, initiator, contributors as u32);
+                    self.process_churn(ctx);
                     if ctx.checkpoint_due() && !ctx.stopped() {
                         self.group.begin_quiesce();
                         self.try_cut_checkpoint(ctx);
@@ -1131,6 +1292,14 @@ impl Protocol for RnaProtocol {
     }
 
     fn on_resume(&mut self, ctx: &mut Ctx<'_, RnaMsg>) {
+        // The departed set is pure plan-vs-round state, so it is recomputed
+        // instead of checkpointed (the group's live flags did persist).
+        let round = self.group.round();
+        for w in 0..self.departed.len() {
+            let plan = ctx.churn_plan();
+            self.departed[w] = plan.retire_of(w).is_some_and(|r| round > r)
+                || plan.evict_of(w).is_some_and(|r| round >= r);
+        }
         // Exactly the continuation `try_cut_checkpoint` runs after writing
         // the checkpoint — resuming from disk replays the same events.
         self.group.resume_paused(ctx, &self.config);

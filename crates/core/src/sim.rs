@@ -30,7 +30,8 @@ use rna_training::{BatchSampler, Dataset, EarlyStopping, History, LrSchedule, Mo
 use rna_workload::trace::WorkloadTrace;
 use rna_workload::{HeterogeneityModel, ModelProfile};
 
-use crate::fault::{FaultPlan, NetFaultPlan, WorkerFate, WorkerFault};
+use crate::fault::{FaultPlan, NetFaultPlan, ToleranceConfig, WorkerFate, WorkerFault};
+use crate::membership::ChurnPlan;
 use crate::recovery::{self, CheckpointStore, RecoveryConfig, RecoveryError};
 use crate::stats::{RunResult, StopReason};
 use rna_tensor::wire::{self, Reader};
@@ -184,6 +185,13 @@ pub struct TrainSpec {
     /// drop probabilities, flaps, and partitions, applied by the fabric at
     /// delivery time ([`Ctx::send`]).
     pub net_fault_plan: NetFaultPlan,
+    /// Elastic-membership script shared with the real runtimes:
+    /// `num_workers` is the *capacity* (the largest membership the run
+    /// ever holds); identities with a scheduled join start dormant and
+    /// are admitted at their join round, retirees drain through their
+    /// final round, evictees are dropped at theirs. Protocols that do not
+    /// consult the plan simply run every identity from the start.
+    pub churn_plan: ChurnPlan,
 }
 
 impl TrainSpec {
@@ -221,6 +229,7 @@ impl TrainSpec {
             crashes: Vec::new(),
             fault_plan: FaultPlan::none(),
             net_fault_plan: NetFaultPlan::none(),
+            churn_plan: ChurnPlan::none(),
         }
     }
 
@@ -262,6 +271,26 @@ impl TrainSpec {
             assert!(max < self.num_workers, "fault plan names worker {max}");
         }
         self.fault_plan = plan;
+        self
+    }
+
+    /// Installs a [`ChurnPlan`] (joins, retirements, evictions at global
+    /// rounds). `num_workers` stays the cluster *capacity*: identities
+    /// with a scheduled join start dormant. The plan is validated against
+    /// the capacity and the default [`ToleranceConfig`] — the simulator
+    /// has no real clocks, but keeping the admission-deadline check here
+    /// means a plan rejected by the runtimes is rejected by the DES too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is malformed (see
+    /// [`ChurnPlan::validate`]), e.g. it names a worker outside
+    /// `0..num_workers` or an admission deadline below the liveness lease.
+    pub fn with_churn_plan(mut self, plan: ChurnPlan) -> Self {
+        if let Err(e) = plan.validate(self.num_workers, &ToleranceConfig::default()) {
+            panic!("invalid churn plan: {e}");
+        }
+        self.churn_plan = plan;
         self
     }
 
@@ -438,6 +467,11 @@ pub struct SimState<M> {
     bytes_on_wire: u64,
     bytes_saved: u64,
     codec_error_l2: f64,
+    workers_joined: u64,
+    workers_retired: u64,
+    regroup_events: u64,
+    ps_keys_rebalanced: u64,
+    snapshot_bytes_streamed: u64,
 }
 
 /// The protocol's handle onto the engine.
@@ -626,11 +660,13 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
                         s.fates[worker] = WorkerFate::Hung { at_iter };
                     }
                 }
-                WorkerFault::SlowFrom {
-                    from_iter,
-                    extra_us,
-                } if from_iter <= iter => {
-                    dur += SimDuration::from_micros(extra_us);
+                WorkerFault::SlowFrom { from_iter, .. }
+                | WorkerFault::GrayFrom { from_iter, .. }
+                    if from_iter <= iter =>
+                {
+                    // Constant straggler and gray ramp share the shared
+                    // slowdown arithmetic so the worlds cannot drift.
+                    dur += SimDuration::from_micros(fault.slowdown_at(iter));
                     if s.fates[worker] == WorkerFate::Healthy {
                         s.fates[worker] = WorkerFate::Slowed { from_iter };
                     }
@@ -894,6 +930,11 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
                 bytes_on_wire: s.bytes_on_wire,
                 bytes_saved: s.bytes_saved,
                 codec_error_l2: s.codec_error_l2,
+                workers_joined: s.workers_joined,
+                workers_retired: s.workers_retired,
+                regroup_events: s.regroup_events,
+                ps_keys_rebalanced: s.ps_keys_rebalanced,
+                snapshot_bytes_streamed: s.snapshot_bytes_streamed,
             },
         );
         let mut payload = Vec::with_capacity(engine.len() + blob.len() + 16);
@@ -922,6 +963,52 @@ impl<M: Clone + std::fmt::Debug> Ctx<'_, M> {
     /// Records one PS shard primary crash (degraded to its replica).
     pub fn note_ps_failover(&mut self) {
         self.0.ps_failovers += 1;
+    }
+
+    /// The run's elastic-membership script. Protocols that honour it
+    /// keep joiners dormant until their join round and process leaves at
+    /// round edges; the engine itself never consults it.
+    pub fn churn_plan(&self) -> &ChurnPlan {
+        &self.0.spec.churn_plan
+    }
+
+    /// Records one mid-run admission: `worker` joined and was streamed
+    /// `snapshot_bytes` of model snapshot.
+    pub fn note_worker_joined(&mut self, worker: usize, snapshot_bytes: u64) {
+        let _ = worker;
+        self.0.workers_joined += 1;
+        self.0.snapshot_bytes_streamed += snapshot_bytes;
+    }
+
+    /// Records one graceful retirement: `worker` left after contributing
+    /// through global round `at_round` (its final gradient drained).
+    pub fn note_worker_retired(&mut self, worker: usize, at_round: u64) {
+        self.0.workers_retired += 1;
+        self.0.fates[worker] = WorkerFate::Retired { at_round };
+    }
+
+    /// Records one eviction: `worker` was removed as round `at_round`
+    /// began, in-flight work discarded.
+    pub fn note_worker_evicted(&mut self, worker: usize, at_round: u64) {
+        self.0.workers_retired += 1;
+        self.0.fates[worker] = WorkerFate::Evicted { at_round };
+    }
+
+    /// Records one online regroup (topology re-split committed at a
+    /// quiesce point) and the PS keys it rehomed.
+    pub fn note_regroup(&mut self, ps_keys_rebalanced: u64) {
+        self.0.regroup_events += 1;
+        self.0.ps_keys_rebalanced += ps_keys_rebalanced;
+    }
+
+    /// The compute duration of `worker`'s most recently scheduled
+    /// iteration (the engine logs every workload draw into its trace at
+    /// launch, and a worker has at most one iteration in flight, so inside
+    /// a `ComputeDone` handler this is the duration of the iteration that
+    /// just finished). Pure compute time — excludes waits and
+    /// communication — which is what a speed estimator wants.
+    pub fn last_compute_time(&self, worker: usize) -> Option<SimDuration> {
+        self.0.workload_trace.durations(worker).last().copied()
     }
 }
 
@@ -993,10 +1080,34 @@ impl<P: Protocol> Engine<P> {
                 )
             })
             .collect();
+        // Planned joiners draw their streams from a disjoint grant
+        // namespace (`(5 << 32) + 2w` / `+ 2w + 1`, mirroring the runtime's
+        // join-grant convention). `fork` consumes exactly one parent draw
+        // regardless of the key, so handing a joiner a different key leaves
+        // every original member's stream — and the protocol/codec streams
+        // forked after this block — bit-identical to a churn-free run of
+        // the same seed.
+        let joins = spec.churn_plan.clone();
         let samplers = (0..n)
-            .map(|w| BatchSampler::new(root.fork(100 + w as u64), spec.batch_size))
+            .map(|w| {
+                let key = if joins.join_of(w).is_some() {
+                    (5 << 32) + 2 * w as u64
+                } else {
+                    100 + w as u64
+                };
+                BatchSampler::new(root.fork(key), spec.batch_size)
+            })
             .collect();
-        let workload_rngs = (0..n).map(|w| root.fork(200 + w as u64)).collect();
+        let workload_rngs = (0..n)
+            .map(|w| {
+                let key = if joins.join_of(w).is_some() {
+                    (5 << 32) + 2 * w as u64 + 1
+                } else {
+                    200 + w as u64
+                };
+                root.fork(key)
+            })
+            .collect();
         let proto_rng = root.fork(300);
         // Forked after every pre-existing stream: adding the codec stream
         // leaves data/sampler/workload/protocol draws untouched, so runs
@@ -1054,6 +1165,11 @@ impl<P: Protocol> Engine<P> {
             bytes_on_wire: 0,
             bytes_saved: 0,
             codec_error_l2: 0.0,
+            workers_joined: 0,
+            workers_retired: 0,
+            regroup_events: 0,
+            ps_keys_rebalanced: 0,
+            snapshot_bytes_streamed: 0,
             clock: SimTime::ZERO,
             queue: EventQueue::new(),
             spec,
@@ -1274,6 +1390,11 @@ impl<P: Protocol> Engine<P> {
             bytes_on_wire: s.bytes_on_wire,
             bytes_saved: s.bytes_saved,
             codec_error_l2: s.codec_error_l2,
+            workers_joined: s.workers_joined,
+            workers_retired: s.workers_retired,
+            regroup_events: s.regroup_events,
+            ps_keys_rebalanced: s.ps_keys_rebalanced,
+            snapshot_bytes_streamed: s.snapshot_bytes_streamed,
         }
     }
 }
@@ -1295,6 +1416,11 @@ struct EngineCounters {
     bytes_on_wire: u64,
     bytes_saved: u64,
     codec_error_l2: f64,
+    workers_joined: u64,
+    workers_retired: u64,
+    regroup_events: u64,
+    ps_keys_rebalanced: u64,
+    snapshot_bytes_streamed: u64,
 }
 
 fn put_fate(out: &mut Vec<u8>, fate: &WorkerFate) {
@@ -1317,6 +1443,14 @@ fn put_fate(out: &mut Vec<u8>, fate: &WorkerFate) {
             wire::put_u64(out, at_iter);
             wire::put_u32(out, u32::from(rejoined));
         }
+        WorkerFate::Retired { at_round } => {
+            wire::put_u32(out, 5);
+            wire::put_u64(out, at_round);
+        }
+        WorkerFate::Evicted { at_round } => {
+            wire::put_u32(out, 6);
+            wire::put_u64(out, at_round);
+        }
     }
 }
 
@@ -1332,6 +1466,8 @@ fn read_fate(r: &mut Reader<'_>) -> Option<WorkerFate> {
             at_iter: r.u64()?,
             rejoined: r.u32()? != 0,
         },
+        5 => WorkerFate::Retired { at_round: r.u64()? },
+        6 => WorkerFate::Evicted { at_round: r.u64()? },
         _ => return None,
     })
 }
@@ -1374,6 +1510,11 @@ fn encode_engine_state_fields(
     wire::put_u64(&mut out, c.bytes_on_wire);
     wire::put_u64(&mut out, c.bytes_saved);
     wire::put_f64(&mut out, c.codec_error_l2);
+    wire::put_u64(&mut out, c.workers_joined);
+    wire::put_u64(&mut out, c.workers_retired);
+    wire::put_u64(&mut out, c.regroup_events);
+    wire::put_u64(&mut out, c.ps_keys_rebalanced);
+    wire::put_u64(&mut out, c.snapshot_bytes_streamed);
     wire::put_u64(&mut out, n as u64);
     wire::put_u64(&mut out, models[0].num_params() as u64);
     for w in 0..n {
@@ -1437,6 +1578,11 @@ fn restore_engine_state<M>(s: &mut SimState<M>, bytes: &[u8]) -> Result<(), Reco
     s.bytes_on_wire = r.u64().ok_or_else(short)?;
     s.bytes_saved = r.u64().ok_or_else(short)?;
     s.codec_error_l2 = r.f64().ok_or_else(short)?;
+    s.workers_joined = r.u64().ok_or_else(short)?;
+    s.workers_retired = r.u64().ok_or_else(short)?;
+    s.regroup_events = r.u64().ok_or_else(short)?;
+    s.ps_keys_rebalanced = r.u64().ok_or_else(short)?;
+    s.snapshot_bytes_streamed = r.u64().ok_or_else(short)?;
     let n = r.u64().ok_or_else(short)? as usize;
     if n != s.spec.num_workers {
         return Err(corrupt("worker count mismatch"));

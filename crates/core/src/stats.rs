@@ -94,6 +94,22 @@ pub struct RunResult {
     /// `Lossless`). A bounded value across a long run is the signature of
     /// a convergent lossy codec.
     pub codec_error_l2: f64,
+    /// Workers admitted mid-run under a `ChurnPlan` (each streamed a
+    /// model snapshot and granted fresh RNG streams).
+    pub workers_joined: u64,
+    /// Workers that left mid-run under a `ChurnPlan` — graceful
+    /// retirements (final contribution drained) plus evictions.
+    pub workers_retired: u64,
+    /// Online regroup events: times the hierarchical topology was
+    /// re-split from live speed estimates and swapped at a quiesce point.
+    /// Always 0 for flat (non-hierarchical) protocols.
+    pub regroup_events: u64,
+    /// Parameter-server keys (slots) rehomed during regroup rebalancing.
+    /// Always 0 when no regroup fires.
+    pub ps_keys_rebalanced: u64,
+    /// Bytes of model snapshot streamed to joining workers during
+    /// admission (parameters only; framing excluded).
+    pub snapshot_bytes_streamed: u64,
 }
 
 impl RunResult {
@@ -184,6 +200,11 @@ mod tests {
             bytes_on_wire: 0,
             bytes_saved: 0,
             codec_error_l2: 0.0,
+            workers_joined: 0,
+            workers_retired: 0,
+            regroup_events: 0,
+            ps_keys_rebalanced: 0,
+            snapshot_bytes_streamed: 0,
         }
     }
 

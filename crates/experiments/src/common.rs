@@ -249,6 +249,7 @@ impl Workload {
             crashes: Vec::new(),
             fault_plan: rna_core::fault::FaultPlan::none(),
             net_fault_plan: rna_core::fault::NetFaultPlan::none(),
+            churn_plan: rna_core::membership::ChurnPlan::none(),
         }
     }
 }

@@ -66,6 +66,7 @@ fn motivation_spec(profile: ModelProfile, scale: ExperimentScale, seed: u64) -> 
         crashes: Vec::new(),
         fault_plan: rna_core::fault::FaultPlan::none(),
         net_fault_plan: rna_core::fault::NetFaultPlan::none(),
+        churn_plan: rna_core::membership::ChurnPlan::none(),
     }
 }
 

@@ -165,6 +165,35 @@ impl ReplicatedGroupServer {
         out
     }
 
+    /// Rebuilds the slot layout for a new grouping, seeding every slot
+    /// (primary and replica alike) from the blended handoff value
+    /// `master`.
+    ///
+    /// The caller folds every old slot's authoritative copy into `master`
+    /// first (e.g. via [`ReplicatedGroupServer::pull_blended`]), so the
+    /// handoff is replica-backed: a slot whose primary died contributes
+    /// its mirror value to the blend and no pull ever wedges. Returns the
+    /// number of slot keys the handoff touched — every old slot drained
+    /// plus every new slot seeded.
+    ///
+    /// Lifetime counters ([`ReplicatedGroupServer::read_repairs`],
+    /// [`ReplicatedGroupServer::failovers`]) survive the rebalance. Slot
+    /// version metadata restarts from zero and every new primary starts
+    /// alive: the new layout is a fresh shard placement, and every group
+    /// leaves the swap synchronized to `master`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_groups == 0` or `master` is empty (the
+    /// [`GroupServer::new`] conditions).
+    pub fn rebalance(&mut self, master: &Tensor, new_groups: usize) -> u64 {
+        let moved = (self.num_groups() + new_groups) as u64;
+        self.primary = GroupServer::new(master.clone(), new_groups);
+        self.mirror = vec![(master.clone(), 0); new_groups];
+        self.primary_alive = vec![true; new_groups];
+        moved
+    }
+
     /// Kills the slot's primary copy: later pushes and pulls for `group`
     /// degrade to the mirror, which holds the value of the last
     /// read-repair — primary writes since then are lost. Idempotent.
@@ -389,6 +418,25 @@ mod tests {
         // Other keys are unaffected.
         assert!(store.primary_alive(0) && store.primary_alive(2));
         assert_eq!(store.pull_key(0).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rebalance_reseeds_slots_and_survives_dead_primary() {
+        let mut ps = ReplicatedGroupServer::new(t(&[0.0]), 2);
+        ps.push(0, &t(&[4.0]));
+        ps.pull_slot(0); // mirror now holds 4.0
+        ps.kill_primary(0);
+        let master = ps.pull_blended(); // (4.0 + 0.0) / 2, replica-backed
+        assert_eq!(master.as_slice(), &[2.0]);
+        let moved = ps.rebalance(&master, 3);
+        assert_eq!(moved, 5, "2 old slots drained + 3 new slots seeded");
+        assert_eq!(ps.num_groups(), 3);
+        for g in 0..3 {
+            assert!(ps.primary_alive(g), "new placement starts healthy");
+            assert_eq!(ps.pull_slot(g).as_slice(), &[2.0]);
+            assert_eq!(ps.staleness(g), 0);
+        }
+        assert_eq!(ps.failovers(), 1, "lifetime counters survive");
     }
 
     #[test]

@@ -89,7 +89,9 @@ impl FaultExecutor {
             }
         }
         for f in &self.faults {
-            if let WorkerFault::SlowFrom { from_iter, .. } = *f {
+            if let WorkerFault::SlowFrom { from_iter, .. }
+            | WorkerFault::GrayFrom { from_iter, .. } = *f
+            {
                 if from_iter <= iter && self.fate == WorkerFate::Healthy {
                     self.fate = WorkerFate::Slowed { from_iter };
                 }
@@ -99,19 +101,11 @@ impl FaultExecutor {
     }
 
     /// Extra compute delay injected into iteration `iter` by slow-forever
-    /// faults.
+    /// faults — constant stragglers plus gray-degradation ramps, through
+    /// the shared [`WorkerFault::slowdown_at`] arithmetic so this world
+    /// cannot drift from the simulator.
     pub fn extra_compute_delay(&self, iter: u64) -> Duration {
-        let us: u64 = self
-            .faults
-            .iter()
-            .filter_map(|f| match *f {
-                WorkerFault::SlowFrom {
-                    from_iter,
-                    extra_us,
-                } if from_iter <= iter => Some(extra_us),
-                _ => None,
-            })
-            .sum();
+        let us: u64 = self.faults.iter().map(|f| f.slowdown_at(iter)).sum();
         Duration::from_micros(us)
     }
 
@@ -266,6 +260,23 @@ mod tests {
         assert_eq!(ex.extra_compute_delay(7), Duration::from_micros(150));
         ex.on_iteration_start(3);
         assert_eq!(ex.fate(), WorkerFate::Slowed { from_iter: 2 });
+    }
+
+    #[test]
+    fn executor_ramps_gray_degradation() {
+        let plan = FaultPlan::none().gray(0, 3, 200, 700);
+        let mut ex = FaultExecutor::new(&plan, 0);
+        assert_eq!(ex.extra_compute_delay(2), Duration::ZERO);
+        assert_eq!(ex.extra_compute_delay(3), Duration::from_micros(200));
+        assert_eq!(ex.extra_compute_delay(4), Duration::from_micros(400));
+        assert_eq!(ex.extra_compute_delay(6), Duration::from_micros(700));
+        assert_eq!(
+            ex.extra_compute_delay(1_000),
+            Duration::from_micros(700),
+            "capped"
+        );
+        assert_eq!(ex.on_iteration_start(3), IterDirective::Proceed);
+        assert_eq!(ex.fate(), WorkerFate::Slowed { from_iter: 3 });
     }
 
     #[test]

@@ -55,7 +55,7 @@ use rna_training::{Dataset, Model};
 use crate::proto::{read_msg, write_msg, Msg, WorkerSetup};
 use crate::threaded::{finish, validate_config, SyncMode, ThreadedConfig, ThreadedResult};
 use crate::transport::{
-    lock, supervise, CtrlCheckpoint, Transport, STREAM_COMPUTE, STREAM_SAMPLER,
+    lock, supervise, CtrlCheckpoint, Transport, STREAM_COMPUTE, STREAM_JOIN, STREAM_SAMPLER,
 };
 
 /// Salt folded into the seed to derive the per-run Hello token, so the
@@ -98,6 +98,17 @@ pub struct ProcessConfig {
     /// `round`. The worker exits on the dead socket and rejoins per
     /// [`ProcessConfig::respawn_unplanned`].
     pub sever: Vec<(usize, u64)>,
+    /// Worker slots the coordinator does *not* spawn a subprocess for:
+    /// these workers arrive from outside via the address book (a
+    /// pre-spawned `rna-worker`, or a test calling
+    /// [`crate::run_worker`] directly). They are excluded from the
+    /// initial join barrier and are never respawned.
+    pub external: Vec<usize>,
+    /// When set, the coordinator writes its address book — the listener
+    /// address on the first line, the run token on the second — to this
+    /// path once the port is bound, so external workers can find the run
+    /// without any side channel.
+    pub addr_file: Option<PathBuf>,
 }
 
 impl ProcessConfig {
@@ -110,6 +121,8 @@ impl ProcessConfig {
             respawn_unplanned: true,
             kill9: Vec::new(),
             sever: Vec::new(),
+            external: Vec::new(),
+            addr_file: None,
         }
     }
 
@@ -142,6 +155,20 @@ impl ProcessConfig {
     /// [`ProcessConfig::respawn_unplanned`]).
     pub fn with_respawn_unplanned(mut self, respawn: bool) -> Self {
         self.respawn_unplanned = respawn;
+        self
+    }
+
+    /// Marks `worker` as externally managed: no subprocess is spawned for
+    /// it, and it is expected to dial in via the address book.
+    pub fn with_external(mut self, worker: usize) -> Self {
+        self.external.push(worker);
+        self
+    }
+
+    /// Writes the address book (`addr\ntoken`) to `path` once the
+    /// listener is bound, for external workers to discover the run.
+    pub fn with_addr_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.addr_file = Some(path.into());
         self
     }
 }
@@ -249,10 +276,6 @@ impl Transport for ProcessTransport {
 
     fn is_dead(&self, w: usize) -> bool {
         !self.shared.slots[w].alive.load(Ordering::Acquire)
-    }
-
-    fn all_dead(&self) -> bool {
-        (0..self.shared.slots.len()).all(|w| self.is_dead(w))
     }
 
     fn live_view(&self) -> Vec<bool> {
@@ -394,14 +417,15 @@ fn resolve_worker_exe(explicit: Option<&PathBuf>) -> PathBuf {
 }
 
 /// Whether a fault directive is still ahead of a rejoining incarnation.
-/// `SlowFrom` is a permanent condition, not an event — a slow worker stays
-/// slow across restarts, as it does under the threaded `FaultExecutor`.
+/// `SlowFrom` and `GrayFrom` are permanent conditions, not events — a slow
+/// or gray-degrading worker stays that way across restarts, as it does
+/// under the threaded `FaultExecutor`.
 fn still_pending(f: &WorkerFault, start_iter: u64, incarnation: u64) -> bool {
     if incarnation == 0 {
         return true;
     }
     match *f {
-        WorkerFault::SlowFrom { .. } => true,
+        WorkerFault::SlowFrom { .. } | WorkerFault::GrayFrom { .. } => true,
         WorkerFault::CrashAt { at_iter }
         | WorkerFault::HangAt { at_iter, .. }
         | WorkerFault::RestartAt { at_iter, .. } => at_iter > start_iter,
@@ -443,10 +467,26 @@ fn accept_loop(
         {
             continue;
         }
+        // Admission gate: a scheduled joiner knocking before its join
+        // round is dropped without a Setup. The worker's handshake loop
+        // keeps re-offering the Hello until the window opens, so an
+        // address-book worker can dial in whenever it likes.
+        if let Some((at_round, _)) = config.churn_plan.join_of(w) {
+            if shared.round.load(Ordering::Acquire) < at_round {
+                continue;
+            }
+        }
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(None);
         let slot = &shared.slots[w];
         let start_iter = slot.start_iter.load(Ordering::Acquire);
+        // A joiner's sampler/compute streams come from the disjoint grant
+        // namespace so original members replay their sequences unchanged.
+        let rng_grant = if config.churn_plan.join_of(w).is_some() {
+            STREAM_JOIN + 2 * w as u64
+        } else {
+            0
+        };
         let setup = WorkerSetup {
             worker,
             seed: config.seed,
@@ -457,6 +497,9 @@ fn accept_loop(
             liveness_timeout_us: config.tolerance.liveness_timeout_us,
             start_iter,
             round: shared.round.load(Ordering::Acquire),
+            rng_grant,
+            retire_round: config.churn_plan.retire_of(w).unwrap_or(u64::MAX),
+            evict_round: config.churn_plan.evict_of(w).unwrap_or(u64::MAX),
             faults: config
                 .fault_plan
                 .for_worker(w)
@@ -647,6 +690,15 @@ fn supervise_child(
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
+        // A scheduled departure is final: the worker reported Retired or
+        // Evicted over the socket and exited by design. It is neither a
+        // death to classify nor a candidate for respawn.
+        if matches!(
+            *lock(&slot.fate),
+            Some(WorkerFate::Retired { .. } | WorkerFate::Evicted { .. })
+        ) {
+            return;
+        }
         if let Some((at, rejoin_after_us)) = planned_restart {
             if iters == at {
                 // Planned crash-restart: the worker aborted on schedule.
@@ -725,6 +777,9 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
     for &(w, _) in config.kill9.iter().chain(&config.sever) {
         assert!(w < n, "kill/sever schedule names worker {w}");
     }
+    for &w in &config.external {
+        assert!(w < n, "external worker list names worker {w}");
+    }
     let exe = resolve_worker_exe(config.worker_exe.as_ref());
     let start = Instant::now();
 
@@ -747,6 +802,10 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
         .local_addr()
         .expect("a bound listener has an address")
         .to_string();
+    if let Some(path) = &config.addr_file {
+        std::fs::write(path, format!("{addr}\n{token}\n"))
+            .expect("the address-book path must be writable");
+    }
 
     let shared = Arc::new(ProcShared {
         slots: (0..n)
@@ -784,25 +843,45 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
         std::thread::spawn(move || accept_loop(&listener, &shared, &config, &ready_tx, &join_tx))
     };
     let sup_handles: Vec<_> = (0..n)
+        .filter(|w| !config.external.contains(w))
         .map(|w| {
             let config = config.clone();
             let shared = Arc::clone(&shared);
             let exe = exe.clone();
             let addr = addr.clone();
             let ready_tx = ready_tx.clone();
-            std::thread::spawn(move || supervise_child(&config, &shared, w, &exe, &addr, &ready_tx))
+            std::thread::spawn(move || {
+                // A scheduled joiner's process does not exist until its
+                // join round: admission is part of the run, not the spawn.
+                if let Some((at_round, _)) = config.base.churn_plan.join_of(w) {
+                    while !shared.stop.load(Ordering::Acquire)
+                        && shared.round.load(Ordering::Acquire) < at_round
+                    {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    if shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                supervise_child(&config, &shared, w, &exe, &addr, &ready_tx);
+            })
         })
         .collect();
 
-    // Initial barrier: the run starts once the whole cluster has
+    // Initial barrier: the run starts once the initial cluster has
     // handshaken, so round 0 is not spent electing over an empty room.
+    // Scheduled joiners arrive mid-run and external workers are outside
+    // our spawn control, so neither is waited for here.
+    let initial = (0..n)
+        .filter(|&w| base.churn_plan.join_of(w).is_none() && !config.external.contains(&w))
+        .count();
     let join_deadline = Instant::now() + JOIN_TIMEOUT;
     let mut joined = 0usize;
-    while joined < n {
+    while joined < initial {
         let left = join_deadline.saturating_duration_since(Instant::now());
         assert!(
             !left.is_zero(),
-            "only {joined}/{n} workers joined within {JOIN_TIMEOUT:?}"
+            "only {joined}/{initial} workers joined within {JOIN_TIMEOUT:?}"
         );
         if join_rx.recv_timeout(left).is_ok() {
             joined += 1;
@@ -865,6 +944,7 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
         final_state.net,
         recovery,
         final_state.data,
+        final_state.churn,
     );
     ProcessResult {
         run,
@@ -898,6 +978,14 @@ mod tests {
         assert!(!still_pending(&crash, 5, 1));
         assert!(still_pending(&WorkerFault::CrashAt { at_iter: 9 }, 5, 1));
         assert!(still_pending(&slow, 5, 1));
+        // Gray degradation is a condition of the hardware, not a one-shot
+        // trigger: it survives any number of rejoins.
+        let gray = WorkerFault::GrayFrom {
+            from_iter: 0,
+            step_us: 10,
+            cap_us: 100,
+        };
+        assert!(still_pending(&gray, 5, 1));
     }
 
     #[test]

@@ -124,6 +124,21 @@ pub struct WorkerSetup {
     pub start_iter: u64,
     /// The round counter at join time (seeds the bounded-lead gate).
     pub round: u64,
+    /// RNG-stream grant for mid-run joiners: 0 for an original member
+    /// (standard sampler/compute stream keys), otherwise the base key of a
+    /// disjoint stream namespace the worker forks its sampler (`grant`)
+    /// and compute (`grant + 1`) streams from. Because a fork advances the
+    /// parent generator identically regardless of the key, original
+    /// members replay the shared sequence without knowing who joined.
+    pub rng_grant: u64,
+    /// Last round this worker contributes to before retiring gracefully
+    /// (`u64::MAX` when the churn plan never retires it). The worker
+    /// finishes its contribution for this round, reports a `Retired` fate,
+    /// and exits; the coordinator must not respawn it.
+    pub retire_round: u64,
+    /// Round at which this worker is evicted (`u64::MAX` when never). The
+    /// worker exits *before* contributing to this round.
+    pub evict_round: u64,
     /// The remaining fault directives this incarnation must execute
     /// (already-fired triggers are filtered out by the coordinator on
     /// rejoin).
@@ -201,42 +216,42 @@ const FAULT_CRASH: u8 = 1;
 const FAULT_HANG: u8 = 2;
 const FAULT_SLOW: u8 = 3;
 const FAULT_RESTART: u8 = 4;
+const FAULT_GRAY: u8 = 5;
 
 const FATE_HEALTHY: u8 = 0;
 const FATE_CRASHED: u8 = 1;
 const FATE_HUNG: u8 = 2;
 const FATE_SLOWED: u8 = 3;
 const FATE_RESTARTED: u8 = 4;
+const FATE_RETIRED: u8 = 5;
+const FATE_EVICTED: u8 = 6;
+
+/// Fixed wire size of one fault directive: kind byte plus three `u64`
+/// arguments (unused arguments ship as zero).
+const FAULT_WIRE_BYTES: usize = 25;
 
 fn put_fault(out: &mut Vec<u8>, f: &WorkerFault) {
-    match *f {
-        WorkerFault::CrashAt { at_iter } => {
-            out.push(FAULT_CRASH);
-            wire::put_u64(out, at_iter);
-            wire::put_u64(out, 0);
-        }
-        WorkerFault::HangAt { at_iter, for_us } => {
-            out.push(FAULT_HANG);
-            wire::put_u64(out, at_iter);
-            wire::put_u64(out, for_us);
-        }
+    let (kind, a, b, c) = match *f {
+        WorkerFault::CrashAt { at_iter } => (FAULT_CRASH, at_iter, 0, 0),
+        WorkerFault::HangAt { at_iter, for_us } => (FAULT_HANG, at_iter, for_us, 0),
         WorkerFault::SlowFrom {
             from_iter,
             extra_us,
-        } => {
-            out.push(FAULT_SLOW);
-            wire::put_u64(out, from_iter);
-            wire::put_u64(out, extra_us);
-        }
+        } => (FAULT_SLOW, from_iter, extra_us, 0),
         WorkerFault::RestartAt {
             at_iter,
             rejoin_after_us,
-        } => {
-            out.push(FAULT_RESTART);
-            wire::put_u64(out, at_iter);
-            wire::put_u64(out, rejoin_after_us);
-        }
-    }
+        } => (FAULT_RESTART, at_iter, rejoin_after_us, 0),
+        WorkerFault::GrayFrom {
+            from_iter,
+            step_us,
+            cap_us,
+        } => (FAULT_GRAY, from_iter, step_us, cap_us),
+    };
+    out.push(kind);
+    wire::put_u64(out, a);
+    wire::put_u64(out, b);
+    wire::put_u64(out, c);
 }
 
 fn read_fault(r: &mut Reader<'_>) -> Result<WorkerFault, ProtoError> {
@@ -245,6 +260,7 @@ fn read_fault(r: &mut Reader<'_>) -> Result<WorkerFault, ProtoError> {
         .ok_or(ProtoError::Truncated { what: "fault kind" })?[0];
     let a = r.u64().ok_or(ProtoError::Truncated { what: "fault arg" })?;
     let b = r.u64().ok_or(ProtoError::Truncated { what: "fault arg" })?;
+    let c = r.u64().ok_or(ProtoError::Truncated { what: "fault arg" })?;
     match kind {
         FAULT_CRASH => Ok(WorkerFault::CrashAt { at_iter: a }),
         FAULT_HANG => Ok(WorkerFault::HangAt {
@@ -258,6 +274,11 @@ fn read_fault(r: &mut Reader<'_>) -> Result<WorkerFault, ProtoError> {
         FAULT_RESTART => Ok(WorkerFault::RestartAt {
             at_iter: a,
             rejoin_after_us: b,
+        }),
+        FAULT_GRAY => Ok(WorkerFault::GrayFrom {
+            from_iter: a,
+            step_us: b,
+            cap_us: c,
         }),
         _ => Err(ProtoError::Garbage {
             what: "unknown fault kind",
@@ -292,6 +313,16 @@ fn put_fate(out: &mut Vec<u8>, f: &WorkerFate) {
             wire::put_u64(out, at_iter);
             out.push(u8::from(rejoined));
         }
+        WorkerFate::Retired { at_round } => {
+            out.push(FATE_RETIRED);
+            wire::put_u64(out, at_round);
+            out.push(0);
+        }
+        WorkerFate::Evicted { at_round } => {
+            out.push(FATE_EVICTED);
+            wire::put_u64(out, at_round);
+            out.push(0);
+        }
     }
 }
 
@@ -317,6 +348,8 @@ fn read_fate(r: &mut Reader<'_>) -> Result<WorkerFate, ProtoError> {
             at_iter: at,
             rejoined: flag == 1,
         }),
+        FATE_RETIRED => Ok(WorkerFate::Retired { at_round: at }),
+        FATE_EVICTED => Ok(WorkerFate::Evicted { at_round: at }),
         _ => Err(ProtoError::Garbage {
             what: "unknown fate kind",
         }),
@@ -366,6 +399,9 @@ pub fn encode_body(msg: &Msg, out: &mut Vec<u8>) {
             wire::put_u64(out, s.liveness_timeout_us);
             wire::put_u64(out, s.start_iter);
             wire::put_u64(out, s.round);
+            wire::put_u64(out, s.rng_grant);
+            wire::put_u64(out, s.retire_round);
+            wire::put_u64(out, s.evict_round);
             wire::put_u32(out, u32::try_from(s.faults.len()).unwrap_or(u32::MAX));
             for f in &s.faults {
                 put_fault(out, f);
@@ -430,10 +466,13 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
                 .u64()
                 .ok_or(ProtoError::Truncated { what: "start_iter" })?;
             let round = r.u64().ok_or(ProtoError::Truncated { what: "round" })?;
+            let rng_grant = r.u64().ok_or(ProtoError::Truncated { what: "rng_grant" })?;
+            let retire_round = r.u64().ok_or(ProtoError::Truncated { what: "retire" })?;
+            let evict_round = r.u64().ok_or(ProtoError::Truncated { what: "evict" })?;
             let n_faults = r.u32().ok_or(ProtoError::Truncated { what: "faults" })?;
-            // Each fault is 17 bytes; a count the remaining bytes cannot
-            // hold is garbage, not a huge reservation.
-            if (n_faults as usize).saturating_mul(17) > r.remaining() {
+            // Each fault has a fixed wire size; a count the remaining
+            // bytes cannot hold is garbage, not a huge reservation.
+            if (n_faults as usize).saturating_mul(FAULT_WIRE_BYTES) > r.remaining() {
                 return Err(ProtoError::Garbage {
                     what: "fault count exceeds frame",
                 });
@@ -452,6 +491,9 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
                 liveness_timeout_us,
                 start_iter,
                 round,
+                rng_grant,
+                retire_round,
+                evict_round,
                 faults,
                 params: read_tensor(&mut r, "setup params")?,
             })
@@ -548,6 +590,9 @@ mod tests {
             liveness_timeout_us: 150_000,
             start_iter: 5,
             round: 9,
+            rng_grant: (5 << 32) + 6,
+            retire_round: 120,
+            evict_round: u64::MAX,
             faults: vec![
                 WorkerFault::CrashAt { at_iter: 12 },
                 WorkerFault::HangAt {
@@ -557,6 +602,11 @@ mod tests {
                 WorkerFault::SlowFrom {
                     from_iter: 1,
                     extra_us: 500,
+                },
+                WorkerFault::GrayFrom {
+                    from_iter: 2,
+                    step_us: 250,
+                    cap_us: 4_000,
                 },
                 WorkerFault::RestartAt {
                     at_iter: 7,
@@ -592,6 +642,8 @@ mod tests {
                 at_iter: 5,
                 rejoined: false,
             },
+            WorkerFate::Retired { at_round: 40 },
+            WorkerFate::Evicted { at_round: 41 },
         ] {
             roundtrip(Msg::Fate(fate));
         }
@@ -689,8 +741,8 @@ mod tests {
         wire::put_u32(&mut body, MAGIC);
         body.push(16); // TAG_SETUP
         wire::put_u32(&mut body, 1); // worker
-        for _ in 0..8 {
-            wire::put_u64(&mut body, 0); // seed..round scalar fields
+        for _ in 0..11 {
+            wire::put_u64(&mut body, 0); // seed..evict_round scalar fields
         }
         wire::put_u32(&mut body, u32::MAX); // fault count with no faults behind it
         let err = decode_body(&body).unwrap_err();

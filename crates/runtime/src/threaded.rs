@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use rna_core::cache::GradientCache;
 use rna_core::fault::{FaultPlan, NetFaultPlan, ToleranceConfig, WorkerFate};
+use rna_core::membership::{ChurnEvent, ChurnPlan};
 use rna_core::recovery::{CheckpointStore, RecoveryConfig, RecoveryError};
 use rna_simnet::SimRng;
 use rna_tensor::{Compression, Tensor, TensorPool};
@@ -14,8 +15,9 @@ use rna_training::{BatchSampler, Dataset, Model, Sgd};
 
 use crate::fault::{FaultExecutor, IterDirective};
 use crate::transport::{
-    decode_ctrl_checkpoint, lock, reduce_contributions_into, supervise, CtrlCheckpoint,
-    DatapathCounters, NetCounters, RecoveryCounters, Transport, STREAM_COMPUTE, STREAM_SAMPLER,
+    decode_ctrl_checkpoint, lock, reduce_contributions_into, supervise, ChurnCounters,
+    CtrlCheckpoint, DatapathCounters, NetCounters, RecoveryCounters, Transport, STREAM_COMPUTE,
+    STREAM_JOIN, STREAM_SAMPLER,
 };
 
 /// Which synchronization strategy the threaded runtime runs.
@@ -78,6 +80,12 @@ pub struct ThreadedConfig {
     /// BSP ignores it (its strict barrier predates the compressed wire
     /// path). The default `Lossless` leaves gradients untouched.
     pub compression: Compression,
+    /// Deterministic mid-run membership changes (joins, retirements,
+    /// evictions), replayed at global round edges. `num_workers` is the
+    /// slot *capacity*: workers named in a join event start dormant (no
+    /// compute, no elections, no majorities) until their round arrives.
+    /// BSP rejects a non-empty plan — its barrier counts every worker.
+    pub churn_plan: ChurnPlan,
 }
 
 impl ThreadedConfig {
@@ -101,6 +109,7 @@ impl ThreadedConfig {
             checkpoint_every: 5,
             recovery_dir: None,
             compression: Compression::Lossless,
+            churn_plan: ChurnPlan::none(),
         }
     }
 
@@ -148,6 +157,14 @@ impl ThreadedConfig {
     /// [`resume_threaded`] after a process kill.
     pub fn with_recovery_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.recovery_dir = Some(dir.into());
+        self
+    }
+
+    /// Installs an elastic-membership plan (see [`ChurnPlan`]). The plan
+    /// is validated against the worker capacity and tolerance knobs when
+    /// the run starts.
+    pub fn with_churn_plan(mut self, plan: ChurnPlan) -> Self {
+        self.churn_plan = plan;
         self
     }
 
@@ -231,6 +248,21 @@ pub struct ThreadedResult {
     /// Accumulated L2 norm of the error-feedback residuals left behind by
     /// lossy encodes (exactly 0.0 under `Lossless`).
     pub codec_error_l2: f64,
+    /// Workers admitted mid-run under the churn plan (each streamed a
+    /// model snapshot and granted fresh RNG streams).
+    pub workers_joined: u64,
+    /// Workers that left mid-run under the churn plan — graceful
+    /// retirements (final contribution drained) plus evictions.
+    pub workers_retired: u64,
+    /// Online regroup events. Always 0 in the flat runtime worlds; the
+    /// field exists for result-shape parity with the simulator.
+    pub regroup_events: u64,
+    /// Parameter-server keys rehomed during regroups. Always 0 in the
+    /// flat runtime worlds.
+    pub ps_keys_rebalanced: u64,
+    /// Bytes of model snapshot streamed to joining workers at admission
+    /// (parameters only; framing excluded).
+    pub snapshot_bytes_streamed: u64,
 }
 
 impl ThreadedResult {
@@ -299,10 +331,6 @@ impl Shared {
             })
             .collect()
     }
-
-    fn all_dead(&self) -> bool {
-        (0..self.slots.len()).all(|w| self.is_dead(w))
-    }
 }
 
 /// [`Transport`] over shared memory: the controller reads the worker
@@ -319,10 +347,6 @@ impl Transport for ThreadedTransport<'_> {
 
     fn is_dead(&self, w: usize) -> bool {
         self.shared.is_dead(w)
-    }
-
-    fn all_dead(&self) -> bool {
-        self.shared.all_dead()
     }
 
     fn live_view(&self) -> Vec<bool> {
@@ -476,6 +500,12 @@ pub(crate) fn validate_config(config: &ThreadedConfig) {
     if let Err(e) = config.tolerance.validate() {
         panic!("invalid tolerance config: {e}");
     }
+    if let Err(e) = config
+        .churn_plan
+        .validate(config.num_workers, &config.tolerance)
+    {
+        panic!("invalid churn plan: {e}");
+    }
     if let Err(e) = (RecoveryConfig {
         every: config.checkpoint_every,
     })
@@ -495,6 +525,10 @@ pub(crate) fn validate_config(config: &ThreadedConfig) {
         assert!(
             config.fault_plan.controller_crashes().is_empty(),
             "BSP has no standby controller: a controller crash ends the run"
+        );
+        assert!(
+            config.churn_plan.is_empty(),
+            "BSP cannot change membership: its barrier counts every worker"
         );
     }
 }
@@ -681,6 +715,7 @@ fn run_bsp(
         NetCounters::default(),
         RecoveryCounters::default(),
         DatapathCounters::default(),
+        ChurnCounters::default(),
     )
 }
 
@@ -697,12 +732,14 @@ fn run_rna(
     let init_params = Arc::new(state.master.clone());
     let shared = Arc::new(Shared {
         slots: (0..n)
-            .map(|_| WorkerSlot {
+            .map(|w| WorkerSlot {
                 cache: Mutex::new(GradientCache::new(config.staleness_bound, true)),
                 params: RwLock::new(Arc::clone(&init_params)),
                 iterations: AtomicU64::new(0),
                 heartbeat_us: AtomicU64::new(0),
-                alive: AtomicBool::new(true),
+                // Dormant joiners stay out of every liveness view until
+                // their admission round arrives.
+                alive: AtomicBool::new(config.churn_plan.join_of(w).is_none()),
             })
             .collect(),
         round: AtomicU64::new(state.round),
@@ -724,14 +761,65 @@ fn run_rna(
         let ready_tx = ready_tx.clone();
         let dataset = Arc::clone(&dataset);
         let mut model = template.clone();
-        let mut sampler = BatchSampler::new(rng.fork(STREAM_SAMPLER + w as u64), config.batch_size);
-        let mut wrng = rng.fork(STREAM_COMPUTE + w as u64);
+        // A planned joiner draws its streams from the disjoint grant
+        // namespace; the forks still sit at worker `w`'s position in the
+        // shared sequence, so everyone else replays unchanged.
+        let join_round = config.churn_plan.join_of(w).map(|(r, _)| r);
+        let (sampler_key, compute_key) = if join_round.is_some() {
+            (STREAM_JOIN + 2 * w as u64, STREAM_JOIN + 2 * w as u64 + 1)
+        } else {
+            (STREAM_SAMPLER + w as u64, STREAM_COMPUTE + w as u64)
+        };
+        let mut sampler = BatchSampler::new(rng.fork(sampler_key), config.batch_size);
+        let mut wrng = rng.fork(compute_key);
         let range = config.compute_us[w];
         let max_lead = config.max_lead;
+        let retire_round = config.churn_plan.retire_of(w);
+        let evict_round = config.churn_plan.evict_of(w);
         let mut faults = FaultExecutor::new(&config.fault_plan, w);
         handles.push(std::thread::spawn(move || -> WorkerFate {
+            if let Some(j) = join_round {
+                // Dormant until admission: park against the round counter.
+                // The controller streams the model snapshot into this
+                // worker's parameter slot before advancing the counter, so
+                // waking implies the snapshot is in place.
+                while !shared.stop.load(Ordering::Acquire)
+                    && shared.round.load(Ordering::Acquire) < j
+                {
+                    let guard = lock(&shared.pause_lock);
+                    let _unused = shared
+                        .pause_cv
+                        .wait_timeout(guard, park_recheck)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return faults.fate();
+                }
+                shared.slots[w].alive.store(true, Ordering::Release);
+                shared.heartbeat(w);
+                let _ = ready_tx.send(w);
+            }
+            let mut departed: Option<WorkerFate> = None;
             let mut local_iter: u64 = 0;
             while !shared.stop.load(Ordering::Acquire) {
+                let round_now = shared.round.load(Ordering::Acquire);
+                if let Some(r) = retire_round {
+                    // Graceful: keep contributing through round `r`; the
+                    // controller drains that final contribution before the
+                    // counter moves past it.
+                    if round_now > r {
+                        departed = Some(WorkerFate::Retired { at_round: r });
+                        break;
+                    }
+                }
+                if let Some(r) = evict_round {
+                    // Forced: out as soon as the eviction round starts;
+                    // the controller purges whatever was left behind.
+                    if round_now >= r {
+                        departed = Some(WorkerFate::Evicted { at_round: r });
+                        break;
+                    }
+                }
                 match faults.on_iteration_start(local_iter) {
                     IterDirective::Crash => {
                         // Dead forever: flag it so the controller stops
@@ -805,6 +893,11 @@ fn run_rna(
                 local_iter += 1;
                 let _ = ready_tx.send(w);
             }
+            if let Some(fate) = departed {
+                shared.slots[w].alive.store(false, Ordering::Release);
+                let _ = ready_tx.send(w);
+                return fate;
+            }
             faults.fate()
         }));
     }
@@ -857,6 +950,7 @@ fn run_rna(
         final_state.net,
         recovery,
         final_state.data,
+        final_state.churn,
     )
 }
 
@@ -875,11 +969,32 @@ pub(crate) fn finish(
     net: NetCounters,
     recovery: RecoveryCounters,
     data: DatapathCounters,
+    churn: ChurnCounters,
 ) -> ThreadedResult {
     let wall = start.elapsed();
     let mut model = template;
     model.set_params(&master);
     let batch = dataset.full_batch();
+    // The controller is authoritative for planned departures: a retiree
+    // whose round has passed may still be mid-exit when the stop flag
+    // lands (its self-report would say Healthy), so compose the fate from
+    // the plan. Only Healthy is upgraded — a worker that died before its
+    // scheduled departure keeps the death verdict.
+    let mut worker_fates = worker_fates;
+    for &(w, ev) in config.churn_plan.events() {
+        if worker_fates[w] != WorkerFate::Healthy {
+            continue;
+        }
+        match ev {
+            ChurnEvent::Retire { at_round } if at_round < config.rounds => {
+                worker_fates[w] = WorkerFate::Retired { at_round };
+            }
+            ChurnEvent::Evict { at_round } if at_round <= config.rounds => {
+                worker_fates[w] = WorkerFate::Evicted { at_round };
+            }
+            _ => {}
+        }
+    }
     ThreadedResult {
         rounds: config.rounds,
         rounds_degraded,
@@ -900,6 +1015,11 @@ pub(crate) fn finish(
         bytes_on_wire: data.bytes_on_wire,
         bytes_saved: data.bytes_saved,
         codec_error_l2: data.codec_error_l2,
+        workers_joined: churn.workers_joined,
+        workers_retired: churn.workers_retired,
+        regroup_events: churn.regroup_events,
+        ps_keys_rebalanced: churn.ps_keys_rebalanced,
+        snapshot_bytes_streamed: churn.snapshot_bytes_streamed,
     }
 }
 

@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use rna_core::fault::{live_majority, probe_round_stalled};
+use rna_core::membership::ChurnEvent;
 use rna_core::recovery::CheckpointStore;
 use rna_simnet::SimRng;
 use rna_tensor::codec;
@@ -41,6 +42,12 @@ pub(crate) const STREAM_PROBE: u64 = 3 << 32;
 /// incarnation like [`STREAM_PROBE`] so a failed-over controller replays
 /// deterministic draws without sharing the probe stream.
 pub(crate) const STREAM_CODEC: u64 = 4 << 32;
+/// Stream grants for mid-run joiners: joiner `w` forks its sampler from
+/// `STREAM_JOIN + 2w` and its compute stream from `STREAM_JOIN + 2w + 1`.
+/// Disjoint from every other namespace, and — because a fork advances the
+/// parent generator identically regardless of the key — original members
+/// replay the shared fork sequence without knowing who joined.
+pub(crate) const STREAM_JOIN: u64 = 5 << 32;
 
 /// Floor for controller waits: below this the timeout machinery costs more
 /// than the wait is worth.
@@ -66,8 +73,6 @@ pub(crate) trait Transport: Send {
     /// Permanently-dead view (the worker executed a crash, or its process
     /// exited and will not be respawned).
     fn is_dead(&self, w: usize) -> bool;
-    /// Whether every worker is dead.
-    fn all_dead(&self) -> bool;
     /// Liveness view for elections and majorities: alive and heard from
     /// within the liveness timeout.
     fn live_view(&self) -> Vec<bool>;
@@ -124,6 +129,19 @@ pub(crate) struct DatapathCounters {
     pub codec_error_l2: f64,
 }
 
+/// Controller-side tallies of elastic-membership events, checkpointed so a
+/// failed-over or resumed controller keeps the cumulative totals. The
+/// regroup fields exist for result-shape parity with the simulator's
+/// hierarchical protocol and stay 0 in the flat runtime worlds.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ChurnCounters {
+    pub workers_joined: u64,
+    pub workers_retired: u64,
+    pub regroup_events: u64,
+    pub ps_keys_rebalanced: u64,
+    pub snapshot_bytes_streamed: u64,
+}
+
 /// Supervisor-side tallies of the control-plane fault machinery. Unlike
 /// [`CtrlCheckpoint`] contents these are per-process observations — a
 /// resumed process starts its own count.
@@ -155,6 +173,7 @@ pub(crate) struct CtrlCheckpoint {
     pub net: NetCounters,
     pub data: DatapathCounters,
     pub checkpoints_written: u64,
+    pub churn: ChurnCounters,
 }
 
 impl CtrlCheckpoint {
@@ -171,6 +190,7 @@ impl CtrlCheckpoint {
             net: NetCounters::default(),
             data: DatapathCounters::default(),
             checkpoints_written: 0,
+            churn: ChurnCounters::default(),
         }
     }
 }
@@ -196,6 +216,11 @@ pub(crate) fn encode_ctrl_checkpoint(ck: &CtrlCheckpoint, out: &mut Vec<u8>) {
     wire::put_u64(out, ck.data.bytes_saved);
     wire::put_f64(out, ck.data.codec_error_l2);
     wire::put_u64(out, ck.checkpoints_written);
+    wire::put_u64(out, ck.churn.workers_joined);
+    wire::put_u64(out, ck.churn.workers_retired);
+    wire::put_u64(out, ck.churn.regroup_events);
+    wire::put_u64(out, ck.churn.ps_keys_rebalanced);
+    wire::put_u64(out, ck.churn.snapshot_bytes_streamed);
     wire::put_tensor(out, &ck.master);
     wire::put_tensor(out, &ck.velocity);
 }
@@ -217,6 +242,11 @@ pub(crate) fn decode_ctrl_checkpoint(payload: &[u8]) -> Option<CtrlCheckpoint> {
     let bytes_saved = r.u64()?;
     let codec_error_l2 = r.f64()?;
     let checkpoints_written = r.u64()?;
+    let workers_joined = r.u64()?;
+    let workers_retired = r.u64()?;
+    let regroup_events = r.u64()?;
+    let ps_keys_rebalanced = r.u64()?;
+    let snapshot_bytes_streamed = r.u64()?;
     let master = r.tensor()?;
     let velocity = r.tensor()?;
     if r.remaining() != 0 || master.is_empty() || master.len() != velocity.len() {
@@ -241,6 +271,13 @@ pub(crate) fn decode_ctrl_checkpoint(payload: &[u8]) -> Option<CtrlCheckpoint> {
             codec_error_l2,
         },
         checkpoints_written,
+        churn: ChurnCounters {
+            workers_joined,
+            workers_retired,
+            regroup_events,
+            ps_keys_rebalanced,
+            snapshot_bytes_streamed,
+        },
     })
 }
 
@@ -277,11 +314,11 @@ fn cut_checkpoint(
 /// timeout — the only liveness transition no readiness event announces.
 /// Falls back to 1 ms when no worker is fresh (all hung or silent), the
 /// one state where the controller must genuinely poll for recovery.
-fn liveness_edge<T: Transport + ?Sized>(t: &T, n: usize, liveness_us: u64) -> Duration {
+fn liveness_edge<T: Transport + ?Sized>(t: &T, active: &[bool], liveness_us: u64) -> Duration {
     let now = t.now_us();
     let mut edge = u64::MAX;
-    for w in 0..n {
-        if t.is_dead(w) {
+    for (w, &live) in active.iter().enumerate() {
+        if !live || t.is_dead(w) {
             continue;
         }
         let stale_at = t.heartbeat_us(w).saturating_add(liveness_us);
@@ -304,12 +341,12 @@ fn liveness_edge<T: Transport + ?Sized>(t: &T, n: usize, liveness_us: u64) -> Du
 fn probe_rpc<T: Transport + ?Sized>(
     rng: &mut SimRng,
     t: &T,
-    n: usize,
+    active: &[bool],
     probes: usize,
     shim: &mut NetShim,
     ctrl: usize,
 ) -> (Vec<usize>, u64) {
-    let sampled = sample_probes(rng, t, n, probes);
+    let sampled = sample_probes(rng, t, active, probes);
     if !shim.enabled() {
         return (sampled, 0);
     }
@@ -328,19 +365,22 @@ fn probe_rpc<T: Transport + ?Sized>(
     (survived, lost)
 }
 
-/// Draws up to `probes` distinct candidates from the live view; when no
-/// worker is live (all silent, e.g. mid-hang) falls back to the not-yet-
-/// crashed set so a recovering worker can still be elected.
+/// Draws up to `probes` distinct candidates from the live view restricted
+/// to the round's active membership (dormant joiners and departed workers
+/// never probe); when no active worker is live (all silent, e.g. mid-hang)
+/// falls back to the active not-yet-crashed set so a recovering worker can
+/// still be elected.
 fn sample_probes<T: Transport + ?Sized>(
     rng: &mut SimRng,
     t: &T,
-    n: usize,
+    active: &[bool],
     probes: usize,
 ) -> Vec<usize> {
+    let n = active.len();
     let live = t.live_view();
-    let mut pool: Vec<usize> = (0..n).filter(|&w| live[w]).collect();
+    let mut pool: Vec<usize> = (0..n).filter(|&w| active[w] && live[w]).collect();
     if pool.is_empty() {
-        pool = (0..n).filter(|&w| !t.is_dead(w)).collect();
+        pool = (0..n).filter(|&w| active[w] && !t.is_dead(w)).collect();
     }
     if pool.is_empty() {
         return Vec::new();
@@ -391,6 +431,11 @@ fn controller_loop<T: Transport + ?Sized>(
         if crash_at == Some(k) {
             return None;
         }
+        // Round `k`'s membership: dormant joiners and departed workers are
+        // outside the electorate, the majority denominator, and the drain
+        // set. `n` is the slot *capacity*, never the cluster size.
+        let active: Vec<bool> = (0..n).map(|w| config.churn_plan.active_at(w, k)).collect();
+        let active_n = active.iter().filter(|&&a| a).count().max(1);
         plane
             .heartbeat_us
             .store(transport.now_us(), Ordering::Release);
@@ -409,18 +454,19 @@ fn controller_loop<T: Transport + ?Sized>(
         let mut initiator: Option<usize> = None;
         match config.mode {
             SyncMode::EagerMajority => {
-                // eager-SGD: wait for a majority of the *live* electorate.
+                // eager-SGD: wait for a majority of the *live, active*
+                // electorate.
                 loop {
-                    if transport.all_dead() {
+                    if (0..n).filter(|&w| active[w]).all(|w| transport.is_dead(w)) {
                         degraded = true;
                         break;
                     }
                     let live = transport.live_view();
                     let ready: Vec<usize> = (0..n)
-                        .filter(|&w| !transport.is_dead(w))
+                        .filter(|&w| active[w] && !transport.is_dead(w))
                         .filter(|&w| transport.cache_ready(w))
                         .collect();
-                    let need = live_majority(live.iter().filter(|&&l| l).count());
+                    let need = live_majority((0..n).filter(|&w| active[w] && live[w]).count());
                     if ready.len() >= need {
                         initiator = ready.first().copied();
                         break;
@@ -434,7 +480,7 @@ fn controller_loop<T: Transport + ?Sized>(
                     // a heartbeat going stale is bounded by the liveness
                     // edge, and the round deadline caps everything.
                     let wait = (round_deadline - elapsed)
-                        .min(liveness_edge(transport, n, liveness_us))
+                        .min(liveness_edge(transport, &active, liveness_us))
                         .max(MIN_WAIT);
                     transport.wait_ready(wait);
                 }
@@ -449,13 +495,19 @@ fn controller_loop<T: Transport + ?Sized>(
                 // to the fabric is retried with exponential backoff — an
                 // idempotent re-issue, never a wedge.
                 let mut backoff = probe_backoff;
-                let (mut probed, lost) =
-                    probe_rpc(probe_rng, transport, n, config.probes, &mut shim, ctrl);
+                let (mut probed, lost) = probe_rpc(
+                    probe_rng,
+                    transport,
+                    &active,
+                    config.probes,
+                    &mut shim,
+                    ctrl,
+                );
                 ck.net.messages_dropped += lost;
                 let mut last_lost = lost > 0;
                 let mut last_sample = Instant::now();
                 loop {
-                    if transport.all_dead() {
+                    if (0..n).filter(|&w| active[w]).all(|w| transport.is_dead(w)) {
                         degraded = true;
                         break;
                     }
@@ -477,8 +529,14 @@ fn controller_loop<T: Transport + ?Sized>(
                                 .saturating_mul(2)
                                 .min(Duration::from_micros(config.tolerance.probe_backoff_cap_us));
                         }
-                        let (fresh, lost) =
-                            probe_rpc(probe_rng, transport, n, config.probes, &mut shim, ctrl);
+                        let (fresh, lost) = probe_rpc(
+                            probe_rng,
+                            transport,
+                            &active,
+                            config.probes,
+                            &mut shim,
+                            ctrl,
+                        );
                         ck.net.messages_dropped += lost;
                         last_lost = lost > 0;
                         probed = fresh;
@@ -491,7 +549,7 @@ fn controller_loop<T: Transport + ?Sized>(
                     }
                     let wait = (round_deadline - elapsed)
                         .min(backoff.saturating_sub(last_sample.elapsed()))
-                        .min(liveness_edge(transport, n, liveness_us))
+                        .min(liveness_edge(transport, &active, liveness_us))
                         .max(MIN_WAIT);
                     transport.wait_ready(wait);
                 }
@@ -528,7 +586,11 @@ fn controller_loop<T: Transport + ?Sized>(
         let allocs_before = rna_tensor::alloc::count();
         let mut contributions: Vec<Option<Tensor>> = Vec::with_capacity(n);
         for (w, was_purged) in purged.iter_mut().enumerate() {
-            let c = if transport.is_dead(w) {
+            // A worker outside this round's membership (dormant joiner,
+            // retiree past its last round, evictee) is drained like a dead
+            // one: its cache is purged once so nothing it left behind ever
+            // joins a reduce it is not a member of.
+            let c = if transport.is_dead(w) || !active[w] {
                 if !*was_purged {
                     *was_purged = true;
                     transport.purge(w, config.staleness_bound);
@@ -588,7 +650,7 @@ fn controller_loop<T: Transport + ?Sized>(
             opt.step(&mut master, &reduced, m);
             pool.release(reduced);
             ck.data.allocs += rna_tensor::alloc::count() - allocs_before;
-            ck.participation_sum += f64::from(m) / n as f64;
+            ck.participation_sum += f64::from(m) / active_n as f64;
             let push_us = transport.now_us();
             // One shared snapshot per round; the threaded slots swap Arcs
             // (the last reference recycles its buffer), the process world
@@ -596,7 +658,7 @@ fn controller_loop<T: Transport + ?Sized>(
             let mut snap = pool.acquire(master.len());
             snap.copy_from(&master);
             let snapshot = Arc::new(snap);
-            for w in 0..n {
+            for w in (0..n).filter(|&w| active[w]) {
                 // The parameter push rides the same faulty fabric: a
                 // severed or unlucky worker keeps its stale view and
                 // catches up on a later round's push.
@@ -624,6 +686,37 @@ fn controller_loop<T: Transport + ?Sized>(
         }
         for g in contributions.into_iter().flatten() {
             pool.release(g);
+        }
+        // Elastic membership: the churn edges this round boundary crosses.
+        // A join at `k + 1` is admitted *before* the round counter
+        // advances, so the waking worker finds its streamed snapshot (the
+        // admission bytes) already in place; a retirement at `k` is
+        // counted only now, after the retiree's final contribution was
+        // drained above — zero contributed rounds are lost.
+        for &(w, ref ev) in config.churn_plan.events() {
+            match *ev {
+                ChurnEvent::Join { at_round, .. } if at_round == k + 1 => {
+                    let mut snap = pool.acquire(master.len());
+                    snap.copy_from(&master);
+                    let snapshot = Arc::new(snap);
+                    // In the process world the joiner's socket may not be
+                    // attached yet; its Setup frame carries the same
+                    // snapshot, so a failed push here is not a drop.
+                    let _ = transport.push_params(w, k + 1, &snapshot, &mut pool);
+                    if let Some(t) = Arc::into_inner(snapshot) {
+                        pool.release(t);
+                    }
+                    ck.churn.workers_joined += 1;
+                    ck.churn.snapshot_bytes_streamed += 4 * master.len() as u64;
+                }
+                ChurnEvent::Retire { at_round } if at_round == k => {
+                    ck.churn.workers_retired += 1;
+                }
+                ChurnEvent::Evict { at_round } if at_round == k + 1 => {
+                    ck.churn.workers_retired += 1;
+                }
+                _ => {}
+            }
         }
         transport.advance_round(k + 1);
         if (k + 1) % config.checkpoint_every == 0 && k + 1 < config.rounds {
@@ -821,6 +914,13 @@ mod tests {
                 codec_error_l2: 0.625,
             },
             checkpoints_written: 4,
+            churn: ChurnCounters {
+                workers_joined: 2,
+                workers_retired: 1,
+                regroup_events: 3,
+                ps_keys_rebalanced: 12,
+                snapshot_bytes_streamed: 144,
+            },
         };
         let mut payload = Vec::new();
         encode_ctrl_checkpoint(&ck, &mut payload);
@@ -837,6 +937,11 @@ mod tests {
         assert_eq!(back.data.bytes_saved, 2048);
         assert_eq!(back.data.codec_error_l2, 0.625);
         assert_eq!(back.checkpoints_written, 4);
+        assert_eq!(back.churn.workers_joined, 2);
+        assert_eq!(back.churn.workers_retired, 1);
+        assert_eq!(back.churn.regroup_events, 3);
+        assert_eq!(back.churn.ps_keys_rebalanced, 12);
+        assert_eq!(back.churn.snapshot_bytes_streamed, 144);
         // Truncations and trailing garbage are rejected, never panics.
         for cut in 0..payload.len() {
             assert!(
@@ -866,6 +971,12 @@ mod tests {
                 assert_ne!(STREAM_SAMPLER + w, STREAM_CODEC + v);
                 assert_ne!(STREAM_COMPUTE + w, STREAM_CODEC + v);
                 assert_ne!(STREAM_PROBE + w, STREAM_CODEC + v);
+                // Joiner grants (two keys per worker) are their own
+                // namespace too.
+                assert_ne!(STREAM_SAMPLER + w, STREAM_JOIN + 2 * v);
+                assert_ne!(STREAM_COMPUTE + w, STREAM_JOIN + 2 * v + 1);
+                assert_ne!(STREAM_PROBE + w, STREAM_JOIN + 2 * v);
+                assert_ne!(STREAM_CODEC + w, STREAM_JOIN + 2 * v + 1);
             }
         }
     }

@@ -20,14 +20,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use rna_core::fault::{FaultPlan, WorkerFault};
+use rna_core::fault::{FaultPlan, WorkerFate, WorkerFault};
 use rna_simnet::SimRng;
 use rna_tensor::Tensor;
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model};
 
 use crate::fault::{FaultExecutor, IterDirective};
-use crate::proto::{read_msg, write_msg, Msg, ProtoError};
+use crate::proto::{read_msg, write_msg, Msg, ProtoError, WorkerSetup};
 use crate::threaded::{interruptible_sleep, sleep_range};
 use crate::transport::{lock, STREAM_COMPUTE, STREAM_SAMPLER};
 
@@ -67,6 +67,11 @@ fn plan_from(faults: &[WorkerFault]) -> FaultPlan {
                 from_iter,
                 extra_us,
             } => plan.slow(0, from_iter, extra_us),
+            WorkerFault::GrayFrom {
+                from_iter,
+                step_us,
+                cap_us,
+            } => plan.gray(0, from_iter, step_us, cap_us),
             WorkerFault::RestartAt {
                 at_iter,
                 rejoin_after_us,
@@ -111,17 +116,15 @@ fn reader_loop(mut stream: TcpStream, link: &Link) {
     }
 }
 
-/// Runs one worker incarnation against the coordinator at `addr`.
-///
-/// Returns when the coordinator sends `Stop` (after reporting the
-/// worker's fate) or when the socket dies; a crash/restart directive
-/// never returns — it aborts the process.
-///
-/// # Errors
-///
-/// [`ProtoError`] when the coordinator cannot be reached, rejects the
-/// handshake, or speaks a malformed protocol.
-pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Result<(), ProtoError> {
+/// One connect + `Hello` + `Setup` exchange. Fails when the coordinator
+/// is unreachable, drops the connection (it rejects Hellos it is not yet
+/// willing to admit), or answers with garbage.
+fn try_handshake(
+    addr: &str,
+    worker: u32,
+    token: u64,
+    incarnation: u32,
+) -> Result<(TcpStream, WorkerSetup), ProtoError> {
     let mut stream = connect_retry(addr)?;
     let _ = stream.set_nodelay(true);
     let mut scratch = Vec::new();
@@ -147,6 +150,34 @@ pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Resu
             what: "setup frame does not match this worker",
         });
     }
+    Ok((stream, setup))
+}
+
+/// Runs one worker incarnation against the coordinator at `addr`.
+///
+/// Returns when the coordinator sends `Stop` (after reporting the
+/// worker's fate), when the socket dies, or when the setup's churn
+/// schedule retires or evicts this worker; a crash/restart directive
+/// never returns — it aborts the process.
+///
+/// # Errors
+///
+/// [`ProtoError`] when the coordinator cannot be reached, rejects the
+/// handshake past the retry window, or speaks a malformed protocol.
+pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Result<(), ProtoError> {
+    // An address-book joiner dials in whenever it likes — possibly before
+    // its join round, in which case the coordinator drops the Hello. Keep
+    // re-offering the handshake until the admission window opens or the
+    // retry budget runs out.
+    let deadline = Instant::now() + CONNECT_TIMEOUT;
+    let (mut stream, setup) = loop {
+        match try_handshake(addr, worker, token, incarnation) {
+            Ok(pair) => break pair,
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    let mut scratch = Vec::new();
 
     // Replay the shared RNG sequence from the master seed: dataset,
     // template, then every worker's fork pair in worker order. This is
@@ -159,11 +190,23 @@ pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Resu
         let _ = rng.fork(STREAM_SAMPLER + v);
         let _ = rng.fork(STREAM_COMPUTE + v);
     }
+    // A mid-run joiner draws its streams from the disjoint grant namespace
+    // instead of the standard keys. Either way the fork advances the
+    // parent identically, so original members replay the same sequence
+    // without knowing who joined later.
+    let (sampler_key, compute_key) = if setup.rng_grant == 0 {
+        (
+            STREAM_SAMPLER + u64::from(worker),
+            STREAM_COMPUTE + u64::from(worker),
+        )
+    } else {
+        (setup.rng_grant, setup.rng_grant + 1)
+    };
     let mut sampler = BatchSampler::new(
-        rng.fork(STREAM_SAMPLER + u64::from(worker)),
+        rng.fork(sampler_key),
         usize::try_from(setup.batch_size).unwrap_or(usize::MAX),
     );
-    let mut wrng = rng.fork(STREAM_COMPUTE + u64::from(worker));
+    let mut wrng = rng.fork(compute_key);
     // Fast-forward the sampler so a rejoined incarnation continues the
     // data stream instead of repeating its predecessor's batches.
     for _ in 0..setup.start_iter {
@@ -190,7 +233,26 @@ pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Resu
     // the coordinator never presumes a waiting worker dead.
     let park_recheck = Duration::from_micros((setup.liveness_timeout_us / 4).max(1_000));
     let mut local_iter = setup.start_iter;
+    let mut departed: Option<WorkerFate> = None;
     'run: while !link.stop.load(Ordering::Acquire) {
+        // Scheduled departures, observed on the streamed round counter:
+        // an evictee leaves before contributing to its eviction round, a
+        // retiree works *through* its retirement round (the coordinator
+        // drains that last contribution) and leaves once the counter
+        // passes it.
+        let round_now = link.round.load(Ordering::Acquire);
+        if round_now >= setup.evict_round {
+            departed = Some(WorkerFate::Evicted {
+                at_round: setup.evict_round,
+            });
+            break 'run;
+        }
+        if round_now > setup.retire_round {
+            departed = Some(WorkerFate::Retired {
+                at_round: setup.retire_round,
+            });
+            break 'run;
+        }
         match faults.on_iteration_start(local_iter) {
             IterDirective::Crash | IterDirective::Restart(_) => {
                 // A real death, not a simulated one: the process vanishes
@@ -262,7 +324,8 @@ pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Resu
     // Graceful exit: report the post-mortem. The socket may already be
     // gone (severed), in which case the coordinator composes the fate
     // itself — exactly the information a real network would have.
-    let _ = write_msg(&mut stream, &Msg::Fate(faults.fate()), &mut scratch);
+    let fate = departed.unwrap_or_else(|| faults.fate());
+    let _ = write_msg(&mut stream, &Msg::Fate(fate), &mut scratch);
     let _ = stream.shutdown(Shutdown::Both);
     let _ = reader.join();
     Ok(())
@@ -283,6 +346,11 @@ mod tests {
             WorkerFault::SlowFrom {
                 from_iter: 0,
                 extra_us: 9,
+            },
+            WorkerFault::GrayFrom {
+                from_iter: 2,
+                step_us: 40,
+                cap_us: 400,
             },
             WorkerFault::RestartAt {
                 at_iter: 7,

@@ -115,3 +115,73 @@ fn bsp_is_rejected_in_the_process_world() {
     let result = std::panic::catch_unwind(|| run_process(&quick(2, SyncMode::Bsp)));
     assert!(result.is_err(), "BSP must be rejected");
 }
+
+#[test]
+fn external_worker_joins_via_the_address_book() {
+    // Worker 3 is not spawned by the coordinator: it is an externally
+    // managed worker (here: a thread running the worker entry point, the
+    // same code the `rna-worker` binary wraps) that discovers the run
+    // through the address book and is admitted at its join round.
+    use rna_core::membership::ChurnPlan;
+    use rna_runtime::worker::run_worker;
+
+    let dir = std::env::temp_dir().join(format!("rna-addr-book-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let book = dir.join("addr");
+    let _ = std::fs::remove_file(&book);
+
+    let mut config = quick(4, SyncMode::Rna)
+        .with_external(3)
+        .with_addr_file(&book);
+    config.base = config
+        .base
+        .with_churn_plan(ChurnPlan::none().join(3, 5, 500_000));
+    // Slow the rounds down to a few ms each: the external worker's
+    // handshake retry ticks every 50 ms, and the admission window (rounds
+    // 5..30) must comfortably contain several retries.
+    config.base.compute_us = vec![(5_000, 10_000); 4];
+
+    let book_path = book.clone();
+    let joiner = std::thread::spawn(move || {
+        // Poll for the book exactly like a pre-spawned external worker
+        // would, then dial in with the published address and token.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if let Ok(s) = std::fs::read_to_string(&book_path) {
+                let mut lines = s.lines();
+                if let (Some(addr), Some(token)) = (lines.next(), lines.next()) {
+                    if let Ok(token) = token.trim().parse::<u64>() {
+                        return run_worker(addr.trim(), 3, token, 0);
+                    }
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "address book never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    });
+
+    let r = run_process(&config);
+    joiner
+        .join()
+        .expect("joiner thread")
+        .expect("external worker ran to Stop");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(r.run.rounds, 30);
+    assert_eq!(r.run.workers_joined, 1, "the external join was admitted");
+    assert!(
+        r.run.snapshot_bytes_streamed > 0,
+        "admission streamed bytes"
+    );
+    assert!(
+        r.run.worker_iterations[3] > 0,
+        "external joiner contributed: {:?}",
+        r.run.worker_iterations
+    );
+    assert_eq!(r.run.worker_fates[3], WorkerFate::Healthy);
+    assert_eq!(r.worker_respawns, 0, "external workers are never respawned");
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
+}

@@ -71,6 +71,7 @@ fn main() {
         crashes: Vec::new(),
         fault_plan: rna_core::fault::FaultPlan::none(),
         net_fault_plan: rna_core::fault::NetFaultPlan::none(),
+        churn_plan: rna_core::membership::ChurnPlan::none(),
     };
 
     println!("\ntraining LSTM stand-in with Horovod...");
