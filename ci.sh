@@ -80,6 +80,15 @@ echo "==> churn bench (--check, writes BENCH_PR7.json)"
 timeout 600 cargo run -q --release -p rna-bench --bin churn -- \
   --check --out BENCH_PR7.json
 
+# Scale + SIMD floor: the 100k-worker DES round must complete, the AVX2
+# codec kernels must hold their GB/s floors where the host has them, and
+# same-seed replays must be bit-identical across scalar, SIMD, and
+# chunk-parallel dispatch. The report lands at the repo root as the
+# tracked baseline.
+echo "==> scale bench (--check, writes BENCH_scale.json)"
+timeout 600 cargo run -q --release -p rna-bench --bin scale -- \
+  --check --out BENCH_scale.json
+
 # Process-world smoke: real subprocesses over TCP on ephemeral localhost
 # ports, including a genuine SIGKILL + rejoin and a severed socket. A
 # wedged coordinator (or a leaked worker holding a socket open) fails CI
@@ -94,6 +103,12 @@ timeout 600 cargo test -q --release -p rna-experiments --test three_worlds
 echo "==> codec + proto property tests (debug)"
 timeout 600 cargo test -q -p rna-tensor codec
 timeout 600 cargo test -q -p rna-runtime proto
+
+# Scalar-reference parity: the whole tensor suite again with SIMD dispatch
+# forced off, so the portable fallback path (what non-AVX2 hosts run) gets
+# the same debug_assert! coverage as the vector path.
+echo "==> tensor tests with forced-scalar dispatch (debug)"
+RNA_FORCE_SCALAR=1 timeout 600 cargo test -q -p rna-tensor
 
 # Zero-alloc guarantee: the debug-only allocation counter must show that
 # warm pooled rounds allocate nothing (vacuous in release, so run debug).

@@ -31,15 +31,25 @@ pub fn mini_spec(n: usize, rounds: u64, seed: u64) -> TrainSpec {
 }
 
 /// Shared opening lines for the hand-formatted JSON reports the bench bins
-/// emit (no serde_json in the offline build): the schema name plus the git
-/// commit the numbers were measured at, so a checked-in `BENCH_*.json` can
-/// always be traced back to the exact code state it describes.
+/// emit (no serde_json in the offline build): the schema name, the git
+/// commit the numbers were measured at, the detected CPU vector features,
+/// and the host thread count — so a checked-in `BENCH_*.json` can always be
+/// traced back to the exact code state *and* hardware class it describes
+/// (a floor measured with AVX2 on 16 cores is meaningless on a scalar
+/// single-core box).
 ///
-/// The returned string is two indented key lines ending in a comma; callers
+/// The returned string is indented key lines ending in a comma; callers
 /// splice it immediately after the opening `{` of their report.
 pub fn json_header(schema: &str) -> String {
+    let features = rna_tensor::simd::detected_features()
+        .into_iter()
+        .filter(|(_, on)| *on)
+        .map(|(name, _)| format!("\"{name}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     format!(
-        "  \"schema\": \"{schema}\",\n  \"commit\": \"{}\",",
+        "  \"schema\": \"{schema}\",\n  \"commit\": \"{}\",\n  \"cpu_features\": [{features}],\n  \"threads\": {threads},",
         git_commit()
     )
 }
@@ -84,13 +94,29 @@ fn resolve_head(git: &std::path::Path) -> Option<String> {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn header_carries_schema_and_a_real_commit() {
+    fn header_carries_schema_commit_features_and_threads() {
         let h = super::json_header("test-schema-v1");
         assert!(h.starts_with("  \"schema\": \"test-schema-v1\",\n  \"commit\": \""));
-        assert!(h.ends_with("\","));
+        assert!(h.ends_with(","));
         // The workspace is a real git repo, so the hash must resolve.
-        let commit = h.rsplit('"').nth(1).unwrap();
+        let commit_line = h.lines().nth(1).unwrap();
+        let commit = commit_line.rsplit('"').nth(1).unwrap();
         assert_eq!(commit.len(), 12, "short hash, got {commit:?}");
         assert!(commit.bytes().all(|b| b.is_ascii_hexdigit()));
+        // Hardware stamp: a features array (possibly empty) and a positive
+        // thread count, so floors are comparable across machines.
+        assert!(h.contains("\"cpu_features\": ["), "header: {h}");
+        let threads_line = h.lines().last().unwrap();
+        let n: usize = threads_line
+            .trim()
+            .strip_prefix("\"threads\": ")
+            .and_then(|s| s.strip_suffix(','))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(n >= 1);
+        if rna_tensor::simd::avx2_available() {
+            assert!(h.contains("\"avx2\""));
+        }
     }
 }

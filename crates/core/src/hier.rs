@@ -281,12 +281,14 @@ impl HierRnaProtocol {
             let residual = self.ps_residuals[gid].get_or_insert_with(|| Tensor::zeros(grad.len()));
             let rng = ctx.codec_rng();
             let mut draw = || rng.uniform_u64(0..1 << 32) as u32;
-            let (_, err) = rna_tensor::codec::encode_with_feedback(
+            let threads = rna_tensor::codec::wire_threads(grad.len());
+            let (_, err) = rna_tensor::codec::encode_with_feedback_mt(
                 codec,
                 &mut grad,
                 residual,
                 &mut self.codec_buf,
                 &mut draw,
+                threads,
             );
             ctx.note_codec_error(err);
         }

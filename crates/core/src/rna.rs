@@ -125,6 +125,12 @@ pub struct GroupState {
     /// Reusable encode scratch so steady-state lossy rounds do not
     /// allocate a fresh frame buffer.
     codec_buf: Vec<u8>,
+    /// `(worker, local)` pairs sorted by worker id: the inverse of
+    /// `members`, so routing an event to its local slot is a binary search
+    /// instead of a linear scan (which made event handling O(group²) per
+    /// round at 100k workers). Built once in `new` — membership changes
+    /// always construct a fresh `GroupState`.
+    member_slots: Vec<(u32, u32)>,
 }
 
 /// A finished collective waiting to be applied: the reduced gradient, how
@@ -151,6 +157,12 @@ impl GroupState {
     pub fn new(id: usize, members: Vec<usize>, config: &RnaConfig) -> Self {
         assert!(!members.is_empty(), "group needs at least one member");
         let n = members.len();
+        let mut member_slots: Vec<(u32, u32)> = members
+            .iter()
+            .enumerate()
+            .map(|(local, &w)| (w as u32, local as u32))
+            .collect();
+        member_slots.sort_unstable();
         GroupState {
             id,
             members,
@@ -172,6 +184,7 @@ impl GroupState {
             quiescing: false,
             residuals: (0..n).map(|_| None).collect(),
             codec_buf: Vec::new(),
+            member_slots,
         }
     }
 
@@ -191,7 +204,14 @@ impl GroupState {
     }
 
     fn member_index(&self, worker: usize) -> Option<usize> {
-        self.members.iter().position(|&m| m == worker)
+        let w = u32::try_from(worker).ok()?;
+        let i = self
+            .member_slots
+            .binary_search_by_key(&w, |&(worker, _)| worker)
+            .ok()?;
+        let local = self.member_slots[i].1 as usize;
+        debug_assert_eq!(self.members[local], worker);
+        Some(local)
     }
 
     /// Issues this round's probes (power-of-`d`-choices over the group's
@@ -462,12 +482,14 @@ impl GroupState {
                     self.residuals[local].get_or_insert_with(|| Tensor::zeros(grad.len()));
                 let rng = ctx.codec_rng();
                 let mut draw = || rng.uniform_u64(0..1 << 32) as u32;
-                let (_, err) = codec::encode_with_feedback(
+                let threads = codec::wire_threads(grad.len());
+                let (_, err) = codec::encode_with_feedback_mt(
                     codec,
                     grad,
                     residual,
                     &mut self.codec_buf,
                     &mut draw,
+                    threads,
                 );
                 ctx.note_codec_error(err);
             }

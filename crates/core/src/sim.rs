@@ -1171,7 +1171,10 @@ impl<P: Protocol> Engine<P> {
             ps_keys_rebalanced: 0,
             snapshot_bytes_streamed: 0,
             clock: SimTime::ZERO,
-            queue: EventQueue::new(),
+            // Steady state keeps a few events in flight per worker
+            // (compute-done plus protocol messages); sizing the heap up
+            // front keeps a 100k-worker run from rehoming it repeatedly.
+            queue: EventQueue::with_capacity(4 * n + 64),
             spec,
         };
         Engine { state, protocol }
@@ -1284,8 +1287,17 @@ impl<P: Protocol> Engine<P> {
         let max_time = SimTime::ZERO + self.state.spec.max_time;
         let mut events: u64 = 0;
         const EVENT_BUDGET: u64 = 50_000_000;
-        while self.state.stop.is_none() {
-            let Some((at, ev)) = self.state.queue.pop() else {
+        // Same-instant events are drained as one batch: when thousands of
+        // workers finish a barrier on the same virtual nanosecond this
+        // saves a heap sift-down per event, and anything a handler
+        // schedules mid-batch sorts after the whole batch anyway (see
+        // `EventQueue::pop_batch`), so delivery order — and therefore every
+        // replay — is identical to the one-pop-at-a-time loop. The batch
+        // buffer is reused across instants.
+        let mut batch = Vec::new();
+        'event_loop: while self.state.stop.is_none() {
+            batch.clear();
+            let Some(at) = self.state.queue.pop_batch(&mut batch) else {
                 self.state.stop = Some(StopReason::Idle);
                 break;
             };
@@ -1295,68 +1307,73 @@ impl<P: Protocol> Engine<P> {
                 break;
             }
             self.state.clock = at;
-            events += 1;
-            if events > EVENT_BUDGET {
-                self.state.stop = Some(StopReason::MaxTime);
-                break;
-            }
-            match ev {
-                Event::ComputeDone { worker, iter } => {
-                    let s = &mut self.state;
-                    if s.crashed[worker] {
-                        continue;
-                    }
-                    s.computing[worker] = false;
-                    s.local_iter[worker] = iter + 1;
-                    s.pending[worker] = s.in_flight[worker].take();
-                    // Default to Wait; the protocol overrides by starting
-                    // the next compute or marking Communicate.
-                    s.spans.begin(worker, SpanKind::Wait, s.clock);
-                    self.protocol
-                        .on_compute_done(&mut Ctx(&mut self.state), worker, iter);
+            for (_, ev) in batch.drain(..) {
+                if self.state.stop.is_some() {
+                    break 'event_loop;
                 }
-                Event::Message { from, to, msg } => {
-                    self.protocol
-                        .on_message(&mut Ctx(&mut self.state), from, to, msg);
+                events += 1;
+                if events > EVENT_BUDGET {
+                    self.state.stop = Some(StopReason::MaxTime);
+                    break 'event_loop;
                 }
-                Event::Crash { worker } => {
-                    let s = &mut self.state;
-                    if s.crashed[worker] {
-                        continue;
-                    }
-                    s.crashed[worker] = true;
-                    s.computing[worker] = false;
-                    s.in_flight[worker] = None;
-                    s.pending[worker] = None;
-                    s.fates[worker] = if s.restart_fired[worker] {
-                        WorkerFate::Restarted {
-                            at_iter: s.local_iter[worker],
-                            rejoined: false,
+                match ev {
+                    Event::ComputeDone { worker, iter } => {
+                        let s = &mut self.state;
+                        if s.crashed[worker] {
+                            continue;
                         }
-                    } else {
-                        WorkerFate::Crashed {
-                            at_iter: s.local_iter[worker],
-                        }
-                    };
-                    s.spans.end(worker, s.clock);
-                    self.protocol.on_crash(&mut Ctx(&mut self.state), worker);
-                }
-                Event::Rejoin { worker } => {
-                    let s = &mut self.state;
-                    s.rejoin_at[worker] = None;
-                    if !s.crashed[worker] {
-                        continue;
+                        s.computing[worker] = false;
+                        s.local_iter[worker] = iter + 1;
+                        s.pending[worker] = s.in_flight[worker].take();
+                        // Default to Wait; the protocol overrides by starting
+                        // the next compute or marking Communicate.
+                        s.spans.begin(worker, SpanKind::Wait, s.clock);
+                        self.protocol
+                            .on_compute_done(&mut Ctx(&mut self.state), worker, iter);
                     }
-                    s.crashed[worker] = false;
-                    s.computing[worker] = false;
-                    if let WorkerFate::Restarted { at_iter, .. } = s.fates[worker] {
-                        s.fates[worker] = WorkerFate::Restarted {
-                            at_iter,
-                            rejoined: true,
+                    Event::Message { from, to, msg } => {
+                        self.protocol
+                            .on_message(&mut Ctx(&mut self.state), from, to, msg);
+                    }
+                    Event::Crash { worker } => {
+                        let s = &mut self.state;
+                        if s.crashed[worker] {
+                            continue;
+                        }
+                        s.crashed[worker] = true;
+                        s.computing[worker] = false;
+                        s.in_flight[worker] = None;
+                        s.pending[worker] = None;
+                        s.fates[worker] = if s.restart_fired[worker] {
+                            WorkerFate::Restarted {
+                                at_iter: s.local_iter[worker],
+                                rejoined: false,
+                            }
+                        } else {
+                            WorkerFate::Crashed {
+                                at_iter: s.local_iter[worker],
+                            }
                         };
+                        s.spans.end(worker, s.clock);
+                        self.protocol.on_crash(&mut Ctx(&mut self.state), worker);
                     }
-                    s.spans.begin(worker, SpanKind::Wait, s.clock);
-                    self.protocol.on_rejoin(&mut Ctx(&mut self.state), worker);
+                    Event::Rejoin { worker } => {
+                        let s = &mut self.state;
+                        s.rejoin_at[worker] = None;
+                        if !s.crashed[worker] {
+                            continue;
+                        }
+                        s.crashed[worker] = false;
+                        s.computing[worker] = false;
+                        if let WorkerFate::Restarted { at_iter, .. } = s.fates[worker] {
+                            s.fates[worker] = WorkerFate::Restarted {
+                                at_iter,
+                                rejoined: true,
+                            };
+                        }
+                        s.spans.begin(worker, SpanKind::Wait, s.clock);
+                        self.protocol.on_rejoin(&mut Ctx(&mut self.state), worker);
+                    }
                 }
             }
         }

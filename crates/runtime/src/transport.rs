@@ -632,8 +632,15 @@ fn controller_loop<T: Transport + ?Sized>(
             }
             let residual = residuals[w].get_or_insert_with(|| Tensor::zeros(g.len()));
             let mut draw = || codec_rng.uniform_u64(0..1 << 32) as u32;
-            let (frame, err) =
-                codec::encode_with_feedback(wire_codec, g, residual, &mut codec_buf, &mut draw);
+            let threads = codec::wire_threads(g.len());
+            let (frame, err) = codec::encode_with_feedback_mt(
+                wire_codec,
+                g,
+                residual,
+                &mut codec_buf,
+                &mut draw,
+                threads,
+            );
             ck.data.bytes_on_wire += frame;
             ck.data.bytes_saved += lossless_frame.saturating_sub(frame);
             ck.data.codec_error_l2 += err;

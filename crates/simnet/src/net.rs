@@ -5,8 +5,6 @@
 //! communication. The defaults match the paper's testbeds: a 10 Gb Ethernet
 //! toy cluster (§2.3.1) and an EDR InfiniBand evaluation cluster (§7.1).
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::{SimDuration, SimRng, SimTime};
@@ -122,7 +120,13 @@ pub struct NetFaults {
     drops: Vec<((usize, usize), f64)>,
     downs: Vec<((usize, usize), (SimTime, SimTime))>,
     cuts: Vec<Cut>,
-    edge_rngs: BTreeMap<(usize, usize), SimRng>,
+    /// Interned per-drop-edge state, sorted by edge key: the combined
+    /// survive probability and the edge's ChaCha stream, both precomputed
+    /// when drops are declared. The admit path is then a binary search —
+    /// no map insertion, no RNG construction, no per-message iteration
+    /// over the whole drop list (which cost O(drops) per send on a
+    /// 100k-worker fabric).
+    edge_streams: Vec<((usize, usize), f64, SimRng)>,
 }
 
 impl PartialEq for NetFaults {
@@ -148,8 +152,34 @@ impl NetFaults {
             drops: Vec::new(),
             downs: Vec::new(),
             cuts: Vec::new(),
-            edge_rngs: BTreeMap::new(),
+            edge_streams: Vec::new(),
         }
+    }
+
+    /// Re-interns the per-edge streams after a drop declaration. Streams
+    /// are (re)seeded from scratch, which is fine because `with_drop` is
+    /// builder-stage: no traffic has consumed randomness yet. The seeding
+    /// formula is the per-edge derivation documented on the type, so a
+    /// given `(seed, edge)` pair always yields the same fate sequence.
+    fn rebuild_streams(&mut self) {
+        let mut keys: Vec<(usize, usize)> = self.drops.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let seed = self.seed;
+        let drops = &self.drops;
+        self.edge_streams = keys
+            .into_iter()
+            .map(|key| {
+                let survive_p: f64 = drops
+                    .iter()
+                    .filter(|(k, _)| *k == key)
+                    .map(|(_, p)| 1.0 - p)
+                    .product();
+                let stream = (((key.0 as u64) << 32) | key.1 as u64).wrapping_add(1);
+                let rng = SimRng::seed(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                (key, survive_p, rng)
+            })
+            .collect();
     }
 
     /// Each message on the `a`↔`b` link (either direction) is dropped
@@ -164,6 +194,7 @@ impl NetFaults {
             "drop probability {p} not in [0, 1]"
         );
         self.drops.push((edge_key(a, b), p));
+        self.rebuild_streams();
         self
     }
 
@@ -238,21 +269,14 @@ impl NetFaults {
             return false;
         }
         let key = edge_key(a, b);
-        let survive_p: f64 = self
-            .drops
-            .iter()
-            .filter(|(k, _)| *k == key)
-            .map(|(_, p)| 1.0 - p)
-            .product();
-        if survive_p >= 1.0 {
+        let Ok(i) = self.edge_streams.binary_search_by_key(&key, |&(k, _, _)| k) else {
+            return true; // no drop configured on this edge
+        };
+        let (_, survive_p, rng) = &mut self.edge_streams[i];
+        if *survive_p >= 1.0 {
             return true;
         }
-        let seed = self.seed;
-        let rng = self.edge_rngs.entry(key).or_insert_with(|| {
-            let stream = (((key.0 as u64) << 32) | key.1 as u64).wrapping_add(1);
-            SimRng::seed(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        });
-        rng.bernoulli(survive_p)
+        rng.bernoulli(*survive_p)
     }
 }
 

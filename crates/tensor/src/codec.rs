@@ -25,6 +25,7 @@
 //! now that frames can arrive over a socket from another process, not
 //! just from locally-produced bytes.
 
+use crate::simd;
 use crate::wire::{self, Reader};
 use crate::Tensor;
 
@@ -260,22 +261,20 @@ impl Compression {
         wire::put_u64(out, xs.len() as u64);
         match self {
             Compression::Lossless => {
-                for &x in xs {
-                    wire::put_f32(out, x);
-                }
+                simd::f32s_to_le_bytes(xs, out);
             }
             Compression::Fp16 => {
-                for &x in xs {
-                    out.extend_from_slice(&f32_to_f16_bits(x).to_le_bytes());
-                }
+                let start = out.len();
+                out.resize(start + 2 * xs.len(), 0);
+                simd::fp16_encode(xs, &mut out[start..]);
             }
             Compression::Int8 => {
-                let max_abs = xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                let max_abs = simd::abs_max(xs);
                 let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
                 wire::put_f32(out, scale);
-                for &x in xs {
-                    out.push(quantize_i8_sr(x, scale, draw) as u8);
-                }
+                let start = out.len();
+                out.resize(start + xs.len(), 0);
+                simd::int8_quantize(xs, scale, &mut out[start..], draw);
             }
             Compression::TopK { .. } => {
                 let k = self.keep_count(xs.len());
@@ -304,57 +303,28 @@ impl Compression {
     /// out-of-range top-k indices, or trailing bytes.
     pub fn decode_slice(&self, frame: &[u8], out: &mut [f32]) -> Result<(), CodecError> {
         let mut r = Reader::new(frame);
-        let tag = r.u32().ok_or(CodecError::Truncated { what: "codec tag" })?;
-        if tag != self.tag() {
-            return Err(CodecError::WrongCodec {
-                got: tag,
-                expected: self.tag(),
-            });
-        }
-        let param = r.u32().ok_or(CodecError::Truncated {
-            what: "codec parameter",
-        })?;
-        if param != self.param() {
-            return Err(CodecError::WrongParam {
-                got: param,
-                expected: self.param(),
-            });
-        }
-        let count = r.u64().ok_or(CodecError::Truncated {
-            what: "element count",
-        })?;
-        if count != out.len() as u64 {
-            return Err(CodecError::LengthMismatch {
-                got: count,
-                expected: out.len() as u64,
-            });
-        }
+        self.check_header(&mut r, out.len())?;
         match self {
             Compression::Lossless => {
-                for o in out.iter_mut() {
-                    *o = r.f32().ok_or(CodecError::Truncated {
-                        what: "f32 payload",
-                    })?;
-                }
+                let payload = r.bytes_exact(4 * out.len()).ok_or(CodecError::Truncated {
+                    what: "f32 payload",
+                })?;
+                simd::le_bytes_to_f32s(payload, out);
             }
             Compression::Fp16 => {
-                for o in out.iter_mut() {
-                    let b = r.bytes_exact(2).ok_or(CodecError::Truncated {
-                        what: "f16 payload",
-                    })?;
-                    *o = f16_bits_to_f32(u16::from_le_bytes([b[0], b[1]]));
-                }
+                let payload = r.bytes_exact(2 * out.len()).ok_or(CodecError::Truncated {
+                    what: "f16 payload",
+                })?;
+                simd::fp16_decode(payload, out);
             }
             Compression::Int8 => {
                 let scale = r
                     .f32()
                     .ok_or(CodecError::Truncated { what: "int8 scale" })?;
-                for o in out.iter_mut() {
-                    let q = r.bytes_exact(1).ok_or(CodecError::Truncated {
-                        what: "int8 payload",
-                    })?[0] as i8;
-                    *o = f32::from(q) * scale;
-                }
+                let payload = r.bytes_exact(out.len()).ok_or(CodecError::Truncated {
+                    what: "int8 payload",
+                })?;
+                simd::int8_dequantize(payload, scale, out);
             }
             Compression::TopK { .. } => {
                 let k = r.u32().ok_or(CodecError::Truncated {
@@ -385,6 +355,38 @@ impl Compression {
         if r.remaining() != 0 {
             return Err(CodecError::TrailingBytes {
                 remaining: r.remaining() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates a frame header (tag, parameter, element count) against
+    /// this codec and an output buffer of `out_len` elements, leaving the
+    /// reader positioned at the payload.
+    fn check_header(&self, r: &mut Reader<'_>, out_len: usize) -> Result<(), CodecError> {
+        let tag = r.u32().ok_or(CodecError::Truncated { what: "codec tag" })?;
+        if tag != self.tag() {
+            return Err(CodecError::WrongCodec {
+                got: tag,
+                expected: self.tag(),
+            });
+        }
+        let param = r.u32().ok_or(CodecError::Truncated {
+            what: "codec parameter",
+        })?;
+        if param != self.param() {
+            return Err(CodecError::WrongParam {
+                got: param,
+                expected: self.param(),
+            });
+        }
+        let count = r.u64().ok_or(CodecError::Truncated {
+            what: "element count",
+        })?;
+        if count != out_len as u64 {
+            return Err(CodecError::LengthMismatch {
+                got: count,
+                expected: out_len as u64,
             });
         }
         Ok(())
@@ -444,6 +446,230 @@ pub fn encode_with_feedback(
     residual.copy_from(grad); // residual := compensated (for now)
     codec
         .decode(scratch, grad) // grad := wire value
+        .expect("self-produced frame must decode");
+    residual.sub_assign(grad); // residual := compensated − wire
+    (scratch.len() as u64, f64::from(residual.norm_l2()))
+}
+
+/// Minimum elements each wire-codec thread must own before chunk-parallel
+/// encode/decode pays for itself; [`wire_threads`] caps fan-out so no
+/// thread gets less. Below one thread's worth the serial path runs.
+pub const PAR_MIN_ELEMS: usize = 1 << 15;
+
+/// Thread count the chunk-parallel wire path should use for `elems`
+/// elements on this host: one per available core, capped so every thread
+/// owns at least [`PAR_MIN_ELEMS`] elements. Always at least 1 (and exactly
+/// 1 on single-core hosts, where fan-out can only lose).
+pub fn wire_threads(elems: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    cores.min(elems / PAR_MIN_ELEMS).max(1)
+}
+
+impl Compression {
+    /// Chunk-parallel [`Compression::encode_slice`]: the payload is split
+    /// on element boundaries across `threads` scoped threads (the idiom the
+    /// threaded controller uses for its reduce region).
+    ///
+    /// Bit-identical to the serial path for every thread count: lossless
+    /// and fp16 lanes are independent, and int8 runs two-phase — the
+    /// divide/floor arithmetic fans out (every operation is IEEE-exact, so
+    /// chunking cannot change a value) while the stochastic-rounding draws
+    /// are consumed serially in element order, exactly as
+    /// [`quantize_i8_sr`] consumes them. Top-k is dominated by threshold
+    /// selection and stays serial. Callers pick `threads` with
+    /// [`wire_threads`]; passing `threads <= 1` is the serial path.
+    pub fn encode_slice_mt(
+        &self,
+        xs: &[f32],
+        out: &mut Vec<u8>,
+        draw: &mut impl FnMut() -> u32,
+        threads: usize,
+    ) {
+        if threads <= 1 || xs.is_empty() || matches!(self, Compression::TopK { .. }) {
+            return self.encode_slice(xs, out, draw);
+        }
+        out.clear();
+        wire::put_u32(out, self.tag());
+        wire::put_u32(out, self.param());
+        wire::put_u64(out, xs.len() as u64);
+        let chunk = xs.len().div_ceil(threads);
+        match self {
+            Compression::Lossless => {
+                let start = out.len();
+                out.resize(start + 4 * xs.len(), 0);
+                let payload = &mut out[start..];
+                std::thread::scope(|s| {
+                    for (xc, oc) in xs.chunks(chunk).zip(payload.chunks_mut(4 * chunk)) {
+                        s.spawn(move || simd::f32s_to_le_bytes_into(xc, oc));
+                    }
+                });
+            }
+            Compression::Fp16 => {
+                let start = out.len();
+                out.resize(start + 2 * xs.len(), 0);
+                let payload = &mut out[start..];
+                std::thread::scope(|s| {
+                    for (xc, oc) in xs.chunks(chunk).zip(payload.chunks_mut(2 * chunk)) {
+                        s.spawn(move || simd::fp16_encode(xc, oc));
+                    }
+                });
+            }
+            Compression::Int8 => {
+                // Chunked max folds to the serial answer: f32 max is
+                // associative and commutative on finite inputs.
+                let maxes: Vec<f32> = std::thread::scope(|s| {
+                    let handles: Vec<_> = xs
+                        .chunks(chunk)
+                        .map(|xc| s.spawn(move || simd::abs_max(xc)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("abs_max worker panicked"))
+                        .collect()
+                });
+                let max_abs = maxes.into_iter().fold(0.0f32, f32::max);
+                let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
+                wire::put_f32(out, scale);
+                let start = out.len();
+                out.resize(start + xs.len(), 0);
+                if scale != 0.0 {
+                    // Phase 1 (parallel): per-element divide/floor. IEEE
+                    // division, floor, and subtraction are exact functions
+                    // of their operands, so the (lo, frac) pairs cannot
+                    // depend on the chunking.
+                    let mut lo = vec![0i32; xs.len()];
+                    let mut frac = vec![0.0f32; xs.len()];
+                    std::thread::scope(|s| {
+                        for ((xc, lc), fc) in xs
+                            .chunks(chunk)
+                            .zip(lo.chunks_mut(chunk))
+                            .zip(frac.chunks_mut(chunk))
+                        {
+                            s.spawn(move || {
+                                for ((&x, l), f) in xc.iter().zip(lc.iter_mut()).zip(fc.iter_mut())
+                                {
+                                    let v = x / scale;
+                                    let fl = v.floor();
+                                    *l = fl as i32;
+                                    *f = v - fl;
+                                }
+                            });
+                        }
+                    });
+                    // Phase 2 (serial): the draw stream advances in element
+                    // order — the invariant that keeps same-seed replays
+                    // bit-identical across serial, SIMD, and parallel paths.
+                    let payload = &mut out[start..];
+                    for ((&l, &f), o) in lo.iter().zip(&frac).zip(payload.iter_mut()) {
+                        let mut q = l;
+                        if f > 0.0 {
+                            let u = (draw() >> 8) as f32 / (1u32 << 24) as f32;
+                            if u < f {
+                                q += 1;
+                            }
+                        }
+                        *o = q.clamp(-127, 127) as u8;
+                    }
+                }
+                // scale == 0.0: all-zero payload, and the scalar reference
+                // draws nothing either.
+            }
+            Compression::TopK { .. } => unreachable!("top-k handled serially above"),
+        }
+        debug_assert_eq!(out.len() as u64, self.frame_bytes(xs.len()));
+    }
+
+    /// Chunk-parallel [`Compression::decode_slice`], bit-identical to the
+    /// serial path for every thread count (decode has no cross-element
+    /// state at all). Top-k and `threads <= 1` fall through to serial.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compression::decode_slice`].
+    pub fn decode_slice_mt(
+        &self,
+        frame: &[u8],
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CodecError> {
+        if threads <= 1 || out.is_empty() || matches!(self, Compression::TopK { .. }) {
+            return self.decode_slice(frame, out);
+        }
+        let mut r = Reader::new(frame);
+        self.check_header(&mut r, out.len())?;
+        let chunk = out.len().div_ceil(threads);
+        match self {
+            Compression::Lossless => {
+                let payload = r.bytes_exact(4 * out.len()).ok_or(CodecError::Truncated {
+                    what: "f32 payload",
+                })?;
+                std::thread::scope(|s| {
+                    for (bc, oc) in payload.chunks(4 * chunk).zip(out.chunks_mut(chunk)) {
+                        s.spawn(move || simd::le_bytes_to_f32s(bc, oc));
+                    }
+                });
+            }
+            Compression::Fp16 => {
+                let payload = r.bytes_exact(2 * out.len()).ok_or(CodecError::Truncated {
+                    what: "f16 payload",
+                })?;
+                std::thread::scope(|s| {
+                    for (bc, oc) in payload.chunks(2 * chunk).zip(out.chunks_mut(chunk)) {
+                        s.spawn(move || simd::fp16_decode(bc, oc));
+                    }
+                });
+            }
+            Compression::Int8 => {
+                let scale = r
+                    .f32()
+                    .ok_or(CodecError::Truncated { what: "int8 scale" })?;
+                let payload = r.bytes_exact(out.len()).ok_or(CodecError::Truncated {
+                    what: "int8 payload",
+                })?;
+                std::thread::scope(|s| {
+                    for (bc, oc) in payload.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                        s.spawn(move || simd::int8_dequantize(bc, scale, oc));
+                    }
+                });
+            }
+            Compression::TopK { .. } => unreachable!("top-k handled serially above"),
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes {
+                remaining: r.remaining() as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// [`encode_with_feedback`] with the encode and decode legs running
+/// chunk-parallel across `threads` scoped threads. Bit-identical to the
+/// serial recurrence for every thread count (see
+/// [`Compression::encode_slice_mt`] for why); callers pick `threads` with
+/// [`wire_threads`].
+///
+/// # Panics
+///
+/// Same contract as [`encode_with_feedback`].
+pub fn encode_with_feedback_mt(
+    codec: Compression,
+    grad: &mut Tensor,
+    residual: &mut Tensor,
+    scratch: &mut Vec<u8>,
+    draw: &mut impl FnMut() -> u32,
+    threads: usize,
+) -> (u64, f64) {
+    assert_eq!(
+        residual.len(),
+        grad.len(),
+        "error-feedback residual length mismatch"
+    );
+    grad.add_assign(residual); // compensated
+    codec.encode_slice_mt(grad.as_slice(), scratch, draw, threads);
+    residual.copy_from(grad); // residual := compensated (for now)
+    codec
+        .decode_slice_mt(scratch, grad.as_mut_slice(), threads) // grad := wire value
         .expect("self-produced frame must decode");
     residual.sub_assign(grad); // residual := compensated − wire
     (scratch.len() as u64, f64::from(residual.norm_l2()))
@@ -523,7 +749,12 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 
 /// Quantizes `x` to a signed byte under `scale` with stochastic rounding:
 /// `E[result·scale] = x` for in-range finite inputs.
-fn quantize_i8_sr(x: f32, scale: f32, draw: &mut impl FnMut() -> u32) -> i8 {
+///
+/// This is the portable per-element reference; [`crate::simd`] batches the
+/// surrounding arithmetic but routes every draw through the identical
+/// `frac > 0` condition in element order, so both paths consume the same
+/// stream.
+pub(crate) fn quantize_i8_sr(x: f32, scale: f32, draw: &mut impl FnMut() -> u32) -> i8 {
     if scale == 0.0 {
         return 0;
     }
@@ -548,19 +779,41 @@ fn quantize_i8_sr(x: f32, scale: f32, draw: &mut impl FnMut() -> u32) -> i8 {
 /// magnitudes.
 fn top_k_indices(xs: &[f32], k: usize) -> Vec<u32> {
     debug_assert!(k <= xs.len());
-    let mut idx: Vec<u32> = (0..xs.len() as u32).collect();
     if k == 0 {
         return Vec::new();
     }
-    if k < xs.len() {
-        idx.select_nth_unstable_by(k - 1, |&a, &b| {
-            let ma = xs[a as usize].abs();
-            let mb = xs[b as usize].abs();
-            mb.total_cmp(&ma).then(a.cmp(&b))
-        });
-        idx.truncate(k);
+    if k >= xs.len() {
+        return (0..xs.len() as u32).collect();
     }
-    idx.sort_unstable();
+    // Magnitude total order on bit keys: for sign-cleared floats, unsigned
+    // integer order on the bits *is* `total_cmp` on the magnitudes, so the
+    // k-th largest key is a plain integer selection and membership becomes
+    // a threshold scan the SIMD path can vectorize.
+    let keys = simd::magnitude_keys(xs);
+    let mut scratch = keys.clone();
+    let (_, &mut t, _) = scratch.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+    let mut gt = Vec::with_capacity(k);
+    let mut ties = Vec::new();
+    simd::topk_scan(&keys, t, k, &mut gt, &mut ties);
+    // Everything strictly above the threshold is kept; ties at the
+    // threshold fill the remaining slots lowest-index-first — exactly the
+    // (magnitude desc, index asc) selection order. Both lists arrive in
+    // ascending index order, so a linear merge restores the sorted output.
+    let need = k - gt.len();
+    let mut idx = Vec::with_capacity(k);
+    let mut ti = ties[..need].iter().peekable();
+    for g in gt {
+        while let Some(&&tie) = ti.peek() {
+            if tie < g {
+                idx.push(tie);
+                ti.next();
+            } else {
+                break;
+            }
+        }
+        idx.push(g);
+    }
+    idx.extend(ti);
     idx
 }
 

@@ -24,6 +24,9 @@
 //! * [`codec`] — pluggable gradient wire codecs ([`codec::Compression`]:
 //!   lossless, fp16, int8 with stochastic rounding, top-k) plus the
 //!   error-feedback recurrence that keeps the lossy ones convergent.
+//! * [`simd`] — runtime-dispatched `std::arch` kernels (AVX2 with a scalar
+//!   reference fallback) behind the codec hot loops; `RNA_FORCE_SCALAR=1`
+//!   pins the portable path.
 //!
 //! # Examples
 //!
@@ -37,13 +40,16 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied (not forbidden) so the `simd` module alone can opt in
+// for `std::arch` intrinsics and byte-view casts; everything else stays safe.
+#![deny(unsafe_code)]
 
 pub mod alloc;
 pub mod chunks;
 pub mod codec;
 pub mod pool;
 pub mod reduce;
+pub mod simd;
 pub mod stats;
 mod tensor;
 pub mod wire;

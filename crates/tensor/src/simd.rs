@@ -1,0 +1,719 @@
+//! Runtime-dispatched SIMD kernels for the wire-codec hot loops.
+//!
+//! Every kernel here has two implementations: an explicit `std::arch` AVX2
+//! pipeline and a portable scalar reference. Dispatch is decided once per
+//! process by [`active`]: the vector path runs only when the CPU reports
+//! AVX2 (`is_x86_feature_detected!`) *and* `RNA_FORCE_SCALAR` is unset —
+//! exporting `RNA_FORCE_SCALAR=1` pins the scalar reference, which CI uses
+//! to keep the fallback covered. [`set_forced_scalar`] is the programmatic
+//! override benches use to measure both paths in one process.
+//!
+//! The contract is **bit-identity**: for the same inputs (and the same
+//! stochastic-rounding draw stream) the vector and scalar paths produce
+//! byte-identical frames, so same-seed replays do not depend on the host
+//! CPU. The paper's CUDA kernels become these runtime-detected host
+//! kernels; the property tests in `tensor/tests/simd_codecs.rs` pin the
+//! identity across lane-remainder lengths.
+//!
+//! Inputs are expected to be finite (gradients with NaN/∞ have already
+//! diverged); the fp16 kernels are nevertheless total and bit-exact for
+//! every input including NaN payloads.
+
+// The one module allowed to use `unsafe`: `std::arch` intrinsics behind
+// runtime feature detection, and byte-view casts over `f32` slices.
+#![allow(unsafe_code)]
+
+use crate::codec::{f16_bits_to_f32, f32_to_f16_bits, quantize_i8_sr};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Dispatch mode: 0 = undecided, 1 = auto (use SIMD when detected),
+/// 2 = forced scalar.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the scalar reference path is forced, by `RNA_FORCE_SCALAR` in
+/// the environment (any value other than empty or `0`) or by
+/// [`set_forced_scalar`]. Decided once and cached.
+pub fn forced_scalar() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let forced = std::env::var("RNA_FORCE_SCALAR")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            MODE.store(if forced { 2 } else { 1 }, Ordering::Relaxed);
+            forced
+        }
+    }
+}
+
+/// Programmatically forces (or un-forces) the scalar path, overriding the
+/// environment. Benches use this to time scalar vs SIMD in one process and
+/// tests use it to pin bit-identity across both paths.
+pub fn set_forced_scalar(on: bool) {
+    MODE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Whether the AVX2 kernels are compiled in and the CPU supports them
+/// (regardless of the force-scalar override).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the vector path will actually run: AVX2 detected and the scalar
+/// override not engaged.
+pub fn active() -> bool {
+    avx2_available() && !forced_scalar()
+}
+
+/// Detected CPU features relevant to the codec kernels, for bench-report
+/// headers (floors are only comparable across machines with the same
+/// vector width).
+pub fn detected_features() -> Vec<(&'static str, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        vec![
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("sse4.1", std::arch::is_x86_feature_detected!("sse4.1")),
+        ]
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        vec![("avx2", false), ("sse4.1", false)]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fp16
+// ---------------------------------------------------------------------------
+
+/// Encodes `xs` as little-endian IEEE binary16 into `out`
+/// (`out.len() == 2 * xs.len()`), round-to-nearest-even, bit-identical to
+/// [`f32_to_f16_bits`] per element.
+///
+/// # Panics
+///
+/// Panics if `out.len() != 2 * xs.len()`.
+pub fn fp16_encode(xs: &[f32], out: &mut [u8]) {
+    assert_eq!(out.len(), xs.len() * 2, "fp16 output length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` verified AVX2 support at runtime.
+        unsafe { avx2::fp16_encode(xs, out) };
+        return;
+    }
+    fp16_encode_scalar(xs, out);
+}
+
+/// The portable reference for [`fp16_encode`].
+pub fn fp16_encode_scalar(xs: &[f32], out: &mut [u8]) {
+    for (o, &x) in out.chunks_exact_mut(2).zip(xs) {
+        o.copy_from_slice(&f32_to_f16_bits(x).to_le_bytes());
+    }
+}
+
+/// Decodes little-endian IEEE binary16 `bytes` (`bytes.len() == 2 *
+/// out.len()`) into `out`, bit-identical to [`f16_bits_to_f32`] per
+/// element.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() != 2 * out.len()`.
+pub fn fp16_decode(bytes: &[u8], out: &mut [f32]) {
+    assert_eq!(bytes.len(), out.len() * 2, "fp16 payload length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` verified AVX2 support at runtime.
+        unsafe { avx2::fp16_decode(bytes, out) };
+        return;
+    }
+    fp16_decode_scalar(bytes, out);
+}
+
+/// The portable reference for [`fp16_decode`].
+pub fn fp16_decode_scalar(bytes: &[u8], out: &mut [f32]) {
+    for (o, b) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+        *o = f16_bits_to_f32(u16::from_le_bytes([b[0], b[1]]));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// int8 stochastic rounding
+// ---------------------------------------------------------------------------
+
+/// Largest finite magnitude in `xs` (`0.0` for an empty slice), matching
+/// the scalar fold `m.max(x.abs())` bit-for-bit on finite inputs.
+pub fn abs_max(xs: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` verified AVX2 support at runtime.
+        return unsafe { avx2::abs_max(xs) };
+    }
+    abs_max_scalar(xs)
+}
+
+/// The portable reference for [`abs_max`].
+pub fn abs_max_scalar(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Quantizes `xs` under `scale` with stochastic rounding into `out`
+/// (`out.len() == xs.len()`, one `i8` stored as `u8` per element).
+///
+/// `draw` is consumed **exactly** as the scalar reference consumes it: one
+/// uniform `u32` per element whose fractional part is strictly positive,
+/// in element order — so the ChaCha codec stream advances identically on
+/// both paths and same-seed replays stay bit-identical. The vector path
+/// batches the surrounding arithmetic (divide, floor, compare, clamp)
+/// eight lanes at a time and harvests the draws per block.
+///
+/// # Panics
+///
+/// Panics if `out.len() != xs.len()`.
+pub fn int8_quantize(xs: &[f32], scale: f32, out: &mut [u8], draw: &mut impl FnMut() -> u32) {
+    assert_eq!(out.len(), xs.len(), "int8 output length mismatch");
+    if scale == 0.0 {
+        out.fill(0);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` verified AVX2 support at runtime.
+        unsafe { avx2::int8_quantize(xs, scale, out, draw) };
+        return;
+    }
+    int8_quantize_scalar(xs, scale, out, draw);
+}
+
+/// The portable reference for [`int8_quantize`].
+pub fn int8_quantize_scalar(
+    xs: &[f32],
+    scale: f32,
+    out: &mut [u8],
+    draw: &mut impl FnMut() -> u32,
+) {
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = quantize_i8_sr(x, scale, draw) as u8;
+    }
+}
+
+/// Dequantizes signed bytes back to `f32` (`out[i] = bytes[i] as i8 as f32
+/// * scale`), bit-identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() != out.len()`.
+pub fn int8_dequantize(bytes: &[u8], scale: f32, out: &mut [f32]) {
+    assert_eq!(bytes.len(), out.len(), "int8 payload length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` verified AVX2 support at runtime.
+        unsafe { avx2::int8_dequantize(bytes, scale, out) };
+        return;
+    }
+    int8_dequantize_scalar(bytes, scale, out);
+}
+
+/// The portable reference for [`int8_dequantize`].
+pub fn int8_dequantize_scalar(bytes: &[u8], scale: f32, out: &mut [f32]) {
+    for (o, &b) in out.iter_mut().zip(bytes) {
+        *o = f32::from(b as i8) * scale;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// top-k threshold scan
+// ---------------------------------------------------------------------------
+
+/// Magnitude sort keys for a top-k scan: `x.to_bits() & 0x7FFF_FFFF`.
+///
+/// For sign-cleared floats the IEEE total order coincides with unsigned
+/// integer order on the bit patterns (NaN payloads sort above infinity,
+/// exactly like `f32::total_cmp` on magnitudes), so selection and scanning
+/// run on plain `u32`s.
+pub fn magnitude_keys(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits() & 0x7FFF_FFFF).collect()
+}
+
+/// Threshold scan for top-k selection: appends to `gt` every index whose
+/// key is strictly above `t` and to `ties` the first (lowest-index)
+/// `tie_cap` indices whose key equals `t`, both in ascending index order.
+///
+/// The vector path compares eight keys per step and falls into per-lane
+/// classification only when a block contains a candidate — for small keep
+/// fractions almost every block is skipped with one compare.
+pub fn topk_scan(keys: &[u32], t: u32, tie_cap: usize, gt: &mut Vec<u32>, ties: &mut Vec<u32>) {
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` verified AVX2 support at runtime.
+        unsafe { avx2::topk_scan(keys, t, tie_cap, gt, ties) };
+        return;
+    }
+    topk_scan_scalar(keys, t, tie_cap, gt, ties);
+}
+
+/// The portable reference for [`topk_scan`].
+pub fn topk_scan_scalar(
+    keys: &[u32],
+    t: u32,
+    tie_cap: usize,
+    gt: &mut Vec<u32>,
+    ties: &mut Vec<u32>,
+) {
+    for (i, &k) in keys.iter().enumerate() {
+        if k > t {
+            gt.push(i as u32);
+        } else if k == t && ties.len() < tie_cap {
+            ties.push(i as u32);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lossless byte views
+// ---------------------------------------------------------------------------
+
+/// Appends the little-endian byte image of `xs` to `out` — the lossless
+/// wire payload — at memcpy speed on little-endian hosts.
+pub fn f32s_to_le_bytes(xs: &[f32], out: &mut Vec<u8>) {
+    #[cfg(target_endian = "little")]
+    {
+        out.extend_from_slice(raw::f32s_as_bytes(xs));
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.reserve(xs.len() * 4);
+        for &x in xs {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+/// Writes the little-endian byte image of `xs` into `out`
+/// (`out.len() == 4 * xs.len()`), for chunk-parallel lossless encode.
+///
+/// # Panics
+///
+/// Panics if `out.len() != 4 * xs.len()`.
+pub fn f32s_to_le_bytes_into(xs: &[f32], out: &mut [u8]) {
+    assert_eq!(out.len(), xs.len() * 4, "lossless output length mismatch");
+    #[cfg(target_endian = "little")]
+    {
+        out.copy_from_slice(raw::f32s_as_bytes(xs));
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for (o, &x) in out.chunks_exact_mut(4).zip(xs) {
+            o.copy_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+/// Reads little-endian `f32` bit patterns from `bytes`
+/// (`bytes.len() == 4 * out.len()`) into `out` at memcpy speed.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() != 4 * out.len()`.
+pub fn le_bytes_to_f32s(bytes: &[u8], out: &mut [f32]) {
+    assert_eq!(
+        bytes.len(),
+        out.len() * 4,
+        "lossless payload length mismatch"
+    );
+    #[cfg(target_endian = "little")]
+    {
+        raw::bytes_into_f32s(bytes, out);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for (o, b) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        }
+    }
+}
+
+/// Byte-view casts for the lossless payload path. `f32` has no invalid bit
+/// patterns and no padding, so viewing a float slice as bytes (and copying
+/// bytes over floats) is sound; endianness is handled by the callers.
+#[cfg(target_endian = "little")]
+mod raw {
+    /// The raw little-endian byte image of a float slice.
+    pub fn f32s_as_bytes(xs: &[f32]) -> &[u8] {
+        // SAFETY: f32 and u8 have no padding or invalid representations;
+        // the length covers exactly the same memory.
+        unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 4) }
+    }
+
+    /// Copies a byte image over a float slice (lengths already checked).
+    pub fn bytes_into_f32s(bytes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(bytes.len(), out.len() * 4);
+        // SAFETY: every 4-byte pattern is a valid f32; regions cannot
+        // overlap (&mut out is exclusive).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels
+// ---------------------------------------------------------------------------
+
+/// Explicit AVX2 pipelines. Every function is `unsafe fn` gated on the
+/// caller having verified `avx2` at runtime; all are bit-identical to the
+/// scalar references above (pinned by the crate's property tests).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// 8-lane fp16 encode: the scalar bit-twiddling of
+    /// [`crate::codec::f32_to_f16_bits`] as a shift/blend pipeline.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fp16_encode(xs: &[f32], out: &mut [u8]) {
+        let n = xs.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let bits = _mm256_castps_si256(_mm256_loadu_ps(xs.as_ptr().add(i)));
+            let sign = _mm256_and_si256(_mm256_srli_epi32(bits, 16), _mm256_set1_epi32(0x8000));
+            let abs = _mm256_and_si256(bits, _mm256_set1_epi32(0x7FFF_FFFF));
+            let exp = _mm256_srli_epi32(abs, 23);
+            let mant = _mm256_and_si256(abs, _mm256_set1_epi32(0x007F_FFFF));
+            let half_exp = _mm256_sub_epi32(exp, _mm256_set1_epi32(112));
+
+            // Normal path: drop 13 mantissa bits with RNE (carry may bump
+            // the exponent, possibly into infinity — same as scalar).
+            let kept_n = _mm256_srli_epi32(mant, 13);
+            let rem_n = _mm256_and_si256(mant, _mm256_set1_epi32(0x1FFF));
+            let h_n = _mm256_or_si256(_mm256_slli_epi32(half_exp, 10), kept_n);
+            let rem_gt = _mm256_cmpgt_epi32(rem_n, _mm256_set1_epi32(0x1000));
+            let rem_eq = _mm256_cmpeq_epi32(rem_n, _mm256_set1_epi32(0x1000));
+            let odd_n = _mm256_cmpeq_epi32(
+                _mm256_and_si256(h_n, _mm256_set1_epi32(1)),
+                _mm256_set1_epi32(1),
+            );
+            let round_n = _mm256_or_si256(rem_gt, _mm256_and_si256(rem_eq, odd_n));
+            // A compare mask is -1 per rounding lane; subtracting adds 1.
+            let h_n = _mm256_sub_epi32(h_n, round_n);
+
+            // Subnormal path: implicit leading 1, variable right shift
+            // (14..=24), RNE on the shifted-out remainder.
+            let m_s = _mm256_or_si256(mant, _mm256_set1_epi32(0x0080_0000));
+            let shift = _mm256_sub_epi32(_mm256_set1_epi32(14), half_exp);
+            let kept_s = _mm256_srlv_epi32(m_s, shift);
+            let pow = _mm256_sllv_epi32(_mm256_set1_epi32(1), shift);
+            let rem_s = _mm256_and_si256(m_s, _mm256_sub_epi32(pow, _mm256_set1_epi32(1)));
+            let halfway = _mm256_srli_epi32(pow, 1);
+            let srem_gt = _mm256_cmpgt_epi32(rem_s, halfway);
+            let srem_eq = _mm256_cmpeq_epi32(rem_s, halfway);
+            let odd_s = _mm256_cmpeq_epi32(
+                _mm256_and_si256(kept_s, _mm256_set1_epi32(1)),
+                _mm256_set1_epi32(1),
+            );
+            let round_s = _mm256_or_si256(srem_gt, _mm256_and_si256(srem_eq, odd_s));
+            let h_s = _mm256_sub_epi32(kept_s, round_s);
+
+            // Select: normal, then subnormal (half_exp <= 0), then flush to
+            // zero (half_exp < -10), then overflow to infinity
+            // (half_exp >= 0x1F), then NaN/∞ passthrough (which must win
+            // over the overflow blend — their half_exp is also >= 0x1F).
+            let is_sub = _mm256_cmpgt_epi32(_mm256_set1_epi32(1), half_exp);
+            let mut h = _mm256_blendv_epi8(h_n, h_s, is_sub);
+            let is_tiny = _mm256_cmpgt_epi32(_mm256_set1_epi32(-10), half_exp);
+            h = _mm256_andnot_si256(is_tiny, h);
+            let is_ovf = _mm256_cmpgt_epi32(half_exp, _mm256_set1_epi32(0x1E));
+            h = _mm256_blendv_epi8(h, _mm256_set1_epi32(0x7C00), is_ovf);
+            let is_naninf = _mm256_cmpgt_epi32(abs, _mm256_set1_epi32(0x7F7F_FFFF));
+            let is_nan = _mm256_cmpgt_epi32(abs, _mm256_set1_epi32(0x7F80_0000));
+            let naninf_h =
+                _mm256_blendv_epi8(_mm256_set1_epi32(0x7C00), _mm256_set1_epi32(0x7E00), is_nan);
+            h = _mm256_blendv_epi8(h, naninf_h, is_naninf);
+            h = _mm256_or_si256(h, sign);
+
+            // Pack 8 dwords (each <= 0xFFFF) to 8 words, fixing the 128-bit
+            // lane interleave of packus.
+            let packed = _mm256_packus_epi32(h, h);
+            let ordered = _mm256_permute4x64_epi64(packed, 0b11_01_10_00);
+            let low = _mm256_castsi256_si128(ordered);
+            _mm_storeu_si128(out.as_mut_ptr().add(2 * i).cast::<__m128i>(), low);
+            i += 8;
+        }
+        super::fp16_encode_scalar(&xs[i..], &mut out[2 * i..]);
+    }
+
+    /// 8-lane fp16 decode. Subnormal halves decode as `mantissa × 2⁻²⁴`
+    /// (exact in f32, identical to the scalar renormalization loop).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fp16_decode(bytes: &[u8], out: &mut [f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let h16 = _mm_loadu_si128(bytes.as_ptr().add(2 * i).cast::<__m128i>());
+            let h = _mm256_cvtepu16_epi32(h16);
+            let sign = _mm256_slli_epi32(_mm256_and_si256(h, _mm256_set1_epi32(0x8000)), 16);
+            let e = _mm256_and_si256(_mm256_srli_epi32(h, 10), _mm256_set1_epi32(0x1F));
+            let m = _mm256_and_si256(h, _mm256_set1_epi32(0x03FF));
+            let m13 = _mm256_slli_epi32(m, 13);
+            let norm = _mm256_or_si256(
+                _mm256_slli_epi32(_mm256_add_epi32(e, _mm256_set1_epi32(112)), 23),
+                m13,
+            );
+            let inf_nan = _mm256_or_si256(_mm256_set1_epi32(0x7F80_0000), m13);
+            // Subnormal: m × 2⁻²⁴, both steps exact.
+            let fsub = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(m),
+                _mm256_set1_ps(f32::from_bits(0x3380_0000)),
+            );
+            let sub_bits = _mm256_castps_si256(fsub);
+            let is_e0 = _mm256_cmpeq_epi32(e, _mm256_setzero_si256());
+            let is_e31 = _mm256_cmpeq_epi32(e, _mm256_set1_epi32(0x1F));
+            let mut bits = _mm256_blendv_epi8(norm, sub_bits, is_e0);
+            bits = _mm256_blendv_epi8(bits, inf_nan, is_e31);
+            bits = _mm256_or_si256(bits, sign);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_castsi256_ps(bits));
+            i += 8;
+        }
+        super::fp16_decode_scalar(&bytes[2 * i..], &mut out[i..]);
+    }
+
+    /// Vector absolute maximum (finite inputs).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn abs_max(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            acc = _mm256_max_ps(acc, _mm256_and_ps(x, mask));
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut m = lanes.iter().fold(0.0f32, |m, &v| m.max(v));
+        for &x in &xs[i..] {
+            m = m.max(x.abs());
+        }
+        m
+    }
+
+    /// 8-lane stochastic-rounding quantizer. The divide/floor/compare/clamp
+    /// arithmetic is vectorized; draws are harvested per block for exactly
+    /// the lanes whose fractional part is positive, in lane order, so the
+    /// draw stream matches the scalar reference element for element.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn int8_quantize(
+        xs: &[f32],
+        scale: f32,
+        out: &mut [u8],
+        draw: &mut impl FnMut() -> u32,
+    ) {
+        let n = xs.len();
+        let vscale = _mm256_set1_ps(scale);
+        // 2⁻²⁴ as a multiply: exact for 24-bit draws, same result as the
+        // scalar division by 2²⁴.
+        let inv24 = _mm256_set1_ps(f32::from_bits(0x3380_0000));
+        let mut us = [0.0f32; 8];
+        let mut lanes = [0i32; 8];
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            let v = _mm256_div_ps(x, vscale);
+            let lo = _mm256_floor_ps(v);
+            let frac = _mm256_sub_ps(v, lo);
+            let mut q = _mm256_cvttps_epi32(lo);
+            let need = _mm256_cmp_ps::<_CMP_GT_OQ>(frac, _mm256_setzero_ps());
+            let mask = _mm256_movemask_ps(need) as u32 & 0xFF;
+            if mask != 0 {
+                if mask == 0xFF {
+                    for u in &mut us {
+                        *u = (draw() >> 8) as f32;
+                    }
+                } else {
+                    for (lane, u) in us.iter_mut().enumerate() {
+                        *u = if mask & (1 << lane) != 0 {
+                            (draw() >> 8) as f32
+                        } else {
+                            f32::INFINITY
+                        };
+                    }
+                }
+                let uv = _mm256_mul_ps(_mm256_loadu_ps(us.as_ptr()), inv24);
+                let up = _mm256_cmp_ps::<_CMP_LT_OQ>(uv, frac);
+                q = _mm256_sub_epi32(q, _mm256_castps_si256(up));
+            }
+            q = _mm256_min_epi32(q, _mm256_set1_epi32(127));
+            q = _mm256_max_epi32(q, _mm256_set1_epi32(-127));
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), q);
+            for (lane, &v) in lanes.iter().enumerate() {
+                *out.get_unchecked_mut(i + lane) = v as u8;
+            }
+            i += 8;
+        }
+        super::int8_quantize_scalar(&xs[i..], scale, &mut out[i..], draw);
+    }
+
+    /// 8-lane dequantizer: `out[i] = bytes[i] as i8 as f32 * scale`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn int8_dequantize(bytes: &[u8], scale: f32, out: &mut [f32]) {
+        let n = out.len();
+        let vscale = _mm256_set1_ps(scale);
+        let mut i = 0;
+        while i + 8 <= n {
+            let b = _mm_loadl_epi64(bytes.as_ptr().add(i).cast::<__m128i>());
+            let q = _mm256_cvtepi8_epi32(b);
+            let f = _mm256_mul_ps(_mm256_cvtepi32_ps(q), vscale);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), f);
+            i += 8;
+        }
+        super::int8_dequantize_scalar(&bytes[i..], scale, &mut out[i..]);
+    }
+
+    /// Vectorized threshold scan: one compare rejects eight keys at a time;
+    /// only blocks containing a candidate fall into per-lane classification.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn topk_scan(
+        keys: &[u32],
+        t: u32,
+        tie_cap: usize,
+        gt: &mut Vec<u32>,
+        ties: &mut Vec<u32>,
+    ) {
+        let n = keys.len();
+        // Keys are sign-cleared (≤ 0x7FFF_FFFF), so signed compares agree
+        // with unsigned order; `t - 1` makes `> t-1` mean `>= t`, and for
+        // t = 0 the wrap to -1 correctly flags every lane.
+        let ge_bound = _mm256_set1_epi32((t as i32).wrapping_sub(1));
+        let mut i = 0;
+        while i + 8 <= n {
+            let k = _mm256_loadu_si256(keys.as_ptr().add(i).cast::<__m256i>());
+            let ge = _mm256_cmpgt_epi32(k, ge_bound);
+            let mask = _mm256_movemask_ps(_mm256_castsi256_ps(ge)) as u32 & 0xFF;
+            if mask != 0 {
+                for lane in 0..8 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let key = *keys.get_unchecked(i + lane);
+                    if key > t {
+                        gt.push((i + lane) as u32);
+                    } else if ties.len() < tie_cap {
+                        ties.push((i + lane) as u32);
+                    }
+                }
+            }
+            i += 8;
+        }
+        for (off, &key) in keys[i..].iter().enumerate() {
+            if key > t {
+                gt.push((i + off) as u32);
+            } else if key == t && ties.len() < tie_cap {
+                ties.push((i + off) as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> u32 {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 32) as u32
+        }
+    }
+
+    fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+        let mut d = lcg(seed);
+        (0..len)
+            .map(|_| (d() as f32 / (1u32 << 24) as f32) - 128.0)
+            .collect()
+    }
+
+    #[test]
+    fn force_scalar_override_roundtrips() {
+        let was = forced_scalar();
+        set_forced_scalar(true);
+        assert!(forced_scalar());
+        assert!(!active());
+        set_forced_scalar(false);
+        assert!(!forced_scalar());
+        set_forced_scalar(was);
+    }
+
+    #[test]
+    fn detected_features_names_are_stable() {
+        let names: Vec<&str> = detected_features().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["avx2", "sse4.1"]);
+    }
+
+    #[test]
+    fn lossless_byte_views_roundtrip() {
+        let xs = pseudo(37, 5);
+        let mut buf = Vec::new();
+        f32s_to_le_bytes(&xs, &mut buf);
+        assert_eq!(buf.len(), xs.len() * 4);
+        let mut sliced = vec![0u8; xs.len() * 4];
+        f32s_to_le_bytes_into(&xs, &mut sliced);
+        assert_eq!(buf, sliced);
+        let mut back = vec![0.0f32; xs.len()];
+        le_bytes_to_f32s(&buf, &mut back);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&xs), bits(&back));
+    }
+
+    #[test]
+    fn magnitude_keys_order_matches_total_cmp() {
+        let xs = [0.0f32, -0.0, 1.5, -1.5, f32::INFINITY, f32::NAN, 1e-40];
+        let keys = magnitude_keys(&xs);
+        for (i, a) in xs.iter().enumerate() {
+            for (j, b) in xs.iter().enumerate() {
+                assert_eq!(
+                    a.abs().total_cmp(&b.abs()),
+                    keys[i].cmp(&keys[j]),
+                    "key order must mirror magnitude total order ({a} vs {b})"
+                );
+            }
+        }
+    }
+}

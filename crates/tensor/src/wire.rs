@@ -30,11 +30,13 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 /// Appends a tensor as a `u64` length followed by raw `f32` bit patterns.
+///
+/// The payload goes through the bulk byte view in [`crate::simd`], so
+/// checkpoint writes and the process world's socket hop move tensors at
+/// memcpy speed instead of one element at a time.
 pub fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
     put_u64(out, t.len() as u64);
-    for &x in t.as_slice() {
-        put_f32(out, x);
-    }
+    crate::simd::f32s_to_le_bytes(t.as_slice(), out);
 }
 
 /// A bounds-checked forward reader over a byte slice.
@@ -115,10 +117,9 @@ impl<'a> Reader<'a> {
         if len.checked_mul(4)? > self.remaining() {
             return None;
         }
-        let mut data = Vec::with_capacity(len);
-        for _ in 0..len {
-            data.push(self.f32()?);
-        }
+        let payload = self.take(len * 4)?;
+        let mut data = vec![0.0f32; len];
+        crate::simd::le_bytes_to_f32s(payload, &mut data);
         Some(Tensor::from_vec(data))
     }
 }

@@ -1,0 +1,300 @@
+//! Pins the SIMD data path to the scalar reference, bit for bit.
+//!
+//! Every assertion here compares *frames* (and decoded bit patterns, and
+//! stochastic-rounding draw counts) across the three executions of the same
+//! codec: the portable scalar reference, the runtime-dispatched SIMD path,
+//! and the chunk-parallel path. Same-seed replays must not depend on the
+//! host CPU or the thread count, so all three must agree exactly — on every
+//! codec, every lane-remainder length, and the error-feedback recurrence.
+//!
+//! The forced-scalar override is process-global, so tests that toggle it
+//! serialize on a mutex.
+
+use rna_tensor::codec::{self, Compression};
+use rna_tensor::{simd, Tensor};
+use std::sync::Mutex;
+
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the dispatch mode pinned, restoring auto dispatch after.
+fn with_forced_scalar<T>(forced: bool, f: impl FnOnce() -> T) -> T {
+    let _guard = MODE_LOCK.lock().unwrap();
+    simd::set_forced_scalar(forced);
+    let out = f();
+    simd::set_forced_scalar(false);
+    out
+}
+
+/// Deterministic draw stream (SplitMix-ish LCG) that counts consumption.
+fn counted_lcg(seed: u64) -> (impl FnMut() -> u32, std::rc::Rc<std::cell::Cell<u64>>) {
+    let count = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let c = count.clone();
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (
+        move || {
+            c.set(c.get() + 1);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 32) as u32
+        },
+        count,
+    )
+}
+
+/// Pseudo-random finite data with magnitude structure (mix of tiny, normal,
+/// and large values, plus exact ties for the top-k selection path).
+fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+    let (mut d, _) = counted_lcg(seed);
+    (0..len)
+        .map(|i| {
+            let base = (d() as f32 / (1u32 << 24) as f32) - 128.0;
+            match i % 7 {
+                0 => 0.0,
+                1 => base * 1e-6,
+                2 => -base,
+                3 => 42.5, // repeated exact value → magnitude ties
+                _ => base,
+            }
+        })
+        .collect()
+}
+
+/// Values that walk every branch of the fp16 encode pipeline: normals,
+/// subnormals, flush-to-zero magnitudes, overflow, infinities, NaNs, and
+/// signed zeros — repeated past one vector width.
+fn fp16_specials() -> Vec<f32> {
+    let core = [
+        0.0f32,
+        -0.0,
+        1.0,
+        -1.5,
+        65504.0,  // largest finite half
+        65520.0,  // rounds to half infinity
+        131000.0, // overflow
+        -70000.0, // negative overflow
+        6.104e-5, // smallest normal half neighborhood
+        6.0e-8,   // half subnormal
+        5.9e-8,   // smallest half subnormal neighborhood
+        2.9e-8,   // below half subnormal: flush to zero
+        -2.0e-8,  // negative flush
+        1e-40,    // f32 subnormal input
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        -f32::NAN,
+        f32::from_bits(0x7F80_0001), // signaling-ish NaN payload
+        0.333_333_34,
+        -0.000_122_070_31, // exactly representable small half
+        1234.567,
+    ];
+    core.iter().copied().cycle().take(3 * core.len()).collect()
+}
+
+fn all_codecs() -> Vec<Compression> {
+    vec![
+        Compression::Lossless,
+        Compression::Fp16,
+        Compression::Int8,
+        Compression::TopK { permille: 200 },
+    ]
+}
+
+/// Encodes then decodes under the given dispatch mode, returning the frame,
+/// the decoded bit patterns, and how many draws were consumed.
+fn run_roundtrip(
+    codec: Compression,
+    xs: &[f32],
+    forced: bool,
+    seed: u64,
+) -> (Vec<u8>, Vec<u32>, u64) {
+    with_forced_scalar(forced, || {
+        let (mut draw, count) = counted_lcg(seed);
+        let mut frame = Vec::new();
+        codec.encode_slice(xs, &mut frame, &mut draw);
+        let mut out = vec![f32::NAN; xs.len()];
+        codec.decode_slice(&frame, &mut out).expect("decode");
+        let bits = out.iter().map(|x| x.to_bits()).collect();
+        (frame, bits, count.get())
+    })
+}
+
+#[test]
+fn simd_matches_scalar_for_all_codecs_and_lane_remainders() {
+    if !simd::avx2_available() {
+        // Dispatch degenerates to the scalar path; nothing to compare.
+        return;
+    }
+    for codec in all_codecs() {
+        for len in 0..=33 {
+            for seed in [1u64, 7, 1234] {
+                let xs = pseudo(len, seed ^ (len as u64) << 8);
+                let (f_scalar, d_scalar, n_scalar) = run_roundtrip(codec, &xs, true, seed);
+                let (f_simd, d_simd, n_simd) = run_roundtrip(codec, &xs, false, seed);
+                assert_eq!(
+                    f_scalar,
+                    f_simd,
+                    "{} len={len} seed={seed}: frame bytes diverged",
+                    codec.name()
+                );
+                assert_eq!(
+                    d_scalar,
+                    d_simd,
+                    "{} len={len} seed={seed}: decoded bits diverged",
+                    codec.name()
+                );
+                assert_eq!(
+                    n_scalar,
+                    n_simd,
+                    "{} len={len} seed={seed}: draw streams advanced differently",
+                    codec.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fp16_simd_matches_scalar_on_special_values() {
+    if !simd::avx2_available() {
+        return;
+    }
+    let xs = fp16_specials();
+    let (f_scalar, d_scalar, _) = run_roundtrip(Compression::Fp16, &xs, true, 0);
+    let (f_simd, d_simd, _) = run_roundtrip(Compression::Fp16, &xs, false, 0);
+    assert_eq!(f_scalar, f_simd, "fp16 specials: frames diverged");
+    assert_eq!(d_scalar, d_simd, "fp16 specials: decoded bits diverged");
+}
+
+#[test]
+fn chunk_parallel_matches_serial_for_every_thread_count() {
+    for codec in all_codecs() {
+        for len in [0usize, 1, 7, 31, 33, 1000] {
+            let xs = pseudo(len, 99);
+            let (mut draw_s, count_s) = counted_lcg(5);
+            let mut serial = Vec::new();
+            codec.encode_slice(&xs, &mut serial, &mut draw_s);
+            let mut serial_out = vec![f32::NAN; len];
+            codec
+                .decode_slice(&serial, &mut serial_out)
+                .expect("decode");
+            for threads in [2usize, 3, 5] {
+                let (mut draw_p, count_p) = counted_lcg(5);
+                let mut parallel = Vec::new();
+                codec.encode_slice_mt(&xs, &mut parallel, &mut draw_p, threads);
+                assert_eq!(
+                    serial,
+                    parallel,
+                    "{} len={len} threads={threads}: frame bytes diverged",
+                    codec.name()
+                );
+                assert_eq!(
+                    count_s.get(),
+                    count_p.get(),
+                    "{} len={len} threads={threads}: draw streams diverged",
+                    codec.name()
+                );
+                let mut parallel_out = vec![f32::NAN; len];
+                codec
+                    .decode_slice_mt(&parallel, &mut parallel_out, threads)
+                    .expect("decode_mt");
+                let a: Vec<u32> = serial_out.iter().map(|x| x.to_bits()).collect();
+                let b: Vec<u32> = parallel_out.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(
+                    a,
+                    b,
+                    "{} len={len} threads={threads}: decoded bits diverged",
+                    codec.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn error_feedback_is_identical_across_scalar_simd_and_parallel() {
+    for codec in [
+        Compression::Fp16,
+        Compression::Int8,
+        Compression::TopK { permille: 100 },
+    ] {
+        let len = 133; // odd length: exercises lane remainders through two rounds
+        let grad0 = pseudo(len, 3);
+        let grad1 = pseudo(len, 4);
+
+        // One run = two feedback rounds sharing a residual, like a protocol
+        // round sequence. Returns (frames, grad bits, residual bits, draws).
+        let run = |mode: &str| {
+            let exec = |forced: bool, threads: usize| {
+                with_forced_scalar(forced, || {
+                    let (mut draw, count) = counted_lcg(11);
+                    let mut residual = Tensor::zeros(len);
+                    let mut scratch = Vec::new();
+                    let mut frames = Vec::new();
+                    let mut grads = Vec::new();
+                    for g0 in [&grad0, &grad1] {
+                        let mut g = Tensor::from_vec(g0.clone());
+                        if threads <= 1 {
+                            codec::encode_with_feedback(
+                                codec,
+                                &mut g,
+                                &mut residual,
+                                &mut scratch,
+                                &mut draw,
+                            );
+                        } else {
+                            codec::encode_with_feedback_mt(
+                                codec,
+                                &mut g,
+                                &mut residual,
+                                &mut scratch,
+                                &mut draw,
+                                threads,
+                            );
+                        }
+                        frames.push(scratch.clone());
+                        grads.push(g.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+                    }
+                    let res: Vec<u32> = residual.as_slice().iter().map(|x| x.to_bits()).collect();
+                    (frames, grads, res, count.get())
+                })
+            };
+            match mode {
+                "scalar" => exec(true, 1),
+                "simd" => exec(false, 1),
+                "parallel" => exec(false, 3),
+                _ => unreachable!(),
+            }
+        };
+
+        let scalar = run("scalar");
+        let simd_run = run("simd");
+        let parallel = run("parallel");
+        assert_eq!(
+            scalar,
+            simd_run,
+            "{}: scalar vs simd feedback diverged",
+            codec.name()
+        );
+        assert_eq!(
+            scalar,
+            parallel,
+            "{}: scalar vs parallel feedback diverged",
+            codec.name()
+        );
+    }
+}
+
+#[test]
+fn wire_tensor_bulk_roundtrip_is_bit_exact() {
+    use rna_tensor::wire::{put_tensor, Reader};
+    let t = Tensor::from_vec(fp16_specials());
+    let mut buf = Vec::new();
+    put_tensor(&mut buf, &t);
+    let mut r = Reader::new(&buf);
+    let back = r.tensor().expect("tensor roundtrip");
+    let a: Vec<u32> = t.as_slice().iter().map(|x| x.to_bits()).collect();
+    let b: Vec<u32> = back.as_slice().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(a, b);
+    assert_eq!(r.remaining(), 0);
+}
