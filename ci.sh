@@ -97,6 +97,18 @@ echo "==> process-world smoke (real sockets + SIGKILL, watchdogged)"
 timeout 600 cargo test -q --release -p rna-runtime --test process_world
 timeout 600 cargo test -q --release -p rna-experiments --test three_worlds
 
+# Survivability stress: coordinator kill + restart-from-disk with worker
+# reconnects, hostile-handshake rejection, the same-seed counter replay,
+# and the chaos matrix through the real-socket fault proxy, across three
+# seeds in release mode (RNA_CHAOS_SEED reseeds the proxy's plan),
+# watchdogged like the chaos pass above.
+echo "==> coordinator-kill + fault-proxy stress (3 seeds, --release, watchdogged)"
+for seed in 11 23 37; do
+  echo "    seed ${seed}"
+  RNA_CHAOS_SEED="${seed}" timeout 600 cargo test -q --release \
+    -p rna-runtime --test coordinator_death
+done
+
 # Codec property tests in debug mode: roundtrip invariants, error-feedback
 # telescoping, and frame-size models get their debug_assert! coverage.
 # The proto fuzz tests cover the socket-fed frame decoding path.

@@ -6,12 +6,13 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rna_core::fault::{FaultPlan, NetFaultPlan};
 use rna_core::rna::RnaProtocol;
 use rna_core::sim::{Engine, TrainSpec};
 use rna_core::RnaConfig;
-use rna_runtime::{run_threaded, SyncMode, ThreadedConfig};
+use rna_runtime::proto::{compute_mac, siphash24, verify_mac};
+use rna_runtime::{ct_eq, run_threaded, AuthKey, SyncMode, ThreadedConfig};
 
 fn sim_spec(n: usize) -> TrainSpec {
     TrainSpec::smoke_test(n, 21).with_max_rounds(80)
@@ -72,12 +73,54 @@ fn bench_threaded(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_auth(c: &mut Criterion) {
+    // The per-handshake cost of the authenticated transport: one MAC to
+    // compute, one to verify in constant time. These sit on every connect,
+    // reconnect, and rejected probe, so a regression here taxes recovery.
+    let mut g = c.benchmark_group("auth_handshake");
+    let key = AuthKey {
+        k0: 0x0706_0504_0302_0100,
+        k1: 0x0f0e_0d0c_0b0a_0908,
+    };
+    g.bench_function("compute_mac", |b| {
+        b.iter(|| {
+            compute_mac(
+                black_box(&key),
+                black_box(0xDEAD_BEEF),
+                black_box(3),
+                black_box(7),
+                black_box(2),
+            )
+        })
+    });
+    g.bench_function("verify_mac_ok", |b| {
+        let mac = compute_mac(&key, 0xDEAD_BEEF, 3, 7, 2);
+        b.iter(|| verify_mac(black_box(&key), 0xDEAD_BEEF, 3, 7, 2, black_box(mac)))
+    });
+    g.bench_function("ct_eq_equal_8b", |b| {
+        let a = [0xA5u8; 8];
+        b.iter(|| ct_eq(black_box(&a), black_box(&a)))
+    });
+    g.bench_function("ct_eq_first_byte_differs_8b", |b| {
+        // Must cost the same as the equal case — the whole point.
+        let a = [0xA5u8; 8];
+        let mut d = a;
+        d[0] ^= 0xFF;
+        b.iter(|| ct_eq(black_box(&a), black_box(&d)))
+    });
+    g.bench_function("siphash24_64b", |b| {
+        let data = [0x5Au8; 64];
+        b.iter(|| siphash24(black_box(&key), black_box(&data)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     name = faults;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(3));
-    targets = bench_simulated, bench_threaded
+    targets = bench_simulated, bench_threaded, bench_auth
 );
 criterion_main!(faults);

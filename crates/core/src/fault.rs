@@ -485,6 +485,15 @@ pub enum ConfigError {
     /// A regroup policy that can never fire: zero check cadence or an
     /// EWMA smoothing factor outside `(0, 1]`.
     ZeroRegroupCadence,
+    /// An address-book file (the `addr\nkey` pair the process-world
+    /// coordinator publishes for external workers) failed to parse.
+    /// `line` is 1-based; 0 means the file as a whole.
+    AddrBookMalformed {
+        /// The offending line (1-based; 0 for whole-file problems).
+        line: usize,
+        /// What is wrong, in one clause.
+        why: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -531,6 +540,13 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "regroup policy needs a positive check cadence and an EWMA alpha in (0, 1]"
                 )
+            }
+            ConfigError::AddrBookMalformed { line, why } => {
+                if *line == 0 {
+                    write!(f, "malformed address book: {why}")
+                } else {
+                    write!(f, "malformed address book at line {line}: {why}")
+                }
             }
         }
     }
@@ -666,6 +682,8 @@ pub struct NetFaultPlan {
     drops: Vec<(usize, usize, f64)>,
     flaps: Vec<(usize, usize, u64, u64)>,
     partitions: Vec<(Vec<usize>, u64, u64)>,
+    delays: Vec<(usize, usize, u64)>,
+    corrupts: Vec<(usize, usize, f64)>,
 }
 
 impl NetFaultPlan {
@@ -719,14 +737,125 @@ impl NetFaultPlan {
         self
     }
 
+    /// Every message on the `a`↔`b` link is delayed by `extra_us` before
+    /// delivery. Only the process world's fault proxy realizes delays (on
+    /// the physical hop); the shim-based worlds ignore them — their link
+    /// model is binary (delivered or not), and an added delay would desync
+    /// the DES clock from the plan the other worlds execute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_us` is zero (an empty delay is not a fault).
+    pub fn delay_link(mut self, a: usize, b: usize, extra_us: u64) -> Self {
+        assert!(extra_us > 0, "zero-delay link fault");
+        self.delays.push((a, b, extra_us));
+        self
+    }
+
+    /// Each message on the `a`↔`b` link is *corrupted* with probability
+    /// `p`. The shim-based worlds lower corruption to a drop (a mangled
+    /// message is never applied); the process world's fault proxy flips
+    /// real bytes or truncates the frame on the physical hop, so the
+    /// receiver's typed decode errors — not the plan — discard it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn corrupt_link(mut self, a: usize, b: usize, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "corruption probability {p} not in [0, 1]"
+        );
+        self.corrupts.push((a, b, p));
+        self
+    }
+
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.drops.is_empty() && self.flaps.is_empty() && self.partitions.is_empty()
+        self.drops.is_empty()
+            && self.flaps.is_empty()
+            && self.partitions.is_empty()
+            && self.delays.is_empty()
+            && self.corrupts.is_empty()
     }
 
     /// The seed the drop streams derive from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The per-link drop entries `(a, b, p)`.
+    pub fn drops(&self) -> &[(usize, usize, f64)] {
+        &self.drops
+    }
+
+    /// The link down-windows `(a, b, from_us, until_us)`.
+    pub fn flaps(&self) -> &[(usize, usize, u64, u64)] {
+        &self.flaps
+    }
+
+    /// The timed partitions `(component, from_us, until_us)`.
+    pub fn partitions(&self) -> &[(Vec<usize>, u64, u64)] {
+        &self.partitions
+    }
+
+    /// The per-link delay entries `(a, b, extra_us)`.
+    pub fn delays(&self) -> &[(usize, usize, u64)] {
+        &self.delays
+    }
+
+    /// The per-link corruption entries `(a, b, p)`.
+    pub fn corrupts(&self) -> &[(usize, usize, f64)] {
+        &self.corrupts
+    }
+
+    /// Splits the plan for the process world's fault proxy into
+    /// `(physical, virtual)` halves. Entries naming the controller link
+    /// (`a` or `b` equals `controller`) are *physical*: the proxy realizes
+    /// them on the actual worker↔coordinator socket. Everything else —
+    /// partitions (which model peer↔peer cuts the flat runtime has no
+    /// socket for) and faults on links not touching the controller — stays
+    /// *virtual* and is interpreted by the controller-side shim, exactly
+    /// as without a proxy. Both halves keep the seed, so a split plan
+    /// rolls the same per-edge streams as the unsplit one.
+    pub fn split_physical(&self, controller: usize) -> (NetFaultPlan, NetFaultPlan) {
+        let touches = |a: usize, b: usize| a == controller || b == controller;
+        let mut physical = NetFaultPlan::none().with_seed(self.seed);
+        let mut virt = NetFaultPlan::none().with_seed(self.seed);
+        for &(a, b, p) in &self.drops {
+            let side = if touches(a, b) {
+                &mut physical
+            } else {
+                &mut virt
+            };
+            side.drops.push((a, b, p));
+        }
+        for &(a, b, from, until) in &self.flaps {
+            let side = if touches(a, b) {
+                &mut physical
+            } else {
+                &mut virt
+            };
+            side.flaps.push((a, b, from, until));
+        }
+        for &(a, b, us) in &self.delays {
+            let side = if touches(a, b) {
+                &mut physical
+            } else {
+                &mut virt
+            };
+            side.delays.push((a, b, us));
+        }
+        for &(a, b, p) in &self.corrupts {
+            let side = if touches(a, b) {
+                &mut physical
+            } else {
+                &mut virt
+            };
+            side.corrupts.push((a, b, p));
+        }
+        virt.partitions = self.partitions.clone();
+        (physical, virt)
     }
 
     /// Checks every node index against a cluster of `num_workers` workers:
@@ -751,6 +880,18 @@ impl NetFaultPlan {
                 "flap endpoint out of range: ({a}, {b}) with {num_workers} workers"
             );
         }
+        for &(a, b, _) in &self.delays {
+            assert!(
+                a <= max_node && b <= max_node,
+                "delay endpoint out of range: ({a}, {b}) with {num_workers} workers"
+            );
+        }
+        for &(a, b, _) in &self.corrupts {
+            assert!(
+                a <= max_node && b <= max_node,
+                "corrupt endpoint out of range: ({a}, {b}) with {num_workers} workers"
+            );
+        }
         for (component, ..) in &self.partitions {
             for &w in component {
                 assert!(
@@ -768,6 +909,13 @@ impl NetFaultPlan {
         let at = |us: u64| SimTime::ZERO + SimDuration::from_micros(us);
         let mut f = NetFaults::new(self.seed);
         for &(a, b, p) in &self.drops {
+            f = f.with_drop(a, b, p);
+        }
+        // The binary link model has no corruption: a mangled message is a
+        // message the receiver never applies, so corruption lowers to a
+        // drop with the same probability. Delays have no lowering at all
+        // (see `delay_link`) and are realized only by the fault proxy.
+        for &(a, b, p) in &self.corrupts {
             f = f.with_drop(a, b, p);
         }
         for &(a, b, from, until) in &self.flaps {

@@ -1,29 +1,58 @@
 //! Worker subprocess for the process-world runtime.
 //!
-//! Spawned by [`rna_runtime::run_process`], never by hand:
-//! `rna-worker <addr> <worker> <token> <incarnation>`. The interesting
-//! code lives in [`rna_runtime::worker::run_worker`]; this binary only
-//! parses the command line and maps the outcome to an exit code.
+//! Spawned by [`rna_runtime::run_process`] as
+//! `rna-worker <addr> <worker> <key-hex> <incarnation>`, or started by
+//! hand against a coordinator's address book as
+//! `rna-worker @<addr-file> <worker> [incarnation]` (the book carries the
+//! address and the cluster key; incarnation defaults to 0). The
+//! interesting code lives in [`rna_runtime::worker::run_worker`]; this
+//! binary only parses the command line and maps the outcome to an exit
+//! code.
 
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let parsed = (|| -> Option<(u32, u64, u32)> {
-        if args.len() != 5 {
+use rna_runtime::{AddrBook, AuthKey};
+
+const USAGE: &str = "usage: rna-worker <addr> <worker> <key-hex> <incarnation>\n\
+                     \x20      rna-worker @<addr-file> <worker> [incarnation]";
+
+fn parse(args: &[String]) -> Option<(String, u32, AuthKey, u32)> {
+    if let Some(book_path) = args.get(1).and_then(|a| a.strip_prefix('@')) {
+        if !(3..=4).contains(&args.len()) {
             return None;
         }
-        Some((
-            args[2].parse().ok()?,
-            args[3].parse().ok()?,
-            args[4].parse().ok()?,
-        ))
-    })();
-    let Some((worker, token, incarnation)) = parsed else {
-        eprintln!("usage: rna-worker <addr> <worker> <token> <incarnation>");
+        let book = match AddrBook::load(std::path::Path::new(book_path)) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("rna-worker: {e}");
+                return None;
+            }
+        };
+        let worker = args[2].parse().ok()?;
+        let incarnation = match args.get(3) {
+            Some(a) => a.parse().ok()?,
+            None => 0,
+        };
+        return Some((book.addr, worker, book.key, incarnation));
+    }
+    if args.len() != 5 {
+        return None;
+    }
+    Some((
+        args[1].clone(),
+        args[2].parse().ok()?,
+        AuthKey::from_hex(&args[3])?,
+        args[4].parse().ok()?,
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some((addr, worker, key, incarnation)) = parse(&args) else {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    match rna_runtime::worker::run_worker(&args[1], worker, token, incarnation) {
+    match rna_runtime::worker::run_worker(&addr, worker, &key, incarnation) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("rna-worker {worker}: {e}");

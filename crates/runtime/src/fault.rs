@@ -11,8 +11,8 @@
 use std::time::Duration;
 
 pub use rna_core::fault::{
-    live_majority, probe_round_stalled, FaultPlan, NetFaultPlan, ToleranceConfig, WorkerFate,
-    WorkerFault, LIVENESS_TIMEOUT_US, PROBE_BACKOFF_US, ROUND_DEADLINE_US,
+    live_majority, probe_round_stalled, ConfigError, FaultPlan, NetFaultPlan, ToleranceConfig,
+    WorkerFate, WorkerFault, LIVENESS_TIMEOUT_US, PROBE_BACKOFF_US, ROUND_DEADLINE_US,
 };
 use rna_simnet::{NetFaults, SimDuration, SimRng, SimTime};
 

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fault;
+pub mod faultproxy;
 pub mod process;
 pub mod proto;
 mod threaded;
@@ -69,6 +70,8 @@ mod transport;
 pub mod worker;
 
 pub use fault::{FaultPlan, NetFaultPlan, NetShim, ToleranceConfig, WorkerFate, WorkerFault};
-pub use process::{run_process, ProcessConfig, ProcessResult};
+pub use faultproxy::FaultProxy;
+pub use process::{run_process, AddrBook, ProcessConfig, ProcessResult};
+pub use proto::{ct_eq, AuthError, AuthKey};
 pub use rna_tensor::codec::Compression;
 pub use threaded::{resume_threaded, run_threaded, SyncMode, ThreadedConfig, ThreadedResult};

@@ -35,9 +35,37 @@
 //! convergence directly comparable across all three worlds; pushing the
 //! encoder into the worker binary would be a wire-efficiency change, not a
 //! protocol change, and belongs to a later PR.
+//!
+//! ## Survivability
+//!
+//! Admission is authenticated: a `Hello` names the worker, the
+//! coordinator answers with a fresh nonce and its term, and the worker
+//! proves possession of the cluster key with a MAC over
+//! nonce‖term‖worker‖incarnation ([`crate::proto::compute_mac`]).
+//! Replayed or stale handshakes fail the constant-time verification and
+//! are counted in [`ProcessResult::auth_rejects`]; the run never admits
+//! them. The key travels only through the address book
+//! ([`AddrBook`]) or the spawn arguments — never over the wire.
+//!
+//! The coordinator itself is killable mid-run
+//! ([`ProcessConfig::with_coord_kill`]): the incarnation aborts at a
+//! scheduled round, every socket dies, and a fresh incarnation restarts
+//! from the newest *disk* checkpoint under a bumped term. Workers treat
+//! the dead socket as a socket event, not a death: they re-handshake
+//! under capped exponential backoff ([`crate::run_worker`]) and the
+//! redone rounds are honestly counted in `failover_rounds_lost`.
+//!
+//! With [`ProcessConfig::with_fault_proxy`], the physical half of the
+//! network-fault plan (entries naming the controller link) is executed by
+//! a per-link TCP proxy ([`crate::faultproxy`]) on the real byte stream —
+//! frames eaten, bytes flipped, frames truncated mid-body, deliveries
+//! delayed — while partitions and peer-link entries stay in the
+//! controller's [`crate::fault::NetShim`], which remains the only place
+//! they can exist in a flat worker↔coordinator topology.
 
+use std::collections::VecDeque;
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -45,22 +73,30 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use rna_core::cache::GradientCache;
-use rna_core::fault::{WorkerFate, WorkerFault};
-use rna_core::recovery::CheckpointStore;
+use rna_core::fault::{ConfigError, WorkerFate, WorkerFault};
+use rna_core::recovery::{CheckpointStore, RecoveryError};
 use rna_simnet::SimRng;
 use rna_tensor::{Tensor, TensorPool};
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{Dataset, Model};
 
-use crate::proto::{read_msg, write_msg, Msg, WorkerSetup};
+use crate::faultproxy::FaultProxy;
+use crate::proto::{read_msg, verify_mac, write_msg, AuthError, AuthKey, Msg, WorkerSetup};
 use crate::threaded::{finish, validate_config, SyncMode, ThreadedConfig, ThreadedResult};
 use crate::transport::{
-    lock, supervise, CtrlCheckpoint, Transport, STREAM_COMPUTE, STREAM_JOIN, STREAM_SAMPLER,
+    decode_ctrl_checkpoint, lock, supervise, CtrlCheckpoint, RecoveryCounters, Supervised,
+    Transport, STREAM_COMPUTE, STREAM_JOIN, STREAM_SAMPLER,
 };
 
-/// Salt folded into the seed to derive the per-run Hello token, so the
-/// token is deterministic for a given run but never equal to the seed.
-const TOKEN_SALT: u64 = 0x524e_4150_u64; // "RNAP"
+/// Salt folded into the seed to derive the 128-bit cluster auth key, so
+/// the key is deterministic for a given run but never equal to the seed.
+const KEY_SALT: u64 = 0x524e_4150_u64; // "RNAP"
+
+/// Salt for the challenge-nonce base; the per-connection nonce mixes the
+/// coordinator's term and a never-reset connection sequence on top, so a
+/// recorded handshake replayed later verifies against a *different* nonce
+/// and fails the MAC.
+const NONCE_SALT: u64 = 0x4e4f_4e43_u64; // "NONC"
 
 /// How long the coordinator waits for the initial cluster to connect
 /// before declaring the spawn wedged.
@@ -68,6 +104,98 @@ const JOIN_TIMEOUT: Duration = Duration::from_secs(20);
 
 /// Grace period between the `Stop` frame and a hard kill at teardown.
 const STOP_GRACE: Duration = Duration::from_secs(2);
+
+/// How long a restarted coordinator holds its first round open for the
+/// workers it severed to re-handshake. Comfortably above the workers'
+/// reconnect backoff ceiling; a worker that stays away (it really died)
+/// forfeits the wait and the run resumes without it.
+const REJOIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The coordinator's address book: everything an external worker needs to
+/// find and join a run — the listener address and the cluster auth key.
+///
+/// On disk it is two lines: the `host:port` address, then the key as 32
+/// lowercase hex digits. The coordinator writes it once the port is bound
+/// ([`ProcessConfig::with_addr_file`]); `rna-worker @<path>` and tests
+/// parse it back with [`AddrBook::load`]. Malformed books fail with a
+/// typed [`ConfigError::AddrBookMalformed`] naming the offending line,
+/// never a panic — the file crosses a process boundary and deserves the
+/// same suspicion as a network frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrBook {
+    /// The coordinator's listener address (`host:port`).
+    pub addr: String,
+    /// The 128-bit cluster key every handshake MAC derives from.
+    pub key: AuthKey,
+}
+
+impl AddrBook {
+    /// Parses the two-line book format.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::AddrBookMalformed`] with the 1-based offending line
+    /// when a line is missing, the address has no port, the key is not 32
+    /// hex digits, or trailing content follows the key.
+    pub fn parse(text: &str) -> Result<AddrBook, ConfigError> {
+        let mut lines = text.lines();
+        let addr = lines
+            .next()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .ok_or(ConfigError::AddrBookMalformed {
+                line: 1,
+                why: "missing the listener address",
+            })?;
+        if !addr.contains(':') {
+            return Err(ConfigError::AddrBookMalformed {
+                line: 1,
+                why: "the listener address has no port",
+            });
+        }
+        let key_line = lines
+            .next()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .ok_or(ConfigError::AddrBookMalformed {
+                line: 2,
+                why: "missing the auth key",
+            })?;
+        let key = AuthKey::from_hex(key_line).ok_or(ConfigError::AddrBookMalformed {
+            line: 2,
+            why: "the auth key is not 32 hex digits",
+        })?;
+        if let Some((extra, _)) = lines.enumerate().find(|(_, l)| !l.trim().is_empty()) {
+            return Err(ConfigError::AddrBookMalformed {
+                line: 3 + extra,
+                why: "trailing content after the auth key",
+            });
+        }
+        Ok(AddrBook {
+            addr: addr.to_string(),
+            key,
+        })
+    }
+
+    /// Reads and parses the book at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::AddrBookMalformed`] — line 0 when the file itself
+    /// cannot be read, otherwise as [`AddrBook::parse`].
+    pub fn load(path: &Path) -> Result<AddrBook, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|_| ConfigError::AddrBookMalformed {
+            line: 0,
+            why: "the address book cannot be read",
+        })?;
+        AddrBook::parse(&text)
+    }
+
+    /// The on-disk rendering [`AddrBook::parse`] round-trips.
+    fn render(&self) -> String {
+        format!("{}\n{}\n", self.addr, self.key.to_hex())
+    }
+}
 
 /// Configuration of a process-world run: the shared [`ThreadedConfig`]
 /// plus the knobs that only exist once workers are real processes.
@@ -105,10 +233,23 @@ pub struct ProcessConfig {
     /// initial join barrier and are never respawned.
     pub external: Vec<usize>,
     /// When set, the coordinator writes its address book — the listener
-    /// address on the first line, the run token on the second — to this
-    /// path once the port is bound, so external workers can find the run
-    /// without any side channel.
+    /// address on the first line, the cluster auth key on the second
+    /// ([`AddrBook`]) — to this path once the port is bound, so external
+    /// workers can find the run without any side channel.
     pub addr_file: Option<PathBuf>,
+    /// Rounds at which the *whole coordinator* dies mid-run: the
+    /// incarnation aborts before executing the round, every socket goes
+    /// with it, and a fresh incarnation restarts from the newest disk
+    /// checkpoint (the initial state when none was cut yet) under a
+    /// bumped term. Requires nothing of the workers beyond their
+    /// reconnect loops. Without [`ThreadedConfig::recovery_dir`] the
+    /// restart honestly redoes everything since round 0.
+    pub coord_kill: Vec<u64>,
+    /// Route every worker↔coordinator socket through a per-link TCP fault
+    /// proxy ([`crate::faultproxy`]) executing the physical half of
+    /// `net_fault_plan` on the real byte stream. The virtual half
+    /// (partitions, peer links) stays in the controller's shim.
+    pub fault_proxy: bool,
 }
 
 impl ProcessConfig {
@@ -123,6 +264,8 @@ impl ProcessConfig {
             sever: Vec::new(),
             external: Vec::new(),
             addr_file: None,
+            coord_kill: Vec::new(),
+            fault_proxy: false,
         }
     }
 
@@ -165,10 +308,24 @@ impl ProcessConfig {
         self
     }
 
-    /// Writes the address book (`addr\ntoken`) to `path` once the
-    /// listener is bound, for external workers to discover the run.
+    /// Writes the address book ([`AddrBook`]) to `path` once the listener
+    /// is bound, for external workers to discover the run.
     pub fn with_addr_file(mut self, path: impl Into<PathBuf>) -> Self {
         self.addr_file = Some(path.into());
+        self
+    }
+
+    /// Schedules a coordinator death-and-restart at `round` (see
+    /// [`ProcessConfig::coord_kill`]).
+    pub fn with_coord_kill(mut self, round: u64) -> Self {
+        self.coord_kill.push(round);
+        self
+    }
+
+    /// Routes worker sockets through the per-link fault proxy (see
+    /// [`ProcessConfig::fault_proxy`]).
+    pub fn with_fault_proxy(mut self) -> Self {
+        self.fault_proxy = true;
         self
     }
 }
@@ -187,6 +344,25 @@ pub struct ProcessResult {
     /// Live sockets the run severed (scheduled severs plus write failures
     /// that forced a disconnect).
     pub sockets_severed: u64,
+    /// Re-handshakes the coordinator accepted from an incarnation it had
+    /// already admitted — a worker surviving a dead socket (sever or
+    /// coordinator restart) without being respawned. Counted coordinator
+    /// side, at the round-edge events that cause them, so a same-seed
+    /// rerun reproduces the count exactly.
+    pub reconnect_attempts: u64,
+    /// Handshakes rejected with a typed [`AuthError`]: an unknown worker
+    /// index, a stale incarnation, or a MAC that failed the constant-time
+    /// verification (including replayed recordings, which face a fresh
+    /// nonce). Garbage frames and mid-handshake socket failures are
+    /// dropped silently and not counted.
+    pub auth_rejects: u64,
+    /// Fault events the per-link TCP proxy executed on real sockets
+    /// (frames eaten, bytes flipped, truncation severs, delays). 0 unless
+    /// [`ProcessConfig::fault_proxy`] is set.
+    pub proxy_faults_injected: u64,
+    /// Coordinator incarnations restarted from disk after a scheduled
+    /// [`ProcessConfig::coord_kill`].
+    pub coordinator_restarts: u64,
 }
 
 /// Coordinator-side mirror of one worker process: what the reader thread
@@ -220,6 +396,14 @@ struct ProcSlot {
     /// drain before classifying the death.
     readers_started: AtomicU64,
     readers_exited: AtomicU64,
+    /// Connection generation, bumped per accepted handshake. A reader may
+    /// only clear `alive`/`conn` while it still owns the latest
+    /// generation — a *same-incarnation* reconnect must not be clobbered
+    /// by the dead socket's reader draining its EOF late.
+    conn_gen: AtomicU64,
+    /// Incarnation of the most recently accepted handshake (`u64::MAX`
+    /// before the first). A repeat is a reconnect, not a respawn.
+    last_handshake: AtomicU64,
 }
 
 struct ProcShared {
@@ -231,10 +415,20 @@ struct ProcShared {
     start: Instant,
     stop: AtomicBool,
     liveness_timeout_us: u64,
-    token: u64,
+    /// The cluster auth key every handshake MAC is verified against.
+    key: AuthKey,
+    /// Base the per-connection challenge nonces mix from.
+    nonce_base: u64,
+    /// The current coordinator term, bound into every challenge.
+    term: AtomicU64,
+    /// Never-reset handshake sequence: makes every nonce unique across
+    /// coordinator incarnations, so a recorded handshake cannot replay.
+    conn_seq: AtomicU64,
     param_len: usize,
     sockets_severed: AtomicU64,
     worker_respawns: AtomicU64,
+    auth_rejects: AtomicU64,
+    reconnect_attempts: AtomicU64,
 }
 
 impl ProcShared {
@@ -432,41 +626,100 @@ fn still_pending(f: &WorkerFault, start_iter: u64, incarnation: u64) -> bool {
     }
 }
 
-/// Accepts connections until stop: validates the Hello (token, worker
-/// index, expected incarnation), answers with the Setup frame, attaches
-/// the write half to the slot, and spawns a reader thread for the read
-/// half.
+/// Verdict of the coordinator-side handshake gate.
+enum Admit {
+    /// The peer proved key possession for a current incarnation.
+    Granted,
+    /// The socket failed or spoke garbage mid-handshake — an IO event,
+    /// not an authentication verdict; dropped without counting.
+    SilentDrop,
+    /// A typed rejection, counted in [`ProcessResult::auth_rejects`].
+    Rejected(AuthError),
+}
+
+/// Runs the challenge–response exchange for one `Hello`: validates the
+/// claimed identity, issues a fresh nonce bound to the current term, and
+/// verifies the returned MAC in constant time.
+fn authenticate(
+    stream: &mut TcpStream,
+    shared: &ProcShared,
+    worker: u32,
+    incarnation: u32,
+) -> Admit {
+    let w = worker as usize;
+    if w >= shared.slots.len() {
+        return Admit::Rejected(AuthError::UnknownWorker { worker });
+    }
+    let expected = shared.slots[w].incarnation.load(Ordering::Acquire);
+    if u64::from(incarnation) != expected {
+        return Admit::Rejected(AuthError::StaleIncarnation {
+            got: incarnation,
+            expected,
+        });
+    }
+    let term = shared.term.load(Ordering::Acquire);
+    let seq = shared.conn_seq.fetch_add(1, Ordering::AcqRel);
+    // Unique per handshake (the sequence never resets) and unpredictable
+    // enough for this threat model: without the key, observing nonces
+    // does not help forge a MAC for the next one.
+    let nonce = shared.nonce_base
+        ^ term.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ seq.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let mut scratch = Vec::new();
+    if write_msg(stream, &Msg::Challenge { nonce, term }, &mut scratch).is_err() {
+        return Admit::SilentDrop;
+    }
+    let mac = match read_msg(stream) {
+        Ok(Msg::Auth { mac }) => mac,
+        // Garbage, a non-Auth frame, or a peer that hung up: an IO event.
+        _ => return Admit::SilentDrop,
+    };
+    match verify_mac(&shared.key, nonce, term, worker, incarnation, mac) {
+        Ok(()) => Admit::Granted,
+        Err(e) => Admit::Rejected(e),
+    }
+}
+
+/// Accepts connections until stop: authenticates the Hello through the
+/// challenge–response gate, answers with the Setup frame, attaches the
+/// write half to the slot, and spawns a reader thread for the read half.
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<ProcShared>,
     config: &ThreadedConfig,
     ready_tx: &Sender<usize>,
     join_tx: &Sender<usize>,
+    accept_stop: &AtomicBool,
 ) {
     for conn in listener.incoming() {
-        if shared.stop.load(Ordering::Acquire) {
+        if shared.stop.load(Ordering::Acquire) || accept_stop.load(Ordering::Acquire) {
             break;
         }
         let Ok(mut stream) = conn else { continue };
         // A wedged or hostile peer must not block the accept loop forever.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        let (token, worker, incarnation) = match read_msg(&mut stream) {
+        let (worker, incarnation) = match read_msg(&mut stream) {
             Ok(Msg::Hello {
-                token,
                 worker,
                 incarnation,
-            }) => (token, worker, u64::from(incarnation)),
+            }) => (worker, incarnation),
             // Anything else — garbage, a port scanner, a truncated frame —
             // is dropped without disturbing the run.
             _ => continue,
         };
-        let w = worker as usize;
-        if token != shared.token
-            || w >= shared.slots.len()
-            || incarnation != shared.slots[w].incarnation.load(Ordering::Acquire)
-        {
-            continue;
+        match authenticate(&mut stream, shared, worker, incarnation) {
+            Admit::Granted => {}
+            Admit::SilentDrop => continue,
+            Admit::Rejected(err) => {
+                shared.auth_rejects.fetch_add(1, Ordering::AcqRel);
+                // An operator debugging a mis-keyed or out-of-date worker
+                // needs more than a counter bump.
+                eprintln!("rna coordinator: rejected handshake from worker {worker}: {err:?}");
+                continue;
+            }
         }
+        let w = worker as usize;
+        let incarnation = u64::from(incarnation);
         // Admission gate: a scheduled joiner knocking before its join
         // round is dropped without a Setup. The worker's handshake loop
         // keeps re-offering the Hello until the window opens, so an
@@ -518,6 +771,14 @@ fn accept_loop(
         let Ok(read_half) = stream.try_clone() else {
             continue;
         };
+        // A handshake re-offering an incarnation already admitted is a
+        // surviving process whose socket died — the reconnect the worker's
+        // backoff loop earns. A new incarnation is a (re)spawn.
+        let prev = slot.last_handshake.swap(incarnation, Ordering::AcqRel);
+        if prev == incarnation {
+            shared.reconnect_attempts.fetch_add(1, Ordering::AcqRel);
+        }
+        let gen = slot.conn_gen.fetch_add(1, Ordering::AcqRel) + 1;
         *lock(&slot.conn) = Some(stream);
         slot.heartbeat_us.store(shared.now_us(), Ordering::Release);
         slot.alive.store(true, Ordering::Release);
@@ -525,7 +786,9 @@ fn accept_loop(
         {
             let shared = Arc::clone(shared);
             let ready_tx = ready_tx.clone();
-            std::thread::spawn(move || reader_loop(read_half, &shared, w, incarnation, &ready_tx));
+            std::thread::spawn(move || {
+                reader_loop(read_half, &shared, w, incarnation, gen, &ready_tx);
+            });
         }
         let _ = join_tx.send(w);
         let _ = ready_tx.send(w);
@@ -540,6 +803,7 @@ fn reader_loop(
     shared: &Arc<ProcShared>,
     w: usize,
     incarnation: u64,
+    gen: u64,
     ready_tx: &Sender<usize>,
 ) {
     let slot = &shared.slots[w];
@@ -573,10 +837,13 @@ fn reader_loop(
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
-    // Only the current incarnation's reader may declare the worker
-    // unreachable: a respawn may already have attached a fresh socket by
-    // the time the old reader drains its EOF.
-    if slot.incarnation.load(Ordering::Acquire) == incarnation {
+    // Only the latest connection's reader may declare the worker
+    // unreachable: a respawn (new incarnation) or a reconnect (same
+    // incarnation, new generation) may already have attached a fresh
+    // socket by the time the old reader drains its EOF.
+    if slot.incarnation.load(Ordering::Acquire) == incarnation
+        && slot.conn_gen.load(Ordering::Acquire) == gen
+    {
         slot.alive.store(false, Ordering::Release);
         *lock(&slot.conn) = None;
     }
@@ -620,7 +887,7 @@ fn supervise_child(
         let spawned = Command::new(exe)
             .arg(addr)
             .arg(w.to_string())
-            .arg(shared.token.to_string())
+            .arg(shared.key.to_hex())
             .arg(incarnation.to_string())
             .stdin(Stdio::null())
             .stdout(Stdio::null())
@@ -780,6 +1047,12 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
     for &w in &config.external {
         assert!(w < n, "external worker list names worker {w}");
     }
+    for &r in &config.coord_kill {
+        assert!(
+            r < base.rounds,
+            "coordinator kill at round {r} is outside the run"
+        );
+    }
     let exe = resolve_worker_exe(config.worker_exe.as_ref());
     let start = Instant::now();
 
@@ -794,8 +1067,15 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
         let _ = rng.fork(STREAM_SAMPLER + w as u64);
         let _ = rng.fork(STREAM_COMPUTE + w as u64);
     }
-    let token = SimRng::seed(base.seed ^ TOKEN_SALT).uniform_u64(0..u64::MAX);
-    let state = CtrlCheckpoint::initial(template.params().clone());
+    let key = {
+        let mut krng = SimRng::seed(base.seed ^ KEY_SALT);
+        AuthKey {
+            k0: krng.uniform_u64(0..u64::MAX),
+            k1: krng.uniform_u64(0..u64::MAX),
+        }
+    };
+    let nonce_base = SimRng::seed(base.seed ^ NONCE_SALT).uniform_u64(0..u64::MAX);
+    let initial_state = CtrlCheckpoint::initial(template.params().clone());
 
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral localhost port");
     let addr = listener
@@ -803,9 +1083,25 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
         .expect("a bound listener has an address")
         .to_string();
     if let Some(path) = &config.addr_file {
-        std::fs::write(path, format!("{addr}\n{token}\n"))
-            .expect("the address-book path must be writable");
+        let book = AddrBook {
+            addr: addr.clone(),
+            key,
+        };
+        std::fs::write(path, book.render()).expect("the address-book path must be writable");
     }
+
+    // When the proxy realizes the physical half of the network plan on
+    // real sockets, the controller's shim keeps only the virtual half.
+    let (ctrl_base, proxy) = if config.fault_proxy && !base.net_fault_plan.is_empty() {
+        let (physical, virt) = base.net_fault_plan.split_physical(n);
+        let mut cb = base.clone();
+        cb.net_fault_plan = virt;
+        let proxy =
+            FaultProxy::start(&physical, n, &addr).expect("fault-proxy listeners must bind");
+        (cb, Some(proxy))
+    } else {
+        (base.clone(), None)
+    };
 
     let shared = Arc::new(ProcShared {
         slots: (0..n)
@@ -820,35 +1116,54 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
                 incarnation: AtomicU64::new(0),
                 readers_started: AtomicU64::new(0),
                 readers_exited: AtomicU64::new(0),
+                conn_gen: AtomicU64::new(0),
+                last_handshake: AtomicU64::new(u64::MAX),
             })
             .collect(),
         round: AtomicU64::new(0),
-        published: RwLock::new(state.master.clone()),
+        published: RwLock::new(initial_state.master.clone()),
         start,
         stop: AtomicBool::new(false),
         liveness_timeout_us: base.tolerance.liveness_timeout_us,
-        token,
-        param_len: state.master.len(),
+        key,
+        nonce_base,
+        term: AtomicU64::new(0),
+        conn_seq: AtomicU64::new(1),
+        param_len: initial_state.master.len(),
         sockets_severed: AtomicU64::new(0),
         worker_respawns: AtomicU64::new(0),
+        auth_rejects: AtomicU64::new(0),
+        reconnect_attempts: AtomicU64::new(0),
     });
 
     let (ready_tx, ready_rx): (Sender<usize>, Receiver<usize>) = channel();
     let (join_tx, join_rx): (Sender<usize>, Receiver<usize>) = channel();
 
-    let accept_handle = {
+    // One accept thread per coordinator incarnation: a kill closes the
+    // listener (so the port can be rebound) and the restart spawns a
+    // fresh loop on the same address.
+    let spawn_accept = |listener: TcpListener, accept_stop: Arc<AtomicBool>| {
         let shared = Arc::clone(&shared);
-        let config = base.clone();
+        let cfg = ctrl_base.clone();
         let ready_tx = ready_tx.clone();
-        std::thread::spawn(move || accept_loop(&listener, &shared, &config, &ready_tx, &join_tx))
+        let join_tx = join_tx.clone();
+        std::thread::spawn(move || {
+            accept_loop(&listener, &shared, &cfg, &ready_tx, &join_tx, &accept_stop);
+        })
     };
+    let mut accept_stop = Arc::new(AtomicBool::new(false));
+    let mut accept_handle = spawn_accept(listener, Arc::clone(&accept_stop));
     let sup_handles: Vec<_> = (0..n)
         .filter(|w| !config.external.contains(w))
         .map(|w| {
             let config = config.clone();
             let shared = Arc::clone(&shared);
             let exe = exe.clone();
-            let addr = addr.clone();
+            // With the proxy on, the worker dials its own adversarial
+            // link instead of the coordinator directly.
+            let addr = proxy
+                .as_ref()
+                .map_or_else(|| addr.clone(), |p| p.addr_for(w).to_string());
             let ready_tx = ready_tx.clone();
             std::thread::spawn(move || {
                 // A scheduled joiner's process does not exist until its
@@ -900,7 +1215,125 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
         frame_round: None,
         scratch: Vec::new(),
     };
-    let (final_state, recovery) = supervise(base, &mut transport, &mut rng, state, store.as_ref());
+
+    // Coordinator incarnations: each runs until the round budget is spent
+    // or its scheduled kill round arrives. A kill tears the incarnation
+    // down wholesale — listener, sockets, mirrors — and the next one
+    // restarts from the newest disk checkpoint under a bumped term while
+    // the workers reconnect through their backoff loops.
+    let mut kills: VecDeque<u64> = {
+        let mut v = config.coord_kill.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.into()
+    };
+    let mut term: u64 = 0;
+    let mut coordinator_restarts: u64 = 0;
+    let mut totals = RecoveryCounters::default();
+    let mut state = initial_state.clone();
+    let (final_state, recovery) = loop {
+        shared.term.store(term, Ordering::Release);
+        let abort_at = kills.front().copied();
+        match supervise(
+            &ctrl_base,
+            &mut transport,
+            &mut rng,
+            state,
+            store.as_ref(),
+            term,
+            abort_at,
+        ) {
+            Supervised::Done(done, rec) => {
+                totals.controller_failovers += rec.controller_failovers;
+                totals.failover_rounds_lost += rec.failover_rounds_lost;
+                // Cumulative: the count rides inside the checkpoint, so it
+                // survives restarts without double counting.
+                totals.checkpoints_written = rec.checkpoints_written;
+                break (done, totals);
+            }
+            Supervised::Killed {
+                recovery: rec,
+                next_term,
+            } => {
+                totals.controller_failovers += rec.controller_failovers;
+                totals.failover_rounds_lost += rec.failover_rounds_lost;
+                let died_at = kills.pop_front().expect("a kill round was scheduled");
+                coordinator_restarts += 1;
+                // The incarnation is gone: close the listener, sever every
+                // socket (the workers' reconnect loops own the rest), and
+                // drop the mirrors a dead coordinator could not have kept.
+                accept_stop.store(true, Ordering::Release);
+                let _ = TcpStream::connect(&addr);
+                let _ = accept_handle.join();
+                let mut severed: Vec<usize> = Vec::new();
+                for (w, slot) in shared.slots.iter().enumerate() {
+                    if let Some(s) = lock(&slot.conn).take() {
+                        let _ = s.shutdown(Shutdown::Both);
+                        severed.push(w);
+                    }
+                    slot.alive.store(false, Ordering::Release);
+                    *lock(&slot.cache) = GradientCache::new(base.staleness_bound, true);
+                }
+                // Restart from disk; a kill before the first cut falls
+                // back to the initial state and honestly redoes round 0.
+                state = match store.as_ref() {
+                    Some(st) => match st.load_latest() {
+                        Ok(loaded) => decode_ctrl_checkpoint(&loaded.payload)
+                            .expect("the coordinator's own checkpoint must decode"),
+                        Err(RecoveryError::Missing) => initial_state.clone(),
+                        Err(e) => {
+                            panic!("coordinator restart cannot read the checkpoint store: {e}")
+                        }
+                    },
+                    None => initial_state.clone(),
+                };
+                totals.failover_rounds_lost += died_at.saturating_sub(state.round);
+                shared.round.store(state.round, Ordering::Release);
+                shared
+                    .published
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .copy_from(&state.master);
+                // The cached parameter frame belongs to the dead
+                // incarnation's round numbering; rebuild on next push.
+                transport.frame_round = None;
+                term = next_term;
+                shared.term.store(term, Ordering::Release);
+                // Rebind the *same* address — the workers' reconnect loops
+                // and the proxy's upstream dial both hold it. SO_REUSEADDR
+                // (std sets it on listeners) admits the rebind as soon as
+                // the old listener is gone.
+                let deadline = Instant::now() + Duration::from_secs(5);
+                let relisten = loop {
+                    match TcpListener::bind(&addr) {
+                        Ok(l) => break l,
+                        Err(e) => {
+                            assert!(
+                                Instant::now() < deadline,
+                                "cannot rebind the coordinator address {addr}: {e}"
+                            );
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                };
+                accept_stop = Arc::new(AtomicBool::new(false));
+                accept_handle = spawn_accept(relisten, Arc::clone(&accept_stop));
+                // Hold the new term's first round until the severed workers
+                // re-handshake: a restarted coordinator that sprints ahead
+                // would redo the lost rounds degraded, without the very
+                // workers it is redoing them for. Bounded — a worker that
+                // stays away genuinely died and forfeits the wait.
+                let rejoin_deadline = Instant::now() + REJOIN_TIMEOUT;
+                while severed
+                    .iter()
+                    .any(|&w| !shared.slots[w].alive.load(Ordering::Acquire))
+                    && Instant::now() < rejoin_deadline
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    };
 
     // Teardown: stop, ask every live worker to finish gracefully (its
     // Fate frame arrives through the reader), and let the child
@@ -918,6 +1351,7 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
     // Unblock the accept loop (it is parked in accept()).
     let _ = TcpStream::connect(&addr);
     let _ = accept_handle.join();
+    let proxy_faults_injected = proxy.map_or(0, FaultProxy::shutdown);
 
     let worker_iterations: Vec<u64> = shared
         .slots
@@ -950,6 +1384,10 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
         run,
         worker_respawns: shared.worker_respawns.load(Ordering::Acquire),
         sockets_severed: shared.sockets_severed.load(Ordering::Acquire),
+        reconnect_attempts: shared.reconnect_attempts.load(Ordering::Acquire),
+        auth_rejects: shared.auth_rejects.load(Ordering::Acquire),
+        proxy_faults_injected,
+        coordinator_restarts,
     }
 }
 
@@ -992,5 +1430,37 @@ mod tests {
     fn worker_exe_resolution_prefers_explicit_path() {
         let explicit = PathBuf::from("/does/not/matter/rna-worker");
         assert_eq!(resolve_worker_exe(Some(&explicit)), explicit);
+    }
+
+    #[test]
+    fn addr_book_round_trips_through_its_rendering() {
+        let book = AddrBook {
+            addr: "127.0.0.1:45678".to_string(),
+            key: AuthKey {
+                k0: 0x0123_4567_89ab_cdef,
+                k1: 0xfedc_ba98_7654_3210,
+            },
+        };
+        assert_eq!(AddrBook::parse(&book.render()), Ok(book));
+    }
+
+    #[test]
+    fn addr_book_parse_errors_name_the_offending_line() {
+        let line_of = |text: &str| match AddrBook::parse(text) {
+            Err(ConfigError::AddrBookMalformed { line, .. }) => line,
+            other => panic!("expected a malformed-book error, got {other:?}"),
+        };
+        assert_eq!(line_of(""), 1);
+        assert_eq!(
+            line_of("no-port-here\nffffffffffffffffffffffffffffffff\n"),
+            1
+        );
+        assert_eq!(line_of("127.0.0.1:1\n"), 2);
+        assert_eq!(line_of("127.0.0.1:1\nnot-hex\n"), 2);
+        assert_eq!(line_of("127.0.0.1:1\nffff\n"), 2); // too short
+        assert_eq!(
+            line_of("127.0.0.1:1\nffffffffffffffffffffffffffffffff\ntrailing\n"),
+            3
+        );
     }
 }

@@ -97,6 +97,194 @@ impl From<std::io::Error> for ProtoError {
     }
 }
 
+/// Why a handshake was rejected by the coordinator's challenge–response
+/// gate. Typed so the accept loop can count and classify rejects without
+/// trusting the peer's bytes any further.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// The Hello named a worker index outside the cluster.
+    UnknownWorker {
+        /// The out-of-range index offered.
+        worker: u32,
+    },
+    /// The Hello's incarnation does not match the supervisor's expectation
+    /// — a replayed Hello from a dead incarnation, or a stale worker that
+    /// missed its own respawn.
+    StaleIncarnation {
+        /// The incarnation the peer offered.
+        got: u32,
+        /// The incarnation the coordinator expects next.
+        expected: u64,
+    },
+    /// The MAC over `nonce ‖ term ‖ worker ‖ incarnation` did not verify:
+    /// wrong key, a replayed response to an older challenge, or a response
+    /// minted under a dead coordinator's term.
+    BadMac,
+}
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthError::UnknownWorker { worker } => {
+                write!(f, "hello names unknown worker {worker}")
+            }
+            AuthError::StaleIncarnation { got, expected } => {
+                write!(f, "stale incarnation {got} (expected {expected})")
+            }
+            AuthError::BadMac => write!(f, "challenge response failed MAC verification"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// The 128-bit shared secret of one run, used to key the challenge–
+/// response MAC. Derived deterministically from the run seed by the
+/// coordinator and handed to workers out of band (command line or the
+/// address book) — never sent over the socket, unlike the plaintext token
+/// it replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthKey {
+    /// First key half (SipHash `k0`).
+    pub k0: u64,
+    /// Second key half (SipHash `k1`).
+    pub k1: u64,
+}
+
+impl AuthKey {
+    /// Renders the key as 32 lowercase hex digits (`k0` then `k1`), the
+    /// form the address book and the worker command line carry.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.k0, self.k1)
+    }
+
+    /// Parses the 32-hex-digit form produced by [`AuthKey::to_hex`].
+    /// Returns `None` on any other shape.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<AuthKey> {
+        let s = s.trim();
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        Some(AuthKey {
+            k0: u64::from_str_radix(&s[..16], 16).ok()?,
+            k1: u64::from_str_radix(&s[16..], 16).ok()?,
+        })
+    }
+}
+
+/// Constant-time slice equality: the comparison touches every byte and
+/// folds the differences with `|`, so the time taken does not depend on
+/// *where* the first mismatch sits — the property the old `==` on the
+/// plaintext token lacked. Length is compared up front (lengths are not
+/// secret here; both sides of every comparison are fixed-width MACs).
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    // Deny the optimizer the early-exit transform it would otherwise be
+    // entitled to once `diff` is provably nonzero.
+    std::hint::black_box(diff) == 0
+}
+
+/// SipHash-2-4 over `data` under `key`: the std-only keyed hash backing
+/// the challenge–response MAC. Implemented from the reference description
+/// (2 compression rounds per block, 4 finalization rounds); the test
+/// vectors below pin it to the published reference outputs.
+#[must_use]
+pub fn siphash24(key: &AuthKey, data: &[u8]) -> u64 {
+    #[inline]
+    fn round(v: &mut [u64; 4]) {
+        v[0] = v[0].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(13);
+        v[1] ^= v[0];
+        v[0] = v[0].rotate_left(32);
+        v[2] = v[2].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(16);
+        v[3] ^= v[2];
+        v[0] = v[0].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(21);
+        v[3] ^= v[0];
+        v[2] = v[2].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(17);
+        v[1] ^= v[2];
+        v[2] = v[2].rotate_left(32);
+    }
+    let mut v = [
+        key.k0 ^ 0x736f_6d65_7073_6575,
+        key.k1 ^ 0x646f_7261_6e64_6f6d,
+        key.k0 ^ 0x6c79_6765_6e65_7261,
+        key.k1 ^ 0x7465_6462_7974_6573,
+    ];
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk"));
+        v[3] ^= m;
+        round(&mut v);
+        round(&mut v);
+        v[0] ^= m;
+    }
+    // Final block: remaining bytes plus the total length in the top byte.
+    let rest = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rest.len()].copy_from_slice(rest);
+    last[7] = data.len() as u8;
+    let m = u64::from_le_bytes(last);
+    v[3] ^= m;
+    round(&mut v);
+    round(&mut v);
+    v[0] ^= m;
+    v[2] ^= 0xff;
+    round(&mut v);
+    round(&mut v);
+    round(&mut v);
+    round(&mut v);
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+/// The MAC a worker computes over a challenge: SipHash-2-4 of
+/// `nonce ‖ term ‖ worker ‖ incarnation` (little-endian). Binding the
+/// coordinator's term and the worker's incarnation means a response
+/// recorded under an older coordinator — or minted by a dead incarnation —
+/// verifies under neither the fresh nonce nor the bumped term.
+#[must_use]
+pub fn compute_mac(key: &AuthKey, nonce: u64, term: u64, worker: u32, incarnation: u32) -> u64 {
+    let mut buf = [0u8; 24];
+    buf[..8].copy_from_slice(&nonce.to_le_bytes());
+    buf[8..16].copy_from_slice(&term.to_le_bytes());
+    buf[16..20].copy_from_slice(&worker.to_le_bytes());
+    buf[20..24].copy_from_slice(&incarnation.to_le_bytes());
+    siphash24(key, &buf)
+}
+
+/// Verifies a challenge response in constant time.
+///
+/// # Errors
+///
+/// [`AuthError::BadMac`] when the offered MAC does not match the expected
+/// one — wrong key, replayed nonce, stale term, or a forged identity.
+pub fn verify_mac(
+    key: &AuthKey,
+    nonce: u64,
+    term: u64,
+    worker: u32,
+    incarnation: u32,
+    offered: u64,
+) -> Result<(), AuthError> {
+    let expect = compute_mac(key, nonce, term, worker, incarnation);
+    if ct_eq(&expect.to_le_bytes(), &offered.to_le_bytes()) {
+        Ok(())
+    } else {
+        Err(AuthError::BadMac)
+    }
+}
+
 /// Everything a worker subprocess needs to start (or rejoin) the run. Sent
 /// by the coordinator as the first frame after a valid [`Msg::Hello`].
 #[derive(Debug, Clone, PartialEq)]
@@ -148,18 +336,35 @@ pub struct WorkerSetup {
 }
 
 /// One protocol message. Worker→coordinator: `Hello`, `Heartbeat`, `Grad`,
-/// `Fate`. Coordinator→worker: `Setup`, `Params`, `Round`, `Stop`.
+/// `Fate`, `Auth`. Coordinator→worker: `Setup`, `Params`, `Round`, `Stop`,
+/// `Challenge`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
-    /// Connection opener: the worker authenticates with the run token and
-    /// names itself. `incarnation` counts respawns (0 for the first).
+    /// Connection opener: the worker names itself. Carries no secret —
+    /// authentication happens in the [`Msg::Challenge`]/[`Msg::Auth`]
+    /// exchange that follows. `incarnation` counts respawns (0 for the
+    /// first).
     Hello {
-        /// Shared secret for this run (the coordinator rejects strangers).
-        token: u64,
         /// Worker index.
         worker: u32,
         /// Respawn generation.
         incarnation: u32,
+    },
+    /// Coordinator → worker, answering a plausible Hello: prove you hold
+    /// the run key by MACing this fresh nonce under my current term.
+    Challenge {
+        /// Single-use challenge value; a response computed for any other
+        /// nonce fails verification, which is what defeats replay.
+        nonce: u64,
+        /// The coordinator's term (bumped by every restart), bound into
+        /// the MAC so responses minted under a dead coordinator die with
+        /// it.
+        term: u64,
+    },
+    /// Worker → coordinator: the challenge response (see [`compute_mac`]).
+    Auth {
+        /// `compute_mac(key, nonce, term, worker, incarnation)`.
+        mac: u64,
     },
     /// Sign of life, sent at least every quarter liveness window.
     Heartbeat {
@@ -207,10 +412,12 @@ const TAG_HELLO: u8 = 1;
 const TAG_HEARTBEAT: u8 = 2;
 const TAG_GRAD: u8 = 3;
 const TAG_FATE: u8 = 4;
+const TAG_AUTH: u8 = 5;
 const TAG_SETUP: u8 = 16;
 const TAG_PARAMS: u8 = 17;
 const TAG_ROUND: u8 = 18;
 const TAG_STOP: u8 = 19;
+const TAG_CHALLENGE: u8 = 20;
 
 const FAULT_CRASH: u8 = 1;
 const FAULT_HANG: u8 = 2;
@@ -366,14 +573,21 @@ pub fn encode_body(msg: &Msg, out: &mut Vec<u8>) {
     wire::put_u32(out, MAGIC);
     match msg {
         Msg::Hello {
-            token,
             worker,
             incarnation,
         } => {
             out.push(TAG_HELLO);
-            wire::put_u64(out, *token);
             wire::put_u32(out, *worker);
             wire::put_u32(out, *incarnation);
+        }
+        Msg::Challenge { nonce, term } => {
+            out.push(TAG_CHALLENGE);
+            wire::put_u64(out, *nonce);
+            wire::put_u64(out, *term);
+        }
+        Msg::Auth { mac } => {
+            out.push(TAG_AUTH);
+            wire::put_u64(out, *mac);
         }
         Msg::Heartbeat { iter } => {
             out.push(TAG_HEARTBEAT);
@@ -440,11 +654,17 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
         .ok_or(ProtoError::Truncated { what: "tag" })?[0];
     let msg = match tag {
         TAG_HELLO => Msg::Hello {
-            token: r.u64().ok_or(ProtoError::Truncated { what: "token" })?,
             worker: r.u32().ok_or(ProtoError::Truncated { what: "worker" })?,
             incarnation: r.u32().ok_or(ProtoError::Truncated {
                 what: "incarnation",
             })?,
+        },
+        TAG_CHALLENGE => Msg::Challenge {
+            nonce: r.u64().ok_or(ProtoError::Truncated { what: "nonce" })?,
+            term: r.u64().ok_or(ProtoError::Truncated { what: "term" })?,
+        },
+        TAG_AUTH => Msg::Auth {
+            mac: r.u64().ok_or(ProtoError::Truncated { what: "mac" })?,
         },
         TAG_HEARTBEAT => Msg::Heartbeat {
             iter: r.u64().ok_or(ProtoError::Truncated { what: "iter" })?,
@@ -620,9 +840,15 @@ mod tests {
     #[test]
     fn every_message_roundtrips() {
         roundtrip(Msg::Hello {
-            token: u64::MAX - 1,
             worker: 2,
             incarnation: 4,
+        });
+        roundtrip(Msg::Challenge {
+            nonce: u64::MAX - 1,
+            term: 3,
+        });
+        roundtrip(Msg::Auth {
+            mac: 0x0123_4567_89ab_cdef,
         });
         roundtrip(Msg::Heartbeat { iter: 19 });
         roundtrip(Msg::Grad {
@@ -660,10 +886,11 @@ mod tests {
     fn every_truncation_of_every_message_is_a_typed_error() {
         let messages = vec![
             Msg::Hello {
-                token: 1,
                 worker: 0,
                 incarnation: 0,
             },
+            Msg::Challenge { nonce: 1, term: 1 },
+            Msg::Auth { mac: 1 },
             Msg::Heartbeat { iter: 1 },
             Msg::Grad {
                 iter: 1,
@@ -813,5 +1040,78 @@ mod tests {
             read_msg(&mut buf.as_slice()),
             Err(ProtoError::Garbage { .. })
         ));
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_plain_equality() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"\x00abc", b"abc\x00"));
+        // First-byte and last-byte mismatches both reject (the point of
+        // the constant-time fold is that they take the same path).
+        assert!(!ct_eq(b"xbcdefgh", b"abcdefgh"));
+        assert!(!ct_eq(b"abcdefgx", b"abcdefgh"));
+    }
+
+    #[test]
+    fn siphash24_matches_the_reference_vectors() {
+        // Key 00 01 02 .. 0f, inputs [] and [0x00], from the SipHash
+        // reference implementation's vectors_sip64 table.
+        let key = AuthKey {
+            k0: 0x0706_0504_0302_0100,
+            k1: 0x0f0e_0d0c_0b0a_0908,
+        };
+        assert_eq!(siphash24(&key, b""), 0x726f_db47_dd0e_0e31);
+        assert_eq!(siphash24(&key, &[0x00]), 0x74f8_39c5_93dc_67fd);
+        assert_eq!(
+            siphash24(&key, &[0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07]),
+            0x93f5_f579_9a93_2462
+        );
+    }
+
+    #[test]
+    fn mac_binds_every_field() {
+        let key = AuthKey { k0: 11, k1: 22 };
+        let base = compute_mac(&key, 1, 2, 3, 4);
+        assert_eq!(base, compute_mac(&key, 1, 2, 3, 4));
+        assert_ne!(base, compute_mac(&key, 9, 2, 3, 4), "nonce unbound");
+        assert_ne!(base, compute_mac(&key, 1, 9, 3, 4), "term unbound");
+        assert_ne!(base, compute_mac(&key, 1, 2, 9, 4), "worker unbound");
+        assert_ne!(base, compute_mac(&key, 1, 2, 3, 9), "incarnation unbound");
+        assert_ne!(
+            base,
+            compute_mac(&AuthKey { k0: 11, k1: 23 }, 1, 2, 3, 4),
+            "key unbound"
+        );
+        assert_eq!(verify_mac(&key, 1, 2, 3, 4, base), Ok(()));
+        assert_eq!(
+            verify_mac(&key, 1, 3, 3, 4, base),
+            Err(AuthError::BadMac),
+            "a stale-term response must not verify under the bumped term"
+        );
+        assert_eq!(
+            verify_mac(&key, 2, 2, 3, 4, base),
+            Err(AuthError::BadMac),
+            "a replayed response must not verify under a fresh nonce"
+        );
+    }
+
+    #[test]
+    fn auth_key_hex_roundtrips_and_rejects_garbage() {
+        let key = AuthKey {
+            k0: 0x0123_4567_89ab_cdef,
+            k1: 0xfedc_ba98_7654_3210,
+        };
+        assert_eq!(AuthKey::from_hex(&key.to_hex()), Some(key));
+        assert_eq!(
+            AuthKey::from_hex(&format!("  {}\n", key.to_hex())),
+            Some(key)
+        );
+        assert_eq!(AuthKey::from_hex(""), None);
+        assert_eq!(AuthKey::from_hex("abc"), None);
+        assert_eq!(AuthKey::from_hex(&"g".repeat(32)), None);
+        assert_eq!(AuthKey::from_hex(&"0".repeat(33)), None);
     }
 }

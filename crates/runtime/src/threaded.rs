@@ -16,8 +16,8 @@ use rna_training::{BatchSampler, Dataset, Model, Sgd};
 use crate::fault::{FaultExecutor, IterDirective};
 use crate::transport::{
     decode_ctrl_checkpoint, lock, reduce_contributions_into, supervise, ChurnCounters,
-    CtrlCheckpoint, DatapathCounters, NetCounters, RecoveryCounters, Transport, STREAM_COMPUTE,
-    STREAM_JOIN, STREAM_SAMPLER,
+    CtrlCheckpoint, DatapathCounters, NetCounters, RecoveryCounters, Supervised, Transport,
+    STREAM_COMPUTE, STREAM_JOIN, STREAM_SAMPLER,
 };
 
 /// Which synchronization strategy the threaded runtime runs.
@@ -910,8 +910,19 @@ fn run_rna(
         shared: &shared,
         ready_rx,
     };
-    let (final_state, recovery) =
-        supervise(config, &mut transport, &mut rng, state, store.as_ref());
+    let (final_state, recovery) = match supervise(
+        config,
+        &mut transport,
+        &mut rng,
+        state,
+        store.as_ref(),
+        0,
+        None,
+    ) {
+        Supervised::Done(state, recovery) => (state, recovery),
+        // Coordinator-level kills exist only in the process world.
+        Supervised::Killed { .. } => unreachable!("no abort round was scheduled"),
+    };
     shared.stop.store(true, Ordering::Release);
     shared.pause_cv.notify_all();
     let worker_fates: Vec<WorkerFate> = handles

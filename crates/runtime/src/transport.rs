@@ -48,6 +48,11 @@ pub(crate) const STREAM_CODEC: u64 = 4 << 32;
 /// parent generator identically regardless of the key — original members
 /// replay the shared fork sequence without knowing who joined.
 pub(crate) const STREAM_JOIN: u64 = 5 << 32;
+/// Per-worker reconnect-jitter streams: worker `w` forks
+/// `STREAM_RECONNECT + w` for the jitter its capped-exponential-backoff
+/// reconnect loop draws, so a soak that kills the coordinator replays the
+/// same backoff schedule run over run.
+pub(crate) const STREAM_RECONNECT: u64 = 6 << 32;
 
 /// Floor for controller waits: below this the timeout machinery costs more
 /// than the wait is worth.
@@ -392,12 +397,24 @@ fn sample_probes<T: Transport + ?Sized>(
         .collect()
 }
 
+/// How one controller incarnation ended.
+enum LoopExit {
+    /// The round budget is spent; the finished state is attached.
+    Done(CtrlCheckpoint),
+    /// The fault plan crashed this incarnation — the warm standby takes
+    /// over after the lease (the in-process failover path).
+    Crashed,
+    /// The process world killed the whole coordinator — memory is gone,
+    /// the restart replays from *disk*, not from the standby slot.
+    Killed,
+}
+
 /// One controller incarnation: executes rounds `ck.round..config.rounds`,
 /// heartbeating its lease at every round top and cutting a checkpoint
 /// (warm-standby slot, plus disk when a store is configured) every
-/// `checkpoint_every` rounds. Returns `None` when the fault plan kills the
-/// incarnation — *before* executing the crash round, so progress since the
-/// last checkpoint is genuinely lost — and the finished state otherwise.
+/// `checkpoint_every` rounds. Exits `Crashed`/`Killed` *before* executing
+/// the fatal round, so progress since the last checkpoint is genuinely
+/// lost, and `Done` with the finished state otherwise.
 #[allow(clippy::too_many_arguments)]
 fn controller_loop<T: Transport + ?Sized>(
     config: &ThreadedConfig,
@@ -408,7 +425,8 @@ fn controller_loop<T: Transport + ?Sized>(
     probe_rng: &mut SimRng,
     codec_rng: &mut SimRng,
     crash_at: Option<u64>,
-) -> Option<CtrlCheckpoint> {
+    abort_at: Option<u64>,
+) -> LoopExit {
     let n = config.num_workers;
     let mut master = ck.master.clone();
     let mut opt = rna_training::Sgd::new(config.lr, 0.0, 0.0, master.len());
@@ -428,8 +446,13 @@ fn controller_loop<T: Transport + ?Sized>(
     let round_deadline = Duration::from_micros(config.tolerance.round_deadline_us);
     let probe_backoff = Duration::from_micros(config.tolerance.probe_backoff_us);
     for k in ck.round..config.rounds {
+        // A coordinator-level kill outranks a planned controller crash at
+        // the same round: there is no standby left to observe the crash.
+        if abort_at == Some(k) {
+            return LoopExit::Killed;
+        }
         if crash_at == Some(k) {
-            return None;
+            return LoopExit::Crashed;
         }
         // Round `k`'s membership: dormant joiners and departed workers are
         // outside the electorate, the majority denominator, and the drain
@@ -733,7 +756,24 @@ fn controller_loop<T: Transport + ?Sized>(
     // Final cut: the finished state is itself a checkpoint, so resuming a
     // completed run replays nothing.
     cut_checkpoint(&mut ck, config.rounds, &master, &opt, plane, store);
-    Some(ck)
+    LoopExit::Done(ck)
+}
+
+/// How a [`supervise`] call ended.
+pub(crate) enum Supervised {
+    /// The round budget is spent: the finished state plus this call's
+    /// recovery tallies.
+    Done(CtrlCheckpoint, RecoveryCounters),
+    /// The coordinator was killed at its scheduled abort round. The
+    /// process world restarts it from the *disk* checkpoint under
+    /// `next_term` — continuing the per-term probe/codec stream numbering
+    /// so a rerun with the same kill schedule replays identically.
+    Killed {
+        /// Recovery tallies accumulated before the kill.
+        recovery: RecoveryCounters,
+        /// The term the restarted coordinator must supervise from.
+        next_term: u64,
+    },
 }
 
 /// Runs controller incarnations under the lease+term protocol until the
@@ -743,25 +783,36 @@ fn controller_loop<T: Transport + ?Sized>(
 /// the last checkpoint. Every term forks its own probe/codec streams;
 /// term 0's forks are the run's first after worker setup, so fault-free
 /// runs elect the same initiators in every world.
+///
+/// `term0` is 0 for a fresh run; a coordinator restarted after a kill
+/// passes the `next_term` of the [`Supervised::Killed`] it replaced, so
+/// term numbering (crash-schedule indexing, probe/codec stream keys) is
+/// global across coordinator incarnations. `abort_at` schedules a
+/// coordinator-level death at that round: unlike a planned crash there is
+/// no in-memory standby afterwards — the caller owns the restart.
 pub(crate) fn supervise<T: Transport + ?Sized>(
     config: &ThreadedConfig,
     transport: &mut T,
     rng: &mut SimRng,
     state0: CtrlCheckpoint,
     store: Option<&CheckpointStore>,
-) -> (CtrlCheckpoint, RecoveryCounters) {
+    term0: u64,
+    abort_at: Option<u64>,
+) -> Supervised {
     let crashes: Vec<u64> = config.fault_plan.controller_crashes().to_vec();
     let plane = CtrlPlane {
         heartbeat_us: AtomicU64::new(0),
         slot: Mutex::new(Some(state0.clone())),
     };
     let mut state = state0;
-    let mut term: usize = 0;
+    let mut term: u64 = term0;
     let mut recovery = RecoveryCounters::default();
     loop {
-        let crash_at = crashes.get(term).copied();
-        let mut probe_rng = rng.fork(STREAM_PROBE + term as u64);
-        let mut codec_rng = rng.fork(STREAM_CODEC + term as u64);
+        let crash_at = crashes
+            .get(usize::try_from(term).unwrap_or(usize::MAX))
+            .copied();
+        let mut probe_rng = rng.fork(STREAM_PROBE + term);
+        let mut codec_rng = rng.fork(STREAM_CODEC + term);
         let incarnation = state.clone();
         let outcome = {
             let t = &mut *transport;
@@ -778,6 +829,7 @@ pub(crate) fn supervise<T: Transport + ?Sized>(
                             &mut probe_rng,
                             &mut codec_rng,
                             crash_at,
+                            abort_at,
                         )
                     })
                     .join()
@@ -790,11 +842,17 @@ pub(crate) fn supervise<T: Transport + ?Sized>(
             Err(payload) => std::panic::resume_unwind(payload),
         };
         match result {
-            Some(done) => {
+            LoopExit::Done(done) => {
                 recovery.checkpoints_written = done.checkpoints_written;
-                return (done, recovery);
+                return Supervised::Done(done, recovery);
             }
-            None => {
+            LoopExit::Killed => {
+                return Supervised::Killed {
+                    recovery,
+                    next_term: term + 1,
+                };
+            }
+            LoopExit::Crashed => {
                 // The controller died. The standby must not seize the round
                 // until the lease expires — a live-but-slow incumbent may
                 // still hold it — then it replays from the last checkpoint.

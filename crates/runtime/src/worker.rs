@@ -1,11 +1,14 @@
 //! The worker subprocess's side of the process-world protocol.
 //!
 //! [`run_worker`] is what the `rna-worker` binary calls after parsing its
-//! command line: connect, `Hello`, receive the `Setup` frame, replay the
-//! run's shared RNG sequence so its sampler/compute streams are identical
-//! to the threaded world's worker threads, then loop compute → gradient
-//! frame, heartbeating and honoring the bounded-lead gate against the
-//! round counter the coordinator streams back.
+//! command line: connect, prove key possession through the
+//! `Hello`/`Challenge`/`Auth` exchange, receive the `Setup` frame, replay
+//! the run's shared RNG sequence so its sampler/compute streams are
+//! identical to the threaded world's worker threads, then loop compute →
+//! gradient frame, heartbeating and honoring the bounded-lead gate
+//! against the round counter the coordinator streams back. A dead socket
+//! does not end the incarnation: the worker re-handshakes under capped
+//! exponential backoff and resumes where its local state left off.
 //!
 //! Fault directives come down in the `Setup` frame and are executed by the
 //! same [`FaultExecutor`] the threaded workers use, with one difference
@@ -27,13 +30,29 @@ use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model};
 
 use crate::fault::{FaultExecutor, IterDirective};
-use crate::proto::{read_msg, write_msg, Msg, ProtoError, WorkerSetup};
+use crate::proto::{compute_mac, read_msg, write_msg, AuthKey, Msg, ProtoError, WorkerSetup};
 use crate::threaded::{interruptible_sleep, sleep_range};
-use crate::transport::{lock, STREAM_COMPUTE, STREAM_SAMPLER};
+use crate::transport::{lock, STREAM_COMPUTE, STREAM_RECONNECT, STREAM_SAMPLER};
 
 /// How long the worker keeps retrying its initial connect: the coordinator
 /// spawns the whole cluster before some listeners' backlogs drain.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-read timeout during the handshake, so a half-open connection (or a
+/// fault proxy eating a Challenge/Setup frame) costs one bounded cycle
+/// instead of wedging the worker on a read that will never complete.
+const HANDSHAKE_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// First backoff interval of the reconnect loop, microseconds.
+const RECONNECT_BASE_US: u64 = 10_000;
+
+/// Backoff ceiling of the reconnect loop, microseconds.
+const RECONNECT_CAP_US: u64 = 640_000;
+
+/// Total reconnect budget after a socket death. Generous: it must cover a
+/// coordinator lease expiry plus a restart-from-disk, and a worker that
+/// gives up early turns a survivable outage into a lost worker.
+const RECONNECT_TIMEOUT: Duration = Duration::from_secs(20);
 
 /// What the socket reader thread shares with the compute loop.
 struct Link {
@@ -43,11 +62,25 @@ struct Link {
     fresh_params: Mutex<Option<Tensor>>,
     /// Set on `Stop`, socket death, or any protocol violation.
     stop: AtomicBool,
+    /// Set *only* on a `Stop` frame: the run ended on purpose. A halt
+    /// without this flag is a dead socket, which the reconnect loop owns.
+    graceful: AtomicBool,
     gate: Mutex<()>,
     cv: Condvar,
 }
 
 impl Link {
+    fn new(round: u64) -> Self {
+        Link {
+            round: AtomicU64::new(round),
+            fresh_params: Mutex::new(None),
+            stop: AtomicBool::new(false),
+            graceful: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
     fn halt(&self) {
         self.stop.store(true, Ordering::Release);
         self.cv.notify_all();
@@ -108,7 +141,12 @@ fn reader_loop(mut stream: TcpStream, link: &Link) {
                 link.round.store(round, Ordering::Release);
                 link.cv.notify_all();
             }
-            Ok(Msg::Stop) | Ok(_) | Err(_) => {
+            Ok(Msg::Stop) => {
+                link.graceful.store(true, Ordering::Release);
+                link.halt();
+                return;
+            }
+            Ok(_) | Err(_) => {
                 link.halt();
                 return;
             }
@@ -116,32 +154,50 @@ fn reader_loop(mut stream: TcpStream, link: &Link) {
     }
 }
 
-/// One connect + `Hello` + `Setup` exchange. Fails when the coordinator
-/// is unreachable, drops the connection (it rejects Hellos it is not yet
-/// willing to admit), or answers with garbage.
+/// One connect + challenge–response + `Setup` exchange: `Hello` names the
+/// worker, the coordinator answers with a fresh nonce and its term, the
+/// worker proves key possession with the MAC, and the `Setup` frame
+/// follows. Fails when the coordinator is unreachable, drops the
+/// connection (it rejects Hellos it is not yet willing to admit, and
+/// responses that fail verification), or answers with garbage.
 fn try_handshake(
     addr: &str,
     worker: u32,
-    token: u64,
+    key: &AuthKey,
     incarnation: u32,
+    retry_connect: bool,
 ) -> Result<(TcpStream, WorkerSetup), ProtoError> {
-    let mut stream = connect_retry(addr)?;
+    let mut stream = if retry_connect {
+        connect_retry(addr)?
+    } else {
+        TcpStream::connect(addr)?
+    };
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_READ_TIMEOUT));
     let mut scratch = Vec::new();
     write_msg(
         &mut stream,
         &Msg::Hello {
-            token,
             worker,
             incarnation,
         },
         &mut scratch,
     )?;
+    let (nonce, term) = match read_msg(&mut stream)? {
+        Msg::Challenge { nonce, term } => (nonce, term),
+        _ => {
+            return Err(ProtoError::Garbage {
+                what: "expected a Challenge frame after Hello",
+            })
+        }
+    };
+    let mac = compute_mac(key, nonce, term, worker, incarnation);
+    write_msg(&mut stream, &Msg::Auth { mac }, &mut scratch)?;
     let setup = match read_msg(&mut stream)? {
         Msg::Setup(s) => s,
         _ => {
             return Err(ProtoError::Garbage {
-                what: "expected a Setup frame after Hello",
+                what: "expected a Setup frame after Auth",
             })
         }
     };
@@ -150,28 +206,39 @@ fn try_handshake(
             what: "setup frame does not match this worker",
         });
     }
+    let _ = stream.set_read_timeout(None);
     Ok((stream, setup))
 }
 
 /// Runs one worker incarnation against the coordinator at `addr`.
 ///
 /// Returns when the coordinator sends `Stop` (after reporting the
-/// worker's fate), when the socket dies, or when the setup's churn
-/// schedule retires or evicts this worker; a crash/restart directive
-/// never returns — it aborts the process.
+/// worker's fate) or when the setup's churn schedule retires or evicts
+/// this worker; a crash/restart directive never returns — it aborts the
+/// process. A *dead socket* no longer ends the incarnation: the worker
+/// re-handshakes under capped exponential backoff (jitter drawn from its
+/// own deterministic RNG stream), keeping its model, sampler position,
+/// and fired fault triggers — reconnection is a socket event, not a
+/// respawn — and gives up only after the reconnect budget is spent.
 ///
 /// # Errors
 ///
 /// [`ProtoError`] when the coordinator cannot be reached, rejects the
-/// handshake past the retry window, or speaks a malformed protocol.
-pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Result<(), ProtoError> {
+/// handshake past the retry window, or stays unreachable past the
+/// reconnect budget.
+pub fn run_worker(
+    addr: &str,
+    worker: u32,
+    key: &AuthKey,
+    incarnation: u32,
+) -> Result<(), ProtoError> {
     // An address-book joiner dials in whenever it likes — possibly before
     // its join round, in which case the coordinator drops the Hello. Keep
     // re-offering the handshake until the admission window opens or the
     // retry budget runs out.
     let deadline = Instant::now() + CONNECT_TIMEOUT;
-    let (mut stream, setup) = loop {
-        match try_handshake(addr, worker, token, incarnation) {
+    let (mut stream, mut setup) = loop {
+        match try_handshake(addr, worker, key, incarnation, true) {
             Ok(pair) => break pair,
             Err(e) if Instant::now() >= deadline => return Err(e),
             Err(_) => std::thread::sleep(Duration::from_millis(50)),
@@ -207,6 +274,9 @@ pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Resu
         usize::try_from(setup.batch_size).unwrap_or(usize::MAX),
     );
     let mut wrng = rng.fork(compute_key);
+    // Reconnect-backoff jitter comes from this worker's own stream, so a
+    // soak with a fixed kill schedule replays the same backoff intervals.
+    let mut rrng = rng.fork(STREAM_RECONNECT + u64::from(worker));
     // Fast-forward the sampler so a rejoined incarnation continues the
     // data stream instead of repeating its predecessor's batches.
     for _ in 0..setup.start_iter {
@@ -215,75 +285,49 @@ pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Resu
     model.set_params(&setup.params);
     let mut faults = FaultExecutor::new(&plan_from(&setup.faults), 0);
 
-    let link = Arc::new(Link {
-        round: AtomicU64::new(setup.round),
-        fresh_params: Mutex::new(None),
-        stop: AtomicBool::new(false),
-        gate: Mutex::new(()),
-        cv: Condvar::new(),
-    });
-    let reader = {
-        let stream = stream.try_clone()?;
-        let link = Arc::clone(&link);
-        std::thread::spawn(move || reader_loop(stream, &link))
-    };
-
     let range = (setup.compute_lo_us, setup.compute_hi_us);
     // Beat at least every quarter liveness window, even while parked, so
     // the coordinator never presumes a waiting worker dead.
     let park_recheck = Duration::from_micros((setup.liveness_timeout_us / 4).max(1_000));
     let mut local_iter = setup.start_iter;
     let mut departed: Option<WorkerFate> = None;
-    'run: while !link.stop.load(Ordering::Acquire) {
-        // Scheduled departures, observed on the streamed round counter:
-        // an evictee leaves before contributing to its eviction round, a
-        // retiree works *through* its retirement round (the coordinator
-        // drains that last contribution) and leaves once the counter
-        // passes it.
-        let round_now = link.round.load(Ordering::Acquire);
-        if round_now >= setup.evict_round {
-            departed = Some(WorkerFate::Evicted {
-                at_round: setup.evict_round,
-            });
-            break 'run;
-        }
-        if round_now > setup.retire_round {
-            departed = Some(WorkerFate::Retired {
-                at_round: setup.retire_round,
-            });
-            break 'run;
-        }
-        match faults.on_iteration_start(local_iter) {
-            IterDirective::Crash | IterDirective::Restart(_) => {
-                // A real death, not a simulated one: the process vanishes
-                // mid-protocol exactly like `kill -9`. For a restart the
-                // coordinator owns the rejoin (down window, respawn,
-                // checkpointed Setup).
-                std::process::abort();
+    loop {
+        let link = Arc::new(Link::new(setup.round));
+        let reader = {
+            let stream = stream.try_clone()?;
+            let link = Arc::clone(&link);
+            std::thread::spawn(move || reader_loop(stream, &link))
+        };
+        'run: while !link.stop.load(Ordering::Acquire) {
+            // Scheduled departures, observed on the streamed round counter:
+            // an evictee leaves before contributing to its eviction round, a
+            // retiree works *through* its retirement round (the coordinator
+            // drains that last contribution) and leaves once the counter
+            // passes it.
+            let round_now = link.round.load(Ordering::Acquire);
+            if round_now >= setup.evict_round {
+                departed = Some(WorkerFate::Evicted {
+                    at_round: setup.evict_round,
+                });
+                break 'run;
             }
-            IterDirective::HangFor(d) => interruptible_sleep(d, &link.stop),
-            IterDirective::Proceed => {}
-        }
-        if write_msg(
-            &mut stream,
-            &Msg::Heartbeat { iter: local_iter },
-            &mut scratch,
-        )
-        .is_err()
-        {
-            break 'run;
-        }
-        // Bounded lead: park until the round counter catches up, still
-        // heartbeating. The reader's Round frames notify the condvar; the
-        // timeout only bounds a missed wakeup.
-        while !link.stop.load(Ordering::Acquire)
-            && local_iter.saturating_sub(link.round.load(Ordering::Acquire)) >= setup.max_lead
-        {
-            let guard = lock(&link.gate);
-            let _unused = link
-                .cv
-                .wait_timeout(guard, park_recheck)
-                .unwrap_or_else(PoisonError::into_inner);
+            if round_now > setup.retire_round {
+                departed = Some(WorkerFate::Retired {
+                    at_round: setup.retire_round,
+                });
+                break 'run;
+            }
+            match faults.on_iteration_start(local_iter) {
+                IterDirective::Crash | IterDirective::Restart(_) => {
+                    // A real death, not a simulated one: the process vanishes
+                    // mid-protocol exactly like `kill -9`. For a restart the
+                    // coordinator owns the rejoin (down window, respawn,
+                    // checkpointed Setup).
+                    std::process::abort();
+                }
+                IterDirective::HangFor(d) => interruptible_sleep(d, &link.stop),
+                IterDirective::Proceed => {}
+            }
             if write_msg(
                 &mut stream,
                 &Msg::Heartbeat { iter: local_iter },
@@ -293,42 +337,96 @@ pub fn run_worker(addr: &str, worker: u32, token: u64, incarnation: u32) -> Resu
             {
                 break 'run;
             }
+            // Bounded lead: park until the round counter catches up, still
+            // heartbeating. The reader's Round frames notify the condvar; the
+            // timeout only bounds a missed wakeup.
+            while !link.stop.load(Ordering::Acquire)
+                && local_iter.saturating_sub(link.round.load(Ordering::Acquire)) >= setup.max_lead
+            {
+                let guard = lock(&link.gate);
+                let _unused = link
+                    .cv
+                    .wait_timeout(guard, park_recheck)
+                    .unwrap_or_else(PoisonError::into_inner);
+                if write_msg(
+                    &mut stream,
+                    &Msg::Heartbeat { iter: local_iter },
+                    &mut scratch,
+                )
+                .is_err()
+                {
+                    break 'run;
+                }
+            }
+            if link.stop.load(Ordering::Acquire) {
+                break;
+            }
+            if let Some(p) = lock(&link.fresh_params).take() {
+                model.set_params(&p);
+            }
+            let batch = sampler.sample(&dataset);
+            let (_, grad) = model.loss_and_grad(&batch);
+            sleep_range(&mut wrng, range);
+            let extra = faults.extra_compute_delay(local_iter);
+            if !extra.is_zero() {
+                std::thread::sleep(extra);
+            }
+            if write_msg(
+                &mut stream,
+                &Msg::Grad {
+                    iter: local_iter,
+                    grad,
+                },
+                &mut scratch,
+            )
+            .is_err()
+            {
+                break 'run;
+            }
+            local_iter += 1;
         }
-        if link.stop.load(Ordering::Acquire) {
-            break;
+        if departed.is_some() || link.graceful.load(Ordering::Acquire) {
+            // Graceful exit: report the post-mortem. The socket may already
+            // be gone (severed), in which case the coordinator composes the
+            // fate itself — exactly the information a real network would
+            // have.
+            let fate = departed.unwrap_or_else(|| faults.fate());
+            let _ = write_msg(&mut stream, &Msg::Fate(fate), &mut scratch);
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = reader.join();
+            return Ok(());
         }
-        if let Some(p) = lock(&link.fresh_params).take() {
-            model.set_params(&p);
-        }
-        let batch = sampler.sample(&dataset);
-        let (_, grad) = model.loss_and_grad(&batch);
-        sleep_range(&mut wrng, range);
-        let extra = faults.extra_compute_delay(local_iter);
-        if !extra.is_zero() {
-            std::thread::sleep(extra);
-        }
-        if write_msg(
-            &mut stream,
-            &Msg::Grad {
-                iter: local_iter,
-                grad,
-            },
-            &mut scratch,
-        )
-        .is_err()
-        {
-            break 'run;
-        }
-        local_iter += 1;
+        // The socket died under us — severed, or the coordinator itself is
+        // gone. Re-handshake under capped exponential backoff. The same
+        // incarnation number is offered: nothing about this process changed,
+        // and the coordinator counts the accepted re-handshake as a
+        // reconnect, not a respawn.
+        let _ = stream.shutdown(Shutdown::Both);
+        let _ = reader.join();
+        let reconnect_deadline = Instant::now() + RECONNECT_TIMEOUT;
+        let mut backoff_us = RECONNECT_BASE_US;
+        let pair = loop {
+            let jitter_us = rrng.uniform_u64(0..backoff_us / 2 + 1);
+            std::thread::sleep(Duration::from_micros(backoff_us + jitter_us));
+            match try_handshake(addr, worker, key, incarnation, false) {
+                Ok(pair) => break pair,
+                Err(e) => {
+                    if Instant::now() >= reconnect_deadline {
+                        return Err(e);
+                    }
+                    backoff_us = (backoff_us * 2).min(RECONNECT_CAP_US);
+                }
+            }
+        };
+        stream = pair.0;
+        setup = pair.1;
+        // Adopt the coordinator's current view — the published master and the
+        // (possibly rolled-back) round counter — but keep the local iteration
+        // count, sampler position, and fired fault triggers: the Setup's
+        // start_iter and fault list describe a fresh incarnation, and this is
+        // not one.
+        model.set_params(&setup.params);
     }
-    // Graceful exit: report the post-mortem. The socket may already be
-    // gone (severed), in which case the coordinator composes the fate
-    // itself — exactly the information a real network would have.
-    let fate = departed.unwrap_or_else(|| faults.fate());
-    let _ = write_msg(&mut stream, &Msg::Fate(fate), &mut scratch);
-    let _ = stream.shutdown(Shutdown::Both);
-    let _ = reader.join();
-    Ok(())
 }
 
 #[cfg(test)]

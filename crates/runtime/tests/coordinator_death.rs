@@ -1,0 +1,311 @@
+//! Survivability of the process world's *control plane*: the coordinator
+//! is killed mid-run and restarted from its disk checkpoints, workers
+//! reconnect through capped backoff, hostile handshakes are rejected and
+//! counted, and the PR 2 chaos matrix runs over real sockets through the
+//! per-link fault proxy.
+//!
+//! Every run goes through a watchdog so a livelock fails the test with a
+//! diagnosis instead of hanging the suite. `RNA_CHAOS_SEED` reseeds the
+//! chaos plan (CI sweeps several); everything else is pinned.
+
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use rna_core::fault::ToleranceConfig;
+use rna_runtime::proto::{compute_mac, read_msg, write_msg, Msg};
+use rna_runtime::{
+    run_threaded, AddrBook, NetFaultPlan, ProcessConfig, ProcessResult, SyncMode, ThreadedConfig,
+};
+
+fn quick(n: usize, mode: SyncMode) -> ProcessConfig {
+    ProcessConfig::quick(n, mode).with_worker_exe(env!("CARGO_BIN_EXE_rna-worker"))
+}
+
+/// Runs the config on a helper thread and panics if it does not finish
+/// within a generous bound — a coordinator restart that wedges must fail
+/// loudly, not hang the suite.
+fn run_bounded(config: ProcessConfig) -> ProcessResult {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(rna_runtime::run_process(&config));
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(180))
+        .expect("run_process blocked past the watchdog timeout");
+    handle.join().expect("runner thread panicked");
+    result
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rna-coord-death-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// 3 workers, 40 rounds, checkpoints every 5 rounds, and the coordinator
+/// murdered at rounds 8, 16, and 24.
+fn killing_soak(dir: &Path) -> ProcessResult {
+    let mut config = quick(3, SyncMode::Rna)
+        .with_coord_kill(8)
+        .with_coord_kill(16)
+        .with_coord_kill(24);
+    config.base.rounds = 40;
+    config.base = config
+        .base
+        .with_tolerance(ToleranceConfig::tight())
+        .with_checkpoint_every(5)
+        .with_recovery_dir(dir);
+    run_bounded(config)
+}
+
+/// The deterministically routed counters of a run — everything that must
+/// replay bit-identically under the same seed. Timing-dependent
+/// observables (loss, per-worker iteration counts, byte totals) are
+/// deliberately excluded.
+fn counters(r: &ProcessResult) -> [u64; 10] {
+    [
+        r.run.rounds,
+        r.coordinator_restarts,
+        r.reconnect_attempts,
+        r.auth_rejects,
+        r.worker_respawns,
+        r.sockets_severed,
+        r.proxy_faults_injected,
+        r.run.controller_failovers,
+        r.run.failover_rounds_lost,
+        r.run.checkpoints_written,
+    ]
+}
+
+#[test]
+fn coordinator_kills_recover_from_disk_and_workers_reconnect() {
+    let dir = scratch_dir("soak-a");
+    let r = killing_soak(&dir);
+
+    assert_eq!(r.run.rounds, 40);
+    assert_eq!(r.coordinator_restarts, 3, "every scheduled kill fired");
+    // Each kill severs all three workers, and each reconnects exactly once.
+    assert_eq!(r.reconnect_attempts, 9, "3 kills x 3 workers re-handshakes");
+    assert_eq!(r.auth_rejects, 0, "live incarnations re-admit cleanly");
+    assert_eq!(r.worker_respawns, 0, "a dead coordinator kills no workers");
+    // Checkpoints cut at rounds 5, 10, 15, 20, ...; kills at 8, 16, 24
+    // land on recovery points 5, 15, 20, honestly redoing 3 + 1 + 4 rounds.
+    assert_eq!(r.run.failover_rounds_lost, 8, "redone rounds are counted");
+    assert_eq!(r.run.live_workers(), 3);
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_seed_reruns_replay_the_counters_bit_identically() {
+    let dir_a = scratch_dir("replay-a");
+    let dir_b = scratch_dir("replay-b");
+    let a = killing_soak(&dir_a);
+    let b = killing_soak(&dir_b);
+    assert_eq!(
+        counters(&a),
+        counters(&b),
+        "a same-seed rerun must route every survivability counter identically"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+fn dial(addr: &str) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("coordinator reachable");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    s
+}
+
+/// A rejected handshake ends with the coordinator hanging up without a
+/// `Setup`; the next read on the probe side must fail.
+fn expect_hangup(mut s: TcpStream, what: &str) {
+    assert!(
+        read_msg(&mut s).is_err(),
+        "{what}: the coordinator must hang up without admitting the peer"
+    );
+}
+
+#[test]
+fn stale_and_replayed_hellos_are_rejected_and_counted() {
+    let dir = scratch_dir("probes");
+    let book_path = dir.join("addr");
+
+    let mut config = quick(3, SyncMode::Rna).with_addr_file(&book_path);
+    // Slow the rounds to a few ms each so the probes comfortably land
+    // while the run is live.
+    config.base.compute_us = vec![(5_000, 10_000); 3];
+
+    let probe_book = book_path.clone();
+    let probes = std::thread::spawn(move || {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let book = loop {
+            if let Ok(b) = AddrBook::load(&probe_book) {
+                break b;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "address book never appeared"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let mut scratch = Vec::new();
+
+        // 1. A worker index outside the cluster.
+        let mut s = dial(&book.addr);
+        write_msg(
+            &mut s,
+            &Msg::Hello {
+                worker: 99,
+                incarnation: 0,
+            },
+            &mut scratch,
+        )
+        .expect("hello");
+        expect_hangup(s, "unknown worker");
+
+        // 2. An incarnation the supervisor is not expecting — a replayed
+        // Hello from a dead incarnation's transcript.
+        let mut s = dial(&book.addr);
+        write_msg(
+            &mut s,
+            &Msg::Hello {
+                worker: 0,
+                incarnation: 7,
+            },
+            &mut scratch,
+        )
+        .expect("hello");
+        expect_hangup(s, "stale incarnation");
+
+        // 3. A plausible identity with a garbage MAC.
+        let mut s = dial(&book.addr);
+        write_msg(
+            &mut s,
+            &Msg::Hello {
+                worker: 0,
+                incarnation: 0,
+            },
+            &mut scratch,
+        )
+        .expect("hello");
+        assert!(
+            matches!(read_msg(&mut s), Ok(Msg::Challenge { .. })),
+            "a plausible Hello earns a challenge"
+        );
+        write_msg(
+            &mut s,
+            &Msg::Auth {
+                mac: 0xDEAD_BEEF_DEAD_BEEF,
+            },
+            &mut scratch,
+        )
+        .expect("auth");
+        expect_hangup(s, "garbage mac");
+
+        // 4. A *genuine* MAC recorded from one handshake and replayed
+        // against the next. Abandoning the first exchange is an IO event
+        // (not counted); the replay itself must be a typed reject.
+        let mut s1 = dial(&book.addr);
+        write_msg(
+            &mut s1,
+            &Msg::Hello {
+                worker: 0,
+                incarnation: 0,
+            },
+            &mut scratch,
+        )
+        .expect("hello");
+        let Ok(Msg::Challenge {
+            nonce: n1,
+            term: t1,
+        }) = read_msg(&mut s1)
+        else {
+            panic!("no challenge for the recorded handshake");
+        };
+        let recorded = compute_mac(&book.key, n1, t1, 0, 0);
+        drop(s1);
+
+        let mut s2 = dial(&book.addr);
+        write_msg(
+            &mut s2,
+            &Msg::Hello {
+                worker: 0,
+                incarnation: 0,
+            },
+            &mut scratch,
+        )
+        .expect("hello");
+        let Ok(Msg::Challenge { nonce: n2, .. }) = read_msg(&mut s2) else {
+            panic!("no challenge for the replaying handshake");
+        };
+        assert_ne!(n1, n2, "every handshake must face a fresh nonce");
+        write_msg(&mut s2, &Msg::Auth { mac: recorded }, &mut scratch).expect("auth");
+        expect_hangup(s2, "replayed mac");
+    });
+
+    let r = run_bounded(config);
+    probes.join().expect("probe thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        r.auth_rejects, 4,
+        "unknown worker + stale incarnation + garbage mac + replayed mac"
+    );
+    assert_eq!(r.run.rounds, 30, "probes never disturb the run");
+    assert_eq!(r.run.live_workers(), 3);
+    assert_eq!(r.reconnect_attempts, 0);
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
+}
+
+#[test]
+fn fault_proxy_chaos_matrix_runs_over_real_sockets() {
+    let seed: u64 = std::env::var("RNA_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    // The PR 2 chaos matrix, stated once: a timed partition (virtual by
+    // construction), lossy links, a flap window, a delayed link, and
+    // corrupting links — node 4 is the controller for a 4-worker cluster.
+    let plan = NetFaultPlan::none()
+        .with_seed(seed)
+        .partition(vec![1], 20_000, 80_000)
+        .drop_link(0, 4, 0.10)
+        .drop_link(4, 0, 0.10)
+        .corrupt_link(2, 4, 0.05)
+        .corrupt_link(4, 2, 0.05)
+        .delay_link(4, 3, 2_000)
+        .flap(1, 4, 50_000, 250_000);
+
+    // Crosscheck: the identical plan must also hold up virtually (the
+    // shim lowers corrupts to drops and leaves delays to the proxy).
+    let threaded = ThreadedConfig::quick(4, SyncMode::Rna)
+        .with_net_fault_plan(plan.clone())
+        .with_tolerance(ToleranceConfig::tight());
+    let t = run_threaded(&threaded);
+    assert_eq!(t.rounds, 30, "the virtual world completes the same plan");
+
+    let mut config = quick(4, SyncMode::Rna).with_fault_proxy();
+    config.base.rounds = 40;
+    config.base = config
+        .base
+        .with_net_fault_plan(plan)
+        .with_tolerance(ToleranceConfig::tight());
+    let r = run_bounded(config);
+
+    // Acceptance is structural, not statistical: every round completes,
+    // nobody panics on a corrupted or truncated frame, and the cluster
+    // ends whole (severed links heal by reconnect, dead reads by retry).
+    // Loss is deliberately unasserted — a flipped gradient byte may
+    // legally poison the numbers without breaking the protocol.
+    assert_eq!(r.run.rounds, 40);
+    assert_eq!(r.run.live_workers(), 4);
+    assert!(
+        r.proxy_faults_injected > 0,
+        "the proxy never injected anything"
+    );
+}

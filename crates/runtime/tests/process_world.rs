@@ -81,14 +81,22 @@ fn sigkilled_worker_rejoins_from_checkpoint() {
 }
 
 #[test]
-fn severed_socket_is_a_real_partition_and_heals_by_respawn() {
+fn severed_socket_is_a_real_partition_and_heals_by_reconnect() {
+    // The worker process survives the sever: a dead socket is a socket
+    // event, not a death, and the incarnation re-handshakes under backoff
+    // instead of being respawned from a checkpoint.
     let mut config = quick(3, SyncMode::Rna).with_sever(0, 6);
     config.base.rounds = 40;
     config.base = config.base.with_tolerance(ToleranceConfig::tight());
     let r = run_process(&config);
     assert_eq!(r.run.rounds, 40);
     assert!(r.sockets_severed >= 1, "the sever never fired");
-    assert!(r.worker_respawns >= 1, "the severed worker never came back");
+    assert_eq!(r.worker_respawns, 0, "a sever must heal without a respawn");
+    assert!(
+        r.reconnect_attempts >= 1,
+        "the severed worker never re-handshook"
+    );
+    assert_eq!(r.auth_rejects, 0, "a live incarnation re-admits cleanly");
     assert_eq!(r.run.live_workers(), 3);
     assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
 }
@@ -124,6 +132,7 @@ fn external_worker_joins_via_the_address_book() {
     // through the address book and is admitted at its join round.
     use rna_core::membership::ChurnPlan;
     use rna_runtime::worker::run_worker;
+    use rna_runtime::AddrBook;
 
     let dir = std::env::temp_dir().join(format!("rna-addr-book-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("scratch dir");
@@ -144,16 +153,11 @@ fn external_worker_joins_via_the_address_book() {
     let book_path = book.clone();
     let joiner = std::thread::spawn(move || {
         // Poll for the book exactly like a pre-spawned external worker
-        // would, then dial in with the published address and token.
+        // would, then dial in with the published address and cluster key.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         loop {
-            if let Ok(s) = std::fs::read_to_string(&book_path) {
-                let mut lines = s.lines();
-                if let (Some(addr), Some(token)) = (lines.next(), lines.next()) {
-                    if let Ok(token) = token.trim().parse::<u64>() {
-                        return run_worker(addr.trim(), 3, token, 0);
-                    }
-                }
+            if let Ok(parsed) = AddrBook::load(&book_path) {
+                return run_worker(&parsed.addr, 3, &parsed.key, 0);
             }
             assert!(
                 std::time::Instant::now() < deadline,
