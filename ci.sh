@@ -89,6 +89,18 @@ echo "==> scale bench (--check, writes BENCH_scale.json)"
 timeout 600 cargo run -q --release -p rna-bench --bin scale -- \
   --check --out BENCH_scale.json
 
+# Compressed-hop floor: full process-world runs per codec with the byte
+# totals measured at the coordinator's sockets, not charged by formula.
+# The check fails unless fp16 wire bytes stay <= 0.55x the lossless
+# equivalent, the fp16 round rate stays within 10% of raw-f32 (the codec
+# runs in the worker, off the coordinator's critical path), and the
+# encode-into-frame path never loses to encode-then-memcpy. The report
+# lands at the repo root as the tracked baseline.
+echo "==> compressed-hop bench (--check, writes BENCH_PR10.json)"
+timeout 600 cargo build -q --release -p rna-runtime --bin rna-worker
+timeout 600 cargo run -q --release -p rna-bench --bin hop -- \
+  --check --out BENCH_PR10.json
+
 # Process-world smoke: real subprocesses over TCP on ephemeral localhost
 # ports, including a genuine SIGKILL + rejoin and a severed socket. A
 # wedged coordinator (or a leaked worker holding a socket open) fails CI
@@ -96,6 +108,20 @@ timeout 600 cargo run -q --release -p rna-bench --bin scale -- \
 echo "==> process-world smoke (real sockets + SIGKILL, watchdogged)"
 timeout 600 cargo test -q --release -p rna-runtime --test process_world
 timeout 600 cargo test -q --release -p rna-experiments --test three_worlds
+
+# Compressed-hop smoke: the worker-side wire codec over real sockets,
+# reseeded three ways and across two lossy codecs without recompiling.
+# Every combination must complete its rounds with frame-exact
+# socket-measured byte totals.
+echo "==> compressed-hop smoke (3 seeds x 2 codecs, --release, watchdogged)"
+for seed in 11 23 37; do
+  for codec in fp16 int8; do
+    echo "    seed ${seed} codec ${codec}"
+    RNA_CHAOS_SEED="${seed}" RNA_HOP_CODEC="${codec}" timeout 600 \
+      cargo test -q --release -p rna-runtime --test process_world \
+      compressed_hop_smoke
+  done
+done
 
 # Survivability stress: coordinator kill + restart-from-disk with worker
 # reconnects, hostile-handshake rejection, the same-seed counter replay,
@@ -127,5 +153,14 @@ RNA_FORCE_SCALAR=1 timeout 600 cargo test -q -p rna-tensor
 # Covers the simulator pool and the threaded controller's reduce region.
 echo "==> pooled data-path alloc check (debug)"
 timeout 600 cargo test -q -p rna-core --test pooling
+
+# Worker wire-encode zero-alloc assert: the same counter guards the
+# worker's encode-into-frame path (a debug_assert inside the worker
+# process — steady-state pushes may not allocate a tensor buffer). Run
+# the smoke in debug with a real codec so the assert executes in the
+# spawned debug workers; a violation aborts the worker and fails the run.
+echo "==> worker encode zero-alloc assert (debug, int8 wire)"
+RNA_HOP_CODEC=int8 timeout 600 cargo test -q -p rna-runtime \
+  --test process_world compressed_hop_smoke
 
 echo "==> CI green"

@@ -76,13 +76,18 @@ impl GradientCache {
     }
 
     /// Deposits the gradient computed at local iteration `iter`. If the
-    /// cache is at its bound, the oldest entry is overwritten.
-    pub fn write(&mut self, iter: u64, grad: Tensor) {
-        if self.entries.len() == self.bound {
-            self.entries.remove(0);
+    /// cache is at its bound, the oldest entry is overwritten and its
+    /// tensor handed back, so a hot depositor (the process world's socket
+    /// readers) can recycle the buffer instead of allocating.
+    pub fn write(&mut self, iter: u64, grad: Tensor) -> Option<Tensor> {
+        let evicted = if self.entries.len() == self.bound {
             self.evicted += 1;
-        }
+            Some(self.entries.remove(0).1)
+        } else {
+            None
+        };
         self.entries.push((iter, grad));
+        evicted
     }
 
     /// Drains the cache into a single contribution for the collective at

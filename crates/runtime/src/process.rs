@@ -28,13 +28,17 @@
 //! worker fast-forwards its sampler so the data stream continues instead
 //! of repeating.
 //!
-//! The gradient wire codec runs at the coordinator, exactly where the
-//! threaded world runs it: workers ship full-precision gradients and the
-//! controller transforms each drained contribution through
-//! `decode(encode(grad + residual))`. That keeps byte accounting and
-//! convergence directly comparable across all three worlds; pushing the
-//! encoder into the worker binary would be a wire-efficiency change, not a
-//! protocol change, and belongs to a later PR.
+//! The gradient wire codec runs at the *worker* in this world — the hop
+//! is genuinely compressed. Each worker owns its error-feedback residual
+//! (part of worker state, surviving reconnects), encodes
+//! `grad + residual` straight into the outgoing frame buffer, and may
+//! coalesce several small gradients into one batched frame
+//! ([`crate::proto::GradBatch`]) with the next heartbeat piggybacked on
+//! the same socket write. The coordinator's reader threads decode
+//! chunk-parallel into recycled cache buffers and tally the bytes that
+//! physically crossed the socket: `bytes_on_wire` here is *measured*, not
+//! formula-charged, and the three-world crosscheck pins that every
+//! measured frame matches the DES/threaded formula byte-for-byte.
 //!
 //! ## Survivability
 //!
@@ -80,12 +84,17 @@ use rna_tensor::{Tensor, TensorPool};
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{Dataset, Model};
 
+use rna_tensor::codec::{self, Compression};
+
 use crate::faultproxy::FaultProxy;
-use crate::proto::{read_msg, verify_mac, write_msg, AuthError, AuthKey, Msg, WorkerSetup};
+use crate::proto::{
+    body_tag, decode_body, read_frame_body, read_msg, verify_mac, write_msg, AuthError, AuthKey,
+    EncodedGradBatch, Msg, WorkerSetup, TAG_ENC_GRAD,
+};
 use crate::threaded::{finish, validate_config, SyncMode, ThreadedConfig, ThreadedResult};
 use crate::transport::{
     decode_ctrl_checkpoint, lock, supervise, CtrlCheckpoint, RecoveryCounters, Supervised,
-    Transport, STREAM_COMPUTE, STREAM_JOIN, STREAM_SAMPLER,
+    Transport, WireCharges, STREAM_COMPUTE, STREAM_JOIN, STREAM_SAMPLER,
 };
 
 /// Salt folded into the seed to derive the 128-bit cluster auth key, so
@@ -425,6 +434,13 @@ struct ProcShared {
     /// coordinator incarnations, so a recorded handshake cannot replay.
     conn_seq: AtomicU64,
     param_len: usize,
+    /// The run's wire codec; the reader threads decode against it and a
+    /// frame carrying any other codec is a protocol violation.
+    compression: Compression,
+    /// Socket-measured codec charges: what the reader threads tallied off
+    /// the frames that physically arrived. Drained once per round by
+    /// [`Transport::take_wire_charges`].
+    wire: Mutex<WireCharges>,
     sockets_severed: AtomicU64,
     worker_respawns: AtomicU64,
     auth_rejects: AtomicU64,
@@ -580,6 +596,12 @@ impl Transport for ProcessTransport {
 
     fn drain_ready(&mut self) {
         while self.ready_rx.try_recv().is_ok() {}
+    }
+
+    fn take_wire_charges(&mut self) -> Option<WireCharges> {
+        // Always `Some` in this world — workers own the encode leg, so the
+        // controller must never run the accounting codec a second time.
+        Some(std::mem::take(&mut *lock(&self.shared.wire)))
     }
 }
 
@@ -753,6 +775,7 @@ fn accept_loop(
             rng_grant,
             retire_round: config.churn_plan.retire_of(w).unwrap_or(u64::MAX),
             evict_round: config.churn_plan.evict_of(w).unwrap_or(u64::MAX),
+            compression: config.compression,
             faults: config
                 .fault_plan
                 .for_worker(w)
@@ -795,6 +818,51 @@ fn accept_loop(
     }
 }
 
+/// Decodes every entry of a batched encoded-gradient frame into the
+/// worker's cache mirror, recycling buffers the cache's staleness bound
+/// evicts, and tallies the socket-measured codec charges. Returns `false`
+/// on any malformed entry or codec error — the caller severs the socket.
+fn absorb_grad_batch(body: &[u8], shared: &ProcShared, w: usize, scraps: &mut Vec<Tensor>) -> bool {
+    let Ok(batch) = EncodedGradBatch::parse(body) else {
+        return false;
+    };
+    let slot = &shared.slots[w];
+    let lossless = Compression::Lossless.frame_bytes(shared.param_len);
+    let threads = codec::wire_threads(shared.param_len);
+    for entry in batch {
+        let Ok(e) = entry else { return false };
+        // Chunk-parallel decode straight into a recycled cache buffer
+        // (steady state: the staleness bound keeps handing buffers back).
+        let mut t = match scraps.pop() {
+            Some(t) if t.len() == shared.param_len => t,
+            _ => Tensor::zeros(shared.param_len),
+        };
+        // A frame with the wrong codec, element count, or corrupted
+        // payload is a typed `CodecError`: a protocol violation, not data.
+        if shared
+            .compression
+            .decode_slice_mt(e.frame, t.as_mut_slice(), threads)
+            .is_err()
+        {
+            return false;
+        }
+        {
+            // Measured, not formula-charged: these bytes physically
+            // arrived on the socket.
+            let frame_bytes = e.frame.len() as u64;
+            let mut wire = lock(&shared.wire);
+            wire.bytes_on_wire += frame_bytes;
+            wire.bytes_saved += lossless.saturating_sub(frame_bytes);
+            wire.error_l2 += e.err_l2;
+        }
+        if let Some(old) = lock(&slot.cache).write(e.iter, t) {
+            scraps.push(old);
+        }
+        slot.iterations.fetch_max(e.iter + 1, Ordering::AcqRel);
+    }
+    true
+}
+
 /// Consumes one incarnation's frames into the coordinator mirrors. Exits
 /// on EOF, socket error, or any protocol violation (which severs the
 /// connection rather than trusting the peer further).
@@ -807,19 +875,40 @@ fn reader_loop(
     ready_tx: &Sender<usize>,
 ) {
     let slot = &shared.slots[w];
+    // Per-connection reusable read buffer, plus the decode-scratch
+    // freelist the cache's evictions feed.
+    let mut body: Vec<u8> = Vec::new();
+    let mut scraps: Vec<Tensor> = Vec::new();
     loop {
-        match read_msg(&mut stream) {
+        if read_frame_body(&mut stream, &mut body).is_err() {
+            break;
+        }
+        // Route on the raw tag: encoded-gradient batches take the
+        // zero-copy parser; everything else goes through the ordinary
+        // message decoder.
+        if matches!(body_tag(&body), Ok(TAG_ENC_GRAD)) {
+            if !absorb_grad_batch(&body, shared, w, &mut scraps) {
+                break;
+            }
+            slot.heartbeat_us.store(shared.now_us(), Ordering::Release);
+            let _ = ready_tx.send(w);
+            continue;
+        }
+        match decode_body(&body) {
             Ok(Msg::Heartbeat { iter }) => {
                 slot.iterations.fetch_max(iter, Ordering::AcqRel);
                 slot.heartbeat_us.store(shared.now_us(), Ordering::Release);
                 let _ = ready_tx.send(w);
             }
             Ok(Msg::Grad { iter, grad }) => {
-                // A wrong-size gradient would poison the reduce; treat it
-                // as a protocol violation, not data.
+                // The legacy uncompressed hop, kept decodable: a wrong-size
+                // gradient would poison the reduce — a protocol violation,
+                // not data. The lossless formula stands in for measurement
+                // (the frame did cross the socket at exactly that size).
                 if grad.len() != shared.param_len {
                     break;
                 }
+                lock(&shared.wire).bytes_on_wire += Compression::Lossless.frame_bytes(grad.len());
                 lock(&slot.cache).write(iter, grad);
                 slot.iterations.fetch_max(iter + 1, Ordering::AcqRel);
                 slot.heartbeat_us.store(shared.now_us(), Ordering::Release);
@@ -1130,6 +1219,8 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
         term: AtomicU64::new(0),
         conn_seq: AtomicU64::new(1),
         param_len: initial_state.master.len(),
+        compression: base.compression,
+        wire: Mutex::new(WireCharges::default()),
         sockets_severed: AtomicU64::new(0),
         worker_respawns: AtomicU64::new(0),
         auth_rejects: AtomicU64::new(0),
@@ -1295,8 +1386,12 @@ pub fn run_process(config: &ProcessConfig) -> ProcessResult {
                     .unwrap_or_else(PoisonError::into_inner)
                     .copy_from(&state.master);
                 // The cached parameter frame belongs to the dead
-                // incarnation's round numbering; rebuild on next push.
+                // incarnation's round numbering; rebuild on next push. The
+                // undrained wire charges die with the incarnation too — the
+                // restored checkpoint already carries the byte totals as of
+                // its cut, and the redone rounds re-measure their frames.
                 transport.frame_round = None;
+                *lock(&shared.wire) = WireCharges::default();
                 term = next_term;
                 shared.term.store(term, Ordering::Release);
                 // Rebind the *same* address — the workers' reconnect loops

@@ -19,6 +19,7 @@
 use std::io::{Read, Write};
 
 use rna_core::fault::{WorkerFate, WorkerFault};
+use rna_tensor::codec::Compression;
 use rna_tensor::wire::{self, Reader};
 use rna_tensor::Tensor;
 
@@ -331,6 +332,10 @@ pub struct WorkerSetup {
     /// (already-fired triggers are filtered out by the coordinator on
     /// rejoin).
     pub faults: Vec<WorkerFault>,
+    /// The run's wire codec. The worker owns the encode leg (and its
+    /// error-feedback residual); gradients leave the process already
+    /// compressed, so the coordinator decodes instead of re-encoding.
+    pub compression: Compression,
     /// Parameters to start from — the coordinator's current master.
     pub params: Tensor,
 }
@@ -413,6 +418,11 @@ const TAG_HEARTBEAT: u8 = 2;
 const TAG_GRAD: u8 = 3;
 const TAG_FATE: u8 = 4;
 const TAG_AUTH: u8 = 5;
+/// Tag of the worker→coordinator batched encoded-gradient frame. Public,
+/// unlike the scalar-message tags: its body is parsed zero-copy by
+/// [`EncodedGradBatch::parse`] instead of through [`decode_body`], so a
+/// receive loop needs the tag to route raw frame bodies (see [`body_tag`]).
+pub const TAG_ENC_GRAD: u8 = 6;
 const TAG_SETUP: u8 = 16;
 const TAG_PARAMS: u8 = 17;
 const TAG_ROUND: u8 = 18;
@@ -616,6 +626,9 @@ pub fn encode_body(msg: &Msg, out: &mut Vec<u8>) {
             wire::put_u64(out, s.rng_grant);
             wire::put_u64(out, s.retire_round);
             wire::put_u64(out, s.evict_round);
+            let (ctag, cparam) = s.compression.wire_id();
+            wire::put_u32(out, ctag);
+            wire::put_u32(out, cparam);
             wire::put_u32(out, u32::try_from(s.faults.len()).unwrap_or(u32::MAX));
             for f in &s.faults {
                 put_fault(out, f);
@@ -689,6 +702,14 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
             let rng_grant = r.u64().ok_or(ProtoError::Truncated { what: "rng_grant" })?;
             let retire_round = r.u64().ok_or(ProtoError::Truncated { what: "retire" })?;
             let evict_round = r.u64().ok_or(ProtoError::Truncated { what: "evict" })?;
+            let ctag = r.u32().ok_or(ProtoError::Truncated { what: "codec tag" })?;
+            let cparam = r.u32().ok_or(ProtoError::Truncated {
+                what: "codec parameter",
+            })?;
+            let compression =
+                Compression::from_wire_id(ctag, cparam).ok_or(ProtoError::Garbage {
+                    what: "unknown wire codec in setup",
+                })?;
             let n_faults = r.u32().ok_or(ProtoError::Truncated { what: "faults" })?;
             // Each fault has a fixed wire size; a count the remaining
             // bytes cannot hold is garbage, not a huge reservation.
@@ -715,6 +736,7 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
                 retire_round,
                 evict_round,
                 faults,
+                compression,
                 params: read_tensor(&mut r, "setup params")?,
             })
         }
@@ -736,6 +758,19 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
     Ok(msg)
 }
 
+/// Appends one complete length-delimited frame (prefix + body) for `msg`
+/// at `out`'s current end: length placeholder, body, patched length. This
+/// is the coalescing write path — several frames assembled back-to-back in
+/// one buffer leave in a single socket write, which is how the worker
+/// piggybacks its heartbeat on a gradient flush.
+pub fn append_msg(out: &mut Vec<u8>, msg: &Msg) {
+    let prefix = out.len();
+    out.extend_from_slice(&[0u8; 4]); // length placeholder
+    encode_body(msg, out);
+    let body_len = u32::try_from(out.len() - prefix - 4).expect("frame bodies are far below 4 GiB");
+    out[prefix..prefix + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
 /// Writes one length-delimited frame. One `write_all` per frame: the frame
 /// is assembled in `scratch` (reused across calls to avoid per-message
 /// allocation) so a concurrent writer never interleaves a partial frame.
@@ -749,25 +784,24 @@ pub fn write_msg(
     scratch: &mut Vec<u8>,
 ) -> Result<(), std::io::Error> {
     scratch.clear();
-    // Length placeholder, patched once the body size is known.
-    scratch.extend_from_slice(&[0u8; 4]);
-    encode_body(msg, scratch);
-    let body_len = u32::try_from(scratch.len() - 4).expect("frame bodies are far below 4 GiB");
-    scratch[..4].copy_from_slice(&body_len.to_le_bytes());
+    append_msg(scratch, msg);
     w.write_all(scratch)
 }
 
-/// Reads one length-delimited frame and decodes it.
+/// Reads one length-delimited frame body into `body` — the per-connection
+/// reusable read buffer — without decoding it. `body` is cleared and
+/// resized to the frame's exact length; once its capacity has warmed up to
+/// the connection's largest frame, reads stop allocating entirely.
 ///
 /// The length prefix is validated against [`MAX_FRAME_BYTES`] *before* the
-/// body buffer is allocated, so a garbage or hostile prefix cannot trigger
-/// a giant allocation. A zero-length body is rejected as garbage.
+/// buffer is grown, so a garbage or hostile prefix cannot trigger a giant
+/// allocation. A zero-length body is rejected as garbage.
 ///
 /// # Errors
 ///
 /// [`ProtoError::Io`] when the socket fails or closes (including EOF
-/// mid-frame), otherwise the decode errors of [`decode_body`].
-pub fn read_msg(r: &mut impl Read) -> Result<Msg, ProtoError> {
+/// mid-frame), plus the `Oversized`/`Garbage` framing checks above.
+pub fn read_frame_body(r: &mut impl Read, body: &mut Vec<u8>) -> Result<(), ProtoError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
@@ -782,9 +816,303 @@ pub fn read_msg(r: &mut impl Read) -> Result<Msg, ProtoError> {
             what: "zero-length frame",
         });
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    body.clear();
+    body.resize(len, 0);
+    r.read_exact(body)?;
+    Ok(())
+}
+
+/// The message tag of a raw frame body (the bytes after the length
+/// prefix), after validating the magic. Receive loops use this to route
+/// [`TAG_ENC_GRAD`] bodies to the zero-copy [`EncodedGradBatch`] parser
+/// and everything else to [`decode_body`].
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] on a body too short to carry magic + tag,
+/// [`ProtoError::BadMagic`] on a foreign prefix.
+pub fn body_tag(body: &[u8]) -> Result<u8, ProtoError> {
+    let mut r = Reader::new(body);
+    let magic = r.u32().ok_or(ProtoError::Truncated { what: "magic" })?;
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic { got: magic });
+    }
+    r.bytes_exact(1)
+        .map(|b| b[0])
+        .ok_or(ProtoError::Truncated { what: "tag" })
+}
+
+/// Reads one length-delimited frame and decodes it.
+///
+/// This is the convenience entry point (fresh buffer per call); hot
+/// receive loops use [`read_frame_body`] with a reusable buffer instead.
+///
+/// # Errors
+///
+/// The framing errors of [`read_frame_body`] plus the decode errors of
+/// [`decode_body`].
+pub fn read_msg(r: &mut impl Read) -> Result<Msg, ProtoError> {
+    let mut body = Vec::new();
+    read_frame_body(r, &mut body)?;
     decode_body(&body)
+}
+
+/// Builder for the worker's batched encoded-gradient frame — the zero-copy
+/// write path of the compressed hop.
+///
+/// The frame is assembled in one owned buffer via reserve-header /
+/// fill-payload / patch-length: [`GradBatch::begin_entry`] writes the
+/// entry's iteration and reserves the error and length patch sites, then
+/// hands the buffer to the codec so the compressed payload is laid down
+/// *directly into the outgoing frame* (no intermediate frame buffer, no
+/// copy); [`GradBatch::finish_entry`] patches the reserved fields, and
+/// [`GradBatch::frame`] patches the outer length prefix and entry count.
+/// One buffer, one `write_all`, zero steady-state allocations once the
+/// capacity is warm — and several gradients can ride one frame, amortizing
+/// header and syscall cost on small-tensor rounds.
+///
+/// Wire layout (body, behind the standard `u32` length prefix):
+///
+/// ```text
+/// [u32 magic][u8 TAG_ENC_GRAD][u32 count]
+/// count × [u64 iter][f64 err_l2][u32 frame_len][frame_len codec bytes]
+/// ```
+#[derive(Debug)]
+pub struct GradBatch {
+    buf: Vec<u8>,
+    entries: u32,
+    /// Patch site of the open entry's `err_l2`/`frame_len` fields, or
+    /// `usize::MAX` when no entry is open.
+    entry_patch: usize,
+}
+
+impl Default for GradBatch {
+    fn default() -> Self {
+        GradBatch {
+            buf: Vec::new(),
+            entries: 0,
+            entry_patch: usize::MAX,
+        }
+    }
+}
+
+/// Bytes of the frame prefix before the first entry: length placeholder,
+/// magic, tag, entry count placeholder.
+const BATCH_PREFIX: usize = 4 + 4 + 1 + 4;
+
+/// Fixed per-entry header: iteration, error norm, codec frame length.
+const ENTRY_HEADER: usize = 8 + 8 + 4;
+
+impl GradBatch {
+    /// An empty batch (no buffer yet; capacity warms up on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        GradBatch::default()
+    }
+
+    /// Entries completed so far.
+    #[must_use]
+    pub fn entries(&self) -> u32 {
+        self.entries
+    }
+
+    /// Whether no entry has been written since the last reset.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Bytes the finished frame will occupy on the wire (prefix included).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.buf.len().max(BATCH_PREFIX)
+    }
+
+    /// Begins one entry for local iteration `iter` and returns the frame
+    /// buffer, positioned so an append-mode codec encode lays the payload
+    /// exactly where the entry expects it. Must be paired with
+    /// [`GradBatch::finish_entry`]; entries cannot nest.
+    pub fn begin_entry(&mut self, iter: u64) -> &mut Vec<u8> {
+        debug_assert_eq!(self.entry_patch, usize::MAX, "entry already open");
+        if self.buf.is_empty() {
+            self.buf.extend_from_slice(&[0u8; 4]); // length placeholder
+            wire::put_u32(&mut self.buf, MAGIC);
+            self.buf.push(TAG_ENC_GRAD);
+            wire::put_u32(&mut self.buf, 0); // entry-count placeholder
+        }
+        wire::put_u64(&mut self.buf, iter);
+        self.entry_patch = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 12]); // err_l2 + frame_len patch sites
+        &mut self.buf
+    }
+
+    /// Completes the entry begun by [`GradBatch::begin_entry`]: everything
+    /// the codec appended becomes the entry's frame, and the reserved
+    /// error/length fields are patched in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry is open or the codec wrote more than 4 GiB.
+    pub fn finish_entry(&mut self, err_l2: f64) {
+        let patch = self.entry_patch;
+        assert!(patch < self.buf.len(), "finish_entry without begin_entry");
+        let frame_len =
+            u32::try_from(self.buf.len() - patch - 12).expect("codec frames are far below 4 GiB");
+        self.buf[patch..patch + 8].copy_from_slice(&err_l2.to_bits().to_le_bytes());
+        self.buf[patch + 8..patch + 12].copy_from_slice(&frame_len.to_le_bytes());
+        self.entry_patch = usize::MAX;
+        self.entries += 1;
+    }
+
+    /// Finalizes the frame — patches the outer length prefix and the entry
+    /// count — and returns the complete wire bytes (prefix included),
+    /// ready for a single socket write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or an entry is still open.
+    pub fn frame(&mut self) -> &[u8] {
+        assert!(self.entries > 0, "empty batch has no frame");
+        assert_eq!(self.entry_patch, usize::MAX, "entry still open");
+        let body_len = u32::try_from(self.buf.len() - 4).expect("frame bodies are far below 4 GiB");
+        self.buf[..4].copy_from_slice(&body_len.to_le_bytes());
+        self.buf[9..13].copy_from_slice(&self.entries.to_le_bytes());
+        &self.buf
+    }
+
+    /// Appends a complete length-delimited frame for `msg` behind the
+    /// batch frame, so both leave in the same socket write — the worker
+    /// piggybacks its next heartbeat on every gradient flush, halving the
+    /// steady-state syscall count. Call after [`GradBatch::frame`].
+    pub fn piggyback(&mut self, msg: &Msg) {
+        append_msg(&mut self.buf, msg);
+    }
+
+    /// The assembled wire bytes (batch frame plus any piggybacked frames).
+    #[must_use]
+    pub fn wire_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Clears the batch for reuse, keeping the buffer capacity.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.entries = 0;
+        self.entry_patch = usize::MAX;
+    }
+}
+
+/// One entry of a batched encoded-gradient frame, borrowed from the frame
+/// body — the zero-copy read side of the compressed hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodedGrad<'a> {
+    /// The local iteration that produced the gradient.
+    pub iter: u64,
+    /// The worker-reported post-encode residual L2 norm (zero for a
+    /// lossless codec).
+    pub err_l2: f64,
+    /// The self-describing codec frame, exactly as it crossed the socket —
+    /// its length is the socket-measured `bytes_on_wire` charge.
+    pub frame: &'a [u8],
+}
+
+/// Streaming zero-copy parser over a batched encoded-gradient frame body.
+///
+/// Entries borrow from the body (the per-connection read buffer), so
+/// parsing allocates nothing; the codec decodes each [`EncodedGrad::frame`]
+/// straight into a pooled tensor. Every field is bounds-checked against
+/// the bytes actually present — a hostile count or length yields a typed
+/// [`ProtoError`], never a panic or a giant allocation.
+#[derive(Debug)]
+pub struct EncodedGradBatch<'a> {
+    r: Reader<'a>,
+    left: u32,
+}
+
+impl<'a> EncodedGradBatch<'a> {
+    /// Validates magic, tag, and entry count, returning the entry iterator.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadMagic`]/[`ProtoError::BadTag`] on a foreign frame,
+    /// [`ProtoError::Truncated`]/[`ProtoError::Garbage`] on a malformed
+    /// one (including an entry count the body cannot possibly hold).
+    pub fn parse(body: &'a [u8]) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(body);
+        let magic = r.u32().ok_or(ProtoError::Truncated { what: "magic" })?;
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic { got: magic });
+        }
+        let tag = r
+            .bytes_exact(1)
+            .ok_or(ProtoError::Truncated { what: "tag" })?[0];
+        if tag != TAG_ENC_GRAD {
+            return Err(ProtoError::BadTag { got: tag });
+        }
+        let left = r.u32().ok_or(ProtoError::Truncated {
+            what: "entry count",
+        })?;
+        if left == 0 {
+            return Err(ProtoError::Garbage {
+                what: "empty encoded-gradient batch",
+            });
+        }
+        if (left as usize).saturating_mul(ENTRY_HEADER) > r.remaining() {
+            return Err(ProtoError::Garbage {
+                what: "entry count exceeds frame",
+            });
+        }
+        Ok(EncodedGradBatch { r, left })
+    }
+
+    /// Entries not yet yielded.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        self.left
+    }
+}
+
+impl<'a> Iterator for EncodedGradBatch<'a> {
+    type Item = Result<EncodedGrad<'a>, ProtoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        let Some(iter) = self.r.u64() else {
+            self.left = 0;
+            return Some(Err(ProtoError::Truncated { what: "entry iter" }));
+        };
+        let Some(err_l2) = self.r.f64() else {
+            self.left = 0;
+            return Some(Err(ProtoError::Truncated {
+                what: "entry error norm",
+            }));
+        };
+        let Some(frame_len) = self.r.u32() else {
+            self.left = 0;
+            return Some(Err(ProtoError::Truncated {
+                what: "entry frame length",
+            }));
+        };
+        let Some(frame) = self.r.bytes_exact(frame_len as usize) else {
+            self.left = 0;
+            return Some(Err(ProtoError::Truncated {
+                what: "entry codec frame",
+            }));
+        };
+        if self.left == 0 && self.r.remaining() != 0 {
+            return Some(Err(ProtoError::Garbage {
+                what: "trailing bytes after last entry",
+            }));
+        }
+        Some(Ok(EncodedGrad {
+            iter,
+            err_l2,
+            frame,
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -833,6 +1161,7 @@ mod tests {
                     rejoin_after_us: 30_000,
                 },
             ],
+            compression: Compression::TopK { permille: 250 },
             params: Tensor::from_vec(vec![0.25, -1.5, 3.0]),
         }
     }
@@ -971,9 +1300,140 @@ mod tests {
         for _ in 0..11 {
             wire::put_u64(&mut body, 0); // seed..evict_round scalar fields
         }
+        wire::put_u32(&mut body, 0); // codec tag (lossless)
+        wire::put_u32(&mut body, 0); // codec parameter
         wire::put_u32(&mut body, u32::MAX); // fault count with no faults behind it
         let err = decode_body(&body).unwrap_err();
         assert!(matches!(err, ProtoError::Garbage { .. }), "got {err}");
+    }
+
+    #[test]
+    fn unknown_setup_codec_is_garbage() {
+        let mut body = Vec::new();
+        wire::put_u32(&mut body, MAGIC);
+        body.push(16); // TAG_SETUP
+        wire::put_u32(&mut body, 1); // worker
+        for _ in 0..11 {
+            wire::put_u64(&mut body, 0);
+        }
+        wire::put_u32(&mut body, 9); // no such codec tag
+        wire::put_u32(&mut body, 0);
+        wire::put_u32(&mut body, 0); // fault count
+        wire::put_u64(&mut body, 0); // empty params tensor
+        let err = decode_body(&body).unwrap_err();
+        assert!(matches!(err, ProtoError::Garbage { .. }), "got {err}");
+    }
+
+    /// Builds a batch of `grads` via the zero-copy writer, exactly as the
+    /// worker does: append-mode codec encode between begin/finish.
+    fn build_batch(codec: Compression, grads: &[(u64, &[f32])]) -> GradBatch {
+        let mut batch = GradBatch::new();
+        for &(iter, xs) in grads {
+            let buf = batch.begin_entry(iter);
+            codec.encode_slice_append(xs, buf, &mut || 7);
+            batch.finish_entry(0.5 + iter as f64);
+        }
+        batch
+    }
+
+    #[test]
+    fn grad_batch_roundtrips_through_the_borrowed_parser() {
+        let codec = Compression::Fp16;
+        let a = [1.0f32, -2.0, 0.5];
+        let b = [4.0f32, 0.0, -8.0];
+        let mut batch = build_batch(codec, &[(3, &a), (4, &b)]);
+        let frame = batch.frame().to_vec();
+
+        // Outer framing: length prefix covers the body exactly.
+        let body_len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(body_len, frame.len() - 4);
+        let body = &frame[4..];
+        assert_eq!(body_tag(body).unwrap(), TAG_ENC_GRAD);
+
+        let entries: Vec<_> = EncodedGradBatch::parse(body)
+            .expect("parse")
+            .collect::<Result<_, _>>()
+            .expect("entries");
+        assert_eq!(entries.len(), 2);
+        for (entry, (iter, xs)) in entries.iter().zip([(3u64, &a[..]), (4, &b[..])]) {
+            assert_eq!(entry.iter, iter);
+            assert_eq!(entry.err_l2, 0.5 + iter as f64);
+            assert_eq!(entry.frame.len() as u64, codec.frame_bytes(xs.len()));
+            let mut out = vec![0.0f32; xs.len()];
+            codec.decode_slice(entry.frame, &mut out).expect("decode");
+            for (got, want) in out.iter().zip(xs) {
+                assert_eq!(got, want); // fp16-exact inputs
+            }
+        }
+    }
+
+    #[test]
+    fn grad_batch_reset_reuses_the_buffer() {
+        let codec = Compression::Int8;
+        let xs = [1.0f32; 16];
+        let mut batch = build_batch(codec, &[(0, &xs)]);
+        let first = batch.frame().to_vec();
+        let ptr = batch.wire_bytes().as_ptr();
+        batch.reset();
+        assert!(batch.is_empty());
+        let buf = batch.begin_entry(0);
+        codec.encode_slice_append(&xs, buf, &mut || 7);
+        batch.finish_entry(0.5);
+        assert_eq!(batch.frame(), &first[..], "same input, same bytes");
+        assert_eq!(batch.wire_bytes().as_ptr(), ptr, "no realloc on reuse");
+    }
+
+    #[test]
+    fn piggybacked_heartbeat_decodes_behind_the_batch() {
+        let mut batch = build_batch(Compression::Lossless, &[(9, &[2.5f32])]);
+        batch.frame();
+        batch.piggyback(&Msg::Heartbeat { iter: 10 });
+        let wire = batch.wire_bytes();
+        let body_len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        let rest = &wire[4 + body_len..];
+        let msg = read_msg(&mut &rest[..]).expect("heartbeat decodes");
+        assert_eq!(msg, Msg::Heartbeat { iter: 10 });
+    }
+
+    #[test]
+    fn hostile_batch_bodies_are_typed_errors_never_panics() {
+        let mut batch = build_batch(Compression::Fp16, &[(1, &[1.0f32, 2.0])]);
+        let frame = batch.frame().to_vec();
+        let body = &frame[4..];
+
+        // Truncation at every cut inside the body.
+        for cut in 0..body.len() {
+            let r = EncodedGradBatch::parse(&body[..cut])
+                .and_then(|batch| batch.collect::<Result<Vec<_>, _>>());
+            assert!(r.is_err(), "cut={cut} parsed");
+        }
+        // Trailing garbage after the last entry.
+        let mut long = body.to_vec();
+        long.push(0xEE);
+        let r =
+            EncodedGradBatch::parse(&long).and_then(|batch| batch.collect::<Result<Vec<_>, _>>());
+        assert!(matches!(r, Err(ProtoError::Garbage { .. })), "{r:?}");
+        // An absurd entry count is rejected before any entry is read.
+        let mut forged = body.to_vec();
+        forged[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            EncodedGradBatch::parse(&forged),
+            Err(ProtoError::Garbage { .. })
+        ));
+        // Zero entries is garbage, not an empty iterator.
+        let mut empty = body[..9].to_vec();
+        empty[5..9].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            EncodedGradBatch::parse(&empty),
+            Err(ProtoError::Garbage { .. })
+        ));
+        // A foreign tag is rejected up front.
+        let mut foreign = body.to_vec();
+        foreign[4] = 19; // TAG_STOP
+        assert!(matches!(
+            EncodedGradBatch::parse(&foreign),
+            Err(ProtoError::BadTag { got: 19 })
+        ));
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub(crate) const STREAM_JOIN: u64 = 5 << 32;
 /// reconnect loop draws, so a soak that kills the coordinator replays the
 /// same backoff schedule run over run.
 pub(crate) const STREAM_RECONNECT: u64 = 6 << 32;
+/// Per-worker wire-codec streams: worker `w` forks `STREAM_WIRE + w` for
+/// the stochastic-rounding draws of its worker-side encode leg (process
+/// world). Forked from the worker subprocess's own replayed RNG copy
+/// right after [`STREAM_RECONNECT`], so it never perturbs the shared
+/// prefix the threaded world's workers replay.
+pub(crate) const STREAM_WIRE: u64 = 7 << 32;
 
 /// Floor for controller waits: below this the timeout machinery costs more
 /// than the wait is worth.
@@ -112,6 +118,28 @@ pub(crate) trait Transport: Send {
     /// Discards queued readiness notifications (they only say "something
     /// changed", and the controller re-polls anyway).
     fn drain_ready(&mut self);
+    /// Drains the codec charges measured at the socket since the last
+    /// call, for worlds whose *workers* own the encode leg (the process
+    /// world: contributions arrive already wire-valued, and the readers
+    /// tally the bytes that physically crossed). `None` means the
+    /// controller must run the accounting codec itself over the drained
+    /// contributions (the threaded world's default).
+    fn take_wire_charges(&mut self) -> Option<WireCharges> {
+        None
+    }
+}
+
+/// Socket-measured codec charges drained from a process-world transport:
+/// what the connection readers tallied off real frames since the last
+/// drain. Mirrors the byte/error fields of [`DatapathCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct WireCharges {
+    /// Encoded-frame bytes that physically arrived on sockets.
+    pub bytes_on_wire: u64,
+    /// Lossless-formula bytes minus measured bytes, per frame.
+    pub bytes_saved: u64,
+    /// Worker-reported L2 norms of the per-frame quantization error.
+    pub error_l2: f64,
 }
 
 /// Controller-side tallies of what the network shim did to the run.
@@ -641,32 +669,42 @@ fn controller_loop<T: Transport + ?Sized>(
         if severed {
             ck.net.partition_rounds += 1;
         }
-        // The wire codec runs where the gradient crosses the network: each
-        // delivered contribution becomes decode(encode(grad + residual)),
-        // and the dropped remainder waits in the worker's residual for its
-        // next contribution (error feedback). Lossless is the identity and
-        // only accounts the frame bytes a lossless wire would move.
-        for (w, slot) in contributions.iter_mut().enumerate() {
-            let Some(g) = slot.as_mut() else { continue };
-            let lossless_frame = Compression::Lossless.frame_bytes(g.len());
-            if wire_codec.is_lossless() {
-                ck.data.bytes_on_wire += lossless_frame;
-                continue;
+        // The wire codec runs where the gradient crosses the network. In
+        // the process world that is the *worker*: frames arrive already
+        // encoded, the readers decode them and tally the bytes that
+        // physically crossed, and the controller only folds those measured
+        // charges in. Everywhere else each delivered contribution becomes
+        // decode(encode(grad + residual)) right here, with the dropped
+        // remainder waiting in the worker's residual for its next
+        // contribution (error feedback). Lossless is the identity and only
+        // accounts the frame bytes a lossless wire would move.
+        if let Some(wire) = transport.take_wire_charges() {
+            ck.data.bytes_on_wire += wire.bytes_on_wire;
+            ck.data.bytes_saved += wire.bytes_saved;
+            ck.data.codec_error_l2 += wire.error_l2;
+        } else {
+            for (w, slot) in contributions.iter_mut().enumerate() {
+                let Some(g) = slot.as_mut() else { continue };
+                let lossless_frame = Compression::Lossless.frame_bytes(g.len());
+                if wire_codec.is_lossless() {
+                    ck.data.bytes_on_wire += lossless_frame;
+                    continue;
+                }
+                let residual = residuals[w].get_or_insert_with(|| Tensor::zeros(g.len()));
+                let mut draw = || codec_rng.uniform_u64(0..1 << 32) as u32;
+                let threads = codec::wire_threads(g.len());
+                let (frame, err) = codec::encode_with_feedback_mt(
+                    wire_codec,
+                    g,
+                    residual,
+                    &mut codec_buf,
+                    &mut draw,
+                    threads,
+                );
+                ck.data.bytes_on_wire += frame;
+                ck.data.bytes_saved += lossless_frame.saturating_sub(frame);
+                ck.data.codec_error_l2 += err;
             }
-            let residual = residuals[w].get_or_insert_with(|| Tensor::zeros(g.len()));
-            let mut draw = || codec_rng.uniform_u64(0..1 << 32) as u32;
-            let threads = codec::wire_threads(g.len());
-            let (frame, err) = codec::encode_with_feedback_mt(
-                wire_codec,
-                g,
-                residual,
-                &mut codec_buf,
-                &mut draw,
-                threads,
-            );
-            ck.data.bytes_on_wire += frame;
-            ck.data.bytes_saved += lossless_frame.saturating_sub(frame);
-            ck.data.codec_error_l2 += err;
         }
         let m: f32 = contributions.iter().flatten().count() as f32;
         if m > 0.0 && !degraded {
@@ -1042,6 +1080,14 @@ mod tests {
                 assert_ne!(STREAM_COMPUTE + w, STREAM_JOIN + 2 * v + 1);
                 assert_ne!(STREAM_PROBE + w, STREAM_JOIN + 2 * v);
                 assert_ne!(STREAM_CODEC + w, STREAM_JOIN + 2 * v + 1);
+                // Reconnect jitter and worker-side wire-codec draws are
+                // per-worker namespaces of their own.
+                assert_ne!(STREAM_RECONNECT + w, STREAM_WIRE + v);
+                assert_ne!(STREAM_RECONNECT + w, STREAM_JOIN + 2 * v);
+                assert_ne!(STREAM_WIRE + w, STREAM_JOIN + 2 * v + 1);
+                assert_ne!(STREAM_WIRE + w, STREAM_CODEC + v);
+                assert_ne!(STREAM_WIRE + w, STREAM_SAMPLER + v);
+                assert_ne!(STREAM_WIRE + w, STREAM_COMPUTE + v);
             }
         }
     }

@@ -18,6 +18,7 @@
 //! (it respawns the binary with the next incarnation number and a `Setup`
 //! that resumes from the checkpointed iteration).
 
+use std::io::Write;
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -29,10 +30,14 @@ use rna_tensor::Tensor;
 use rna_training::model::SoftmaxClassifier;
 use rna_training::{BatchSampler, Dataset, Model};
 
+use rna_tensor::codec::{self, Compression};
+
 use crate::fault::{FaultExecutor, IterDirective};
-use crate::proto::{compute_mac, read_msg, write_msg, AuthKey, Msg, ProtoError, WorkerSetup};
+use crate::proto::{
+    compute_mac, read_msg, write_msg, AuthKey, GradBatch, Msg, ProtoError, WorkerSetup,
+};
 use crate::threaded::{interruptible_sleep, sleep_range};
-use crate::transport::{lock, STREAM_COMPUTE, STREAM_RECONNECT, STREAM_SAMPLER};
+use crate::transport::{lock, STREAM_COMPUTE, STREAM_RECONNECT, STREAM_SAMPLER, STREAM_WIRE};
 
 /// How long the worker keeps retrying its initial connect: the coordinator
 /// spawns the whole cluster before some listeners' backlogs drain.
@@ -53,6 +58,76 @@ const RECONNECT_CAP_US: u64 = 640_000;
 /// coordinator lease expiry plus a restart-from-disk, and a worker that
 /// gives up early turns a survivable outage into a lost worker.
 const RECONNECT_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Batches below this wire length may coalesce another gradient instead
+/// of flushing — small-tensor rounds amortize header and syscall cost.
+const DEFER_MAX_WIRE_BYTES: usize = 4096;
+
+/// Most gradients one coalesced batch frame may carry.
+const DEFER_MAX_ENTRIES: u32 = 4;
+
+/// The worker's side of the compressed hop: the run codec, the
+/// error-feedback residual, the stochastic-rounding stream, and the
+/// reusable outgoing frame batch.
+///
+/// All of it is *worker* state, owned at [`run_worker`] scope outside the
+/// connection loop: the residual survives a reconnect (error feedback
+/// continues across socket deaths) and is rebuilt from zero only by a
+/// genuine respawn — exactly like the model and sampler position — so
+/// same-seed replays stay bit-identical.
+struct WireEncoder {
+    codec: Compression,
+    residual: Tensor,
+    rng: SimRng,
+    batch: GradBatch,
+    /// Iteration value of the last piggybacked heartbeat, so the compute
+    /// loop can skip the redundant standalone heartbeat that follows a
+    /// flush. Cleared on reconnect (a fresh socket owes fresh liveness).
+    last_hb: Option<u64>,
+}
+
+impl WireEncoder {
+    /// Encodes one gradient (error feedback included) directly into the
+    /// outgoing batch frame. `grad` is left holding the wire values.
+    fn push(&mut self, iter: u64, grad: &mut Tensor) {
+        // The encode leg must stay off the tensor allocator in steady
+        // state: the residual is preallocated and the codec appends
+        // straight into the frame buffer.
+        let allocs = rna_tensor::alloc::count();
+        let threads = codec::wire_threads(grad.len());
+        let out = self.batch.begin_entry(iter);
+        let rng = &mut self.rng;
+        let mut draw = || rng.uniform_u64(0..1 << 32) as u32;
+        let (_, err) = codec::encode_with_feedback_append(
+            self.codec,
+            grad,
+            &mut self.residual,
+            out,
+            &mut draw,
+            threads,
+        );
+        self.batch.finish_entry(err);
+        debug_assert_eq!(
+            rna_tensor::alloc::count(),
+            allocs,
+            "worker encode path allocated a tensor buffer in steady state"
+        );
+    }
+
+    /// Writes the pending batch (if any) and the next heartbeat in one
+    /// socket write. A no-op on an empty batch.
+    fn flush(&mut self, stream: &mut TcpStream, next_iter: u64) -> std::io::Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let _ = self.batch.frame();
+        self.batch.piggyback(&Msg::Heartbeat { iter: next_iter });
+        let sent = stream.write_all(self.batch.wire_bytes());
+        self.batch.reset();
+        self.last_hb = Some(next_iter);
+        sent
+    }
+}
 
 /// What the socket reader thread shares with the compute loop.
 struct Link {
@@ -277,6 +352,16 @@ pub fn run_worker(
     // Reconnect-backoff jitter comes from this worker's own stream, so a
     // soak with a fixed kill schedule replays the same backoff intervals.
     let mut rrng = rng.fork(STREAM_RECONNECT + u64::from(worker));
+    // The worker owns the encode leg of the wire codec: residual and
+    // stochastic-rounding stream live here, beside the model and sampler,
+    // and survive reconnects the same way they do.
+    let mut wire = WireEncoder {
+        codec: setup.compression,
+        residual: Tensor::zeros(setup.params.len()),
+        rng: rng.fork(STREAM_WIRE + u64::from(worker)),
+        batch: GradBatch::new(),
+        last_hb: None,
+    };
     // Fast-forward the sampler so a rejoined incarnation continues the
     // data stream instead of repeating its predecessor's batches.
     for _ in 0..setup.start_iter {
@@ -322,18 +407,34 @@ pub fn run_worker(
                     // A real death, not a simulated one: the process vanishes
                     // mid-protocol exactly like `kill -9`. For a restart the
                     // coordinator owns the rejoin (down window, respawn,
-                    // checkpointed Setup).
+                    // checkpointed Setup). Coalesced gradients drain first:
+                    // the abort models a compute death, not a lost send.
+                    let _ = wire.flush(&mut stream, local_iter);
                     std::process::abort();
                 }
-                IterDirective::HangFor(d) => interruptible_sleep(d, &link.stop),
+                IterDirective::HangFor(d) => {
+                    if wire.flush(&mut stream, local_iter).is_err() {
+                        break 'run;
+                    }
+                    interruptible_sleep(d, &link.stop);
+                }
                 IterDirective::Proceed => {}
             }
-            if write_msg(
-                &mut stream,
-                &Msg::Heartbeat { iter: local_iter },
-                &mut scratch,
-            )
-            .is_err()
+            if wire.last_hb != Some(local_iter)
+                && write_msg(
+                    &mut stream,
+                    &Msg::Heartbeat { iter: local_iter },
+                    &mut scratch,
+                )
+                .is_err()
+            {
+                break 'run;
+            }
+            // A parking worker must not sit on coalesced gradients — the
+            // coordinator may need exactly those contributions to advance
+            // the round this park waits for.
+            if local_iter.saturating_sub(link.round.load(Ordering::Acquire)) >= setup.max_lead
+                && wire.flush(&mut stream, local_iter).is_err()
             {
                 break 'run;
             }
@@ -365,31 +466,33 @@ pub fn run_worker(
                 model.set_params(&p);
             }
             let batch = sampler.sample(&dataset);
-            let (_, grad) = model.loss_and_grad(&batch);
+            let (_, mut grad) = model.loss_and_grad(&batch);
             sleep_range(&mut wrng, range);
             let extra = faults.extra_compute_delay(local_iter);
             if !extra.is_zero() {
                 std::thread::sleep(extra);
             }
-            if write_msg(
-                &mut stream,
-                &Msg::Grad {
-                    iter: local_iter,
-                    grad,
-                },
-                &mut scratch,
-            )
-            .is_err()
-            {
+            // Error-feedback encode straight into the outgoing frame, then
+            // either flush (one write carries the batch and the next
+            // heartbeat) or coalesce: a small frame with lead headroom may
+            // wait for company, amortizing header and syscall cost.
+            wire.push(local_iter, &mut grad);
+            local_iter += 1;
+            let lead = local_iter.saturating_sub(link.round.load(Ordering::Acquire));
+            let defer = wire.batch.wire_len() < DEFER_MAX_WIRE_BYTES
+                && wire.batch.entries() < DEFER_MAX_ENTRIES
+                && lead + 2 <= setup.max_lead;
+            if !defer && wire.flush(&mut stream, local_iter).is_err() {
                 break 'run;
             }
-            local_iter += 1;
         }
         if departed.is_some() || link.graceful.load(Ordering::Acquire) {
             // Graceful exit: report the post-mortem. The socket may already
             // be gone (severed), in which case the coordinator composes the
             // fate itself — exactly the information a real network would
-            // have.
+            // have. Coalesced gradients drain first: a retiree's final
+            // contribution must reach the coordinator before its fate.
+            let _ = wire.flush(&mut stream, local_iter);
             let fate = departed.unwrap_or_else(|| faults.fate());
             let _ = write_msg(&mut stream, &Msg::Fate(fate), &mut scratch);
             let _ = stream.shutdown(Shutdown::Both);
@@ -422,10 +525,14 @@ pub fn run_worker(
         setup = pair.1;
         // Adopt the coordinator's current view — the published master and the
         // (possibly rolled-back) round counter — but keep the local iteration
-        // count, sampler position, and fired fault triggers: the Setup's
-        // start_iter and fault list describe a fresh incarnation, and this is
-        // not one.
+        // count, sampler position, fired fault triggers, and the codec
+        // residual: the Setup's start_iter and fault list describe a fresh
+        // incarnation, and this is not one. Error feedback continues across
+        // the socket death; only the unsent batch is gone (frames the old
+        // socket ate are lost like any other in-flight write).
         model.set_params(&setup.params);
+        wire.batch.reset();
+        wire.last_hb = None;
     }
 }
 

@@ -15,7 +15,8 @@ use std::time::Duration;
 use rna_core::fault::ToleranceConfig;
 use rna_runtime::proto::{compute_mac, read_msg, write_msg, Msg};
 use rna_runtime::{
-    run_threaded, AddrBook, NetFaultPlan, ProcessConfig, ProcessResult, SyncMode, ThreadedConfig,
+    run_threaded, AddrBook, Compression, NetFaultPlan, ProcessConfig, ProcessResult, SyncMode,
+    ThreadedConfig,
 };
 
 fn quick(n: usize, mode: SyncMode) -> ProcessConfig {
@@ -47,6 +48,10 @@ fn scratch_dir(label: &str) -> PathBuf {
 /// 3 workers, 40 rounds, checkpoints every 5 rounds, and the coordinator
 /// murdered at rounds 8, 16, and 24.
 fn killing_soak(dir: &Path) -> ProcessResult {
+    killing_soak_with(dir, Compression::Lossless)
+}
+
+fn killing_soak_with(dir: &Path, codec: Compression) -> ProcessResult {
     let mut config = quick(3, SyncMode::Rna)
         .with_coord_kill(8)
         .with_coord_kill(16)
@@ -54,6 +59,7 @@ fn killing_soak(dir: &Path) -> ProcessResult {
     config.base.rounds = 40;
     config.base = config
         .base
+        .with_compression(codec)
         .with_tolerance(ToleranceConfig::tight())
         .with_checkpoint_every(5)
         .with_recovery_dir(dir);
@@ -112,6 +118,73 @@ fn same_seed_reruns_replay_the_counters_bit_identically() {
     );
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn compressed_soak_replays_and_routes_like_the_plain_one() {
+    // The killing soak under a lossy wire codec: the workers' residuals
+    // and stochastic-rounding streams are worker-local state, so three
+    // coordinator kills (each severing every socket, each worker
+    // reconnecting with its residual intact) must neither disturb how the
+    // run is routed nor how a same-seed rerun replays.
+    let dir_a = scratch_dir("cmp-replay-a");
+    let dir_b = scratch_dir("cmp-replay-b");
+    let dir_c = scratch_dir("cmp-replay-c");
+    let a = killing_soak_with(&dir_a, Compression::Fp16);
+    let b = killing_soak_with(&dir_b, Compression::Fp16);
+    assert_eq!(
+        counters(&a),
+        counters(&b),
+        "a compressed same-seed rerun must replay its counters bit-identically"
+    );
+    let plain = killing_soak(&dir_c);
+    assert_eq!(
+        counters(&a),
+        counters(&plain),
+        "the wire codec must not change how the survivability machinery routes"
+    );
+    // Survivors' byte accounting stays frame-exact through three
+    // coordinator restarts: measured frames always match the formula.
+    let lossless = Compression::Lossless.frame_bytes(36);
+    let lossy = Compression::Fp16.frame_bytes(36);
+    assert!(a.run.bytes_on_wire > 0 && a.run.bytes_saved > 0);
+    assert_eq!(
+        a.run.bytes_on_wire * lossless,
+        (a.run.bytes_on_wire + a.run.bytes_saved) * lossy,
+        "socket-measured accounting lost frame-exactness across restarts"
+    );
+    assert!(a.run.final_loss < 1.4, "loss {}", a.run.final_loss);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_dir_all(&dir_c);
+}
+
+#[test]
+fn sigkilled_worker_under_a_codec_restarts_its_residual_cleanly() {
+    // A SIGKILL the fault plan never announced, with int8-sr on the wire:
+    // the respawned incarnation starts a *fresh* residual (exactly like a
+    // failed-over controller used to), resumes from the checkpointed
+    // iteration, and the accounting stays frame-exact — a half-written
+    // frame from the killed process must be dropped by the reader, never
+    // double-counted.
+    let mut config = quick(3, SyncMode::Rna).with_kill9(1, 8);
+    config.base.rounds = 40;
+    config.base = config
+        .base
+        .with_compression(Compression::Int8)
+        .with_tolerance(ToleranceConfig::tight());
+    let r = run_bounded(config);
+    assert_eq!(r.run.rounds, 40);
+    assert!(r.worker_respawns >= 1, "no respawn after SIGKILL");
+    assert_eq!(r.run.live_workers(), 3);
+    let lossless = Compression::Lossless.frame_bytes(36);
+    let lossy = Compression::Int8.frame_bytes(36);
+    assert_eq!(
+        r.run.bytes_on_wire * lossless,
+        (r.run.bytes_on_wire + r.run.bytes_saved) * lossy,
+        "a SIGKILL mid-frame corrupted the measured accounting"
+    );
+    assert!(r.run.final_loss < 1.4, "loss {}", r.run.final_loss);
 }
 
 fn dial(addr: &str) -> TcpStream {
@@ -289,23 +362,32 @@ fn fault_proxy_chaos_matrix_runs_over_real_sockets() {
     let t = run_threaded(&threaded);
     assert_eq!(t.rounds, 30, "the virtual world completes the same plan");
 
-    let mut config = quick(4, SyncMode::Rna).with_fault_proxy();
-    config.base.rounds = 40;
-    config.base = config
-        .base
-        .with_net_fault_plan(plan)
-        .with_tolerance(ToleranceConfig::tight());
-    let r = run_bounded(config);
+    // The physical half of the plan runs against every wire codec: the
+    // proxy's pump is payload-agnostic (it parses only the outer length
+    // prefix), so compressed frames flow through it unchanged — and a
+    // byte flipped *inside* an encoded payload must surface at the
+    // coordinator as a typed `CodecError` that severs the socket, never a
+    // panic or a hang (the watchdog turns a hang into a failure).
+    for codec in [Compression::Lossless, Compression::Fp16, Compression::Int8] {
+        let mut config = quick(4, SyncMode::Rna).with_fault_proxy();
+        config.base.rounds = 40;
+        config.base = config
+            .base
+            .with_compression(codec)
+            .with_net_fault_plan(plan.clone())
+            .with_tolerance(ToleranceConfig::tight());
+        let r = run_bounded(config);
 
-    // Acceptance is structural, not statistical: every round completes,
-    // nobody panics on a corrupted or truncated frame, and the cluster
-    // ends whole (severed links heal by reconnect, dead reads by retry).
-    // Loss is deliberately unasserted — a flipped gradient byte may
-    // legally poison the numbers without breaking the protocol.
-    assert_eq!(r.run.rounds, 40);
-    assert_eq!(r.run.live_workers(), 4);
-    assert!(
-        r.proxy_faults_injected > 0,
-        "the proxy never injected anything"
-    );
+        // Acceptance is structural, not statistical: every round completes,
+        // nobody panics on a corrupted or truncated frame, and the cluster
+        // ends whole (severed links heal by reconnect, dead reads by retry).
+        // Loss is deliberately unasserted — a flipped gradient byte may
+        // legally poison the numbers without breaking the protocol.
+        assert_eq!(r.run.rounds, 40, "{codec:?}");
+        assert_eq!(r.run.live_workers(), 4, "{codec:?}");
+        assert!(
+            r.proxy_faults_injected > 0,
+            "{codec:?}: the proxy never injected anything"
+        );
+    }
 }

@@ -3,7 +3,7 @@
 //! so parallel test processes never collide.
 
 use rna_core::fault::{ToleranceConfig, WorkerFate};
-use rna_runtime::{run_process, FaultPlan, ProcessConfig, SyncMode};
+use rna_runtime::{run_process, Compression, FaultPlan, ProcessConfig, SyncMode};
 
 fn quick(n: usize, mode: SyncMode) -> ProcessConfig {
     ProcessConfig::quick(n, mode).with_worker_exe(env!("CARGO_BIN_EXE_rna-worker"))
@@ -116,6 +116,45 @@ fn unplanned_death_without_respawn_is_a_crash_fate() {
         r.run.worker_fates
     );
     assert_eq!(r.run.live_workers(), 2);
+}
+
+#[test]
+fn compressed_hop_smoke() {
+    // The ci.sh compressed-hop stanza re-runs this across seeds and
+    // codecs: `RNA_CHAOS_SEED` reseeds the whole run (dataset, straggler
+    // draws, codec streams) and `RNA_HOP_CODEC` picks the wire codec,
+    // both without recompiling. Whatever the combination, the run must
+    // complete, every worker must stay live, and the socket-measured
+    // byte totals must satisfy the frame-exact identity — each frame
+    // that physically arrived was exactly formula-sized.
+    let seed = std::env::var("RNA_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11u64);
+    let codec = match std::env::var("RNA_HOP_CODEC").as_deref() {
+        Ok("int8") => Compression::Int8,
+        Ok("topk") => Compression::TopK { permille: 250 },
+        Ok("lossless") => Compression::Lossless,
+        _ => Compression::Fp16,
+    };
+    let mut config = quick(3, SyncMode::Rna);
+    config.base.seed = seed;
+    config.base = config.base.with_compression(codec);
+    let r = run_process(&config);
+    assert_eq!(r.run.rounds, 30, "seed {seed} {codec:?}: run must complete");
+    assert_eq!(r.run.live_workers(), 3, "seed {seed} {codec:?}");
+    assert!(
+        r.run.final_loss < 1.4,
+        "seed {seed} {codec:?}: loss {}",
+        r.run.final_loss
+    );
+    assert!(r.run.bytes_on_wire > 0, "seed {seed} {codec:?}");
+    let lossless = Compression::Lossless.frame_bytes(36);
+    assert_eq!(
+        r.run.bytes_on_wire * lossless,
+        (r.run.bytes_on_wire + r.run.bytes_saved) * codec.frame_bytes(36),
+        "seed {seed} {codec:?}: socket-measured bytes are not frame-exact"
+    );
 }
 
 #[test]

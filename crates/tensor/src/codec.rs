@@ -250,12 +250,52 @@ impl Compression {
         FRAME_HEADER_BYTES + self.payload_bytes(elems)
     }
 
+    /// The stable `(tag, parameter)` wire identity of this codec — the same
+    /// pair every frame header carries. Transport layers use it to name the
+    /// run's codec inside setup messages without inventing a second
+    /// encoding.
+    pub fn wire_id(&self) -> (u32, u32) {
+        (self.tag(), self.param())
+    }
+
+    /// Reconstructs a codec from its [`Compression::wire_id`]. Returns
+    /// `None` for unknown tags or out-of-range parameters (a `TopK`
+    /// permille outside `1..=1000`, or a nonzero parameter on a codec that
+    /// takes none) — socket-fed setup paths must reject, not panic.
+    pub fn from_wire_id(tag: u32, param: u32) -> Option<Compression> {
+        match tag {
+            0 => (param == 0).then_some(Compression::Lossless),
+            1 => (param == 0).then_some(Compression::Fp16),
+            2 => (param == 0).then_some(Compression::Int8),
+            3 => u16::try_from(param)
+                .ok()
+                .filter(|p| (1..=1000).contains(p))
+                .map(|permille| Compression::TopK { permille }),
+            _ => None,
+        }
+    }
+
     /// Encodes `xs` into `out` (cleared first): header then payload.
     ///
     /// `draw` supplies uniform `u32` draws for stochastic rounding; codecs
     /// that do not round stochastically never call it.
     pub fn encode_slice(&self, xs: &[f32], out: &mut Vec<u8>, draw: &mut impl FnMut() -> u32) {
         out.clear();
+        self.encode_slice_append(xs, out, draw);
+    }
+
+    /// [`Compression::encode_slice`] without the clear: the codec frame is
+    /// appended at `out`'s current end. This is the zero-copy framing entry
+    /// point — a caller that has already written a transport header into
+    /// `out` gets the codec payload laid down directly behind it, with no
+    /// intermediate frame buffer or copy.
+    pub fn encode_slice_append(
+        &self,
+        xs: &[f32],
+        out: &mut Vec<u8>,
+        draw: &mut impl FnMut() -> u32,
+    ) {
+        let frame_start = out.len();
         wire::put_u32(out, self.tag());
         wire::put_u32(out, self.param());
         wire::put_u64(out, xs.len() as u64);
@@ -286,7 +326,7 @@ impl Compression {
                 }
             }
         }
-        debug_assert_eq!(out.len() as u64, self.frame_bytes(xs.len()));
+        debug_assert_eq!((out.len() - frame_start) as u64, self.frame_bytes(xs.len()));
     }
 
     /// Decodes a frame produced by [`Compression::encode_slice`] into
@@ -485,10 +525,25 @@ impl Compression {
         draw: &mut impl FnMut() -> u32,
         threads: usize,
     ) {
-        if threads <= 1 || xs.is_empty() || matches!(self, Compression::TopK { .. }) {
-            return self.encode_slice(xs, out, draw);
-        }
         out.clear();
+        self.encode_slice_append_mt(xs, out, draw, threads);
+    }
+
+    /// [`Compression::encode_slice_mt`] without the clear: the frame is
+    /// appended at `out`'s current end, bit-identical to the serial append
+    /// path for every thread count. See [`Compression::encode_slice_append`]
+    /// for the zero-copy framing contract.
+    pub fn encode_slice_append_mt(
+        &self,
+        xs: &[f32],
+        out: &mut Vec<u8>,
+        draw: &mut impl FnMut() -> u32,
+        threads: usize,
+    ) {
+        if threads <= 1 || xs.is_empty() || matches!(self, Compression::TopK { .. }) {
+            return self.encode_slice_append(xs, out, draw);
+        }
+        let frame_start = out.len();
         wire::put_u32(out, self.tag());
         wire::put_u32(out, self.param());
         wire::put_u64(out, xs.len() as u64);
@@ -576,7 +631,7 @@ impl Compression {
             }
             Compression::TopK { .. } => unreachable!("top-k handled serially above"),
         }
-        debug_assert_eq!(out.len() as u64, self.frame_bytes(xs.len()));
+        debug_assert_eq!((out.len() - frame_start) as u64, self.frame_bytes(xs.len()));
     }
 
     /// Chunk-parallel [`Compression::decode_slice`], bit-identical to the
@@ -673,6 +728,48 @@ pub fn encode_with_feedback_mt(
         .expect("self-produced frame must decode");
     residual.sub_assign(grad); // residual := compensated − wire
     (scratch.len() as u64, f64::from(residual.norm_l2()))
+}
+
+/// [`encode_with_feedback_mt`] in append mode: the codec frame is laid down
+/// at `out`'s current end — directly behind whatever transport header the
+/// caller already wrote — instead of into a dedicated scratch buffer. This
+/// is the worker-side wire path: one buffer holds the whole outgoing
+/// message, so framing costs zero intermediate copies.
+///
+/// On return `grad` holds the decoded (wire) gradient, `residual` the
+/// updated carry, and `out` has grown by exactly the returned frame length.
+/// With a warm `residual` and a warm `out` capacity the call performs zero
+/// allocations in steady state. Bit-identical to [`encode_with_feedback`]
+/// for every thread count.
+///
+/// # Panics
+///
+/// Same contract as [`encode_with_feedback`].
+pub fn encode_with_feedback_append(
+    codec: Compression,
+    grad: &mut Tensor,
+    residual: &mut Tensor,
+    out: &mut Vec<u8>,
+    draw: &mut impl FnMut() -> u32,
+    threads: usize,
+) -> (u64, f64) {
+    assert_eq!(
+        residual.len(),
+        grad.len(),
+        "error-feedback residual length mismatch"
+    );
+    let frame_start = out.len();
+    grad.add_assign(residual); // compensated
+    codec.encode_slice_append_mt(grad.as_slice(), out, draw, threads);
+    residual.copy_from(grad); // residual := compensated (for now)
+    codec
+        .decode_slice_mt(&out[frame_start..], grad.as_mut_slice(), threads) // grad := wire
+        .expect("self-produced frame must decode");
+    residual.sub_assign(grad); // residual := compensated − wire
+    (
+        (out.len() - frame_start) as u64,
+        f64::from(residual.norm_l2()),
+    )
 }
 
 /// Converts an `f32` to IEEE-754 binary16 bits with round-to-nearest-even.
@@ -790,8 +887,7 @@ fn top_k_indices(xs: &[f32], k: usize) -> Vec<u32> {
     // k-th largest key is a plain integer selection and membership becomes
     // a threshold scan the SIMD path can vectorize.
     let keys = simd::magnitude_keys(xs);
-    let mut scratch = keys.clone();
-    let (_, &mut t, _) = scratch.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+    let t = kth_largest_key(&keys, k);
     let mut gt = Vec::with_capacity(k);
     let mut ties = Vec::new();
     simd::topk_scan(&keys, t, k, &mut gt, &mut ties);
@@ -815,6 +911,57 @@ fn top_k_indices(xs: &[f32], k: usize) -> Vec<u32> {
     }
     idx.extend(ti);
     idx
+}
+
+/// Keys below this length take the clone-and-`select_nth` route; the radix
+/// scan's fixed histogram cost (4 × 256 counters) only pays for itself on
+/// larger inputs.
+const RADIX_SELECT_MIN: usize = 2048;
+
+/// Exact value of the `k`-th largest key (rank counts duplicates), i.e. the
+/// top-k magnitude threshold.
+///
+/// The fast path is a byte-wise radix *scan*: four read-only histogram
+/// passes (high byte first) narrow the rank into one 256-bucket digit at a
+/// time, reconstructing the threshold without sorting, partitioning, or
+/// cloning the keys — `select_nth_unstable` on a clone is what capped the
+/// top-k encode at ~1.1 GB/s (its partition passes are cache-hostile random
+/// writes; the histogram passes are pure sequential reads). Passes after
+/// the first only count keys matching the already-fixed high bytes, so
+/// their predicated bodies touch a shrinking fraction of the data.
+///
+/// Small inputs keep the `select_nth` route: correctness is identical (both
+/// compute the same order statistic), so the split is purely a performance
+/// gate.
+fn kth_largest_key(keys: &[u32], k: usize) -> u32 {
+    debug_assert!(k >= 1 && k <= keys.len());
+    if keys.len() < RADIX_SELECT_MIN {
+        let mut scratch = keys.to_vec();
+        let (_, &mut t, _) = scratch.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+        return t;
+    }
+    let mut prefix = 0u32; // high bytes fixed so far
+    let mut rank = k; // rank of the target within the matching set
+    for shift in [24u32, 16, 8, 0] {
+        // Mask selecting the bytes already fixed (empty on the first pass:
+        // the low byte of the constant shifts out entirely).
+        let mask = 0xFFFF_FF00u32 << shift;
+        let mut hist = [0usize; 256];
+        for &key in keys {
+            if key & mask == prefix {
+                hist[((key >> shift) & 0xFF) as usize] += 1;
+            }
+        }
+        // Walk the digit buckets from the top until the rank lands.
+        let mut b = 255usize;
+        while hist[b] < rank {
+            rank -= hist[b];
+            debug_assert!(b > 0, "rank exceeded matching keys");
+            b -= 1;
+        }
+        prefix |= (b as u32) << shift;
+    }
+    prefix
 }
 
 #[cfg(test)]
@@ -1105,6 +1252,145 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn append_mode_lays_the_frame_behind_existing_bytes() {
+        for codec in [
+            Compression::Lossless,
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::top_k_10pct(),
+        ] {
+            let xs = pseudo(100, 9);
+            let mut plain = Vec::new();
+            codec.encode_slice(&xs, &mut plain, &mut lcg_draws(4));
+            let mut framed = vec![0xAB_u8; 7];
+            codec.encode_slice_append(&xs, &mut framed, &mut lcg_draws(4));
+            assert_eq!(&framed[..7], &[0xAB; 7], "{}", codec.name());
+            assert_eq!(&framed[7..], &plain[..], "{}", codec.name());
+            // The MT append path is bit-identical too.
+            let mut framed_mt = vec![0xAB_u8; 7];
+            codec.encode_slice_append_mt(&xs, &mut framed_mt, &mut lcg_draws(4), 4);
+            assert_eq!(framed_mt, framed, "{} mt", codec.name());
+        }
+    }
+
+    #[test]
+    fn feedback_append_matches_the_scratch_buffer_recurrence() {
+        for codec in [
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::TopK { permille: 500 },
+        ] {
+            let mut res_a = Tensor::zeros(6);
+            let mut res_b = Tensor::zeros(6);
+            let mut scratch = Vec::new();
+            let mut msg = Vec::new();
+            for round in 0..32u64 {
+                let grad = pseudo(6, round + 1);
+                let mut ga = Tensor::from_vec(grad.clone());
+                let mut gb = Tensor::from_vec(grad);
+                let (bytes_a, err_a) = encode_with_feedback(
+                    codec,
+                    &mut ga,
+                    &mut res_a,
+                    &mut scratch,
+                    &mut lcg_draws(round),
+                );
+                msg.clear();
+                msg.extend_from_slice(b"hdr");
+                let (bytes_b, err_b) = encode_with_feedback_append(
+                    codec,
+                    &mut gb,
+                    &mut res_b,
+                    &mut msg,
+                    &mut lcg_draws(round),
+                    1,
+                );
+                assert_eq!(bytes_a, bytes_b, "{}", codec.name());
+                assert_eq!(err_a.to_bits(), err_b.to_bits(), "{}", codec.name());
+                assert_eq!(&msg[3..], &scratch[..], "{} frame bytes", codec.name());
+                assert_eq!(ga.as_slice(), gb.as_slice(), "{} wire grad", codec.name());
+                assert_eq!(
+                    res_a.as_slice(),
+                    res_b.as_slice(),
+                    "{} residual",
+                    codec.name()
+                );
+            }
+        }
+    }
+
+    /// Reference order statistic: sort descending, take the k-th.
+    fn kth_by_sort(keys: &[u32], k: usize) -> u32 {
+        let mut s = keys.to_vec();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s[k - 1]
+    }
+
+    #[test]
+    fn radix_select_matches_sorting_including_ties() {
+        let n = RADIX_SELECT_MIN * 2; // force the radix path
+        let mut d = lcg_draws(17);
+        // Heavy ties: keys drawn from a handful of clustered values, which
+        // is exactly what same-exponent gradients look like in bit-key
+        // space. Plus a uniform tail.
+        let keys: Vec<u32> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    0x3F00_0000 + (d() % 4)
+                } else {
+                    d() & 0x7FFF_FFFF
+                }
+            })
+            .collect();
+        for k in [1, 2, 7, n / 100, n / 10, n / 2, n - 1, n] {
+            assert_eq!(kth_largest_key(&keys, k), kth_by_sort(&keys, k), "k={k}");
+        }
+        // All-equal keys: every rank must return the single value.
+        let flat = vec![0x1234_5678u32; n];
+        for k in [1, n / 2, n] {
+            assert_eq!(kth_largest_key(&flat, k), 0x1234_5678, "flat k={k}");
+        }
+    }
+
+    #[test]
+    fn topk_on_large_tensors_uses_the_radix_path_correctly() {
+        let n = RADIX_SELECT_MIN * 2;
+        let xs = pseudo(n, 23);
+        let codec = Compression::TopK { permille: 100 };
+        let out = roundtrip(codec, &xs, 0);
+        let kept: Vec<usize> = (0..n).filter(|&i| out[i] != 0.0).collect();
+        assert_eq!(kept.len(), codec.keep_count(n));
+        let kept_min = kept
+            .iter()
+            .map(|&i| xs[i].abs())
+            .fold(f32::INFINITY, f32::min);
+        for i in 0..n {
+            if out[i] == 0.0 && xs[i] != 0.0 {
+                assert!(xs[i].abs() <= kept_min, "dropped {} vs kept min", xs[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_id_roundtrips_and_rejects_garbage() {
+        for codec in [
+            Compression::Lossless,
+            Compression::Fp16,
+            Compression::Int8,
+            Compression::TopK { permille: 1 },
+            Compression::TopK { permille: 1000 },
+        ] {
+            let (tag, param) = codec.wire_id();
+            assert_eq!(Compression::from_wire_id(tag, param), Some(codec));
+        }
+        assert_eq!(Compression::from_wire_id(4, 0), None, "unknown tag");
+        assert_eq!(Compression::from_wire_id(0, 7), None, "param on lossless");
+        assert_eq!(Compression::from_wire_id(3, 0), None, "zero permille");
+        assert_eq!(Compression::from_wire_id(3, 1001), None, "permille > 1000");
+        assert_eq!(Compression::from_wire_id(3, 70000), None, "permille > u16");
     }
 
     proptest! {
